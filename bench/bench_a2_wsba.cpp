@@ -1,0 +1,62 @@
+// Ablation A2 — WS-BusinessActivity coordination overhead (§10).
+//
+// Measures the cost of scoping promise work inside a business activity:
+// register/complete/close round trips vs participant count, and the
+// close-vs-cancel (compensation) paths.
+
+#include <benchmark/benchmark.h>
+
+#include "wsba/business_activity.h"
+
+namespace promises {
+namespace {
+
+void RunActivity(benchmark::State& state, bool cancel) {
+  const int participants = static_cast<int>(state.range(0));
+  Transport transport;
+  BusinessActivityCoordinator coordinator("coord", &transport);
+  std::vector<std::unique_ptr<BusinessActivityParticipant>> parts;
+  for (int i = 0; i < participants; ++i) {
+    parts.push_back(std::make_unique<BusinessActivityParticipant>(
+        "part-" + std::to_string(i), &transport,
+        BusinessActivityParticipant::Callbacks{
+            [] { return Status::OK(); }, [] { return Status::OK(); },
+            [] {}}));
+  }
+  for (auto _ : state) {
+    ActivityId activity = coordinator.CreateActivity();
+    for (int i = 0; i < participants; ++i) {
+      auto id = coordinator.Register(activity, parts[i]->endpoint());
+      if (!id.ok()) {
+        state.SkipWithError("register failed");
+        return;
+      }
+      parts[i]->Enlist("coord", activity, *id);
+      if (!parts[i]->SignalCompleted().ok()) {
+        state.SkipWithError("complete failed");
+        return;
+      }
+    }
+    auto outcome = cancel ? coordinator.CancelActivity(activity)
+                          : coordinator.CloseActivity(activity);
+    if (!outcome.ok()) {
+      state.SkipWithError("end failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * participants);
+}
+
+void BM_ActivityClose(benchmark::State& state) {
+  RunActivity(state, /*cancel=*/false);
+}
+void BM_ActivityCancel(benchmark::State& state) {
+  RunActivity(state, /*cancel=*/true);
+}
+BENCHMARK(BM_ActivityClose)->Arg(1)->Arg(4)->Arg(16);
+BENCHMARK(BM_ActivityCancel)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+}  // namespace promises
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// E1 — The headline claim (Figure 1 / §7): with promises, a client that
+// checked availability "will not fail because the required resources
+// are no longer available"; without isolation such late failures are
+// common; with traditional locking they never happen but concurrency
+// collapses because locks are held across the long-running step.
+//
+// Output: one row per (strategy, think-time): completions, late
+// failures, aborts, throughput, latency percentiles.
+
+#include <cstdio>
+
+#include "sim/workload.h"
+
+using namespace promises;
+
+int main() {
+  std::printf("E1: merchant ordering under contention — failure modes "
+              "and throughput by isolation strategy\n");
+  std::printf("world: 2 items x 60 units, 8 workers x 25 orders of 5 "
+              "units (demand 2.1x supply)\n\n");
+
+  for (int64_t think_us : {0L, 1000L, 5000L}) {
+    OrderingWorkloadConfig config;
+    config.num_items = 2;
+    config.initial_stock = 60;
+    config.order_quantity = 5;
+    config.workers = 8;
+    config.orders_per_worker = 25;
+    config.think_us = think_us;
+    config.seed = 42;
+    config.lock_timeout_ms = 500;
+
+    std::printf("--- think time (payment/shipping work): %lld us ---\n",
+                static_cast<long long>(think_us));
+    std::printf("%s\n", OrderingMetrics::Header().c_str());
+    for (StrategyKind kind :
+         {StrategyKind::kPromises, StrategyKind::kLockingExclusive,
+          StrategyKind::kLocking, StrategyKind::kOptimistic}) {
+      OrderingWorld world(config);
+      OrderingMetrics m = RunOrderingWorkload(&world, config, kind);
+      std::printf("%s\n",
+                  m.Row(std::string(StrategyKindToString(kind))).c_str());
+      if (world.TotalStock() < 0) {
+        std::printf("!! STOCK WENT NEGATIVE — isolation failure\n");
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "expected shape: promises & locking-x show fail-late = 0;\n"
+      "optimistic shows fail-late > 0 growing with think time;\n"
+      "locking strategies lose throughput as think time grows (locks\n"
+      "held across the business step), promises do not.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// E6 — Deadlock freedom (§9): "because unfulfillable promise requests
+// are rejected immediately rather than blocking, we do not have to
+// worry about the deadlock issues that plague lock-based algorithms."
+//
+// Adversarial workload: every order needs TWO items acquired in random
+// order while other workers do the same — the classic hold-and-wait
+// recipe. Reports deadlocks/timeouts (lock manager counters) and order
+// outcomes for 2PL vs promises.
+
+#include <cstdio>
+
+#include "sim/workload.h"
+
+using namespace promises;
+
+int main() {
+  std::printf("E6: two-item orders, unordered acquisition, 6 workers — "
+              "deadlock exposure by strategy\n\n");
+
+  OrderingWorkloadConfig config;
+  config.num_items = 4;
+  config.initial_stock = 1000;  // plenty: failures are never stock-outs
+  config.order_quantity = 2;
+  config.items_per_order = 2;
+  config.shuffle_item_order = true;
+  config.workers = 6;
+  config.orders_per_worker = 60;
+  config.think_us = 1000;
+  config.lock_timeout_ms = 100;
+  config.seed = 17;
+
+  std::printf("%s  %10s %9s\n", OrderingMetrics::Header().c_str(),
+              "deadlocks", "timeouts");
+  for (StrategyKind kind :
+       {StrategyKind::kPromises, StrategyKind::kLockingExclusive,
+        StrategyKind::kLocking}) {
+    OrderingWorld world(config);
+    world.tm().lock_manager().ResetStats();
+    OrderingMetrics m = RunOrderingWorkload(&world, config, kind);
+    LockManagerStats locks = world.tm().lock_manager().stats();
+    std::printf("%s  %10llu %9llu\n",
+                m.Row(std::string(StrategyKindToString(kind))).c_str(),
+                static_cast<unsigned long long>(locks.deadlocks),
+                static_cast<unsigned long long>(locks.timeouts));
+  }
+  std::printf(
+      "\nexpected shape: promises complete everything with zero "
+      "deadlocks (requests that cannot be honoured reject instantly); "
+      "the 2PL strategies hold locks across think time and suffer "
+      "deadlock/timeout aborts under unordered two-item acquisition.\n");
+  return 0;
+}

@@ -1,0 +1,154 @@
+// E7 — Cost of the §4 atomicity units.
+//
+//  * multi-predicate grant: all-or-nothing cost vs bundle width (the
+//    travel-agent flight+car+hotel request);
+//  * atomic update: upgrade/weaken via release-on-grant vs the unsafe
+//    release-then-request emulation it replaces;
+//  * action + release-after vs action followed by separate release.
+
+#include <benchmark/benchmark.h>
+
+#include "core/promise_manager.h"
+#include "service/services.h"
+
+namespace promises {
+namespace {
+
+struct World {
+  World() {
+    for (int i = 0; i < 8; ++i) {
+      // Effectively inexhaustible: consuming benches draw 5 per
+      // iteration for millions of iterations.
+      (void)rm.CreatePool("pool-" + std::to_string(i),
+                          1'000'000'000'000LL);
+    }
+    PromiseManagerConfig config;
+    config.name = "bench";
+    config.default_duration_ms = 3'600'000;
+    pm = std::make_unique<PromiseManager>(config, &clock, &rm, &tm);
+    pm->RegisterService("inventory", MakeInventoryService());
+    client = pm->ClientFor("bench");
+  }
+  SimulatedClock clock;
+  TransactionManager tm{5000};
+  ResourceManager rm;
+  std::unique_ptr<PromiseManager> pm;
+  ClientId client;
+};
+
+std::vector<Predicate> Bundle(int width) {
+  std::vector<Predicate> preds;
+  for (int i = 0; i < width; ++i) {
+    preds.push_back(Predicate::Quantity("pool-" + std::to_string(i),
+                                        CompareOp::kGe, 5));
+  }
+  return preds;
+}
+
+// Atomic bundle grant+release vs bundle width.
+void BM_MultiPredicateGrant(benchmark::State& state) {
+  World world;
+  int width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto out = world.pm->RequestPromise(world.client, Bundle(width));
+    if (!out.ok() || !out->accepted) {
+      state.SkipWithError("grant failed");
+      return;
+    }
+    (void)world.pm->Release(world.client, {out->promise_id});
+  }
+}
+BENCHMARK(BM_MultiPredicateGrant)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// §4.3 atomic update: swap >=5 for >=10 in one request.
+void BM_AtomicUpdate(benchmark::State& state) {
+  World world;
+  auto held = world.pm->RequestPromise(world.client, Bundle(1));
+  PromiseId current = held->promise_id;
+  int64_t amount = 5;
+  for (auto _ : state) {
+    amount = amount == 5 ? 10 : 5;
+    auto out = world.pm->RequestPromise(
+        world.client,
+        {Predicate::Quantity("pool-0", CompareOp::kGe, amount)}, 0,
+        {current});
+    if (!out.ok() || !out->accepted) {
+      state.SkipWithError("update failed");
+      return;
+    }
+    current = out->promise_id;
+  }
+}
+BENCHMARK(BM_AtomicUpdate);
+
+// The unsafe two-step emulation (release, then request) — same effect
+// when nothing interferes, but a window where neither promise holds.
+void BM_ReleaseThenRequest(benchmark::State& state) {
+  World world;
+  auto held = world.pm->RequestPromise(world.client, Bundle(1));
+  PromiseId current = held->promise_id;
+  int64_t amount = 5;
+  for (auto _ : state) {
+    amount = amount == 5 ? 10 : 5;
+    (void)world.pm->Release(world.client, {current});
+    auto out = world.pm->RequestPromise(
+        world.client,
+        {Predicate::Quantity("pool-0", CompareOp::kGe, amount)});
+    if (!out.ok() || !out->accepted) {
+      state.SkipWithError("request failed");
+      return;
+    }
+    current = out->promise_id;
+  }
+}
+BENCHMARK(BM_ReleaseThenRequest);
+
+// §4.2: purchase with release-after (one operation) vs purchase then
+// separate release message (two operations, non-atomic).
+void BM_ActionWithReleaseAfter(benchmark::State& state) {
+  World world;
+  for (auto _ : state) {
+    auto g = world.pm->RequestPromise(world.client, Bundle(1));
+    ActionBody buy;
+    buy.service = "inventory";
+    buy.operation = "purchase";
+    buy.params["item"] = Value("pool-0");
+    buy.params["quantity"] = Value(5);
+    buy.params["promise"] = Value(static_cast<int64_t>(g->promise_id.value()));
+    EnvironmentHeader env;
+    env.entries.push_back({g->promise_id, /*release_after=*/true});
+    auto out = world.pm->Execute(world.client, buy, env);
+    if (!out.ok() || !out->ok) {
+      state.SkipWithError("action failed");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_ActionWithReleaseAfter);
+
+void BM_ActionThenSeparateRelease(benchmark::State& state) {
+  World world;
+  for (auto _ : state) {
+    auto g = world.pm->RequestPromise(world.client, Bundle(1));
+    ActionBody buy;
+    buy.service = "inventory";
+    buy.operation = "purchase";
+    buy.params["item"] = Value("pool-0");
+    buy.params["quantity"] = Value(5);
+    buy.params["promise"] = Value(static_cast<int64_t>(g->promise_id.value()));
+    EnvironmentHeader env;
+    env.entries.push_back({g->promise_id, /*release_after=*/false});
+    auto out = world.pm->Execute(world.client, buy, env);
+    if (!out.ok() || !out->ok) {
+      state.SkipWithError("action failed");
+      return;
+    }
+    (void)world.pm->Release(world.client, {g->promise_id});
+  }
+}
+BENCHMARK(BM_ActionThenSeparateRelease);
+
+}  // namespace
+}  // namespace promises
+
+BENCHMARK_MAIN();

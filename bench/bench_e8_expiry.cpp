@@ -1,0 +1,108 @@
+// E8 — Promise expiry (§2: "Promises do not last forever").
+//
+// Measures (a) the lazy expiry sweep that runs at the start of every
+// operation, as a function of how many promises lapse at once, and
+// (b) steady-state grant cost when a live table of N promises carries
+// expiry deadlines (the deadline index must not slow the hot path).
+
+#include <benchmark/benchmark.h>
+
+#include "core/promise_manager.h"
+
+namespace promises {
+namespace {
+
+struct World {
+  explicit World(Technique technique = Technique::kResourcePool) {
+    (void)rm.CreatePool("stock", 10'000'000);
+    PromiseManagerConfig config;
+    config.name = "bench";
+    config.default_duration_ms = 3'600'000;
+    config.max_duration_ms = 3'600'000;
+    config.policy.Set("stock", technique);
+    pm = std::make_unique<PromiseManager>(config, &clock, &rm, &tm);
+    client = pm->ClientFor("bench");
+  }
+  SimulatedClock clock;
+  TransactionManager tm{5000};
+  ResourceManager rm;
+  std::unique_ptr<PromiseManager> pm;
+  ClientId client;
+};
+
+// Sweep cost: N promises all lapse, one ExpireDue reclaims them.
+void BM_ExpirySweep(benchmark::State& state) {
+  int64_t n = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    World world;
+    for (int64_t i = 0; i < n; ++i) {
+      auto out = world.pm->RequestPromise(
+          world.client, {Predicate::Quantity("stock", CompareOp::kGe, 1)},
+          /*duration_ms=*/1'000);
+      if (!out.ok() || !out->accepted) {
+        state.SkipWithError("preload failed");
+        return;
+      }
+    }
+    world.clock.Advance(2'000);
+    state.ResumeTiming();
+    size_t expired = world.pm->ExpireDue();
+    if (expired != static_cast<size_t>(n)) {
+      state.SkipWithError("sweep missed promises");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ExpirySweep)->Range(16, 4096)->Unit(benchmark::kMicrosecond);
+
+// Hot path: grant+release while N live (non-due) promises sit in the
+// deadline index.
+void BM_GrantWithLiveDeadlines(benchmark::State& state) {
+  World world;
+  int64_t n = state.range(0);
+  for (int64_t i = 0; i < n; ++i) {
+    auto out = world.pm->RequestPromise(
+        world.client, {Predicate::Quantity("stock", CompareOp::kGe, 1)},
+        /*duration_ms=*/3'600'000);
+    if (!out.ok() || !out->accepted) {
+      state.SkipWithError("preload failed");
+      return;
+    }
+  }
+  for (auto _ : state) {
+    auto out = world.pm->RequestPromise(
+        world.client, {Predicate::Quantity("stock", CompareOp::kGe, 1)},
+        /*duration_ms=*/1'800'000);
+    if (!out.ok() || !out->accepted) {
+      state.SkipWithError("grant failed");
+      return;
+    }
+    (void)world.pm->Release(world.client, {out->promise_id});
+  }
+}
+BENCHMARK(BM_GrantWithLiveDeadlines)->Range(16, 4096);
+
+// Mixed churn: every operation both grants (short ttl) and implicitly
+// sweeps whatever lapsed — the realistic steady state.
+void BM_ChurnWithLazySweep(benchmark::State& state) {
+  World world;
+  DurationMs ttl = 50;
+  for (auto _ : state) {
+    auto out = world.pm->RequestPromise(
+        world.client, {Predicate::Quantity("stock", CompareOp::kGe, 1)},
+        ttl);
+    if (!out.ok() || !out->accepted) {
+      state.SkipWithError("grant failed");
+      return;
+    }
+    world.clock.Advance(10);  // one in five grants lapses per op
+  }
+}
+BENCHMARK(BM_ChurnWithLazySweep);
+
+}  // namespace
+}  // namespace promises
+
+BENCHMARK_MAIN();

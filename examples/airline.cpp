@@ -1,0 +1,126 @@
+// Airline seats: named and anonymous views of the SAME resources
+// (§3.2) and upgradeable cabin class (§3.3).
+//
+// "Each seat on a flight has a unique name (e.g. seat 24G on QF1
+// departing on 8/10/2007). Some client applications may let customers
+// try to book specific seats... In many cases though, all economy
+// seats will be regarded as equivalent... A single named resource
+// instance cannot be promised to more than one client application at
+// the same time... if one client is promised 'seat 24G', this seat
+// must not be included in the considerations leading to the granting
+// of a promise for an arbitrary economy-class seat."
+
+#include <cstdio>
+
+#include "core/promise_manager.h"
+#include "protocol/transport.h"
+#include "service/client.h"
+#include "service/services.h"
+
+using namespace promises;
+
+int main() {
+  SystemClock clock;
+  ResourceManager rm;
+  TransactionManager tm;
+  Transport transport;
+
+  // Flight QF1 on 2007-10-08: 4 economy seats, 2 business seats.
+  // 'cabin' is upgradeable: economy (1) promises may be met by
+  // business (2) seats.
+  Schema seat_schema({{"cabin", ValueType::kInt, /*upgradeable=*/true},
+                      {"window", ValueType::kBool, false}});
+  const std::string kFlight = "QF1-20071008";
+  (void)rm.CreateInstanceClass(kFlight, seat_schema);
+  (void)rm.AddInstance(kFlight, "24G",
+                       {{"cabin", Value(1)}, {"window", Value(false)}});
+  (void)rm.AddInstance(kFlight, "24A",
+                       {{"cabin", Value(1)}, {"window", Value(true)}});
+  (void)rm.AddInstance(kFlight, "25C",
+                       {{"cabin", Value(1)}, {"window", Value(false)}});
+  (void)rm.AddInstance(kFlight, "25F",
+                       {{"cabin", Value(1)}, {"window", Value(true)}});
+  (void)rm.AddInstance(kFlight, "2A",
+                       {{"cabin", Value(2)}, {"window", Value(true)}});
+  (void)rm.AddInstance(kFlight, "2C",
+                       {{"cabin", Value(2)}, {"window", Value(false)}});
+
+  PromiseManagerConfig config;
+  config.name = "airline";
+  PromiseManager manager(config, &clock, &rm, &tm, &transport);
+  manager.RegisterService("booking", MakeBookingService());
+
+  PromiseClient picky("picky-flyer", &transport, "airline");
+  PromiseClient family("family-of-three", &transport, "airline");
+  PromiseClient late("late-booker", &transport, "airline");
+
+  std::printf("== named view: pinning seat 24G ==\n");
+  auto seat_24g = picky.Request("available('" + kFlight + "', '24G')", 60'000);
+  std::printf("picky flyer pinning 24G: %s\n",
+              seat_24g.ok() ? "granted" : "rejected");
+
+  std::printf("\n== anonymous view over the same seats ==\n");
+  // The family wants any 3 economy seats. 4 economy exist but 24G is
+  // pinned -> exactly 3 remain: grantable, but nothing more.
+  auto three_econ = family.Request(
+      "count('" + kFlight + "' where cabin == 1) >= 3", 60'000);
+  std::printf("family x3 economy: %s\n",
+              three_econ.ok() ? "granted" : "rejected");
+  std::printf("\n== upgrades widen the anonymous pool (§3.3) ==\n");
+  // 'cabin' is upgradeable, so an economy promise may be backed by a
+  // business seat. The manager exploits that freedom: it can serve the
+  // family from business seats if that keeps other requests
+  // satisfiable. A later request for two window seats (window is NOT
+  // upgradeable; windows are 24A, 25F, 2A, with 24G pinned) therefore
+  // still succeeds — the family's backing migrates off the windows.
+  auto windowed = late.TryRequest(
+      "count('" + kFlight +
+      "' where cabin == 1 && window == true) >= 2");
+  std::printf("late booker x2 economy windows: %s\n",
+              windowed.ok() && windowed->granted
+                  ? "granted (family rebacked onto non-window seats)"
+                  : "rejected (BUG?)");
+
+  // Now every one of the 6 seats backs some promise (1 pinned + 3
+  // family + 2 windows): the flight is sold out for promises.
+  auto beyond = late.TryRequest(
+      "count('" + kFlight + "' where cabin == 1) >= 1");
+  std::printf("anyone for 1 more seat: %s  <- all 6 seats committed "
+              "(named 24G excluded from counts per §3.2)\n",
+              beyond.ok() && beyond->granted ? "granted (BUG!)"
+                                             : "rejected");
+
+  std::printf("\n== booking resolves the abstractions ==\n");
+  ActionBody book;
+  book.service = "booking";
+  book.operation = "book";
+  book.params["class"] = Value(kFlight);
+  book.params["count"] = Value(3);
+  book.params["promise"] =
+      Value(static_cast<int64_t>(three_econ->id.value()));
+  auto family_seats = family.Act(book, {three_econ->id}, true);
+  if (family_seats.ok() && family_seats->ok) {
+    std::printf("family seated in: %s\n",
+                family_seats->outputs.at("booked").ToString().c_str());
+  }
+  book.params["count"] = Value(1);
+  book.params["promise"] = Value(static_cast<int64_t>(seat_24g->id.value()));
+  auto picky_seat = picky.Act(book, {seat_24g->id}, true);
+  if (picky_seat.ok() && picky_seat->ok) {
+    std::printf("picky flyer seated in: %s (exactly the pinned seat)\n",
+                picky_seat->outputs.at("booked").ToString().c_str());
+  }
+  if (windowed.ok() && windowed->granted) {
+    book.params["count"] = Value(2);
+    book.params["promise"] =
+        Value(static_cast<int64_t>(windowed->promise.id.value()));
+    auto late_seat = late.Act(book, {windowed->promise.id}, true);
+    if (late_seat.ok() && late_seat->ok) {
+      std::printf("late booker seated in: %s (window seats)\n",
+                  late_seat->outputs.at("booked").ToString().c_str());
+    }
+  }
+
+  std::printf("\npromises outstanding: %zu\n", manager.active_promises());
+  return manager.active_promises() == 0 ? 0 : 1;
+}

@@ -1,0 +1,94 @@
+// Bank accounts: anonymous numeric resources and promise disjointness.
+//
+// §3.1: "if a promise is made that a client application will be able to
+// withdraw $500 from an account, the bank is not obliged to set aside
+// five specific $100 bills"; and §9's key distinction from integrity
+// constraints: promises 'balance>100' and 'balance>50' together require
+// the balance to stay above 150 — promises must be satisfiable by
+// DISJOINT resources. Shows concurrent promise admission (escrow
+// heritage) and violation rollback of a rogue action.
+
+#include <cstdio>
+
+#include "core/promise_manager.h"
+#include "protocol/transport.h"
+#include "service/client.h"
+#include "service/services.h"
+
+using namespace promises;
+
+int main() {
+  SystemClock clock;
+  ResourceManager rm;
+  TransactionManager tm;
+  Transport transport;
+
+  (void)rm.CreatePool("account-alice", 120);
+
+  PromiseManagerConfig config;
+  config.name = "bank";
+  PromiseManager manager(config, &clock, &rm, &tm, &transport);
+  manager.RegisterService("account", MakeAccountService());
+
+  PromiseClient rent("rent-collector", &transport, "bank");
+  PromiseClient shop("web-shop", &transport, "bank");
+
+  std::printf("== §9 disjointness: two promises add up ==\n");
+  Result<ClientPromise> p100 =
+      rent.Request("quantity('account-alice') >= 100", 60'000);
+  std::printf("promise >= 100: %s\n", p100.ok() ? "granted" : "rejected");
+  // An integrity constraint 'balance>50' would be satisfied by 120;
+  // but as a PROMISE it needs a disjoint 50 on top of the promised 100.
+  Result<ClientPromise> p50 =
+      shop.Request("quantity('account-alice') >= 50", 60'000);
+  std::printf("promise >= 50 on top: %s  <- needs 150 total, only 120\n",
+              p50.ok() ? "granted (BUG!)" : "rejected");
+  Result<ClientPromise> p20 =
+      shop.Request("quantity('account-alice') >= 20", 60'000);
+  std::printf("promise >= 20 on top: %s  <- 120 covers 100+20\n",
+              p20.ok() ? "granted" : "rejected (BUG!)");
+
+  std::printf("\n== §2 violating actions are detected and undone ==\n");
+  // A rogue direct withdrawal of 90 would leave 30 < 120 promised.
+  PromiseClient rogue("rogue", &transport, "bank");
+  ActionBody withdraw;
+  withdraw.service = "account";
+  withdraw.operation = "withdraw";
+  withdraw.params["account"] = Value("account-alice");
+  withdraw.params["amount"] = Value(90);
+  Result<ActionResultBody> rogue_result = rogue.Act(withdraw);
+  std::printf("rogue withdraw 90: %s\n",
+              rogue_result.ok() && rogue_result->ok
+                  ? "succeeded (BUG!)"
+                  : ("rolled back — " +
+                     (rogue_result.ok() ? rogue_result->error
+                                        : rogue_result.status().ToString()))
+                        .c_str());
+
+  ActionBody balance;
+  balance.service = "account";
+  balance.operation = "balance";
+  balance.params["account"] = Value("account-alice");
+  Result<ActionResultBody> bal = rogue.Act(balance);
+  if (bal.ok() && bal->ok) {
+    std::printf("balance after rollback: %s (still 120)\n",
+                bal->outputs.at("balance").ToString().c_str());
+  }
+
+  std::printf("\n== consumption under the promise ==\n");
+  // The rent collector withdraws its promised 100 and releases.
+  withdraw.params["amount"] = Value(100);
+  Result<ActionResultBody> ok_result =
+      rent.Act(withdraw, {p100->id}, /*release_after=*/true);
+  std::printf("promised withdraw 100: %s\n",
+              ok_result.ok() && ok_result->ok ? "succeeded" : "FAILED");
+  bal = rogue.Act(balance);
+  if (bal.ok() && bal->ok) {
+    std::printf("balance: %s; shop's >=20 promise still safe: %s\n",
+                bal->outputs.at("balance").ToString().c_str(),
+                manager.FindPromise(p20->id) != nullptr ? "yes" : "no");
+  }
+
+  std::printf("done.\n");
+  return 0;
+}

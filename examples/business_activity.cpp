@@ -1,0 +1,125 @@
+// WS-BusinessActivity + Promises (§10 future work, implemented).
+//
+// A travel agent books a trip spanning two autonomous promise makers —
+// an airline and a hotel — inside one business activity. Promises give
+// each leg isolation while the trip is assembled; the business activity
+// gives the trip all-or-nothing *outcome*: if any leg faults, the
+// coordinator compensates the others, releasing their promises.
+
+#include <cstdio>
+
+#include "core/promise_manager.h"
+#include "protocol/transport.h"
+#include "service/client.h"
+#include "service/services.h"
+#include "wsba/business_activity.h"
+
+using namespace promises;
+
+namespace {
+
+/// One leg of the trip: a promise maker, a client, and a participant
+/// whose compensation releases whatever the leg secured.
+struct Leg {
+  Leg(const std::string& name, const std::string& pool, int64_t stock,
+      Clock* clock, Transport* transport)
+      : client(name + "-agent", transport, name) {
+    (void)rm.CreatePool(pool, stock);
+    PromiseManagerConfig config;
+    config.name = name;
+    pm = std::make_unique<PromiseManager>(config, clock, &rm, &tm,
+                                          transport);
+    pm->RegisterService("inventory", MakeInventoryService());
+    participant = std::make_unique<BusinessActivityParticipant>(
+        name + "-participant", transport,
+        BusinessActivityParticipant::Callbacks{
+            [this] { return ReleaseAll(); },  // close: promises done with
+            [this] { return ReleaseAll(); },  // compensate: undo holds
+            [] {}});
+  }
+
+  Status ReleaseAll() {
+    Status st = client.Release(held);
+    held.clear();
+    return st;
+  }
+
+  ResourceManager rm;
+  TransactionManager tm;
+  std::unique_ptr<PromiseManager> pm;
+  PromiseClient client;
+  std::unique_ptr<BusinessActivityParticipant> participant;
+  std::vector<PromiseId> held;
+};
+
+}  // namespace
+
+int main() {
+  SystemClock clock;
+  Transport transport;
+  BusinessActivityCoordinator coordinator("travel-coordinator", &transport);
+
+  Leg airline("airline", "seat-economy", 100, &clock, &transport);
+  Leg hotel("hotel", "room-standard", 3, &clock, &transport);
+
+  auto run_trip = [&](int64_t seats, int64_t rooms, const char* label) {
+    std::printf("== %s: %lld seats + %lld rooms ==\n", label,
+                static_cast<long long>(seats),
+                static_cast<long long>(rooms));
+    ActivityId activity = coordinator.CreateActivity();
+    auto air_id = coordinator.Register(activity, "airline-participant");
+    auto hotel_id = coordinator.Register(activity, "hotel-participant");
+    airline.participant->Enlist("travel-coordinator", activity, *air_id);
+    hotel.participant->Enlist("travel-coordinator", activity, *hotel_id);
+
+    // Airline leg: secure seats, then report completed.
+    auto seat_promise = airline.client.Request(
+        "quantity('seat-economy') >= " + std::to_string(seats), 60'000);
+    if (seat_promise.ok()) {
+      airline.held.push_back(seat_promise->id);
+      (void)airline.participant->SignalCompleted();
+      std::printf("airline leg: promise secured\n");
+    } else {
+      (void)airline.participant->SignalFault(
+          seat_promise.status().message());
+      std::printf("airline leg: FAULT (%s)\n",
+                  seat_promise.status().message().c_str());
+    }
+
+    // Hotel leg.
+    auto room_promise = hotel.client.Request(
+        "quantity('room-standard') >= " + std::to_string(rooms), 60'000);
+    if (room_promise.ok()) {
+      hotel.held.push_back(room_promise->id);
+      (void)hotel.participant->SignalCompleted();
+      std::printf("hotel leg: promise secured\n");
+    } else {
+      (void)hotel.participant->SignalFault(room_promise.status().message());
+      std::printf("hotel leg: FAULT (%s)\n",
+                  room_promise.status().message().c_str());
+    }
+
+    // Outcome: close if clean, otherwise cancel (compensations release
+    // the surviving promises).
+    Result<ActivityOutcome> outcome =
+        coordinator.HasFault(activity) ? coordinator.CancelActivity(activity)
+                                       : coordinator.CloseActivity(activity);
+    std::printf("activity outcome: %s\n",
+                outcome.ok() ? ActivityOutcomeToString(*outcome).data()
+                             : outcome.status().ToString().c_str());
+    std::printf("promises outstanding: airline=%zu hotel=%zu\n\n",
+                airline.pm->active_promises(), hotel.pm->active_promises());
+  };
+
+  // Trip 1 fits: both legs complete, activity closes.
+  run_trip(2, 2, "trip within capacity");
+  // Trip 2 wants 5 rooms but the hotel only has 3: the hotel leg
+  // faults, and the airline's already-secured promise is compensated
+  // away by the coordinator.
+  run_trip(2, 5, "trip beyond hotel capacity");
+
+  return airline.pm->active_promises() == 0 &&
+                 hotel.pm->active_promises() == 0
+             ? 0
+             : 1;
+}

@@ -1,0 +1,145 @@
+// Hotel booking: property views (§3.3) and tentative allocation (§5).
+//
+// Reproduces the paper's running example: one customer wants "a room
+// with a view", another wants "any 5th-floor room". Room 512 satisfies
+// both; the tentative-allocation engine hands 512 to the first request,
+// then *rearranges* the tentative choice when the second request would
+// otherwise be refused — exactly §5's reallocation narrative. Also
+// shows the §3.3 upgradeable property (a 'standard' promise satisfied
+// by a 'deluxe' room).
+
+#include <cstdio>
+
+#include "core/promise_manager.h"
+#include "core/tentative_engine.h"
+#include "protocol/transport.h"
+#include "service/client.h"
+#include "service/services.h"
+
+using namespace promises;
+
+int main() {
+  SystemClock clock;
+  ResourceManager rm;
+  TransactionManager tm;
+  Transport transport;
+
+  // Rooms export floor/view/grade. 'grade' is upgradeable: holders of a
+  // promise for grade == 1 (standard) may be satisfied by grade 2.
+  Schema room_schema({{"floor", ValueType::kInt, false},
+                      {"view", ValueType::kBool, false},
+                      {"grade", ValueType::kInt, /*upgradeable=*/true}});
+  (void)rm.CreateInstanceClass("room", room_schema);
+  // Only room 512 has BOTH a view and a 5th-floor location; room 301
+  // has a view, room 504 is on the 5th floor without one.
+  (void)rm.AddInstance("room", "301",
+                       {{"floor", Value(3)}, {"view", Value(true)},
+                        {"grade", Value(1)}});
+  (void)rm.AddInstance("room", "504",
+                       {{"floor", Value(5)}, {"view", Value(false)},
+                        {"grade", Value(2)}});
+  (void)rm.AddInstance("room", "512",
+                       {{"floor", Value(5)}, {"view", Value(true)},
+                        {"grade", Value(1)}});
+
+  PromiseManagerConfig config;
+  config.name = "hotel";
+  config.policy.Set("room", Technique::kTentative);
+  PromiseManager manager(config, &clock, &rm, &tm, &transport);
+  manager.RegisterService("booking", MakeBookingService());
+
+  PromiseClient alice("alice", &transport, "hotel");
+  PromiseClient bob("bob", &transport, "hotel");
+
+  std::printf("== §5 tentative allocation ==\n");
+
+  // Alice: "a room with a view". The engine may tentatively pick 512.
+  Result<ClientPromise> alice_promise =
+      alice.Request("count('room' where view == true) >= 1", 60'000);
+  std::printf("alice (view room): %s\n",
+              alice_promise.ok() ? "granted" : "rejected");
+
+  // Bob: "a 5th-floor room". If 512 was tentatively Alice's, the
+  // manager must rearrange (give Alice 301, Bob 512 or 504).
+  Result<ClientPromise> bob_promise =
+      bob.Request("count('room' where floor == 5) >= 1", 60'000);
+  std::printf("bob (5th floor):   %s\n",
+              bob_promise.ok() ? "granted" : "rejected");
+  if (!alice_promise.ok() || !bob_promise.ok()) return 1;
+
+  // Carol: another 5th-floor room — 504 and 512 both exist, so this
+  // must also be grantable alongside Alice's view room.
+  PromiseClient carol("carol", &transport, "hotel");
+  Result<ClientPromise> carol_promise =
+      carol.Request("count('room' where floor == 5) >= 1", 60'000);
+  std::printf("carol (5th floor): %s\n",
+              carol_promise.ok() ? "granted" : "rejected");
+
+  // Dave wants a view too — impossible now (301 and 512 both spoken
+  // for: Alice needs a view room and the two 5th-floor rooms are gone).
+  PromiseClient dave("dave", &transport, "hotel");
+  Result<ClientPromise> dave_promise =
+      dave.Request("count('room' where view == true) >= 1", 60'000);
+  std::printf("dave (view room):  %s  <- correct: all compatible rooms "
+              "are promised\n",
+              dave_promise.ok() ? "granted (BUG!)" : "rejected");
+
+  // Alice books. The concrete room is resolved only now (§2: the
+  // promise is for "a room with a view", not for room 512).
+  ActionBody book;
+  book.service = "booking";
+  book.operation = "book";
+  book.params["class"] = Value("room");
+  book.params["promise"] =
+      Value(static_cast<int64_t>(alice_promise->id.value()));
+  Result<ActionResultBody> booked =
+      alice.Act(book, {alice_promise->id}, /*release_after=*/true);
+  if (booked.ok() && booked->ok) {
+    std::printf("alice booked room %s\n",
+                booked->outputs.at("booked").ToString().c_str());
+  } else {
+    std::printf("alice booking failed\n");
+    return 1;
+  }
+
+  // Bob books his 5th-floor room.
+  book.params["promise"] =
+      Value(static_cast<int64_t>(bob_promise->id.value()));
+  booked = bob.Act(book, {bob_promise->id}, true);
+  if (booked.ok() && booked->ok) {
+    std::printf("bob booked room %s (5th floor)\n",
+                booked->outputs.at("booked").ToString().c_str());
+  }
+
+  std::printf("\n== §3.3 upgradeable properties ==\n");
+  // Carol's plans change; she releases her promise, freeing room 504.
+  if (carol_promise.ok()) {
+    (void)carol.Release({carol_promise->id});
+    std::printf("carol released her promise\n");
+  }
+  // Erin asks for a standard room (grade == 1). Only 504 (grade 2,
+  // deluxe) remains — equality on an upgradeable property accepts the
+  // better grade, so she is upgraded rather than refused.
+  PromiseClient erin("erin", &transport, "hotel");
+  Result<ClientPromise> erin_promise =
+      erin.Request("count('room' where grade == 1) >= 1", 60'000);
+  std::printf("erin (standard room, may be upgraded): %s\n",
+              erin_promise.ok() ? "granted" : "rejected");
+  if (erin_promise.ok()) {
+    book.params["promise"] =
+        Value(static_cast<int64_t>(erin_promise->id.value()));
+    booked = erin.Act(book, {erin_promise->id}, true);
+    if (booked.ok() && booked->ok) {
+      std::printf("erin got room %s\n",
+                  booked->outputs.at("booked").ToString().c_str());
+    }
+  }
+
+  ResourceEngine* engine = manager.EngineIfExists("room");
+  if (engine != nullptr && engine->technique() == Technique::kTentative) {
+    auto* tentative = static_cast<TentativeEngine*>(engine);
+    std::printf("\nreallocations performed by the tentative engine: %llu\n",
+                static_cast<unsigned long long>(tentative->reallocations()));
+  }
+  return 0;
+}

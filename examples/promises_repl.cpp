@@ -1,0 +1,317 @@
+// promises_repl — scriptable shell around one promise manager.
+//
+// Lets you explore the promise model interactively (or from a piped
+// script). One in-process manager, one protocol client per `as` name.
+//
+//   pool <name> <quantity>            create an anonymous pool
+//   class <name> <prop:type[!]>...    create an instance class
+//                                     (types: int,bool,double,string;
+//                                      '!' marks upgradeable)
+//   instance <class> <id> [p=v]...    add an instance
+//   as <client>                       switch the acting client
+//   request <duration-ms> <preds>     request promises (text form)
+//   release <promise-id>...           release promises
+//   queue <duration-ms> <preds>       request, queueing if ungrantable
+//   poll <ticket>                     poll a queued request
+//   buy <pool> <qty> [promise-id]     purchase (optionally protected;
+//                                     releases the promise after)
+//   book <class> <promise-id>         book one instance under promise
+//   damage <pool> <qty>               external damage (§2)
+//   lose <class> <id>                 external instance loss (§2)
+//   expire <ms>                       advance the clock
+//   promises                          list active promises
+//   stock <pool> | rooms <class>      inspect resources
+//   dump                              promise table + engines
+//   stats                             manager counters
+//   quit
+//
+// Example session:
+//   pool widget 10
+//   request 60000 quantity('widget') >= 5
+//   buy widget 5 1
+//   stats
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "core/promise_manager.h"
+#include "predicate/parser.h"
+#include "protocol/transport.h"
+#include "service/client.h"
+#include "service/services.h"
+
+using namespace promises;
+
+namespace {
+
+ValueType ParseType(const std::string& t) {
+  if (t == "int") return ValueType::kInt;
+  if (t == "bool") return ValueType::kBool;
+  if (t == "double") return ValueType::kDouble;
+  return ValueType::kString;
+}
+
+}  // namespace
+
+int main() {
+  SimulatedClock clock(0);
+  ResourceManager rm;
+  TransactionManager tm;
+  Transport transport;
+  PromiseManagerConfig config;
+  config.name = "manager";
+  config.default_duration_ms = 60'000;
+  PromiseManager manager(config, &clock, &rm, &tm, &transport);
+  manager.RegisterService("inventory", MakeInventoryService());
+  manager.RegisterService("booking", MakeBookingService());
+  manager.SetViolationHandler(
+      [](const PromiseRecord& record, const std::string& reason) {
+        std::printf("!! promise %s violated: %s\n",
+                    record.id.ToString().c_str(), reason.c_str());
+      });
+
+  std::map<std::string, std::unique_ptr<PromiseClient>> clients;
+  std::string current = "me";
+  auto client = [&]() -> PromiseClient* {
+    auto& slot = clients[current];
+    if (!slot) {
+      slot = std::make_unique<PromiseClient>(current, &transport, "manager");
+    }
+    return slot.get();
+  };
+
+  std::printf("promises repl — type commands, 'quit' to exit\n");
+  std::string line;
+  while (std::printf("%s> ", current.c_str()), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty() || cmd[0] == '#') continue;
+    if (cmd == "quit" || cmd == "exit") break;
+
+    if (cmd == "pool") {
+      std::string name;
+      int64_t qty = 0;
+      in >> name >> qty;
+      Status st = rm.CreatePool(name, qty);
+      std::printf("%s\n", st.ToString().c_str());
+    } else if (cmd == "class") {
+      std::string name, spec;
+      in >> name;
+      std::vector<PropertyDef> props;
+      while (in >> spec) {
+        bool upgradeable = !spec.empty() && spec.back() == '!';
+        if (upgradeable) spec.pop_back();
+        size_t colon = spec.find(':');
+        if (colon == std::string::npos) {
+          std::printf("bad property spec '%s' (want name:type)\n",
+                      spec.c_str());
+          props.clear();
+          break;
+        }
+        props.push_back(PropertyDef{spec.substr(0, colon),
+                                    ParseType(spec.substr(colon + 1)),
+                                    upgradeable});
+      }
+      Status st = rm.CreateInstanceClass(name, Schema(props));
+      std::printf("%s\n", st.ToString().c_str());
+    } else if (cmd == "instance") {
+      std::string cls, id, kv;
+      in >> cls >> id;
+      PropertyMap props;
+      while (in >> kv) {
+        size_t eq = kv.find('=');
+        if (eq == std::string::npos) continue;
+        props[kv.substr(0, eq)] = Value::FromText(kv.substr(eq + 1));
+      }
+      Status st = rm.AddInstance(cls, id, props);
+      std::printf("%s\n", st.ToString().c_str());
+    } else if (cmd == "as") {
+      in >> current;
+    } else if (cmd == "request") {
+      DurationMs duration = 0;
+      in >> duration;
+      std::string preds;
+      std::getline(in, preds);
+      auto out = client()->TryRequest(preds, duration);
+      if (!out.ok()) {
+        std::printf("error: %s\n", out.status().ToString().c_str());
+      } else if (out->granted) {
+        std::printf("granted %s for %lld ms\n",
+                    out->promise.id.ToString().c_str(),
+                    static_cast<long long>(out->promise.duration_ms));
+      } else {
+        std::printf("rejected: %s\n", out->reject_reason.c_str());
+        if (!out->counter_offer.empty()) {
+          std::printf("counter-offer: %s\n", out->counter_offer.c_str());
+        }
+      }
+    } else if (cmd == "queue") {
+      DurationMs duration = 0;
+      in >> duration;
+      std::string preds;
+      std::getline(in, preds);
+      auto parsed = ParsePredicateList(preds);
+      if (!parsed.ok()) {
+        std::printf("error: %s\n", parsed.status().ToString().c_str());
+        continue;
+      }
+      auto out = manager.RequestPromiseOrQueue(
+          manager.ClientFor(current), *parsed, duration);
+      if (!out.ok()) {
+        std::printf("error: %s\n", out.status().ToString().c_str());
+      } else if (out->queued) {
+        std::printf("queued; ticket %llu\n",
+                    (unsigned long long)out->ticket);
+      } else {
+        std::printf("granted %s immediately\n",
+                    out->outcome.promise_id.ToString().c_str());
+      }
+    } else if (cmd == "poll") {
+      uint64_t ticket = 0;
+      in >> ticket;
+      auto out = manager.PollPending(manager.ClientFor(current), ticket);
+      if (!out.ok()) {
+        std::printf("error: %s\n", out.status().ToString().c_str());
+      } else if (out->queued) {
+        std::printf("still queued\n");
+      } else if (out->outcome.accepted) {
+        std::printf("granted %s\n",
+                    out->outcome.promise_id.ToString().c_str());
+      } else {
+        std::printf("finally rejected: %s\n",
+                    out->outcome.reason.c_str());
+      }
+    } else if (cmd == "release") {
+      std::vector<PromiseId> ids;
+      uint64_t raw;
+      while (in >> raw) ids.push_back(PromiseId(raw));
+      Status st = client()->Release(ids);
+      std::printf("%s\n", st.ToString().c_str());
+    } else if (cmd == "buy") {
+      std::string pool;
+      int64_t qty = 0;
+      uint64_t promise_raw = 0;
+      in >> pool >> qty;
+      in >> promise_raw;
+      ActionBody buy;
+      buy.service = "inventory";
+      buy.operation = "purchase";
+      buy.params["item"] = Value(pool);
+      buy.params["quantity"] = Value(qty);
+      std::vector<PromiseId> env;
+      if (promise_raw != 0) {
+        buy.params["promise"] = Value(static_cast<int64_t>(promise_raw));
+        env.push_back(PromiseId(promise_raw));
+      }
+      auto out = client()->Act(buy, env, /*release_after=*/true);
+      if (!out.ok()) {
+        std::printf("error: %s\n", out.status().ToString().c_str());
+      } else if (out->ok) {
+        std::printf("bought %lld of %s\n", static_cast<long long>(qty),
+                    pool.c_str());
+      } else {
+        std::printf("refused: %s\n", out->error.c_str());
+      }
+    } else if (cmd == "book") {
+      std::string cls;
+      uint64_t promise_raw = 0;
+      in >> cls >> promise_raw;
+      ActionBody book;
+      book.service = "booking";
+      book.operation = "book";
+      book.params["class"] = Value(cls);
+      book.params["promise"] = Value(static_cast<int64_t>(promise_raw));
+      auto out =
+          client()->Act(book, {PromiseId(promise_raw)}, /*release=*/true);
+      if (out.ok() && out->ok) {
+        std::printf("booked %s\n",
+                    out->outputs.at("booked").ToString().c_str());
+      } else {
+        std::printf("refused: %s\n",
+                    out.ok() ? out->error.c_str()
+                             : out.status().ToString().c_str());
+      }
+    } else if (cmd == "damage") {
+      std::string pool;
+      int64_t qty = 0;
+      in >> pool >> qty;
+      auto broken = manager.ReportExternalDamage(pool, qty);
+      if (broken.ok()) {
+        std::printf("damage applied; %zu promise(s) broken\n",
+                    broken->size());
+      } else {
+        std::printf("error: %s\n", broken.status().ToString().c_str());
+      }
+    } else if (cmd == "lose") {
+      std::string cls, id;
+      in >> cls >> id;
+      auto broken = manager.ReportInstanceLost(cls, id);
+      if (broken.ok()) {
+        std::printf("instance lost; %zu promise(s) broken\n",
+                    broken->size());
+      } else {
+        std::printf("error: %s\n", broken.status().ToString().c_str());
+      }
+    } else if (cmd == "expire") {
+      DurationMs ms = 0;
+      in >> ms;
+      clock.Advance(ms);
+      std::printf("clock advanced; %zu promise(s) expired\n",
+                  manager.ExpireDue());
+    } else if (cmd == "promises") {
+      std::printf("%zu active promise(s)\n", manager.active_promises());
+    } else if (cmd == "stock") {
+      std::string pool;
+      in >> pool;
+      auto txn = tm.Begin();
+      auto q = rm.GetQuantity(txn.get(), pool);
+      if (q.ok()) {
+        std::printf("%s: %lld on hand\n", pool.c_str(),
+                    static_cast<long long>(*q));
+      } else {
+        std::printf("error: %s\n", q.status().ToString().c_str());
+      }
+    } else if (cmd == "rooms") {
+      std::string cls;
+      in >> cls;
+      auto txn = tm.Begin();
+      auto list = rm.ListInstances(txn.get(), cls);
+      if (!list.ok()) {
+        std::printf("error: %s\n", list.status().ToString().c_str());
+        continue;
+      }
+      for (const InstanceView& inst : *list) {
+        std::printf("  %-12s %-10s", inst.id.c_str(),
+                    InstanceStatusToString(inst.status).data());
+        for (const auto& [k, v] : inst.properties) {
+          std::printf(" %s=%s", k.c_str(), v.ToString().c_str());
+        }
+        std::printf("\n");
+      }
+    } else if (cmd == "dump") {
+      std::printf("%s", manager.DumpState().c_str());
+    } else if (cmd == "stats") {
+      PromiseManagerStats s = manager.stats();
+      std::printf("requests=%llu granted=%llu rejected=%llu released=%llu "
+                  "expired=%llu updates=%llu actions=%llu "
+                  "action-failures=%llu violations-rolled-back=%llu "
+                  "broken=%llu\n",
+                  (unsigned long long)s.requests,
+                  (unsigned long long)s.granted,
+                  (unsigned long long)s.rejected,
+                  (unsigned long long)s.released,
+                  (unsigned long long)s.expired,
+                  (unsigned long long)s.updates,
+                  (unsigned long long)s.actions,
+                  (unsigned long long)s.action_failures,
+                  (unsigned long long)s.violations_rolled_back,
+                  (unsigned long long)s.promises_broken);
+    } else {
+      std::printf("unknown command '%s'\n", cmd.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Quickstart: the paper's Figure 1 ordering process, end to end.
+//
+// A merchant sells pink widgets. The order process asks the promise
+// manager to guarantee that at least 5 widgets stay available, does its
+// long-running work (payment, shippers), then purchases the stock and
+// releases the promise in one atomic unit — all over the §6 XML
+// protocol.
+
+#include <cstdio>
+
+#include "core/promise_manager.h"
+#include "protocol/transport.h"
+#include "service/client.h"
+#include "service/services.h"
+
+using namespace promises;
+
+int main() {
+  // --- Service-side setup -------------------------------------------
+  SystemClock clock;
+  ResourceManager rm;
+  TransactionManager tm;
+  Transport transport;  // XML-on-the-wire in-process bus
+
+  if (Status st = rm.CreatePool("pink-widget", 12); !st.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  PromiseManagerConfig config;
+  config.name = "merchant";
+  PromiseManager manager(config, &clock, &rm, &tm, &transport);
+  manager.RegisterService("inventory", MakeInventoryService());
+
+  // --- Client side ---------------------------------------------------
+  PromiseClient client("order-process", &transport, "merchant");
+
+  std::printf("== Figure 1: ordering 5 pink widgets ==\n");
+
+  // "Determine we need 5 pink widgets to be in stock. Send promise
+  //  request that (quantity of 'pink widgets' >= 5)."
+  Result<ClientPromise> promise =
+      client.Request("quantity('pink-widget') >= 5", /*duration_ms=*/30'000);
+  if (!promise.ok()) {
+    std::printf("promise rejected: %s\n",
+                promise.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("promise granted: %s for %lld ms\n",
+              promise->id.ToString().c_str(),
+              static_cast<long long>(promise->duration_ms));
+
+  // A competitor now tries to promise 10 more — but only 12 - 5 = 7
+  // remain unpromised, so the manager must refuse (§3.1: the sum of all
+  // promised resources must not exceed what is available).
+  PromiseClient rival("rival-process", &transport, "merchant");
+  Result<ClientPromise> rival_promise =
+      client.Request("quantity('pink-widget') >= 10", 30'000);
+  std::printf("rival asking for 10: %s\n",
+              rival_promise.ok() ? "granted (BUG!)"
+                                 : rival_promise.status().message().c_str());
+
+  // ... long-running order handling happens here: payment, shipping
+  // quotes, human approval. No locks are held anywhere. ...
+
+  // "Send 'purchase stock' request to promise manager and release
+  //  promise" — one message, one atomic unit (§2).
+  ActionBody purchase;
+  purchase.service = "inventory";
+  purchase.operation = "purchase";
+  purchase.params["item"] = Value("pink-widget");
+  purchase.params["quantity"] = Value(5);
+  Result<ActionResultBody> result =
+      client.Act(purchase, {promise->id}, /*release_after=*/true);
+  if (!result.ok() || !result->ok) {
+    std::printf("purchase failed: %s\n",
+                result.ok() ? result->error.c_str()
+                            : result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("purchased; %s widgets shipped\n",
+              result->outputs.at("shipped").ToString().c_str());
+
+  // Verify the books: 12 - 5 = 7 remain, no promises outstanding.
+  ActionBody check;
+  check.service = "inventory";
+  check.operation = "check";
+  check.params["item"] = Value("pink-widget");
+  Result<ActionResultBody> stock = client.Act(check);
+  if (stock.ok() && stock->ok) {
+    std::printf("stock on hand afterwards: %s (promises active: %zu)\n",
+                stock->outputs.at("quantity").ToString().c_str(),
+                manager.active_promises());
+  }
+
+  // The rival can now get its promise: 7 < 10 still refused, but 7 ok.
+  Result<ClientPromise> retry =
+      rival.Request("quantity('pink-widget') >= 7", 30'000);
+  std::printf("rival asking for 7 after purchase: %s\n",
+              retry.ok() ? "granted" : retry.status().message().c_str());
+
+  std::printf("done.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Supply chain: §5 Delegation.
+//
+// "A purchase order can be accepted by the merchant if it has received
+// a promise from the distributor that a backorder will be fulfilled on
+// time." The merchant's promise manager delegates the 'bulk-widget'
+// class to the distributor's manager: granting a customer promise
+// triggers an upstream promise request, and fulfilment forwards the
+// consumption upstream under that promise.
+
+#include <cstdio>
+
+#include "core/promise_manager.h"
+#include "protocol/transport.h"
+#include "service/client.h"
+#include "service/services.h"
+
+using namespace promises;
+
+int main() {
+  SystemClock clock;
+  Transport transport;
+
+  // --- Distributor: owns the actual bulk-widget stock ----------------
+  ResourceManager dist_rm;
+  TransactionManager dist_tm;
+  (void)dist_rm.CreatePool("bulk-widget", 100);
+  PromiseManagerConfig dist_config;
+  dist_config.name = "distributor";
+  PromiseManager distributor(dist_config, &clock, &dist_rm, &dist_tm,
+                             &transport);
+  distributor.RegisterService("inventory", MakeInventoryService());
+
+  // --- Merchant: local retail stock + delegated backorders -----------
+  ResourceManager merch_rm;
+  TransactionManager merch_tm;
+  (void)merch_rm.CreatePool("retail-widget", 5);
+  PromiseManagerConfig merch_config;
+  merch_config.name = "merchant";
+  PromiseManager merchant(merch_config, &clock, &merch_rm, &merch_tm,
+                          &transport);
+  merchant.RegisterService("inventory", MakeInventoryService());
+  merchant.RegisterService("shipping",
+                           MakeShippingService("", "bulk-widget"));
+  if (Status st = merchant.DelegateClass("bulk-widget", "distributor");
+      !st.ok()) {
+    std::fprintf(stderr, "delegation setup failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+
+  PromiseClient customer("customer", &transport, "merchant");
+
+  std::printf("== backorder accepted on the strength of an upstream "
+              "promise ==\n");
+  // 40 widgets: far beyond the merchant's 5 retail units; the merchant
+  // accepts because the DISTRIBUTOR promises the backorder.
+  Result<ClientPromise> order =
+      customer.Request("quantity('bulk-widget') >= 40", 60'000);
+  std::printf("customer backorder x40: %s\n",
+              order.ok() ? "accepted (delegated upstream)" : "rejected");
+  if (!order.ok()) return 1;
+  std::printf("distributor now has %zu active promise(s)\n",
+              distributor.active_promises());
+
+  // The distributor cannot promise more than the remaining 60 to
+  // anyone else — the delegated promise really reserves stock there.
+  PromiseClient other("other-merchant", &transport, "distributor");
+  Result<ClientPromise> too_much =
+      other.Request("quantity('bulk-widget') >= 70", 60'000);
+  std::printf("other merchant asking distributor for 70: %s\n",
+              too_much.ok() ? "granted (BUG!)" : "rejected");
+
+  std::printf("\n== fulfilment forwards upstream ==\n");
+  ActionBody ship;
+  ship.service = "shipping";
+  ship.operation = "ship";
+  ship.params["promise"] = Value(static_cast<int64_t>(order->id.value()));
+  ship.params["quantity"] = Value(40);
+  Result<ActionResultBody> shipped =
+      customer.Act(ship, {order->id}, /*release_after=*/true);
+  std::printf("shipment: %s\n",
+              shipped.ok() && shipped->ok ? "delivered" : "FAILED");
+
+  // Distributor stock dropped to 60; all promises settled.
+  PromiseClient probe("probe", &transport, "distributor");
+  ActionBody check;
+  check.service = "inventory";
+  check.operation = "check";
+  check.params["item"] = Value("bulk-widget");
+  Result<ActionResultBody> stock = probe.Act(check);
+  if (stock.ok() && stock->ok) {
+    std::printf("distributor stock now: %s (promises: merchant=%zu, "
+                "distributor=%zu)\n",
+                stock->outputs.at("quantity").ToString().c_str(),
+                merchant.active_promises(), distributor.active_promises());
+  }
+
+  std::printf("\n== rejection cascades: nothing left behind ==\n");
+  // 80 > 60 remaining upstream: the merchant must reject, and the
+  // distributor must not retain a dangling reservation.
+  Result<ClientPromise> too_big =
+      customer.Request("quantity('bulk-widget') >= 80", 60'000);
+  std::printf("customer backorder x80: %s; distributor promises "
+              "afterwards: %zu\n",
+              too_big.ok() ? "accepted (BUG!)" : "rejected",
+              distributor.active_promises());
+
+  std::printf("done.\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Travel agent: the three §4 atomicity units.
+//
+//  1. Multi-predicate atomic grant — "a client may want a promise that
+//     a flight and a rental car and a hotel room will all be
+//     available"; all-or-nothing.
+//  2. Action + release as one unit — booking the flight releases the
+//     flight promise only if the booking succeeds.
+//  3. Atomic promise update — the anticipated withdrawal changes from
+//     $100 to $200 (upgrade) or to $50 (weaken); the old promise is
+//     handed back only if the new one is granted.
+
+#include <cstdio>
+
+#include "core/promise_manager.h"
+#include "protocol/transport.h"
+#include "service/client.h"
+#include "service/services.h"
+
+using namespace promises;
+
+int main() {
+  SystemClock clock;
+  ResourceManager rm;
+  TransactionManager tm;
+  Transport transport;
+
+  // World: one seat left on the flight, two rental cars, one hotel
+  // room, and Alice's account with $150.
+  Schema seat_schema({{"class", ValueType::kString, false}});
+  (void)rm.CreateInstanceClass("seat-QF1-20070810", seat_schema);
+  (void)rm.AddInstance("seat-QF1-20070810", "24G",
+                       {{"class", Value("economy")}});
+  (void)rm.CreatePool("rental-car", 2);
+  Schema room_schema({{"floor", ValueType::kInt, false}});
+  (void)rm.CreateInstanceClass("hotel-room", room_schema);
+  (void)rm.AddInstance("hotel-room", "212", {{"floor", Value(2)}});
+  (void)rm.CreatePool("account-alice", 150);
+
+  PromiseManagerConfig config;
+  config.name = "travel";
+  PromiseManager manager(config, &clock, &rm, &tm, &transport);
+  manager.RegisterService("booking", MakeBookingService());
+  manager.RegisterService("inventory", MakeInventoryService());
+  manager.RegisterService("account", MakeAccountService());
+
+  PromiseClient agent("travel-agent", &transport, "travel");
+
+  std::printf("== §4.1 multi-predicate atomic grant ==\n");
+  // Flight + car + named hotel room, one request.
+  Result<ClientPromise> trip = agent.Request(
+      "available('seat-QF1-20070810', '24G');"
+      "quantity('rental-car') >= 1;"
+      "available('hotel-room', '212')",
+      60'000);
+  std::printf("flight+car+room: %s\n", trip.ok() ? "granted" : "rejected");
+  if (!trip.ok()) return 1;
+
+  // A competing agent asks for the same bundle — must be rejected as a
+  // whole (seat 24G and room 212 are taken) even though cars remain.
+  PromiseClient rival("rival-agent", &transport, "travel");
+  Result<ClientPromise> rival_trip = rival.Request(
+      "available('seat-QF1-20070810', '24G');"
+      "quantity('rental-car') >= 1",
+      60'000);
+  std::printf("rival same bundle: %s\n",
+              rival_trip.ok() ? "granted (BUG!)" : "rejected as a unit");
+
+  // But cars alone are still promisable — rejection was not a lock on
+  // everything, just on the conflicting predicates.
+  Result<ClientPromise> car_only =
+      rival.Request("quantity('rental-car') >= 1", 60'000);
+  std::printf("rival car only:    %s\n",
+              car_only.ok() ? "granted" : "rejected");
+
+  std::printf("\n== §4.3 atomic promise update ==\n");
+  // The client planned a $100 withdrawal...
+  Result<ClientPromise> budget =
+      agent.Request("quantity('account-alice') >= 100", 60'000);
+  std::printf("balance >= 100: %s\n", budget.ok() ? "granted" : "rejected");
+
+  // ...then the trip got more expensive: upgrade to $200. The account
+  // holds only $150, so the upgrade must fail AND the old $100 promise
+  // must be retained.
+  Result<ClientPromise> upgrade =
+      agent.Update(budget->id, "quantity('account-alice') >= 200");
+  std::printf("upgrade to 200: %s (old promise %s)\n",
+              upgrade.ok() ? "granted (BUG!)" : "rejected",
+              manager.FindPromise(budget->id) != nullptr ? "retained"
+                                                         : "LOST (BUG!)");
+
+  // Weakening to $50 must succeed and replace the old promise.
+  Result<ClientPromise> weaker =
+      agent.Update(budget->id, "quantity('account-alice') >= 50");
+  std::printf("weaken to 50:   %s (old promise %s)\n",
+              weaker.ok() ? "granted" : "rejected (BUG!)",
+              manager.FindPromise(budget->id) == nullptr ? "handed back"
+                                                         : "still held (BUG!)");
+
+  // With only $150 - $50 promised, a second $100 promise now fits.
+  Result<ClientPromise> second =
+      agent.Request("quantity('account-alice') >= 100", 60'000);
+  std::printf("second >= 100:  %s\n",
+              second.ok() ? "granted" : "rejected (BUG!)");
+
+  std::printf("\n== §4.2 action + release atomic unit ==\n");
+  // Book the flight seat; the booking and the release of the trip
+  // promise succeed or fail together.
+  ActionBody book;
+  book.service = "booking";
+  book.operation = "book";
+  book.params["class"] = Value("seat-QF1-20070810");
+  book.params["promise"] = Value(static_cast<int64_t>(trip->id.value()));
+  Result<ActionResultBody> booked =
+      agent.Act(book, {trip->id}, /*release_after=*/true);
+  std::printf("seat booked: %s",
+              booked.ok() && booked->ok
+                  ? booked->outputs.at("booked").ToString().c_str()
+                  : "FAILED");
+  std::printf("; trip promise %s\n",
+              manager.FindPromise(trip->id) == nullptr ? "released"
+                                                       : "still held");
+
+  // Rival can finally have the seat? No — it was TAKEN, not released
+  // back to available.
+  rival_trip = rival.Request("available('seat-QF1-20070810', '24G')", 60'000);
+  std::printf("rival seat after purchase: %s (seat is sold, not freed)\n",
+              rival_trip.ok() ? "granted (BUG!)" : "rejected");
+
+  std::printf("done.\n");
+  return 0;
+}

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Rebuilds and regenerates every experiment (E1..E10 + ablations).
+# See EXPERIMENTS.md for the claim-by-claim interpretation.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo "===== $b ====="
+  "$b"
+done

@@ -1,0 +1,130 @@
+#include "baseline/ordering.h"
+
+namespace promises {
+
+std::string_view OrderResultToString(OrderResult r) {
+  switch (r) {
+    case OrderResult::kCompleted: return "completed";
+    case OrderResult::kUnavailable: return "unavailable";
+    case OrderResult::kFailedLate: return "failed-late";
+    case OrderResult::kAborted: return "aborted";
+  }
+  return "unknown";
+}
+
+OrderResult PromiseOrderingStrategy::RunOrder(
+    const OrderLines& lines, const std::function<void()>& think) {
+  // Figure 1: "Send promise request that (quantity of 'pink widgets'
+  // >= 5)" — one atomic request covering every line (§4).
+  std::vector<Predicate> predicates;
+  predicates.reserve(lines.size());
+  for (const auto& [item, quantity] : lines) {
+    predicates.push_back(
+        Predicate::Quantity(item, CompareOp::kGe, quantity));
+  }
+  Result<GrantOutcome> grant =
+      manager_->RequestPromise(client_, std::move(predicates));
+  if (!grant.ok()) return OrderResult::kAborted;
+  if (!grant->accepted) return OrderResult::kUnavailable;
+
+  // "Continue processing order (organise payment, shippers)" — the
+  // long-running part, with NO locks held anywhere.
+  think();
+
+  // "Send 'purchase stock' request ... and release promise" — the
+  // purchases and the release form one atomic unit.
+  OrderResult result = OrderResult::kCompleted;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    ActionBody action;
+    action.service = "inventory";
+    action.operation = "purchase";
+    action.params["item"] = Value(lines[i].first);
+    action.params["quantity"] = Value(lines[i].second);
+    action.params["promise"] =
+        Value(static_cast<int64_t>(grant->promise_id.value()));
+    EnvironmentHeader env;
+    bool last = i + 1 == lines.size();
+    env.entries.push_back({grant->promise_id, /*release_after=*/last});
+    Result<ActionOutcome> outcome =
+        manager_->Execute(client_, action, env);
+    if (!outcome.ok()) {
+      result = OrderResult::kAborted;
+      break;
+    }
+    if (!outcome->ok) {
+      // A failure here is exactly what the promise was meant to
+      // preclude (§7) — unless it is the rare violation/expiry case.
+      result = OrderResult::kFailedLate;
+      break;
+    }
+  }
+  if (result != OrderResult::kCompleted) {
+    (void)manager_->Release(client_, {grant->promise_id});
+  }
+  return result;
+}
+
+OrderResult LockingOrderingStrategy::RunOrder(
+    const OrderLines& lines, const std::function<void()>& think) {
+  std::unique_ptr<Transaction> txn = tm_->Begin();
+  // Check phase: read (or pre-write-lock) every line's stock.
+  for (const auto& [item, quantity] : lines) {
+    if (exclusive_check_) {
+      Status st = txn->Lock(ResourceManager::PoolKey(item),
+                            LockMode::kExclusive);
+      if (!st.ok()) return OrderResult::kAborted;
+    }
+    Result<int64_t> on_hand = rm_->GetQuantity(txn.get(), item);
+    if (!on_hand.ok()) {
+      return on_hand.status().IsDeadlock() || on_hand.status().IsTimeout()
+                 ? OrderResult::kAborted
+                 : OrderResult::kFailedLate;
+    }
+    if (*on_hand < quantity) return OrderResult::kUnavailable;
+  }
+
+  // Locks are HELD across the long-running work — the §9 objection to
+  // traditional isolation in a services world.
+  think();
+
+  for (const auto& [item, quantity] : lines) {
+    Status st = rm_->AdjustQuantity(txn.get(), item, -quantity);
+    if (st.IsDeadlock() || st.IsTimeout()) return OrderResult::kAborted;
+    // Under held locks the stock cannot have moved; any precondition
+    // failure would indicate a broken invariant.
+    if (!st.ok()) return OrderResult::kFailedLate;
+  }
+  if (!txn->Commit().ok()) return OrderResult::kAborted;
+  return OrderResult::kCompleted;
+}
+
+OrderResult OptimisticOrderingStrategy::RunOrder(
+    const OrderLines& lines, const std::function<void()>& think) {
+  // Check phase in its own short transaction; nothing is retained.
+  {
+    std::unique_ptr<Transaction> txn = tm_->Begin();
+    for (const auto& [item, quantity] : lines) {
+      Result<int64_t> on_hand = rm_->GetQuantity(txn.get(), item);
+      if (!on_hand.ok()) return OrderResult::kAborted;
+      if (*on_hand < quantity) return OrderResult::kUnavailable;
+    }
+    if (!txn->Commit().ok()) return OrderResult::kAborted;
+  }
+
+  think();  // Unprotected: concurrent orders may drain the stock.
+
+  std::unique_ptr<Transaction> txn = tm_->Begin();
+  for (const auto& [item, quantity] : lines) {
+    Status st = rm_->AdjustQuantity(txn.get(), item, -quantity);
+    if (st.IsDeadlock() || st.IsTimeout()) return OrderResult::kAborted;
+    if (!st.ok()) {
+      // The §7 failure: the condition checked earlier no longer holds,
+      // discovered only deep inside the order process.
+      return OrderResult::kFailedLate;
+    }
+  }
+  if (!txn->Commit().ok()) return OrderResult::kAborted;
+  return OrderResult::kCompleted;
+}
+
+}  // namespace promises

@@ -1,0 +1,102 @@
+// Isolation strategies for the check-then-act ordering pattern.
+//
+// §7 frames the problem: a client checks resource availability, does
+// long-running business work, then relies on the check still holding.
+// Three strategies cover the paper's comparison space:
+//
+//  * Promises (the contribution): obtain a promise, work, then buy
+//    under the promise; late failure is claimed to be ~impossible.
+//  * Traditional lock-based isolation (§9): hold 2PL locks across the
+//    whole operation — late failures impossible but concurrency
+//    collapses and deadlocks appear ("assumes an environment where
+//    activities run very quickly"; not suited to services).
+//  * No isolation / optimistic: check without protection and hope —
+//    the §7 situation "where the effects of concurrency are common
+//    enough that they need to be included throughout the normal
+//    processing paths".
+//
+// Experiments E1 and E6 drive these through the workload simulator.
+
+#ifndef PROMISES_BASELINE_ORDERING_H_
+#define PROMISES_BASELINE_ORDERING_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/promise_manager.h"
+#include "resource/resource_manager.h"
+#include "txn/transaction.h"
+
+namespace promises {
+
+enum class OrderResult {
+  kCompleted,    ///< Goods secured and purchased.
+  kUnavailable,  ///< Cleanly refused at check time (stock short).
+  kFailedLate,   ///< Failed AFTER the client relied on its check — the
+                 ///< outcome isolation is supposed to prevent.
+  kAborted,      ///< Deadlock / lock timeout / infrastructure abort.
+};
+
+std::string_view OrderResultToString(OrderResult r);
+
+/// One order line: (pool item, quantity).
+using OrderLines = std::vector<std::pair<std::string, int64_t>>;
+
+/// Strategy interface: run one check → think → act order.
+class OrderingStrategy {
+ public:
+  virtual ~OrderingStrategy() = default;
+  virtual OrderResult RunOrder(const OrderLines& lines,
+                               const std::function<void()>& think) = 0;
+};
+
+/// Promise-based isolation (through the PromiseManager's direct API;
+/// protocol overhead is measured separately in E9).
+class PromiseOrderingStrategy : public OrderingStrategy {
+ public:
+  PromiseOrderingStrategy(PromiseManager* manager, ClientId client)
+      : manager_(manager), client_(client) {}
+  OrderResult RunOrder(const OrderLines& lines,
+                       const std::function<void()>& think) override;
+
+ private:
+  PromiseManager* manager_;
+  ClientId client_;
+};
+
+/// Traditional distributed-transaction style: 2PL locks held across the
+/// think time. `exclusive_check` acquires write locks at check time
+/// (avoids upgrade deadlocks at the cost of concurrency).
+class LockingOrderingStrategy : public OrderingStrategy {
+ public:
+  LockingOrderingStrategy(TransactionManager* tm, ResourceManager* rm,
+                          bool exclusive_check = false)
+      : tm_(tm), rm_(rm), exclusive_check_(exclusive_check) {}
+  OrderResult RunOrder(const OrderLines& lines,
+                       const std::function<void()>& think) override;
+
+ private:
+  TransactionManager* tm_;
+  ResourceManager* rm_;
+  bool exclusive_check_;
+};
+
+/// Check-then-act with no protection between check and act.
+class OptimisticOrderingStrategy : public OrderingStrategy {
+ public:
+  OptimisticOrderingStrategy(TransactionManager* tm, ResourceManager* rm)
+      : tm_(tm), rm_(rm) {}
+  OrderResult RunOrder(const OrderLines& lines,
+                       const std::function<void()>& think) override;
+
+ private:
+  TransactionManager* tm_;
+  ResourceManager* rm_;
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_BASELINE_ORDERING_H_

@@ -1,0 +1,72 @@
+// Injected clock abstraction.
+//
+// Promise durations and expiry (§2: "Promises do not last forever")
+// depend on time. All time flows through the Clock interface so that
+// tests, benches and the workload simulator can use a SimulatedClock
+// and make expiry deterministic.
+
+#ifndef PROMISES_COMMON_CLOCK_H_
+#define PROMISES_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace promises {
+
+/// Milliseconds since an arbitrary epoch.
+using Timestamp = int64_t;
+/// Length of an interval in milliseconds.
+using DurationMs = int64_t;
+
+inline constexpr Timestamp kTimestampMax =
+    std::numeric_limits<Timestamp>::max();
+
+/// Source of the current time.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in milliseconds since the clock's epoch.
+  virtual Timestamp Now() const = 0;
+};
+
+/// Wall-clock backed implementation (steady_clock; monotone).
+class SystemClock : public Clock {
+ public:
+  Timestamp Now() const override {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+/// Manually advanced clock for deterministic tests and simulations.
+class SimulatedClock : public Clock {
+ public:
+  explicit SimulatedClock(Timestamp start = 0) : now_(start) {}
+
+  Timestamp Now() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+
+  /// Moves time forward by `delta` ms (negative deltas are ignored).
+  void Advance(DurationMs delta) {
+    if (delta > 0) now_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Jumps directly to `t` if it is in the future.
+  void AdvanceTo(Timestamp t) {
+    Timestamp cur = now_.load(std::memory_order_relaxed);
+    while (t > cur &&
+           !now_.compare_exchange_weak(cur, t, std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<Timestamp> now_;
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_COMMON_CLOCK_H_

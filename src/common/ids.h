@@ -1,0 +1,91 @@
+// Strongly-typed identifiers for the protocol entities of §6.
+//
+// The Promise protocol correlates messages through several id spaces:
+// request identifiers (correlate <promise-request>/<promise-response>),
+// promise identifiers (name granted promises inside <environment>
+// elements), message ids, transaction ids and client ids. Typed wrappers
+// keep them from being mixed up at compile time.
+
+#ifndef PROMISES_COMMON_IDS_H_
+#define PROMISES_COMMON_IDS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace promises {
+
+/// CRTP base for a 64-bit typed id. `Tag` distinguishes id spaces.
+template <typename Tag>
+class TypedId {
+ public:
+  constexpr TypedId() : value_(0) {}
+  constexpr explicit TypedId(uint64_t value) : value_(value) {}
+
+  /// Zero is reserved as "no id".
+  constexpr bool valid() const { return value_ != 0; }
+  constexpr uint64_t value() const { return value_; }
+
+  friend constexpr bool operator==(TypedId a, TypedId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(TypedId a, TypedId b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(TypedId a, TypedId b) {
+    return a.value_ < b.value_;
+  }
+
+  std::string ToString() const {
+    return std::string(Tag::kPrefix) + "-" + std::to_string(value_);
+  }
+
+ private:
+  uint64_t value_;
+};
+
+struct PromiseIdTag { static constexpr const char* kPrefix = "promise"; };
+struct RequestIdTag { static constexpr const char* kPrefix = "request"; };
+struct MessageIdTag { static constexpr const char* kPrefix = "message"; };
+struct TxnIdTag { static constexpr const char* kPrefix = "txn"; };
+struct ClientIdTag { static constexpr const char* kPrefix = "client"; };
+
+/// Identifies a granted promise (§6 <promise-response> promise id).
+using PromiseId = TypedId<PromiseIdTag>;
+/// Correlates a <promise-request> with its <promise-response> (§6).
+using RequestId = TypedId<RequestIdTag>;
+/// Identifies one transport envelope.
+using MessageId = TypedId<MessageIdTag>;
+/// Identifies a local ACID transaction (§8).
+using TxnId = TypedId<TxnIdTag>;
+/// Identifies a promise client application.
+using ClientId = TypedId<ClientIdTag>;
+
+/// Thread-safe monotonically increasing id source (never yields 0).
+template <typename Id>
+class IdGenerator {
+ public:
+  IdGenerator() : next_(1) {}
+
+  Id Next() { return Id(next_.fetch_add(1, std::memory_order_relaxed)); }
+
+  /// Resets the sequence; only for deterministic tests.
+  void ResetForTesting(uint64_t next = 1) { next_.store(next); }
+
+ private:
+  std::atomic<uint64_t> next_;
+};
+
+}  // namespace promises
+
+namespace std {
+template <typename Tag>
+struct hash<promises::TypedId<Tag>> {
+  size_t operator()(promises::TypedId<Tag> id) const noexcept {
+    return std::hash<uint64_t>()(id.value());
+  }
+};
+}  // namespace std
+
+#endif  // PROMISES_COMMON_IDS_H_

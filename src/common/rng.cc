@@ -1,0 +1,23 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace promises {
+
+size_t Rng::ZipfIndex(size_t n, double theta) {
+  if (n == 0) return 0;
+  if (theta <= 0) return static_cast<size_t>(NextU64() % n);
+  // Inverse-CDF sampling over the (unnormalised) harmonic weights. The
+  // workloads use small n (resource classes, not instances), so the
+  // linear scan is cheap and avoids caching state per (n, theta).
+  double total = 0;
+  for (size_t i = 0; i < n; ++i) total += 1.0 / std::pow(i + 1.0, theta);
+  double r = UniformDouble() * total;
+  for (size_t i = 0; i < n; ++i) {
+    r -= 1.0 / std::pow(i + 1.0, theta);
+    if (r <= 0) return i;
+  }
+  return n - 1;
+}
+
+}  // namespace promises

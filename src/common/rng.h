@@ -1,0 +1,77 @@
+// Deterministic pseudo-random number generation for workloads.
+//
+// Benchmarks and the workload simulator need reproducible randomness;
+// std::mt19937_64 seeding via SplitMix64 gives identical streams across
+// platforms for a given seed.
+
+#ifndef PROMISES_COMMON_RNG_H_
+#define PROMISES_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace promises {
+
+/// SplitMix64: fast, well-distributed 64-bit generator used both
+/// directly and as a seeder.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Convenience wrapper with the distributions the workloads need.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : gen_(seed ? seed : 0x853C49E6748FEA9BULL) {}
+
+  uint64_t NextU64() { return gen_.Next(); }
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(gen_.Next() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(gen_.Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Chance(double p) { return UniformDouble() < p; }
+
+  /// Picks an index according to the given non-negative weights.
+  /// Returns weights.size() - 1 when all weights are zero.
+  size_t WeightedIndex(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    double r = UniformDouble() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r <= 0) return i;
+    }
+    return weights.empty() ? 0 : weights.size() - 1;
+  }
+
+  /// Zipf-like skewed index in [0, n): rank r chosen with probability
+  /// proportional to 1/(r+1)^theta. theta == 0 is uniform.
+  size_t ZipfIndex(size_t n, double theta);
+
+ private:
+  SplitMix64 gen_;
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_COMMON_RNG_H_

@@ -1,0 +1,184 @@
+// Status / Result<T> error-handling primitives.
+//
+// The library does not throw exceptions across its public API (Google
+// style). Fallible operations return a Status, or a Result<T> when they
+// also produce a value. Expected business outcomes (e.g. a promise
+// request being rejected) are modelled as ordinary values, not as error
+// Statuses; Status is reserved for contract violations, lookup failures
+// and infrastructure faults.
+
+#ifndef PROMISES_COMMON_STATUS_H_
+#define PROMISES_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace promises {
+
+/// Machine-readable classification of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed input (bad predicate syntax, bad id).
+  kNotFound,          ///< Named entity does not exist.
+  kAlreadyExists,     ///< Unique entity would be duplicated.
+  kFailedPrecondition,///< State does not admit the operation.
+  kConflict,          ///< Concurrent activity conflicts (txn aborts).
+  kExpired,           ///< Promise or environment has expired (§2).
+  kViolated,          ///< An action violated an unreleased promise (§8).
+  kTimeout,           ///< Lock wait or transport wait exceeded budget.
+  kDeadlock,          ///< Lock manager detected a cycle (baseline only).
+  kUnavailable,       ///< Transport endpoint not reachable.
+  kInternal,          ///< Invariant breakage inside the library.
+  kUnimplemented,     ///< Feature intentionally absent.
+};
+
+/// Human-readable name of a StatusCode ("ok", "not-found", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value-semantic success/failure result carrying a code and message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status Expired(std::string msg) {
+    return Status(StatusCode::kExpired, std::move(msg));
+  }
+  static Status Violated(std::string msg) {
+    return Status(StatusCode::kViolated, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsConflict() const { return code_ == StatusCode::kConflict; }
+  bool IsExpired() const { return code_ == StatusCode::kExpired; }
+  bool IsViolated() const { return code_ == StatusCode::kViolated; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
+
+  /// "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A Status or a value of type T.
+///
+/// Accessing the value of a non-OK Result is a programming error and
+/// asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(data_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this Result holds an error.
+  T value_or(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK Status from an expression.
+#define PROMISES_RETURN_IF_ERROR(expr)            \
+  do {                                            \
+    ::promises::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+/// Evaluates a Result<T> expression and either assigns its value to
+/// `lhs` or returns its error Status.
+#define PROMISES_ASSIGN_OR_RETURN(lhs, rexpr)     \
+  PROMISES_ASSIGN_OR_RETURN_IMPL_(                \
+      PROMISES_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define PROMISES_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                    \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).value()
+
+#define PROMISES_CONCAT_(a, b) PROMISES_CONCAT_IMPL_(a, b)
+#define PROMISES_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace promises
+
+#endif  // PROMISES_COMMON_STATUS_H_

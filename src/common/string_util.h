@@ -1,0 +1,40 @@
+// Small string helpers shared by the predicate parser, the XML layer
+// and report formatting.
+
+#ifndef PROMISES_COMMON_STRING_UTIL_H_
+#define PROMISES_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace promises {
+
+/// Splits `input` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view input, char sep);
+
+/// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// True when `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Parses a signed decimal integer; rejects trailing garbage.
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// Parses a decimal floating-point number; rejects trailing garbage.
+Result<double> ParseDouble(std::string_view s);
+
+/// Escapes &, <, >, ", ' for inclusion in XML text or attributes.
+std::string XmlEscape(std::string_view s);
+
+}  // namespace promises
+
+#endif  // PROMISES_COMMON_STRING_UTIL_H_

@@ -1,0 +1,107 @@
+#include "contract/compatibility.h"
+
+#include <deque>
+
+namespace promises {
+
+std::string CompatibilityIssue::ToString() const {
+  std::string kind_name;
+  switch (kind) {
+    case Kind::kUnspecifiedReception:
+      kind_name = "unspecified-reception";
+      break;
+    case Kind::kDeadlock:
+      kind_name = "deadlock";
+      break;
+    case Kind::kInconsistentOutcome:
+      kind_name = "inconsistent-outcome";
+      break;
+  }
+  return kind_name + " at (" + state_a + ", " + state_b + "): " + detail;
+}
+
+Result<CompatibilityReport> CheckCompatibility(
+    const Contract& a, const Contract& b,
+    const std::set<std::pair<std::string, std::string>>&
+        consistent_outcomes) {
+  PROMISES_RETURN_IF_ERROR(a.Validate());
+  PROMISES_RETURN_IF_ERROR(b.Validate());
+
+  CompatibilityReport report;
+  using ProductState = std::pair<std::string, std::string>;
+  std::set<ProductState> seen;
+  std::deque<ProductState> frontier;
+  ProductState start{a.initial(), b.initial()};
+  seen.insert(start);
+  frontier.push_back(start);
+
+  while (!frontier.empty()) {
+    auto [sa, sb] = frontier.front();
+    frontier.pop_front();
+    ++report.explored_states;
+
+    bool a_terminal = a.IsTerminal(sa);
+    bool b_terminal = b.IsTerminal(sb);
+    if (a_terminal && b_terminal) {
+      auto pair = std::make_pair(a.OutcomeOf(sa), b.OutcomeOf(sb));
+      report.final_outcomes.insert(pair);
+      if (!consistent_outcomes.count(pair)) {
+        report.issues.push_back(CompatibilityIssue{
+            CompatibilityIssue::Kind::kInconsistentOutcome, sa, sb,
+            "outcomes ('" + pair.first + "', '" + pair.second +
+                "') are not consistent"});
+      }
+      continue;
+    }
+
+    // Joint steps: a sends m, b receives m — and symmetrically.
+    std::vector<ProductState> successors;
+    auto try_pair = [&](const Contract& sender, const std::string& s_state,
+                        const Contract& receiver,
+                        const std::string& r_state, bool a_is_sender) {
+      for (const Contract::Transition& send :
+           sender.TransitionsFrom(s_state)) {
+        if (send.dir != MessageDir::kSend) continue;
+        bool matched = false;
+        for (const Contract::Transition& recv :
+             receiver.TransitionsFrom(r_state)) {
+          if (recv.dir == MessageDir::kReceive &&
+              recv.message == send.message) {
+            matched = true;
+            successors.push_back(a_is_sender
+                                     ? ProductState{send.to, recv.to}
+                                     : ProductState{recv.to, send.to});
+          }
+        }
+        if (!matched) {
+          report.issues.push_back(CompatibilityIssue{
+              CompatibilityIssue::Kind::kUnspecifiedReception, sa, sb,
+              (a_is_sender ? a.name() : b.name()) + " sends '" +
+                  send.message + "' which " +
+                  (a_is_sender ? b.name() : a.name()) +
+                  " cannot receive here"});
+        }
+      }
+    };
+    try_pair(a, sa, b, sb, /*a_is_sender=*/true);
+    try_pair(b, sb, a, sa, /*a_is_sender=*/false);
+
+    if (successors.empty()) {
+      // No joint step and not both terminal: somebody is stuck.
+      report.issues.push_back(CompatibilityIssue{
+          CompatibilityIssue::Kind::kDeadlock, sa, sb,
+          a_terminal ? (b.name() + " cannot proceed and is not terminal")
+          : b_terminal
+              ? (a.name() + " cannot proceed and is not terminal")
+              : "no matching send/receive pair; both sides wait"});
+    }
+    for (const ProductState& next : successors) {
+      if (seen.insert(next).second) frontier.push_back(next);
+    }
+  }
+
+  report.compatible = report.issues.empty();
+  return report;
+}
+
+}  // namespace promises

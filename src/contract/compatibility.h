@@ -1,0 +1,60 @@
+// Contract compatibility checking (§1 / [4]).
+//
+// Explores the synchronous product of two contracts. In a product
+// state (a, b):
+//   * a joint step exists for message m when one side sends m and the
+//     other receives m;
+//   * an UNSPECIFIED RECEPTION is a send with no matching receive on
+//     the peer — the message would arrive in a state that cannot
+//     handle it (the merchant-gets-payment-without-stock class of bug
+//     the paper's methodology forces programmers to code for);
+//   * a DEADLOCK is a reachable non-terminal product state with no
+//     joint step (each side waits for the other);
+//   * an INCONSISTENT OUTCOME is a reachable terminal pair whose
+//     outcome labels are not in the caller-approved set — e.g.
+//     (customer: "paid", merchant: "cancelled").
+//
+// The interaction is compatible iff none of these occur; the report
+// lists each violation with the product state where it happens.
+
+#ifndef PROMISES_CONTRACT_COMPATIBILITY_H_
+#define PROMISES_CONTRACT_COMPATIBILITY_H_
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "contract/contract.h"
+
+namespace promises {
+
+struct CompatibilityIssue {
+  enum class Kind { kUnspecifiedReception, kDeadlock, kInconsistentOutcome };
+  Kind kind;
+  std::string state_a;
+  std::string state_b;
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+struct CompatibilityReport {
+  bool compatible = false;
+  std::vector<CompatibilityIssue> issues;
+  /// Reachable terminal outcome pairs (a-outcome, b-outcome).
+  std::set<std::pair<std::string, std::string>> final_outcomes;
+  size_t explored_states = 0;
+};
+
+/// Checks `a` against `b`. `consistent_outcomes` lists the terminal
+/// outcome pairs considered consistent; every other reachable terminal
+/// pair is reported.
+Result<CompatibilityReport> CheckCompatibility(
+    const Contract& a, const Contract& b,
+    const std::set<std::pair<std::string, std::string>>&
+        consistent_outcomes);
+
+}  // namespace promises
+
+#endif  // PROMISES_CONTRACT_COMPATIBILITY_H_

@@ -1,0 +1,79 @@
+#include "contract/contract.h"
+
+namespace promises {
+
+std::string_view MessageDirToString(MessageDir d) {
+  return d == MessageDir::kSend ? "!" : "?";
+}
+
+Status Contract::AddState(const std::string& state, std::string outcome) {
+  if (states_.count(state)) {
+    return Status::AlreadyExists("state '" + state + "' exists in contract '" +
+                                 name_ + "'");
+  }
+  if (initial_.empty()) initial_ = state;
+  order_.push_back(state);
+  states_[state] = std::move(outcome);
+  return Status::OK();
+}
+
+Status Contract::AddTransition(const std::string& from, MessageDir dir,
+                               const std::string& message,
+                               const std::string& to) {
+  if (!states_.count(from)) {
+    return Status::NotFound("state '" + from + "' not in contract '" + name_ +
+                            "'");
+  }
+  if (!states_.count(to)) {
+    return Status::NotFound("state '" + to + "' not in contract '" + name_ +
+                            "'");
+  }
+  transitions_[from].push_back(Transition{dir, message, to});
+  return Status::OK();
+}
+
+Status Contract::Validate() const {
+  if (states_.empty()) {
+    return Status::FailedPrecondition("contract '" + name_ + "' is empty");
+  }
+  for (const auto& [state, outcome] : states_) {
+    if (!outcome.empty() && !TransitionsFrom(state).empty()) {
+      return Status::FailedPrecondition(
+          "terminal state '" + state + "' of '" + name_ +
+          "' has outgoing transitions");
+    }
+  }
+  // Reachability sweep.
+  std::set<std::string> seen{initial_};
+  std::vector<std::string> stack{initial_};
+  while (!stack.empty()) {
+    std::string s = stack.back();
+    stack.pop_back();
+    for (const Transition& t : TransitionsFrom(s)) {
+      if (seen.insert(t.to).second) stack.push_back(t.to);
+    }
+  }
+  for (const auto& [state, outcome] : states_) {
+    (void)outcome;
+    if (!seen.count(state)) {
+      return Status::FailedPrecondition("state '" + state + "' of '" + name_ +
+                                        "' is unreachable");
+    }
+  }
+  return Status::OK();
+}
+
+const std::string& Contract::OutcomeOf(const std::string& state) const {
+  static const std::string kEmpty;
+  auto it = states_.find(state);
+  return it == states_.end() ? kEmpty : it->second;
+}
+
+const std::vector<Contract::Transition>& Contract::TransitionsFrom(
+    const std::string& state) const {
+  static const std::vector<Transition> kNone;
+  auto it = transitions_.find(state);
+  return it == transitions_.end() ? kNone : it->second;
+}
+
+}  // namespace promises

@@ -1,0 +1,87 @@
+// Service behavioural contracts (§1, the authors' earlier consistency
+// work [4]).
+//
+// "The key to this work was establishing a relationship between
+// internal service states, messages and application-level protocols.
+// This insight let us transform the problem of ensuring consistent
+// outcomes into a protocol problem... We then developed tools that
+// could test whether the contracts defining the behaviour of two
+// services were compatible and that their interactions would never
+// lead to an inconsistent outcome."
+//
+// A Contract is a finite state machine whose transitions send or
+// receive named messages. Terminal states carry an outcome label
+// ("paid", "cancelled", ...). Two contracts interact by synchronous
+// message exchange: one side's send pairs with the other side's
+// receive of the same message.
+
+#ifndef PROMISES_CONTRACT_CONTRACT_H_
+#define PROMISES_CONTRACT_CONTRACT_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace promises {
+
+enum class MessageDir { kSend, kReceive };
+
+std::string_view MessageDirToString(MessageDir d);
+
+/// One behavioural contract (communicating FSM).
+class Contract {
+ public:
+  explicit Contract(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds a state. The first state added is the initial state.
+  /// Terminal states carry a non-empty `outcome` label and must have
+  /// no outgoing transitions (checked by Validate).
+  Status AddState(const std::string& state, std::string outcome = "");
+
+  /// Adds a transition: in `from`, the service sends/receives
+  /// `message` and moves to `to`.
+  Status AddTransition(const std::string& from, MessageDir dir,
+                       const std::string& message, const std::string& to);
+
+  /// Structural checks: nonempty, all endpoints exist, terminals have
+  /// no outgoing transitions, every state reachable from the initial.
+  Status Validate() const;
+
+  const std::string& initial() const { return initial_; }
+  bool HasState(const std::string& state) const {
+    return states_.count(state) > 0;
+  }
+  /// Outcome label, empty for non-terminal states.
+  const std::string& OutcomeOf(const std::string& state) const;
+  bool IsTerminal(const std::string& state) const {
+    return !OutcomeOf(state).empty();
+  }
+
+  struct Transition {
+    MessageDir dir;
+    std::string message;
+    std::string to;
+  };
+  /// Outgoing transitions of `state` (empty for unknown states).
+  const std::vector<Transition>& TransitionsFrom(
+      const std::string& state) const;
+
+  /// All states in insertion order.
+  const std::vector<std::string>& states() const { return order_; }
+
+ private:
+  std::string name_;
+  std::string initial_;
+  std::vector<std::string> order_;
+  std::map<std::string, std::string> states_;  // state -> outcome ("" = mid)
+  std::map<std::string, std::vector<Transition>> transitions_;
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_CONTRACT_CONTRACT_H_

@@ -1,0 +1,57 @@
+#include "contract/monitor.h"
+
+namespace promises {
+
+Status ConformanceMonitor::Observe(MessageDir dir,
+                                   const std::string& message) {
+  const Contract::Transition* chosen = nullptr;
+  for (const Contract::Transition& t : contract_->TransitionsFrom(state_)) {
+    if (t.dir != dir || t.message != message) continue;
+    if (chosen != nullptr) {
+      return Status::FailedPrecondition(
+          "contract '" + contract_->name() + "' is ambiguous in state '" +
+          state_ + "' for " + std::string(MessageDirToString(dir)) + message);
+    }
+    chosen = &t;
+  }
+  if (chosen == nullptr) {
+    return Status::FailedPrecondition(
+        "conformance violation: contract '" + contract_->name() +
+        "' in state '" + state_ + "' does not allow " +
+        std::string(MessageDirToString(dir)) + message);
+  }
+  state_ = chosen->to;
+  trace_.push_back(std::string(MessageDirToString(dir)) + message);
+  return Status::OK();
+}
+
+void ConformanceMonitor::Reset() {
+  state_ = contract_->initial();
+  trace_.clear();
+}
+
+Status ConformanceMonitor::CheckTermination(
+    const ConformanceMonitor& a, const ConformanceMonitor& b,
+    const std::set<std::pair<std::string, std::string>>&
+        consistent_outcomes) {
+  if (!a.AtTerminal()) {
+    return Status::FailedPrecondition("participant '" +
+                                      a.contract_->name() +
+                                      "' has not terminated (state '" +
+                                      a.state_ + "')");
+  }
+  if (!b.AtTerminal()) {
+    return Status::FailedPrecondition("participant '" +
+                                      b.contract_->name() +
+                                      "' has not terminated (state '" +
+                                      b.state_ + "')");
+  }
+  auto pair = std::make_pair(a.outcome(), b.outcome());
+  if (!consistent_outcomes.count(pair)) {
+    return Status::Violated("inconsistent termination: ('" + pair.first +
+                            "', '" + pair.second + "')");
+  }
+  return Status::OK();
+}
+
+}  // namespace promises

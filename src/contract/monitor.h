@@ -1,0 +1,64 @@
+// Runtime conformance monitoring (§1 / [4]).
+//
+// "The same message-based definitions of correctness and consistency
+// were also used as the basis for a protocol for dynamically checking
+// for consistency failures at the termination of service-based
+// applications, without requiring an overall coordinator or a global
+// view of the entire application."
+//
+// A ConformanceMonitor tracks one participant's contract state as
+// messages are observed, rejecting events the contract does not allow;
+// at termination, participants compare outcome labels pairwise.
+
+#ifndef PROMISES_CONTRACT_MONITOR_H_
+#define PROMISES_CONTRACT_MONITOR_H_
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "contract/contract.h"
+
+namespace promises {
+
+class ConformanceMonitor {
+ public:
+  /// `contract` must outlive the monitor and must be deterministic in
+  /// (direction, message) per state — checked on first use of an
+  /// ambiguous pair.
+  explicit ConformanceMonitor(const Contract* contract)
+      : contract_(contract), state_(contract->initial()) {}
+
+  /// Observes one message event for this participant. Fails with
+  /// kFailedPrecondition when the contract does not allow it (a
+  /// conformance violation); the state is left unchanged so the caller
+  /// can decide how to recover.
+  Status Observe(MessageDir dir, const std::string& message);
+
+  const std::string& state() const { return state_; }
+  bool AtTerminal() const { return contract_->IsTerminal(state_); }
+  /// Outcome label ("" while non-terminal).
+  const std::string& outcome() const { return contract_->OutcomeOf(state_); }
+  const std::vector<std::string>& trace() const { return trace_; }
+
+  /// Resets to the contract's initial state (new conversation).
+  void Reset();
+
+  /// The paper's decentralized termination check, pairwise form: both
+  /// participants must be terminal and their outcome pair must be in
+  /// the agreed consistent set.
+  static Status CheckTermination(
+      const ConformanceMonitor& a, const ConformanceMonitor& b,
+      const std::set<std::pair<std::string, std::string>>&
+          consistent_outcomes);
+
+ private:
+  const Contract* contract_;
+  std::string state_;
+  std::vector<std::string> trace_;  // "!msg" / "?msg" events
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_CONTRACT_MONITOR_H_

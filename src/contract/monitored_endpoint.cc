@@ -1,0 +1,44 @@
+#include "contract/monitored_endpoint.h"
+
+namespace promises {
+
+std::string ClassifyEnvelope(const Envelope& envelope) {
+  // Precedence: promise headers identify the exchange step; plain
+  // action/result envelopes classify by their body.
+  if (envelope.promise_request) return "promise-request";
+  if (envelope.promise_response) {
+    return envelope.promise_response->result == PromiseResultCode::kAccepted
+               ? "promise-accepted"
+               : "promise-rejected";
+  }
+  if (envelope.release) return "release";
+  if (envelope.action) return "action";
+  if (envelope.action_result) {
+    return envelope.action_result->ok ? "action-result" : "action-failed";
+  }
+  return "empty";
+}
+
+EndpointHandler MonitoredEndpoint::Handler() {
+  return [this](const Envelope& request) -> Result<Envelope> {
+    std::string inbound = ClassifyEnvelope(request);
+    Status in_ok = monitor_.Observe(MessageDir::kReceive, inbound);
+    if (!in_ok.ok()) {
+      ++violations_;
+      if (on_violation_) on_violation_(in_ok.ToString());
+      if (enforce_) return in_ok;
+    }
+    Result<Envelope> reply = inner_(request);
+    if (!reply.ok()) return reply;
+    std::string outbound = ClassifyEnvelope(*reply);
+    Status out_ok = monitor_.Observe(MessageDir::kSend, outbound);
+    if (!out_ok.ok()) {
+      ++violations_;
+      if (on_violation_) on_violation_(out_ok.ToString());
+      // Replies are never suppressed: the exchange already happened.
+    }
+    return reply;
+  };
+}
+
+}  // namespace promises

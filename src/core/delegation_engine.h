@@ -1,0 +1,76 @@
+// §5 'Delegation' engine — promises backed by third-party promises.
+//
+// "Promises are made that rely on the promises of third parties. For
+// example, a purchase order can be accepted by the merchant if it has
+// received a promise from the distributor that a backorder will be
+// fulfilled on time. In this scenario, the promise is delegated from
+// the merchant to the merchant's supplier."
+//
+// Reserve forwards a <promise-request> for the delegated predicate to
+// the upstream promise maker over the transport and records the local
+// promise -> upstream promise mapping. Because the local ACID
+// transaction must not span external messaging (§8), a rollback of the
+// enclosing operation compensates by sending an upstream <release>
+// rather than by undoing the remote grant in place.
+
+#ifndef PROMISES_CORE_DELEGATION_ENGINE_H_
+#define PROMISES_CORE_DELEGATION_ENGINE_H_
+
+#include <map>
+#include <string>
+
+#include "core/engine.h"
+#include "protocol/transport.h"
+
+namespace promises {
+
+class DelegationEngine : public ResourceEngine {
+ public:
+  /// `upstream` is the transport endpoint name of the third-party
+  /// promise maker; `self` identifies this manager as a client of it.
+  DelegationEngine(std::string resource_class, EngineContext ctx,
+                   Transport* transport, std::string upstream,
+                   std::string self)
+      : cls_(std::move(resource_class)),
+        ctx_(ctx),
+        transport_(transport),
+        upstream_(std::move(upstream)),
+        self_(std::move(self)) {}
+
+  Technique technique() const override { return Technique::kDelegated; }
+  const std::string& resource_class() const override { return cls_; }
+
+  Status Reserve(Transaction* txn, const PromiseRecord& record,
+                 const Predicate& pred) override;
+  Status Unreserve(Transaction* txn, PromiseId id,
+                   const Predicate& pred) override;
+  Status VerifyConsistent(Transaction* txn, Timestamp now) override;
+  Result<std::string> ResolveInstance(Transaction* txn, PromiseId id,
+                                      const Predicate& pred,
+                                      int64_t already_taken) override;
+
+  /// Upstream promise id backing local promise `id`, for forwarding
+  /// actions that consume the delegated resource.
+  Result<PromiseId> UpstreamPromise(PromiseId id) const;
+
+  const std::string& upstream_endpoint() const { return upstream_; }
+
+ private:
+  using AssignKey = std::pair<PromiseId, std::string>;
+
+  /// Fire-and-forget upstream release used for both normal release and
+  /// rollback compensation.
+  void SendUpstreamRelease(PromiseId upstream_id);
+
+  std::string cls_;
+  EngineContext ctx_;
+  Transport* transport_;
+  std::string upstream_;
+  std::string self_;
+  IdGenerator<RequestId> request_ids_;
+  std::map<AssignKey, PromiseId> upstream_of_;
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_CORE_DELEGATION_ENGINE_H_

@@ -1,0 +1,36 @@
+#include "core/engine.h"
+
+namespace promises {
+
+std::string_view TechniqueToString(Technique t) {
+  switch (t) {
+    case Technique::kSatisfiability: return "satisfiability";
+    case Technique::kResourcePool: return "resource-pool";
+    case Technique::kAllocatedTags: return "allocated-tags";
+    case Technique::kTentative: return "tentative";
+    case Technique::kDelegated: return "delegated";
+  }
+  return "unknown";
+}
+
+TechniquePolicy TechniquePolicy::Heuristic() {
+  TechniquePolicy p;
+  p.mode_ = DefaultMode::kHeuristic;
+  return p;
+}
+
+TechniquePolicy TechniquePolicy::SatisfiabilityEverywhere() {
+  TechniquePolicy p;
+  p.mode_ = DefaultMode::kSatisfiability;
+  return p;
+}
+
+Technique TechniquePolicy::For(const std::string& resource_class,
+                               bool is_pool) const {
+  auto it = overrides_.find(resource_class);
+  if (it != overrides_.end()) return it->second;
+  if (mode_ == DefaultMode::kSatisfiability) return Technique::kSatisfiability;
+  return is_pool ? Technique::kResourcePool : Technique::kTentative;
+}
+
+}  // namespace promises

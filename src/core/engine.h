@@ -1,0 +1,177 @@
+// Pluggable promise-checking engines (§5 implementation techniques).
+//
+// "The Promises model places no limitations on ... the way that promise
+// managers should implement these predicates to guarantee that they
+// hold ... promise managers and resource managers are free to implement
+// what ever form of constraint checking or isolation mechanism is best
+// for the type of resource being protected."
+//
+// One engine instance guards one resource class. The promise manager
+// routes each predicate to its class's engine:
+//
+//   kSatisfiability  §5 'Satisfiability Check' — stateless; re-checks
+//                    the promise table against resource state (the
+//                    prototype's mechanism, §8). Property views use
+//                    bipartite matching.
+//   kResourcePool    §5 'Resource Pool' — escrow-style O(1) reserved
+//                    counter for anonymous pools (cf. O'Neil [8]).
+//   kAllocatedTags   §5 'Allocated Tags' — eager soft-lock marking of
+//                    chosen instances ('available'->'promised').
+//   kTentative       §5 'Tentative allocation' — tags plus reallocation
+//                    of tentative choices via augmenting paths.
+//   kDelegated       §5 'Delegation' — promises backed by promises from
+//                    a third-party promise maker.
+//
+// All engine mutations run inside the operation's local ACID
+// transaction (§8) and must register undo closures so a violated or
+// failed operation rolls back completely.
+
+#ifndef PROMISES_CORE_ENGINE_H_
+#define PROMISES_CORE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "core/promise.h"
+#include "core/promise_table.h"
+#include "predicate/ast.h"
+#include "resource/resource_manager.h"
+#include "txn/transaction.h"
+
+namespace promises {
+
+enum class Technique {
+  kSatisfiability,
+  kResourcePool,
+  kAllocatedTags,
+  kTentative,
+  kDelegated,
+};
+
+std::string_view TechniqueToString(Technique t);
+
+/// Everything an engine may consult while checking.
+struct EngineContext {
+  ResourceManager* rm = nullptr;
+  const PromiseTable* table = nullptr;
+  const Clock* clock = nullptr;
+};
+
+/// Guards one resource class with one §5 technique.
+class ResourceEngine {
+ public:
+  virtual ~ResourceEngine() = default;
+
+  virtual Technique technique() const = 0;
+  virtual const std::string& resource_class() const = 0;
+
+  /// Attempts to secure `pred` for promise `record`. Called after the
+  /// record is (tentatively) in the promise table. Returns
+  /// kFailedPrecondition with a reason when the guarantee cannot be
+  /// given; any state changes must be undoable through `txn`.
+  virtual Status Reserve(Transaction* txn, const PromiseRecord& record,
+                         const Predicate& pred) = 0;
+
+  /// Releases the reservation `pred` of promise `id` (explicit release,
+  /// expiry, or atomic-update handback). Must be undoable via `txn`.
+  virtual Status Unreserve(Transaction* txn, PromiseId id,
+                           const Predicate& pred) = 0;
+
+  /// Post-action / post-grant verification (§8 promise checking): every
+  /// promise active at `now` on this class must still be satisfiable
+  /// from current resource state. Returns kViolated when not.
+  virtual Status VerifyConsistent(Transaction* txn, Timestamp now) = 0;
+
+  /// Which instance may the holder of `id` consume next under `pred`?
+  /// `already_taken` instances were consumed under this predicate
+  /// earlier in the same action. Pool engines return kUnimplemented.
+  virtual Result<std::string> ResolveInstance(Transaction* txn, PromiseId id,
+                                              const Predicate& pred,
+                                              int64_t already_taken) = 0;
+
+  /// Resolves AND consumes the next instance backing `pred` of promise
+  /// `id`: the instance is marked 'taken' and its id returned. The
+  /// default implementation takes in this engine's own class;
+  /// federated engines override to take in the owning member class
+  /// (returning a "member/instance" qualified id).
+  virtual Result<std::string> TakeInstance(Transaction* txn, PromiseId id,
+                                           const Predicate& pred,
+                                           int64_t already_taken,
+                                           ResourceManager* rm) {
+    PROMISES_ASSIGN_OR_RETURN(
+        std::string instance, ResolveInstance(txn, id, pred, already_taken));
+    PROMISES_RETURN_IF_ERROR(rm->SetInstanceStatus(
+        txn, resource_class(), instance, InstanceStatus::kTaken));
+    return instance;
+  }
+
+  /// Largest amount a fresh quantity promise on this class could be
+  /// granted right now (§6's "accepted with the condition XX" /
+  /// counter-offer support). Engines without quantity semantics return
+  /// kUnimplemented.
+  virtual Result<int64_t> QuantityHeadroom(Transaction* txn, Timestamp now) {
+    (void)txn;
+    (void)now;
+    return Status::Unimplemented("engine has no quantity headroom");
+  }
+
+  /// Largest `count` for which a fresh property promise with `pred`'s
+  /// expression could be granted right now (counter-offer support for
+  /// §3.3 property views). Engines without instance semantics return
+  /// kUnimplemented.
+  virtual Result<int64_t> CountHeadroom(Transaction* txn, Timestamp now,
+                                        const Predicate& pred) {
+    (void)txn;
+    (void)now;
+    (void)pred;
+    return Status::Unimplemented("engine has no count headroom");
+  }
+
+  /// Records that the holder of `id` consumed `amount` units of this
+  /// class under `pred` (quantity predicates only). Escrow-style
+  /// engines draw the consumption down from the reservation so that a
+  /// partially-consumed promise no longer demands the consumed units
+  /// (§5 resource pool: sold goods leave the 'allocated' pool). Default
+  /// no-op for engines without quantity state.
+  virtual Status NoteConsumed(Transaction* txn, PromiseId id,
+                              const Predicate& pred, int64_t amount) {
+    (void)txn;
+    (void)id;
+    (void)pred;
+    (void)amount;
+    return Status::OK();
+  }
+};
+
+/// Chooses the §5 technique per resource class ("simple heuristics to
+/// choose an appropriate implementation technique for each class of
+/// resources" — §10 future work, implemented here as explicit policy
+/// with a heuristic default).
+class TechniquePolicy {
+ public:
+  /// Default technique when no override exists: kResourcePool for pool
+  /// classes (O(1) escrow counters fit count-only state), kTentative
+  /// for instance classes (best grant rate at modest cost).
+  static TechniquePolicy Heuristic();
+
+  /// The prototype configuration: satisfiability checking everywhere.
+  static TechniquePolicy SatisfiabilityEverywhere();
+
+  void Set(const std::string& resource_class, Technique t) {
+    overrides_[resource_class] = t;
+  }
+
+  Technique For(const std::string& resource_class, bool is_pool) const;
+
+ private:
+  enum class DefaultMode { kHeuristic, kSatisfiability };
+  DefaultMode mode_ = DefaultMode::kHeuristic;
+  std::map<std::string, Technique> overrides_;
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_CORE_ENGINE_H_

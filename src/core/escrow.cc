@@ -1,0 +1,72 @@
+#include "core/escrow.h"
+
+#include <algorithm>
+
+namespace promises {
+
+namespace {
+// Only a decrement can drain; only an increment can grow. Uncommitted
+// effects in the other direction count as zero.
+int64_t DrainPart(int64_t min_delta) { return std::min<int64_t>(0, min_delta); }
+int64_t GrowPart(int64_t max_delta) { return std::max<int64_t>(0, max_delta); }
+}  // namespace
+
+EscrowAccount::EscrowAccount(int64_t initial, int64_t floor, int64_t ceiling)
+    : value_(initial), floor_(floor), ceiling_(ceiling) {}
+
+Result<EscrowOpId> EscrowAccount::Begin(int64_t min_delta,
+                                        int64_t max_delta) {
+  if (min_delta > max_delta) {
+    return Status::InvalidArgument("min_delta exceeds max_delta");
+  }
+  int64_t low = value_ + inflight_min_ + DrainPart(min_delta);
+  int64_t high = value_ + inflight_max_ + GrowPart(max_delta);
+  if (low < floor_) {
+    return Status::FailedPrecondition(
+        "escrow: worst-case value " + std::to_string(low) +
+        " would breach floor " + std::to_string(floor_));
+  }
+  if (high > ceiling_) {
+    return Status::FailedPrecondition(
+        "escrow: worst-case value " + std::to_string(high) +
+        " would breach ceiling " + std::to_string(ceiling_));
+  }
+  EscrowOpId id = next_op_++;
+  ops_[id] = Op{min_delta, max_delta};
+  inflight_min_ += DrainPart(min_delta);
+  inflight_max_ += GrowPart(max_delta);
+  return id;
+}
+
+Status EscrowAccount::Commit(EscrowOpId op, int64_t delta) {
+  auto it = ops_.find(op);
+  if (it == ops_.end()) {
+    return Status::NotFound("escrow op " + std::to_string(op) +
+                            " not in flight");
+  }
+  if (delta < it->second.min_delta || delta > it->second.max_delta) {
+    return Status::InvalidArgument(
+        "escrow: actual delta " + std::to_string(delta) +
+        " outside declared [" + std::to_string(it->second.min_delta) + ", " +
+        std::to_string(it->second.max_delta) + "]");
+  }
+  inflight_min_ -= DrainPart(it->second.min_delta);
+  inflight_max_ -= GrowPart(it->second.max_delta);
+  ops_.erase(it);
+  value_ += delta;
+  return Status::OK();
+}
+
+Status EscrowAccount::Abort(EscrowOpId op) {
+  auto it = ops_.find(op);
+  if (it == ops_.end()) {
+    return Status::NotFound("escrow op " + std::to_string(op) +
+                            " not in flight");
+  }
+  inflight_min_ -= DrainPart(it->second.min_delta);
+  inflight_max_ -= GrowPart(it->second.max_delta);
+  ops_.erase(it);
+  return Status::OK();
+}
+
+}  // namespace promises

@@ -1,0 +1,87 @@
+// Escrow transactional method (O'Neil [8]), the §9 related-work
+// mechanism the resource-pool engine descends from.
+//
+// "escrow locking [8] deals with numeric data under operations that add
+// or subtract, by recording high and low limits for the possible
+// values."
+//
+// An EscrowAccount tracks a committed value plus a set of in-flight
+// operations, each declaring the interval [min_delta, max_delta] its
+// eventual effect will fall into. A new operation is admitted iff the
+// account's value stays within its configured bounds under EVERY
+// possible outcome of every in-flight operation. Admission is O(1)
+// against running worst-case aggregates.
+//
+// This standalone ledger both documents the lineage of the pool engine
+// and provides the uncertain-effect generalisation the pool engine does
+// not need (promise amounts are exact; escrow deltas are intervals).
+
+#ifndef PROMISES_CORE_ESCROW_H_
+#define PROMISES_CORE_ESCROW_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace promises {
+
+/// Identifies one in-flight escrow operation.
+using EscrowOpId = uint64_t;
+
+class EscrowAccount {
+ public:
+  /// The account value must stay within [floor, ceiling] at all times.
+  EscrowAccount(int64_t initial, int64_t floor, int64_t ceiling);
+
+  /// Admits an operation whose final effect will lie in
+  /// [min_delta, max_delta] (min_delta <= max_delta required). Returns
+  /// the operation id, or kFailedPrecondition when some outcome
+  /// combination could breach the bounds.
+  ///
+  /// Uncommitted increments are never credited to later admissions
+  /// (an op promising to ADD at least 10 still counts as adding 0
+  /// until it commits) — otherwise aborting it could strand an
+  /// admission that spent the phantom credit. This is O'Neil's
+  /// conservative reading: only committed funds are spendable.
+  Result<EscrowOpId> Begin(int64_t min_delta, int64_t max_delta);
+
+  /// Commits an operation with its actual effect `delta`, which must
+  /// lie inside the interval declared at Begin.
+  Status Commit(EscrowOpId op, int64_t delta);
+
+  /// Aborts an operation: its interval is simply forgotten.
+  Status Abort(EscrowOpId op);
+
+  /// Committed value (excludes in-flight effects).
+  int64_t value() const { return value_; }
+  /// Guaranteed lower/upper bound on the value however the in-flight
+  /// operations resolve.
+  int64_t WorstCaseLow() const { return value_ + inflight_min_; }
+  int64_t WorstCaseHigh() const { return value_ + inflight_max_; }
+  size_t inflight() const { return ops_.size(); }
+
+  int64_t floor() const { return floor_; }
+  int64_t ceiling() const { return ceiling_; }
+
+ private:
+  struct Op {
+    int64_t min_delta;
+    int64_t max_delta;
+  };
+
+  int64_t value_;
+  int64_t floor_;
+  int64_t ceiling_;
+  // Sum of min(0, min_delta) / max(0, max_delta) over in-flight ops:
+  // guaranteed-possible drain and guaranteed-possible growth.
+  int64_t inflight_min_ = 0;
+  int64_t inflight_max_ = 0;
+  EscrowOpId next_op_ = 1;
+  std::map<EscrowOpId, Op> ops_;
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_CORE_ESCROW_H_

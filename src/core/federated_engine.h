@@ -1,0 +1,83 @@
+// §3.3 polymorphic federation across providers.
+//
+// "A hotel booking service could aggregate availability information
+// from a number of providers, each with their own schemas for
+// describing available rooms. A single predicate could be used to
+// obtain a promise from any of these providers, as long as they all
+// exported the set of properties required by the predicate."
+//
+// A FederatedEngine guards a *virtual* resource class whose population
+// is the union of several concrete member classes. A property
+// predicate over the virtual class may be backed by instances of any
+// member whose schema exports every property the predicate uses
+// (Schema::Exports is the §3.3 polymorphism test). Allocation is
+// eager tag-style: chosen instances are marked 'promised' in their
+// member class, so federation composes soundly with any
+// status-marking engine guarding the members directly.
+
+#ifndef PROMISES_CORE_FEDERATED_ENGINE_H_
+#define PROMISES_CORE_FEDERATED_ENGINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace promises {
+
+class FederatedEngine : public ResourceEngine {
+ public:
+  FederatedEngine(std::string virtual_class, std::vector<std::string> members,
+                  EngineContext ctx)
+      : cls_(std::move(virtual_class)),
+        members_(std::move(members)),
+        ctx_(ctx) {}
+
+  Technique technique() const override { return Technique::kAllocatedTags; }
+  const std::string& resource_class() const override { return cls_; }
+
+  Status Reserve(Transaction* txn, const PromiseRecord& record,
+                 const Predicate& pred) override;
+  Status Unreserve(Transaction* txn, PromiseId id,
+                   const Predicate& pred) override;
+  Status VerifyConsistent(Transaction* txn, Timestamp now) override;
+  /// Returns the qualified id "member/instance" of the next backing
+  /// unit (without consuming it).
+  Result<std::string> ResolveInstance(Transaction* txn, PromiseId id,
+                                      const Predicate& pred,
+                                      int64_t already_taken) override;
+  /// Consumes the next backing unit IN ITS MEMBER CLASS and returns
+  /// the qualified "member/instance" id.
+  Result<std::string> TakeInstance(Transaction* txn, PromiseId id,
+                                   const Predicate& pred,
+                                   int64_t already_taken,
+                                   ResourceManager* rm) override;
+  Result<int64_t> CountHeadroom(Transaction* txn, Timestamp now,
+                                const Predicate& pred) override;
+
+  const std::vector<std::string>& members() const { return members_; }
+
+ private:
+  struct Assignment {
+    std::string member;
+    std::string instance;
+  };
+  using AssignKey = std::pair<PromiseId, std::string>;
+  static AssignKey KeyOf(PromiseId id, const Predicate& pred) {
+    return {id, pred.ToString()};
+  }
+
+  /// Member classes whose schema exports every property `pred` uses.
+  Result<std::vector<std::string>> EligibleMembers(const Predicate& pred);
+
+  std::string cls_;
+  std::vector<std::string> members_;
+  EngineContext ctx_;
+  // Serialized by the manager's operation lock; undo via transactions.
+  std::map<AssignKey, std::vector<Assignment>> assignments_;
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_CORE_FEDERATED_ENGINE_H_

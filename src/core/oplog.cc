@@ -1,0 +1,98 @@
+#include "core/oplog.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace promises {
+
+OperationLog::~OperationLog() { Close(); }
+
+Status OperationLog::Open(const std::string& path) {
+  Close();
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::Unavailable("cannot open log '" + path +
+                               "': " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+void OperationLog::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+uint32_t OperationLog::Checksum(const std::string& payload) {
+  uint32_t sum = 2166136261u;  // FNV-1a
+  for (unsigned char c : payload) {
+    sum ^= c;
+    sum *= 16777619u;
+  }
+  return sum;
+}
+
+Status OperationLog::Append(Timestamp timestamp,
+                            const std::string& payload) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("operation log is not open");
+  }
+  if (payload.find('\n') != std::string::npos) {
+    return Status::InvalidArgument("log payload must be single-line");
+  }
+  std::string line = std::to_string(payload.size()) + "|" +
+                     std::to_string(Checksum(payload)) + "|" +
+                     std::to_string(timestamp) + "|" + payload + "\n";
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    return Status::Unavailable("log append failed");
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::Unavailable("log flush failed");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<LogRecord>> OperationLog::ReadAll(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("no log at '" + path + "'");
+  }
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(f);
+
+  std::vector<LogRecord> records;
+  size_t pos = 0;
+  while (pos < contents.size()) {
+    size_t eol = contents.find('\n', pos);
+    if (eol == std::string::npos) break;  // torn tail: discard
+    std::string_view line(contents.data() + pos, eol - pos);
+    pos = eol + 1;
+
+    // <length>|<checksum>|<timestamp>|<payload>
+    size_t p1 = line.find('|');
+    size_t p2 = p1 == std::string_view::npos ? p1 : line.find('|', p1 + 1);
+    size_t p3 = p2 == std::string_view::npos ? p2 : line.find('|', p2 + 1);
+    if (p3 == std::string_view::npos) break;
+    Result<int64_t> length = ParseInt64(line.substr(0, p1));
+    Result<int64_t> checksum = ParseInt64(line.substr(p1 + 1, p2 - p1 - 1));
+    Result<int64_t> timestamp = ParseInt64(line.substr(p2 + 1, p3 - p2 - 1));
+    if (!length.ok() || !checksum.ok() || !timestamp.ok()) break;
+    std::string_view payload = line.substr(p3 + 1);
+    if (static_cast<int64_t>(payload.size()) != *length) break;
+    std::string body(payload);
+    if (Checksum(body) != static_cast<uint32_t>(*checksum)) break;
+    records.push_back(LogRecord{*timestamp, std::move(body)});
+  }
+  return records;
+}
+
+}  // namespace promises

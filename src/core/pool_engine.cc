@@ -1,0 +1,104 @@
+#include "core/pool_engine.h"
+
+#include <algorithm>
+
+namespace promises {
+
+Status ResourcePoolEngine::Reserve(Transaction* txn,
+                                   const PromiseRecord& record,
+                                   const Predicate& pred) {
+  if (pred.kind() != PredicateKind::kQuantity) {
+    return Status::InvalidArgument(
+        "resource-pool engine only supports quantity predicates");
+  }
+  PROMISES_ASSIGN_OR_RETURN(int64_t quantity, ctx_.rm->GetQuantity(txn, cls_));
+  int64_t amount = pred.amount();
+  if (reserved_ + amount > quantity) {
+    return Status::FailedPrecondition(
+        "pool '" + cls_ + "': " + std::to_string(reserved_) +
+        " already reserved of " + std::to_string(quantity) +
+        ", cannot reserve " + std::to_string(amount) + " more");
+  }
+  LedgerKey key = KeyOf(record.id, pred);
+  reserved_ += amount;
+  remaining_[key] += amount;
+  txn->PushUndo([this, key, amount] {
+    reserved_ -= amount;
+    auto it = remaining_.find(key);
+    if (it != remaining_.end()) {
+      it->second -= amount;
+      if (it->second == 0) remaining_.erase(it);
+    }
+  });
+  return Status::OK();
+}
+
+Status ResourcePoolEngine::Unreserve(Transaction* txn, PromiseId id,
+                                     const Predicate& pred) {
+  if (pred.kind() != PredicateKind::kQuantity) return Status::OK();
+  LedgerKey key = KeyOf(id, pred);
+  auto it = remaining_.find(key);
+  if (it == remaining_.end()) {
+    return Status::Internal("pool '" + cls_ + "': no reservation for " +
+                            id.ToString() + " / " + pred.ToString());
+  }
+  int64_t released = it->second;
+  reserved_ -= released;
+  remaining_.erase(it);
+  txn->PushUndo([this, key, released] {
+    reserved_ += released;
+    remaining_[key] = released;
+  });
+  return Status::OK();
+}
+
+Status ResourcePoolEngine::NoteConsumed(Transaction* txn, PromiseId id,
+                                        const Predicate& pred,
+                                        int64_t amount) {
+  if (pred.kind() != PredicateKind::kQuantity || amount <= 0) {
+    return Status::OK();
+  }
+  auto it = remaining_.find(KeyOf(id, pred));
+  if (it == remaining_.end()) return Status::OK();  // nothing in escrow
+  // Consumption beyond the reservation is unprotected; only the held
+  // part leaves escrow.
+  int64_t drawn = std::min(amount, it->second);
+  it->second -= drawn;
+  reserved_ -= drawn;
+  LedgerKey key = it->first;
+  txn->PushUndo([this, key, drawn] {
+    reserved_ += drawn;
+    remaining_[key] += drawn;
+  });
+  return Status::OK();
+}
+
+Result<int64_t> ResourcePoolEngine::QuantityHeadroom(Transaction* txn,
+                                                     Timestamp now) {
+  (void)now;
+  PROMISES_ASSIGN_OR_RETURN(int64_t quantity, ctx_.rm->GetQuantity(txn, cls_));
+  return std::max<int64_t>(0, quantity - reserved_);
+}
+
+Status ResourcePoolEngine::VerifyConsistent(Transaction* txn, Timestamp now) {
+  (void)now;  // Expiry is handled by the manager calling Unreserve.
+  PROMISES_ASSIGN_OR_RETURN(int64_t quantity, ctx_.rm->GetQuantity(txn, cls_));
+  if (reserved_ > quantity) {
+    return Status::Violated("pool '" + cls_ + "': " +
+                            std::to_string(reserved_) + " reserved but only " +
+                            std::to_string(quantity) + " on hand");
+  }
+  return Status::OK();
+}
+
+Result<std::string> ResourcePoolEngine::ResolveInstance(
+    Transaction* txn, PromiseId id, const Predicate& pred,
+    int64_t already_taken) {
+  (void)txn;
+  (void)id;
+  (void)pred;
+  (void)already_taken;
+  return Status::Unimplemented("pool resources have no instances");
+}
+
+}  // namespace promises

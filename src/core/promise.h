@@ -1,0 +1,47 @@
+// Promise records (§2).
+//
+// "A Promise is an agreement between a client application (a 'promise
+// client') and a service (a 'promise maker'). By accepting a promise
+// request, a service guarantees that some set of conditions
+// ('predicates') will be maintained over a set of resources for a
+// specified period of time."
+
+#ifndef PROMISES_CORE_PROMISE_H_
+#define PROMISES_CORE_PROMISE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "predicate/ast.h"
+
+namespace promises {
+
+enum class PromiseState {
+  kActive,    ///< Granted and unexpired; the manager upholds it.
+  kReleased,  ///< Explicitly released by the client.
+  kExpired,   ///< Duration elapsed (§2 'promise-expired').
+  kViolated,  ///< Broken by an external event the manager could not
+              ///< undo (§2: damaged stock, third-party default).
+};
+
+std::string_view PromiseStateToString(PromiseState s);
+
+/// One granted promise as stored in the promise table (§8).
+struct PromiseRecord {
+  PromiseId id;
+  ClientId owner;
+  std::vector<Predicate> predicates;
+  Timestamp granted_at = 0;
+  Timestamp expires_at = kTimestampMax;
+  PromiseState state = PromiseState::kActive;
+
+  bool ActiveAt(Timestamp now) const {
+    return state == PromiseState::kActive && now < expires_at;
+  }
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_CORE_PROMISE_H_

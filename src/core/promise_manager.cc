@@ -1,0 +1,1091 @@
+#include "core/promise_manager.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "core/delegation_engine.h"
+#include "core/federated_engine.h"
+#include "core/pool_engine.h"
+#include "core/satisfiability_engine.h"
+#include "core/tag_engine.h"
+#include "core/tentative_engine.h"
+#include "predicate/evaluator.h"
+
+namespace promises {
+
+PromiseManager::PromiseManager(PromiseManagerConfig config, Clock* clock,
+                               ResourceManager* rm, TransactionManager* tm,
+                               Transport* transport)
+    : config_(std::move(config)),
+      clock_(clock),
+      rm_(rm),
+      tm_(tm),
+      transport_(transport) {
+  if (transport_ != nullptr) {
+    transport_->Register(config_.name, [this](const Envelope& request) {
+      return Handle(request);
+    });
+  }
+}
+
+PromiseManager::~PromiseManager() {
+  if (transport_ != nullptr) transport_->Unregister(config_.name);
+}
+
+Result<std::unique_ptr<Transaction>> PromiseManager::BeginOperation() {
+  std::unique_ptr<Transaction> txn = tm_->Begin();
+  PROMISES_RETURN_IF_ERROR(
+      txn->Lock("pm:" + config_.name, LockMode::kExclusive));
+  return txn;
+}
+
+Result<ResourceEngine*> PromiseManager::EngineFor(const std::string& cls) {
+  auto it = engines_.find(cls);
+  if (it != engines_.end()) return it->second.get();
+
+  EngineContext ctx{rm_, &table_, clock_};
+  std::unique_ptr<ResourceEngine> engine;
+
+  auto fit = federated_.find(cls);
+  auto dit = delegated_.find(cls);
+  if (fit != federated_.end()) {
+    engine = std::make_unique<FederatedEngine>(cls, fit->second, ctx);
+  } else if (dit != delegated_.end()) {
+    engine = std::make_unique<DelegationEngine>(cls, ctx, transport_,
+                                                dit->second, config_.name);
+  } else {
+    bool is_pool = rm_->HasPool(cls);
+    bool is_instance = rm_->HasInstanceClass(cls);
+    if (!is_pool && !is_instance) {
+      return Status::NotFound("resource class '" + cls + "' not found");
+    }
+    switch (config_.policy.For(cls, is_pool)) {
+      case Technique::kSatisfiability:
+        engine = std::make_unique<SatisfiabilityEngine>(cls, is_pool, ctx);
+        break;
+      case Technique::kResourcePool:
+        if (!is_pool) {
+          return Status::InvalidArgument(
+              "resource-pool technique requires a pool class ('" + cls +
+              "' is an instance class)");
+        }
+        engine = std::make_unique<ResourcePoolEngine>(cls, ctx);
+        break;
+      case Technique::kAllocatedTags:
+        if (!is_instance) {
+          return Status::InvalidArgument(
+              "allocated-tags technique requires an instance class ('" + cls +
+              "' is a pool)");
+        }
+        engine = std::make_unique<AllocatedTagEngine>(cls, ctx);
+        break;
+      case Technique::kTentative:
+        if (!is_instance) {
+          return Status::InvalidArgument(
+              "tentative technique requires an instance class ('" + cls +
+              "' is a pool)");
+        }
+        engine = std::make_unique<TentativeEngine>(cls, ctx);
+        break;
+      case Technique::kDelegated:
+        return Status::InvalidArgument(
+            "class '" + cls +
+            "' marked delegated but no upstream configured; call "
+            "DelegateClass first");
+    }
+  }
+  ResourceEngine* raw = engine.get();
+  engines_[cls] = std::move(engine);
+  return raw;
+}
+
+Status PromiseManager::ExpireDueLocked(Transaction* txn) {
+  Timestamp now = clock_->Now();
+  for (PromiseId id : table_.DueIds(now)) {
+    const PromiseRecord* rec = table_.Find(id);
+    if (rec == nullptr) continue;
+    // Copy: ReleaseOneLocked removes the record.
+    PROMISES_RETURN_IF_ERROR(ReleaseOneLocked(txn, id, PromiseState::kExpired));
+    stats_.expired.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status PromiseManager::DrainPendingLocked(Transaction* txn) {
+  if (pending_.empty()) return Status::OK();
+  Timestamp now = clock_->Now();
+  std::vector<PendingRequest> still_waiting;
+  still_waiting.reserve(pending_.size());
+  for (PendingRequest& req : pending_) {
+    if (now >= req.patience_deadline) {
+      GrantOutcome out;
+      out.accepted = false;
+      out.reason = "pending request lapsed after " +
+                   std::to_string(config_.pending_patience_ms) + " ms";
+      fulfilled_[req.ticket] = {req.client, std::move(out)};
+      continue;
+    }
+    PROMISES_ASSIGN_OR_RETURN(
+        GrantOutcome out,
+        GrantLocked(txn, req.client, req.predicates, req.duration_ms, {}));
+    if (out.accepted) {
+      fulfilled_[req.ticket] = {req.client, std::move(out)};
+    } else {
+      // Best-effort FIFO: an ungrantable head does not block smaller
+      // requests behind it.
+      still_waiting.push_back(std::move(req));
+    }
+  }
+  pending_ = std::move(still_waiting);
+  return Status::OK();
+}
+
+Result<PromiseManager::QueuedOutcome> PromiseManager::RequestPromiseOrQueue(
+    ClientId client, std::vector<Predicate> predicates,
+    DurationMs duration_ms) {
+  if (oplog_ != nullptr) {
+    // Queued grants fire outside the logged command stream; the two
+    // features do not compose in this version.
+    return Status::FailedPrecondition(
+        "pending requests are not supported with an attached log");
+  }
+  PROMISES_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> txn,
+                            BeginOperation());
+  PROMISES_RETURN_IF_ERROR(ExpireDueLocked(txn.get()));
+  PROMISES_ASSIGN_OR_RETURN(
+      GrantOutcome out,
+      GrantLocked(txn.get(), client, predicates, duration_ms, {}));
+  QueuedOutcome result;
+  if (out.accepted) {
+    result.outcome = std::move(out);
+  } else {
+    result.queued = true;
+    result.ticket = next_ticket_++;
+    pending_.push_back(PendingRequest{result.ticket, client,
+                                      std::move(predicates), duration_ms,
+                                      clock_->Now() +
+                                          config_.pending_patience_ms});
+  }
+  PROMISES_RETURN_IF_ERROR(txn->Commit());
+  return result;
+}
+
+Result<PromiseManager::QueuedOutcome> PromiseManager::PollPending(
+    ClientId client, PendingTicket ticket) {
+  // A poll is a progress point: lapse promises and retry the queue.
+  PROMISES_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> txn,
+                            BeginOperation());
+  PROMISES_RETURN_IF_ERROR(ExpireDueLocked(txn.get()));
+  PROMISES_RETURN_IF_ERROR(DrainPendingLocked(txn.get()));
+
+  // Resolve while still holding the operation lock: a concurrent
+  // drain must not mutate the maps under this lookup.
+  Result<QueuedOutcome> result = [&]() -> Result<QueuedOutcome> {
+    auto it = fulfilled_.find(ticket);
+    if (it != fulfilled_.end()) {
+      if (it->second.first != client) {
+        return Status::FailedPrecondition("ticket belongs to another client");
+      }
+      QueuedOutcome out;
+      out.outcome = std::move(it->second.second);
+      fulfilled_.erase(it);
+      return out;
+    }
+    for (const PendingRequest& req : pending_) {
+      if (req.ticket != ticket) continue;
+      if (req.client != client) {
+        return Status::FailedPrecondition("ticket belongs to another client");
+      }
+      QueuedOutcome out;
+      out.queued = true;
+      out.ticket = ticket;
+      return out;
+    }
+    return Status::NotFound("unknown ticket " + std::to_string(ticket));
+  }();
+  PROMISES_RETURN_IF_ERROR(txn->Commit());
+  return result;
+}
+
+Status PromiseManager::CancelPending(ClientId client, PendingTicket ticket) {
+  PROMISES_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> txn,
+                            BeginOperation());
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->ticket != ticket) continue;
+    if (it->client != client) {
+      return Status::FailedPrecondition("ticket belongs to another client");
+    }
+    pending_.erase(it);
+    return txn->Commit();
+  }
+  // A fulfilled-but-unpolled grant must release its promise.
+  auto it = fulfilled_.find(ticket);
+  if (it != fulfilled_.end() && it->second.first == client) {
+    GrantOutcome out = std::move(it->second.second);
+    fulfilled_.erase(it);
+    if (out.accepted) {
+      PROMISES_RETURN_IF_ERROR(
+          ReleaseOneLocked(txn.get(), out.promise_id,
+                           PromiseState::kReleased));
+      stats_.released.fetch_add(1, std::memory_order_relaxed);
+    }
+    return txn->Commit();
+  }
+  return Status::NotFound("unknown ticket " + std::to_string(ticket));
+}
+
+Status PromiseManager::ReleaseOneLocked(Transaction* txn, PromiseId id,
+                                        PromiseState final_state) {
+  PromiseRecord* rec = table_.FindMutable(id);
+  if (rec == nullptr) {
+    return Status::NotFound("promise " + id.ToString() + " not in table");
+  }
+  for (const Predicate& pred : rec->predicates) {
+    PROMISES_ASSIGN_OR_RETURN(ResourceEngine * engine,
+                              EngineFor(pred.resource_class()));
+    PROMISES_RETURN_IF_ERROR(engine->Unreserve(txn, id, pred));
+  }
+  PROMISES_ASSIGN_OR_RETURN(PromiseRecord removed, table_.Remove(id));
+  removed.state = final_state;
+  txn->PushUndo([this, removed] {
+    PromiseRecord restore = removed;
+    restore.state = PromiseState::kActive;
+    (void)table_.Insert(std::move(restore));
+  });
+  return Status::OK();
+}
+
+Result<GrantOutcome> PromiseManager::GrantLocked(
+    Transaction* txn, ClientId client, std::vector<Predicate> predicates,
+    DurationMs duration_ms, const std::vector<PromiseId>& handbacks) {
+  stats_.requests.fetch_add(1, std::memory_order_relaxed);
+  const size_t mark = txn->UndoDepth();
+  Timestamp now = clock_->Now();
+
+  // Counter-offer (§6 "accepted with the condition XX"): the strongest
+  // weaker variant currently grantable. Quantity predicates shrink to
+  // the pool headroom; property predicates shrink to their count
+  // headroom. Runs after the rejection rollback, so engine headroom
+  // reflects pre-request state. Exact for single-predicate requests;
+  // best-effort for multi-predicate ones (per-class headrooms are not
+  // re-verified jointly).
+  auto counter_offer = [&](const std::vector<Predicate>& preds)
+      -> std::string {
+    bool reduced = false;
+    std::vector<std::string> parts;
+    for (const Predicate& pred : preds) {
+      Result<ResourceEngine*> engine = EngineFor(pred.resource_class());
+      if (!engine.ok()) return "";
+      if (pred.kind() == PredicateKind::kQuantity) {
+        Result<int64_t> headroom = (*engine)->QuantityHeadroom(txn, now);
+        if (!headroom.ok() || *headroom <= 0) return "";
+        int64_t offer = std::min(pred.amount(), *headroom);
+        if (offer < pred.amount()) reduced = true;
+        parts.push_back(
+            Predicate::Quantity(pred.resource_class(), CompareOp::kGe, offer)
+                .ToString());
+      } else if (pred.kind() == PredicateKind::kProperty) {
+        Result<int64_t> headroom = (*engine)->CountHeadroom(txn, now, pred);
+        if (!headroom.ok() || *headroom <= 0) return "";
+        int64_t offer = std::min(pred.count(), *headroom);
+        if (offer < pred.count()) reduced = true;
+        parts.push_back(
+            Predicate::Property(pred.resource_class(), pred.match(), offer)
+                .ToString());
+      } else {
+        return "";  // a pinned named instance has no weaker form
+      }
+    }
+    if (!reduced) return "";  // rejection had some other cause
+    std::string joined;
+    for (size_t i = 0; i < parts.size(); ++i) {
+      if (i > 0) joined += "; ";
+      joined += parts[i];
+    }
+    return joined;
+  };
+
+  const std::vector<Predicate>* preds_for_offer = nullptr;
+  auto reject = [&](std::string reason) {
+    txn->RollbackTo(mark);
+    stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+    GrantOutcome out;
+    out.accepted = false;
+    out.reason = std::move(reason);
+    if (preds_for_offer != nullptr) {
+      out.counter_offer = counter_offer(*preds_for_offer);
+    }
+    return out;
+  };
+
+  if (predicates.empty()) {
+    return reject("promise request carries no predicates");
+  }
+
+  // Validate the handbacks before touching anything: §4 — "the previous
+  // one should be retained if the service can't guarantee the modified
+  // request".
+  for (PromiseId id : handbacks) {
+    const PromiseRecord* rec = table_.Find(id);
+    if (rec == nullptr || !rec->ActiveAt(now)) {
+      return reject("handback promise " + id.ToString() + " is not active");
+    }
+    if (rec->owner != client) {
+      return reject("handback promise " + id.ToString() +
+                    " is owned by another client");
+    }
+  }
+
+  // Validate predicates against local resource definitions (delegated
+  // classes are validated by their upstream maker; federated classes
+  // by their engine against member schemas).
+  for (const Predicate& pred : predicates) {
+    if (delegated_.count(pred.resource_class()) ||
+        federated_.count(pred.resource_class())) {
+      continue;
+    }
+    Status st = ValidatePredicate(pred, *rm_);
+    if (!st.ok()) return reject(st.ToString());
+  }
+
+  // Atomic update: hand back the old promises first so their resources
+  // count toward the new request; all of it rolls back on rejection.
+  for (PromiseId id : handbacks) {
+    PROMISES_RETURN_IF_ERROR(
+        ReleaseOneLocked(txn, id, PromiseState::kReleased));
+  }
+
+  DurationMs requested =
+      duration_ms > 0 ? duration_ms : config_.default_duration_ms;
+  DurationMs granted_duration = std::min(requested, config_.max_duration_ms);
+
+  PromiseRecord record;
+  record.id = promise_ids_.Next();
+  record.owner = client;
+  record.predicates = std::move(predicates);
+  record.granted_at = now;
+  record.expires_at = now + granted_duration;
+
+  PromiseId new_id = record.id;
+  PROMISES_RETURN_IF_ERROR(table_.Insert(record));
+  txn->PushUndo([this, new_id] { (void)table_.Remove(new_id); });
+
+  preds_for_offer = &record.predicates;
+  for (const Predicate& pred : record.predicates) {
+    Result<ResourceEngine*> engine = EngineFor(pred.resource_class());
+    if (!engine.ok()) return reject(engine.status().ToString());
+    Status st = (*engine)->Reserve(txn, record, pred);
+    if (st.code() == StatusCode::kFailedPrecondition ||
+        st.code() == StatusCode::kNotFound ||
+        st.code() == StatusCode::kInvalidArgument) {
+      return reject(st.ToString());
+    }
+    PROMISES_RETURN_IF_ERROR(st);
+  }
+
+  stats_.granted.fetch_add(1, std::memory_order_relaxed);
+  if (!handbacks.empty()) {
+    stats_.updates.fetch_add(1, std::memory_order_relaxed);
+  }
+  GrantOutcome out;
+  out.accepted = true;
+  out.promise_id = new_id;
+  out.duration_ms = granted_duration;
+  return out;
+}
+
+Status PromiseManager::VerifyAllLocked(Transaction* txn) {
+  Timestamp now = clock_->Now();
+  for (auto& [cls, engine] : engines_) {
+    (void)cls;
+    PROMISES_RETURN_IF_ERROR(engine->VerifyConsistent(txn, now));
+  }
+  return Status::OK();
+}
+
+Result<ActionOutcome> PromiseManager::ExecuteLocked(
+    Transaction* txn, ClientId client, const ActionBody& action,
+    const EnvironmentHeader& env) {
+  stats_.actions.fetch_add(1, std::memory_order_relaxed);
+  const size_t mark = txn->UndoDepth();
+  Timestamp now = clock_->Now();
+
+  auto fail = [&](std::string error) {
+    txn->RollbackTo(mark);
+    stats_.action_failures.fetch_add(1, std::memory_order_relaxed);
+    ActionOutcome out;
+    out.ok = false;
+    out.error = std::move(error);
+    return out;
+  };
+
+  // Validate the promise environment (§6): all promises must be active
+  // and owned by the caller; using a lapsed one yields the §2
+  // 'promise-expired' error.
+  std::vector<PromiseId> env_ids;
+  for (const EnvironmentHeader::Entry& e : env.entries) {
+    const PromiseRecord* rec = table_.Find(e.promise);
+    if (rec == nullptr || !rec->ActiveAt(now)) {
+      stats_.expired_use_errors.fetch_add(1, std::memory_order_relaxed);
+      return fail("promise-expired: " + e.promise.ToString() +
+                  " is not active");
+    }
+    if (rec->owner != client) {
+      return fail("promise " + e.promise.ToString() +
+                  " is owned by another client");
+    }
+    env_ids.push_back(e.promise);
+  }
+
+  auto sit = services_.find(action.service);
+  if (sit == services_.end()) {
+    return fail("unknown service '" + action.service + "'");
+  }
+
+  ActionContext ctx(this, txn, client, env_ids);
+  Result<std::map<std::string, Value>> result =
+      sit->second(&ctx, action.operation, action.params);
+  if (!result.ok()) {
+    return fail("action failed: " + result.status().ToString());
+  }
+
+  // Release-after entries form an atomic unit with the action (§2/§4):
+  // they only happen because the action succeeded, and they roll back
+  // if verification fails below.
+  for (const EnvironmentHeader::Entry& e : env.entries) {
+    if (!e.release_after) continue;
+    PROMISES_RETURN_IF_ERROR(
+        ReleaseOneLocked(txn, e.promise, PromiseState::kReleased));
+    stats_.released.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // §8: "the promise manager cannot rely on the application code being
+  // always well-behaved, so the promise manager also has to check for
+  // consistency after an action has been completed."
+  Status verify = VerifyAllLocked(txn);
+  if (verify.IsViolated()) {
+    stats_.violations_rolled_back.fetch_add(1, std::memory_order_relaxed);
+    return fail("rolled back: " + verify.ToString());
+  }
+  PROMISES_RETURN_IF_ERROR(verify);
+
+  ActionOutcome out;
+  out.ok = true;
+  out.outputs = std::move(result).value();
+  return out;
+}
+
+Result<GrantOutcome> PromiseManager::RequestPromise(
+    ClientId client, std::vector<Predicate> predicates,
+    DurationMs duration_ms, std::vector<PromiseId> release_on_grant) {
+  PROMISES_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> txn,
+                            BeginOperation());
+  PROMISES_RETURN_IF_ERROR(ExpireDueLocked(txn.get()));
+  std::string log_payload;
+  if (oplog_ != nullptr) {
+    // Rejected requests are logged too: they consume a promise id, so
+    // replay must reproduce them to keep later ids aligned.
+    Envelope env;
+    env.message_id = MessageId(1);
+    env.from = NameOf(client);
+    env.to = config_.name;
+    PromiseRequestHeader req;
+    req.request_id = RequestId(1);
+    req.predicates = predicates;
+    req.duration_ms = duration_ms;
+    req.release_on_grant = release_on_grant;
+    env.promise_request = std::move(req);
+    log_payload = env.ToXml();
+  }
+  PROMISES_ASSIGN_OR_RETURN(
+      GrantOutcome out,
+      GrantLocked(txn.get(), client, std::move(predicates), duration_ms,
+                  release_on_grant));
+  // Logged before the commit releases the operation lock, so the log
+  // order matches the serialization order (the in-memory commit itself
+  // cannot fail).
+  if (!log_payload.empty()) LogOperation(log_payload);
+  PROMISES_RETURN_IF_ERROR(txn->Commit());
+  return out;
+}
+
+Status PromiseManager::Release(ClientId client,
+                               const std::vector<PromiseId>& ids) {
+  PROMISES_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> txn,
+                            BeginOperation());
+  PROMISES_RETURN_IF_ERROR(ExpireDueLocked(txn.get()));
+  std::string problems;
+  for (PromiseId id : ids) {
+    const PromiseRecord* rec = table_.Find(id);
+    if (rec == nullptr) {
+      problems += " " + id.ToString() + " not active;";
+      continue;
+    }
+    if (rec->owner != client) {
+      problems += " " + id.ToString() + " owned by another client;";
+      continue;
+    }
+    PROMISES_RETURN_IF_ERROR(
+        ReleaseOneLocked(txn.get(), id, PromiseState::kReleased));
+    stats_.released.fetch_add(1, std::memory_order_relaxed);
+  }
+  PROMISES_RETURN_IF_ERROR(DrainPendingLocked(txn.get()));
+  if (oplog_ != nullptr) {
+    Envelope env;
+    env.message_id = MessageId(1);
+    env.from = NameOf(client);
+    env.to = config_.name;
+    env.release = ReleaseHeader{ids};
+    LogOperation(env.ToXml());
+  }
+  PROMISES_RETURN_IF_ERROR(txn->Commit());
+  if (!problems.empty()) {
+    return Status::NotFound("some releases failed:" + problems);
+  }
+  return Status::OK();
+}
+
+Result<ActionOutcome> PromiseManager::Execute(ClientId client,
+                                              const ActionBody& action,
+                                              const EnvironmentHeader& env) {
+  PROMISES_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> txn,
+                            BeginOperation());
+  PROMISES_RETURN_IF_ERROR(ExpireDueLocked(txn.get()));
+  PROMISES_ASSIGN_OR_RETURN(ActionOutcome out,
+                            ExecuteLocked(txn.get(), client, action, env));
+  PROMISES_RETURN_IF_ERROR(DrainPendingLocked(txn.get()));
+  if (oplog_ != nullptr) {
+    Envelope log_env;
+    log_env.message_id = MessageId(1);
+    log_env.from = NameOf(client);
+    log_env.to = config_.name;
+    log_env.environment = env;
+    log_env.action = action;
+    LogOperation(log_env.ToXml());
+  }
+  PROMISES_RETURN_IF_ERROR(txn->Commit());
+  return out;
+}
+
+ClientId PromiseManager::ClientFor(const std::string& name) {
+  std::lock_guard<std::mutex> lk(client_mu_);
+  auto it = client_ids_.find(name);
+  if (it != client_ids_.end()) return it->second;
+  ClientId id = client_id_gen_.Next();
+  client_ids_[name] = id;
+  client_names_[id] = name;
+  return id;
+}
+
+const std::string& PromiseManager::NameOf(ClientId client) {
+  static const std::string kUnknown = "unknown-client";
+  std::lock_guard<std::mutex> lk(client_mu_);
+  auto it = client_names_.find(client);
+  return it == client_names_.end() ? kUnknown : it->second;
+}
+
+void PromiseManager::LogOperation(const std::string& payload) {
+  if (oplog_ == nullptr) return;
+  // A log failure must not silently pass for durability; but the
+  // operation already committed. Report loudly via the violation
+  // handler channel is overkill; abort the attachment instead.
+  Status st = oplog_->Append(clock_->Now(), payload);
+  if (!st.ok()) oplog_ = nullptr;
+}
+
+Status PromiseManager::AttachLog(OperationLog* log) {
+  if (log == nullptr || !log->IsOpen()) {
+    return Status::InvalidArgument("log must be open");
+  }
+  if (!delegated_.empty()) {
+    return Status::FailedPrecondition(
+        "recovery logging is not supported with delegated classes");
+  }
+  oplog_ = log;
+  return Status::OK();
+}
+
+Status PromiseManager::ReplayLog(const std::vector<LogRecord>& records,
+                                 SimulatedClock* clock) {
+  if (oplog_ != nullptr) {
+    return Status::FailedPrecondition("detach the log before replaying");
+  }
+  for (const LogRecord& record : records) {
+    clock->AdvanceTo(record.timestamp);
+    if (StartsWith(record.payload, "<")) {
+      PROMISES_ASSIGN_OR_RETURN(Envelope env,
+                                Envelope::FromXml(record.payload));
+      PROMISES_ASSIGN_OR_RETURN(Envelope reply, Handle(env));
+      (void)reply;  // outcomes replay deterministically
+    } else {
+      // External events: "damage|<cls>|<qty>" / "lose|<cls>|<id>".
+      std::vector<std::string> parts = Split(record.payload, '|');
+      if (parts.size() == 3 && parts[0] == "damage") {
+        PROMISES_ASSIGN_OR_RETURN(int64_t qty, ParseInt64(parts[2]));
+        PROMISES_RETURN_IF_ERROR(
+            ReportExternalDamage(parts[1], qty).status());
+      } else if (parts.size() == 3 && parts[0] == "lose") {
+        PROMISES_RETURN_IF_ERROR(
+            ReportInstanceLost(parts[1], parts[2]).status());
+      } else {
+        return Status::InvalidArgument("unknown log record: " +
+                                       record.payload);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<Envelope> PromiseManager::Handle(const Envelope& request) {
+  PROMISES_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> txn,
+                            BeginOperation());
+  ClientId client = ClientFor(request.from);
+  PROMISES_RETURN_IF_ERROR(ExpireDueLocked(txn.get()));
+
+  Envelope reply;
+  reply.message_id =
+      transport_ != nullptr ? transport_->NextMessageId() : MessageId(1);
+  reply.from = config_.name;
+  reply.to = request.from;
+
+  bool grant_rejected = false;
+  PromiseId fresh_promise;
+
+  if (request.promise_request) {
+    const PromiseRequestHeader& pr = *request.promise_request;
+    PROMISES_ASSIGN_OR_RETURN(
+        GrantOutcome out,
+        GrantLocked(txn.get(), client, pr.predicates, pr.duration_ms,
+                    pr.release_on_grant));
+    PromiseResponseHeader resp;
+    resp.promise_id = out.promise_id;
+    resp.result = out.accepted ? PromiseResultCode::kAccepted
+                               : PromiseResultCode::kRejected;
+    // §6 'pending': queue an ungrantable request when asked. Not
+    // available with an attached log (queued grants bypass the command
+    // stream) or combined with atomic updates.
+    if (!out.accepted && pr.queue_if_unavailable && oplog_ == nullptr &&
+        pr.release_on_grant.empty()) {
+      resp.result = PromiseResultCode::kPending;
+      resp.pending_ticket = next_ticket_++;
+      pending_.push_back(PendingRequest{resp.pending_ticket, client,
+                                        pr.predicates, pr.duration_ms,
+                                        clock_->Now() +
+                                            config_.pending_patience_ms});
+    }
+    resp.granted_duration_ms = out.duration_ms;
+    resp.correlation = pr.request_id;
+    resp.reason = out.reason;
+    resp.counter_offer = out.counter_offer;
+    reply.promise_response = std::move(resp);
+    grant_rejected = !out.accepted;
+    fresh_promise = out.promise_id;
+  } else if (request.poll) {
+    // Resolve a queued request's ticket (processed only when the
+    // envelope carries no new promise-request).
+    PROMISES_RETURN_IF_ERROR(DrainPendingLocked(txn.get()));
+    PromiseResponseHeader resp;
+    resp.correlation = RequestId(request.poll->ticket);
+    auto fit = fulfilled_.find(request.poll->ticket);
+    bool found = false;
+    if (fit != fulfilled_.end() && fit->second.first == client) {
+      GrantOutcome out = std::move(fit->second.second);
+      fulfilled_.erase(fit);
+      resp.result = out.accepted ? PromiseResultCode::kAccepted
+                                 : PromiseResultCode::kRejected;
+      resp.promise_id = out.promise_id;
+      resp.granted_duration_ms = out.duration_ms;
+      resp.reason = out.reason;
+      found = true;
+    } else {
+      for (const PendingRequest& req : pending_) {
+        if (req.ticket == request.poll->ticket && req.client == client) {
+          resp.result = PromiseResultCode::kPending;
+          resp.pending_ticket = req.ticket;
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) {
+      resp.result = PromiseResultCode::kRejected;
+      resp.reason = "unknown ticket " + std::to_string(request.poll->ticket);
+    }
+    reply.promise_response = std::move(resp);
+  }
+
+  if (request.release) {
+    for (PromiseId id : request.release->promises) {
+      const PromiseRecord* rec = table_.Find(id);
+      if (rec == nullptr || rec->owner != client) continue;
+      PROMISES_RETURN_IF_ERROR(
+          ReleaseOneLocked(txn.get(), id, PromiseState::kReleased));
+      stats_.released.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  if (request.action) {
+    if (grant_rejected) {
+      // The action depended on the rejected request; §4 atomic unit.
+      ActionResultBody r;
+      r.ok = false;
+      r.error = "skipped: accompanying promise request was rejected";
+      reply.action_result = std::move(r);
+      stats_.actions.fetch_add(1, std::memory_order_relaxed);
+      stats_.action_failures.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      EnvironmentHeader env;
+      if (request.environment) env = *request.environment;
+      // Convention: promise id 0 in an environment refers to the
+      // promise granted by this same envelope's request.
+      for (EnvironmentHeader::Entry& e : env.entries) {
+        if (!e.promise.valid() && fresh_promise.valid()) {
+          e.promise = fresh_promise;
+        }
+      }
+      PROMISES_ASSIGN_OR_RETURN(
+          ActionOutcome out,
+          ExecuteLocked(txn.get(), client, *request.action, env));
+      ActionResultBody r;
+      r.ok = out.ok;
+      r.error = out.error;
+      r.outputs = std::move(out.outputs);
+      reply.action_result = std::move(r);
+    }
+  }
+
+  PROMISES_RETURN_IF_ERROR(DrainPendingLocked(txn.get()));
+  LogOperation(request.ToXml());
+  PROMISES_RETURN_IF_ERROR(txn->Commit());
+  return reply;
+}
+
+void PromiseManager::RegisterService(const std::string& name, ServiceFn fn) {
+  services_[name] = std::move(fn);
+}
+
+Status PromiseManager::FederateClass(const std::string& virtual_cls,
+                                     std::vector<std::string> members) {
+  if (engines_.count(virtual_cls) || federated_.count(virtual_cls) ||
+      delegated_.count(virtual_cls)) {
+    return Status::FailedPrecondition("class '" + virtual_cls +
+                                      "' already has an engine; federate "
+                                      "before use");
+  }
+  if (rm_->HasPool(virtual_cls) || rm_->HasInstanceClass(virtual_cls)) {
+    return Status::AlreadyExists("'" + virtual_cls +
+                                 "' names a concrete resource class");
+  }
+  if (members.empty()) {
+    return Status::InvalidArgument("federation needs at least one member");
+  }
+  for (const std::string& member : members) {
+    if (!rm_->HasInstanceClass(member)) {
+      return Status::NotFound("member '" + member +
+                              "' is not an instance class");
+    }
+  }
+  federated_[virtual_cls] = std::move(members);
+  return Status::OK();
+}
+
+Status PromiseManager::DelegateClass(const std::string& cls,
+                                     const std::string& upstream) {
+  if (transport_ == nullptr) {
+    return Status::FailedPrecondition(
+        "delegation requires a transport; construct the manager with one");
+  }
+  if (engines_.count(cls)) {
+    return Status::FailedPrecondition(
+        "class '" + cls + "' already has an engine; delegate before use");
+  }
+  delegated_[cls] = upstream;
+  return Status::OK();
+}
+
+Result<std::vector<PromiseId>> PromiseManager::BreakUntilConsistent(
+    std::unique_ptr<Transaction> txn, const std::string& cls,
+    const std::string& reason) {
+  std::vector<PromiseRecord> broken;
+  Timestamp now = clock_->Now();
+  while (true) {
+    Status verify = VerifyAllLocked(txn.get());
+    if (verify.ok()) break;
+    if (!verify.IsViolated()) return verify;
+    // Break the newest promise covering the damaged class: later
+    // promises lose to earlier ones (a simple, predictable policy).
+    std::vector<const PromiseRecord*> candidates =
+        table_.ActiveForClass(cls, now);
+    if (candidates.empty()) {
+      // No direct promise names the damaged class, yet verification
+      // still fails — the damage hit a member of a federated virtual
+      // class (the covering promise lives on the virtual class). Widen
+      // the hunt to every active promise.
+      candidates = table_.Active(now);
+    }
+    if (candidates.empty()) {
+      return Status::Internal(
+          "external damage on '" + cls +
+          "' cannot be absorbed by breaking promises: " + verify.ToString());
+    }
+    const PromiseRecord* victim = candidates.front();
+    for (const PromiseRecord* r : candidates) {
+      if (victim->id < r->id) victim = r;
+    }
+    PromiseRecord copy = *victim;
+    PROMISES_RETURN_IF_ERROR(
+        ReleaseOneLocked(txn.get(), victim->id, PromiseState::kViolated));
+    copy.state = PromiseState::kViolated;
+    broken.push_back(std::move(copy));
+    stats_.promises_broken.fetch_add(1, std::memory_order_relaxed);
+  }
+  PROMISES_RETURN_IF_ERROR(txn->Commit());
+  // Notify outside the transaction so handlers may call back into the
+  // manager.
+  std::vector<PromiseId> ids;
+  for (const PromiseRecord& r : broken) {
+    ids.push_back(r.id);
+    if (violation_handler_) violation_handler_(r, reason);
+  }
+  return ids;
+}
+
+Result<std::vector<PromiseId>> PromiseManager::ReportExternalDamage(
+    const std::string& cls, int64_t quantity_lost) {
+  if (quantity_lost <= 0) {
+    return Status::InvalidArgument("quantity lost must be > 0");
+  }
+  PROMISES_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> txn,
+                            BeginOperation());
+  PROMISES_RETURN_IF_ERROR(ExpireDueLocked(txn.get()));
+  PROMISES_ASSIGN_OR_RETURN(int64_t on_hand,
+                            rm_->GetQuantity(txn.get(), cls));
+  int64_t loss = std::min(quantity_lost, on_hand);
+  PROMISES_RETURN_IF_ERROR(rm_->AdjustQuantity(txn.get(), cls, -loss));
+  Result<std::vector<PromiseId>> broken = BreakUntilConsistent(
+      std::move(txn), cls,
+      "external damage destroyed " + std::to_string(loss) + " units of '" +
+          cls + "'");
+  if (broken.ok()) {
+    LogOperation("damage|" + cls + "|" + std::to_string(quantity_lost));
+  }
+  return broken;
+}
+
+Result<std::vector<PromiseId>> PromiseManager::ReportInstanceLost(
+    const std::string& cls, const std::string& id) {
+  PROMISES_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> txn,
+                            BeginOperation());
+  PROMISES_RETURN_IF_ERROR(ExpireDueLocked(txn.get()));
+  PROMISES_RETURN_IF_ERROR(
+      rm_->SetInstanceStatus(txn.get(), cls, id, InstanceStatus::kTaken));
+  Result<std::vector<PromiseId>> broken = BreakUntilConsistent(
+      std::move(txn), cls,
+      "instance '" + id + "' of '" + cls + "' was lost");
+  if (broken.ok()) LogOperation("lose|" + cls + "|" + id);
+  return broken;
+}
+
+size_t PromiseManager::ExpireDue() {
+  Result<std::unique_ptr<Transaction>> txn = BeginOperation();
+  if (!txn.ok()) return 0;
+  uint64_t before = stats_.expired.load(std::memory_order_relaxed);
+  if (!ExpireDueLocked(txn->get()).ok()) {
+    return 0;  // txn destructor rolls back
+  }
+  if (!DrainPendingLocked(txn->get()).ok()) return 0;
+  if (!(*txn)->Commit().ok()) return 0;
+  return stats_.expired.load(std::memory_order_relaxed) - before;
+}
+
+const PromiseRecord* PromiseManager::FindPromise(PromiseId id) const {
+  return table_.Find(id);
+}
+
+PromiseManagerStats PromiseManager::stats() const {
+  PromiseManagerStats s;
+  s.requests = stats_.requests.load(std::memory_order_relaxed);
+  s.granted = stats_.granted.load(std::memory_order_relaxed);
+  s.rejected = stats_.rejected.load(std::memory_order_relaxed);
+  s.released = stats_.released.load(std::memory_order_relaxed);
+  s.expired = stats_.expired.load(std::memory_order_relaxed);
+  s.updates = stats_.updates.load(std::memory_order_relaxed);
+  s.actions = stats_.actions.load(std::memory_order_relaxed);
+  s.action_failures = stats_.action_failures.load(std::memory_order_relaxed);
+  s.violations_rolled_back =
+      stats_.violations_rolled_back.load(std::memory_order_relaxed);
+  s.expired_use_errors =
+      stats_.expired_use_errors.load(std::memory_order_relaxed);
+  s.promises_broken = stats_.promises_broken.load(std::memory_order_relaxed);
+  return s;
+}
+
+ResourceEngine* PromiseManager::EngineIfExists(const std::string& cls) {
+  auto it = engines_.find(cls);
+  return it == engines_.end() ? nullptr : it->second.get();
+}
+
+std::string PromiseManager::DumpState() const {
+  Timestamp now = clock_->Now();
+  std::string out = "promise-manager '" + config_.name + "' at t=" +
+                    std::to_string(now) + "\n";
+  out += "  active promises: " + std::to_string(table_.size()) + "\n";
+  for (const PromiseRecord* rec : table_.Active(now)) {
+    out += "    " + rec->id.ToString() + " owner=" +
+           rec->owner.ToString() + " expires=" +
+           std::to_string(rec->expires_at) + "\n";
+    for (const Predicate& pred : rec->predicates) {
+      out += "      " + pred.ToString() + "\n";
+    }
+  }
+  out += "  engines:\n";
+  for (const auto& [cls, engine] : engines_) {
+    out += "    " + cls + ": " +
+           std::string(TechniqueToString(engine->technique())) + "\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// ActionContext
+
+ResourceManager* ActionContext::rm() const { return manager_->rm_; }
+
+bool ActionContext::InEnvironment(PromiseId promise) const {
+  return std::find(env_promises_.begin(), env_promises_.end(), promise) !=
+         env_promises_.end();
+}
+
+namespace {
+
+/// Locates the predicate of `rec` on `cls` whose units cover the n-th
+/// take, returning the predicate and the unit index within it.
+Result<std::pair<const Predicate*, int64_t>> LocateUnit(
+    const PromiseRecord& rec, const std::string& cls, int64_t n) {
+  int64_t base = 0;
+  for (const Predicate& pred : rec.predicates) {
+    if (pred.resource_class() != cls) continue;
+    int64_t capacity;
+    if (pred.kind() == PredicateKind::kNamed) {
+      capacity = 1;
+    } else if (pred.kind() == PredicateKind::kProperty) {
+      capacity = pred.count();
+    } else {
+      continue;  // quantity predicates have no instances
+    }
+    if (n < base + capacity) {
+      return std::make_pair(&pred, n - base);
+    }
+    base += capacity;
+  }
+  return Status::FailedPrecondition(
+      "promise " + rec.id.ToString() + " has no remaining instance units on '" +
+      cls + "' (all " + std::to_string(base) + " consumed)");
+}
+
+}  // namespace
+
+Result<std::string> ActionContext::PeekInstance(PromiseId promise,
+                                                const std::string& cls) {
+  const PromiseRecord* rec = manager_->table_.Find(promise);
+  if (rec == nullptr || !rec->ActiveAt(manager_->clock_->Now())) {
+    return Status::Expired("promise " + promise.ToString() + " is not active");
+  }
+  int64_t n = taken_[{promise, cls}];
+  PROMISES_ASSIGN_OR_RETURN(auto located, LocateUnit(*rec, cls, n));
+  PROMISES_ASSIGN_OR_RETURN(ResourceEngine * engine,
+                            manager_->EngineFor(cls));
+  return engine->ResolveInstance(txn_, promise, *located.first,
+                                 located.second);
+}
+
+Result<std::string> ActionContext::TakeInstance(PromiseId promise,
+                                                const std::string& cls) {
+  if (!InEnvironment(promise)) {
+    return Status::FailedPrecondition(
+        "promise " + promise.ToString() +
+        " is not part of this action's environment");
+  }
+  const PromiseRecord* rec = manager_->table_.Find(promise);
+  if (rec == nullptr || !rec->ActiveAt(manager_->clock_->Now())) {
+    return Status::Expired("promise " + promise.ToString() +
+                           " is not active");
+  }
+  int64_t n = taken_[{promise, cls}];
+  PROMISES_ASSIGN_OR_RETURN(auto located, LocateUnit(*rec, cls, n));
+  PROMISES_ASSIGN_OR_RETURN(ResourceEngine * engine,
+                            manager_->EngineFor(cls));
+  PROMISES_ASSIGN_OR_RETURN(
+      std::string instance,
+      engine->TakeInstance(txn_, promise, *located.first, located.second,
+                           manager_->rm_));
+  ++taken_[{promise, cls}];
+  return instance;
+}
+
+Status ActionContext::TakeQuantity(const std::string& cls, int64_t n) {
+  if (n <= 0) return Status::InvalidArgument("take amount must be > 0");
+  if (manager_->config_.strict_actions) {
+    return Status::FailedPrecondition(
+        "strict mode: consuming '" + cls +
+        "' requires a covering promise (use TakeQuantityUnder)");
+  }
+  return manager_->rm_->AdjustQuantity(txn_, cls, -n);
+}
+
+Status ActionContext::TakeQuantityUnder(PromiseId promise,
+                                        const std::string& cls, int64_t n) {
+  if (n <= 0) return Status::InvalidArgument("take amount must be > 0");
+  if (!InEnvironment(promise)) {
+    return Status::FailedPrecondition(
+        "promise " + promise.ToString() +
+        " is not part of this action's environment");
+  }
+  const PromiseRecord* rec = manager_->table_.Find(promise);
+  if (rec == nullptr || !rec->ActiveAt(manager_->clock_->Now())) {
+    return Status::Expired("promise " + promise.ToString() +
+                           " is not active");
+  }
+  PROMISES_RETURN_IF_ERROR(manager_->rm_->AdjustQuantity(txn_, cls, -n));
+  PROMISES_ASSIGN_OR_RETURN(ResourceEngine * engine,
+                            manager_->EngineFor(cls));
+  for (const Predicate& pred : rec->predicates) {
+    if (pred.resource_class() == cls &&
+        pred.kind() == PredicateKind::kQuantity) {
+      return engine->NoteConsumed(txn_, promise, pred, n);
+    }
+  }
+  // No quantity predicate on this class: plain unprotected consumption.
+  return Status::OK();
+}
+
+Result<ActionResultBody> ActionContext::ForwardUpstream(
+    PromiseId promise, const std::string& cls, ActionBody action,
+    bool release_after) {
+  if (!InEnvironment(promise)) {
+    return Status::FailedPrecondition(
+        "promise " + promise.ToString() +
+        " is not part of this action's environment");
+  }
+  PROMISES_ASSIGN_OR_RETURN(ResourceEngine * engine, manager_->EngineFor(cls));
+  if (engine->technique() != Technique::kDelegated) {
+    return Status::FailedPrecondition("class '" + cls +
+                                      "' is not delegated upstream");
+  }
+  auto* delegation = static_cast<DelegationEngine*>(engine);
+  PROMISES_ASSIGN_OR_RETURN(PromiseId upstream_id,
+                            delegation->UpstreamPromise(promise));
+  Envelope env;
+  env.message_id = manager_->transport_->NextMessageId();
+  env.from = manager_->config_.name;
+  env.to = delegation->upstream_endpoint();
+  env.environment = EnvironmentHeader{{{upstream_id, release_after}}};
+  env.action = std::move(action);
+  PROMISES_ASSIGN_OR_RETURN(Envelope reply, manager_->transport_->Send(env));
+  if (!reply.action_result) {
+    return Status::Internal("upstream sent no action-result");
+  }
+  return *reply.action_result;
+}
+
+}  // namespace promises

@@ -1,0 +1,361 @@
+// The Promise Manager (§2, §8) — the paper's core contribution.
+//
+// "A promise manager sits between clients and application services and
+// implements Promise functionality on behalf of a number of services
+// and resource managers. The job of a promise manager is to work with
+// application services and resource managers to grant or deny promise
+// requests, check on resource availability and ensure that promises are
+// not violated."
+//
+// Faithful to the §8 prototype:
+//  * every client request (grant / action / release / update) is
+//    processed inside one local ACID transaction covering the action
+//    code, the promise-table changes and the post-action consistency
+//    check;
+//  * actions that violate unreleased promises are rolled back and the
+//    client receives a failure;
+//  * promise expiry is swept lazily at the start of each operation (and
+//    on demand via ExpireDue);
+//  * the three §4 atomicity units are honoured: multi-predicate
+//    requests grant all-or-nothing, <environment release-after> binds a
+//    release to its action's success, and release_on_grant performs
+//    atomic promise update (old promises return only if the new ones
+//    are granted... and are kept when the new request is rejected).
+
+#ifndef PROMISES_CORE_PROMISE_MANAGER_H_
+#define PROMISES_CORE_PROMISE_MANAGER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/oplog.h"
+#include "core/promise.h"
+#include "core/promise_table.h"
+#include "core/service_api.h"
+#include "protocol/message.h"
+#include "protocol/transport.h"
+#include "resource/resource_manager.h"
+#include "txn/transaction.h"
+
+namespace promises {
+
+struct PromiseManagerConfig {
+  /// Transport endpoint name of this manager.
+  std::string name = "promise-manager";
+  /// Duration used when a request asks for 0 (unspecified).
+  DurationMs default_duration_ms = 60'000;
+  /// Upper bound; the manager "might offer a guarantee that expires
+  /// sooner than the client wished" (§6).
+  DurationMs max_duration_ms = 3'600'000;
+  /// §5 technique per resource class.
+  TechniquePolicy policy = TechniquePolicy::Heuristic();
+  /// §2: "the restrictions could be enforced to some degree by promise
+  /// and resource managers". When true, actions may only consume
+  /// resources under a covering environment promise — unprotected
+  /// TakeQuantity is refused instead of being caught (or not) by the
+  /// post-action check. Reads and deposits remain free.
+  bool strict_actions = false;
+  /// How long a queued request (§6's 'pending' result, implemented by
+  /// RequestPromiseOrQueue) waits for resources to free before it is
+  /// finally rejected.
+  DurationMs pending_patience_ms = 60'000;
+};
+
+/// Outcome of a promise request — a normal value, not an error (§9:
+/// "unfulfillable promise requests are rejected immediately").
+struct GrantOutcome {
+  bool accepted = false;
+  PromiseId promise_id;
+  DurationMs duration_ms = 0;
+  std::string reason;
+  /// §6 "accepted with the condition XX": when a rejected request's
+  /// quantity/property predicates have a weaker variant that is
+  /// currently grantable, this carries the strongest such predicate
+  /// list (textual form) as a counter-offer. Empty when no weaker
+  /// variant exists (including any named predicate in the bundle).
+  /// Exact for single-predicate requests; best-effort for
+  /// multi-predicate ones, and conservative for atomic updates
+  /// (computed with the handbacks still held).
+  std::string counter_offer;
+};
+
+/// Outcome of an application action executed through the manager.
+struct ActionOutcome {
+  bool ok = false;
+  std::string error;
+  std::map<std::string, Value> outputs;
+};
+
+struct PromiseManagerStats {
+  uint64_t requests = 0;
+  uint64_t granted = 0;
+  uint64_t rejected = 0;
+  uint64_t released = 0;
+  uint64_t expired = 0;
+  uint64_t updates = 0;             ///< release_on_grant exchanges
+  uint64_t actions = 0;
+  uint64_t action_failures = 0;
+  uint64_t violations_rolled_back = 0;
+  uint64_t expired_use_errors = 0;  ///< §2 'promise-expired' errors
+  uint64_t promises_broken = 0;     ///< broken by external events (§2)
+};
+
+class PromiseManager {
+ public:
+  /// `transport` may be null for purely in-process use; when provided,
+  /// the manager registers itself under `config.name` and unregisters
+  /// on destruction.
+  PromiseManager(PromiseManagerConfig config, Clock* clock,
+                 ResourceManager* rm, TransactionManager* tm,
+                 Transport* transport = nullptr);
+  ~PromiseManager();
+
+  PromiseManager(const PromiseManager&) = delete;
+  PromiseManager& operator=(const PromiseManager&) = delete;
+
+  // --- Direct (in-process) API ---
+
+  /// Requests promises for all `predicates` atomically (§4).
+  /// `release_on_grant` promises are handed back in the same atomic
+  /// unit — the §4 upgrade/weaken primitive. `duration_ms` 0 selects
+  /// the configured default.
+  Result<GrantOutcome> RequestPromise(
+      ClientId client, std::vector<Predicate> predicates,
+      DurationMs duration_ms = 0,
+      std::vector<PromiseId> release_on_grant = {});
+
+  /// Releases promises explicitly. Releasing an unknown/expired id is
+  /// reported in the Status but others in the batch still release.
+  Status Release(ClientId client, const std::vector<PromiseId>& ids);
+
+  /// Executes an application action under `env` (§8 flow: validate
+  /// environment, run service, process release-after, verify all
+  /// promises, commit or roll back).
+  Result<ActionOutcome> Execute(ClientId client, const ActionBody& action,
+                                const EnvironmentHeader& env = {});
+
+  // --- Pending requests (§6: "Promise responses could also return
+  // other results, such as 'pending'") ---
+
+  /// Ticket identifying a queued promise request.
+  using PendingTicket = uint64_t;
+
+  struct QueuedOutcome {
+    /// Granted immediately (outcome valid) or queued (ticket valid).
+    bool queued = false;
+    GrantOutcome outcome;
+    PendingTicket ticket = 0;
+  };
+
+  /// Like RequestPromise, but a currently-ungrantable request joins a
+  /// FIFO wait queue instead of being rejected. Queued requests are
+  /// retried whenever resources may have freed (releases, expiry,
+  /// actions) and lapse after `pending_patience_ms`.
+  Result<QueuedOutcome> RequestPromiseOrQueue(
+      ClientId client, std::vector<Predicate> predicates,
+      DurationMs duration_ms = 0);
+
+  /// Resolution state of a queued request: `queued` while waiting;
+  /// otherwise the final outcome (granted, or rejected after patience
+  /// ran out). Resolved tickets are consumed by the poll.
+  Result<QueuedOutcome> PollPending(ClientId client, PendingTicket ticket);
+
+  /// Withdraws a queued request.
+  Status CancelPending(ClientId client, PendingTicket ticket);
+
+  size_t pending_requests() const { return pending_.size(); }
+
+  // --- Protocol entry point (§6) ---
+
+  /// Handles one envelope that may combine a <promise-request>,
+  /// <release>, <environment> and <action>; returns the reply envelope
+  /// with the corresponding <promise-response> / <action-result>.
+  Result<Envelope> Handle(const Envelope& request);
+
+  /// Stable ClientId for a protocol-level sender name.
+  ClientId ClientFor(const std::string& name);
+
+  // --- Configuration ---
+
+  void RegisterService(const std::string& name, ServiceFn fn);
+
+  /// Marks `cls` as delegated to the promise maker at transport
+  /// endpoint `upstream` (§5 Delegation). Requires a transport.
+  Status DelegateClass(const std::string& cls, const std::string& upstream);
+
+  /// Declares `virtual_cls` as the federation of existing instance
+  /// classes (§3.3 polymorphic providers): property predicates over
+  /// the virtual class are backed by instances of any member whose
+  /// schema exports the predicate's properties.
+  Status FederateClass(const std::string& virtual_cls,
+                       std::vector<std::string> members);
+
+  // --- External violations (§2) ---
+  //
+  // "Promise violation is still possible for other reasons (an accident
+  // might damage previously-promised stock or a third party may default
+  // on a promise they have made) but these incidents can now be treated
+  // as serious exceptions."
+
+  /// Invoked (outside the operation transaction) for each promise the
+  /// manager had to break because of an external event.
+  using ViolationHandler =
+      std::function<void(const PromiseRecord&, const std::string& reason)>;
+  void SetViolationHandler(ViolationHandler handler) {
+    violation_handler_ = std::move(handler);
+  }
+
+  /// Records that `quantity_lost` units of pool `cls` were destroyed by
+  /// an external event. Unlike a client action, the loss is reality and
+  /// is NOT rolled back; instead, promises are broken (newest first)
+  /// until the remaining set is honourable again. Returns the broken
+  /// promise ids.
+  Result<std::vector<PromiseId>> ReportExternalDamage(const std::string& cls,
+                                                      int64_t quantity_lost);
+
+  /// Records that a specific instance was destroyed/withdrawn. The
+  /// instance is marked taken; promises that can no longer be backed
+  /// are broken and returned.
+  Result<std::vector<PromiseId>> ReportInstanceLost(const std::string& cls,
+                                                    const std::string& id);
+
+  // --- Durability (§8's ACID 'D', substituting the prototype's DBMS) ---
+
+  /// Attaches an operation log: every subsequent state-changing client
+  /// operation (request / release / action / external event) is
+  /// appended after commit, making the manager recoverable with
+  /// ReplayLog. Not supported for managers with delegated classes
+  /// (distributed recovery is out of scope; see DESIGN.md).
+  Status AttachLog(OperationLog* log);
+
+  /// Replays a recovered log against this (freshly constructed)
+  /// manager: the same resource definitions must already be in the RM,
+  /// and `clock` must be the manager's own SimulatedClock, which is
+  /// advanced to each record's timestamp so expiry decisions replay
+  /// identically. Must be called before AttachLog.
+  Status ReplayLog(const std::vector<LogRecord>& records,
+                   SimulatedClock* clock);
+
+  // --- Maintenance & introspection ---
+
+  /// Sweeps promises whose deadline passed; returns how many expired.
+  size_t ExpireDue();
+
+  /// Promise still in the table (active), or nullptr. Not synchronized
+  /// with concurrent operations; intended for quiesced inspection.
+  const PromiseRecord* FindPromise(PromiseId id) const;
+
+  size_t active_promises() const { return table_.size(); }
+  PromiseManagerStats stats() const;
+  const std::string& name() const { return config_.name; }
+
+  /// Engine guarding `cls` if one has been created yet.
+  ResourceEngine* EngineIfExists(const std::string& cls);
+
+  /// Human-readable dump of the promise table and engine assignments
+  /// (ops/debug tooling; quiesced use only).
+  std::string DumpState() const;
+
+ private:
+  friend class ActionContext;
+
+  /// Begins the per-request ACID transaction and takes the manager's
+  /// operation lock (serializing promise operations, §8).
+  Result<std::unique_ptr<Transaction>> BeginOperation();
+
+  Result<ResourceEngine*> EngineFor(const std::string& cls);
+
+  /// Lazy expiry sweep inside an operation.
+  Status ExpireDueLocked(Transaction* txn);
+
+  /// Grant path. On logical rejection, rolls the transaction back to
+  /// `undo_mark` so the operation can continue (reply still sent).
+  Result<GrantOutcome> GrantLocked(Transaction* txn, ClientId client,
+                                   std::vector<Predicate> predicates,
+                                   DurationMs duration_ms,
+                                   const std::vector<PromiseId>& handbacks);
+
+  /// Releases one promise: engine unreserve + table removal (undoable).
+  Status ReleaseOneLocked(Transaction* txn, PromiseId id,
+                          PromiseState final_state);
+
+  /// §8 post-step: every engine's promises must still be satisfiable.
+  Status VerifyAllLocked(Transaction* txn);
+
+  /// Action path including release-after and verification.
+  Result<ActionOutcome> ExecuteLocked(Transaction* txn, ClientId client,
+                                      const ActionBody& action,
+                                      const EnvironmentHeader& env);
+
+  /// Shared tail of the ReportExternal* entry points: breaks promises
+  /// on `cls` (newest first) until every engine verifies again, then
+  /// commits and notifies the violation handler.
+  Result<std::vector<PromiseId>> BreakUntilConsistent(
+      std::unique_ptr<Transaction> txn, const std::string& cls,
+      const std::string& reason);
+
+  PromiseManagerConfig config_;
+  Clock* clock_;
+  ResourceManager* rm_;
+  TransactionManager* tm_;
+  Transport* transport_;
+
+  // All state below is serialized by the "pm:<name>" operation lock.
+  PromiseTable table_;
+  std::map<std::string, std::unique_ptr<ResourceEngine>> engines_;
+  std::map<std::string, std::string> delegated_;  // class -> upstream
+  std::map<std::string, std::vector<std::string>> federated_;
+  std::map<std::string, ServiceFn> services_;
+  std::map<std::string, ClientId> client_ids_;  // guarded by client_mu_
+
+  IdGenerator<PromiseId> promise_ids_;
+  IdGenerator<ClientId> client_id_gen_;
+
+  /// Appends to the attached log (no-op when detached / replaying).
+  void LogOperation(const std::string& payload);
+  /// Name under which `client` was registered (for synthesizing log
+  /// envelopes from direct-API calls).
+  const std::string& NameOf(ClientId client);
+
+  /// Retries queued requests FIFO inside the current operation; grants
+  /// move to fulfilled_, lapsed ones resolve as rejections.
+  Status DrainPendingLocked(Transaction* txn);
+
+  ViolationHandler violation_handler_;
+  OperationLog* oplog_ = nullptr;
+  // Client registry has its own mutex: ClientFor is called from client
+  // threads outside the operation lock.
+  mutable std::mutex client_mu_;
+  std::map<ClientId, std::string> client_names_;
+
+  struct PendingRequest {
+    PendingTicket ticket;
+    ClientId client;
+    std::vector<Predicate> predicates;
+    DurationMs duration_ms;
+    Timestamp patience_deadline;
+  };
+  std::vector<PendingRequest> pending_;  // FIFO
+  std::map<PendingTicket, std::pair<ClientId, GrantOutcome>> fulfilled_;
+  uint64_t next_ticket_ = 1;
+
+  struct AtomicStats {
+    std::atomic<uint64_t> requests{0}, granted{0}, rejected{0}, released{0},
+        expired{0}, updates{0}, actions{0}, action_failures{0},
+        violations_rolled_back{0}, expired_use_errors{0},
+        promises_broken{0};
+  };
+  mutable AtomicStats stats_;
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_CORE_PROMISE_MANAGER_H_

@@ -1,0 +1,100 @@
+#include "core/promise_table.h"
+
+namespace promises {
+
+std::string_view PromiseStateToString(PromiseState s) {
+  switch (s) {
+    case PromiseState::kActive: return "active";
+    case PromiseState::kReleased: return "released";
+    case PromiseState::kExpired: return "expired";
+    case PromiseState::kViolated: return "violated";
+  }
+  return "unknown";
+}
+
+Status PromiseTable::Insert(PromiseRecord record) {
+  PromiseId id = record.id;
+  if (!id.valid()) {
+    return Status::InvalidArgument("promise id must be valid");
+  }
+  if (records_.count(id)) {
+    return Status::AlreadyExists("promise " + id.ToString() +
+                                 " already in table");
+  }
+  for (const Predicate& p : record.predicates) {
+    by_class_[p.resource_class()].insert(id);
+  }
+  by_deadline_.emplace(record.expires_at, id);
+  records_.emplace(id, std::move(record));
+  return Status::OK();
+}
+
+Result<PromiseRecord> PromiseTable::Remove(PromiseId id) {
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return Status::NotFound("promise " + id.ToString() + " not in table");
+  }
+  PromiseRecord record = std::move(it->second);
+  for (const Predicate& p : record.predicates) {
+    auto cit = by_class_.find(p.resource_class());
+    if (cit != by_class_.end()) {
+      cit->second.erase(id);
+      if (cit->second.empty()) by_class_.erase(cit);
+    }
+  }
+  by_deadline_.erase({record.expires_at, id});
+  records_.erase(it);
+  return record;
+}
+
+const PromiseRecord* PromiseTable::Find(PromiseId id) const {
+  auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+PromiseRecord* PromiseTable::FindMutable(PromiseId id) {
+  auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+std::vector<const PromiseRecord*> PromiseTable::ActiveForClass(
+    const std::string& resource_class, Timestamp now) const {
+  std::vector<const PromiseRecord*> out;
+  auto cit = by_class_.find(resource_class);
+  if (cit == by_class_.end()) return out;
+  for (PromiseId id : cit->second) {
+    const PromiseRecord& r = records_.at(id);
+    if (r.ActiveAt(now)) out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<const PromiseRecord*> PromiseTable::Active(Timestamp now) const {
+  std::vector<const PromiseRecord*> out;
+  out.reserve(records_.size());
+  for (const auto& [id, r] : records_) {
+    (void)id;
+    if (r.ActiveAt(now)) out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<PromiseId> PromiseTable::DueIds(Timestamp now) const {
+  std::vector<PromiseId> out;
+  for (const auto& [deadline, id] : by_deadline_) {
+    if (deadline > now) break;
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::set<std::string> PromiseTable::ReferencedClasses() const {
+  std::set<std::string> out;
+  for (const auto& [cls, ids] : by_class_) {
+    (void)ids;
+    out.insert(cls);
+  }
+  return out;
+}
+
+}  // namespace promises

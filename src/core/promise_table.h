@@ -1,0 +1,69 @@
+// The promise table (§8).
+//
+// "The promise manager keeps a record of all non-expired promises and
+// their predicates in a 'promise table'. Promises are placed in this
+// table when they are granted and removed when they are released."
+//
+// The table additionally maintains a per-resource-class index (promise
+// checking only needs the promises covering the classes being touched)
+// and an expiry index ordered by deadline so that sweeping due promises
+// is O(expired · log n) rather than a full scan (experiment E8).
+//
+// Thread-compatibility: the promise manager serializes all access under
+// its operation lock; the table itself is not synchronized.
+
+#ifndef PROMISES_CORE_PROMISE_TABLE_H_
+#define PROMISES_CORE_PROMISE_TABLE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "core/promise.h"
+
+namespace promises {
+
+class PromiseTable {
+ public:
+  PromiseTable() = default;
+
+  /// Inserts a granted promise. Fails on duplicate id.
+  Status Insert(PromiseRecord record);
+
+  /// Removes a promise (released or expired), returning the record.
+  Result<PromiseRecord> Remove(PromiseId id);
+
+  /// Looks up an active-or-not promise still in the table.
+  const PromiseRecord* Find(PromiseId id) const;
+  PromiseRecord* FindMutable(PromiseId id);
+
+  /// Promises active at `now` whose predicates cover `resource_class`.
+  std::vector<const PromiseRecord*> ActiveForClass(
+      const std::string& resource_class, Timestamp now) const;
+
+  /// All promises active at `now`.
+  std::vector<const PromiseRecord*> Active(Timestamp now) const;
+
+  /// Ids whose deadline has passed at `now` (still in the table).
+  std::vector<PromiseId> DueIds(Timestamp now) const;
+
+  /// Every resource class referenced by any stored promise.
+  std::set<std::string> ReferencedClasses() const;
+
+  size_t size() const { return records_.size(); }
+
+ private:
+  std::unordered_map<PromiseId, PromiseRecord> records_;
+  // class -> promise ids covering it.
+  std::unordered_map<std::string, std::set<PromiseId>> by_class_;
+  // (deadline, id) ordered for expiry sweeps.
+  std::set<std::pair<Timestamp, PromiseId>> by_deadline_;
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_CORE_PROMISE_TABLE_H_

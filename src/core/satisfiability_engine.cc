@@ -1,0 +1,286 @@
+#include "core/satisfiability_engine.h"
+
+#include <algorithm>
+
+#include "predicate/evaluator.h"
+
+namespace promises {
+
+Status SatisfiabilityEngine::Reserve(Transaction* txn,
+                                     const PromiseRecord& record,
+                                     const Predicate& pred) {
+  (void)pred;  // The check is global: the candidate is already tabled.
+  std::string reason;
+  PROMISES_ASSIGN_OR_RETURN(
+      bool ok, CheckNow(txn, ctx_.clock->Now(), &reason));
+  if (!ok) {
+    return Status::FailedPrecondition("promise " + record.id.ToString() +
+                                      " not grantable on '" + cls_ +
+                                      "': " + reason);
+  }
+  return Status::OK();
+}
+
+Status SatisfiabilityEngine::Unreserve(Transaction* txn, PromiseId id,
+                                       const Predicate& pred) {
+  // Removal from the promise table is the release; only the
+  // consumption ledger needs clearing.
+  auto key = std::make_pair(id, pred.ToString());
+  auto it = consumed_.find(key);
+  if (it != consumed_.end()) {
+    int64_t old = it->second;
+    consumed_.erase(it);
+    txn->PushUndo([this, key, old] { consumed_[key] = old; });
+  }
+  return Status::OK();
+}
+
+Status SatisfiabilityEngine::NoteConsumed(Transaction* txn, PromiseId id,
+                                          const Predicate& pred,
+                                          int64_t amount) {
+  if (pred.kind() != PredicateKind::kQuantity || amount <= 0) {
+    return Status::OK();
+  }
+  auto key = std::make_pair(id, pred.ToString());
+  consumed_[key] += amount;
+  txn->PushUndo([this, key, amount] {
+    auto it = consumed_.find(key);
+    if (it == consumed_.end()) return;
+    it->second -= amount;
+    if (it->second <= 0) consumed_.erase(it);
+  });
+  return Status::OK();
+}
+
+Status SatisfiabilityEngine::VerifyConsistent(Transaction* txn,
+                                              Timestamp now) {
+  std::string reason;
+  PROMISES_ASSIGN_OR_RETURN(bool ok, CheckNow(txn, now, &reason));
+  if (!ok) {
+    return Status::Violated("promises over '" + cls_ +
+                            "' no longer satisfiable: " + reason);
+  }
+  return Status::OK();
+}
+
+Result<std::string> SatisfiabilityEngine::ResolveInstance(
+    Transaction* txn, PromiseId id, const Predicate& pred,
+    int64_t already_taken) {
+  if (is_pool_) {
+    return Status::Unimplemented("pool resources have no instances");
+  }
+  std::string reason;
+  std::string resolved;
+  PROMISES_ASSIGN_OR_RETURN(
+      bool ok, CheckNow(txn, ctx_.clock->Now(), &reason, id, &pred,
+                        already_taken, &resolved));
+  if (!ok) {
+    return Status::FailedPrecondition("cannot resolve instance for " +
+                                      id.ToString() + ": " + reason);
+  }
+  if (resolved.empty()) {
+    return Status::FailedPrecondition(
+        "promise " + id.ToString() + " has no remaining units under " +
+        pred.ToString());
+  }
+  return resolved;
+}
+
+Result<int64_t> SatisfiabilityEngine::QuantityHeadroom(Transaction* txn,
+                                                       Timestamp now) {
+  if (!is_pool_) {
+    return Status::Unimplemented("instance classes have no quantity headroom");
+  }
+  PROMISES_ASSIGN_OR_RETURN(int64_t quantity, ctx_.rm->GetQuantity(txn, cls_));
+  int64_t promised = 0;
+  for (const PromiseRecord* r : ctx_.table->ActiveForClass(cls_, now)) {
+    for (const Predicate& p : r->predicates) {
+      if (p.resource_class() != cls_ ||
+          p.kind() != PredicateKind::kQuantity) {
+        continue;
+      }
+      int64_t demand = p.amount();
+      auto cit = consumed_.find(std::make_pair(r->id, p.ToString()));
+      if (cit != consumed_.end()) {
+        demand = std::max<int64_t>(0, demand - cit->second);
+      }
+      promised += demand;
+    }
+  }
+  return std::max<int64_t>(0, quantity - promised);
+}
+
+Result<int64_t> SatisfiabilityEngine::CountHeadroom(Transaction* txn,
+                                                    Timestamp now,
+                                                    const Predicate& pred) {
+  if (is_pool_ || pred.kind() != PredicateKind::kProperty) {
+    return Status::Unimplemented("count headroom needs a property predicate "
+                                 "on an instance class");
+  }
+  PROMISES_ASSIGN_OR_RETURN(std::vector<InstanceView> instances,
+                            ctx_.rm->ListInstances(txn, cls_));
+  const Schema* schema = ctx_.rm->GetSchema(cls_);
+
+  std::vector<size_t> rights;
+  std::map<std::string, size_t> right_of_id;
+  for (size_t i = 0; i < instances.size(); ++i) {
+    if (instances[i].status == InstanceStatus::kAvailable) {
+      right_of_id[instances[i].id] = rights.size();
+      rights.push_back(i);
+    }
+  }
+
+  // Seed an incremental matcher with every existing demand; then add
+  // units of `pred` until no augmenting path remains.
+  IncrementalMatcher matcher(rights.size());
+  uint64_t next_demand = 1;
+  for (const PromiseRecord* r : ctx_.table->ActiveForClass(cls_, now)) {
+    for (const Predicate& p : r->predicates) {
+      if (p.resource_class() != cls_) continue;
+      std::vector<size_t> candidates;
+      int64_t units = 0;
+      if (p.kind() == PredicateKind::kNamed) {
+        auto it = right_of_id.find(p.instance_id());
+        if (it != right_of_id.end()) candidates.push_back(it->second);
+        units = 1;
+      } else if (p.kind() == PredicateKind::kProperty) {
+        for (size_t ri = 0; ri < rights.size(); ++ri) {
+          PROMISES_ASSIGN_OR_RETURN(
+              bool m, InstanceMatches(p, instances[rights[ri]], schema));
+          if (m) candidates.push_back(ri);
+        }
+        units = p.count();
+      } else {
+        continue;
+      }
+      for (int64_t u = 0; u < units; ++u) {
+        // Existing promises are satisfiable by invariant; a failed add
+        // here means state drifted (e.g. mid-consumption) — treat the
+        // unit as absorbing no headroom.
+        (void)matcher.AddDemand(next_demand++, candidates);
+      }
+    }
+  }
+
+  std::vector<size_t> candidates;
+  for (size_t ri = 0; ri < rights.size(); ++ri) {
+    PROMISES_ASSIGN_OR_RETURN(
+        bool m, InstanceMatches(pred, instances[rights[ri]], schema));
+    if (m) candidates.push_back(ri);
+  }
+  int64_t headroom = 0;
+  while (matcher.AddDemand(next_demand++, candidates)) ++headroom;
+  return headroom;
+}
+
+Result<bool> SatisfiabilityEngine::CheckNow(
+    Transaction* txn, Timestamp now, std::string* reason,
+    PromiseId resolve_for, const Predicate* resolve_pred,
+    int64_t resolve_taken, std::string* resolved) {
+  std::vector<const PromiseRecord*> active =
+      ctx_.table->ActiveForClass(cls_, now);
+
+  if (is_pool_) {
+    PROMISES_ASSIGN_OR_RETURN(int64_t quantity,
+                              ctx_.rm->GetQuantity(txn, cls_));
+    int64_t promised = 0;
+    for (const PromiseRecord* r : active) {
+      for (const Predicate& p : r->predicates) {
+        if (p.resource_class() == cls_ &&
+            p.kind() == PredicateKind::kQuantity) {
+          int64_t demand = p.amount();
+          auto cit = consumed_.find(std::make_pair(r->id, p.ToString()));
+          if (cit != consumed_.end()) {
+            demand = std::max<int64_t>(0, demand - cit->second);
+          }
+          promised += demand;
+        }
+      }
+    }
+    if (promised > quantity) {
+      *reason = "promised " + std::to_string(promised) + " exceeds " +
+                std::to_string(quantity) + " on hand";
+      return false;
+    }
+    return true;
+  }
+
+  // Instance class: build the §5 bipartite graph.
+  PROMISES_ASSIGN_OR_RETURN(std::vector<InstanceView> instances,
+                            ctx_.rm->ListInstances(txn, cls_));
+  const Schema* schema = ctx_.rm->GetSchema(cls_);
+
+  // Right side: untaken (available) instances.
+  std::vector<size_t> rights;  // index into `instances`
+  std::map<std::string, size_t> right_of_id;
+  for (size_t i = 0; i < instances.size(); ++i) {
+    if (instances[i].status == InstanceStatus::kAvailable) {
+      right_of_id[instances[i].id] = rights.size();
+      rights.push_back(i);
+    }
+  }
+
+  // Left side: demand units from every active promise on this class.
+  std::vector<Unit> units;
+  for (const PromiseRecord* r : active) {
+    for (const Predicate& p : r->predicates) {
+      if (p.resource_class() != cls_) continue;
+      int64_t demand_count;
+      if (p.kind() == PredicateKind::kNamed) {
+        demand_count = 1;
+      } else if (p.kind() == PredicateKind::kProperty) {
+        demand_count = p.count();
+      } else {
+        continue;
+      }
+      // While an action consumes units under a promise it holds, the
+      // consumed units no longer need backing.
+      if (resolve_for.valid() && r->id == resolve_for &&
+          resolve_pred != nullptr && p.Equals(*resolve_pred)) {
+        demand_count = std::max<int64_t>(0, demand_count - resolve_taken);
+      }
+      std::vector<size_t> candidates;
+      if (p.kind() == PredicateKind::kNamed) {
+        auto it = right_of_id.find(p.instance_id());
+        if (it != right_of_id.end()) candidates.push_back(it->second);
+      } else {
+        for (size_t ri = 0; ri < rights.size(); ++ri) {
+          PROMISES_ASSIGN_OR_RETURN(
+              bool m, InstanceMatches(p, instances[rights[ri]], schema));
+          if (m) candidates.push_back(ri);
+        }
+      }
+      for (int64_t u = 0; u < demand_count; ++u) {
+        units.push_back(Unit{r->id, &p, candidates});
+      }
+    }
+  }
+
+  BipartiteGraph graph(units.size(), rights.size());
+  for (size_t l = 0; l < units.size(); ++l) {
+    for (size_t r : units[l].candidates) graph.AddEdge(l, r);
+  }
+  MatchingResult m = MaxMatching(graph);
+  if (!m.Saturating()) {
+    *reason = std::to_string(units.size()) + " demand units vs " +
+              std::to_string(rights.size()) + " available instances; only " +
+              std::to_string(m.size) + " satisfiable";
+    return false;
+  }
+
+  if (resolve_for.valid() && resolved != nullptr && resolve_pred != nullptr) {
+    for (size_t l = 0; l < units.size(); ++l) {
+      if (units[l].promise == resolve_for &&
+          units[l].pred->Equals(*resolve_pred)) {
+        size_t r = m.match_left[l];
+        if (r != MatchingResult::kUnmatched) {
+          *resolved = instances[rights[r]].id;
+        }
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace promises

@@ -1,0 +1,94 @@
+// Application-service interface (§8 'Application').
+//
+// "The responsibility of the application is to process the action
+// request passed from the promise manager. The application uses a
+// resource manager to keep the global system state." Services run
+// inside the operation's ACID transaction and are "coded without
+// explicit knowledge of the PM or its promises" — but well-behaved
+// services consume resources through the ActionContext helpers, which
+// resolve the concrete instance backing a promise (the client only ever
+// holds the abstraction: "a 5th floor room", not "room 512", §2).
+
+#ifndef PROMISES_CORE_SERVICE_API_H_
+#define PROMISES_CORE_SERVICE_API_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "protocol/message.h"
+#include "resource/resource_manager.h"
+#include "txn/transaction.h"
+
+namespace promises {
+
+class PromiseManager;
+
+/// Per-action execution context handed to service callbacks.
+class ActionContext {
+ public:
+  ActionContext(PromiseManager* manager, Transaction* txn, ClientId client,
+                std::vector<PromiseId> env_promises)
+      : manager_(manager),
+        txn_(txn),
+        client_(client),
+        env_promises_(std::move(env_promises)) {}
+
+  Transaction* txn() const { return txn_; }
+  ResourceManager* rm() const;
+  ClientId client() const { return client_; }
+  /// Promises named in the request's <environment> header.
+  const std::vector<PromiseId>& env_promises() const { return env_promises_; }
+
+  /// True when `promise` is part of this action's environment.
+  bool InEnvironment(PromiseId promise) const;
+
+  /// Resolves the next instance of `cls` backing `promise` without
+  /// consuming it.
+  Result<std::string> PeekInstance(PromiseId promise, const std::string& cls);
+
+  /// Resolves and consumes (marks 'taken') one instance of `cls`
+  /// backing `promise`. Returns the concrete instance id. The promise
+  /// must be in this action's environment.
+  Result<std::string> TakeInstance(PromiseId promise, const std::string& cls);
+
+  /// Consumes `n` units from pool `cls`. Unprotected consumption is
+  /// allowed (§8) — the post-action check catches promise violations.
+  Status TakeQuantity(const std::string& cls, int64_t n);
+
+  /// Consumes `n` units from pool `cls` under `promise`: the engine
+  /// draws the consumption down from the promise's reservation, so a
+  /// multi-step order can consume line by line before the final
+  /// release. The promise must be in this action's environment.
+  Status TakeQuantityUnder(PromiseId promise, const std::string& cls,
+                           int64_t n);
+
+  /// Forwards `action` to the upstream promise maker backing the
+  /// delegated promise `promise` on `cls`, executing it under the
+  /// upstream promise's environment (§5 Delegation).
+  Result<ActionResultBody> ForwardUpstream(PromiseId promise,
+                                           const std::string& cls,
+                                           ActionBody action,
+                                           bool release_after);
+
+ private:
+  PromiseManager* manager_;
+  Transaction* txn_;
+  ClientId client_;
+  std::vector<PromiseId> env_promises_;
+  // (promise, resource class) -> instances consumed so far.
+  std::map<std::pair<PromiseId, std::string>, int64_t> taken_;
+};
+
+/// One application operation handler. Returns output parameters or an
+/// error Status (which aborts and rolls back the action).
+using ServiceFn = std::function<Result<std::map<std::string, Value>>(
+    ActionContext* ctx, const std::string& operation,
+    const std::map<std::string, Value>& params)>;
+
+}  // namespace promises
+
+#endif  // PROMISES_CORE_SERVICE_API_H_

@@ -1,0 +1,66 @@
+// §5 'Allocated Tags' engine — soft locks on chosen instances.
+//
+// "We can keep an availability status field as part of the data used to
+// describe the resource instance. This field would be set to something
+// like 'available' initially and then to 'promised' when the instance
+// was provisionally allocated to a client as a result of making a
+// promise. It would then be either set to 'taken' by a subsequent
+// action, or would be reset back to 'available' if the promise is
+// released."
+//
+// Property predicates allocate eagerly: the engine picks `count`
+// matching available instances at grant time and never reconsiders —
+// the deliberate weakness that experiment E4 measures against the
+// tentative engine's reallocation.
+
+#ifndef PROMISES_CORE_TAG_ENGINE_H_
+#define PROMISES_CORE_TAG_ENGINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace promises {
+
+class AllocatedTagEngine : public ResourceEngine {
+ public:
+  AllocatedTagEngine(std::string resource_class, EngineContext ctx)
+      : cls_(std::move(resource_class)), ctx_(ctx) {}
+
+  Technique technique() const override { return Technique::kAllocatedTags; }
+  const std::string& resource_class() const override { return cls_; }
+
+  Status Reserve(Transaction* txn, const PromiseRecord& record,
+                 const Predicate& pred) override;
+  Status Unreserve(Transaction* txn, PromiseId id,
+                   const Predicate& pred) override;
+  Status VerifyConsistent(Transaction* txn, Timestamp now) override;
+  Result<std::string> ResolveInstance(Transaction* txn, PromiseId id,
+                                      const Predicate& pred,
+                                      int64_t already_taken) override;
+  Result<int64_t> CountHeadroom(Transaction* txn, Timestamp now,
+                                const Predicate& pred) override;
+
+ private:
+  // Key for the assignment ledger: one entry per (promise, predicate).
+  using AssignKey = std::pair<PromiseId, std::string>;
+  static AssignKey KeyOf(PromiseId id, const Predicate& pred) {
+    return {id, pred.ToString()};
+  }
+
+  /// Marks `instance` promised and records it under `key`, registering
+  /// undo for both the status flip and the ledger entry.
+  Status TagInstance(Transaction* txn, const AssignKey& key,
+                     const std::string& instance);
+
+  std::string cls_;
+  EngineContext ctx_;
+  // Serialized by the manager's operation lock; undo via transactions.
+  std::map<AssignKey, std::vector<std::string>> assignments_;
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_CORE_TAG_ENGINE_H_

@@ -1,0 +1,223 @@
+#include "core/tentative_engine.h"
+
+#include <algorithm>
+
+#include "predicate/evaluator.h"
+
+namespace promises {
+
+void TentativeEngine::PushStateUndo(Transaction* txn) {
+  IncrementalMatcher::Snapshot snap = matcher_.TakeSnapshot();
+  auto ledger = ledger_;
+  uint64_t next = next_demand_;
+  txn->PushUndo([this, snap = std::move(snap), ledger = std::move(ledger),
+                 next]() mutable {
+    matcher_.Restore(std::move(snap));
+    ledger_ = std::move(ledger);
+    next_demand_ = next;
+  });
+}
+
+std::vector<uint64_t> TentativeEngine::CurrentOwners() const {
+  std::vector<uint64_t> owners(matcher_.num_right());
+  for (size_t r = 0; r < owners.size(); ++r) owners[r] = matcher_.OwnerOf(r);
+  return owners;
+}
+
+Status TentativeEngine::Sync(Transaction* txn) {
+  PROMISES_ASSIGN_OR_RETURN(std::vector<InstanceView> instances,
+                            ctx_.rm->ListInstances(txn, cls_));
+  // Index any new instances (appends only; instance removal from a
+  // class is not part of the model).
+  for (const InstanceView& inst : instances) {
+    if (index_of_.count(inst.id)) continue;
+    size_t idx = matcher_.AddRight();
+    instance_ids_.push_back(inst.id);
+    index_of_[inst.id] = idx;
+    txn->PushUndo([this, id = inst.id] {
+      // AddRight cannot be popped from the matcher (snapshot undos
+      // handle matcher state); only the index maps need trimming when
+      // the enclosing insert rolls back.
+      if (!instance_ids_.empty() && instance_ids_.back() == id) {
+        index_of_.erase(id);
+        instance_ids_.pop_back();
+      }
+    });
+  }
+
+  // Reconcile statuses changed behind the matcher's back.
+  for (const InstanceView& inst : instances) {
+    size_t idx = index_of_.at(inst.id);
+    bool usable = inst.status != InstanceStatus::kTaken;
+    if (!usable && matcher_.RightEnabled(idx)) {
+      // Taken: drop from the matching; a failed rehouse surfaces later
+      // through VerifyConsistent's saturation check.
+      matcher_.DisableRight(idx);
+    } else if (usable && !matcher_.RightEnabled(idx)) {
+      matcher_.EnableRight(idx);
+    }
+  }
+  return Status::OK();
+}
+
+Status TentativeEngine::MirrorStatuses(
+    Transaction* txn, const std::vector<uint64_t>& before_owner) {
+  for (size_t r = 0; r < matcher_.num_right(); ++r) {
+    uint64_t before = r < before_owner.size() ? before_owner[r] : 0;
+    uint64_t after = matcher_.OwnerOf(r);
+    if (before == after) continue;
+    PROMISES_ASSIGN_OR_RETURN(
+        InstanceStatus status,
+        ctx_.rm->GetInstanceStatus(txn, cls_, instance_ids_[r]));
+    if (status == InstanceStatus::kTaken) continue;
+    InstanceStatus want = after != 0 ? InstanceStatus::kPromised
+                                     : InstanceStatus::kAvailable;
+    if (status != want) {
+      PROMISES_RETURN_IF_ERROR(
+          ctx_.rm->SetInstanceStatus(txn, cls_, instance_ids_[r], want));
+    }
+  }
+  return Status::OK();
+}
+
+Status TentativeEngine::Reserve(Transaction* txn, const PromiseRecord& record,
+                                const Predicate& pred) {
+  if (pred.kind() == PredicateKind::kQuantity) {
+    return Status::InvalidArgument(
+        "tentative engine supports named and property predicates only");
+  }
+  PushStateUndo(txn);
+  PROMISES_RETURN_IF_ERROR(Sync(txn));
+  std::vector<uint64_t> before = CurrentOwners();
+
+  // Build candidate sets.
+  std::vector<std::vector<size_t>> unit_candidates;
+  if (pred.kind() == PredicateKind::kNamed) {
+    auto it = index_of_.find(pred.instance_id());
+    if (it == index_of_.end()) {
+      return Status::NotFound("instance '" + pred.instance_id() +
+                              "' not found in '" + cls_ + "'");
+    }
+    unit_candidates.push_back({it->second});
+  } else {
+    PROMISES_ASSIGN_OR_RETURN(std::vector<InstanceView> instances,
+                              ctx_.rm->ListInstances(txn, cls_));
+    const Schema* schema = ctx_.rm->GetSchema(cls_);
+    std::vector<size_t> candidates;
+    for (const InstanceView& inst : instances) {
+      PROMISES_ASSIGN_OR_RETURN(bool m, InstanceMatches(pred, inst, schema));
+      if (m) candidates.push_back(index_of_.at(inst.id));
+    }
+    unit_candidates.assign(static_cast<size_t>(pred.count()), candidates);
+  }
+
+  std::vector<uint64_t> demand_ids;
+  for (const std::vector<size_t>& candidates : unit_candidates) {
+    uint64_t d = next_demand_++;
+    if (!matcher_.AddDemand(d, candidates)) {
+      // State undo closures revert partial adds when the transaction
+      // rolls back; report the precondition failure.
+      return Status::FailedPrecondition(
+          "no assignment possible for " + pred.ToString() + " in '" + cls_ +
+          "' even after reallocation");
+    }
+    demand_ids.push_back(d);
+  }
+
+  // Count displacements: any right whose owner changed from one demand
+  // to a different demand (not 0) was reallocated.
+  std::vector<uint64_t> after = CurrentOwners();
+  for (size_t r = 0; r < after.size(); ++r) {
+    uint64_t b = r < before.size() ? before[r] : 0;
+    if (b != 0 && after[r] != 0 && after[r] != b) ++reallocations_;
+  }
+
+  ledger_[KeyOf(record.id, pred)] = demand_ids;
+  return MirrorStatuses(txn, before);
+}
+
+Status TentativeEngine::Unreserve(Transaction* txn, PromiseId id,
+                                  const Predicate& pred) {
+  auto it = ledger_.find(KeyOf(id, pred));
+  if (it == ledger_.end()) {
+    return Status::Internal("no tentative assignment for " + id.ToString() +
+                            " on '" + cls_ + "'");
+  }
+  PushStateUndo(txn);
+  std::vector<uint64_t> before = CurrentOwners();
+  for (uint64_t d : it->second) matcher_.RemoveDemand(d);
+  ledger_.erase(it);
+  return MirrorStatuses(txn, before);
+}
+
+Result<int64_t> TentativeEngine::CountHeadroom(Transaction* txn,
+                                               Timestamp now,
+                                               const Predicate& pred) {
+  (void)now;
+  if (pred.kind() != PredicateKind::kProperty) {
+    return Status::Unimplemented("count headroom needs a property predicate");
+  }
+  PushStateUndo(txn);  // Sync's reconciliation must roll back too
+  PROMISES_RETURN_IF_ERROR(Sync(txn));
+  PROMISES_ASSIGN_OR_RETURN(std::vector<InstanceView> instances,
+                            ctx_.rm->ListInstances(txn, cls_));
+  const Schema* schema = ctx_.rm->GetSchema(cls_);
+  std::vector<size_t> candidates;
+  for (const InstanceView& inst : instances) {
+    PROMISES_ASSIGN_OR_RETURN(bool m, InstanceMatches(pred, inst, schema));
+    if (m) candidates.push_back(index_of_.at(inst.id));
+  }
+  // Probe on a scratch copy so the live matching is untouched.
+  IncrementalMatcher::Snapshot snap = matcher_.TakeSnapshot();
+  int64_t headroom = 0;
+  uint64_t probe = next_demand_ + 1'000'000;  // ids never persisted
+  while (matcher_.AddDemand(probe++, candidates)) ++headroom;
+  matcher_.Restore(std::move(snap));
+  return headroom;
+}
+
+Status TentativeEngine::VerifyConsistent(Transaction* txn, Timestamp now) {
+  PushStateUndo(txn);
+  std::vector<uint64_t> before = CurrentOwners();
+  PROMISES_RETURN_IF_ERROR(Sync(txn));
+  PROMISES_RETURN_IF_ERROR(MirrorStatuses(txn, before));
+  for (const auto& [key, demand_ids] : ledger_) {
+    const PromiseRecord* rec = ctx_.table->Find(key.first);
+    if (rec == nullptr || !rec->ActiveAt(now)) continue;
+    for (uint64_t d : demand_ids) {
+      if (matcher_.AssignmentOf(d) == IncrementalMatcher::kUnmatched) {
+        return Status::Violated("promise " + key.first.ToString() + " on '" +
+                                cls_ +
+                                "' lost its backing instance and no "
+                                "reallocation exists");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::string> TentativeEngine::ResolveInstance(Transaction* txn,
+                                                     PromiseId id,
+                                                     const Predicate& pred,
+                                                     int64_t already_taken) {
+  (void)txn;
+  auto it = ledger_.find(KeyOf(id, pred));
+  if (it == ledger_.end()) {
+    return Status::NotFound("no tentative assignment for " + id.ToString());
+  }
+  if (already_taken < 0 ||
+      already_taken >= static_cast<int64_t>(it->second.size())) {
+    return Status::FailedPrecondition(
+        "all " + std::to_string(it->second.size()) +
+        " assigned instances already taken under " + id.ToString());
+  }
+  uint64_t d = it->second[static_cast<size_t>(already_taken)];
+  size_t r = matcher_.AssignmentOf(d);
+  if (r == IncrementalMatcher::kUnmatched) {
+    return Status::FailedPrecondition("demand unit of " + id.ToString() +
+                                      " is currently unmatched");
+  }
+  return instance_ids_[r];
+}
+
+}  // namespace promises

@@ -1,0 +1,88 @@
+// §5 'Tentative allocation' engine.
+//
+// "This is a hybrid mechanism, where property-based promise requests
+// are met by marking the chosen resource instances as 'promised', and
+// also remembering the specific predicate that resulted in this
+// resource allocation. If a later promise request is not satisfiable
+// from the pool of unallocated instances, the manager can consider
+// rearranging these tentative allocations to allow it continue to meet
+// all previous promises as well as granting the new request."
+//
+// The rearrangement is an augmenting-path search in the demand/instance
+// bipartite graph (IncrementalMatcher): room 512 tentatively allocated
+// for "a room with a view" migrates to the later "a 5th-floor room"
+// request whenever a different room with a view exists. The instance
+// status field mirrors the matching ('promised' = currently matched),
+// per the hybrid description.
+
+#ifndef PROMISES_CORE_TENTATIVE_ENGINE_H_
+#define PROMISES_CORE_TENTATIVE_ENGINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "matching/bipartite.h"
+
+namespace promises {
+
+class TentativeEngine : public ResourceEngine {
+ public:
+  TentativeEngine(std::string resource_class, EngineContext ctx)
+      : cls_(std::move(resource_class)), ctx_(ctx), matcher_(0) {}
+
+  Technique technique() const override { return Technique::kTentative; }
+  const std::string& resource_class() const override { return cls_; }
+
+  Status Reserve(Transaction* txn, const PromiseRecord& record,
+                 const Predicate& pred) override;
+  Status Unreserve(Transaction* txn, PromiseId id,
+                   const Predicate& pred) override;
+  Status VerifyConsistent(Transaction* txn, Timestamp now) override;
+  Result<std::string> ResolveInstance(Transaction* txn, PromiseId id,
+                                      const Predicate& pred,
+                                      int64_t already_taken) override;
+  Result<int64_t> CountHeadroom(Transaction* txn, Timestamp now,
+                                const Predicate& pred) override;
+
+  /// Times an augmenting-path search displaced an earlier tentative
+  /// choice (the §5 "rearranging" at work); exposed for E4.
+  uint64_t reallocations() const { return reallocations_; }
+
+ private:
+  using AssignKey = std::pair<PromiseId, std::string>;
+  static AssignKey KeyOf(PromiseId id, const Predicate& pred) {
+    return {id, pred.ToString()};
+  }
+
+  /// Loads/refreshes the instance index and reconciles matcher state
+  /// with externally changed statuses (taken instances drop out,
+  /// re-available ones return). Mutations are undoable via `txn`.
+  Status Sync(Transaction* txn);
+
+  /// Registers an undo closure restoring the complete matcher + ledger
+  /// state as of now. Call before any mutation batch.
+  void PushStateUndo(Transaction* txn);
+
+  /// Flips RM statuses so that matched rights read 'promised' and
+  /// unmatched non-taken rights read 'available', diffing against
+  /// `before_owner`.
+  Status MirrorStatuses(Transaction* txn,
+                        const std::vector<uint64_t>& before_owner);
+
+  std::vector<uint64_t> CurrentOwners() const;
+
+  std::string cls_;
+  EngineContext ctx_;
+  IncrementalMatcher matcher_;
+  std::vector<std::string> instance_ids_;           // right index -> id
+  std::map<std::string, size_t> index_of_;          // id -> right index
+  std::map<AssignKey, std::vector<uint64_t>> ledger_;  // demand ids
+  uint64_t next_demand_ = 1;
+  uint64_t reallocations_ = 0;
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_CORE_TENTATIVE_ENGINE_H_

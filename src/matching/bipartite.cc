@@ -1,0 +1,155 @@
+#include "matching/bipartite.h"
+
+#include <functional>
+#include <limits>
+#include <queue>
+
+namespace promises {
+
+namespace {
+constexpr size_t kUnmatched = MatchingResult::kUnmatched;
+constexpr size_t kInf = std::numeric_limits<size_t>::max();
+}  // namespace
+
+MatchingResult MaxMatching(const BipartiteGraph& graph) {
+  const size_t nl = graph.num_left();
+  const size_t nr = graph.num_right();
+  MatchingResult res;
+  res.match_left.assign(nl, kUnmatched);
+  res.match_right.assign(nr, kUnmatched);
+
+  std::vector<size_t> dist(nl, kInf);
+
+  // BFS phase: layer the graph from free left vertices.
+  auto bfs = [&]() -> bool {
+    std::queue<size_t> q;
+    for (size_t l = 0; l < nl; ++l) {
+      if (res.match_left[l] == kUnmatched) {
+        dist[l] = 0;
+        q.push(l);
+      } else {
+        dist[l] = kInf;
+      }
+    }
+    bool found_free_right = false;
+    while (!q.empty()) {
+      size_t l = q.front();
+      q.pop();
+      for (size_t r : graph.Neighbors(l)) {
+        size_t l2 = res.match_right[r];
+        if (l2 == kUnmatched) {
+          found_free_right = true;
+        } else if (dist[l2] == kInf) {
+          dist[l2] = dist[l] + 1;
+          q.push(l2);
+        }
+      }
+    }
+    return found_free_right;
+  };
+
+  // DFS phase: find vertex-disjoint shortest augmenting paths.
+  std::function<bool(size_t)> dfs = [&](size_t l) -> bool {
+    for (size_t r : graph.Neighbors(l)) {
+      size_t l2 = res.match_right[r];
+      if (l2 == kUnmatched || (dist[l2] == dist[l] + 1 && dfs(l2))) {
+        res.match_left[l] = r;
+        res.match_right[r] = l;
+        return true;
+      }
+    }
+    dist[l] = kInf;
+    return false;
+  };
+
+  while (bfs()) {
+    for (size_t l = 0; l < nl; ++l) {
+      if (res.match_left[l] == kUnmatched && dfs(l)) ++res.size;
+    }
+  }
+  return res;
+}
+
+IncrementalMatcher::IncrementalMatcher(size_t num_right)
+    : right_owner_(num_right, 0), right_enabled_(num_right, true) {}
+
+bool IncrementalMatcher::TryAugment(uint64_t demand_id,
+                                    std::vector<bool>* visited_right) {
+  Demand& d = demands_.at(demand_id);
+  for (size_t r : d.candidates) {
+    if (r >= right_owner_.size() || !right_enabled_[r] ||
+        (*visited_right)[r]) {
+      continue;
+    }
+    (*visited_right)[r] = true;
+    uint64_t owner = right_owner_[r];
+    if (owner == 0 || TryAugment(owner, visited_right)) {
+      right_owner_[r] = demand_id;
+      d.matched_right = r;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IncrementalMatcher::AddDemand(uint64_t demand_id,
+                                   const std::vector<size_t>& candidates) {
+  if (demand_id == 0) return false;  // 0 is the "free" sentinel
+  auto [it, inserted] = demands_.emplace(demand_id, Demand{candidates});
+  if (!inserted) return false;  // id reuse is a caller bug; refuse
+  std::vector<bool> visited(right_owner_.size(), false);
+  if (TryAugment(demand_id, &visited)) return true;
+  demands_.erase(it);
+  return false;
+}
+
+void IncrementalMatcher::RemoveDemand(uint64_t demand_id) {
+  auto it = demands_.find(demand_id);
+  if (it == demands_.end()) return;
+  if (it->second.matched_right != kUnmatched) {
+    right_owner_[it->second.matched_right] = 0;
+  }
+  demands_.erase(it);
+}
+
+bool IncrementalMatcher::DisableRight(size_t right) {
+  if (right >= right_enabled_.size()) return true;
+  right_enabled_[right] = false;
+  uint64_t owner = right_owner_[right];
+  right_owner_[right] = 0;
+  if (owner == 0) return true;
+  Demand& d = demands_.at(owner);
+  d.matched_right = kUnmatched;
+  std::vector<bool> visited(right_owner_.size(), false);
+  if (TryAugment(owner, &visited)) return true;
+  // Could not rehouse: restore bookkeeping so the caller can decide;
+  // the demand stays registered but unmatched.
+  return false;
+}
+
+void IncrementalMatcher::EnableRight(size_t right) {
+  if (right < right_enabled_.size()) right_enabled_[right] = true;
+}
+
+size_t IncrementalMatcher::AddRight() {
+  right_owner_.push_back(0);
+  right_enabled_.push_back(true);
+  return right_owner_.size() - 1;
+}
+
+IncrementalMatcher::Snapshot IncrementalMatcher::TakeSnapshot() const {
+  return Snapshot{demands_, right_owner_, right_enabled_};
+}
+
+void IncrementalMatcher::Restore(Snapshot snapshot) {
+  demands_ = std::move(snapshot.demands);
+  right_owner_ = std::move(snapshot.right_owner);
+  right_enabled_ = std::move(snapshot.right_enabled);
+}
+
+size_t IncrementalMatcher::AssignmentOf(uint64_t demand_id) const {
+  auto it = demands_.find(demand_id);
+  return it == demands_.end() ? kUnmatched : it->second.matched_right;
+}
+
+}  // namespace promises

@@ -1,0 +1,145 @@
+// Predicate abstract syntax.
+//
+// §2: "Predicates are simply Boolean expressions over resources. Our
+// model imposes no restrictions on the form these expressions can
+// take." This module defines the concrete predicate forms matching the
+// three resource views of §3:
+//
+//   quantity('pink-widget') >= 5                        anonymous, §3.1
+//   available('room', 'r512@2007-03-12')                named,     §3.2
+//   count('room' where floor == 5 && view == true) >= 1 property,  §3.3
+//
+// A promise request carries a *set* of predicates which must be granted
+// atomically (§4). The textual grammar is the reproduction's stand-in
+// for the paper's "agreed standard syntax" (it suggests XPath or SQL);
+// predicates round-trip through text for the protocol layer.
+
+#ifndef PROMISES_PREDICATE_AST_H_
+#define PROMISES_PREDICATE_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "resource/value.h"
+
+namespace promises {
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string_view CompareOpToString(CompareOp op);
+
+/// Applies `op` to the three-way comparison result of lhs vs rhs.
+Result<bool> ApplyCompare(CompareOp op, const Value& lhs, const Value& rhs);
+
+// ---------------------------------------------------------------------
+// Boolean expressions over one instance's properties (§3.3).
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Immutable node of a property-matching expression tree.
+class Expr {
+ public:
+  enum class Kind { kConst, kCompare, kAnd, kOr, kNot };
+
+  static ExprPtr Const(bool value);
+  /// property <op> literal, e.g. floor >= 5.
+  static ExprPtr Compare(std::string property, CompareOp op, Value literal);
+  static ExprPtr And(ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Or(ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Not(ExprPtr operand);
+
+  Kind kind() const { return kind_; }
+  bool const_value() const { return const_value_; }
+  const std::string& property() const { return property_; }
+  CompareOp op() const { return op_; }
+  const Value& literal() const { return literal_; }
+  const ExprPtr& lhs() const { return lhs_; }
+  const ExprPtr& rhs() const { return rhs_; }
+
+  /// Property names referenced anywhere in the tree.
+  void CollectProperties(std::set<std::string>* out) const;
+
+  /// Parenthesised source form; parses back to an equivalent tree.
+  std::string ToString() const;
+
+  /// Structural equality.
+  bool Equals(const Expr& other) const;
+
+ private:
+  explicit Expr(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  bool const_value_ = false;
+  std::string property_;
+  CompareOp op_ = CompareOp::kEq;
+  Value literal_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+// ---------------------------------------------------------------------
+// Top-level predicate forms.
+
+enum class PredicateKind {
+  kQuantity,  ///< §3.1 anonymous pool view.
+  kNamed,     ///< §3.2 named instance view.
+  kProperty,  ///< §3.3 view via properties.
+};
+
+std::string_view PredicateKindToString(PredicateKind k);
+
+/// One condition a promise maker must maintain (§2).
+///
+/// Value-semantic; expression trees are shared immutably.
+class Predicate {
+ public:
+  /// quantity('<pool>') <op> <amount>. For reservations the op is kGe
+  /// ("at least 5 widgets remain for me"); other ops are accepted for
+  /// evaluation-only uses.
+  static Predicate Quantity(std::string pool, CompareOp op, int64_t amount);
+
+  /// available('<class>', '<instance-id>').
+  static Predicate Named(std::string cls, std::string instance_id);
+
+  /// count('<class>' where <expr>) >= <count>.
+  static Predicate Property(std::string cls, ExprPtr match, int64_t count);
+
+  PredicateKind kind() const { return kind_; }
+  /// Resource class (pool or instance class) this predicate covers.
+  const std::string& resource_class() const { return resource_class_; }
+
+  // kQuantity accessors.
+  CompareOp op() const { return op_; }
+  int64_t amount() const { return amount_; }
+
+  // kNamed accessors.
+  const std::string& instance_id() const { return instance_id_; }
+
+  // kProperty accessors.
+  const ExprPtr& match() const { return match_; }
+  int64_t count() const { return amount_; }
+
+  /// Source form; Parser::ParsePredicate inverts it.
+  std::string ToString() const;
+
+  bool Equals(const Predicate& other) const;
+
+ private:
+  Predicate() = default;
+
+  PredicateKind kind_ = PredicateKind::kQuantity;
+  std::string resource_class_;
+  CompareOp op_ = CompareOp::kGe;
+  int64_t amount_ = 0;  // quantity amount or property count
+  std::string instance_id_;
+  ExprPtr match_;
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_PREDICATE_AST_H_

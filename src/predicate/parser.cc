@@ -1,0 +1,411 @@
+#include "predicate/parser.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace promises {
+namespace {
+
+enum class TokKind {
+  kEnd,
+  kIdent,    // bare identifier / keyword
+  kString,   // '...'
+  kInt,
+  kDouble,
+  kLParen,
+  kRParen,
+  kComma,
+  kSemicolon,
+  kBang,
+  kAndAnd,
+  kOrOr,
+  kCmp,      // ==, !=, <, <=, >, >=
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;      // ident name or string body
+  int64_t int_value = 0;
+  double double_value = 0;
+  CompareOp cmp = CompareOp::kEq;
+  size_t pos = 0;        // offset in the input, for error messages
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpace();
+      Token t;
+      t.pos = pos_;
+      if (pos_ >= input_.size()) {
+        t.kind = TokKind::kEnd;
+        out.push_back(t);
+        return out;
+      }
+      char c = input_[pos_];
+      if (c == '(') {
+        t.kind = TokKind::kLParen;
+        ++pos_;
+      } else if (c == ')') {
+        t.kind = TokKind::kRParen;
+        ++pos_;
+      } else if (c == ',') {
+        t.kind = TokKind::kComma;
+        ++pos_;
+      } else if (c == ';') {
+        t.kind = TokKind::kSemicolon;
+        ++pos_;
+      } else if (c == '\'') {
+        PROMISES_RETURN_IF_ERROR(LexString(&t));
+      } else if (c == '&') {
+        PROMISES_RETURN_IF_ERROR(Expect2('&', TokKind::kAndAnd, &t));
+      } else if (c == '|') {
+        PROMISES_RETURN_IF_ERROR(Expect2('|', TokKind::kOrOr, &t));
+      } else if (c == '=') {
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+          t.kind = TokKind::kCmp;
+          t.cmp = CompareOp::kEq;
+          pos_ += 2;
+        } else {
+          return Err("'=' must be '=='");
+        }
+      } else if (c == '!') {
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+          t.kind = TokKind::kCmp;
+          t.cmp = CompareOp::kNe;
+          pos_ += 2;
+        } else {
+          t.kind = TokKind::kBang;
+          ++pos_;
+        }
+      } else if (c == '<') {
+        t.kind = TokKind::kCmp;
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+          t.cmp = CompareOp::kLe;
+          pos_ += 2;
+        } else {
+          t.cmp = CompareOp::kLt;
+          ++pos_;
+        }
+      } else if (c == '>') {
+        t.kind = TokKind::kCmp;
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+          t.cmp = CompareOp::kGe;
+          pos_ += 2;
+        } else {
+          t.cmp = CompareOp::kGt;
+          ++pos_;
+        }
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+                 c == '+') {
+        PROMISES_RETURN_IF_ERROR(LexNumber(&t));
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = pos_;
+        while (pos_ < input_.size() &&
+               (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+                input_[pos_] == '_' || input_[pos_] == '-')) {
+          ++pos_;
+        }
+        t.kind = TokKind::kIdent;
+        t.text = std::string(input_.substr(start, pos_ - start));
+      } else {
+        return Err(std::string("unexpected character '") + c + "'");
+      }
+      out.push_back(std::move(t));
+    }
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status Expect2(char c, TokKind kind, Token* t) {
+    if (pos_ + 1 >= input_.size() || input_[pos_ + 1] != c) {
+      return Err(std::string("expected '") + c + c + "'");
+    }
+    t->kind = kind;
+    pos_ += 2;
+    return Status::OK();
+  }
+
+  Status LexString(Token* t) {
+    ++pos_;  // opening quote
+    std::string body;
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (c == '\\' && pos_ + 1 < input_.size() && input_[pos_ + 1] == '\'') {
+        body += '\'';
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\'') {
+        ++pos_;
+        t->kind = TokKind::kString;
+        t->text = std::move(body);
+        return Status::OK();
+      }
+      body += c;
+      ++pos_;
+    }
+    return Err("unterminated string literal");
+  }
+
+  Status LexNumber(Token* t) {
+    size_t start = pos_;
+    if (input_[pos_] == '-' || input_[pos_] == '+') ++pos_;
+    bool is_double = false;
+    bool seen_exponent = false;
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' && !is_double && !seen_exponent) {
+        is_double = true;
+        ++pos_;
+      } else if ((c == 'e' || c == 'E') && !seen_exponent &&
+                 pos_ + 1 < input_.size() &&
+                 (std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])) ||
+                  input_[pos_ + 1] == '-' || input_[pos_ + 1] == '+')) {
+        seen_exponent = true;
+        is_double = true;
+        ++pos_;
+        if (input_[pos_] == '-' || input_[pos_] == '+') ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string_view text = input_.substr(start, pos_ - start);
+    if (is_double) {
+      PROMISES_ASSIGN_OR_RETURN(t->double_value, ParseDouble(text));
+      t->kind = TokKind::kDouble;
+    } else {
+      PROMISES_ASSIGN_OR_RETURN(t->int_value, ParseInt64(text));
+      t->kind = TokKind::kInt;
+    }
+    return Status::OK();
+  }
+
+  Status Err(std::string msg) const {
+    return Status::InvalidArgument("predicate syntax error at offset " +
+                                   std::to_string(pos_) + ": " +
+                                   std::move(msg));
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Result<Predicate> ParseOnePredicate() {
+    PROMISES_ASSIGN_OR_RETURN(Predicate p, ParsePredicateInner());
+    PROMISES_RETURN_IF_ERROR(ExpectEnd());
+    return p;
+  }
+
+  Result<std::vector<Predicate>> ParseList() {
+    std::vector<Predicate> out;
+    if (Peek().kind == TokKind::kEnd) return out;  // empty list
+    while (true) {
+      PROMISES_ASSIGN_OR_RETURN(Predicate p, ParsePredicateInner());
+      out.push_back(std::move(p));
+      if (Peek().kind == TokKind::kSemicolon) {
+        Advance();
+        if (Peek().kind == TokKind::kEnd) break;  // trailing ';' allowed
+        continue;
+      }
+      break;
+    }
+    PROMISES_RETURN_IF_ERROR(ExpectEnd());
+    return out;
+  }
+
+  Result<ExprPtr> ParseBareExpr() {
+    PROMISES_ASSIGN_OR_RETURN(ExprPtr e, ParseOr());
+    PROMISES_RETURN_IF_ERROR(ExpectEnd());
+    return e;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  const Token& Advance() { return toks_[pos_++]; }
+
+  Status ExpectEnd() {
+    if (Peek().kind != TokKind::kEnd) {
+      return Err("trailing input after predicate");
+    }
+    return Status::OK();
+  }
+
+  Status Expect(TokKind kind, const char* what) {
+    if (Peek().kind != kind) return Err(std::string("expected ") + what);
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectString() {
+    if (Peek().kind != TokKind::kString) return Err("expected string literal");
+    return Advance().text;
+  }
+
+  Result<int64_t> ExpectInt() {
+    if (Peek().kind != TokKind::kInt) return Err("expected integer");
+    return Advance().int_value;
+  }
+
+  Result<Predicate> ParsePredicateInner() {
+    if (Peek().kind != TokKind::kIdent) {
+      return Err("expected 'quantity', 'available' or 'count'");
+    }
+    std::string head = Advance().text;
+    if (head == "quantity") {
+      PROMISES_RETURN_IF_ERROR(Expect(TokKind::kLParen, "'('"));
+      PROMISES_ASSIGN_OR_RETURN(std::string pool, ExpectString());
+      PROMISES_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')'"));
+      if (Peek().kind != TokKind::kCmp) return Err("expected comparison");
+      CompareOp op = Advance().cmp;
+      PROMISES_ASSIGN_OR_RETURN(int64_t amount, ExpectInt());
+      return Predicate::Quantity(std::move(pool), op, amount);
+    }
+    if (head == "available") {
+      PROMISES_RETURN_IF_ERROR(Expect(TokKind::kLParen, "'('"));
+      PROMISES_ASSIGN_OR_RETURN(std::string cls, ExpectString());
+      PROMISES_RETURN_IF_ERROR(Expect(TokKind::kComma, "','"));
+      PROMISES_ASSIGN_OR_RETURN(std::string id, ExpectString());
+      PROMISES_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')'"));
+      return Predicate::Named(std::move(cls), std::move(id));
+    }
+    if (head == "count") {
+      PROMISES_RETURN_IF_ERROR(Expect(TokKind::kLParen, "'('"));
+      PROMISES_ASSIGN_OR_RETURN(std::string cls, ExpectString());
+      if (Peek().kind != TokKind::kIdent || Peek().text != "where") {
+        return Err("expected 'where'");
+      }
+      Advance();
+      PROMISES_ASSIGN_OR_RETURN(ExprPtr match, ParseOr());
+      PROMISES_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')'"));
+      if (Peek().kind != TokKind::kCmp || Peek().cmp != CompareOp::kGe) {
+        return Err("count predicate requires '>='");
+      }
+      Advance();
+      PROMISES_ASSIGN_OR_RETURN(int64_t count, ExpectInt());
+      if (count < 0) return Err("count must be >= 0");
+      return Predicate::Property(std::move(cls), std::move(match), count);
+    }
+    return Err("unknown predicate head '" + head + "'");
+  }
+
+  Result<ExprPtr> ParseOr() {
+    PROMISES_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (Peek().kind == TokKind::kOrOr) {
+      Advance();
+      PROMISES_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::Or(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    PROMISES_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (Peek().kind == TokKind::kAndAnd) {
+      Advance();
+      PROMISES_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = Expr::And(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Peek().kind == TokKind::kBang) {
+      Advance();
+      PROMISES_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+      return Expr::Not(std::move(inner));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    if (Peek().kind == TokKind::kLParen) {
+      Advance();
+      PROMISES_ASSIGN_OR_RETURN(ExprPtr e, ParseOr());
+      PROMISES_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')'"));
+      return e;
+    }
+    if (Peek().kind != TokKind::kIdent) {
+      return Err("expected property name, 'true', 'false' or '('");
+    }
+    std::string name = Advance().text;
+    if (name == "true") return Expr::Const(true);
+    if (name == "false") return Expr::Const(false);
+    if (Peek().kind != TokKind::kCmp) {
+      return Err("expected comparison after property '" + name + "'");
+    }
+    CompareOp op = Advance().cmp;
+    const Token& lit = Peek();
+    switch (lit.kind) {
+      case TokKind::kInt:
+        Advance();
+        return Expr::Compare(std::move(name), op, Value(lit.int_value));
+      case TokKind::kDouble:
+        Advance();
+        return Expr::Compare(std::move(name), op, Value(lit.double_value));
+      case TokKind::kString:
+        Advance();
+        return Expr::Compare(std::move(name), op, Value(lit.text));
+      case TokKind::kIdent:
+        if (lit.text == "true" || lit.text == "false") {
+          Advance();
+          return Expr::Compare(std::move(name), op, Value(lit.text == "true"));
+        }
+        return Err("expected literal, got identifier '" + lit.text + "'");
+      default:
+        return Err("expected literal");
+    }
+  }
+
+  Status Err(std::string msg) const {
+    return Status::InvalidArgument("predicate parse error at offset " +
+                                   std::to_string(Peek().pos) + ": " +
+                                   std::move(msg));
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  return Lexer(input).Run();
+}
+
+}  // namespace
+
+Result<Predicate> ParsePredicate(std::string_view input) {
+  PROMISES_ASSIGN_OR_RETURN(std::vector<Token> toks, Tokenize(input));
+  return Parser(std::move(toks)).ParseOnePredicate();
+}
+
+Result<std::vector<Predicate>> ParsePredicateList(std::string_view input) {
+  PROMISES_ASSIGN_OR_RETURN(std::vector<Token> toks, Tokenize(input));
+  return Parser(std::move(toks)).ParseList();
+}
+
+Result<ExprPtr> ParseExpr(std::string_view input) {
+  PROMISES_ASSIGN_OR_RETURN(std::vector<Token> toks, Tokenize(input));
+  return Parser(std::move(toks)).ParseBareExpr();
+}
+
+}  // namespace promises

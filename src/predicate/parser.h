@@ -1,0 +1,45 @@
+// Recursive-descent parser for the textual predicate syntax.
+//
+// §3: in their most general form predicates are expressed "in the
+// agreed standard syntax" so that a completely general-purpose promise
+// manager can store, check and evaluate them without application
+// knowledge. This grammar is that standard syntax for the reproduction;
+// the protocol layer ships predicates as text and re-parses them on the
+// promise-manager side.
+//
+//   predicate := 'quantity' '(' STRING ')' CMPOP INT
+//              | 'available' '(' STRING ',' STRING ')'
+//              | 'count' '(' STRING 'where' expr ')' '>=' INT
+//   expr      := or ; or := and ('||' and)*
+//   and       := unary ('&&' unary)*
+//   unary     := '!' unary | primary
+//   primary   := '(' expr ')' | 'true' | 'false' | IDENT CMPOP literal
+//   literal   := INT | DOUBLE | STRING | 'true' | 'false'
+//
+// Strings are single-quoted; `\'` escapes a quote. Predicate lists are
+// separated with ';'.
+
+#ifndef PROMISES_PREDICATE_PARSER_H_
+#define PROMISES_PREDICATE_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "predicate/ast.h"
+
+namespace promises {
+
+/// Parses one predicate. The entire input must be consumed.
+Result<Predicate> ParsePredicate(std::string_view input);
+
+/// Parses a ';'-separated list of predicates.
+Result<std::vector<Predicate>> ParsePredicateList(std::string_view input);
+
+/// Parses a bare property expression (the part after `where`).
+Result<ExprPtr> ParseExpr(std::string_view input);
+
+}  // namespace promises
+
+#endif  // PROMISES_PREDICATE_PARSER_H_

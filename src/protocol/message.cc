@@ -1,0 +1,251 @@
+#include "protocol/message.h"
+
+#include "common/string_util.h"
+#include "predicate/parser.h"
+
+namespace promises {
+
+std::string_view PromiseResultCodeToString(PromiseResultCode c) {
+  switch (c) {
+    case PromiseResultCode::kAccepted: return "accepted";
+    case PromiseResultCode::kRejected: return "rejected";
+    case PromiseResultCode::kPending: return "pending";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void WriteParams(const std::map<std::string, Value>& params,
+                 XmlElement* parent) {
+  for (const auto& [name, value] : params) {
+    XmlElement* p = parent->AddChild("param");
+    p->SetAttr("name", name);
+    p->SetAttr("type", std::string(ValueTypeToString(value.type())));
+    p->set_text(value.ToString());
+  }
+}
+
+Result<std::map<std::string, Value>> ReadParams(const XmlElement& parent) {
+  std::map<std::string, Value> out;
+  for (const XmlElement* p : parent.Children("param")) {
+    const std::string& name = p->Attr("name");
+    if (name.empty()) {
+      return Status::InvalidArgument("<param> missing name attribute");
+    }
+    const std::string& type = p->Attr("type");
+    const std::string& text = p->text();
+    if (type == "bool") {
+      out[name] = Value(text == "true");
+    } else if (type == "int") {
+      PROMISES_ASSIGN_OR_RETURN(int64_t v, ParseInt64(text));
+      out[name] = Value(v);
+    } else if (type == "double") {
+      PROMISES_ASSIGN_OR_RETURN(double v, ParseDouble(text));
+      out[name] = Value(v);
+    } else if (type == "string") {
+      out[name] = Value(text);
+    } else {
+      return Status::InvalidArgument("unknown param type '" + type + "'");
+    }
+  }
+  return out;
+}
+
+Result<uint64_t> ReadIdAttr(const XmlElement& e, const std::string& attr) {
+  PROMISES_ASSIGN_OR_RETURN(int64_t v, ParseInt64(e.Attr(attr)));
+  if (v < 0) return Status::InvalidArgument("negative id");
+  return static_cast<uint64_t>(v);
+}
+
+}  // namespace
+
+std::string Envelope::ToXml(bool pretty) const {
+  XmlElement root("envelope");
+  root.SetAttr("message-id", std::to_string(message_id.value()));
+  root.SetAttr("from", from);
+  root.SetAttr("to", to);
+
+  XmlElement* header = root.AddChild("header");
+  if (promise_request) {
+    XmlElement* pr = header->AddChild("promise-request");
+    pr->SetAttr("request-id",
+                std::to_string(promise_request->request_id.value()));
+    pr->SetAttr("duration-ms", std::to_string(promise_request->duration_ms));
+    if (promise_request->queue_if_unavailable) {
+      pr->SetAttr("queue", "true");
+    }
+    for (const Predicate& p : promise_request->predicates) {
+      XmlElement* pe = pr->AddChild("predicate");
+      pe->SetAttr("resource", p.resource_class());
+      pe->set_text(p.ToString());
+    }
+    for (PromiseId id : promise_request->release_on_grant) {
+      XmlElement* rel = pr->AddChild("release-on-grant");
+      rel->SetAttr("promise-id", std::to_string(id.value()));
+    }
+  }
+  if (promise_response) {
+    XmlElement* resp = header->AddChild("promise-response");
+    resp->SetAttr("promise-id",
+                  std::to_string(promise_response->promise_id.value()));
+    resp->SetAttr("result", std::string(PromiseResultCodeToString(
+                                promise_response->result)));
+    resp->SetAttr("duration-ms",
+                  std::to_string(promise_response->granted_duration_ms));
+    resp->SetAttr("correlation",
+                  std::to_string(promise_response->correlation.value()));
+    if (promise_response->pending_ticket != 0) {
+      resp->SetAttr("ticket",
+                    std::to_string(promise_response->pending_ticket));
+    }
+    if (!promise_response->reason.empty()) {
+      resp->AddChild("reason")->set_text(promise_response->reason);
+    }
+    if (!promise_response->counter_offer.empty()) {
+      resp->AddChild("counter-offer")
+          ->set_text(promise_response->counter_offer);
+    }
+  }
+  if (environment) {
+    XmlElement* env = header->AddChild("environment");
+    for (const EnvironmentHeader::Entry& e : environment->entries) {
+      XmlElement* pe = env->AddChild("promise");
+      pe->SetAttr("promise-id", std::to_string(e.promise.value()));
+      pe->SetAttr("release-after", e.release_after ? "true" : "false");
+    }
+  }
+  if (release) {
+    XmlElement* rel = header->AddChild("release");
+    for (PromiseId id : release->promises) {
+      rel->AddChild("promise")->SetAttr("promise-id",
+                                        std::to_string(id.value()));
+    }
+  }
+  if (poll) {
+    header->AddChild("poll")->SetAttr("ticket",
+                                      std::to_string(poll->ticket));
+  }
+
+  XmlElement* body = root.AddChild("body");
+  if (action) {
+    XmlElement* a = body->AddChild("action");
+    a->SetAttr("service", action->service);
+    a->SetAttr("operation", action->operation);
+    WriteParams(action->params, a);
+  }
+  if (action_result) {
+    XmlElement* r = body->AddChild("action-result");
+    r->SetAttr("ok", action_result->ok ? "true" : "false");
+    if (!action_result->error.empty()) {
+      r->AddChild("error")->set_text(action_result->error);
+    }
+    WriteParams(action_result->outputs, r);
+  }
+  return root.ToString(pretty ? 0 : -1);
+}
+
+Result<Envelope> Envelope::FromXml(std::string_view xml) {
+  PROMISES_ASSIGN_OR_RETURN(std::unique_ptr<XmlElement> root, ParseXml(xml));
+  if (root->name() != "envelope") {
+    return Status::InvalidArgument("root element must be <envelope>");
+  }
+  Envelope env;
+  PROMISES_ASSIGN_OR_RETURN(uint64_t mid, ReadIdAttr(*root, "message-id"));
+  env.message_id = MessageId(mid);
+  env.from = root->Attr("from");
+  env.to = root->Attr("to");
+
+  if (const XmlElement* header = root->Child("header")) {
+    if (const XmlElement* pr = header->Child("promise-request")) {
+      PromiseRequestHeader h;
+      PROMISES_ASSIGN_OR_RETURN(uint64_t rid, ReadIdAttr(*pr, "request-id"));
+      h.request_id = RequestId(rid);
+      PROMISES_ASSIGN_OR_RETURN(h.duration_ms,
+                                ParseInt64(pr->Attr("duration-ms")));
+      h.queue_if_unavailable = pr->Attr("queue") == "true";
+      for (const XmlElement* pe : pr->Children("predicate")) {
+        PROMISES_ASSIGN_OR_RETURN(Predicate p, ParsePredicate(pe->text()));
+        h.predicates.push_back(std::move(p));
+      }
+      for (const XmlElement* rel : pr->Children("release-on-grant")) {
+        PROMISES_ASSIGN_OR_RETURN(uint64_t pid, ReadIdAttr(*rel, "promise-id"));
+        h.release_on_grant.push_back(PromiseId(pid));
+      }
+      env.promise_request = std::move(h);
+    }
+    if (const XmlElement* resp = header->Child("promise-response")) {
+      PromiseResponseHeader h;
+      PROMISES_ASSIGN_OR_RETURN(uint64_t pid, ReadIdAttr(*resp, "promise-id"));
+      h.promise_id = PromiseId(pid);
+      const std::string& res = resp->Attr("result");
+      if (res == "accepted") {
+        h.result = PromiseResultCode::kAccepted;
+      } else if (res == "rejected") {
+        h.result = PromiseResultCode::kRejected;
+      } else if (res == "pending") {
+        h.result = PromiseResultCode::kPending;
+      } else {
+        return Status::InvalidArgument("bad promise-response result '" + res +
+                                       "'");
+      }
+      PROMISES_ASSIGN_OR_RETURN(h.granted_duration_ms,
+                                ParseInt64(resp->Attr("duration-ms")));
+      PROMISES_ASSIGN_OR_RETURN(uint64_t cor, ReadIdAttr(*resp, "correlation"));
+      h.correlation = RequestId(cor);
+      if (resp->HasAttr("ticket")) {
+        PROMISES_ASSIGN_OR_RETURN(uint64_t t, ReadIdAttr(*resp, "ticket"));
+        h.pending_ticket = t;
+      }
+      if (const XmlElement* reason = resp->Child("reason")) {
+        h.reason = reason->text();
+      }
+      if (const XmlElement* offer = resp->Child("counter-offer")) {
+        h.counter_offer = offer->text();
+      }
+      env.promise_response = std::move(h);
+    }
+    if (const XmlElement* envh = header->Child("environment")) {
+      EnvironmentHeader h;
+      for (const XmlElement* pe : envh->Children("promise")) {
+        PROMISES_ASSIGN_OR_RETURN(uint64_t pid, ReadIdAttr(*pe, "promise-id"));
+        h.entries.push_back(
+            {PromiseId(pid), pe->Attr("release-after") == "true"});
+      }
+      env.environment = std::move(h);
+    }
+    if (const XmlElement* rel = header->Child("release")) {
+      ReleaseHeader h;
+      for (const XmlElement* pe : rel->Children("promise")) {
+        PROMISES_ASSIGN_OR_RETURN(uint64_t pid, ReadIdAttr(*pe, "promise-id"));
+        h.promises.push_back(PromiseId(pid));
+      }
+      env.release = std::move(h);
+    }
+    if (const XmlElement* pe = header->Child("poll")) {
+      PollHeader h;
+      PROMISES_ASSIGN_OR_RETURN(h.ticket, ReadIdAttr(*pe, "ticket"));
+      env.poll = std::move(h);
+    }
+  }
+
+  if (const XmlElement* body = root->Child("body")) {
+    if (const XmlElement* a = body->Child("action")) {
+      ActionBody h;
+      h.service = a->Attr("service");
+      h.operation = a->Attr("operation");
+      PROMISES_ASSIGN_OR_RETURN(h.params, ReadParams(*a));
+      env.action = std::move(h);
+    }
+    if (const XmlElement* r = body->Child("action-result")) {
+      ActionResultBody h;
+      h.ok = r->Attr("ok") == "true";
+      if (const XmlElement* e = r->Child("error")) h.error = e->text();
+      PROMISES_ASSIGN_OR_RETURN(h.outputs, ReadParams(*r));
+      env.action_result = std::move(h);
+    }
+  }
+  return env;
+}
+
+}  // namespace promises

@@ -1,0 +1,127 @@
+// Promise protocol envelopes (§6).
+//
+// Clients and promise managers exchange promise-related information in
+// message *headers* (<promise-request>, <promise-response>,
+// <environment>, <release>) while application requests travel in the
+// message *body* (<action>) — "the promise release and the application
+// request form an atomic unit" (§2). A message may carry any subset of
+// these parts, related or unrelated (§6), including piggybacked
+// responses.
+
+#ifndef PROMISES_PROTOCOL_MESSAGE_H_
+#define PROMISES_PROTOCOL_MESSAGE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/status.h"
+#include "predicate/ast.h"
+#include "protocol/xml.h"
+#include "resource/value.h"
+
+namespace promises {
+
+/// <promise-request>: asks the promise maker to guarantee a set of
+/// predicates for a duration (§6). All predicates are granted
+/// atomically or the request is rejected (§4). `release_on_grant`
+/// carries the "optional set of promise identifiers that refer to
+/// existing promises that can be released if this new promise request
+/// is successfully granted" — the atomic-update primitive.
+struct PromiseRequestHeader {
+  RequestId request_id;
+  std::vector<Predicate> predicates;
+  DurationMs duration_ms = 0;
+  std::vector<PromiseId> release_on_grant;
+  /// §6 'pending': when true, an ungrantable request joins the maker's
+  /// wait queue instead of being rejected; the response carries
+  /// kPending with a ticket to poll.
+  bool queue_if_unavailable = false;
+};
+
+enum class PromiseResultCode { kAccepted, kRejected, kPending };
+
+std::string_view PromiseResultCodeToString(PromiseResultCode c);
+
+/// <promise-response>: grant/reject outcome correlated to a request.
+struct PromiseResponseHeader {
+  PromiseId promise_id;                    // valid only when accepted
+  PromiseResultCode result = PromiseResultCode::kRejected;
+  DurationMs granted_duration_ms = 0;      // may be shorter than asked (§6)
+  RequestId correlation;
+  std::string reason;                      // human-readable rejection cause
+  /// Wait-queue ticket when result is kPending; poll with <poll>.
+  uint64_t pending_ticket = 0;
+  /// §6 "accepted with the condition XX": on rejection, the strongest
+  /// weaker predicate list the maker could grant instead (textual
+  /// predicate-list form). Empty when no counter-offer applies.
+  std::string counter_offer;
+};
+
+/// <environment>: the promises an action executes under, each with a
+/// release option ("whether the associated promises should be released
+/// after the request has completed", §6).
+struct EnvironmentHeader {
+  struct Entry {
+    PromiseId promise;
+    bool release_after = false;
+  };
+  std::vector<Entry> entries;
+};
+
+/// <release>: explicit promise release without an accompanying action.
+struct ReleaseHeader {
+  std::vector<PromiseId> promises;
+};
+
+/// <poll>: asks the maker to resolve a queued request's ticket. The
+/// reply carries a <promise-response> with kPending (still waiting),
+/// kAccepted (granted meanwhile) or kRejected (patience lapsed).
+struct PollHeader {
+  uint64_t ticket = 0;
+};
+
+/// <action>: one application request for a service.
+struct ActionBody {
+  std::string service;
+  std::string operation;
+  std::map<std::string, Value> params;
+};
+
+/// <action-result>: service reply passed back through the manager.
+struct ActionResultBody {
+  bool ok = false;
+  std::string error;                        // status text when !ok
+  std::map<std::string, Value> outputs;
+};
+
+/// One transport message: any subset of headers plus at most one body
+/// part in each direction.
+struct Envelope {
+  MessageId message_id;
+  std::string from;
+  std::string to;
+
+  std::optional<PromiseRequestHeader> promise_request;
+  std::optional<PromiseResponseHeader> promise_response;
+  std::optional<EnvironmentHeader> environment;
+  std::optional<ReleaseHeader> release;
+  std::optional<PollHeader> poll;
+  std::optional<ActionBody> action;
+  std::optional<ActionResultBody> action_result;
+
+  /// Serializes to a SOAP-style <envelope><header>…</header><body>…
+  /// </body></envelope> document.
+  std::string ToXml(bool pretty = false) const;
+
+  /// Parses a document produced by ToXml (predicates are re-parsed from
+  /// their textual form).
+  static Result<Envelope> FromXml(std::string_view xml);
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_PROTOCOL_MESSAGE_H_

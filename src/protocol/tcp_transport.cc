@@ -1,0 +1,222 @@
+#include "protocol/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace promises {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Unavailable(what + ": " + std::strerror(errno));
+}
+
+Status WriteAll(int fd, const char* data, size_t len) {
+  size_t written = 0;
+  while (written < len) {
+    ssize_t n = ::send(fd, data + written, len - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status ReadAll(int fd, char* data, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (n == 0) {
+      return Status::Unavailable("connection closed");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, const std::string& payload) {
+  char header[8];
+  uint64_t len = payload.size();
+  for (int i = 7; i >= 0; --i) {
+    header[i] = static_cast<char>(len & 0xff);
+    len >>= 8;
+  }
+  PROMISES_RETURN_IF_ERROR(WriteAll(fd, header, sizeof(header)));
+  return WriteAll(fd, payload.data(), payload.size());
+}
+
+Result<std::string> ReadFrame(int fd) {
+  char header[8];
+  PROMISES_RETURN_IF_ERROR(ReadAll(fd, header, sizeof(header)));
+  uint64_t len = 0;
+  for (char c : header) {
+    len = (len << 8) | static_cast<unsigned char>(c);
+  }
+  constexpr uint64_t kMaxFrame = 64ull << 20;  // 64 MiB sanity cap
+  if (len > kMaxFrame) {
+    return Status::InvalidArgument("oversized frame (" +
+                                   std::to_string(len) + " bytes)");
+  }
+  std::string payload(len, '\0');
+  if (len > 0) {
+    PROMISES_RETURN_IF_ERROR(ReadAll(fd, payload.data(), len));
+  }
+  return payload;
+}
+
+TcpEndpointServer::~TcpEndpointServer() { Stop(); }
+
+Status TcpEndpointServer::Start(uint16_t port, EndpointHandler handler) {
+  if (listen_fd_ >= 0) {
+    return Status::FailedPrecondition("server already started");
+  }
+  handler_ = std::move(handler);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status st = Errno("bind");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    Status st = Errno("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  stopping_ = false;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TcpEndpointServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stopping_ = true;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lk(threads_mu_);
+    threads.swap(connection_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void TcpEndpointServer::AcceptLoop() {
+  while (!stopping_) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lk(threads_mu_);
+    connection_threads_.emplace_back(
+        [this, fd] { ServeConnection(fd); });
+  }
+}
+
+void TcpEndpointServer::ServeConnection(int fd) {
+  while (!stopping_) {
+    Result<std::string> request_xml = ReadFrame(fd);
+    if (!request_xml.ok()) break;  // peer closed or died
+    std::string reply_xml;
+    Result<Envelope> request = Envelope::FromXml(*request_xml);
+    if (!request.ok()) {
+      // Malformed request: answer with a failure result envelope.
+      Envelope fail;
+      fail.message_id = MessageId(1);
+      ActionResultBody r;
+      r.ok = false;
+      r.error = "malformed envelope: " + request.status().ToString();
+      fail.action_result = std::move(r);
+      reply_xml = fail.ToXml();
+    } else {
+      Result<Envelope> reply = handler_(*request);
+      if (!reply.ok()) {
+        Envelope fail;
+        fail.message_id = MessageId(1);
+        fail.to = request->from;
+        ActionResultBody r;
+        r.ok = false;
+        r.error = reply.status().ToString();
+        fail.action_result = std::move(r);
+        reply_xml = fail.ToXml();
+      } else {
+        reply_xml = reply->ToXml();
+      }
+    }
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    if (!WriteFrame(fd, reply_xml).ok()) break;
+  }
+  ::close(fd);
+}
+
+TcpClientChannel::~TcpClientChannel() { Disconnect(); }
+
+Status TcpClientChannel::Connect(uint16_t port) {
+  Disconnect();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Errno("connect");
+    ::close(fd_);
+    fd_ = -1;
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+void TcpClientChannel::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Envelope> TcpClientChannel::Call(const Envelope& request) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  PROMISES_RETURN_IF_ERROR(WriteFrame(fd_, request.ToXml()));
+  PROMISES_ASSIGN_OR_RETURN(std::string reply_xml, ReadFrame(fd_));
+  return Envelope::FromXml(reply_xml);
+}
+
+}  // namespace promises

@@ -1,0 +1,75 @@
+#include "protocol/transport.h"
+
+#include <chrono>
+
+namespace promises {
+
+void Transport::Register(const std::string& name, EndpointHandler handler) {
+  std::lock_guard<std::mutex> lk(mu_);
+  endpoints_[name] = std::move(handler);
+}
+
+void Transport::Unregister(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  endpoints_.erase(name);
+}
+
+void Transport::InjectLatency() const {
+  int64_t us = hop_latency_us_.load(std::memory_order_relaxed);
+  if (us <= 0) return;
+  auto until = std::chrono::steady_clock::now() + std::chrono::microseconds(us);
+  // Busy-wait: sleeps on a 1-core box have scheduler noise far larger
+  // than the latencies being modelled.
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+Result<Envelope> Transport::Send(const Envelope& request) {
+  EndpointHandler handler;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = endpoints_.find(request.to);
+    if (it == endpoints_.end()) {
+      std::lock_guard<std::mutex> sk(stats_mu_);
+      ++stats_.failures;
+      return Status::Unavailable("no endpoint '" + request.to + "'");
+    }
+    handler = it->second;
+  }
+
+  InjectLatency();
+
+  uint64_t hop_bytes = 0;
+  Result<Envelope> reply = [&]() -> Result<Envelope> {
+    if (!encode_on_wire_) return handler(request);
+    std::string wire = request.ToXml();
+    hop_bytes += wire.size();
+    PROMISES_ASSIGN_OR_RETURN(Envelope decoded, Envelope::FromXml(wire));
+    PROMISES_ASSIGN_OR_RETURN(Envelope response, handler(decoded));
+    std::string reply_wire = response.ToXml();
+    hop_bytes += reply_wire.size();
+    return Envelope::FromXml(reply_wire);
+  }();
+
+  InjectLatency();
+
+  {
+    std::lock_guard<std::mutex> sk(stats_mu_);
+    ++stats_.messages;
+    stats_.bytes += hop_bytes;
+    if (!reply.ok()) ++stats_.failures;
+  }
+  return reply;
+}
+
+TransportStats Transport::stats() const {
+  std::lock_guard<std::mutex> sk(stats_mu_);
+  return stats_;
+}
+
+void Transport::ResetStats() {
+  std::lock_guard<std::mutex> sk(stats_mu_);
+  stats_ = TransportStats{};
+}
+
+}  // namespace promises

@@ -1,0 +1,75 @@
+// In-process message transport.
+//
+// Substitution (see DESIGN.md): the paper's prototype exchanged SOAP
+// messages over web-service middleware; here endpoints live in one
+// process and exchange the same XML envelopes synchronously. Optional
+// per-hop latency injection and full serialize/parse on every hop keep
+// the protocol path realistic for the E9 experiment.
+
+#ifndef PROMISES_PROTOCOL_TRANSPORT_H_
+#define PROMISES_PROTOCOL_TRANSPORT_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "protocol/message.h"
+
+namespace promises {
+
+/// Handles one inbound envelope and produces the reply envelope.
+using EndpointHandler = std::function<Result<Envelope>(const Envelope&)>;
+
+struct TransportStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;       ///< Serialized request + response bytes.
+  uint64_t failures = 0;    ///< Handler or parse failures.
+};
+
+/// Synchronous request/response bus between named endpoints.
+class Transport {
+ public:
+  Transport() = default;
+
+  /// When true (default), every Send serializes the envelope to XML and
+  /// the receiving side parses it back — exercising the real protocol
+  /// encoding. When false, envelopes are passed by reference (used to
+  /// isolate encoding cost in E9).
+  void set_encode_on_wire(bool v) { encode_on_wire_ = v; }
+
+  /// Artificial one-way latency added to each hop, in microseconds of
+  /// busy-wait (0 = off). Models WAN cost in a repeatable way.
+  void set_hop_latency_us(int64_t us) { hop_latency_us_ = us; }
+
+  /// Registers `name` as a destination. Replaces any prior handler.
+  void Register(const std::string& name, EndpointHandler handler);
+  void Unregister(const std::string& name);
+
+  /// Delivers `request` to its `to` endpoint and returns the reply.
+  Result<Envelope> Send(const Envelope& request);
+
+  /// Fresh message id for building envelopes.
+  MessageId NextMessageId() { return message_ids_.Next(); }
+
+  TransportStats stats() const;
+  void ResetStats();
+
+ private:
+  void InjectLatency() const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, EndpointHandler> endpoints_;
+  IdGenerator<MessageId> message_ids_;
+  bool encode_on_wire_ = true;
+  std::atomic<int64_t> hop_latency_us_{0};
+  mutable std::mutex stats_mu_;
+  TransportStats stats_;
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_PROTOCOL_TRANSPORT_H_

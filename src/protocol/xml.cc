@@ -1,0 +1,240 @@
+#include "protocol/xml.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace promises {
+
+const std::string& XmlElement::Attr(const std::string& key) const {
+  static const std::string kEmpty;
+  auto it = attrs_.find(key);
+  return it == attrs_.end() ? kEmpty : it->second;
+}
+
+XmlElement* XmlElement::AddChild(std::string name) {
+  children_.push_back(std::make_unique<XmlElement>(std::move(name)));
+  return children_.back().get();
+}
+
+const XmlElement* XmlElement::Child(std::string_view name) const {
+  for (const auto& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const XmlElement*> XmlElement::Children(
+    std::string_view name) const {
+  std::vector<const XmlElement*> out;
+  for (const auto& c : children_) {
+    if (c->name() == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+void XmlElement::Write(std::string* out, int indent) const {
+  std::string pad = indent >= 0 ? std::string(indent * 2, ' ') : "";
+  std::string nl = indent >= 0 ? "\n" : "";
+  *out += pad + "<" + name_;
+  for (const auto& [k, v] : attrs_) {
+    *out += " " + k + "=\"" + XmlEscape(v) + "\"";
+  }
+  if (text_.empty() && children_.empty()) {
+    *out += "/>" + nl;
+    return;
+  }
+  *out += ">";
+  if (!text_.empty()) *out += XmlEscape(text_);
+  if (!children_.empty()) {
+    *out += nl;
+    for (const auto& c : children_) {
+      c->Write(out, indent >= 0 ? indent + 1 : -1);
+    }
+    *out += pad;
+  }
+  *out += "</" + name_ + ">" + nl;
+}
+
+std::string XmlElement::ToString(int indent) const {
+  std::string out;
+  Write(&out, indent);
+  return out;
+}
+
+namespace {
+
+class XmlParser {
+ public:
+  explicit XmlParser(std::string_view input) : in_(input) {}
+
+  Result<std::unique_ptr<XmlElement>> Run() {
+    SkipProlog();
+    PROMISES_ASSIGN_OR_RETURN(std::unique_ptr<XmlElement> root,
+                              ParseElement());
+    SkipSpaceAndComments();
+    if (pos_ != in_.size()) {
+      return Err("trailing content after root element");
+    }
+    return root;
+  }
+
+ private:
+  void SkipSpaceAndComments() {
+    while (pos_ < in_.size()) {
+      if (std::isspace(static_cast<unsigned char>(in_[pos_]))) {
+        ++pos_;
+      } else if (in_.compare(pos_, 4, "<!--") == 0) {
+        size_t end = in_.find("-->", pos_ + 4);
+        pos_ = end == std::string_view::npos ? in_.size() : end + 3;
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipProlog() {
+    SkipSpaceAndComments();
+    if (in_.compare(pos_, 5, "<?xml") == 0) {
+      size_t end = in_.find("?>", pos_);
+      pos_ = end == std::string_view::npos ? in_.size() : end + 2;
+    }
+    SkipSpaceAndComments();
+  }
+
+  bool IsNameChar(char c) const {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+           c == '_' || c == ':' || c == '.';
+  }
+
+  Result<std::string> ParseName() {
+    size_t start = pos_;
+    while (pos_ < in_.size() && IsNameChar(in_[pos_])) ++pos_;
+    if (pos_ == start) return Err("expected name");
+    return std::string(in_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> Unescape(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size();) {
+      if (raw[i] != '&') {
+        out += raw[i++];
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) return Err("unterminated entity");
+      std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "amp") {
+        out += '&';
+      } else if (ent == "lt") {
+        out += '<';
+      } else if (ent == "gt") {
+        out += '>';
+      } else if (ent == "quot") {
+        out += '"';
+      } else if (ent == "apos") {
+        out += '\'';
+      } else {
+        return Err("unknown entity '&" + std::string(ent) + ";'");
+      }
+      i = semi + 1;
+    }
+    return out;
+  }
+
+  Result<std::unique_ptr<XmlElement>> ParseElement() {
+    if (pos_ >= in_.size() || in_[pos_] != '<') return Err("expected '<'");
+    ++pos_;
+    PROMISES_ASSIGN_OR_RETURN(std::string name, ParseName());
+    auto elem = std::make_unique<XmlElement>(name);
+
+    // Attributes.
+    while (true) {
+      while (pos_ < in_.size() &&
+             std::isspace(static_cast<unsigned char>(in_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ >= in_.size()) return Err("unterminated start tag");
+      if (in_[pos_] == '/') {
+        if (pos_ + 1 >= in_.size() || in_[pos_ + 1] != '>') {
+          return Err("malformed self-closing tag");
+        }
+        pos_ += 2;
+        return elem;
+      }
+      if (in_[pos_] == '>') {
+        ++pos_;
+        break;
+      }
+      PROMISES_ASSIGN_OR_RETURN(std::string key, ParseName());
+      if (pos_ >= in_.size() || in_[pos_] != '=') {
+        return Err("expected '=' after attribute name");
+      }
+      ++pos_;
+      if (pos_ >= in_.size() || (in_[pos_] != '"' && in_[pos_] != '\'')) {
+        return Err("expected quoted attribute value");
+      }
+      char quote = in_[pos_++];
+      size_t start = pos_;
+      while (pos_ < in_.size() && in_[pos_] != quote) ++pos_;
+      if (pos_ >= in_.size()) return Err("unterminated attribute value");
+      PROMISES_ASSIGN_OR_RETURN(
+          std::string value, Unescape(in_.substr(start, pos_ - start)));
+      ++pos_;
+      elem->SetAttr(key, std::move(value));
+    }
+
+    // Content: text, children, comments, then the end tag.
+    std::string text;
+    while (true) {
+      if (pos_ >= in_.size()) return Err("unterminated element <" + name + ">");
+      if (in_[pos_] == '<') {
+        if (in_.compare(pos_, 4, "<!--") == 0) {
+          size_t end = in_.find("-->", pos_ + 4);
+          if (end == std::string_view::npos) return Err("unterminated comment");
+          pos_ = end + 3;
+          continue;
+        }
+        if (pos_ + 1 < in_.size() && in_[pos_ + 1] == '/') {
+          pos_ += 2;
+          PROMISES_ASSIGN_OR_RETURN(std::string end_name, ParseName());
+          if (end_name != name) {
+            return Err("mismatched end tag </" + end_name + "> for <" + name +
+                       ">");
+          }
+          if (pos_ >= in_.size() || in_[pos_] != '>') {
+            return Err("malformed end tag");
+          }
+          ++pos_;
+          PROMISES_ASSIGN_OR_RETURN(std::string unescaped, Unescape(text));
+          elem->set_text(std::string(Trim(unescaped)));
+          return elem;
+        }
+        PROMISES_ASSIGN_OR_RETURN(std::unique_ptr<XmlElement> child,
+                                  ParseElement());
+        // Transfer ownership into the tree.
+        elem->AdoptChild(std::move(child));
+        continue;
+      }
+      text += in_[pos_++];
+    }
+  }
+
+  Status Err(std::string msg) const {
+    return Status::InvalidArgument("xml parse error at offset " +
+                                   std::to_string(pos_) + ": " +
+                                   std::move(msg));
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<XmlElement>> ParseXml(std::string_view input) {
+  return XmlParser(input).Run();
+}
+
+}  // namespace promises

@@ -1,0 +1,77 @@
+// Minimal XML document model, writer and parser.
+//
+// §6: "All of our promise protocol messages can be transferred as
+// elements in SOAP message headers and the associated actions can be
+// carried within the body of the same SOAP messages." The reproduction
+// ships envelopes as real XML text so the protocol experiments measure
+// genuine serialize/parse cost.
+//
+// Supported subset: elements, attributes, character data, entity
+// escapes (&amp; &lt; &gt; &quot; &apos;), self-closing tags, comments
+// (skipped), leading XML declaration (skipped). No namespaces beyond
+// literal prefixes in names, no DTD/CDATA.
+
+#ifndef PROMISES_PROTOCOL_XML_H_
+#define PROMISES_PROTOCOL_XML_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace promises {
+
+/// One XML element. Character data is stored in `text` (concatenated,
+/// whitespace-trimmed; mixed content is not preserved in order).
+class XmlElement {
+ public:
+  explicit XmlElement(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  void SetAttr(const std::string& key, std::string value) {
+    attrs_[key] = std::move(value);
+  }
+  /// Attribute value or empty string.
+  const std::string& Attr(const std::string& key) const;
+  bool HasAttr(const std::string& key) const { return attrs_.count(key) > 0; }
+  const std::map<std::string, std::string>& attrs() const { return attrs_; }
+
+  /// Appends and returns a new child element.
+  XmlElement* AddChild(std::string name);
+  /// Appends an already-built child element.
+  void AdoptChild(std::unique_ptr<XmlElement> child) {
+    children_.push_back(std::move(child));
+  }
+  const std::vector<std::unique_ptr<XmlElement>>& children() const {
+    return children_;
+  }
+  /// First child with `name`, or nullptr.
+  const XmlElement* Child(std::string_view name) const;
+  /// All children with `name`.
+  std::vector<const XmlElement*> Children(std::string_view name) const;
+
+  /// Serializes this element (recursively). `indent` < 0 emits compact
+  /// single-line output; >= 0 pretty-prints with that starting depth.
+  std::string ToString(int indent = -1) const;
+
+ private:
+  void Write(std::string* out, int indent) const;
+
+  std::string name_;
+  std::string text_;
+  std::map<std::string, std::string> attrs_;
+  std::vector<std::unique_ptr<XmlElement>> children_;
+};
+
+/// Parses one XML document (a single root element).
+Result<std::unique_ptr<XmlElement>> ParseXml(std::string_view input);
+
+}  // namespace promises
+
+#endif  // PROMISES_PROTOCOL_XML_H_

@@ -1,0 +1,42 @@
+#include "resource/schema.h"
+
+namespace promises {
+
+Schema::Schema(std::vector<PropertyDef> props) : props_(std::move(props)) {}
+
+const PropertyDef* Schema::Find(const std::string& name) const {
+  for (const PropertyDef& p : props_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+Status Schema::ValidateProperties(const PropertyMap& props) const {
+  for (const auto& [name, value] : props) {
+    const PropertyDef* def = Find(name);
+    if (def == nullptr) {
+      return Status::InvalidArgument("property '" + name +
+                                     "' is not exported by the schema");
+    }
+    bool type_ok = value.type() == def->type ||
+                   (value.is_numeric() && (def->type == ValueType::kInt ||
+                                           def->type == ValueType::kDouble));
+    if (!type_ok) {
+      return Status::InvalidArgument(
+          "property '" + name + "' expects " +
+          std::string(ValueTypeToString(def->type)) + " but got " +
+          std::string(ValueTypeToString(value.type())));
+    }
+  }
+  return Status::OK();
+}
+
+bool Schema::Exports(const Schema& required) const {
+  for (const PropertyDef& need : required.properties()) {
+    const PropertyDef* have = Find(need.name);
+    if (have == nullptr || have->type != need.type) return false;
+  }
+  return true;
+}
+
+}  // namespace promises

@@ -1,0 +1,61 @@
+// Resource schemas.
+//
+// §3: clients construct predicates over "defined resource availability
+// data that is specified using standard schemas". A Schema declares the
+// properties a resource class exposes so that predicates can be
+// validated before they are accepted into a promise, and so that
+// heterogeneous providers exporting the same property set can be
+// covered by one predicate (§3.3 polymorphic resources).
+
+#ifndef PROMISES_RESOURCE_SCHEMA_H_
+#define PROMISES_RESOURCE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "resource/value.h"
+
+namespace promises {
+
+/// Declares one exposed property of a resource class.
+struct PropertyDef {
+  std::string name;
+  ValueType type;
+  /// §3.3: values "ordered in acceptability" — a promise may be
+  /// satisfied by a better value (e.g. a seat-class upgrade). When set,
+  /// larger values (per Value::Compare) are acceptable substitutes for
+  /// smaller requested ones.
+  bool upgradeable = false;
+};
+
+/// The property set exported by a resource class.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<PropertyDef> props);
+
+  /// Declaration for `name`, or nullptr when not exported.
+  const PropertyDef* Find(const std::string& name) const;
+
+  bool Has(const std::string& name) const { return Find(name) != nullptr; }
+
+  const std::vector<PropertyDef>& properties() const { return props_; }
+
+  /// Verifies `props` only uses declared names with matching types.
+  /// Missing declared properties are allowed (sparse instances).
+  Status ValidateProperties(const PropertyMap& props) const;
+
+  /// True when every property in `required` is exported by this schema
+  /// with the same type — the §3.3 polymorphism test deciding whether a
+  /// predicate written against `required` can cover this class.
+  bool Exports(const Schema& required) const;
+
+ private:
+  std::vector<PropertyDef> props_;
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_RESOURCE_SCHEMA_H_

@@ -1,0 +1,91 @@
+#include "resource/value.h"
+
+#include <charconv>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace promises {
+
+std::string_view ValueTypeToString(ValueType t) {
+  switch (t) {
+    case ValueType::kBool: return "bool";
+    case ValueType::kInt: return "int";
+    case ValueType::kDouble: return "double";
+    case ValueType::kString: return "string";
+  }
+  return "unknown";
+}
+
+Result<int> Value::Compare(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    double a = AsNumber();
+    double b = other.AsNumber();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (type() != other.type()) {
+    return Status::InvalidArgument(
+        std::string("cannot compare ") + std::string(ValueTypeToString(type())) +
+        " with " + std::string(ValueTypeToString(other.type())));
+  }
+  switch (type()) {
+    case ValueType::kBool: {
+      int a = as_bool() ? 1 : 0;
+      int b = other.as_bool() ? 1 : 0;
+      return a - b;
+    }
+    case ValueType::kString: {
+      int c = as_string().compare(other.as_string());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    default:
+      return Status::Internal("unreachable value comparison");
+  }
+}
+
+bool Value::Equals(const Value& other) const {
+  Result<int> c = Compare(other);
+  return c.ok() && *c == 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kBool:
+      return as_bool() ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(as_int());
+    case ValueType::kDouble: {
+      // Shortest representation that parses back to the same double.
+      char buf[32];
+      auto [ptr, ec] =
+          std::to_chars(buf, buf + sizeof(buf), as_double());
+      if (ec != std::errc()) return "0";
+      std::string s(buf, ptr);
+      // Keep the textual form unambiguously a double (the predicate
+      // grammar distinguishes int and double literals).
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos &&
+          s.find("inf") == std::string::npos &&
+          s.find("nan") == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    case ValueType::kString:
+      return as_string();
+  }
+  return "";
+}
+
+Value Value::FromText(std::string_view text) {
+  std::string_view t = Trim(text);
+  if (t == "true") return Value(true);
+  if (t == "false") return Value(false);
+  if (Result<int64_t> i = ParseInt64(t); i.ok()) return Value(*i);
+  if (Result<double> d = ParseDouble(t); d.ok()) return Value(*d);
+  return Value(std::string(t));
+}
+
+}  // namespace promises

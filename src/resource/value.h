@@ -1,0 +1,85 @@
+// Dynamically-typed values for resource properties.
+//
+// §3.3: predicates are "expressions over the values of abstract
+// properties of resources, not over concrete fields in database
+// tables". Value is the runtime representation of one such property
+// value; the predicate evaluator operates on Values.
+
+#ifndef PROMISES_RESOURCE_VALUE_H_
+#define PROMISES_RESOURCE_VALUE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace promises {
+
+enum class ValueType { kBool, kInt, kDouble, kString };
+
+std::string_view ValueTypeToString(ValueType t);
+
+/// One property value: bool, 64-bit int, double or string.
+///
+/// Ints and doubles compare numerically against each other; all other
+/// cross-type comparisons are errors surfaced by the evaluator.
+class Value {
+ public:
+  Value() : data_(int64_t{0}) {}
+  Value(bool b) : data_(b) {}                    // NOLINT
+  Value(int64_t i) : data_(i) {}                 // NOLINT
+  Value(int i) : data_(int64_t{i}) {}            // NOLINT
+  Value(double d) : data_(d) {}                  // NOLINT
+  Value(std::string s) : data_(std::move(s)) {}  // NOLINT
+  Value(const char* s) : data_(std::string(s)) {}  // NOLINT
+
+  ValueType type() const {
+    switch (data_.index()) {
+      case 0: return ValueType::kBool;
+      case 1: return ValueType::kInt;
+      case 2: return ValueType::kDouble;
+      default: return ValueType::kString;
+    }
+  }
+
+  bool is_bool() const { return type() == ValueType::kBool; }
+  bool is_int() const { return type() == ValueType::kInt; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  bool as_bool() const { return std::get<bool>(data_); }
+  int64_t as_int() const { return std::get<int64_t>(data_); }
+  double as_double() const { return std::get<double>(data_); }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+
+  /// Numeric value widened to double (ints and doubles only).
+  double AsNumber() const {
+    return is_int() ? static_cast<double>(as_int()) : as_double();
+  }
+
+  /// Three-way comparison: -1, 0, +1; error on incomparable types.
+  Result<int> Compare(const Value& other) const;
+
+  /// Equality per Compare semantics (numeric cross-type allowed);
+  /// incomparable types are simply unequal.
+  bool Equals(const Value& other) const;
+
+  std::string ToString() const;
+
+  /// Parses the textual forms produced by ToString: `true`/`false`,
+  /// integers, decimals, and anything else as a string.
+  static Value FromText(std::string_view text);
+
+ private:
+  std::variant<bool, int64_t, double, std::string> data_;
+};
+
+/// Named property values of one resource instance.
+using PropertyMap = std::map<std::string, Value>;
+
+}  // namespace promises
+
+#endif  // PROMISES_RESOURCE_VALUE_H_

@@ -1,0 +1,239 @@
+#include "service/client.h"
+
+#include "predicate/parser.h"
+
+namespace promises {
+
+Envelope PromiseClient::NewEnvelope() {
+  Envelope env;
+  env.message_id = transport_->NextMessageId();
+  env.from = name_;
+  env.to = manager_;
+  return env;
+}
+
+Result<Envelope> PromiseClient::Send(Envelope envelope) {
+  return transport_->Send(envelope);
+}
+
+Result<ClientPromise> PromiseClient::Request(
+    const std::string& predicates, DurationMs duration_ms,
+    std::vector<PromiseId> release_on_grant) {
+  PROMISES_ASSIGN_OR_RETURN(std::vector<Predicate> parsed,
+                            ParsePredicateList(predicates));
+  return Request(std::move(parsed), duration_ms, std::move(release_on_grant));
+}
+
+Result<ClientPromise> PromiseClient::Request(
+    std::vector<Predicate> predicates, DurationMs duration_ms,
+    std::vector<PromiseId> release_on_grant) {
+  Envelope env = NewEnvelope();
+  PromiseRequestHeader req;
+  req.request_id = request_ids_.Next();
+  req.predicates = std::move(predicates);
+  req.duration_ms = duration_ms;
+  req.release_on_grant = std::move(release_on_grant);
+  RequestId sent_id = req.request_id;
+  env.promise_request = std::move(req);
+
+  PROMISES_ASSIGN_OR_RETURN(Envelope reply, Send(std::move(env)));
+  if (!reply.promise_response) {
+    return Status::Internal("manager sent no promise-response");
+  }
+  const PromiseResponseHeader& resp = *reply.promise_response;
+  if (resp.correlation != sent_id) {
+    return Status::Internal("promise-response correlation mismatch");
+  }
+  if (resp.result != PromiseResultCode::kAccepted) {
+    return Status::FailedPrecondition("promise rejected: " + resp.reason);
+  }
+  return ClientPromise{resp.promise_id, resp.granted_duration_ms};
+}
+
+Result<PromiseClient::RequestOutcome> PromiseClient::TryRequest(
+    const std::string& predicates, DurationMs duration_ms,
+    std::vector<PromiseId> release_on_grant) {
+  PROMISES_ASSIGN_OR_RETURN(std::vector<Predicate> parsed,
+                            ParsePredicateList(predicates));
+  Envelope env = NewEnvelope();
+  PromiseRequestHeader req;
+  req.request_id = request_ids_.Next();
+  req.predicates = std::move(parsed);
+  req.duration_ms = duration_ms;
+  req.release_on_grant = std::move(release_on_grant);
+  env.promise_request = std::move(req);
+
+  PROMISES_ASSIGN_OR_RETURN(Envelope reply, Send(std::move(env)));
+  if (!reply.promise_response) {
+    return Status::Internal("manager sent no promise-response");
+  }
+  const PromiseResponseHeader& resp = *reply.promise_response;
+  RequestOutcome out;
+  out.granted = resp.result == PromiseResultCode::kAccepted;
+  if (out.granted) {
+    out.promise = ClientPromise{resp.promise_id, resp.granted_duration_ms};
+  } else {
+    out.reject_reason = resp.reason;
+    out.counter_offer = resp.counter_offer;
+  }
+  return out;
+}
+
+Result<PromiseClient::CounterAccepted> PromiseClient::RequestOrCounter(
+    const std::string& predicates, DurationMs duration_ms) {
+  PROMISES_ASSIGN_OR_RETURN(RequestOutcome first,
+                            TryRequest(predicates, duration_ms));
+  if (first.granted) {
+    return CounterAccepted{first.promise, false, predicates};
+  }
+  if (first.counter_offer.empty()) {
+    return Status::FailedPrecondition("promise rejected with no "
+                                      "counter-offer: " +
+                                      first.reject_reason);
+  }
+  PROMISES_ASSIGN_OR_RETURN(RequestOutcome second,
+                            TryRequest(first.counter_offer, duration_ms));
+  if (!second.granted) {
+    // The offer lapsed (concurrent grant between the two requests).
+    return Status::FailedPrecondition("counter-offer no longer grantable: " +
+                                      second.reject_reason);
+  }
+  return CounterAccepted{second.promise, true, first.counter_offer};
+}
+
+Result<PromiseClient::Negotiated> PromiseClient::RequestNegotiated(
+    const std::vector<std::string>& alternatives, DurationMs duration_ms) {
+  if (alternatives.empty()) {
+    return Status::InvalidArgument("no alternatives supplied");
+  }
+  std::string last_reason;
+  for (size_t i = 0; i < alternatives.size(); ++i) {
+    Result<ClientPromise> attempt = Request(alternatives[i], duration_ms);
+    if (attempt.ok()) return Negotiated{*attempt, i};
+    // Syntax and transport errors abort the negotiation; only promise
+    // rejection moves on to the next alternative.
+    if (attempt.status().code() != StatusCode::kFailedPrecondition) {
+      return attempt.status();
+    }
+    last_reason = attempt.status().message();
+  }
+  return Status::FailedPrecondition(
+      "no alternative grantable; last rejection: " + last_reason);
+}
+
+namespace {
+
+PromiseClient::QueuedRequest DecodeQueued(const PromiseResponseHeader& resp) {
+  PromiseClient::QueuedRequest out;
+  switch (resp.result) {
+    case PromiseResultCode::kAccepted:
+      out.granted = true;
+      out.promise = ClientPromise{resp.promise_id, resp.granted_duration_ms};
+      break;
+    case PromiseResultCode::kPending:
+      out.pending = true;
+      out.ticket = resp.pending_ticket;
+      break;
+    case PromiseResultCode::kRejected:
+      out.reject_reason = resp.reason;
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<PromiseClient::QueuedRequest> PromiseClient::RequestQueued(
+    const std::string& predicates, DurationMs duration_ms) {
+  PROMISES_ASSIGN_OR_RETURN(std::vector<Predicate> parsed,
+                            ParsePredicateList(predicates));
+  Envelope env = NewEnvelope();
+  PromiseRequestHeader req;
+  req.request_id = request_ids_.Next();
+  req.predicates = std::move(parsed);
+  req.duration_ms = duration_ms;
+  req.queue_if_unavailable = true;
+  env.promise_request = std::move(req);
+  PROMISES_ASSIGN_OR_RETURN(Envelope reply, Send(std::move(env)));
+  if (!reply.promise_response) {
+    return Status::Internal("manager sent no promise-response");
+  }
+  return DecodeQueued(*reply.promise_response);
+}
+
+Result<PromiseClient::QueuedRequest> PromiseClient::Poll(uint64_t ticket) {
+  Envelope env = NewEnvelope();
+  env.poll = PollHeader{ticket};
+  PROMISES_ASSIGN_OR_RETURN(Envelope reply, Send(std::move(env)));
+  if (!reply.promise_response) {
+    return Status::Internal("manager sent no promise-response");
+  }
+  return DecodeQueued(*reply.promise_response);
+}
+
+Status PromiseClient::Release(const std::vector<PromiseId>& ids) {
+  Envelope env = NewEnvelope();
+  env.release = ReleaseHeader{ids};
+  PROMISES_ASSIGN_OR_RETURN(Envelope reply, Send(std::move(env)));
+  (void)reply;
+  return Status::OK();
+}
+
+Result<ActionResultBody> PromiseClient::Act(const ActionBody& action,
+                                            const std::vector<PromiseId>& env,
+                                            bool release_after) {
+  Envelope envelope = NewEnvelope();
+  if (!env.empty()) {
+    EnvironmentHeader header;
+    for (PromiseId id : env) header.entries.push_back({id, release_after});
+    envelope.environment = std::move(header);
+  }
+  envelope.action = action;
+  PROMISES_ASSIGN_OR_RETURN(Envelope reply, Send(std::move(envelope)));
+  if (!reply.action_result) {
+    return Status::Internal("manager sent no action-result");
+  }
+  return *reply.action_result;
+}
+
+Result<PromiseClient::CombinedOutcome> PromiseClient::RequestAndAct(
+    const std::string& predicates, DurationMs duration_ms,
+    const ActionBody& action, bool release_after,
+    const std::vector<EnvironmentHeader::Entry>& extra_env) {
+  PROMISES_ASSIGN_OR_RETURN(std::vector<Predicate> parsed,
+                            ParsePredicateList(predicates));
+  Envelope env = NewEnvelope();
+  PromiseRequestHeader req;
+  req.request_id = request_ids_.Next();
+  req.predicates = std::move(parsed);
+  req.duration_ms = duration_ms;
+  env.promise_request = std::move(req);
+
+  EnvironmentHeader header;
+  // Promise id 0 = "the promise granted by this envelope" (manager
+  // convention for combined messages).
+  header.entries.push_back({PromiseId(), release_after});
+  for (const EnvironmentHeader::Entry& e : extra_env) {
+    header.entries.push_back(e);
+  }
+  env.environment = std::move(header);
+  env.action = action;
+
+  PROMISES_ASSIGN_OR_RETURN(Envelope reply, Send(std::move(env)));
+  if (!reply.promise_response) {
+    return Status::Internal("manager sent no promise-response");
+  }
+  CombinedOutcome out;
+  out.granted =
+      reply.promise_response->result == PromiseResultCode::kAccepted;
+  if (out.granted) {
+    out.promise = ClientPromise{reply.promise_response->promise_id,
+                                reply.promise_response->granted_duration_ms};
+  } else {
+    out.reject_reason = reply.promise_response->reason;
+  }
+  if (reply.action_result) out.action = *reply.action_result;
+  return out;
+}
+
+}  // namespace promises

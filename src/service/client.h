@@ -1,0 +1,145 @@
+// Promise-aware client library.
+//
+// Wraps the §6 protocol exchange for client applications: building
+// <promise-request> envelopes, correlating responses, attaching
+// <environment> headers to actions, releasing promises, and the
+// combined forms (§2: "Promise release requests can be combined with
+// application request messages"; §4: atomic promise update via
+// release-on-grant).
+
+#ifndef PROMISES_SERVICE_CLIENT_H_
+#define PROMISES_SERVICE_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "protocol/message.h"
+#include "protocol/transport.h"
+
+namespace promises {
+
+/// A granted promise as seen by the client.
+struct ClientPromise {
+  PromiseId id;
+  DurationMs duration_ms = 0;
+};
+
+class PromiseClient {
+ public:
+  PromiseClient(std::string name, Transport* transport,
+                std::string manager_endpoint)
+      : name_(std::move(name)),
+        transport_(transport),
+        manager_(std::move(manager_endpoint)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Requests promises for all predicates atomically. Textual form;
+  /// separate multiple predicates with ';'. A rejection is returned as
+  /// an error Status of code kFailedPrecondition carrying the reason.
+  Result<ClientPromise> Request(const std::string& predicates,
+                                DurationMs duration_ms = 0,
+                                std::vector<PromiseId> release_on_grant = {});
+
+  /// Structured-predicate variant.
+  Result<ClientPromise> Request(std::vector<Predicate> predicates,
+                                DurationMs duration_ms = 0,
+                                std::vector<PromiseId> release_on_grant = {});
+
+  /// Full request outcome, exposing the maker's §6 counter-offer on
+  /// rejection (unlike Request, a rejection is a value here).
+  struct RequestOutcome {
+    bool granted = false;
+    ClientPromise promise;
+    std::string reject_reason;
+    /// Predicate list the maker offered instead (may be empty).
+    std::string counter_offer;
+  };
+  Result<RequestOutcome> TryRequest(
+      const std::string& predicates, DurationMs duration_ms = 0,
+      std::vector<PromiseId> release_on_grant = {});
+
+  /// Requests `predicates`; if rejected with a counter-offer, accepts
+  /// the counter-offer (one round). Returns the promise and whether the
+  /// counter was taken.
+  struct CounterAccepted {
+    ClientPromise promise;
+    bool took_counter = false;
+    std::string granted_predicates;  ///< what was actually promised
+  };
+  Result<CounterAccepted> RequestOrCounter(const std::string& predicates,
+                                           DurationMs duration_ms = 0);
+
+  /// §4 atomic update: obtain `predicates` while handing back `old_id`.
+  Result<ClientPromise> Update(PromiseId old_id,
+                               const std::string& predicates,
+                               DurationMs duration_ms = 0) {
+    return Request(predicates, duration_ms, {old_id});
+  }
+
+  Status Release(const std::vector<PromiseId>& ids);
+
+  /// §3.3 negotiation: "the client may initially request a non-smoking
+  /// room with a view and twin beds, and eventually accept a promise
+  /// for a room with just twin beds." `alternatives` lists predicate
+  /// sets from most to least desirable; the first grantable one wins.
+  struct Negotiated {
+    ClientPromise promise;
+    /// Index into `alternatives` that was granted (0 = most desirable).
+    size_t alternative = 0;
+  };
+  Result<Negotiated> RequestNegotiated(
+      const std::vector<std::string>& alternatives,
+      DurationMs duration_ms = 0);
+
+  /// Executes an action under the given environment promises.
+  /// `release_after` applies to every listed promise.
+  Result<ActionResultBody> Act(const ActionBody& action,
+                               const std::vector<PromiseId>& env = {},
+                               bool release_after = false);
+
+  /// One-envelope combined request+action (§6 / §8 prototype): the
+  /// action runs under the newly granted promise (plus `extra_env`) and
+  /// is skipped when the request is rejected. Set `release_after` to
+  /// bind the new promise's release to the action's success.
+  struct CombinedOutcome {
+    bool granted = false;
+    ClientPromise promise;
+    std::string reject_reason;
+    ActionResultBody action;
+  };
+  Result<CombinedOutcome> RequestAndAct(
+      const std::string& predicates, DurationMs duration_ms,
+      const ActionBody& action, bool release_after,
+      const std::vector<EnvironmentHeader::Entry>& extra_env = {});
+
+  /// §6 'pending' over the wire: like TryRequest but an ungrantable
+  /// request joins the maker's wait queue; Poll resolves the ticket.
+  struct QueuedRequest {
+    bool granted = false;
+    ClientPromise promise;
+    bool pending = false;
+    uint64_t ticket = 0;
+    std::string reject_reason;
+  };
+  Result<QueuedRequest> RequestQueued(const std::string& predicates,
+                                      DurationMs duration_ms = 0);
+  Result<QueuedRequest> Poll(uint64_t ticket);
+
+  /// Raw envelope exchange for advanced uses.
+  Result<Envelope> Send(Envelope envelope);
+
+ private:
+  Envelope NewEnvelope();
+
+  std::string name_;
+  Transport* transport_;
+  std::string manager_;
+  IdGenerator<RequestId> request_ids_;
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_SERVICE_CLIENT_H_

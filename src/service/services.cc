@@ -1,0 +1,185 @@
+#include "service/services.h"
+
+#include "common/string_util.h"
+
+namespace promises {
+
+Result<PromiseId> PromiseParam(const std::map<std::string, Value>& params) {
+  auto it = params.find("promise");
+  if (it == params.end() || !it->second.is_int()) {
+    return Status::InvalidArgument("missing int parameter 'promise'");
+  }
+  return PromiseId(static_cast<uint64_t>(it->second.as_int()));
+}
+
+Result<std::string> StringParam(const std::map<std::string, Value>& params,
+                                const std::string& name) {
+  auto it = params.find(name);
+  if (it == params.end() || !it->second.is_string()) {
+    return Status::InvalidArgument("missing string parameter '" + name + "'");
+  }
+  return it->second.as_string();
+}
+
+Result<int64_t> IntParam(const std::map<std::string, Value>& params,
+                         const std::string& name) {
+  auto it = params.find(name);
+  if (it == params.end() || !it->second.is_int()) {
+    return Status::InvalidArgument("missing int parameter '" + name + "'");
+  }
+  return it->second.as_int();
+}
+
+int64_t IntParamOr(const std::map<std::string, Value>& params,
+                   const std::string& name, int64_t fallback) {
+  auto it = params.find(name);
+  if (it == params.end() || !it->second.is_int()) return fallback;
+  return it->second.as_int();
+}
+
+ServiceFn MakeInventoryService() {
+  return [](ActionContext* ctx, const std::string& op,
+            const std::map<std::string, Value>& params)
+             -> Result<std::map<std::string, Value>> {
+    if (op == "purchase") {
+      PROMISES_ASSIGN_OR_RETURN(std::string item, StringParam(params, "item"));
+      PROMISES_ASSIGN_OR_RETURN(int64_t quantity,
+                                IntParam(params, "quantity"));
+      // With a covering promise the consumption draws down the
+      // reservation; without one it is a plain unprotected purchase.
+      if (params.count("promise")) {
+        PROMISES_ASSIGN_OR_RETURN(PromiseId promise, PromiseParam(params));
+        PROMISES_RETURN_IF_ERROR(
+            ctx->TakeQuantityUnder(promise, item, quantity));
+      } else {
+        PROMISES_RETURN_IF_ERROR(ctx->TakeQuantity(item, quantity));
+      }
+      return std::map<std::string, Value>{{"shipped", Value(quantity)}};
+    }
+    if (op == "restock") {
+      PROMISES_ASSIGN_OR_RETURN(std::string item, StringParam(params, "item"));
+      PROMISES_ASSIGN_OR_RETURN(int64_t quantity,
+                                IntParam(params, "quantity"));
+      PROMISES_RETURN_IF_ERROR(
+          ctx->rm()->AdjustQuantity(ctx->txn(), item, quantity));
+      PROMISES_ASSIGN_OR_RETURN(int64_t now_on_hand,
+                                ctx->rm()->GetQuantity(ctx->txn(), item));
+      return std::map<std::string, Value>{{"quantity", Value(now_on_hand)}};
+    }
+    if (op == "check") {
+      PROMISES_ASSIGN_OR_RETURN(std::string item, StringParam(params, "item"));
+      PROMISES_ASSIGN_OR_RETURN(int64_t on_hand,
+                                ctx->rm()->GetQuantity(ctx->txn(), item));
+      return std::map<std::string, Value>{{"quantity", Value(on_hand)}};
+    }
+    return Status::NotFound("inventory: unknown operation '" + op + "'");
+  };
+}
+
+ServiceFn MakeBookingService() {
+  return [](ActionContext* ctx, const std::string& op,
+            const std::map<std::string, Value>& params)
+             -> Result<std::map<std::string, Value>> {
+    if (op == "book") {
+      PROMISES_ASSIGN_OR_RETURN(std::string cls, StringParam(params, "class"));
+      PROMISES_ASSIGN_OR_RETURN(PromiseId promise, PromiseParam(params));
+      int64_t count = IntParamOr(params, "count", 1);
+      std::vector<std::string> booked;
+      for (int64_t i = 0; i < count; ++i) {
+        PROMISES_ASSIGN_OR_RETURN(std::string instance,
+                                  ctx->TakeInstance(promise, cls));
+        booked.push_back(instance);
+      }
+      return std::map<std::string, Value>{{"booked", Value(Join(booked, ","))}};
+    }
+    if (op == "peek") {
+      PROMISES_ASSIGN_OR_RETURN(std::string cls, StringParam(params, "class"));
+      PROMISES_ASSIGN_OR_RETURN(PromiseId promise, PromiseParam(params));
+      PROMISES_ASSIGN_OR_RETURN(std::string instance,
+                                ctx->PeekInstance(promise, cls));
+      return std::map<std::string, Value>{{"instance", Value(instance)}};
+    }
+    if (op == "vacate") {
+      PROMISES_ASSIGN_OR_RETURN(std::string cls, StringParam(params, "class"));
+      PROMISES_ASSIGN_OR_RETURN(std::string instance,
+                                StringParam(params, "instance"));
+      PROMISES_RETURN_IF_ERROR(ctx->rm()->SetInstanceStatus(
+          ctx->txn(), cls, instance, InstanceStatus::kAvailable));
+      return std::map<std::string, Value>{{"ok", Value(true)}};
+    }
+    return Status::NotFound("booking: unknown operation '" + op + "'");
+  };
+}
+
+ServiceFn MakeAccountService() {
+  return [](ActionContext* ctx, const std::string& op,
+            const std::map<std::string, Value>& params)
+             -> Result<std::map<std::string, Value>> {
+    if (op == "withdraw") {
+      PROMISES_ASSIGN_OR_RETURN(std::string account,
+                                StringParam(params, "account"));
+      PROMISES_ASSIGN_OR_RETURN(int64_t amount, IntParam(params, "amount"));
+      if (params.count("promise")) {
+        PROMISES_ASSIGN_OR_RETURN(PromiseId promise, PromiseParam(params));
+        PROMISES_RETURN_IF_ERROR(
+            ctx->TakeQuantityUnder(promise, account, amount));
+      } else {
+        PROMISES_RETURN_IF_ERROR(ctx->TakeQuantity(account, amount));
+      }
+      PROMISES_ASSIGN_OR_RETURN(int64_t left,
+                                ctx->rm()->GetQuantity(ctx->txn(), account));
+      return std::map<std::string, Value>{{"balance-left", Value(left)}};
+    }
+    if (op == "deposit") {
+      PROMISES_ASSIGN_OR_RETURN(std::string account,
+                                StringParam(params, "account"));
+      PROMISES_ASSIGN_OR_RETURN(int64_t amount, IntParam(params, "amount"));
+      PROMISES_RETURN_IF_ERROR(
+          ctx->rm()->AdjustQuantity(ctx->txn(), account, amount));
+      return std::map<std::string, Value>{{"ok", Value(true)}};
+    }
+    if (op == "balance") {
+      PROMISES_ASSIGN_OR_RETURN(std::string account,
+                                StringParam(params, "account"));
+      PROMISES_ASSIGN_OR_RETURN(int64_t balance,
+                                ctx->rm()->GetQuantity(ctx->txn(), account));
+      return std::map<std::string, Value>{{"balance", Value(balance)}};
+    }
+    return Status::NotFound("account: unknown operation '" + op + "'");
+  };
+}
+
+ServiceFn MakeShippingService(std::string local_capacity_pool,
+                              std::string delegated_class) {
+  return [local_capacity_pool, delegated_class](
+             ActionContext* ctx, const std::string& op,
+             const std::map<std::string, Value>& params)
+             -> Result<std::map<std::string, Value>> {
+    if (op != "ship") {
+      return Status::NotFound("shipping: unknown operation '" + op + "'");
+    }
+    int64_t quantity = IntParamOr(params, "quantity", 1);
+    if (!delegated_class.empty()) {
+      PROMISES_ASSIGN_OR_RETURN(PromiseId promise, PromiseParam(params));
+      ActionBody upstream;
+      upstream.service = "inventory";
+      upstream.operation = "purchase";
+      upstream.params["item"] = Value(delegated_class);
+      upstream.params["quantity"] = Value(quantity);
+      PROMISES_ASSIGN_OR_RETURN(
+          ActionResultBody result,
+          ctx->ForwardUpstream(promise, delegated_class, std::move(upstream),
+                               /*release_after=*/true));
+      if (!result.ok) {
+        return Status::FailedPrecondition("upstream shipping failed: " +
+                                          result.error);
+      }
+      return std::map<std::string, Value>{{"shipped", Value(true)}};
+    }
+    PROMISES_RETURN_IF_ERROR(
+        ctx->TakeQuantity(local_capacity_pool, quantity));
+    return std::map<std::string, Value>{{"shipped", Value(true)}};
+  };
+}
+
+}  // namespace promises

@@ -1,0 +1,68 @@
+// Built-in application services (§7, §8).
+//
+// Each factory returns a ServiceFn to register with a PromiseManager.
+// Services follow the paper's application model: they execute inside
+// the manager's per-request ACID transaction, mutate state through the
+// resource manager, and rely on the manager's post-action check to
+// catch promise violations. Operations that consume promised resources
+// receive the covering promise id in the "promise" parameter and go
+// through the ActionContext helpers so the manager can resolve the
+// concrete instance backing an abstract promise.
+
+#ifndef PROMISES_SERVICE_SERVICES_H_
+#define PROMISES_SERVICE_SERVICES_H_
+
+#include "core/service_api.h"
+
+namespace promises {
+
+/// Merchant inventory over anonymous pools (§3.1, Figure 1).
+///
+/// Operations:
+///   purchase  item(string), quantity(int)           -> shipped(int)
+///   restock   item(string), quantity(int)           -> quantity(int)
+///   check     item(string)                          -> quantity(int)
+ServiceFn MakeInventoryService();
+
+/// Bookings over named/property-viewed instances (§3.2, §3.3).
+///
+/// Operations:
+///   book      class(string), promise(int), count(int, default 1)
+///             -> booked(string: comma-joined instance ids)
+///   peek      class(string), promise(int)           -> instance(string)
+///   vacate    class(string), instance(string)       -> ok(bool)
+ServiceFn MakeBookingService();
+
+/// Bank accounts as anonymous numeric resources (§3.1).
+///
+/// Operations:
+///   withdraw  account(string), amount(int)          -> balance-left(int)
+///   deposit   account(string), amount(int)          -> ok(bool)
+///   balance   account(string)                       -> balance(int)
+ServiceFn MakeAccountService();
+
+/// Next-day shipping (§7 second example). Consumes local shipping
+/// capacity, or — when `delegated_class` is nonempty — forwards the
+/// consumption upstream under the delegated promise (§5 Delegation).
+///
+/// Operations:
+///   ship      promise(int), [class(string)], [quantity(int)]
+///             -> shipped(bool)
+ServiceFn MakeShippingService(std::string local_capacity_pool,
+                              std::string delegated_class = "");
+
+/// Pulls the mandatory "promise" int parameter as a PromiseId.
+Result<PromiseId> PromiseParam(const std::map<std::string, Value>& params);
+
+/// Pulls a mandatory string/int parameter.
+Result<std::string> StringParam(const std::map<std::string, Value>& params,
+                                const std::string& name);
+Result<int64_t> IntParam(const std::map<std::string, Value>& params,
+                         const std::string& name);
+/// Pulls an optional int parameter with a default.
+int64_t IntParamOr(const std::map<std::string, Value>& params,
+                   const std::string& name, int64_t fallback);
+
+}  // namespace promises
+
+#endif  // PROMISES_SERVICE_SERVICES_H_

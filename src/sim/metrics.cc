@@ -1,0 +1,72 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace promises {
+
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
+double LatencyRecorder::MeanUs() const {
+  if (samples_.empty()) return 0;
+  double sum = 0;
+  for (int64_t s : samples_) sum += static_cast<double>(s);
+  return sum / static_cast<double>(samples_.size());
+}
+
+int64_t LatencyRecorder::PercentileUs(double p) const {
+  if (samples_.empty()) return 0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  size_t idx = static_cast<size_t>(std::llround(rank));
+  idx = std::min(idx, samples_.size() - 1);
+  return samples_[idx];
+}
+
+void OrderingMetrics::Add(OrderResult result, int64_t latency_us) {
+  switch (result) {
+    case OrderResult::kCompleted: ++completed; break;
+    case OrderResult::kUnavailable: ++unavailable; break;
+    case OrderResult::kFailedLate: ++failed_late; break;
+    case OrderResult::kAborted: ++aborted; break;
+  }
+  latency.Record(latency_us);
+}
+
+void OrderingMetrics::Merge(const OrderingMetrics& other) {
+  completed += other.completed;
+  unavailable += other.unavailable;
+  failed_late += other.failed_late;
+  aborted += other.aborted;
+  latency.Merge(other.latency);
+  wall_time_us = std::max(wall_time_us, other.wall_time_us);
+}
+
+std::string OrderingMetrics::Header() {
+  return "strategy              complete  unavail  fail-late  aborted  "
+         "fail-late%   ops/s   p50(us)   p99(us)";
+}
+
+std::string OrderingMetrics::Row(const std::string& label) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-20s %9llu %8llu %10llu %8llu %10.2f%% %8.0f %9lld %9lld",
+                label.c_str(), static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(unavailable),
+                static_cast<unsigned long long>(failed_late),
+                static_cast<unsigned long long>(aborted),
+                100.0 * FailedLateRate(), Throughput(),
+                static_cast<long long>(latency.PercentileUs(50)),
+                static_cast<long long>(latency.PercentileUs(99)));
+  return buf;
+}
+
+}  // namespace promises

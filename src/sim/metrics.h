@@ -1,0 +1,63 @@
+// Workload metrics: outcome counters and latency distribution.
+
+#ifndef PROMISES_SIM_METRICS_H_
+#define PROMISES_SIM_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baseline/ordering.h"
+
+namespace promises {
+
+/// Collects latency samples (microseconds). Not thread-safe: record per
+/// worker, then Merge.
+class LatencyRecorder {
+ public:
+  void Record(int64_t us) { samples_.push_back(us); }
+  void Merge(const LatencyRecorder& other);
+
+  size_t count() const { return samples_.size(); }
+  double MeanUs() const;
+  /// p in [0,100]; sorts on demand.
+  int64_t PercentileUs(double p) const;
+
+ private:
+  mutable std::vector<int64_t> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Outcomes of a batch of check-think-act orders.
+struct OrderingMetrics {
+  uint64_t completed = 0;
+  uint64_t unavailable = 0;
+  uint64_t failed_late = 0;
+  uint64_t aborted = 0;
+  LatencyRecorder latency;
+  int64_t wall_time_us = 0;
+
+  void Add(OrderResult result, int64_t latency_us);
+  void Merge(const OrderingMetrics& other);
+
+  uint64_t attempts() const {
+    return completed + unavailable + failed_late + aborted;
+  }
+  double FailedLateRate() const {
+    uint64_t a = attempts();
+    return a == 0 ? 0.0 : static_cast<double>(failed_late) / a;
+  }
+  double Throughput() const {
+    return wall_time_us <= 0
+               ? 0.0
+               : static_cast<double>(attempts()) * 1e6 / wall_time_us;
+  }
+
+  /// One formatted report row.
+  std::string Row(const std::string& label) const;
+  static std::string Header();
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_SIM_METRICS_H_

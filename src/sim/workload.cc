@@ -1,0 +1,141 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/rng.h"
+#include "service/services.h"
+
+namespace promises {
+
+std::string_view StrategyKindToString(StrategyKind k) {
+  switch (k) {
+    case StrategyKind::kPromises: return "promises";
+    case StrategyKind::kLocking: return "locking";
+    case StrategyKind::kLockingExclusive: return "locking-x";
+    case StrategyKind::kOptimistic: return "optimistic";
+  }
+  return "unknown";
+}
+
+OrderingWorld::OrderingWorld(const OrderingWorkloadConfig& config)
+    : config_(config), tm_(config.lock_timeout_ms) {
+  for (int i = 0; i < config.num_items; ++i) {
+    items_.push_back("widget-" + std::to_string(i));
+    Status st = rm_.CreatePool(items_.back(), config.initial_stock);
+    (void)st;
+  }
+  PromiseManagerConfig pm_config;
+  pm_config.name = "merchant-pm";
+  // Promise lifetimes comfortably exceed one order's duration.
+  pm_config.default_duration_ms = 60'000;
+  pm_ = std::make_unique<PromiseManager>(pm_config, &clock_, &rm_, &tm_);
+  pm_->RegisterService("inventory", MakeInventoryService());
+}
+
+Status OrderingWorld::ResetStock() {
+  std::unique_ptr<Transaction> txn = tm_.Begin();
+  for (const std::string& item : items_) {
+    PROMISES_ASSIGN_OR_RETURN(int64_t now_on_hand,
+                              rm_.GetQuantity(txn.get(), item));
+    PROMISES_RETURN_IF_ERROR(rm_.AdjustQuantity(
+        txn.get(), item, config_.initial_stock - now_on_hand));
+  }
+  return txn->Commit();
+}
+
+int64_t OrderingWorld::TotalStock() {
+  std::unique_ptr<Transaction> txn = tm_.Begin();
+  int64_t total = 0;
+  for (const std::string& item : items_) {
+    Result<int64_t> q = rm_.GetQuantity(txn.get(), item);
+    if (q.ok()) total += *q;
+  }
+  (void)txn->Commit();
+  return total;
+}
+
+namespace {
+
+std::unique_ptr<OrderingStrategy> MakeStrategy(OrderingWorld* world,
+                                               StrategyKind kind,
+                                               int worker) {
+  switch (kind) {
+    case StrategyKind::kPromises:
+      return std::make_unique<PromiseOrderingStrategy>(
+          &world->pm(),
+          world->pm().ClientFor("worker-" + std::to_string(worker)));
+    case StrategyKind::kLocking:
+      return std::make_unique<LockingOrderingStrategy>(
+          &world->tm(), &world->rm(), /*exclusive_check=*/false);
+    case StrategyKind::kLockingExclusive:
+      return std::make_unique<LockingOrderingStrategy>(
+          &world->tm(), &world->rm(), /*exclusive_check=*/true);
+    case StrategyKind::kOptimistic:
+      return std::make_unique<OptimisticOrderingStrategy>(&world->tm(),
+                                                          &world->rm());
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+OrderingMetrics RunOrderingWorkload(OrderingWorld* world,
+                                    const OrderingWorkloadConfig& config,
+                                    StrategyKind kind) {
+  std::vector<OrderingMetrics> per_worker(config.workers);
+  auto started = std::chrono::steady_clock::now();
+
+  auto worker_fn = [&](int w) {
+    Rng rng(config.seed * 7919 + static_cast<uint64_t>(w) + 1);
+    std::unique_ptr<OrderingStrategy> strategy =
+        MakeStrategy(world, kind, w);
+    for (int i = 0; i < config.orders_per_worker; ++i) {
+      OrderLines lines;
+      // Choose distinct items for multi-line orders.
+      std::vector<int> chosen;
+      while (static_cast<int>(chosen.size()) < config.items_per_order &&
+             static_cast<int>(chosen.size()) < config.num_items) {
+        int item = static_cast<int>(rng.ZipfIndex(
+            static_cast<size_t>(config.num_items), config.zipf_theta));
+        if (std::find(chosen.begin(), chosen.end(), item) == chosen.end()) {
+          chosen.push_back(item);
+        }
+      }
+      if (!config.shuffle_item_order) {
+        std::sort(chosen.begin(), chosen.end());
+      }
+      for (int item : chosen) {
+        lines.emplace_back(world->ItemName(item), config.order_quantity);
+      }
+      auto t0 = std::chrono::steady_clock::now();
+      OrderResult result = strategy->RunOrder(lines, [&] {
+        if (config.think_us > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(config.think_us));
+        }
+      });
+      auto t1 = std::chrono::steady_clock::now();
+      per_worker[w].Add(
+          result,
+          std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+              .count());
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(config.workers);
+  for (int w = 0; w < config.workers; ++w) threads.emplace_back(worker_fn, w);
+  for (std::thread& t : threads) t.join();
+
+  auto finished = std::chrono::steady_clock::now();
+  OrderingMetrics merged;
+  for (const OrderingMetrics& m : per_worker) merged.Merge(m);
+  merged.wall_time_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(finished - started)
+          .count();
+  return merged;
+}
+
+}  // namespace promises

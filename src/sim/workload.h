@@ -1,0 +1,77 @@
+// Concurrent ordering workload (experiments E1 and E6).
+//
+// Models the paper's merchant scenario: concurrent client processes
+// check stock, run a long business step (payment, shippers — simulated
+// as think time), then purchase. The isolation strategy is pluggable so
+// promises, held locks and optimistic check-then-act run the identical
+// workload.
+
+#ifndef PROMISES_SIM_WORKLOAD_H_
+#define PROMISES_SIM_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+
+#include "baseline/ordering.h"
+#include "core/promise_manager.h"
+#include "sim/metrics.h"
+
+namespace promises {
+
+enum class StrategyKind {
+  kPromises,
+  kLocking,           // shared check locks, upgrade at purchase
+  kLockingExclusive,  // write locks from check time
+  kOptimistic,
+};
+
+std::string_view StrategyKindToString(StrategyKind k);
+
+struct OrderingWorkloadConfig {
+  int num_items = 4;             ///< Distinct widget pools.
+  int64_t initial_stock = 200;   ///< Per pool.
+  int64_t order_quantity = 5;    ///< Units per order line.
+  int items_per_order = 1;       ///< >1 exercises multi-resource orders.
+  bool shuffle_item_order = false;  ///< Unordered lock acquisition (E6).
+  int workers = 8;
+  int orders_per_worker = 50;
+  int64_t think_us = 1000;       ///< The "long-running" business step.
+  double zipf_theta = 0.0;       ///< Item popularity skew.
+  uint64_t seed = 42;
+  DurationMs lock_timeout_ms = 250;  ///< For the locking baselines.
+};
+
+/// Shared environment: RM with the item pools, transaction manager,
+/// promise manager with the inventory service registered.
+class OrderingWorld {
+ public:
+  explicit OrderingWorld(const OrderingWorkloadConfig& config);
+
+  ResourceManager& rm() { return rm_; }
+  TransactionManager& tm() { return tm_; }
+  PromiseManager& pm() { return *pm_; }
+  const std::string& ItemName(int i) const { return items_[i]; }
+
+  /// Refills every pool to the configured stock level (between runs).
+  Status ResetStock();
+
+  /// Sum of remaining stock across pools.
+  int64_t TotalStock();
+
+ private:
+  OrderingWorkloadConfig config_;
+  SystemClock clock_;
+  ResourceManager rm_;
+  TransactionManager tm_;
+  std::unique_ptr<PromiseManager> pm_;
+  std::vector<std::string> items_;
+};
+
+/// Runs the workload with `kind` and returns merged metrics.
+OrderingMetrics RunOrderingWorkload(OrderingWorld* world,
+                                    const OrderingWorkloadConfig& config,
+                                    StrategyKind kind);
+
+}  // namespace promises
+
+#endif  // PROMISES_SIM_WORKLOAD_H_

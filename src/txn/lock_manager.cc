@@ -1,0 +1,160 @@
+#include "txn/lock_manager.h"
+
+#include <chrono>
+
+namespace promises {
+
+bool LockManager::CompatibleLocked(const LockState& ls, TxnId txn,
+                                   LockMode mode) const {
+  for (const auto& [holder, held_mode] : ls.holders) {
+    if (holder == txn) continue;  // Own holds never conflict here.
+    if (mode == LockMode::kExclusive || held_mode == LockMode::kExclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LockManager::WouldDeadlockLocked(TxnId waiter, const std::string& key,
+                                      LockMode mode) {
+  // DFS over the wait-for graph: waiter -> holders of `key` that block
+  // it -> keys those holders wait on -> ... A path back to `waiter`
+  // means granting the wait would close a cycle.
+  std::vector<TxnId> stack;
+  std::set<TxnId> seen;
+  auto push_blockers = [&](const std::string& k, TxnId w, LockMode m) {
+    auto it = table_.find(k);
+    if (it == table_.end()) return;
+    for (const auto& [holder, held_mode] : it->second.holders) {
+      if (holder == w) continue;
+      bool blocks =
+          m == LockMode::kExclusive || held_mode == LockMode::kExclusive;
+      if (blocks && seen.insert(holder).second) stack.push_back(holder);
+    }
+  };
+  push_blockers(key, waiter, mode);
+  while (!stack.empty()) {
+    TxnId t = stack.back();
+    stack.pop_back();
+    if (t == waiter) return true;
+    auto wit = waiting_on_.find(t);
+    if (wit == waiting_on_.end()) continue;
+    // t is blocked; anything currently holding the key t waits on, in a
+    // conflicting way, is downstream in the wait-for graph. We treat
+    // every holder of that key as a potential blocker (conservative:
+    // may flag a rare false cycle, never misses a real one).
+    auto it = table_.find(wit->second);
+    if (it == table_.end()) continue;
+    for (const auto& [holder, held_mode] : it->second.holders) {
+      (void)held_mode;
+      if (holder == t) continue;
+      if (seen.insert(holder).second) stack.push_back(holder);
+    }
+  }
+  return false;
+}
+
+Status LockManager::Acquire(TxnId txn, const std::string& key, LockMode mode,
+                            DurationMs timeout_ms) {
+  std::unique_lock<std::mutex> lk(mu_);
+  LockState& ls = table_[key];
+
+  auto self = ls.holders.find(txn);
+  if (self != ls.holders.end()) {
+    if (self->second == LockMode::kExclusive || mode == LockMode::kShared) {
+      return Status::OK();  // Already strong enough.
+    }
+    // S -> X upgrade: wait until we are the only holder.
+    ++stats_.upgrades;
+  }
+
+  auto grantable = [&] {
+    return CompatibleLocked(ls, txn, mode);
+  };
+
+  if (!grantable()) {
+    ++stats_.waits;
+    if (WouldDeadlockLocked(txn, key, mode)) {
+      ++stats_.deadlocks;
+      return Status::Deadlock("lock on '" + key + "' would deadlock " +
+                              txn.ToString());
+    }
+    waiting_on_[txn] = key;
+    ++ls.waiters;
+    bool ok = true;
+    if (timeout_ms < 0) {
+      ls.cv.wait(lk, grantable);
+    } else {
+      ok = ls.cv.wait_for(lk, std::chrono::milliseconds(timeout_ms),
+                          grantable);
+    }
+    --ls.waiters;
+    waiting_on_.erase(txn);
+    if (!ok) {
+      ++stats_.timeouts;
+      if (ls.holders.empty() && ls.waiters == 0) table_.erase(key);
+      return Status::Timeout("lock wait on '" + key + "' timed out");
+    }
+  }
+
+  ls.holders[txn] = mode;
+  ++stats_.acquisitions;
+  return Status::OK();
+}
+
+void LockManager::Release(TxnId txn, const std::string& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = table_.find(key);
+  if (it == table_.end()) return;
+  it->second.holders.erase(txn);
+  if (it->second.holders.empty() && it->second.waiters == 0) {
+    table_.erase(it);
+  } else {
+    it->second.cv.notify_all();
+  }
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto it = table_.begin(); it != table_.end();) {
+    it->second.holders.erase(txn);
+    if (it->second.holders.empty() && it->second.waiters == 0) {
+      it = table_.erase(it);
+    } else {
+      it->second.cv.notify_all();
+      ++it;
+    }
+  }
+}
+
+size_t LockManager::HeldCount(TxnId txn) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  size_t n = 0;
+  for (const auto& [key, ls] : table_) {
+    (void)key;
+    if (ls.holders.count(txn)) ++n;
+  }
+  return n;
+}
+
+bool LockManager::Holds(TxnId txn, const std::string& key,
+                        LockMode mode) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = table_.find(key);
+  if (it == table_.end()) return false;
+  auto h = it->second.holders.find(txn);
+  if (h == it->second.holders.end()) return false;
+  return mode == LockMode::kShared || h->second == LockMode::kExclusive;
+}
+
+LockManagerStats LockManager::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void LockManager::ResetStats() {
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_ = LockManagerStats{};
+}
+
+}  // namespace promises

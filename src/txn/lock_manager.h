@@ -1,0 +1,102 @@
+// Two-phase-locking lock manager.
+//
+// Plays two roles in the reproduction:
+//  1. Substrate for §8's per-request local ACID transactions: every
+//     promise operation (grant / action+check / release / update) runs
+//     under short locks so the promise table and resource state stay
+//     mutually consistent.
+//  2. Baseline for §9: "traditional lock-based isolation" that holds
+//     locks across a long-running operation. The deadlock counters it
+//     exposes are what experiment E6 measures against the paper's claim
+//     that promises reject immediately instead of blocking.
+
+#ifndef PROMISES_TXN_LOCK_MANAGER_H_
+#define PROMISES_TXN_LOCK_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/status.h"
+
+namespace promises {
+
+/// Lock compatibility: any number of kShared holders, or one kExclusive.
+enum class LockMode { kShared, kExclusive };
+
+/// Counters exposed for experiment E6.
+struct LockManagerStats {
+  uint64_t acquisitions = 0;
+  uint64_t waits = 0;        ///< Requests that had to block.
+  uint64_t deadlocks = 0;    ///< Requests aborted by cycle detection.
+  uint64_t timeouts = 0;     ///< Requests aborted by wait budget.
+  uint64_t upgrades = 0;     ///< S->X upgrades performed.
+};
+
+/// Table-driven lock manager with wait-for-graph deadlock detection.
+///
+/// Keys are opaque strings; the resource layer uses "pool:<class>" and
+/// "inst:<class>/<id>" keys, the promise manager locks "promise-table".
+/// Deadlock detection runs at block time: if adding the waiter's
+/// wait-for edges closes a cycle the request is refused with kDeadlock,
+/// implementing immediate-abort rather than victim selection (the
+/// simplest policy; the caller rolls back and may retry).
+class LockManager {
+ public:
+  LockManager() = default;
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Acquires `key` in `mode` for `txn`, blocking up to `timeout_ms`
+  /// (-1 means wait forever). Re-entrant: a txn already holding the key
+  /// in the same or stronger mode succeeds immediately; holding kShared
+  /// and requesting kExclusive performs an upgrade.
+  Status Acquire(TxnId txn, const std::string& key, LockMode mode,
+                 DurationMs timeout_ms = -1);
+
+  /// Releases one key held by `txn`. Missing locks are ignored.
+  void Release(TxnId txn, const std::string& key);
+
+  /// Releases everything `txn` holds (commit / rollback).
+  void ReleaseAll(TxnId txn);
+
+  /// Number of keys currently held by `txn`.
+  size_t HeldCount(TxnId txn) const;
+
+  /// True if `txn` holds `key` in a mode at least as strong as `mode`.
+  bool Holds(TxnId txn, const std::string& key, LockMode mode) const;
+
+  LockManagerStats stats() const;
+  void ResetStats();
+
+ private:
+  struct LockState {
+    // Holders and their modes. Multiple kShared or exactly one
+    // kExclusive entry.
+    std::map<TxnId, LockMode> holders;
+    std::condition_variable cv;
+    int waiters = 0;
+  };
+
+  bool CompatibleLocked(const LockState& ls, TxnId txn, LockMode mode) const;
+  // True if txn can reach any of `targets` through wait-for edges.
+  bool WouldDeadlockLocked(TxnId waiter, const std::string& key,
+                           LockMode mode);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, LockState> table_;
+  // txn -> key it is currently blocked on (at most one per thread/txn).
+  std::unordered_map<TxnId, std::string> waiting_on_;
+  LockManagerStats stats_;
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_TXN_LOCK_MANAGER_H_

@@ -1,0 +1,59 @@
+#include "txn/transaction.h"
+
+#include <memory>
+
+namespace promises {
+
+Transaction::~Transaction() {
+  if (state_ == TxnState::kActive) {
+    // Safety net: an abandoned transaction must not leave partial state
+    // or stranded locks behind.
+    Rollback();
+  }
+}
+
+Status Transaction::Lock(const std::string& key, LockMode mode) {
+  if (!active()) {
+    return Status::FailedPrecondition("transaction is not active");
+  }
+  return locks_->Acquire(id_, key, mode, lock_timeout_ms_);
+}
+
+void Transaction::PushUndo(std::function<void()> undo) {
+  undo_log_.push_back(std::move(undo));
+}
+
+void Transaction::RollbackTo(size_t depth) {
+  while (undo_log_.size() > depth) {
+    undo_log_.back()();
+    undo_log_.pop_back();
+  }
+}
+
+Status Transaction::Commit() {
+  if (!active()) {
+    return Status::FailedPrecondition("transaction already completed");
+  }
+  undo_log_.clear();
+  state_ = TxnState::kCommitted;
+  locks_->ReleaseAll(id_);
+  return Status::OK();
+}
+
+Status Transaction::Rollback() {
+  if (!active()) {
+    return Status::FailedPrecondition("transaction already completed");
+  }
+  RollbackTo(0);
+  state_ = TxnState::kAborted;
+  locks_->ReleaseAll(id_);
+  return Status::OK();
+}
+
+std::unique_ptr<Transaction> TransactionManager::Begin() {
+  begun_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_unique<Transaction>(ids_.Next(), &locks_,
+                                       lock_timeout_ms_);
+}
+
+}  // namespace promises

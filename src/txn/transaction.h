@@ -1,0 +1,99 @@
+// Undo-log based local transactions.
+//
+// §8: "The solution we adopted here was to wrap each promise operation
+// in a transaction... committed or rolled back just before the result
+// of the request is returned to the client. Note that the transaction
+// is local to a trust domain and short-duration."
+//
+// A Transaction accumulates undo closures as state is mutated; Commit
+// discards them, Rollback replays them in reverse order. Locks taken on
+// behalf of the transaction are released at completion (strict 2PL).
+
+#ifndef PROMISES_TXN_TRANSACTION_H_
+#define PROMISES_TXN_TRANSACTION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "txn/lock_manager.h"
+
+namespace promises {
+
+enum class TxnState { kActive, kCommitted, kAborted };
+
+/// One unit of atomic work against the resource store + promise table.
+class Transaction {
+ public:
+  Transaction(TxnId id, LockManager* locks, DurationMs lock_timeout_ms)
+      : id_(id), locks_(locks), lock_timeout_ms_(lock_timeout_ms) {}
+  ~Transaction();
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  TxnId id() const { return id_; }
+  TxnState state() const { return state_; }
+  bool active() const { return state_ == TxnState::kActive; }
+
+  /// Acquires `key` in `mode` through the owning LockManager. Locks are
+  /// held until Commit/Rollback (strict two-phase locking).
+  Status Lock(const std::string& key, LockMode mode);
+
+  /// Registers a closure that reverses a mutation just performed.
+  /// Closures run in reverse registration order on Rollback.
+  void PushUndo(std::function<void()> undo);
+
+  /// Number of undo entries recorded so far; used with RollbackTo for
+  /// partial rollback (statement-level atomicity inside an operation).
+  size_t UndoDepth() const { return undo_log_.size(); }
+
+  /// Rolls back mutations recorded after `depth` without ending the
+  /// transaction. Locks are retained.
+  void RollbackTo(size_t depth);
+
+  /// Makes all mutations durable (drops the undo log) and releases
+  /// locks. Idempotent once the transaction is complete.
+  Status Commit();
+
+  /// Reverses all mutations and releases locks.
+  Status Rollback();
+
+ private:
+  TxnId id_;
+  LockManager* locks_;
+  DurationMs lock_timeout_ms_;
+  TxnState state_ = TxnState::kActive;
+  std::vector<std::function<void()>> undo_log_;
+};
+
+/// Issues transaction ids and constructs transactions bound to a shared
+/// LockManager.
+class TransactionManager {
+ public:
+  explicit TransactionManager(DurationMs lock_timeout_ms = 5000)
+      : lock_timeout_ms_(lock_timeout_ms) {}
+
+  /// Starts a new transaction. The caller owns the returned object and
+  /// must Commit or Rollback it (the destructor rolls back as a
+  /// safety net).
+  std::unique_ptr<Transaction> Begin();
+
+  LockManager& lock_manager() { return locks_; }
+  const LockManager& lock_manager() const { return locks_; }
+
+  uint64_t begun() const { return begun_.load(std::memory_order_relaxed); }
+
+ private:
+  LockManager locks_;
+  IdGenerator<TxnId> ids_;
+  DurationMs lock_timeout_ms_;
+  std::atomic<uint64_t> begun_{0};
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_TXN_TRANSACTION_H_

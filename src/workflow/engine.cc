@@ -1,0 +1,214 @@
+#include "workflow/engine.h"
+
+#include <algorithm>
+
+namespace promises {
+
+WorkflowDef& WorkflowDef::Step(std::string step_name, StepFn fn,
+                               int max_retries) {
+  steps_.push_back(StepDef{std::move(step_name), std::move(fn), max_retries});
+  return *this;
+}
+
+Result<size_t> WorkflowDef::IndexOf(const std::string& step_name) const {
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    if (steps_[i].name == step_name) return i;
+  }
+  return Status::NotFound("workflow '" + name_ + "' has no step '" +
+                          step_name + "'");
+}
+
+Result<uint64_t> WorkflowEngine::Start(
+    const WorkflowDef* def, std::map<std::string, Value> initial_vars) {
+  if (def == nullptr || def->size() == 0) {
+    return Status::InvalidArgument("workflow definition is empty");
+  }
+  // Duplicate step names would make Goto ambiguous.
+  for (size_t i = 0; i < def->size(); ++i) {
+    for (size_t j = i + 1; j < def->size(); ++j) {
+      if (def->StepName(i) == def->StepName(j)) {
+        return Status::InvalidArgument("duplicate step name '" +
+                                       def->StepName(i) + "'");
+      }
+    }
+  }
+  uint64_t id = next_id_++;
+  auto instance = std::make_unique<Instance>();
+  instance->def = def;
+  instance->context.vars_ = std::move(initial_vars);
+  instance->context.instance_id_ = id;
+  instance->report.instance_id = id;
+  instances_[id] = std::move(instance);
+  queue_.push_back(id);
+  return id;
+}
+
+void WorkflowEngine::Finish(Instance* instance, InstanceState state,
+                            const std::string& failed_step,
+                            const std::string& error) {
+  instance->report.state = state;
+  instance->report.failed_step = failed_step;
+  instance->report.error = error;
+  if (state == InstanceState::kFailed) {
+    // Saga: run compensations newest-first.
+    auto& comps = instance->context.compensations_;
+    for (auto it = comps.rbegin(); it != comps.rend(); ++it) {
+      instance->report.compensation_trace.push_back(it->label);
+      it->fn();
+    }
+  }
+  instance->report.vars = instance->context.vars_;
+  uint64_t id = instance->report.instance_id;
+  finished_[id] = std::move(instance->report);
+  instances_.erase(id);
+}
+
+bool WorkflowEngine::PumpOne() {
+  while (!queue_.empty()) {
+    uint64_t id = queue_.front();
+    queue_.pop_front();
+    auto it = instances_.find(id);
+    if (it == instances_.end()) continue;  // already finished
+    Instance* instance = it->second.get();
+    const WorkflowDef::StepDef& step = instance->def->steps_[instance->step];
+
+    instance->report.trace.push_back(step.name);
+    instance->context.attempt_ = instance->attempt;
+    StepResult result = step.fn(&instance->context);
+
+    switch (result.kind()) {
+      case StepResult::Kind::kNext:
+        instance->attempt = 0;
+        if (instance->step + 1 >= instance->def->size()) {
+          Finish(instance, InstanceState::kCompleted, "", "");
+        } else {
+          ++instance->step;
+          queue_.push_back(id);
+        }
+        return true;
+      case StepResult::Kind::kGoto: {
+        Result<size_t> target = instance->def->IndexOf(result.target());
+        if (!target.ok()) {
+          Finish(instance, InstanceState::kFailed, step.name,
+                 target.status().ToString());
+          return true;
+        }
+        instance->attempt = 0;
+        instance->step = *target;
+        queue_.push_back(id);
+        return true;
+      }
+      case StepResult::Kind::kComplete:
+        Finish(instance, InstanceState::kCompleted, "", "");
+        return true;
+      case StepResult::Kind::kFail:
+        Finish(instance, InstanceState::kFailed, step.name, result.error());
+        return true;
+      case StepResult::Kind::kRetry:
+        if (instance->attempt >= step.max_retries) {
+          Finish(instance, InstanceState::kFailed, step.name,
+                 "retry budget exhausted: " + result.error());
+        } else {
+          ++instance->attempt;
+          queue_.push_back(id);
+        }
+        return true;
+      case StepResult::Kind::kWait:
+        if (instance->step + 1 >= instance->def->size()) {
+          Finish(instance, InstanceState::kFailed, step.name,
+                 "WaitFor in the final step has nowhere to resume");
+          return true;
+        }
+        instance->waiting = true;
+        instance->wait_event = result.target();
+        instance->wait_deadline = result.deadline_ms() > 0
+                                      ? now_ + result.deadline_ms()
+                                      : kTimestampMax;
+        // Not requeued: PostEvent / AdvanceTime wakes it.
+        return true;
+    }
+  }
+  return false;
+}
+
+void WorkflowEngine::RunToQuiescence() {
+  while (PumpOne()) {
+  }
+}
+
+const WorkflowReport* WorkflowEngine::Report(uint64_t instance_id) const {
+  auto it = finished_.find(instance_id);
+  return it == finished_.end() ? nullptr : &it->second;
+}
+
+size_t WorkflowEngine::running_instances() const {
+  return instances_.size();
+}
+
+size_t WorkflowEngine::waiting_instances() const {
+  size_t n = 0;
+  for (const auto& [id, instance] : instances_) {
+    (void)id;
+    if (instance->waiting) ++n;
+  }
+  return n;
+}
+
+void WorkflowEngine::Wake(Instance* instance) {
+  instance->waiting = false;
+  instance->wait_event.clear();
+  instance->wait_deadline = kTimestampMax;
+  instance->attempt = 0;
+  ++instance->step;  // resume AFTER the waiting step
+  queue_.push_back(instance->report.instance_id);
+}
+
+Status WorkflowEngine::PostEvent(uint64_t instance_id,
+                                 const std::string& event, Value payload) {
+  auto it = instances_.find(instance_id);
+  if (it == instances_.end()) {
+    return Status::NotFound("instance " + std::to_string(instance_id) +
+                            " is not running");
+  }
+  Instance* instance = it->second.get();
+  if (!instance->waiting || instance->wait_event != event) {
+    return Status::FailedPrecondition(
+        "instance " + std::to_string(instance_id) + " is not waiting for '" +
+        event + "'");
+  }
+  instance->context.vars_["event"] = Value(event);
+  instance->context.vars_["event-payload"] = std::move(payload);
+  instance->context.vars_.erase("timeout");
+  Wake(instance);
+  return Status::OK();
+}
+
+size_t WorkflowEngine::Broadcast(const std::string& event, Value payload) {
+  size_t woken = 0;
+  for (auto& [id, instance] : instances_) {
+    (void)id;
+    if (instance->waiting && instance->wait_event == event) {
+      instance->context.vars_["event"] = Value(event);
+      instance->context.vars_["event-payload"] = payload;
+      instance->context.vars_.erase("timeout");
+      Wake(instance.get());
+      ++woken;
+    }
+  }
+  return woken;
+}
+
+void WorkflowEngine::AdvanceTime(DurationMs delta) {
+  if (delta > 0) now_ += delta;
+  for (auto& [id, instance] : instances_) {
+    (void)id;
+    if (instance->waiting && instance->wait_deadline <= now_) {
+      instance->context.vars_["timeout"] = Value(true);
+      instance->context.vars_.erase("event");
+      instance->context.vars_.erase("event-payload");
+      Wake(instance.get());
+    }
+  }
+}
+
+}  // namespace promises

@@ -1,0 +1,230 @@
+// Event-driven workflow engine (the paper's GAT engine, [5]; §10:
+// "In future work, we will implement support for Promise interactions
+// in several service-provision frameworks, including our own GAT
+// engine").
+//
+// Business processes like Figure 1's ordering flow are long-running
+// multi-step activities. The engine runs workflow instances as chains
+// of events: each event executes one step, which decides what happens
+// next (advance, jump, retry, complete, fail). Instances interleave on
+// the engine's event queue — the property that makes promise-based
+// isolation necessary in the first place: between two steps of one
+// instance, arbitrary steps of others run.
+//
+// Failure handling follows the saga style the paper's consistency work
+// presumes: steps register compensations (e.g. "release the promise",
+// "refund the payment"); when an instance fails, its compensations run
+// in reverse order.
+
+#ifndef PROMISES_WORKFLOW_ENGINE_H_
+#define PROMISES_WORKFLOW_ENGINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "resource/value.h"
+
+namespace promises {
+
+class WorkflowContext;
+
+/// What a step tells the engine to do next.
+class StepResult {
+ public:
+  enum class Kind { kNext, kGoto, kComplete, kFail, kRetry, kWait };
+
+  /// Advance to the step declared after this one.
+  static StepResult Next() { return StepResult(Kind::kNext); }
+  /// Jump to the named step.
+  static StepResult Goto(std::string step) {
+    StepResult r(Kind::kGoto);
+    r.target_ = std::move(step);
+    return r;
+  }
+  /// Instance finished successfully.
+  static StepResult Complete() { return StepResult(Kind::kComplete); }
+  /// Instance failed; compensations run.
+  static StepResult Fail(std::string error) {
+    StepResult r(Kind::kFail);
+    r.error_ = std::move(error);
+    return r;
+  }
+  /// Re-execute this step (bounded by the step's retry budget; budget
+  /// exhaustion converts into failure).
+  static StepResult Retry(std::string reason) {
+    StepResult r(Kind::kRetry);
+    r.error_ = std::move(reason);
+    return r;
+  }
+  /// Park the instance until an external event named `event` is posted
+  /// (PostEvent) — the GAT engine's event-driven core. `deadline_ms`
+  /// > 0 bounds the wait: if AdvanceTime passes the deadline first,
+  /// the instance resumes at this step with the context variable
+  /// "timeout" set to true instead of the event payload.
+  static StepResult WaitFor(std::string event, DurationMs deadline_ms = 0) {
+    StepResult r(Kind::kWait);
+    r.target_ = std::move(event);
+    r.deadline_ms_ = deadline_ms;
+    return r;
+  }
+
+  Kind kind() const { return kind_; }
+  const std::string& target() const { return target_; }
+  const std::string& error() const { return error_; }
+  DurationMs deadline_ms() const { return deadline_ms_; }
+
+ private:
+  explicit StepResult(Kind kind) : kind_(kind) {}
+  Kind kind_;
+  std::string target_;
+  std::string error_;
+  DurationMs deadline_ms_ = 0;
+};
+
+using StepFn = std::function<StepResult(WorkflowContext*)>;
+
+/// Mutable state of one running instance, visible to its steps.
+class WorkflowContext {
+ public:
+  /// Free-form variables shared across the instance's steps.
+  std::map<std::string, Value>& vars() { return vars_; }
+  const std::map<std::string, Value>& vars() const { return vars_; }
+
+  /// Registers an undo action for saga-style failure handling; runs
+  /// (reverse order) only if the instance later fails.
+  void PushCompensation(std::string label, std::function<void()> fn) {
+    compensations_.push_back({std::move(label), std::move(fn)});
+  }
+
+  /// 0 on the first execution of the current step, 1 on its first
+  /// retry, and so on.
+  int attempt() const { return attempt_; }
+  uint64_t instance_id() const { return instance_id_; }
+
+ private:
+  friend class WorkflowEngine;
+  struct Compensation {
+    std::string label;
+    std::function<void()> fn;
+  };
+  std::map<std::string, Value> vars_;
+  std::vector<Compensation> compensations_;
+  int attempt_ = 0;
+  uint64_t instance_id_ = 0;
+};
+
+/// An ordered list of named steps with retry budgets.
+class WorkflowDef {
+ public:
+  explicit WorkflowDef(std::string name) : name_(std::move(name)) {}
+
+  /// Appends a step. `max_retries` bounds StepResult::Retry loops.
+  WorkflowDef& Step(std::string step_name, StepFn fn, int max_retries = 0);
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return steps_.size(); }
+
+  /// Index of a named step.
+  Result<size_t> IndexOf(const std::string& step_name) const;
+  const std::string& StepName(size_t i) const { return steps_[i].name; }
+
+ private:
+  friend class WorkflowEngine;
+  struct StepDef {
+    std::string name;
+    StepFn fn;
+    int max_retries;
+  };
+  std::string name_;
+  std::vector<StepDef> steps_;
+};
+
+enum class InstanceState { kRunning, kCompleted, kFailed };
+
+/// Terminal report for one instance.
+struct WorkflowReport {
+  uint64_t instance_id = 0;
+  InstanceState state = InstanceState::kRunning;
+  std::string failed_step;
+  std::string error;
+  std::vector<std::string> trace;  ///< step names in execution order
+  std::vector<std::string> compensation_trace;  ///< labels, reverse order
+  std::map<std::string, Value> vars;
+};
+
+/// Runs instances by draining an event queue, one step per event.
+class WorkflowEngine {
+ public:
+  WorkflowEngine() = default;
+  WorkflowEngine(const WorkflowEngine&) = delete;
+  WorkflowEngine& operator=(const WorkflowEngine&) = delete;
+
+  /// Starts an instance of `def` (which must outlive the engine) and
+  /// enqueues its first step. Fails on an empty definition.
+  Result<uint64_t> Start(const WorkflowDef* def,
+                         std::map<std::string, Value> initial_vars = {});
+
+  /// Executes one pending step event; returns false when idle.
+  bool PumpOne();
+
+  /// Drains the queue (round-robin across instances).
+  void RunToQuiescence();
+
+  /// Terminal report, or nullptr while the instance still runs.
+  const WorkflowReport* Report(uint64_t instance_id) const;
+
+  /// Delivers an external event to a specific parked instance. The
+  /// instance resumes at the step AFTER its WaitFor, with vars
+  /// "event" = name and "event-payload" = payload. Fails when the
+  /// instance is not waiting for `event`.
+  Status PostEvent(uint64_t instance_id, const std::string& event,
+                   Value payload = Value());
+
+  /// Delivers an event to every instance parked on `event`; returns
+  /// how many woke up.
+  size_t Broadcast(const std::string& event, Value payload = Value());
+
+  /// Advances the engine's virtual time; waits whose deadline passes
+  /// resume with vars "timeout" = true.
+  void AdvanceTime(DurationMs delta);
+
+  size_t pending_events() const { return queue_.size(); }
+  size_t running_instances() const;
+  size_t waiting_instances() const;
+
+ private:
+  struct Instance {
+    const WorkflowDef* def;
+    WorkflowContext context;
+    size_t step = 0;
+    int attempt = 0;
+    WorkflowReport report;
+    // Wait state (meaningful while parked).
+    bool waiting = false;
+    std::string wait_event;
+    Timestamp wait_deadline = kTimestampMax;
+  };
+
+  /// Unparks `instance` at the step after its wait.
+  void Wake(Instance* instance);
+
+  void Finish(Instance* instance, InstanceState state,
+              const std::string& failed_step, const std::string& error);
+
+  uint64_t next_id_ = 1;
+  std::map<uint64_t, std::unique_ptr<Instance>> instances_;
+  std::deque<uint64_t> queue_;  // instance ids with a pending step event
+  std::map<uint64_t, WorkflowReport> finished_;
+  Timestamp now_ = 0;  // virtual time for wait deadlines
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_WORKFLOW_ENGINE_H_

@@ -1,0 +1,355 @@
+#include "wsba/business_activity.h"
+
+#include "common/string_util.h"
+
+namespace promises {
+
+namespace {
+
+// Protocol messages ride as <action> bodies with service "wsba".
+constexpr char kService[] = "wsba";
+
+Envelope ProtocolMessage(Transport* transport, const std::string& from,
+                         const std::string& to, const std::string& kind,
+                         ActivityId activity, ParticipantId participant,
+                         const std::string& detail = "") {
+  Envelope env;
+  env.message_id = transport->NextMessageId();
+  env.from = from;
+  env.to = to;
+  ActionBody action;
+  action.service = kService;
+  action.operation = kind;
+  action.params["activity"] = Value(static_cast<int64_t>(activity.value()));
+  action.params["participant"] =
+      Value(static_cast<int64_t>(participant.value()));
+  if (!detail.empty()) action.params["detail"] = Value(detail);
+  env.action = std::move(action);
+  return env;
+}
+
+Envelope Ack(Transport* transport, const Envelope& in, bool ok,
+             const std::string& error = "") {
+  Envelope reply;
+  reply.message_id = transport->NextMessageId();
+  reply.from = in.to;
+  reply.to = in.from;
+  ActionResultBody result;
+  result.ok = ok;
+  result.error = error;
+  reply.action_result = std::move(result);
+  return reply;
+}
+
+}  // namespace
+
+std::string_view ParticipantStateToString(ParticipantState s) {
+  switch (s) {
+    case ParticipantState::kActive: return "active";
+    case ParticipantState::kCompleted: return "completed";
+    case ParticipantState::kClosing: return "closing";
+    case ParticipantState::kCompensating: return "compensating";
+    case ParticipantState::kEnded: return "ended";
+    case ParticipantState::kExited: return "exited";
+    case ParticipantState::kFaulted: return "faulted";
+  }
+  return "unknown";
+}
+
+std::string_view ActivityOutcomeToString(ActivityOutcome o) {
+  switch (o) {
+    case ActivityOutcome::kOpen: return "open";
+    case ActivityOutcome::kClosed: return "closed";
+    case ActivityOutcome::kCompensated: return "compensated";
+    case ActivityOutcome::kMixed: return "mixed";
+  }
+  return "unknown";
+}
+
+BusinessActivityCoordinator::BusinessActivityCoordinator(
+    std::string endpoint, Transport* transport)
+    : endpoint_(std::move(endpoint)), transport_(transport) {
+  transport_->Register(endpoint_, [this](const Envelope& env) {
+    return HandleSignal(env);
+  });
+}
+
+BusinessActivityCoordinator::~BusinessActivityCoordinator() {
+  transport_->Unregister(endpoint_);
+}
+
+ActivityId BusinessActivityCoordinator::CreateActivity() {
+  ActivityId id = activity_ids_.Next();
+  activities_[id] = Activity{};
+  return id;
+}
+
+Result<ParticipantId> BusinessActivityCoordinator::Register(
+    ActivityId activity, const std::string& participant_endpoint) {
+  auto it = activities_.find(activity);
+  if (it == activities_.end()) {
+    return Status::NotFound("unknown activity " + activity.ToString());
+  }
+  if (it->second.outcome != ActivityOutcome::kOpen) {
+    return Status::FailedPrecondition("activity " + activity.ToString() +
+                                      " already ended");
+  }
+  ParticipantId id = participant_ids_.Next();
+  it->second.participants[id] = Participant{participant_endpoint,
+                                            ParticipantState::kActive};
+  return id;
+}
+
+Result<Envelope> BusinessActivityCoordinator::HandleSignal(
+    const Envelope& envelope) {
+  if (!envelope.action || envelope.action->service != kService) {
+    return Status::InvalidArgument("not a wsba protocol message");
+  }
+  const ActionBody& action = *envelope.action;
+  auto aid = action.params.find("activity");
+  auto pid = action.params.find("participant");
+  if (aid == action.params.end() || pid == action.params.end()) {
+    return Status::InvalidArgument("wsba message missing ids");
+  }
+  ActivityId activity(static_cast<uint64_t>(aid->second.as_int()));
+  ParticipantId participant(static_cast<uint64_t>(pid->second.as_int()));
+
+  auto ait = activities_.find(activity);
+  if (ait == activities_.end()) {
+    return Ack(transport_, envelope, false,
+               "unknown activity " + activity.ToString());
+  }
+  auto it = ait->second.participants.find(participant);
+  if (it == ait->second.participants.end()) {
+    return Ack(transport_, envelope, false,
+               "unknown participant " + participant.ToString());
+  }
+  Participant& p = it->second;
+
+  const std::string& kind = action.operation;
+  if (kind == "completed") {
+    if (p.state != ParticipantState::kActive) {
+      return Ack(transport_, envelope, false,
+                 "completed in state " +
+                     std::string(ParticipantStateToString(p.state)));
+    }
+    p.state = ParticipantState::kCompleted;
+    return Ack(transport_, envelope, true);
+  }
+  if (kind == "exit") {
+    if (p.state != ParticipantState::kActive) {
+      return Ack(transport_, envelope, false,
+                 "exit in state " +
+                     std::string(ParticipantStateToString(p.state)));
+    }
+    p.state = ParticipantState::kExited;
+    return Ack(transport_, envelope, true);
+  }
+  if (kind == "fault") {
+    if (p.state != ParticipantState::kActive &&
+        p.state != ParticipantState::kCompleted) {
+      return Ack(transport_, envelope, false,
+                 "fault in state " +
+                     std::string(ParticipantStateToString(p.state)));
+    }
+    p.state = ParticipantState::kFaulted;
+    ait->second.faulted = true;
+    return Ack(transport_, envelope, true);
+  }
+  return Ack(transport_, envelope, false, "unknown signal '" + kind + "'");
+}
+
+Status BusinessActivityCoordinator::DriveToEnd(Activity* activity,
+                                               ActivityId activity_id,
+                                               ParticipantId id,
+                                               Participant* participant,
+                                               bool close) {
+  participant->state =
+      close ? ParticipantState::kClosing : ParticipantState::kCompensating;
+  Envelope order = ProtocolMessage(transport_, endpoint_,
+                                   participant->endpoint,
+                                   close ? "close" : "compensate",
+                                   activity_id, id);
+  Result<Envelope> reply = transport_->Send(order);
+  if (!reply.ok() || !reply->action_result || !reply->action_result->ok) {
+    participant->state = ParticipantState::kFaulted;
+    activity->faulted = true;
+    return Status::FailedPrecondition(
+        "participant " + id.ToString() + " failed to " +
+        (close ? "close" : "compensate") +
+        (reply.ok() && reply->action_result
+             ? ": " + reply->action_result->error
+             : ""));
+  }
+  participant->state = ParticipantState::kEnded;
+  return Status::OK();
+}
+
+Result<ActivityOutcome> BusinessActivityCoordinator::CloseActivity(
+    ActivityId activity) {
+  auto it = activities_.find(activity);
+  if (it == activities_.end()) {
+    return Status::NotFound("unknown activity " + activity.ToString());
+  }
+  Activity& act = it->second;
+  if (act.outcome != ActivityOutcome::kOpen) return act.outcome;
+  if (act.faulted) {
+    return Status::FailedPrecondition(
+        "activity has faulted participants; cancel it instead");
+  }
+  for (auto& [id, p] : act.participants) {
+    (void)id;
+    if (p.state == ParticipantState::kActive) {
+      return Status::FailedPrecondition(
+          "participant " + id.ToString() +
+          " is still active; it must complete or exit before close");
+    }
+  }
+  bool all_ok = true;
+  for (auto& [id, p] : act.participants) {
+    if (p.state != ParticipantState::kCompleted) continue;
+    if (!DriveToEnd(&act, activity, id, &p, /*close=*/true).ok()) {
+      all_ok = false;
+    }
+  }
+  act.outcome = all_ok ? ActivityOutcome::kClosed : ActivityOutcome::kMixed;
+  return act.outcome;
+}
+
+Result<ActivityOutcome> BusinessActivityCoordinator::CancelActivity(
+    ActivityId activity) {
+  auto it = activities_.find(activity);
+  if (it == activities_.end()) {
+    return Status::NotFound("unknown activity " + activity.ToString());
+  }
+  Activity& act = it->second;
+  if (act.outcome != ActivityOutcome::kOpen) return act.outcome;
+  bool all_ok = true;
+  for (auto& [id, p] : act.participants) {
+    switch (p.state) {
+      case ParticipantState::kActive: {
+        // Cancel: nothing completed, nothing to undo.
+        Envelope order = ProtocolMessage(transport_, endpoint_, p.endpoint,
+                                         "cancel", activity, id);
+        (void)transport_->Send(order);
+        p.state = ParticipantState::kExited;
+        break;
+      }
+      case ParticipantState::kCompleted:
+        if (!DriveToEnd(&act, activity, id, &p, /*close=*/false).ok()) {
+          all_ok = false;
+        }
+        break;
+      default:
+        break;  // exited / faulted / already ended
+    }
+  }
+  act.outcome =
+      all_ok ? ActivityOutcome::kCompensated : ActivityOutcome::kMixed;
+  return act.outcome;
+}
+
+Result<ParticipantState> BusinessActivityCoordinator::StateOf(
+    ActivityId activity, ParticipantId participant) const {
+  auto it = activities_.find(activity);
+  if (it == activities_.end()) {
+    return Status::NotFound("unknown activity " + activity.ToString());
+  }
+  auto pit = it->second.participants.find(participant);
+  if (pit == it->second.participants.end()) {
+    return Status::NotFound("unknown participant " + participant.ToString());
+  }
+  return pit->second.state;
+}
+
+Result<ActivityOutcome> BusinessActivityCoordinator::OutcomeOf(
+    ActivityId activity) const {
+  auto it = activities_.find(activity);
+  if (it == activities_.end()) {
+    return Status::NotFound("unknown activity " + activity.ToString());
+  }
+  return it->second.outcome;
+}
+
+size_t BusinessActivityCoordinator::ParticipantCount(
+    ActivityId activity) const {
+  auto it = activities_.find(activity);
+  return it == activities_.end() ? 0 : it->second.participants.size();
+}
+
+bool BusinessActivityCoordinator::HasFault(ActivityId activity) const {
+  auto it = activities_.find(activity);
+  return it != activities_.end() && it->second.faulted;
+}
+
+// ---------------------------------------------------------------------
+
+BusinessActivityParticipant::BusinessActivityParticipant(
+    std::string endpoint, Transport* transport, Callbacks callbacks)
+    : endpoint_(std::move(endpoint)),
+      transport_(transport),
+      callbacks_(std::move(callbacks)) {
+  transport_->Register(endpoint_, [this](const Envelope& env) {
+    return HandleOrder(env);
+  });
+}
+
+BusinessActivityParticipant::~BusinessActivityParticipant() {
+  transport_->Unregister(endpoint_);
+}
+
+void BusinessActivityParticipant::Enlist(
+    const std::string& coordinator_endpoint, ActivityId activity,
+    ParticipantId id) {
+  coordinator_ = coordinator_endpoint;
+  activity_ = activity;
+  id_ = id;
+}
+
+Result<Envelope> BusinessActivityParticipant::HandleOrder(
+    const Envelope& envelope) {
+  if (!envelope.action || envelope.action->service != kService) {
+    return Status::InvalidArgument("not a wsba protocol message");
+  }
+  const std::string& kind = envelope.action->operation;
+  if (kind == "close") {
+    Status st = callbacks_.on_close ? callbacks_.on_close() : Status::OK();
+    return Ack(transport_, envelope, st.ok(), st.ok() ? "" : st.ToString());
+  }
+  if (kind == "compensate") {
+    Status st = callbacks_.on_compensate ? callbacks_.on_compensate()
+                                         : Status::OK();
+    return Ack(transport_, envelope, st.ok(), st.ok() ? "" : st.ToString());
+  }
+  if (kind == "cancel") {
+    if (callbacks_.on_cancel) callbacks_.on_cancel();
+    return Ack(transport_, envelope, true);
+  }
+  return Ack(transport_, envelope, false, "unknown order '" + kind + "'");
+}
+
+Status BusinessActivityParticipant::Signal(const std::string& kind,
+                                           const std::string& detail) {
+  if (coordinator_.empty()) {
+    return Status::FailedPrecondition("participant not enlisted");
+  }
+  Envelope env = ProtocolMessage(transport_, endpoint_, coordinator_, kind,
+                                 activity_, id_, detail);
+  PROMISES_ASSIGN_OR_RETURN(Envelope reply, transport_->Send(env));
+  if (!reply.action_result || !reply.action_result->ok) {
+    return Status::FailedPrecondition(
+        "coordinator refused '" + kind + "': " +
+        (reply.action_result ? reply.action_result->error : "no result"));
+  }
+  return Status::OK();
+}
+
+Status BusinessActivityParticipant::SignalCompleted() {
+  return Signal("completed", "");
+}
+Status BusinessActivityParticipant::SignalExit() { return Signal("exit", ""); }
+Status BusinessActivityParticipant::SignalFault(const std::string& reason) {
+  return Signal("fault", reason);
+}
+
+}  // namespace promises

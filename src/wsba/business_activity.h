@@ -1,0 +1,185 @@
+// WS-BusinessActivity-style coordination (§10: "We also will integrate
+// the processing of promises with other frameworks for service-oriented
+// messaging, including the transaction support found in standards like
+// WS-BusinessActivity").
+//
+// Implements the BusinessAgreementWithParticipantCompletion protocol
+// over the library's transport: a coordinator scopes an activity,
+// participants register and later signal Completed / Exit / Fault; at
+// the end the coordinator drives every completed participant to Close
+// (outcome confirmed) or Compensate (outcome undone). Unlike atomic
+// transactions, participants act immediately and undo semantically —
+// the saga model service-based applications actually use, and the
+// natural frame around a set of promises: compensation releases them.
+//
+// Participant state machine (coordinator's view):
+//
+//            Register
+//               v
+//   +-------- Active ----Exit----> Exited
+//   |           |   |
+//   | Fault     |   Completed
+//   v           |      |
+// Faulted <-----+      v
+//   (others get     Completed --Close------> Closing --Closed----> Ended
+//    compensated)       |
+//                        +-----Compensate--> Compensating
+//                                              --Compensated-----> Ended
+
+#ifndef PROMISES_WSBA_BUSINESS_ACTIVITY_H_
+#define PROMISES_WSBA_BUSINESS_ACTIVITY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "protocol/transport.h"
+
+namespace promises {
+
+struct ActivityIdTag { static constexpr const char* kPrefix = "activity"; };
+struct ParticipantIdTag {
+  static constexpr const char* kPrefix = "participant";
+};
+/// Scopes one business activity (the CoordinationContext id).
+using ActivityId = TypedId<ActivityIdTag>;
+/// One enlistment within an activity.
+using ParticipantId = TypedId<ParticipantIdTag>;
+
+enum class ParticipantState {
+  kActive,        ///< Registered, still working.
+  kCompleted,     ///< Work done; compensation available.
+  kClosing,       ///< Close sent, awaiting Closed.
+  kCompensating,  ///< Compensate sent, awaiting Compensated.
+  kEnded,         ///< Closed or Compensated acknowledged.
+  kExited,        ///< Left the activity without work to undo.
+  kFaulted,       ///< Reported failure; cannot complete or compensate.
+};
+
+std::string_view ParticipantStateToString(ParticipantState s);
+
+enum class ActivityOutcome {
+  kOpen,         ///< Still running.
+  kClosed,       ///< All participants confirmed.
+  kCompensated,  ///< All completed participants undone.
+  kMixed,        ///< Some acknowledgement failed; needs intervention.
+};
+
+std::string_view ActivityOutcomeToString(ActivityOutcome o);
+
+/// Coordinator role: creates activities, tracks participant states,
+/// drives the close/compensate fan-out.
+class BusinessActivityCoordinator {
+ public:
+  /// Registers itself on `transport` under `endpoint` to receive
+  /// participant signals (Completed / Exit / Fault).
+  BusinessActivityCoordinator(std::string endpoint, Transport* transport);
+  ~BusinessActivityCoordinator();
+
+  const std::string& endpoint() const { return endpoint_; }
+
+  /// Starts a new activity scope.
+  ActivityId CreateActivity();
+
+  /// Enlists the participant listening at `participant_endpoint`.
+  Result<ParticipantId> Register(ActivityId activity,
+                                 const std::string& participant_endpoint);
+
+  /// Ends the activity successfully: every kCompleted participant is
+  /// driven to Close. Active participants still working make the close
+  /// fail with kFailedPrecondition (complete or exit first).
+  Result<ActivityOutcome> CloseActivity(ActivityId activity);
+
+  /// Ends the activity by undoing it: every kCompleted participant is
+  /// driven to Compensate; still-active participants are cancelled
+  /// (treated as exited — they had not completed any work to undo).
+  Result<ActivityOutcome> CancelActivity(ActivityId activity);
+
+  /// State queries (coordinator's view).
+  Result<ParticipantState> StateOf(ActivityId activity,
+                                   ParticipantId participant) const;
+  Result<ActivityOutcome> OutcomeOf(ActivityId activity) const;
+  size_t ParticipantCount(ActivityId activity) const;
+
+  /// True when any participant of `activity` reported Fault; the usual
+  /// reaction is CancelActivity.
+  bool HasFault(ActivityId activity) const;
+
+ private:
+  struct Participant {
+    std::string endpoint;
+    ParticipantState state = ParticipantState::kActive;
+  };
+  struct Activity {
+    std::map<ParticipantId, Participant> participants;
+    ActivityOutcome outcome = ActivityOutcome::kOpen;
+    bool faulted = false;
+  };
+
+  /// Handles Completed / Exit / Fault signals from participants.
+  Result<Envelope> HandleSignal(const Envelope& envelope);
+
+  /// Sends Close or Compensate and processes the acknowledgement.
+  Status DriveToEnd(Activity* activity, ActivityId activity_id,
+                    ParticipantId id, Participant* participant,
+                    bool close);
+
+  std::string endpoint_;
+  Transport* transport_;
+  IdGenerator<ActivityId> activity_ids_;
+  IdGenerator<ParticipantId> participant_ids_;
+  std::map<ActivityId, Activity> activities_;
+};
+
+/// Participant role: owns the work's confirm/undo callbacks and answers
+/// the coordinator's protocol messages.
+class BusinessActivityParticipant {
+ public:
+  struct Callbacks {
+    /// Outcome confirmed; release resources kept for compensation.
+    std::function<Status()> on_close;
+    /// Outcome revoked; undo the completed work.
+    std::function<Status()> on_compensate;
+    /// Activity cancelled while still active (nothing completed).
+    std::function<void()> on_cancel;
+  };
+
+  BusinessActivityParticipant(std::string endpoint, Transport* transport,
+                              Callbacks callbacks);
+  ~BusinessActivityParticipant();
+
+  const std::string& endpoint() const { return endpoint_; }
+
+  /// Binds this participant to its enlistment (obtained out of band
+  /// from the coordinator's Register result).
+  void Enlist(const std::string& coordinator_endpoint, ActivityId activity,
+              ParticipantId id);
+
+  /// Signals the coordinator that this participant's work is done and
+  /// compensation is available.
+  Status SignalCompleted();
+  /// Signals that this participant has nothing to do in the activity.
+  Status SignalExit();
+  /// Signals that this participant failed and cannot complete.
+  Status SignalFault(const std::string& reason);
+
+ private:
+  Result<Envelope> HandleOrder(const Envelope& envelope);
+  Status Signal(const std::string& kind, const std::string& detail);
+
+  std::string endpoint_;
+  Transport* transport_;
+  Callbacks callbacks_;
+  std::string coordinator_;
+  ActivityId activity_;
+  ParticipantId id_;
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_WSBA_BUSINESS_ACTIVITY_H_

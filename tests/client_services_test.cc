@@ -1,0 +1,387 @@
+// Tests for the PromiseClient protocol wrapper and the built-in
+// application services.
+
+#include <gtest/gtest.h>
+
+#include "core/promise_manager.h"
+#include "protocol/transport.h"
+#include "service/client.h"
+#include "service/services.h"
+
+namespace promises {
+namespace {
+
+class ClientServicesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(rm_.CreatePool("widget", 10).ok());
+    ASSERT_TRUE(rm_.CreatePool("account", 100).ok());
+    Schema schema({{"floor", ValueType::kInt, false}});
+    ASSERT_TRUE(rm_.CreateInstanceClass("room", schema).ok());
+    ASSERT_TRUE(rm_.AddInstance("room", "201", {{"floor", Value(2)}}).ok());
+    ASSERT_TRUE(rm_.AddInstance("room", "202", {{"floor", Value(2)}}).ok());
+
+    PromiseManagerConfig config;
+    config.name = "pm";
+    pm_ = std::make_unique<PromiseManager>(config, &clock_, &rm_, &tm_,
+                                           &transport_);
+    pm_->RegisterService("inventory", MakeInventoryService());
+    pm_->RegisterService("booking", MakeBookingService());
+    pm_->RegisterService("account", MakeAccountService());
+    pm_->RegisterService("shipping", MakeShippingService("widget"));
+    client_ = std::make_unique<PromiseClient>("c1", &transport_, "pm");
+  }
+
+  SystemClock clock_;
+  TransactionManager tm_{100};
+  ResourceManager rm_;
+  Transport transport_;
+  std::unique_ptr<PromiseManager> pm_;
+  std::unique_ptr<PromiseClient> client_;
+};
+
+TEST_F(ClientServicesTest, RequestParsesTextualPredicates) {
+  auto p = client_->Request("quantity('widget') >= 3", 5'000);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_TRUE(p->id.valid());
+  EXPECT_EQ(p->duration_ms, 5'000);
+}
+
+TEST_F(ClientServicesTest, RequestSurfacesRejectionAsFailedPrecondition) {
+  auto p = client_->Request("quantity('widget') >= 99");
+  ASSERT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(p.status().message().find("rejected"), std::string::npos);
+}
+
+TEST_F(ClientServicesTest, RequestRejectsBadSyntaxClientSide) {
+  auto p = client_->Request("quantity('widget' >= 3");
+  ASSERT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ClientServicesTest, UpdateSwapsPromises) {
+  auto p = client_->Request("quantity('account') >= 80");
+  ASSERT_TRUE(p.ok());
+  auto upgraded = client_->Update(p->id, "quantity('account') >= 95");
+  ASSERT_TRUE(upgraded.ok()) << upgraded.status().ToString();
+  EXPECT_EQ(pm_->active_promises(), 1u);
+  auto impossible = client_->Update(upgraded->id,
+                                    "quantity('account') >= 200");
+  EXPECT_FALSE(impossible.ok());
+  EXPECT_EQ(pm_->active_promises(), 1u);  // old retained
+}
+
+TEST_F(ClientServicesTest, ReleaseViaProtocol) {
+  auto p = client_->Request("quantity('widget') >= 3");
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(client_->Release({p->id}).ok());
+  EXPECT_EQ(pm_->active_promises(), 0u);
+}
+
+TEST_F(ClientServicesTest, RequestAndActCombined) {
+  ActionBody buy;
+  buy.service = "inventory";
+  buy.operation = "purchase";
+  buy.params["item"] = Value("widget");
+  buy.params["quantity"] = Value(4);
+  auto out = client_->RequestAndAct("quantity('widget') >= 4", 5'000, buy,
+                                    /*release_after=*/true);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(out->granted);
+  EXPECT_TRUE(out->action.ok) << out->action.error;
+  EXPECT_EQ(pm_->active_promises(), 0u);
+}
+
+TEST_F(ClientServicesTest, RequestAndActSkipsActionOnReject) {
+  ActionBody buy;
+  buy.service = "inventory";
+  buy.operation = "purchase";
+  buy.params["item"] = Value("widget");
+  buy.params["quantity"] = Value(1);
+  auto out =
+      client_->RequestAndAct("quantity('widget') >= 99", 5'000, buy, true);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->granted);
+  EXPECT_FALSE(out->reject_reason.empty());
+  EXPECT_FALSE(out->action.ok);
+}
+
+TEST_F(ClientServicesTest, InventoryServiceOperations) {
+  ActionBody check;
+  check.service = "inventory";
+  check.operation = "check";
+  check.params["item"] = Value("widget");
+  auto out = client_->Act(check);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->outputs.at("quantity").as_int(), 10);
+
+  ActionBody restock;
+  restock.service = "inventory";
+  restock.operation = "restock";
+  restock.params["item"] = Value("widget");
+  restock.params["quantity"] = Value(5);
+  out = client_->Act(restock);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->ok);
+  EXPECT_EQ(out->outputs.at("quantity").as_int(), 15);
+
+  ActionBody bad;
+  bad.service = "inventory";
+  bad.operation = "nonsense";
+  out = client_->Act(bad);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->ok);
+}
+
+TEST_F(ClientServicesTest, InventoryValidatesParams) {
+  ActionBody buy;
+  buy.service = "inventory";
+  buy.operation = "purchase";
+  // missing item + quantity
+  auto out = client_->Act(buy);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->ok);
+}
+
+TEST_F(ClientServicesTest, BookingPeekDoesNotConsume) {
+  auto p = client_->Request("count('room' where floor == 2) >= 1");
+  ASSERT_TRUE(p.ok());
+  ActionBody peek;
+  peek.service = "booking";
+  peek.operation = "peek";
+  peek.params["class"] = Value("room");
+  peek.params["promise"] = Value(static_cast<int64_t>(p->id.value()));
+  auto out = client_->Act(peek, {p->id});
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(out->ok) << out->error;
+  std::string instance = out->outputs.at("instance").as_string();
+  EXPECT_TRUE(instance == "201" || instance == "202");
+  // Nothing consumed: the tentative engine holds one room 'promised'
+  // for the grant, but no instance is 'taken'.
+  auto txn = tm_.Begin();
+  auto rooms = rm_.ListInstances(txn.get(), "room");
+  ASSERT_TRUE(rooms.ok());
+  for (const InstanceView& room : *rooms) {
+    EXPECT_NE(room.status, InstanceStatus::kTaken) << room.id;
+  }
+  EXPECT_EQ(*rm_.CountAvailable(txn.get(), "room"), 1);
+}
+
+TEST_F(ClientServicesTest, BookingMultiCount) {
+  auto p = client_->Request("count('room' where floor == 2) >= 2");
+  ASSERT_TRUE(p.ok());
+  ActionBody book;
+  book.service = "booking";
+  book.operation = "book";
+  book.params["class"] = Value("room");
+  book.params["promise"] = Value(static_cast<int64_t>(p->id.value()));
+  book.params["count"] = Value(2);
+  auto out = client_->Act(book, {p->id}, /*release_after=*/true);
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(out->ok) << out->error;
+  auto txn = tm_.Begin();
+  EXPECT_EQ(*rm_.CountAvailable(txn.get(), "room"), 0);
+}
+
+TEST_F(ClientServicesTest, BookingVacateReturnsRoom) {
+  auto p = client_->Request("count('room' where floor == 2) >= 1");
+  ASSERT_TRUE(p.ok());
+  ActionBody book;
+  book.service = "booking";
+  book.operation = "book";
+  book.params["class"] = Value("room");
+  book.params["promise"] = Value(static_cast<int64_t>(p->id.value()));
+  auto out = client_->Act(book, {p->id}, true);
+  ASSERT_TRUE(out.ok() && out->ok);
+  std::string instance = out->outputs.at("booked").as_string();
+
+  ActionBody vacate;
+  vacate.service = "booking";
+  vacate.operation = "vacate";
+  vacate.params["class"] = Value("room");
+  vacate.params["instance"] = Value(instance);
+  out = client_->Act(vacate);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->ok) << out->error;
+  auto txn = tm_.Begin();
+  EXPECT_EQ(*rm_.CountAvailable(txn.get(), "room"), 2);
+}
+
+TEST_F(ClientServicesTest, AccountServiceRoundTrip) {
+  ActionBody deposit;
+  deposit.service = "account";
+  deposit.operation = "deposit";
+  deposit.params["account"] = Value("account");
+  deposit.params["amount"] = Value(50);
+  auto out = client_->Act(deposit);
+  ASSERT_TRUE(out.ok() && out->ok);
+
+  ActionBody withdraw;
+  withdraw.service = "account";
+  withdraw.operation = "withdraw";
+  withdraw.params["account"] = Value("account");
+  withdraw.params["amount"] = Value(30);
+  out = client_->Act(withdraw);
+  ASSERT_TRUE(out.ok() && out->ok);
+  EXPECT_EQ(out->outputs.at("balance-left").as_int(), 120);
+
+  ActionBody balance;
+  balance.service = "account";
+  balance.operation = "balance";
+  balance.params["account"] = Value("account");
+  out = client_->Act(balance);
+  ASSERT_TRUE(out.ok() && out->ok);
+  EXPECT_EQ(out->outputs.at("balance").as_int(), 120);
+}
+
+TEST_F(ClientServicesTest, ShippingConsumesLocalCapacity) {
+  ActionBody ship;
+  ship.service = "shipping";
+  ship.operation = "ship";
+  ship.params["quantity"] = Value(3);
+  auto out = client_->Act(ship);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->ok) << out->error;
+  ActionBody check;
+  check.service = "inventory";
+  check.operation = "check";
+  check.params["item"] = Value("widget");
+  out = client_->Act(check);
+  EXPECT_EQ(out->outputs.at("quantity").as_int(), 7);
+}
+
+TEST_F(ClientServicesTest, NegotiationFallsBackInPreferenceOrder) {
+  // Hold 8 of 10 widgets so only the weaker alternatives fit.
+  auto blocker = client_->Request("quantity('widget') >= 8");
+  ASSERT_TRUE(blocker.ok());
+  PromiseClient other("other", &transport_, "pm");
+  auto negotiated = other.RequestNegotiated(
+      {"quantity('widget') >= 6",   // most desirable: impossible
+       "quantity('widget') >= 4",   // still impossible
+       "quantity('widget') >= 2"},  // fits
+      5'000);
+  ASSERT_TRUE(negotiated.ok()) << negotiated.status().ToString();
+  EXPECT_EQ(negotiated->alternative, 2u);
+  EXPECT_TRUE(negotiated->promise.id.valid());
+}
+
+TEST_F(ClientServicesTest, NegotiationTakesFirstWhenPossible) {
+  auto negotiated = client_->RequestNegotiated(
+      {"quantity('widget') >= 6", "quantity('widget') >= 1"});
+  ASSERT_TRUE(negotiated.ok());
+  EXPECT_EQ(negotiated->alternative, 0u);
+}
+
+TEST_F(ClientServicesTest, NegotiationExhaustionAndErrors) {
+  EXPECT_FALSE(client_->RequestNegotiated({}).ok());
+  auto out = client_->RequestNegotiated(
+      {"quantity('widget') >= 50", "quantity('widget') >= 40"});
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kFailedPrecondition);
+  // A syntax error aborts instead of falling through.
+  auto bad = client_->RequestNegotiated(
+      {"quantity('widget' >= 50", "quantity('widget') >= 1"});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ClientServicesTest, CounterOfferOnQuantityRejection) {
+  // 10 widgets, 7 already promised: asking for 6 yields a counter-offer
+  // for the remaining 3.
+  auto held = client_->Request("quantity('widget') >= 7");
+  ASSERT_TRUE(held.ok());
+  auto out = client_->TryRequest("quantity('widget') >= 6");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_FALSE(out->granted);
+  EXPECT_EQ(out->counter_offer, "quantity('widget') >= 3");
+  // The offered variant is actually grantable.
+  auto taken = client_->Request(out->counter_offer);
+  EXPECT_TRUE(taken.ok()) << taken.status().ToString();
+}
+
+TEST_F(ClientServicesTest, NoCounterOfferWhenNothingLeft) {
+  auto held = client_->Request("quantity('widget') >= 10");
+  ASSERT_TRUE(held.ok());
+  auto out = client_->TryRequest("quantity('widget') >= 1");
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->granted);
+  EXPECT_TRUE(out->counter_offer.empty());
+}
+
+TEST_F(ClientServicesTest, CounterOfferMultiPredicate) {
+  auto held = client_->Request(
+      "quantity('widget') >= 8; quantity('account') >= 30");
+  ASSERT_TRUE(held.ok());
+  // widget headroom 2, account headroom 70: ask 5 + 50.
+  auto out = client_->TryRequest(
+      "quantity('widget') >= 5; quantity('account') >= 50");
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->granted);
+  EXPECT_EQ(out->counter_offer,
+            "quantity('widget') >= 2; quantity('account') >= 50");
+}
+
+TEST_F(ClientServicesTest, RequestOrCounterTakesTheOffer) {
+  auto held = client_->Request("quantity('widget') >= 7");
+  ASSERT_TRUE(held.ok());
+  PromiseClient other("other", &transport_, "pm");
+  auto out = other.RequestOrCounter("quantity('widget') >= 9");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(out->took_counter);
+  EXPECT_EQ(out->granted_predicates, "quantity('widget') >= 3");
+  EXPECT_EQ(pm_->active_promises(), 2u);
+}
+
+TEST_F(ClientServicesTest, RequestOrCounterDirectWhenGrantable) {
+  auto out = client_->RequestOrCounter("quantity('widget') >= 4");
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->took_counter);
+}
+
+TEST_F(ClientServicesTest, ExhaustedPropertyClassGetsNoCounterOffer) {
+  auto held = client_->Request("count('room' where floor == 2) >= 2");
+  ASSERT_TRUE(held.ok());
+  auto out = client_->TryRequest("count('room' where floor == 2) >= 1");
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->granted);
+  EXPECT_TRUE(out->counter_offer.empty());  // zero headroom: no offer
+}
+
+TEST_F(ClientServicesTest, PropertyCounterOfferShrinksCount) {
+  auto held = client_->Request("count('room' where floor == 2) >= 1");
+  ASSERT_TRUE(held.ok());
+  // Asking for both rooms: one remains, so the offer shrinks to 1.
+  auto out = client_->TryRequest("count('room' where floor == 2) >= 2");
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->granted);
+  EXPECT_EQ(out->counter_offer, "count('room' where floor == 2) >= 1");
+  auto taken = client_->Request(out->counter_offer);
+  EXPECT_TRUE(taken.ok()) << taken.status().ToString();
+}
+
+TEST_F(ClientServicesTest, NamedPredicateGetsNoCounterOffer) {
+  auto held = client_->Request("available('room', '201')");
+  ASSERT_TRUE(held.ok());
+  auto out = client_->TryRequest("available('room', '201')");
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->granted);
+  EXPECT_TRUE(out->counter_offer.empty());
+}
+
+TEST_F(ClientServicesTest, ParamHelpers) {
+  std::map<std::string, Value> params{{"promise", Value(7)},
+                                      {"name", Value("x")},
+                                      {"n", Value(3)}};
+  EXPECT_EQ(PromiseParam(params)->value(), 7u);
+  EXPECT_EQ(*StringParam(params, "name"), "x");
+  EXPECT_EQ(*IntParam(params, "n"), 3);
+  EXPECT_EQ(IntParamOr(params, "missing", 9), 9);
+  EXPECT_EQ(IntParamOr(params, "n", 9), 3);
+  EXPECT_FALSE(PromiseParam({}).ok());
+  EXPECT_FALSE(StringParam(params, "n").ok());  // wrong type
+  EXPECT_FALSE(IntParam(params, "name").ok());
+}
+
+}  // namespace
+}  // namespace promises

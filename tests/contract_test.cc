@@ -1,0 +1,417 @@
+// Tests for service contracts, compatibility checking and runtime
+// conformance monitoring (§1 / [4]).
+
+#include <gtest/gtest.h>
+
+#include "contract/compatibility.h"
+#include "contract/contract.h"
+#include "contract/monitor.h"
+#include "contract/monitored_endpoint.h"
+#include "core/promise_manager.h"
+#include "service/client.h"
+#include "service/services.h"
+
+namespace promises {
+namespace {
+
+// The paper's motivating pair: a customer and a merchant exchanging
+// order / payment / goods / cancellation messages.
+
+Contract GoodCustomer() {
+  Contract c("customer");
+  (void)c.AddState("start");
+  (void)c.AddState("ordered");
+  (void)c.AddState("await-goods");
+  (void)c.AddState("done", "received");
+  (void)c.AddState("cancelled", "cancelled");
+  (void)c.AddTransition("start", MessageDir::kSend, "order", "ordered");
+  (void)c.AddTransition("ordered", MessageDir::kReceive, "reject",
+                        "cancelled");
+  (void)c.AddTransition("ordered", MessageDir::kSend, "payment",
+                        "await-goods");
+  (void)c.AddTransition("await-goods", MessageDir::kReceive, "goods",
+                        "done");
+  return c;
+}
+
+Contract GoodMerchant() {
+  Contract c("merchant");
+  (void)c.AddState("idle");
+  (void)c.AddState("considering");
+  (void)c.AddState("paid");
+  (void)c.AddState("closed", "shipped");
+  (void)c.AddState("refused", "refused");
+  (void)c.AddTransition("idle", MessageDir::kReceive, "order",
+                        "considering");
+  (void)c.AddTransition("considering", MessageDir::kSend, "reject",
+                        "refused");
+  (void)c.AddTransition("considering", MessageDir::kReceive, "payment",
+                        "paid");
+  (void)c.AddTransition("paid", MessageDir::kSend, "goods", "closed");
+  return c;
+}
+
+const std::set<std::pair<std::string, std::string>> kConsistent = {
+    {"received", "shipped"}, {"cancelled", "refused"}};
+
+TEST(ContractTest, BuildAndValidate) {
+  Contract c = GoodCustomer();
+  EXPECT_TRUE(c.Validate().ok());
+  EXPECT_EQ(c.initial(), "start");
+  EXPECT_TRUE(c.IsTerminal("done"));
+  EXPECT_EQ(c.OutcomeOf("done"), "received");
+  EXPECT_FALSE(c.IsTerminal("ordered"));
+  EXPECT_EQ(c.TransitionsFrom("ordered").size(), 2u);
+}
+
+TEST(ContractTest, StructuralErrors) {
+  Contract empty("empty");
+  EXPECT_FALSE(empty.Validate().ok());
+
+  Contract dup("dup");
+  ASSERT_TRUE(dup.AddState("a").ok());
+  EXPECT_EQ(dup.AddState("a").code(), StatusCode::kAlreadyExists);
+
+  Contract bad_edge("bad");
+  ASSERT_TRUE(bad_edge.AddState("a").ok());
+  EXPECT_TRUE(bad_edge
+                  .AddTransition("a", MessageDir::kSend, "m", "missing")
+                  .IsNotFound());
+
+  Contract terminal_out("tout");
+  ASSERT_TRUE(terminal_out.AddState("a").ok());
+  ASSERT_TRUE(terminal_out.AddState("end", "done").ok());
+  ASSERT_TRUE(
+      terminal_out.AddTransition("a", MessageDir::kSend, "m", "end").ok());
+  ASSERT_TRUE(
+      terminal_out.AddTransition("end", MessageDir::kSend, "m", "a").ok());
+  EXPECT_FALSE(terminal_out.Validate().ok());
+
+  Contract unreachable("unreach");
+  ASSERT_TRUE(unreachable.AddState("a", "fin").ok());
+  ASSERT_TRUE(unreachable.AddState("island").ok());
+  EXPECT_FALSE(unreachable.Validate().ok());
+}
+
+TEST(CompatibilityTest, GoodPairIsCompatible) {
+  auto report = CheckCompatibility(GoodCustomer(), GoodMerchant(),
+                                   kConsistent);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->compatible);
+  for (const auto& issue : report->issues) {
+    ADD_FAILURE() << issue.ToString();
+  }
+  EXPECT_EQ(report->final_outcomes.size(), 2u);
+  EXPECT_GT(report->explored_states, 3u);
+}
+
+TEST(CompatibilityTest, UnspecifiedReceptionDetected) {
+  // A merchant that never expects 'payment': the customer's send has
+  // no receiver — the §1 "payment arrives for an accepted order"
+  // class of hole.
+  Contract merchant("forgetful-merchant");
+  (void)merchant.AddState("idle");
+  (void)merchant.AddState("considering");
+  (void)merchant.AddState("refused", "refused");
+  (void)merchant.AddTransition("idle", MessageDir::kReceive, "order",
+                               "considering");
+  (void)merchant.AddTransition("considering", MessageDir::kSend, "reject",
+                               "refused");
+  auto report = CheckCompatibility(GoodCustomer(), merchant, kConsistent);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->compatible);
+  bool found = false;
+  for (const auto& issue : report->issues) {
+    if (issue.kind == CompatibilityIssue::Kind::kUnspecifiedReception &&
+        issue.detail.find("payment") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CompatibilityTest, DeadlockDetected) {
+  // Both sides wait to receive first.
+  Contract a("a"), b("b");
+  (void)a.AddState("wait");
+  (void)a.AddState("end", "done");
+  (void)a.AddTransition("wait", MessageDir::kReceive, "go", "end");
+  (void)b.AddState("wait");
+  (void)b.AddState("end", "done");
+  (void)b.AddTransition("wait", MessageDir::kReceive, "go", "end");
+  auto report = CheckCompatibility(a, b, {{"done", "done"}});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->compatible);
+  ASSERT_EQ(report->issues.size(), 1u);
+  EXPECT_EQ(report->issues[0].kind, CompatibilityIssue::Kind::kDeadlock);
+}
+
+TEST(CompatibilityTest, HalfTerminatedIsDeadlock) {
+  // a finishes immediately; b still expects a message.
+  Contract a("a"), b("b");
+  (void)a.AddState("end", "done");
+  (void)b.AddState("wait");
+  (void)b.AddState("end", "done");
+  (void)b.AddTransition("wait", MessageDir::kReceive, "go", "end");
+  auto report = CheckCompatibility(a, b, {{"done", "done"}});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->compatible);
+  EXPECT_EQ(report->issues[0].kind, CompatibilityIssue::Kind::kDeadlock);
+}
+
+TEST(CompatibilityTest, InconsistentOutcomeDetected) {
+  // Consistency relation forbids (received, refused) — construct a
+  // racy pair that can reach it: merchant may reject after shipping
+  // path... simpler: declare only one pair consistent.
+  auto report = CheckCompatibility(GoodCustomer(), GoodMerchant(),
+                                   {{"received", "shipped"}});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->compatible);
+  bool found = false;
+  for (const auto& issue : report->issues) {
+    if (issue.kind == CompatibilityIssue::Kind::kInconsistentOutcome &&
+        issue.detail.find("cancelled") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CompatibilityTest, InvalidContractsRejected) {
+  Contract empty("empty");
+  EXPECT_FALSE(CheckCompatibility(empty, GoodMerchant(), kConsistent).ok());
+}
+
+TEST(MonitorTest, FollowsHappyPath) {
+  Contract customer = GoodCustomer();
+  ConformanceMonitor monitor(&customer);
+  EXPECT_TRUE(monitor.Observe(MessageDir::kSend, "order").ok());
+  EXPECT_TRUE(monitor.Observe(MessageDir::kSend, "payment").ok());
+  EXPECT_FALSE(monitor.AtTerminal());
+  EXPECT_TRUE(monitor.Observe(MessageDir::kReceive, "goods").ok());
+  EXPECT_TRUE(monitor.AtTerminal());
+  EXPECT_EQ(monitor.outcome(), "received");
+  EXPECT_EQ(monitor.trace(),
+            (std::vector<std::string>{"!order", "!payment", "?goods"}));
+}
+
+TEST(MonitorTest, RejectsNonConformingEvents) {
+  Contract customer = GoodCustomer();
+  ConformanceMonitor monitor(&customer);
+  // Paying before ordering is not in the contract.
+  Status st = monitor.Observe(MessageDir::kSend, "payment");
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(monitor.state(), "start");  // unchanged
+  // Wrong direction.
+  EXPECT_FALSE(monitor.Observe(MessageDir::kReceive, "order").ok());
+}
+
+TEST(MonitorTest, ResetStartsOver) {
+  Contract customer = GoodCustomer();
+  ConformanceMonitor monitor(&customer);
+  ASSERT_TRUE(monitor.Observe(MessageDir::kSend, "order").ok());
+  monitor.Reset();
+  EXPECT_EQ(monitor.state(), "start");
+  EXPECT_TRUE(monitor.trace().empty());
+}
+
+TEST(MonitorTest, TerminationCheck) {
+  Contract customer = GoodCustomer();
+  Contract merchant = GoodMerchant();
+  ConformanceMonitor c(&customer), m(&merchant);
+  // Run the rejection path on both sides.
+  ASSERT_TRUE(c.Observe(MessageDir::kSend, "order").ok());
+  ASSERT_TRUE(m.Observe(MessageDir::kReceive, "order").ok());
+  ASSERT_TRUE(m.Observe(MessageDir::kSend, "reject").ok());
+  // Customer has not seen the rejection yet: termination check fails.
+  EXPECT_FALSE(
+      ConformanceMonitor::CheckTermination(c, m, kConsistent).ok());
+  ASSERT_TRUE(c.Observe(MessageDir::kReceive, "reject").ok());
+  EXPECT_TRUE(ConformanceMonitor::CheckTermination(c, m, kConsistent).ok());
+  // With a stricter consistency relation the same pair is flagged.
+  Status st = ConformanceMonitor::CheckTermination(
+      c, m, {{"received", "shipped"}});
+  EXPECT_TRUE(st.IsViolated());
+}
+
+TEST(MonitorTest, AmbiguousContractFlagged) {
+  Contract c("ambiguous");
+  (void)c.AddState("s");
+  (void)c.AddState("t1", "one");
+  (void)c.AddState("t2", "two");
+  (void)c.AddTransition("s", MessageDir::kSend, "m", "t1");
+  (void)c.AddTransition("s", MessageDir::kSend, "m", "t2");
+  ConformanceMonitor monitor(&c);
+  EXPECT_FALSE(monitor.Observe(MessageDir::kSend, "m").ok());
+}
+
+// The promise protocol itself as a contract pair: the client side and
+// manager side of §6's request/response exchange must be compatible.
+TEST(CompatibilityTest, PromiseProtocolContractsAreCompatible) {
+  Contract client("promise-client");
+  (void)client.AddState("idle");
+  (void)client.AddState("requested");
+  (void)client.AddState("holding");
+  (void)client.AddState("acting");
+  (void)client.AddState("done", "completed");
+  (void)client.AddState("refused", "refused");
+  (void)client.AddTransition("idle", MessageDir::kSend, "promise-request",
+                             "requested");
+  (void)client.AddTransition("requested", MessageDir::kReceive, "accepted",
+                             "holding");
+  (void)client.AddTransition("requested", MessageDir::kReceive, "rejected",
+                             "refused");
+  (void)client.AddTransition("holding", MessageDir::kSend,
+                             "action+release", "acting");
+  (void)client.AddTransition("acting", MessageDir::kReceive,
+                             "action-result", "done");
+
+  Contract manager("promise-manager");
+  (void)manager.AddState("idle");
+  (void)manager.AddState("checking");
+  (void)manager.AddState("granted");
+  (void)manager.AddState("executing");
+  (void)manager.AddState("settled", "settled");
+  (void)manager.AddState("declined", "declined");
+  (void)manager.AddTransition("idle", MessageDir::kReceive,
+                              "promise-request", "checking");
+  (void)manager.AddTransition("checking", MessageDir::kSend, "accepted",
+                              "granted");
+  (void)manager.AddTransition("checking", MessageDir::kSend, "rejected",
+                              "declined");
+  (void)manager.AddTransition("granted", MessageDir::kReceive,
+                              "action+release", "executing");
+  (void)manager.AddTransition("executing", MessageDir::kSend,
+                              "action-result", "settled");
+
+  auto report = CheckCompatibility(
+      client, manager,
+      {{"completed", "settled"}, {"refused", "declined"}});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->compatible);
+  for (const auto& issue : report->issues) {
+    ADD_FAILURE() << issue.ToString();
+  }
+}
+
+// --- Live-protocol monitoring -------------------------------------------
+
+// Per-conversation contract for the manager side of one simple
+// exchange: receive a request, answer it; receive an action, answer it.
+Contract ManagerWireContract() {
+  Contract c("manager-wire");
+  (void)c.AddState("idle");
+  (void)c.AddState("deciding");
+  (void)c.AddState("granted");
+  (void)c.AddState("running");
+  (void)c.AddState("settled", "settled");
+  (void)c.AddTransition("idle", MessageDir::kReceive, "promise-request",
+                        "deciding");
+  (void)c.AddTransition("deciding", MessageDir::kSend, "promise-accepted",
+                        "granted");
+  (void)c.AddTransition("deciding", MessageDir::kSend, "promise-rejected",
+                        "settled");
+  (void)c.AddTransition("granted", MessageDir::kReceive, "action",
+                        "running");
+  (void)c.AddTransition("running", MessageDir::kSend, "action-result",
+                        "settled");
+  return c;
+}
+
+TEST(MonitoredEndpointTest, CleanExchangePassesUnflagged) {
+  SystemClock clock;
+  ResourceManager rm;
+  TransactionManager tm;
+  Transport transport;
+  ASSERT_TRUE(rm.CreatePool("widget", 10).ok());
+  PromiseManagerConfig config;
+  config.name = "inner-pm";  // real manager on a hidden endpoint
+  PromiseManager manager(config, &clock, &rm, &tm, &transport);
+  manager.RegisterService("inventory", MakeInventoryService());
+
+  Contract wire = ManagerWireContract();
+  MonitoredEndpoint monitored(
+      &wire,
+      [&](const Envelope& env) {
+        Envelope inner = env;
+        inner.to = "inner-pm";
+        return transport.Send(inner);
+      },
+      [](const std::string& v) { ADD_FAILURE() << v; });
+  transport.Register("pm", monitored.Handler());
+
+  PromiseClient client("c", &transport, "pm");
+  auto p = client.Request("quantity('widget') >= 5");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  ActionBody buy;
+  buy.service = "inventory";
+  buy.operation = "purchase";
+  buy.params["item"] = Value("widget");
+  buy.params["quantity"] = Value(5);
+  buy.params["promise"] = Value(static_cast<int64_t>(p->id.value()));
+  auto out = client.Act(buy, {p->id}, true);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->ok);
+  EXPECT_EQ(monitored.violations(), 0u);
+  EXPECT_TRUE(monitored.monitor().AtTerminal());
+  EXPECT_EQ(monitored.monitor().outcome(), "settled");
+}
+
+TEST(MonitoredEndpointTest, OutOfOrderMessageFlaggedAndEnforced) {
+  Transport transport;
+  Contract wire = ManagerWireContract();
+  int violations = 0;
+  MonitoredEndpoint monitored(
+      &wire,
+      [&](const Envelope& env) -> Result<Envelope> {
+        Envelope reply;
+        reply.message_id = MessageId(1);
+        reply.from = env.to;
+        reply.to = env.from;
+        ActionResultBody r;
+        r.ok = true;
+        reply.action_result = std::move(r);
+        return reply;
+      },
+      [&](const std::string&) { ++violations; }, /*enforce=*/true);
+  transport.Register("pm", monitored.Handler());
+
+  // Sending an action before any promise-request violates the wire
+  // contract and is refused outright in enforce mode.
+  PromiseClient client("c", &transport, "pm");
+  ActionBody act;
+  act.service = "x";
+  act.operation = "y";
+  auto out = client.Act(act);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(violations, 1);
+  EXPECT_EQ(monitored.violations(), 1u);
+}
+
+TEST(MonitoredEndpointTest, ClassifyEnvelopeCoversAllShapes) {
+  Envelope env;
+  EXPECT_EQ(ClassifyEnvelope(env), "empty");
+  env.promise_request = PromiseRequestHeader{};
+  EXPECT_EQ(ClassifyEnvelope(env), "promise-request");
+  env = Envelope{};
+  PromiseResponseHeader resp;
+  resp.result = PromiseResultCode::kAccepted;
+  env.promise_response = resp;
+  EXPECT_EQ(ClassifyEnvelope(env), "promise-accepted");
+  env.promise_response->result = PromiseResultCode::kRejected;
+  EXPECT_EQ(ClassifyEnvelope(env), "promise-rejected");
+  env = Envelope{};
+  env.release = ReleaseHeader{};
+  EXPECT_EQ(ClassifyEnvelope(env), "release");
+  env = Envelope{};
+  env.action = ActionBody{};
+  EXPECT_EQ(ClassifyEnvelope(env), "action");
+  env = Envelope{};
+  ActionResultBody result;
+  result.ok = false;
+  env.action_result = result;
+  EXPECT_EQ(ClassifyEnvelope(env), "action-failed");
+}
+
+}  // namespace
+}  // namespace promises

@@ -1,0 +1,146 @@
+// Tests for §5 Delegation: promises backed by third-party promises,
+// including multi-hop chains and rejection/rollback compensation.
+
+#include <gtest/gtest.h>
+
+#include "core/promise_manager.h"
+#include "protocol/transport.h"
+#include "service/client.h"
+#include "service/services.h"
+
+namespace promises {
+namespace {
+
+/// One promise-manager "site" with its own RM/TM.
+struct Site {
+  Site(const std::string& name, Clock* clock, Transport* transport) {
+    PromiseManagerConfig config;
+    config.name = name;
+    pm = std::make_unique<PromiseManager>(config, clock, &rm, &tm,
+                                          transport);
+    pm->RegisterService("inventory", MakeInventoryService());
+  }
+  ResourceManager rm;
+  TransactionManager tm{100};
+  std::unique_ptr<PromiseManager> pm;
+};
+
+class DelegationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    distributor_ = std::make_unique<Site>("distributor", &clock_,
+                                          &transport_);
+    merchant_ = std::make_unique<Site>("merchant", &clock_, &transport_);
+    ASSERT_TRUE(distributor_->rm.CreatePool("bulk", 100).ok());
+    ASSERT_TRUE(
+        merchant_->pm->DelegateClass("bulk", "distributor").ok());
+    client_ = merchant_->pm->ClientFor("customer");
+  }
+
+  SimulatedClock clock_{0};
+  Transport transport_;
+  std::unique_ptr<Site> distributor_, merchant_;
+  ClientId client_;
+};
+
+TEST_F(DelegationTest, GrantFlowsUpstream) {
+  auto out = merchant_->pm->RequestPromise(
+      client_, {Predicate::Quantity("bulk", CompareOp::kGe, 40)}, 10'000);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(out->accepted) << out->reason;
+  EXPECT_EQ(merchant_->pm->active_promises(), 1u);
+  EXPECT_EQ(distributor_->pm->active_promises(), 1u);
+}
+
+TEST_F(DelegationTest, UpstreamCapacityShared) {
+  auto a = merchant_->pm->RequestPromise(
+      client_, {Predicate::Quantity("bulk", CompareOp::kGe, 70)}, 10'000);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(a->accepted);
+  // Direct customers of the distributor see the delegated reservation.
+  ClientId direct = distributor_->pm->ClientFor("direct");
+  auto b = distributor_->pm->RequestPromise(
+      direct, {Predicate::Quantity("bulk", CompareOp::kGe, 40)}, 10'000);
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(b->accepted);
+}
+
+TEST_F(DelegationTest, UpstreamRejectionRejectsLocalAtomically) {
+  auto out = merchant_->pm->RequestPromise(
+      client_, {Predicate::Quantity("bulk", CompareOp::kGe, 200)}, 10'000);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->accepted);
+  EXPECT_EQ(merchant_->pm->active_promises(), 0u);
+  EXPECT_EQ(distributor_->pm->active_promises(), 0u);
+}
+
+TEST_F(DelegationTest, MixedLocalAndDelegatedAtomicity) {
+  ASSERT_TRUE(merchant_->rm.CreatePool("retail", 5).ok());
+  // Local part impossible -> upstream grant must be compensated away.
+  auto out = merchant_->pm->RequestPromise(
+      client_,
+      {Predicate::Quantity("bulk", CompareOp::kGe, 10),
+       Predicate::Quantity("retail", CompareOp::kGe, 50)},
+      10'000);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->accepted);
+  EXPECT_EQ(distributor_->pm->active_promises(), 0u)
+      << "upstream reservation must be released when the local bundle "
+         "fails";
+}
+
+TEST_F(DelegationTest, ReleaseCascadesUpstream) {
+  auto out = merchant_->pm->RequestPromise(
+      client_, {Predicate::Quantity("bulk", CompareOp::kGe, 40)}, 10'000);
+  ASSERT_TRUE(out.ok() && out->accepted);
+  ASSERT_TRUE(merchant_->pm->Release(client_, {out->promise_id}).ok());
+  EXPECT_EQ(merchant_->pm->active_promises(), 0u);
+  EXPECT_EQ(distributor_->pm->active_promises(), 0u);
+}
+
+TEST_F(DelegationTest, TwoHopChain) {
+  // factory <- distributor <- merchant.
+  Site factory("factory", &clock_, &transport_);
+  ASSERT_TRUE(factory.rm.CreatePool("raw", 50).ok());
+  // Distributor delegates 'raw' to the factory; merchant delegates it
+  // to the distributor.
+  ASSERT_TRUE(distributor_->pm->DelegateClass("raw", "factory").ok());
+  ASSERT_TRUE(merchant_->pm->DelegateClass("raw", "distributor").ok());
+
+  auto out = merchant_->pm->RequestPromise(
+      client_, {Predicate::Quantity("raw", CompareOp::kGe, 30)}, 10'000);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(out->accepted) << out->reason;
+  EXPECT_EQ(factory.pm->active_promises(), 1u);
+  EXPECT_EQ(distributor_->pm->active_promises(), 1u);
+  EXPECT_EQ(merchant_->pm->active_promises(), 1u);
+
+  // Release unwinds the whole chain.
+  ASSERT_TRUE(merchant_->pm->Release(client_, {out->promise_id}).ok());
+  EXPECT_EQ(factory.pm->active_promises(), 0u);
+  EXPECT_EQ(distributor_->pm->active_promises(), 0u);
+}
+
+TEST_F(DelegationTest, DelegationRequiresTransport) {
+  SimulatedClock clock;
+  ResourceManager rm;
+  TransactionManager tm;
+  PromiseManager lonely(PromiseManagerConfig{}, &clock, &rm, &tm,
+                        /*transport=*/nullptr);
+  EXPECT_FALSE(lonely.DelegateClass("x", "up").ok());
+}
+
+TEST_F(DelegationTest, DelegatedDurationPropagates) {
+  auto out = merchant_->pm->RequestPromise(
+      client_, {Predicate::Quantity("bulk", CompareOp::kGe, 10)}, 5'000);
+  ASSERT_TRUE(out.ok() && out->accepted);
+  clock_.Advance(6'000);
+  // The merchant's sweep releases the upstream promise as it unwinds
+  // its own, so the distributor's table is already clean.
+  EXPECT_EQ(merchant_->pm->ExpireDue(), 1u);
+  EXPECT_EQ(distributor_->pm->active_promises(), 0u);
+  EXPECT_EQ(distributor_->pm->ExpireDue(), 0u);
+}
+
+}  // namespace
+}  // namespace promises

@@ -1,0 +1,476 @@
+// Unit tests for the §5 checking engines, driven directly (the promise
+// manager integration is covered in promise_manager_test.cc).
+
+#include <gtest/gtest.h>
+
+#include "core/pool_engine.h"
+#include "core/satisfiability_engine.h"
+#include "core/tag_engine.h"
+#include "core/tentative_engine.h"
+
+namespace promises {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(rm_.CreatePool("widget", 10).ok());
+    Schema schema({{"floor", ValueType::kInt, false},
+                   {"view", ValueType::kBool, false}});
+    ASSERT_TRUE(rm_.CreateInstanceClass("room", schema).ok());
+    ASSERT_TRUE(rm_.AddInstance("room", "301",
+                                {{"floor", Value(3)}, {"view", Value(true)}})
+                    .ok());
+    ASSERT_TRUE(rm_.AddInstance("room", "504",
+                                {{"floor", Value(5)}, {"view", Value(false)}})
+                    .ok());
+    ASSERT_TRUE(rm_.AddInstance("room", "512",
+                                {{"floor", Value(5)}, {"view", Value(true)}})
+                    .ok());
+  }
+
+  EngineContext Ctx() { return EngineContext{&rm_, &table_, &clock_}; }
+
+  /// Builds a record, registers it in the table and reserves every
+  /// predicate with `engine`. Returns the reserve status of the first
+  /// failing predicate (table entry removed again on failure).
+  Status GrantThrough(ResourceEngine* engine, uint64_t id,
+                      std::vector<Predicate> preds, Transaction* txn,
+                      DurationMs duration = 1'000'000) {
+    PromiseRecord r;
+    r.id = PromiseId(id);
+    r.owner = ClientId(1);
+    r.predicates = std::move(preds);
+    r.granted_at = clock_.Now();
+    r.expires_at = clock_.Now() + duration;
+    Status st = table_.Insert(r);
+    if (!st.ok()) return st;
+    for (const Predicate& p : r.predicates) {
+      st = engine->Reserve(txn, r, p);
+      if (!st.ok()) {
+        (void)table_.Remove(r.id);
+        return st;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ReleaseThrough(ResourceEngine* engine, uint64_t id,
+                        Transaction* txn) {
+    const PromiseRecord* rec = table_.Find(PromiseId(id));
+    if (rec == nullptr) return Status::NotFound("no record");
+    for (const Predicate& p : rec->predicates) {
+      PROMISES_RETURN_IF_ERROR(engine->Unreserve(txn, PromiseId(id), p));
+    }
+    return table_.Remove(PromiseId(id)).status();
+  }
+
+  SimulatedClock clock_{1000};
+  TransactionManager tm_{50};
+  ResourceManager rm_;
+  PromiseTable table_;
+};
+
+// --- ResourcePoolEngine ------------------------------------------------
+
+TEST_F(EngineTest, PoolEngineReservesUpToQuantity) {
+  ResourcePoolEngine engine("widget", Ctx());
+  auto txn = tm_.Begin();
+  EXPECT_TRUE(GrantThrough(&engine, 1,
+                           {Predicate::Quantity("widget", CompareOp::kGe, 6)},
+                           txn.get())
+                  .ok());
+  EXPECT_EQ(engine.reserved(), 6);
+  EXPECT_TRUE(GrantThrough(&engine, 2,
+                           {Predicate::Quantity("widget", CompareOp::kGe, 4)},
+                           txn.get())
+                  .ok());
+  EXPECT_EQ(
+      GrantThrough(&engine, 3,
+                   {Predicate::Quantity("widget", CompareOp::kGe, 1)},
+                   txn.get())
+          .code(),
+      StatusCode::kFailedPrecondition);
+  EXPECT_EQ(engine.reserved(), 10);
+}
+
+TEST_F(EngineTest, PoolEngineUnreserveFreesCapacity) {
+  ResourcePoolEngine engine("widget", Ctx());
+  auto txn = tm_.Begin();
+  ASSERT_TRUE(GrantThrough(&engine, 1,
+                           {Predicate::Quantity("widget", CompareOp::kGe, 8)},
+                           txn.get())
+                  .ok());
+  ASSERT_TRUE(ReleaseThrough(&engine, 1, txn.get()).ok());
+  EXPECT_EQ(engine.reserved(), 0);
+  EXPECT_TRUE(GrantThrough(&engine, 2,
+                           {Predicate::Quantity("widget", CompareOp::kGe, 9)},
+                           txn.get())
+                  .ok());
+}
+
+TEST_F(EngineTest, PoolEngineRollbackRestoresReservation) {
+  ResourcePoolEngine engine("widget", Ctx());
+  {
+    auto txn = tm_.Begin();
+    ASSERT_TRUE(
+        GrantThrough(&engine, 1,
+                     {Predicate::Quantity("widget", CompareOp::kGe, 8)},
+                     txn.get())
+            .ok());
+    ASSERT_TRUE(txn->Rollback().ok());
+  }
+  EXPECT_EQ(engine.reserved(), 0);
+}
+
+TEST_F(EngineTest, PoolEngineVerifyDetectsOverdraw) {
+  ResourcePoolEngine engine("widget", Ctx());
+  auto txn = tm_.Begin();
+  ASSERT_TRUE(GrantThrough(&engine, 1,
+                           {Predicate::Quantity("widget", CompareOp::kGe, 8)},
+                           txn.get())
+                  .ok());
+  EXPECT_TRUE(engine.VerifyConsistent(txn.get(), clock_.Now()).ok());
+  // Unrelated consumption of 5 leaves 5 < 8 reserved.
+  ASSERT_TRUE(rm_.AdjustQuantity(txn.get(), "widget", -5).ok());
+  EXPECT_TRUE(
+      engine.VerifyConsistent(txn.get(), clock_.Now()).IsViolated());
+}
+
+TEST_F(EngineTest, PoolEngineRejectsWrongPredicateKind) {
+  ResourcePoolEngine engine("widget", Ctx());
+  auto txn = tm_.Begin();
+  EXPECT_FALSE(GrantThrough(&engine, 1, {Predicate::Named("widget", "x")},
+                            txn.get())
+                   .ok());
+  EXPECT_FALSE(
+      engine.ResolveInstance(txn.get(), PromiseId(1),
+                             Predicate::Quantity("widget", CompareOp::kGe, 1),
+                             0)
+          .ok());
+}
+
+// --- AllocatedTagEngine ------------------------------------------------
+
+TEST_F(EngineTest, TagEngineMarksNamedInstancePromised) {
+  AllocatedTagEngine engine("room", Ctx());
+  auto txn = tm_.Begin();
+  ASSERT_TRUE(GrantThrough(&engine, 1, {Predicate::Named("room", "512")},
+                           txn.get())
+                  .ok());
+  EXPECT_EQ(*rm_.GetInstanceStatus(txn.get(), "room", "512"),
+            InstanceStatus::kPromised);
+  // Second promise on the same instance refused.
+  EXPECT_EQ(GrantThrough(&engine, 2, {Predicate::Named("room", "512")},
+                         txn.get())
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(EngineTest, TagEngineReleaseRestoresAvailability) {
+  AllocatedTagEngine engine("room", Ctx());
+  auto txn = tm_.Begin();
+  ASSERT_TRUE(GrantThrough(&engine, 1, {Predicate::Named("room", "512")},
+                           txn.get())
+                  .ok());
+  ASSERT_TRUE(ReleaseThrough(&engine, 1, txn.get()).ok());
+  EXPECT_EQ(*rm_.GetInstanceStatus(txn.get(), "room", "512"),
+            InstanceStatus::kAvailable);
+}
+
+TEST_F(EngineTest, TagEngineReleaseKeepsTakenInstances) {
+  AllocatedTagEngine engine("room", Ctx());
+  auto txn = tm_.Begin();
+  ASSERT_TRUE(GrantThrough(&engine, 1, {Predicate::Named("room", "512")},
+                           txn.get())
+                  .ok());
+  ASSERT_TRUE(rm_.SetInstanceStatus(txn.get(), "room", "512",
+                                    InstanceStatus::kTaken)
+                  .ok());
+  ASSERT_TRUE(ReleaseThrough(&engine, 1, txn.get()).ok());
+  EXPECT_EQ(*rm_.GetInstanceStatus(txn.get(), "room", "512"),
+            InstanceStatus::kTaken);
+}
+
+TEST_F(EngineTest, TagEnginePropertyPredicateAllocatesEagerly) {
+  AllocatedTagEngine engine("room", Ctx());
+  auto txn = tm_.Begin();
+  Predicate two_on_five = Predicate::Property(
+      "room", Expr::Compare("floor", CompareOp::kEq, Value(5)), 2);
+  ASSERT_TRUE(GrantThrough(&engine, 1, {two_on_five}, txn.get()).ok());
+  EXPECT_EQ(*rm_.CountAvailable(txn.get(), "room"), 1);  // only 301 left
+  // Only one more view room exists and it's floor 3; asking for a
+  // 5th-floor room now fails.
+  Predicate one_on_five = Predicate::Property(
+      "room", Expr::Compare("floor", CompareOp::kEq, Value(5)), 1);
+  EXPECT_EQ(GrantThrough(&engine, 2, {one_on_five}, txn.get()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(EngineTest, TagEngineEagernessCausesFalseRejection) {
+  // The documented weakness (E4): tags may pick 512 for a view promise
+  // even though 301 would do, then refuse a 5th-floor request that only
+  // 512 could satisfy... depending on iteration order. Construct the
+  // order-dependent case explicitly: instances iterate lexicographically
+  // (301, 504, 512), so a view request takes 301 first — make 301
+  // unavailable to force 512.
+  AllocatedTagEngine engine("room", Ctx());
+  auto txn = tm_.Begin();
+  ASSERT_TRUE(rm_.SetInstanceStatus(txn.get(), "room", "301",
+                                    InstanceStatus::kTaken)
+                  .ok());
+  Predicate view = Predicate::Property(
+      "room", Expr::Compare("view", CompareOp::kEq, Value(true)), 1);
+  ASSERT_TRUE(GrantThrough(&engine, 1, {view}, txn.get()).ok());
+  // 512 is now promised; a 5th-floor request can still use 504.
+  Predicate five = Predicate::Property(
+      "room", Expr::Compare("floor", CompareOp::kEq, Value(5)), 1);
+  ASSERT_TRUE(GrantThrough(&engine, 2, {five}, txn.get()).ok());
+  // But a second 5th-floor request fails even though a reallocation
+  // (view promise has no alternative here) genuinely does not exist —
+  // and with 301 available again, tags still would not reconsider.
+  EXPECT_FALSE(GrantThrough(&engine, 3, {five}, txn.get()).ok());
+}
+
+TEST_F(EngineTest, TagEngineResolveWalksAssignments) {
+  AllocatedTagEngine engine("room", Ctx());
+  auto txn = tm_.Begin();
+  Predicate two_on_five = Predicate::Property(
+      "room", Expr::Compare("floor", CompareOp::kEq, Value(5)), 2);
+  ASSERT_TRUE(GrantThrough(&engine, 1, {two_on_five}, txn.get()).ok());
+  auto first =
+      engine.ResolveInstance(txn.get(), PromiseId(1), two_on_five, 0);
+  auto second =
+      engine.ResolveInstance(txn.get(), PromiseId(1), two_on_five, 1);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(*first, *second);
+  EXPECT_FALSE(
+      engine.ResolveInstance(txn.get(), PromiseId(1), two_on_five, 2).ok());
+}
+
+TEST_F(EngineTest, TagEngineVerifyFlagsConsumedButUnreleased) {
+  AllocatedTagEngine engine("room", Ctx());
+  auto txn = tm_.Begin();
+  ASSERT_TRUE(GrantThrough(&engine, 1, {Predicate::Named("room", "512")},
+                           txn.get())
+                  .ok());
+  ASSERT_TRUE(rm_.SetInstanceStatus(txn.get(), "room", "512",
+                                    InstanceStatus::kTaken)
+                  .ok());
+  EXPECT_TRUE(
+      engine.VerifyConsistent(txn.get(), clock_.Now()).IsViolated());
+}
+
+TEST_F(EngineTest, TagEngineRollbackRestoresTagsAndLedger) {
+  AllocatedTagEngine engine("room", Ctx());
+  {
+    auto txn = tm_.Begin();
+    ASSERT_TRUE(GrantThrough(&engine, 1, {Predicate::Named("room", "512")},
+                             txn.get())
+                    .ok());
+    ASSERT_TRUE(txn->Rollback().ok());
+    (void)table_.Remove(PromiseId(1));
+  }
+  auto txn = tm_.Begin();
+  EXPECT_EQ(*rm_.GetInstanceStatus(txn.get(), "room", "512"),
+            InstanceStatus::kAvailable);
+  // Fresh reserve works (ledger clean).
+  EXPECT_TRUE(GrantThrough(&engine, 2, {Predicate::Named("room", "512")},
+                           txn.get())
+                  .ok());
+}
+
+// --- TentativeEngine ---------------------------------------------------
+
+TEST_F(EngineTest, TentativeEngineReallocatesWhereTagsWouldRefuse) {
+  TentativeEngine engine("room", Ctx());
+  auto txn = tm_.Begin();
+  Predicate view = Predicate::Property(
+      "room", Expr::Compare("view", CompareOp::kEq, Value(true)), 1);
+  Predicate five = Predicate::Property(
+      "room", Expr::Compare("floor", CompareOp::kEq, Value(5)), 1);
+  ASSERT_TRUE(GrantThrough(&engine, 1, {view}, txn.get()).ok());
+  ASSERT_TRUE(GrantThrough(&engine, 2, {five}, txn.get()).ok());
+  // Both 5th-floor rooms: one may require displacing the view promise
+  // onto 301.
+  ASSERT_TRUE(GrantThrough(&engine, 3, {five}, txn.get()).ok());
+  // Now everything is pinned: 301=view, {504,512}=five,five.
+  EXPECT_FALSE(GrantThrough(&engine, 4, {view}, txn.get()).ok());
+  EXPECT_TRUE(engine.VerifyConsistent(txn.get(), clock_.Now()).ok());
+}
+
+TEST_F(EngineTest, TentativeEngineMirrorsStatuses) {
+  TentativeEngine engine("room", Ctx());
+  auto txn = tm_.Begin();
+  Predicate view = Predicate::Property(
+      "room", Expr::Compare("view", CompareOp::kEq, Value(true)), 1);
+  ASSERT_TRUE(GrantThrough(&engine, 1, {view}, txn.get()).ok());
+  EXPECT_EQ(*rm_.CountAvailable(txn.get(), "room"), 2);
+  ASSERT_TRUE(ReleaseThrough(&engine, 1, txn.get()).ok());
+  EXPECT_EQ(*rm_.CountAvailable(txn.get(), "room"), 3);
+}
+
+TEST_F(EngineTest, TentativeEngineNamedPredicates) {
+  TentativeEngine engine("room", Ctx());
+  auto txn = tm_.Begin();
+  ASSERT_TRUE(GrantThrough(&engine, 1, {Predicate::Named("room", "512")},
+                           txn.get())
+                  .ok());
+  // The named instance is pinned: a second named promise fails...
+  EXPECT_FALSE(GrantThrough(&engine, 2, {Predicate::Named("room", "512")},
+                            txn.get())
+                   .ok());
+  // ...and property demands that only 512 could fill fail too.
+  Predicate five_view = Predicate::Property(
+      "room",
+      Expr::And(Expr::Compare("floor", CompareOp::kEq, Value(5)),
+                Expr::Compare("view", CompareOp::kEq, Value(true))),
+      1);
+  EXPECT_FALSE(GrantThrough(&engine, 3, {five_view}, txn.get()).ok());
+}
+
+TEST_F(EngineTest, TentativeEngineResolveReturnsMatchedInstance) {
+  TentativeEngine engine("room", Ctx());
+  auto txn = tm_.Begin();
+  Predicate five = Predicate::Property(
+      "room", Expr::Compare("floor", CompareOp::kEq, Value(5)), 2);
+  ASSERT_TRUE(GrantThrough(&engine, 1, {five}, txn.get()).ok());
+  auto a = engine.ResolveInstance(txn.get(), PromiseId(1), five, 0);
+  auto b = engine.ResolveInstance(txn.get(), PromiseId(1), five, 1);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  std::set<std::string> got{*a, *b};
+  EXPECT_EQ(got, (std::set<std::string>{"504", "512"}));
+}
+
+TEST_F(EngineTest, TentativeEngineVerifyDetectsExternallyTaken) {
+  TentativeEngine engine("room", Ctx());
+  auto txn = tm_.Begin();
+  Predicate five_view = Predicate::Property(
+      "room",
+      Expr::And(Expr::Compare("floor", CompareOp::kEq, Value(5)),
+                Expr::Compare("view", CompareOp::kEq, Value(true))),
+      1);
+  ASSERT_TRUE(GrantThrough(&engine, 1, {five_view}, txn.get()).ok());
+  // Only 512 matches; an outside action takes it without a promise.
+  ASSERT_TRUE(rm_.SetInstanceStatus(txn.get(), "room", "512",
+                                    InstanceStatus::kTaken)
+                  .ok());
+  EXPECT_TRUE(
+      engine.VerifyConsistent(txn.get(), clock_.Now()).IsViolated());
+}
+
+TEST_F(EngineTest, TentativeEngineRollbackRestoresMatcher) {
+  TentativeEngine engine("room", Ctx());
+  Predicate view = Predicate::Property(
+      "room", Expr::Compare("view", CompareOp::kEq, Value(true)), 2);
+  {
+    auto txn = tm_.Begin();
+    ASSERT_TRUE(GrantThrough(&engine, 1, {view}, txn.get()).ok());
+    ASSERT_TRUE(txn->Rollback().ok());
+    (void)table_.Remove(PromiseId(1));
+  }
+  auto txn = tm_.Begin();
+  EXPECT_EQ(*rm_.CountAvailable(txn.get(), "room"), 3);
+  EXPECT_TRUE(GrantThrough(&engine, 2, {view}, txn.get()).ok());
+}
+
+// --- SatisfiabilityEngine ----------------------------------------------
+
+TEST_F(EngineTest, SatisfiabilityPoolSumsPromises) {
+  SatisfiabilityEngine engine("widget", /*is_pool=*/true, Ctx());
+  auto txn = tm_.Begin();
+  ASSERT_TRUE(GrantThrough(&engine, 1,
+                           {Predicate::Quantity("widget", CompareOp::kGe, 6)},
+                           txn.get())
+                  .ok());
+  ASSERT_TRUE(GrantThrough(&engine, 2,
+                           {Predicate::Quantity("widget", CompareOp::kGe, 4)},
+                           txn.get())
+                  .ok());
+  EXPECT_EQ(
+      GrantThrough(&engine, 3,
+                   {Predicate::Quantity("widget", CompareOp::kGe, 1)},
+                   txn.get())
+          .code(),
+      StatusCode::kFailedPrecondition);
+}
+
+TEST_F(EngineTest, SatisfiabilityInstanceMatching) {
+  SatisfiabilityEngine engine("room", /*is_pool=*/false, Ctx());
+  auto txn = tm_.Begin();
+  Predicate view = Predicate::Property(
+      "room", Expr::Compare("view", CompareOp::kEq, Value(true)), 1);
+  Predicate five = Predicate::Property(
+      "room", Expr::Compare("floor", CompareOp::kEq, Value(5)), 1);
+  ASSERT_TRUE(GrantThrough(&engine, 1, {view}, txn.get()).ok());
+  ASSERT_TRUE(GrantThrough(&engine, 2, {five}, txn.get()).ok());
+  ASSERT_TRUE(GrantThrough(&engine, 3, {five}, txn.get()).ok());
+  EXPECT_FALSE(GrantThrough(&engine, 4, {view}, txn.get()).ok());
+}
+
+TEST_F(EngineTest, SatisfiabilityNamedExcludedFromAnonymousCount) {
+  // §3.2: a promised named seat must not satisfy anonymous promises.
+  SatisfiabilityEngine engine("room", false, Ctx());
+  auto txn = tm_.Begin();
+  ASSERT_TRUE(GrantThrough(&engine, 1, {Predicate::Named("room", "512")},
+                           txn.get())
+                  .ok());
+  Predicate any3 = Predicate::Property("room", Expr::Const(true), 3);
+  EXPECT_FALSE(GrantThrough(&engine, 2, {any3}, txn.get()).ok());
+  Predicate any2 = Predicate::Property("room", Expr::Const(true), 2);
+  EXPECT_TRUE(GrantThrough(&engine, 3, {any2}, txn.get()).ok());
+}
+
+TEST_F(EngineTest, SatisfiabilityVerifyAfterConsumption) {
+  SatisfiabilityEngine engine("room", false, Ctx());
+  auto txn = tm_.Begin();
+  Predicate any2 = Predicate::Property("room", Expr::Const(true), 2);
+  ASSERT_TRUE(GrantThrough(&engine, 1, {any2}, txn.get()).ok());
+  ASSERT_TRUE(rm_.SetInstanceStatus(txn.get(), "room", "301",
+                                    InstanceStatus::kTaken)
+                  .ok());
+  EXPECT_TRUE(engine.VerifyConsistent(txn.get(), clock_.Now()).ok());
+  ASSERT_TRUE(rm_.SetInstanceStatus(txn.get(), "room", "504",
+                                    InstanceStatus::kTaken)
+                  .ok());
+  EXPECT_TRUE(
+      engine.VerifyConsistent(txn.get(), clock_.Now()).IsViolated());
+}
+
+TEST_F(EngineTest, SatisfiabilityResolveDiscountsTakenUnits) {
+  SatisfiabilityEngine engine("room", false, Ctx());
+  auto txn = tm_.Begin();
+  Predicate any2 = Predicate::Property("room", Expr::Const(true), 2);
+  ASSERT_TRUE(GrantThrough(&engine, 1, {any2}, txn.get()).ok());
+  auto first = engine.ResolveInstance(txn.get(), PromiseId(1), any2, 0);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(rm_.SetInstanceStatus(txn.get(), "room", *first,
+                                    InstanceStatus::kTaken)
+                  .ok());
+  auto second = engine.ResolveInstance(txn.get(), PromiseId(1), any2, 1);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_NE(*first, *second);
+}
+
+TEST_F(EngineTest, SatisfiabilityExpiredPromisesFreeResources) {
+  SatisfiabilityEngine engine("widget", true, Ctx());
+  auto txn = tm_.Begin();
+  ASSERT_TRUE(GrantThrough(&engine, 1,
+                           {Predicate::Quantity("widget", CompareOp::kGe, 10)},
+                           txn.get(), /*duration=*/100)
+                  .ok());
+  EXPECT_FALSE(GrantThrough(&engine, 2,
+                            {Predicate::Quantity("widget", CompareOp::kGe, 1)},
+                            txn.get())
+                   .ok());
+  clock_.Advance(200);  // promise 1 lapses
+  EXPECT_TRUE(GrantThrough(&engine, 3,
+                           {Predicate::Quantity("widget", CompareOp::kGe, 10)},
+                           txn.get())
+                  .ok());
+}
+
+}  // namespace
+}  // namespace promises

@@ -1,0 +1,105 @@
+// Tests for the O'Neil escrow ledger (§9 [8]).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/escrow.h"
+
+namespace promises {
+namespace {
+
+TEST(EscrowTest, AdmitsWithinBounds) {
+  EscrowAccount acct(100, 0, 1'000);
+  auto op = acct.Begin(-30, -30);
+  ASSERT_TRUE(op.ok());
+  EXPECT_EQ(acct.WorstCaseLow(), 70);
+  EXPECT_EQ(acct.value(), 100);  // uncommitted
+  EXPECT_TRUE(acct.Commit(*op, -30).ok());
+  EXPECT_EQ(acct.value(), 70);
+  EXPECT_EQ(acct.inflight(), 0u);
+}
+
+TEST(EscrowTest, RefusesWorstCaseFloorBreach) {
+  EscrowAccount acct(100, 0, 1'000);
+  ASSERT_TRUE(acct.Begin(-60, -60).ok());
+  // 100 - 60 - 50 = -10 < 0 in the worst case, even though both could
+  // also resolve smaller.
+  EXPECT_FALSE(acct.Begin(-50, 0).ok());
+  // But -40 fits: 100 - 60 - 40 = 0.
+  EXPECT_TRUE(acct.Begin(-40, 0).ok());
+}
+
+TEST(EscrowTest, RefusesWorstCaseCeilingBreach) {
+  EscrowAccount acct(900, 0, 1'000);
+  ASSERT_TRUE(acct.Begin(0, 80).ok());
+  EXPECT_FALSE(acct.Begin(0, 30).ok());  // 900+80+30 > 1000
+  EXPECT_TRUE(acct.Begin(-10, 20).ok());
+}
+
+TEST(EscrowTest, AbortReleasesHeadroom) {
+  EscrowAccount acct(100, 0, 200);
+  auto op = acct.Begin(-100, -100);
+  ASSERT_TRUE(op.ok());
+  EXPECT_FALSE(acct.Begin(-1, -1).ok());
+  ASSERT_TRUE(acct.Abort(*op).ok());
+  EXPECT_TRUE(acct.Begin(-1, -1).ok());
+  EXPECT_EQ(acct.value(), 100);
+}
+
+TEST(EscrowTest, CommitMustMatchDeclaredInterval) {
+  EscrowAccount acct(100, 0, 200);
+  auto op = acct.Begin(-50, -10);
+  ASSERT_TRUE(op.ok());
+  EXPECT_FALSE(acct.Commit(*op, -60).ok());  // below min
+  EXPECT_FALSE(acct.Commit(*op, 0).ok());    // above max
+  EXPECT_TRUE(acct.Commit(*op, -25).ok());
+  EXPECT_EQ(acct.value(), 75);
+}
+
+TEST(EscrowTest, UnknownOpsReported) {
+  EscrowAccount acct(10, 0, 100);
+  EXPECT_TRUE(acct.Commit(42, 0).IsNotFound());
+  EXPECT_TRUE(acct.Abort(42).IsNotFound());
+}
+
+TEST(EscrowTest, InvalidInterval) {
+  EscrowAccount acct(10, 0, 100);
+  EXPECT_FALSE(acct.Begin(5, 1).ok());
+}
+
+TEST(EscrowTest, ManyMixedOpsKeepInvariant) {
+  // Property: however admitted ops resolve (commit anywhere in their
+  // interval, or abort), the value never leaves [floor, ceiling].
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    Rng rng(seed);
+    EscrowAccount acct(500, 0, 1'000);
+    std::vector<std::pair<EscrowOpId, std::pair<int64_t, int64_t>>> open;
+    for (int i = 0; i < 200; ++i) {
+      if (open.size() < 5 && rng.Chance(0.6)) {
+        int64_t a = rng.UniformInt(-120, 120);
+        int64_t b = rng.UniformInt(-120, 120);
+        int64_t lo = std::min(a, b), hi = std::max(a, b);
+        auto op = acct.Begin(lo, hi);
+        if (op.ok()) open.push_back({*op, {lo, hi}});
+      } else if (!open.empty()) {
+        size_t pick = rng.NextU64() % open.size();
+        auto [id, interval] = open[pick];
+        open.erase(open.begin() + pick);
+        if (rng.Chance(0.8)) {
+          int64_t delta =
+              rng.UniformInt(interval.first, interval.second);
+          ASSERT_TRUE(acct.Commit(id, delta).ok());
+        } else {
+          ASSERT_TRUE(acct.Abort(id).ok());
+        }
+      }
+      ASSERT_GE(acct.value(), acct.floor()) << "seed " << seed;
+      ASSERT_LE(acct.value(), acct.ceiling()) << "seed " << seed;
+      ASSERT_GE(acct.WorstCaseLow(), acct.floor()) << "seed " << seed;
+      ASSERT_LE(acct.WorstCaseHigh(), acct.ceiling()) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace promises

@@ -1,0 +1,225 @@
+// End-to-end scenarios over the full stack (client -> XML transport ->
+// promise manager -> service -> resource manager), as assertions.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/promise_manager.h"
+#include "protocol/transport.h"
+#include "service/client.h"
+#include "service/services.h"
+
+namespace promises {
+namespace {
+
+// --- Figure 1 ordering flow over the wire ------------------------------
+
+TEST(IntegrationTest, Figure1OrderingFlow) {
+  SystemClock clock;
+  ResourceManager rm;
+  TransactionManager tm;
+  Transport transport;
+  ASSERT_TRUE(rm.CreatePool("pink-widget", 12).ok());
+
+  PromiseManagerConfig config;
+  config.name = "merchant";
+  PromiseManager manager(config, &clock, &rm, &tm, &transport);
+  manager.RegisterService("inventory", MakeInventoryService());
+
+  PromiseClient order("order-process", &transport, "merchant");
+  auto promise = order.Request("quantity('pink-widget') >= 5", 30'000);
+  ASSERT_TRUE(promise.ok()) << promise.status().ToString();
+
+  // Concurrent promise for more than the uncommitted remainder fails.
+  PromiseClient rival("rival", &transport, "merchant");
+  EXPECT_FALSE(rival.Request("quantity('pink-widget') >= 8").ok());
+  // ...but the remainder itself is grantable.
+  auto rival_ok = rival.Request("quantity('pink-widget') >= 7");
+  ASSERT_TRUE(rival_ok.ok());
+  ASSERT_TRUE(rival.Release({rival_ok->id}).ok());
+
+  ActionBody purchase;
+  purchase.service = "inventory";
+  purchase.operation = "purchase";
+  purchase.params["item"] = Value("pink-widget");
+  purchase.params["quantity"] = Value(5);
+  purchase.params["promise"] =
+      Value(static_cast<int64_t>(promise->id.value()));
+  auto result = order.Act(purchase, {promise->id}, /*release_after=*/true);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->ok) << result->error;
+  EXPECT_EQ(result->outputs.at("shipped").as_int(), 5);
+  EXPECT_EQ(manager.active_promises(), 0u);
+}
+
+// --- Multi-line order consuming line by line ---------------------------
+
+TEST(IntegrationTest, MultiLineOrderDrawsDownEscrow) {
+  SystemClock clock;
+  ResourceManager rm;
+  TransactionManager tm;
+  Transport transport;
+  ASSERT_TRUE(rm.CreatePool("nut", 10).ok());
+  ASSERT_TRUE(rm.CreatePool("bolt", 10).ok());
+
+  PromiseManagerConfig config;
+  config.name = "shop";
+  PromiseManager manager(config, &clock, &rm, &tm, &transport);
+  manager.RegisterService("inventory", MakeInventoryService());
+
+  PromiseClient buyer("buyer", &transport, "shop");
+  auto p = buyer.Request("quantity('nut') >= 6; quantity('bolt') >= 6");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+
+  // Buy the nuts first (promise NOT released), then the bolts with the
+  // release. The intermediate state must not read as a violation.
+  ActionBody buy;
+  buy.service = "inventory";
+  buy.operation = "purchase";
+  buy.params["item"] = Value("nut");
+  buy.params["quantity"] = Value(6);
+  buy.params["promise"] = Value(static_cast<int64_t>(p->id.value()));
+  auto r1 = buyer.Act(buy, {p->id}, /*release_after=*/false);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r1->ok) << r1->error;
+
+  buy.params["item"] = Value("bolt");
+  auto r2 = buyer.Act(buy, {p->id}, /*release_after=*/true);
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(r2->ok) << r2->error;
+  EXPECT_EQ(manager.active_promises(), 0u);
+}
+
+// --- Hotel scenario with reallocation and upgrade ----------------------
+
+TEST(IntegrationTest, HotelReallocationScenario) {
+  SystemClock clock;
+  ResourceManager rm;
+  TransactionManager tm;
+  Transport transport;
+  Schema schema({{"floor", ValueType::kInt, false},
+                 {"view", ValueType::kBool, false}});
+  ASSERT_TRUE(rm.CreateInstanceClass("room", schema).ok());
+  ASSERT_TRUE(rm.AddInstance("room", "301",
+                             {{"floor", Value(3)}, {"view", Value(true)}})
+                  .ok());
+  ASSERT_TRUE(rm.AddInstance("room", "512",
+                             {{"floor", Value(5)}, {"view", Value(true)}})
+                  .ok());
+
+  PromiseManagerConfig config;
+  config.name = "hotel";
+  config.policy.Set("room", Technique::kTentative);
+  PromiseManager manager(config, &clock, &rm, &tm, &transport);
+  manager.RegisterService("booking", MakeBookingService());
+
+  PromiseClient alice("alice", &transport, "hotel");
+  PromiseClient bob("bob", &transport, "hotel");
+  // Alice: any view room (both qualify). Bob: 5th floor (only 512).
+  auto a = alice.Request("count('room' where view == true) >= 1");
+  ASSERT_TRUE(a.ok());
+  auto b = bob.Request("count('room' where floor == 5) >= 1");
+  ASSERT_TRUE(b.ok()) << "tentative engine must reallocate alice to 301";
+
+  // Bob books; he must get 512 specifically.
+  ActionBody book;
+  book.service = "booking";
+  book.operation = "book";
+  book.params["class"] = Value("room");
+  book.params["promise"] = Value(static_cast<int64_t>(b->id.value()));
+  auto booked = bob.Act(book, {b->id}, true);
+  ASSERT_TRUE(booked.ok());
+  ASSERT_TRUE(booked->ok) << booked->error;
+  EXPECT_EQ(booked->outputs.at("booked").as_string(), "512");
+
+  // Alice books; she must get 301.
+  book.params["promise"] = Value(static_cast<int64_t>(a->id.value()));
+  booked = alice.Act(book, {a->id}, true);
+  ASSERT_TRUE(booked.ok());
+  ASSERT_TRUE(booked->ok) << booked->error;
+  EXPECT_EQ(booked->outputs.at("booked").as_string(), "301");
+}
+
+// --- Concurrent clients over the wire ----------------------------------
+
+TEST(IntegrationTest, ConcurrentProtocolClientsConserveStock) {
+  SystemClock clock;
+  ResourceManager rm;
+  TransactionManager tm;
+  Transport transport;
+  constexpr int64_t kStock = 60;
+  ASSERT_TRUE(rm.CreatePool("item", kStock).ok());
+
+  PromiseManagerConfig config;
+  config.name = "shop";
+  PromiseManager manager(config, &clock, &rm, &tm, &transport);
+  manager.RegisterService("inventory", MakeInventoryService());
+
+  constexpr int kThreads = 5;
+  constexpr int kIters = 8;
+  std::atomic<int64_t> bought{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      PromiseClient me("client-" + std::to_string(t), &transport, "shop");
+      for (int i = 0; i < kIters; ++i) {
+        ActionBody buy;
+        buy.service = "inventory";
+        buy.operation = "purchase";
+        buy.params["item"] = Value("item");
+        buy.params["quantity"] = Value(3);
+        auto out = me.RequestAndAct("quantity('item') >= 3", 10'000, buy,
+                                    /*release_after=*/true);
+        if (out.ok() && out->granted && out->action.ok) bought += 3;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  auto txn = tm.Begin();
+  int64_t left = *rm.GetQuantity(txn.get(), "item");
+  EXPECT_EQ(left + bought.load(), kStock);
+  EXPECT_GE(left, 0);
+  EXPECT_EQ(manager.active_promises(), 0u);
+}
+
+// --- Violation rollback is complete across headers ----------------------
+
+TEST(IntegrationTest, ViolationRollsBackActionAndReleases) {
+  SystemClock clock;
+  ResourceManager rm;
+  TransactionManager tm;
+  Transport transport;
+  ASSERT_TRUE(rm.CreatePool("gold", 10).ok());
+
+  PromiseManagerConfig config;
+  config.name = "vault";
+  PromiseManager manager(config, &clock, &rm, &tm, &transport);
+  manager.RegisterService("account", MakeAccountService());
+
+  PromiseClient holder("holder", &transport, "vault");
+  PromiseClient thief("thief", &transport, "vault");
+  auto p = holder.Request("quantity('gold') >= 8");
+  ASSERT_TRUE(p.ok());
+
+  // The thief holds a small promise and tries to withdraw far more,
+  // releasing his own promise with the action. Everything must unwind:
+  // gold restored AND the thief's promise retained.
+  auto tp = thief.Request("quantity('gold') >= 1");
+  ASSERT_TRUE(tp.ok());
+  ActionBody steal;
+  steal.service = "account";
+  steal.operation = "withdraw";
+  steal.params["account"] = Value("gold");
+  steal.params["amount"] = Value(5);  // leaves 5 < 8 promised to holder
+  auto out = thief.Act(steal, {tp->id}, /*release_after=*/true);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->ok);
+  auto txn = tm.Begin();
+  EXPECT_EQ(*rm.GetQuantity(txn.get(), "gold"), 10);
+  EXPECT_EQ(manager.active_promises(), 2u);  // both promises intact
+}
+
+}  // namespace
+}  // namespace promises

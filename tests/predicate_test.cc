@@ -1,0 +1,280 @@
+// Tests for the predicate AST, parser and evaluator.
+
+#include <gtest/gtest.h>
+
+#include "predicate/ast.h"
+#include "predicate/evaluator.h"
+#include "predicate/parser.h"
+
+namespace promises {
+namespace {
+
+TEST(AstTest, QuantityPredicateAccessors) {
+  Predicate p = Predicate::Quantity("widget", CompareOp::kGe, 5);
+  EXPECT_EQ(p.kind(), PredicateKind::kQuantity);
+  EXPECT_EQ(p.resource_class(), "widget");
+  EXPECT_EQ(p.amount(), 5);
+  EXPECT_EQ(p.ToString(), "quantity('widget') >= 5");
+}
+
+TEST(AstTest, NamedPredicateAccessors) {
+  Predicate p = Predicate::Named("room", "512");
+  EXPECT_EQ(p.kind(), PredicateKind::kNamed);
+  EXPECT_EQ(p.instance_id(), "512");
+  EXPECT_EQ(p.ToString(), "available('room', '512')");
+}
+
+TEST(AstTest, PropertyPredicateAccessors) {
+  ExprPtr e = Expr::Compare("floor", CompareOp::kEq, Value(5));
+  Predicate p = Predicate::Property("room", e, 2);
+  EXPECT_EQ(p.kind(), PredicateKind::kProperty);
+  EXPECT_EQ(p.count(), 2);
+  EXPECT_EQ(p.ToString(), "count('room' where floor == 5) >= 2");
+}
+
+TEST(AstTest, ExprCollectProperties) {
+  ExprPtr e = Expr::And(Expr::Compare("floor", CompareOp::kGe, Value(3)),
+                        Expr::Or(Expr::Compare("view", CompareOp::kEq,
+                                               Value(true)),
+                                 Expr::Not(Expr::Compare(
+                                     "grade", CompareOp::kLt, Value(2)))));
+  std::set<std::string> props;
+  e->CollectProperties(&props);
+  EXPECT_EQ(props, (std::set<std::string>{"floor", "view", "grade"}));
+}
+
+TEST(AstTest, PredicateEquality) {
+  EXPECT_TRUE(Predicate::Quantity("w", CompareOp::kGe, 5)
+                  .Equals(Predicate::Quantity("w", CompareOp::kGe, 5)));
+  EXPECT_FALSE(Predicate::Quantity("w", CompareOp::kGe, 5)
+                   .Equals(Predicate::Quantity("w", CompareOp::kGe, 6)));
+  EXPECT_FALSE(Predicate::Quantity("w", CompareOp::kGe, 5)
+                   .Equals(Predicate::Named("w", "5")));
+}
+
+TEST(AstTest, ApplyCompareAllOps) {
+  EXPECT_TRUE(*ApplyCompare(CompareOp::kEq, Value(3), Value(3)));
+  EXPECT_TRUE(*ApplyCompare(CompareOp::kNe, Value(3), Value(4)));
+  EXPECT_TRUE(*ApplyCompare(CompareOp::kLt, Value(3), Value(4)));
+  EXPECT_TRUE(*ApplyCompare(CompareOp::kLe, Value(4), Value(4)));
+  EXPECT_TRUE(*ApplyCompare(CompareOp::kGt, Value(5), Value(4)));
+  EXPECT_TRUE(*ApplyCompare(CompareOp::kGe, Value(4), Value(4)));
+  EXPECT_FALSE(*ApplyCompare(CompareOp::kGe, Value(3), Value(4)));
+}
+
+// --- Parser: valid corpus, each must round-trip through ToString ------
+
+class ParserRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParserRoundTripTest, ParseThenPrintThenParseAgain) {
+  Result<Predicate> first = ParsePredicate(GetParam());
+  ASSERT_TRUE(first.ok()) << GetParam() << " -> "
+                          << first.status().ToString();
+  std::string printed = first->ToString();
+  Result<Predicate> second = ParsePredicate(printed);
+  ASSERT_TRUE(second.ok()) << printed;
+  EXPECT_TRUE(first->Equals(*second)) << printed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ParserRoundTripTest,
+    ::testing::Values(
+        "quantity('pink-widget') >= 5",
+        "quantity('account-alice') >= 0",
+        "quantity('x') > 3", "quantity('x') == 3", "quantity('x') <= 9",
+        "available('room', '512')",
+        "available('seat-QF1', '24G')",
+        "available('room', 'needs \\' escape')",
+        "count('room' where floor == 5) >= 1",
+        "count('room' where view == true) >= 2",
+        "count('room' where floor >= 3 && view == true) >= 1",
+        "count('room' where floor == 5 || floor == 6) >= 1",
+        "count('room' where !(view == false)) >= 1",
+        "count('room' where (floor == 5 && view == true) || grade >= 2) >= 3",
+        "count('room' where true) >= 4",
+        "count('room' where rate <= 99.5) >= 1",
+        "count('room' where name == 'suite') >= 1",
+        "count('room' where floor != 13) >= 1"));
+
+class ParserErrorTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParserErrorTest, RejectsMalformedInput) {
+  Result<Predicate> r = ParsePredicate(GetParam());
+  EXPECT_FALSE(r.ok()) << GetParam() << " unexpectedly parsed to "
+                       << (r.ok() ? r->ToString() : "");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ParserErrorTest,
+    ::testing::Values(
+        "", "quantity", "quantity(", "quantity('x')",
+        "quantity('x') >=", "quantity('x') >= five",
+        "quantity(x) >= 5",                 // unquoted pool
+        "available('room')",                // missing instance
+        "available('room', '1') extra",     // trailing tokens
+        "count('room') >= 1",               // missing where
+        "count('room' where ) >= 1",        // empty expr
+        "count('room' where floor == 5) > 1",   // count needs >=
+        "count('room' where floor == 5) >= -2", // negative count
+        "count('room' where floor = 5) >= 1",   // single '='
+        "count('room' where floor == 5 &&) >= 1",
+        "count('room' where floor == ) >= 1",
+        "count('room' where 5 == floor) >= 1",  // literal lhs
+        "bogus('x') >= 1",
+        "count('room' where floor == 'unterminated) >= 1"));
+
+TEST(ParserTest, PredicateListSplitsOnSemicolons) {
+  auto list = ParsePredicateList(
+      "quantity('a') >= 1; available('b', 'x'); "
+      "count('c' where p == 1) >= 2;");
+  ASSERT_TRUE(list.ok()) << list.status().ToString();
+  ASSERT_EQ(list->size(), 3u);
+  EXPECT_EQ((*list)[0].kind(), PredicateKind::kQuantity);
+  EXPECT_EQ((*list)[1].kind(), PredicateKind::kNamed);
+  EXPECT_EQ((*list)[2].kind(), PredicateKind::kProperty);
+}
+
+TEST(ParserTest, EmptyListAllowed) {
+  auto list = ParsePredicateList("");
+  ASSERT_TRUE(list.ok());
+  EXPECT_TRUE(list->empty());
+}
+
+TEST(ParserTest, BareExpression) {
+  auto e = ParseExpr("floor == 5 && view == true");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind(), Expr::Kind::kAnd);
+}
+
+TEST(ParserTest, PrecedenceAndBindsTighterThanOr) {
+  auto e = ParseExpr("a == 1 || b == 2 && c == 3");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind(), Expr::Kind::kOr);
+  EXPECT_EQ((*e)->rhs()->kind(), Expr::Kind::kAnd);
+}
+
+// --- Evaluator ---------------------------------------------------------
+
+TEST(EvaluatorTest, ComparisonAgainstProperties) {
+  PropertyMap props{{"floor", Value(5)}, {"view", Value(true)}};
+  EXPECT_TRUE(*EvalExpr(*Expr::Compare("floor", CompareOp::kEq, Value(5)),
+                        props));
+  EXPECT_FALSE(*EvalExpr(*Expr::Compare("floor", CompareOp::kGt, Value(5)),
+                         props));
+  EXPECT_TRUE(*EvalExpr(*Expr::Compare("view", CompareOp::kEq, Value(true)),
+                        props));
+}
+
+TEST(EvaluatorTest, MissingPropertyIsFalseNotError) {
+  PropertyMap props;
+  EXPECT_FALSE(*EvalExpr(*Expr::Compare("floor", CompareOp::kEq, Value(5)),
+                         props));
+  // ...and so !(missing) is true.
+  EXPECT_TRUE(*EvalExpr(
+      *Expr::Not(Expr::Compare("floor", CompareOp::kEq, Value(5))), props));
+}
+
+TEST(EvaluatorTest, TypeMismatchSurfacesError) {
+  PropertyMap props{{"floor", Value(5)}};
+  Result<bool> r =
+      EvalExpr(*Expr::Compare("floor", CompareOp::kGt, Value("high")), props);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(EvaluatorTest, ShortCircuitSkipsBadBranch) {
+  PropertyMap props{{"ok", Value(true)}, {"floor", Value(5)}};
+  // Or short-circuits: the bad comparison on the right never evaluates.
+  ExprPtr good = Expr::Compare("ok", CompareOp::kEq, Value(true));
+  ExprPtr bad = Expr::Compare("floor", CompareOp::kGt, Value("x"));
+  EXPECT_TRUE(*EvalExpr(*Expr::Or(good, bad), props));
+  // And short-circuits on false left.
+  ExprPtr no = Expr::Compare("ok", CompareOp::kEq, Value(false));
+  EXPECT_FALSE(*EvalExpr(*Expr::And(no, bad), props));
+}
+
+TEST(EvaluatorTest, UpgradeablePropertyWidensEquality) {
+  Schema schema({{"grade", ValueType::kInt, /*upgradeable=*/true},
+                 {"floor", ValueType::kInt, false}});
+  PropertyMap deluxe{{"grade", Value(2)}, {"floor", Value(2)}};
+  ExprPtr wants_standard = Expr::Compare("grade", CompareOp::kEq, Value(1));
+  EXPECT_FALSE(*EvalExpr(*wants_standard, deluxe));          // no schema
+  EXPECT_TRUE(*EvalExpr(*wants_standard, deluxe, &schema));  // upgraded
+  // Non-upgradeable property keeps strict equality.
+  ExprPtr wants_floor = Expr::Compare("floor", CompareOp::kEq, Value(1));
+  EXPECT_FALSE(*EvalExpr(*wants_floor, deluxe, &schema));
+  // Downgrade never matches.
+  PropertyMap economy{{"grade", Value(0)}};
+  EXPECT_FALSE(*EvalExpr(*wants_standard, economy, &schema));
+}
+
+TEST(EvaluatorTest, EvalQuantity) {
+  Predicate p = Predicate::Quantity("w", CompareOp::kGe, 5);
+  EXPECT_TRUE(*EvalQuantity(p, 5));
+  EXPECT_TRUE(*EvalQuantity(p, 9));
+  EXPECT_FALSE(*EvalQuantity(p, 4));
+  EXPECT_FALSE(EvalQuantity(Predicate::Named("c", "i"), 5).ok());
+}
+
+TEST(EvaluatorTest, MatchingInstancesFilters) {
+  Predicate p = Predicate::Property(
+      "room", Expr::Compare("floor", CompareOp::kEq, Value(5)), 1);
+  std::vector<InstanceView> rooms = {
+      {"301", InstanceStatus::kAvailable, {{"floor", Value(3)}}},
+      {"504", InstanceStatus::kAvailable, {{"floor", Value(5)}}},
+      {"512", InstanceStatus::kTaken, {{"floor", Value(5)}}},
+  };
+  auto idx = *MatchingInstances(p, rooms);
+  // Matching is property-only; status filtering happens in checkers.
+  EXPECT_EQ(idx, (std::vector<size_t>{1, 2}));
+}
+
+TEST(EvaluatorTest, ValidatePredicateAgainstResources) {
+  ResourceManager rm;
+  ASSERT_TRUE(rm.CreatePool("widget", 5).ok());
+  Schema schema({{"floor", ValueType::kInt, false}});
+  ASSERT_TRUE(rm.CreateInstanceClass("room", schema).ok());
+
+  EXPECT_TRUE(
+      ValidatePredicate(Predicate::Quantity("widget", CompareOp::kGe, 3), rm)
+          .ok());
+  // Unknown pool.
+  EXPECT_TRUE(
+      ValidatePredicate(Predicate::Quantity("gone", CompareOp::kGe, 3), rm)
+          .IsNotFound());
+  // Reservation direction restricted to >=.
+  EXPECT_FALSE(
+      ValidatePredicate(Predicate::Quantity("widget", CompareOp::kLt, 3), rm)
+          .ok());
+  // Negative amounts rejected.
+  EXPECT_FALSE(
+      ValidatePredicate(Predicate::Quantity("widget", CompareOp::kGe, -1), rm)
+          .ok());
+  // Named on instance class ok; on pool class not found.
+  EXPECT_TRUE(ValidatePredicate(Predicate::Named("room", "1"), rm).ok());
+  EXPECT_TRUE(
+      ValidatePredicate(Predicate::Named("widget", "1"), rm).IsNotFound());
+  // Property: unknown property / literal type mismatch caught.
+  EXPECT_TRUE(ValidatePredicate(
+                  Predicate::Property(
+                      "room", Expr::Compare("floor", CompareOp::kEq, Value(5)),
+                      1),
+                  rm)
+                  .ok());
+  EXPECT_FALSE(ValidatePredicate(
+                   Predicate::Property(
+                       "room",
+                       Expr::Compare("color", CompareOp::kEq, Value("red")),
+                       1),
+                   rm)
+                   .ok());
+  EXPECT_FALSE(
+      ValidatePredicate(
+          Predicate::Property(
+              "room", Expr::Compare("floor", CompareOp::kEq, Value("five")),
+              1),
+          rm)
+          .ok());
+}
+
+}  // namespace
+}  // namespace promises

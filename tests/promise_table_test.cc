@@ -1,0 +1,122 @@
+// Tests for the promise table (§8): storage, per-class index, expiry.
+
+#include <gtest/gtest.h>
+
+#include "core/promise_table.h"
+
+namespace promises {
+namespace {
+
+PromiseRecord MakeRecord(uint64_t id, std::vector<Predicate> preds,
+                         Timestamp expires_at = kTimestampMax) {
+  PromiseRecord r;
+  r.id = PromiseId(id);
+  r.owner = ClientId(1);
+  r.predicates = std::move(preds);
+  r.granted_at = 0;
+  r.expires_at = expires_at;
+  return r;
+}
+
+TEST(PromiseTableTest, InsertFindRemove) {
+  PromiseTable t;
+  ASSERT_TRUE(t.Insert(MakeRecord(
+                            1, {Predicate::Quantity("w", CompareOp::kGe, 5)}))
+                  .ok());
+  EXPECT_EQ(t.size(), 1u);
+  ASSERT_NE(t.Find(PromiseId(1)), nullptr);
+  EXPECT_EQ(t.Find(PromiseId(2)), nullptr);
+  Result<PromiseRecord> removed = t.Remove(PromiseId(1));
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed->id, PromiseId(1));
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.Remove(PromiseId(1)).status().IsNotFound());
+}
+
+TEST(PromiseTableTest, RejectsDuplicatesAndInvalidIds) {
+  PromiseTable t;
+  ASSERT_TRUE(t.Insert(MakeRecord(1, {})).ok());
+  EXPECT_EQ(t.Insert(MakeRecord(1, {})).code(), StatusCode::kAlreadyExists);
+  EXPECT_FALSE(t.Insert(MakeRecord(0, {})).ok());
+}
+
+TEST(PromiseTableTest, ClassIndexTracksMultiPredicatePromises) {
+  PromiseTable t;
+  ASSERT_TRUE(
+      t.Insert(MakeRecord(1, {Predicate::Quantity("w", CompareOp::kGe, 5),
+                              Predicate::Named("room", "512")}))
+          .ok());
+  ASSERT_TRUE(t.Insert(MakeRecord(
+                            2, {Predicate::Quantity("w", CompareOp::kGe, 2)}))
+                  .ok());
+  EXPECT_EQ(t.ActiveForClass("w", 0).size(), 2u);
+  EXPECT_EQ(t.ActiveForClass("room", 0).size(), 1u);
+  EXPECT_EQ(t.ActiveForClass("other", 0).size(), 0u);
+  EXPECT_EQ(t.ReferencedClasses(), (std::set<std::string>{"room", "w"}));
+
+  ASSERT_TRUE(t.Remove(PromiseId(1)).ok());
+  EXPECT_EQ(t.ActiveForClass("w", 0).size(), 1u);
+  EXPECT_EQ(t.ActiveForClass("room", 0).size(), 0u);
+  EXPECT_EQ(t.ReferencedClasses(), (std::set<std::string>{"w"}));
+}
+
+TEST(PromiseTableTest, ActiveRespectsExpiryTime) {
+  PromiseTable t;
+  ASSERT_TRUE(
+      t.Insert(MakeRecord(1, {Predicate::Quantity("w", CompareOp::kGe, 1)},
+                          /*expires_at=*/100))
+          .ok());
+  EXPECT_EQ(t.ActiveForClass("w", 99).size(), 1u);
+  EXPECT_EQ(t.ActiveForClass("w", 100).size(), 0u);  // expiry is exclusive
+  EXPECT_EQ(t.Active(99).size(), 1u);
+  EXPECT_EQ(t.Active(100).size(), 0u);
+  // Still physically present until swept.
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(PromiseTableTest, DueIdsOrderedByDeadline) {
+  PromiseTable t;
+  ASSERT_TRUE(t.Insert(MakeRecord(1, {}, 300)).ok());
+  ASSERT_TRUE(t.Insert(MakeRecord(2, {}, 100)).ok());
+  ASSERT_TRUE(t.Insert(MakeRecord(3, {}, 200)).ok());
+  EXPECT_TRUE(t.DueIds(50).empty());
+  EXPECT_EQ(t.DueIds(100), (std::vector<PromiseId>{PromiseId(2)}));
+  EXPECT_EQ(t.DueIds(250),
+            (std::vector<PromiseId>{PromiseId(2), PromiseId(3)}));
+  EXPECT_EQ(t.DueIds(1000).size(), 3u);
+}
+
+TEST(PromiseTableTest, NonActiveStatesExcludedFromActive) {
+  PromiseTable t;
+  PromiseRecord r = MakeRecord(1, {Predicate::Named("room", "1")});
+  r.state = PromiseState::kViolated;
+  ASSERT_TRUE(t.Insert(r).ok());
+  EXPECT_TRUE(t.ActiveForClass("room", 0).empty());
+}
+
+TEST(PromiseTableTest, FindMutableAllowsStateChange) {
+  PromiseTable t;
+  ASSERT_TRUE(t.Insert(MakeRecord(1, {Predicate::Named("room", "1")})).ok());
+  t.FindMutable(PromiseId(1))->state = PromiseState::kReleased;
+  EXPECT_EQ(t.Find(PromiseId(1))->state, PromiseState::kReleased);
+}
+
+TEST(PromiseStateTest, Names) {
+  EXPECT_EQ(PromiseStateToString(PromiseState::kActive), "active");
+  EXPECT_EQ(PromiseStateToString(PromiseState::kReleased), "released");
+  EXPECT_EQ(PromiseStateToString(PromiseState::kExpired), "expired");
+  EXPECT_EQ(PromiseStateToString(PromiseState::kViolated), "violated");
+}
+
+TEST(PromiseRecordTest, ActiveAtBoundaries) {
+  PromiseRecord r = MakeRecord(1, {}, 100);
+  r.granted_at = 50;
+  EXPECT_TRUE(r.ActiveAt(50));
+  EXPECT_TRUE(r.ActiveAt(99));
+  EXPECT_FALSE(r.ActiveAt(100));
+  r.state = PromiseState::kReleased;
+  EXPECT_FALSE(r.ActiveAt(50));
+}
+
+}  // namespace
+}  // namespace promises

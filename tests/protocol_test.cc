@@ -1,0 +1,283 @@
+// Tests for the XML layer, envelope serialization and the transport.
+
+#include <gtest/gtest.h>
+
+#include "protocol/message.h"
+#include "protocol/transport.h"
+#include "protocol/xml.h"
+
+namespace promises {
+namespace {
+
+TEST(XmlTest, BuildAndSerializeCompact) {
+  XmlElement root("envelope");
+  root.SetAttr("to", "merchant");
+  XmlElement* header = root.AddChild("header");
+  header->AddChild("promise-request")->SetAttr("request-id", "7");
+  root.AddChild("body")->set_text("hello");
+  std::string xml = root.ToString();
+  EXPECT_EQ(xml,
+            "<envelope to=\"merchant\"><header><promise-request "
+            "request-id=\"7\"/></header><body>hello</body></envelope>");
+}
+
+TEST(XmlTest, PrettyPrintIndents) {
+  XmlElement root("a");
+  root.AddChild("b");
+  std::string xml = root.ToString(0);
+  EXPECT_NE(xml.find("\n  <b/>"), std::string::npos);
+}
+
+TEST(XmlTest, ParseSimpleDocument) {
+  auto doc = ParseXml("<a x=\"1\"><b>text</b><b>more</b><c/></a>");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ((*doc)->name(), "a");
+  EXPECT_EQ((*doc)->Attr("x"), "1");
+  EXPECT_EQ((*doc)->Children("b").size(), 2u);
+  EXPECT_EQ((*doc)->Child("b")->text(), "text");
+  EXPECT_NE((*doc)->Child("c"), nullptr);
+  EXPECT_EQ((*doc)->Child("zzz"), nullptr);
+}
+
+TEST(XmlTest, ParseHandlesDeclarationCommentsWhitespace) {
+  auto doc = ParseXml(
+      "<?xml version=\"1.0\"?>\n<!-- hi -->\n<a>\n  <!-- inner -->\n  "
+      "<b/>\n</a>\n<!-- post -->");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_NE((*doc)->Child("b"), nullptr);
+}
+
+TEST(XmlTest, EscapingRoundTrips) {
+  XmlElement root("m");
+  root.SetAttr("attr", "a<b>&\"'");
+  root.set_text("5 < 6 && 7 > 2 'quoted'");
+  auto doc = ParseXml(root.ToString());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ((*doc)->Attr("attr"), "a<b>&\"'");
+  EXPECT_EQ((*doc)->text(), "5 < 6 && 7 > 2 'quoted'");
+}
+
+TEST(XmlTest, SingleQuotedAttributes) {
+  auto doc = ParseXml("<a x='hi'/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->Attr("x"), "hi");
+}
+
+class XmlErrorTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(XmlErrorTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(ParseXml(GetParam()).ok()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, XmlErrorTest,
+    ::testing::Values("", "<", "<a>", "<a></b>", "<a><b></a></b>",
+                      "<a x=1/>", "<a x=\"1/>", "<a/><b/>",
+                      "<a>&bogus;</a>", "<a>&amp</a>", "<a", "< a/>",
+                      "<a><!-- unterminated </a>"));
+
+// ---------------------------------------------------------------------
+
+Envelope FullEnvelope() {
+  Envelope env;
+  env.message_id = MessageId(42);
+  env.from = "client-1";
+  env.to = "merchant";
+
+  PromiseRequestHeader req;
+  req.request_id = RequestId(7);
+  req.duration_ms = 30'000;
+  req.predicates.push_back(
+      Predicate::Quantity("pink-widget", CompareOp::kGe, 5));
+  req.predicates.push_back(Predicate::Named("room", "512"));
+  req.predicates.push_back(Predicate::Property(
+      "room",
+      Expr::And(Expr::Compare("floor", CompareOp::kEq, Value(5)),
+                Expr::Compare("view", CompareOp::kEq, Value(true))),
+      2));
+  req.release_on_grant = {PromiseId(3), PromiseId(4)};
+  env.promise_request = std::move(req);
+
+  PromiseResponseHeader resp;
+  resp.promise_id = PromiseId(9);
+  resp.result = PromiseResultCode::kAccepted;
+  resp.granted_duration_ms = 20'000;
+  resp.correlation = RequestId(6);
+  resp.reason = "all good";
+  env.promise_response = std::move(resp);
+
+  env.environment = EnvironmentHeader{{{PromiseId(9), true},
+                                       {PromiseId(10), false}}};
+  env.release = ReleaseHeader{{PromiseId(11)}};
+
+  ActionBody action;
+  action.service = "inventory";
+  action.operation = "purchase";
+  action.params["item"] = Value("pink-widget");
+  action.params["quantity"] = Value(5);
+  action.params["gift"] = Value(true);
+  action.params["rate"] = Value(0.25);
+  env.action = std::move(action);
+
+  ActionResultBody result;
+  result.ok = false;
+  result.error = "promise-expired & <angle brackets>";
+  result.outputs["left"] = Value(7);
+  env.action_result = std::move(result);
+  return env;
+}
+
+TEST(MessageTest, FullEnvelopeRoundTrip) {
+  Envelope env = FullEnvelope();
+  std::string xml = env.ToXml();
+  Result<Envelope> back = Envelope::FromXml(xml);
+  ASSERT_TRUE(back.ok()) << back.status().ToString() << "\n" << xml;
+
+  EXPECT_EQ(back->message_id, env.message_id);
+  EXPECT_EQ(back->from, "client-1");
+  EXPECT_EQ(back->to, "merchant");
+
+  ASSERT_TRUE(back->promise_request.has_value());
+  EXPECT_EQ(back->promise_request->request_id, RequestId(7));
+  EXPECT_EQ(back->promise_request->duration_ms, 30'000);
+  ASSERT_EQ(back->promise_request->predicates.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(back->promise_request->predicates[i].Equals(
+        env.promise_request->predicates[i]))
+        << i;
+  }
+  EXPECT_EQ(back->promise_request->release_on_grant,
+            env.promise_request->release_on_grant);
+
+  ASSERT_TRUE(back->promise_response.has_value());
+  EXPECT_EQ(back->promise_response->promise_id, PromiseId(9));
+  EXPECT_EQ(back->promise_response->result, PromiseResultCode::kAccepted);
+  EXPECT_EQ(back->promise_response->reason, "all good");
+
+  ASSERT_TRUE(back->environment.has_value());
+  ASSERT_EQ(back->environment->entries.size(), 2u);
+  EXPECT_TRUE(back->environment->entries[0].release_after);
+  EXPECT_FALSE(back->environment->entries[1].release_after);
+
+  ASSERT_TRUE(back->release.has_value());
+  EXPECT_EQ(back->release->promises, std::vector<PromiseId>{PromiseId(11)});
+
+  ASSERT_TRUE(back->action.has_value());
+  EXPECT_EQ(back->action->service, "inventory");
+  EXPECT_EQ(back->action->params.at("quantity").as_int(), 5);
+  EXPECT_TRUE(back->action->params.at("gift").as_bool());
+  EXPECT_DOUBLE_EQ(back->action->params.at("rate").as_double(), 0.25);
+
+  ASSERT_TRUE(back->action_result.has_value());
+  EXPECT_FALSE(back->action_result->ok);
+  EXPECT_EQ(back->action_result->error, "promise-expired & <angle brackets>");
+  EXPECT_EQ(back->action_result->outputs.at("left").as_int(), 7);
+}
+
+TEST(MessageTest, MinimalEnvelopeRoundTrip) {
+  Envelope env;
+  env.message_id = MessageId(1);
+  env.from = "a";
+  env.to = "b";
+  Result<Envelope> back = Envelope::FromXml(env.ToXml());
+  ASSERT_TRUE(back.ok());
+  EXPECT_FALSE(back->promise_request.has_value());
+  EXPECT_FALSE(back->action.has_value());
+}
+
+TEST(MessageTest, RejectsWrongRoot) {
+  EXPECT_FALSE(Envelope::FromXml("<not-envelope/>").ok());
+  EXPECT_FALSE(Envelope::FromXml("garbage").ok());
+}
+
+TEST(MessageTest, RejectsBadPredicateText) {
+  std::string xml =
+      "<envelope message-id=\"1\" from=\"a\" to=\"b\"><header>"
+      "<promise-request request-id=\"1\" duration-ms=\"5\">"
+      "<predicate resource=\"x\">quantity('x' >= 5</predicate>"
+      "</promise-request></header><body/></envelope>";
+  EXPECT_FALSE(Envelope::FromXml(xml).ok());
+}
+
+// ---------------------------------------------------------------------
+
+TEST(TransportTest, RoundTripThroughRegisteredEndpoint) {
+  Transport transport;
+  transport.Register("echo", [&](const Envelope& in) -> Result<Envelope> {
+    Envelope out;
+    out.message_id = transport.NextMessageId();
+    out.from = "echo";
+    out.to = in.from;
+    ActionResultBody r;
+    r.ok = true;
+    r.outputs["echoed"] = Value(in.action ? in.action->operation : "");
+    out.action_result = std::move(r);
+    return out;
+  });
+
+  Envelope req;
+  req.message_id = transport.NextMessageId();
+  req.from = "tester";
+  req.to = "echo";
+  ActionBody a;
+  a.service = "s";
+  a.operation = "ping";
+  req.action = std::move(a);
+
+  Result<Envelope> reply = transport.Send(req);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->action_result->outputs.at("echoed").as_string(), "ping");
+  EXPECT_EQ(transport.stats().messages, 1u);
+  EXPECT_GT(transport.stats().bytes, 0u);
+}
+
+TEST(TransportTest, UnknownEndpointIsUnavailable) {
+  Transport transport;
+  Envelope req;
+  req.message_id = MessageId(1);
+  req.from = "a";
+  req.to = "nowhere";
+  EXPECT_EQ(transport.Send(req).status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(transport.stats().failures, 1u);
+}
+
+TEST(TransportTest, UnregisterRemovesEndpoint) {
+  Transport transport;
+  transport.Register("x", [](const Envelope&) -> Result<Envelope> {
+    return Envelope{};
+  });
+  transport.Unregister("x");
+  Envelope req;
+  req.from = "a";
+  req.to = "x";
+  EXPECT_FALSE(transport.Send(req).ok());
+}
+
+TEST(TransportTest, EncodeOffSkipsWireBytes) {
+  Transport transport;
+  transport.set_encode_on_wire(false);
+  transport.Register("svc", [](const Envelope& in) -> Result<Envelope> {
+    Envelope out = in;
+    return out;
+  });
+  Envelope req;
+  req.from = "a";
+  req.to = "svc";
+  ASSERT_TRUE(transport.Send(req).ok());
+  EXPECT_EQ(transport.stats().bytes, 0u);
+}
+
+TEST(TransportTest, HandlerErrorCountsAsFailure) {
+  Transport transport;
+  transport.Register("bad", [](const Envelope&) -> Result<Envelope> {
+    return Status::Internal("boom");
+  });
+  Envelope req;
+  req.from = "a";
+  req.to = "bad";
+  EXPECT_FALSE(transport.Send(req).ok());
+  EXPECT_EQ(transport.stats().failures, 1u);
+}
+
+}  // namespace
+}  // namespace promises

@@ -1,0 +1,258 @@
+// Technique conformance: every §5 implementation technique must give
+// clients the SAME observable promise semantics ("These implementation
+// techniques are not meant to be exposed to clients", §5) — only cost
+// and admission rate may differ. This suite runs one behavioural
+// contract through the PromiseManager for each technique.
+
+#include <gtest/gtest.h>
+
+#include "core/promise_manager.h"
+#include "service/services.h"
+
+namespace promises {
+namespace {
+
+std::string TechniqueName(
+    const ::testing::TestParamInfo<Technique>& info) {
+  std::string name(TechniqueToString(info.param));
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+// --- Pool conformance -----------------------------------------------------
+
+class PoolTechniqueTest : public ::testing::TestWithParam<Technique> {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(rm_.CreatePool("stock", 10).ok());
+    PromiseManagerConfig config;
+    config.name = "conf";
+    config.default_duration_ms = 5'000;
+    config.policy.Set("stock", GetParam());
+    pm_ = std::make_unique<PromiseManager>(config, &clock_, &rm_, &tm_);
+    pm_->RegisterService("inventory", MakeInventoryService());
+    client_ = pm_->ClientFor("c");
+  }
+
+  Result<GrantOutcome> Ask(int64_t n, DurationMs d = 0) {
+    return pm_->RequestPromise(
+        client_, {Predicate::Quantity("stock", CompareOp::kGe, n)}, d);
+  }
+
+  SimulatedClock clock_{0};
+  TransactionManager tm_{100};
+  ResourceManager rm_;
+  std::unique_ptr<PromiseManager> pm_;
+  ClientId client_;
+};
+
+TEST_P(PoolTechniqueTest, SumCapEnforced) {
+  EXPECT_TRUE(Ask(6)->accepted);
+  EXPECT_TRUE(Ask(4)->accepted);
+  EXPECT_FALSE(Ask(1)->accepted);
+}
+
+TEST_P(PoolTechniqueTest, ReleaseRestoresCapacity) {
+  GrantOutcome g = *Ask(10);
+  ASSERT_TRUE(g.accepted);
+  EXPECT_FALSE(Ask(1)->accepted);
+  ASSERT_TRUE(pm_->Release(client_, {g.promise_id}).ok());
+  EXPECT_TRUE(Ask(10)->accepted);
+}
+
+TEST_P(PoolTechniqueTest, ExpiryRestoresCapacity) {
+  ASSERT_TRUE(Ask(10, 1'000)->accepted);
+  EXPECT_FALSE(Ask(1)->accepted);
+  clock_.Advance(1'500);
+  EXPECT_TRUE(Ask(10)->accepted);
+}
+
+TEST_P(PoolTechniqueTest, ViolatingActionRolledBackCleanly) {
+  ASSERT_TRUE(Ask(8)->accepted);
+  ActionBody buy;
+  buy.service = "inventory";
+  buy.operation = "purchase";
+  buy.params["item"] = Value("stock");
+  buy.params["quantity"] = Value(5);
+  auto out = pm_->Execute(client_, buy, {});
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->ok);
+  // Engine state must be unharmed by the rollback: 2 more grantable.
+  EXPECT_TRUE(Ask(2)->accepted);
+  EXPECT_FALSE(Ask(1)->accepted);
+}
+
+TEST_P(PoolTechniqueTest, ConsumeUnderPromiseThenReleaseBalances) {
+  GrantOutcome g = *Ask(6);
+  ASSERT_TRUE(g.accepted);
+  ActionBody buy;
+  buy.service = "inventory";
+  buy.operation = "purchase";
+  buy.params["item"] = Value("stock");
+  buy.params["quantity"] = Value(6);
+  buy.params["promise"] = Value(static_cast<int64_t>(g.promise_id.value()));
+  EnvironmentHeader env;
+  env.entries.push_back({g.promise_id, true});
+  auto out = pm_->Execute(client_, buy, env);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->ok) << out->error;
+  // 4 left, nothing promised.
+  EXPECT_TRUE(Ask(4)->accepted);
+  EXPECT_FALSE(Ask(1)->accepted);
+}
+
+TEST_P(PoolTechniqueTest, PartialConsumptionKeepsRemainderGuaranteed) {
+  GrantOutcome g = *Ask(6);
+  ASSERT_TRUE(g.accepted);
+  ActionBody buy;
+  buy.service = "inventory";
+  buy.operation = "purchase";
+  buy.params["item"] = Value("stock");
+  buy.params["quantity"] = Value(2);
+  buy.params["promise"] = Value(static_cast<int64_t>(g.promise_id.value()));
+  EnvironmentHeader env;
+  env.entries.push_back({g.promise_id, false});  // keep the promise
+  auto out = pm_->Execute(client_, buy, env);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->ok) << out->error;
+  // 8 on hand, 4 still promised to g: at most 4 more promisable.
+  EXPECT_FALSE(Ask(5)->accepted);
+  EXPECT_TRUE(Ask(4)->accepted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Techniques, PoolTechniqueTest,
+                         ::testing::Values(Technique::kSatisfiability,
+                                           Technique::kResourcePool),
+                         TechniqueName);
+
+// --- Instance conformance --------------------------------------------------
+
+class InstanceTechniqueTest : public ::testing::TestWithParam<Technique> {
+ protected:
+  void SetUp() override {
+    Schema schema({{"floor", ValueType::kInt, false}});
+    ASSERT_TRUE(rm_.CreateInstanceClass("room", schema).ok());
+    for (int i = 1; i <= 4; ++i) {
+      ASSERT_TRUE(rm_.AddInstance("room", "r" + std::to_string(i),
+                                  {{"floor", Value(i <= 2 ? 1 : 2)}})
+                      .ok());
+    }
+    PromiseManagerConfig config;
+    config.name = "conf";
+    config.default_duration_ms = 5'000;
+    config.policy.Set("room", GetParam());
+    pm_ = std::make_unique<PromiseManager>(config, &clock_, &rm_, &tm_);
+    pm_->RegisterService("booking", MakeBookingService());
+    client_ = pm_->ClientFor("c");
+  }
+
+  Result<GrantOutcome> AskNamed(const std::string& id, DurationMs d = 0) {
+    return pm_->RequestPromise(client_, {Predicate::Named("room", id)}, d);
+  }
+  Result<GrantOutcome> AskCount(int64_t floor, int64_t n,
+                                DurationMs d = 0) {
+    return pm_->RequestPromise(
+        client_,
+        {Predicate::Property(
+            "room", Expr::Compare("floor", CompareOp::kEq, Value(floor)),
+            n)},
+        d);
+  }
+  ActionOutcome Book(PromiseId promise, int64_t count) {
+    ActionBody book;
+    book.service = "booking";
+    book.operation = "book";
+    book.params["class"] = Value("room");
+    book.params["count"] = Value(count);
+    book.params["promise"] = Value(static_cast<int64_t>(promise.value()));
+    EnvironmentHeader env;
+    env.entries.push_back({promise, true});
+    return *pm_->Execute(client_, book, env);
+  }
+
+  SimulatedClock clock_{0};
+  TransactionManager tm_{100};
+  ResourceManager rm_;
+  std::unique_ptr<PromiseManager> pm_;
+  ClientId client_;
+};
+
+TEST_P(InstanceTechniqueTest, NamedExclusivity) {
+  EXPECT_TRUE(AskNamed("r1")->accepted);
+  EXPECT_FALSE(AskNamed("r1")->accepted);
+  EXPECT_TRUE(AskNamed("r2")->accepted);
+}
+
+TEST_P(InstanceTechniqueTest, NamedExcludedFromCounts) {
+  ASSERT_TRUE(AskNamed("r1")->accepted);
+  // Floor 1 has r1, r2; r1 is pinned.
+  EXPECT_FALSE(AskCount(1, 2)->accepted);
+  EXPECT_TRUE(AskCount(1, 1)->accepted);
+}
+
+TEST_P(InstanceTechniqueTest, CountCapEnforcedAndReleased) {
+  GrantOutcome g = *AskCount(2, 2);
+  ASSERT_TRUE(g.accepted);
+  EXPECT_FALSE(AskCount(2, 1)->accepted);
+  ASSERT_TRUE(pm_->Release(client_, {g.promise_id}).ok());
+  EXPECT_TRUE(AskCount(2, 2)->accepted);
+}
+
+TEST_P(InstanceTechniqueTest, ExpiryFreesInstances) {
+  ASSERT_TRUE(AskCount(1, 2, 1'000)->accepted);
+  EXPECT_FALSE(AskCount(1, 1)->accepted);
+  clock_.Advance(1'500);
+  EXPECT_TRUE(AskCount(1, 2)->accepted);
+}
+
+TEST_P(InstanceTechniqueTest, BookingConsumesDistinctInstances) {
+  GrantOutcome g = *AskCount(1, 2);
+  ASSERT_TRUE(g.accepted);
+  ActionOutcome out = Book(g.promise_id, 2);
+  EXPECT_TRUE(out.ok) << out.error;
+  std::string booked = out.outputs.at("booked").as_string();
+  // Both floor-1 rooms, in some order.
+  EXPECT_TRUE(booked == "r1,r2" || booked == "r2,r1") << booked;
+  auto txn = tm_.Begin();
+  EXPECT_EQ(*rm_.CountAvailable(txn.get(), "room"), 2);
+}
+
+TEST_P(InstanceTechniqueTest, BookingBeyondPromiseFails) {
+  GrantOutcome g = *AskCount(1, 1);
+  ASSERT_TRUE(g.accepted);
+  ActionOutcome out = Book(g.promise_id, 2);  // promised only 1
+  EXPECT_FALSE(out.ok);
+  // Rollback: nothing taken, promise still active.
+  auto txn = tm_.Begin();
+  EXPECT_EQ(*rm_.CountAvailable(txn.get(), "room"),
+            GetParam() == Technique::kSatisfiability ? 4 : 3);
+  EXPECT_NE(pm_->FindPromise(g.promise_id), nullptr);
+}
+
+TEST_P(InstanceTechniqueTest, ExternalInstanceLossBreaksOrRehouses) {
+  GrantOutcome g = *AskCount(1, 2);  // needs both floor-1 rooms
+  ASSERT_TRUE(g.accepted);
+  auto broken = pm_->ReportInstanceLost("room", "r1");
+  ASSERT_TRUE(broken.ok()) << broken.status().ToString();
+  ASSERT_EQ(broken->size(), 1u);
+  EXPECT_EQ((*broken)[0], g.promise_id);
+  // With slack, no break: a single-room promise survives losing the
+  // other room.
+  GrantOutcome h = *AskCount(2, 1);
+  ASSERT_TRUE(h.accepted);
+  broken = pm_->ReportInstanceLost("room", "r4");
+  ASSERT_TRUE(broken.ok()) << broken.status().ToString();
+  EXPECT_TRUE(broken->empty());
+  EXPECT_NE(pm_->FindPromise(h.promise_id), nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Techniques, InstanceTechniqueTest,
+                         ::testing::Values(Technique::kSatisfiability,
+                                           Technique::kAllocatedTags,
+                                           Technique::kTentative),
+                         TechniqueName);
+
+}  // namespace
+}  // namespace promises

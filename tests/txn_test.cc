@@ -1,0 +1,217 @@
+// Tests for the lock manager and undo-log transactions.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "txn/lock_manager.h"
+#include "txn/transaction.h"
+
+namespace promises {
+namespace {
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(TxnId(1), "k", LockMode::kShared, 10).ok());
+  EXPECT_TRUE(lm.Acquire(TxnId(2), "k", LockMode::kShared, 10).ok());
+  EXPECT_TRUE(lm.Holds(TxnId(1), "k", LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(TxnId(2), "k", LockMode::kShared));
+}
+
+TEST(LockManagerTest, ExclusiveExcludesAll) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(TxnId(1), "k", LockMode::kExclusive, 10).ok());
+  EXPECT_TRUE(lm.Acquire(TxnId(2), "k", LockMode::kShared, 10).IsTimeout());
+  EXPECT_TRUE(
+      lm.Acquire(TxnId(2), "k", LockMode::kExclusive, 10).IsTimeout());
+}
+
+TEST(LockManagerTest, ReentrantAcquisition) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(TxnId(1), "k", LockMode::kExclusive, 10).ok());
+  EXPECT_TRUE(lm.Acquire(TxnId(1), "k", LockMode::kExclusive, 10).ok());
+  EXPECT_TRUE(lm.Acquire(TxnId(1), "k", LockMode::kShared, 10).ok());
+  // Still exclusive afterwards (no silent downgrade).
+  EXPECT_TRUE(lm.Holds(TxnId(1), "k", LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, UpgradeWhenSoleHolder) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(TxnId(1), "k", LockMode::kShared, 10).ok());
+  EXPECT_TRUE(lm.Acquire(TxnId(1), "k", LockMode::kExclusive, 10).ok());
+  EXPECT_TRUE(lm.Holds(TxnId(1), "k", LockMode::kExclusive));
+  EXPECT_EQ(lm.stats().upgrades, 1u);
+}
+
+TEST(LockManagerTest, UpgradeBlockedByOtherReader) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(TxnId(1), "k", LockMode::kShared, 10).ok());
+  ASSERT_TRUE(lm.Acquire(TxnId(2), "k", LockMode::kShared, 10).ok());
+  EXPECT_TRUE(
+      lm.Acquire(TxnId(1), "k", LockMode::kExclusive, 10).IsTimeout());
+}
+
+TEST(LockManagerTest, ReleaseWakesWaiter) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(TxnId(1), "k", LockMode::kExclusive, 10).ok());
+  std::atomic<bool> got{false};
+  std::thread waiter([&] {
+    Status st = lm.Acquire(TxnId(2), "k", LockMode::kExclusive, 2000);
+    got = st.ok();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  lm.Release(TxnId(1), "k");
+  waiter.join();
+  EXPECT_TRUE(got.load());
+  EXPECT_GE(lm.stats().waits, 1u);
+}
+
+TEST(LockManagerTest, DeadlockDetectedOnCrossedUpgrades) {
+  // T1 holds A, T2 holds B; T1 waits for B, then T2's request for A
+  // closes the cycle and must be refused immediately.
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(TxnId(1), "A", LockMode::kExclusive, 10).ok());
+  ASSERT_TRUE(lm.Acquire(TxnId(2), "B", LockMode::kExclusive, 10).ok());
+  std::thread t1([&] {
+    // Blocks until T2 aborts and releases (or times out).
+    (void)lm.Acquire(TxnId(1), "B", LockMode::kExclusive, 2000);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Status st = lm.Acquire(TxnId(2), "A", LockMode::kExclusive, 2000);
+  EXPECT_TRUE(st.IsDeadlock()) << st.ToString();
+  lm.ReleaseAll(TxnId(2));
+  t1.join();
+  lm.ReleaseAll(TxnId(1));
+  EXPECT_GE(lm.stats().deadlocks, 1u);
+}
+
+TEST(LockManagerTest, ReleaseAllClearsEverything) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(TxnId(1), "a", LockMode::kShared, 10).ok());
+  ASSERT_TRUE(lm.Acquire(TxnId(1), "b", LockMode::kExclusive, 10).ok());
+  EXPECT_EQ(lm.HeldCount(TxnId(1)), 2u);
+  lm.ReleaseAll(TxnId(1));
+  EXPECT_EQ(lm.HeldCount(TxnId(1)), 0u);
+  EXPECT_TRUE(lm.Acquire(TxnId(2), "b", LockMode::kExclusive, 10).ok());
+}
+
+TEST(LockManagerTest, StatsResetWorks) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(TxnId(1), "k", LockMode::kShared, 10).ok());
+  EXPECT_GT(lm.stats().acquisitions, 0u);
+  lm.ResetStats();
+  EXPECT_EQ(lm.stats().acquisitions, 0u);
+}
+
+TEST(LockManagerTest, ManyThreadsSerializeOnExclusive) {
+  LockManager lm;
+  int counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      TxnId id(static_cast<uint64_t>(t) + 1);
+      for (int i = 0; i < kIters; ++i) {
+        ASSERT_TRUE(lm.Acquire(id, "ctr", LockMode::kExclusive, -1).ok());
+        ++counter;  // Protected by the exclusive lock.
+        lm.Release(id, "ctr");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+// ---------------------------------------------------------------------
+
+class TransactionTest : public ::testing::Test {
+ protected:
+  TransactionManager tm_{/*lock_timeout_ms=*/50};
+};
+
+TEST_F(TransactionTest, CommitDiscardsUndo) {
+  int x = 0;
+  auto txn = tm_.Begin();
+  x = 5;
+  txn->PushUndo([&] { x = 0; });
+  EXPECT_TRUE(txn->Commit().ok());
+  EXPECT_EQ(x, 5);
+  EXPECT_EQ(txn->state(), TxnState::kCommitted);
+}
+
+TEST_F(TransactionTest, RollbackRunsUndoInReverseOrder) {
+  std::vector<int> order;
+  auto txn = tm_.Begin();
+  txn->PushUndo([&] { order.push_back(1); });
+  txn->PushUndo([&] { order.push_back(2); });
+  txn->PushUndo([&] { order.push_back(3); });
+  EXPECT_TRUE(txn->Rollback().ok());
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 1}));
+}
+
+TEST_F(TransactionTest, RollbackToSupportsPartialUndo) {
+  std::vector<int> order;
+  auto txn = tm_.Begin();
+  txn->PushUndo([&] { order.push_back(1); });
+  size_t mark = txn->UndoDepth();
+  txn->PushUndo([&] { order.push_back(2); });
+  txn->PushUndo([&] { order.push_back(3); });
+  txn->RollbackTo(mark);
+  EXPECT_EQ(order, (std::vector<int>{3, 2}));
+  EXPECT_TRUE(txn->active());
+  EXPECT_TRUE(txn->Commit().ok());
+  EXPECT_EQ(order, (std::vector<int>{3, 2}));  // 1 never ran
+}
+
+TEST_F(TransactionTest, DestructorRollsBackAbandonedTransaction) {
+  int x = 0;
+  {
+    auto txn = tm_.Begin();
+    x = 7;
+    txn->PushUndo([&] { x = 0; });
+    ASSERT_TRUE(txn->Lock("k", LockMode::kExclusive).ok());
+  }
+  EXPECT_EQ(x, 0);
+  // Lock must have been released by the safety net.
+  auto txn2 = tm_.Begin();
+  EXPECT_TRUE(txn2->Lock("k", LockMode::kExclusive).ok());
+}
+
+TEST_F(TransactionTest, CompletedTransactionRefusesFurtherWork) {
+  auto txn = tm_.Begin();
+  ASSERT_TRUE(txn->Commit().ok());
+  EXPECT_FALSE(txn->Commit().ok());
+  EXPECT_FALSE(txn->Rollback().ok());
+  EXPECT_FALSE(txn->Lock("k", LockMode::kShared).ok());
+}
+
+TEST_F(TransactionTest, LocksReleasedOnCommitAndRollback) {
+  auto a = tm_.Begin();
+  ASSERT_TRUE(a->Lock("k", LockMode::kExclusive).ok());
+  ASSERT_TRUE(a->Commit().ok());
+  auto b = tm_.Begin();
+  EXPECT_TRUE(b->Lock("k", LockMode::kExclusive).ok());
+  ASSERT_TRUE(b->Rollback().ok());
+  auto c = tm_.Begin();
+  EXPECT_TRUE(c->Lock("k", LockMode::kExclusive).ok());
+}
+
+TEST_F(TransactionTest, DistinctTxnIdsIssued) {
+  auto a = tm_.Begin();
+  auto b = tm_.Begin();
+  EXPECT_NE(a->id(), b->id());
+  EXPECT_EQ(tm_.begun(), 2u);
+}
+
+TEST_F(TransactionTest, LockContentionSurfacesTimeout) {
+  auto a = tm_.Begin();
+  ASSERT_TRUE(a->Lock("k", LockMode::kExclusive).ok());
+  auto b = tm_.Begin();
+  Status st = b->Lock("k", LockMode::kExclusive);
+  EXPECT_TRUE(st.IsTimeout()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace promises

@@ -1,0 +1,155 @@
+// Tests for §2 external violations: damage to promised resources is
+// "treated as serious exceptions" — promises break, holders are
+// notified, and the kViolated lifecycle state is reached.
+
+#include <gtest/gtest.h>
+
+#include "core/promise_manager.h"
+#include "protocol/transport.h"
+#include "service/client.h"
+#include "service/services.h"
+
+namespace promises {
+namespace {
+
+class ViolationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(rm_.CreatePool("widget", 10).ok());
+    Schema schema({{"floor", ValueType::kInt, false}});
+    ASSERT_TRUE(rm_.CreateInstanceClass("room", schema).ok());
+    ASSERT_TRUE(rm_.AddInstance("room", "201", {{"floor", Value(2)}}).ok());
+    ASSERT_TRUE(rm_.AddInstance("room", "202", {{"floor", Value(2)}}).ok());
+    PromiseManagerConfig config;
+    config.name = "pm";
+    pm_ = std::make_unique<PromiseManager>(config, &clock_, &rm_, &tm_);
+    client_ = pm_->ClientFor("holder");
+    pm_->SetViolationHandler(
+        [this](const PromiseRecord& record, const std::string& reason) {
+          notifications_.push_back({record.id, reason});
+          EXPECT_EQ(record.state, PromiseState::kViolated);
+        });
+  }
+
+  GrantOutcome Grant(const std::string& cls, int64_t n) {
+    auto out = pm_->RequestPromise(
+        client_, {Predicate::Quantity(cls, CompareOp::kGe, n)});
+    EXPECT_TRUE(out.ok() && out->accepted);
+    return *out;
+  }
+
+  SimulatedClock clock_{0};
+  TransactionManager tm_{100};
+  ResourceManager rm_;
+  std::unique_ptr<PromiseManager> pm_;
+  ClientId client_;
+  std::vector<std::pair<PromiseId, std::string>> notifications_;
+};
+
+TEST_F(ViolationTest, DamageWithinSlackBreaksNothing) {
+  Grant("widget", 6);
+  auto broken = pm_->ReportExternalDamage("widget", 3);
+  ASSERT_TRUE(broken.ok()) << broken.status().ToString();
+  EXPECT_TRUE(broken->empty());
+  EXPECT_EQ(pm_->active_promises(), 1u);
+  EXPECT_TRUE(notifications_.empty());
+  auto txn = tm_.Begin();
+  EXPECT_EQ(*rm_.GetQuantity(txn.get(), "widget"), 7);
+}
+
+TEST_F(ViolationTest, DamageBreaksNewestPromiseFirst) {
+  GrantOutcome older = Grant("widget", 5);
+  GrantOutcome newer = Grant("widget", 4);
+  // Losing 4 leaves 6 < 9 promised: the newer promise must go.
+  auto broken = pm_->ReportExternalDamage("widget", 4);
+  ASSERT_TRUE(broken.ok());
+  ASSERT_EQ(broken->size(), 1u);
+  EXPECT_EQ((*broken)[0], newer.promise_id);
+  EXPECT_NE(pm_->FindPromise(older.promise_id), nullptr);
+  EXPECT_EQ(pm_->FindPromise(newer.promise_id), nullptr);
+  ASSERT_EQ(notifications_.size(), 1u);
+  EXPECT_EQ(notifications_[0].first, newer.promise_id);
+  EXPECT_NE(notifications_[0].second.find("external damage"),
+            std::string::npos);
+  EXPECT_EQ(pm_->stats().promises_broken, 1u);
+}
+
+TEST_F(ViolationTest, CatastrophicDamageBreaksEverything) {
+  Grant("widget", 5);
+  Grant("widget", 4);
+  auto broken = pm_->ReportExternalDamage("widget", 10);
+  ASSERT_TRUE(broken.ok());
+  EXPECT_EQ(broken->size(), 2u);
+  EXPECT_EQ(pm_->active_promises(), 0u);
+  auto txn = tm_.Begin();
+  EXPECT_EQ(*rm_.GetQuantity(txn.get(), "widget"), 0);
+}
+
+TEST_F(ViolationTest, DamageIsNotRolledBack) {
+  // Unlike a violating client action, reality sticks: stock stays
+  // reduced even though promises broke.
+  Grant("widget", 10);
+  auto broken = pm_->ReportExternalDamage("widget", 2);
+  ASSERT_TRUE(broken.ok());
+  EXPECT_EQ(broken->size(), 1u);
+  auto txn = tm_.Begin();
+  EXPECT_EQ(*rm_.GetQuantity(txn.get(), "widget"), 8);
+}
+
+TEST_F(ViolationTest, InstanceLossBreaksCoveringPromise) {
+  auto out = pm_->RequestPromise(
+      client_,
+      {Predicate::Property("room",
+                           Expr::Compare("floor", CompareOp::kEq, Value(2)),
+                           2)});
+  ASSERT_TRUE(out.ok() && out->accepted);
+  auto broken = pm_->ReportInstanceLost("room", "202");
+  ASSERT_TRUE(broken.ok()) << broken.status().ToString();
+  ASSERT_EQ(broken->size(), 1u);
+  EXPECT_EQ((*broken)[0], out->promise_id);
+  EXPECT_EQ(pm_->active_promises(), 0u);
+}
+
+TEST_F(ViolationTest, InstanceLossWithSpareRehouses) {
+  auto out = pm_->RequestPromise(
+      client_,
+      {Predicate::Property("room",
+                           Expr::Compare("floor", CompareOp::kEq, Value(2)),
+                           1)});
+  ASSERT_TRUE(out.ok() && out->accepted);
+  auto broken = pm_->ReportInstanceLost("room", "201");
+  ASSERT_TRUE(broken.ok()) << broken.status().ToString();
+  EXPECT_TRUE(broken->empty()) << "202 can back the promise";
+  EXPECT_EQ(pm_->active_promises(), 1u);
+}
+
+TEST_F(ViolationTest, InvalidDamageArguments) {
+  EXPECT_FALSE(pm_->ReportExternalDamage("widget", 0).ok());
+  EXPECT_FALSE(pm_->ReportExternalDamage("widget", -3).ok());
+  EXPECT_FALSE(pm_->ReportExternalDamage("no-such-pool", 1).ok());
+  EXPECT_FALSE(pm_->ReportInstanceLost("room", "999").ok());
+}
+
+TEST_F(ViolationTest, HandlerMayReacquire) {
+  // A holder notified of violation immediately tries again — the
+  // classic "serious exception" recovery path. Must not deadlock.
+  GrantOutcome g = Grant("widget", 10);
+  std::vector<GrantOutcome> reacquired;
+  pm_->SetViolationHandler(
+      [&](const PromiseRecord& record, const std::string&) {
+        auto retry = pm_->RequestPromise(
+            client_,
+            {Predicate::Quantity("widget", CompareOp::kGe, 1)});
+        if (retry.ok() && retry->accepted) reacquired.push_back(*retry);
+        (void)record;
+      });
+  auto broken = pm_->ReportExternalDamage("widget", 5);
+  ASSERT_TRUE(broken.ok());
+  ASSERT_EQ(broken->size(), 1u);
+  EXPECT_EQ((*broken)[0], g.promise_id);
+  ASSERT_EQ(reacquired.size(), 1u);
+  EXPECT_EQ(pm_->active_promises(), 1u);
+}
+
+}  // namespace
+}  // namespace promises

@@ -1,0 +1,307 @@
+// Tests for the event-driven workflow engine (GAT, [5]).
+
+#include <gtest/gtest.h>
+
+#include "workflow/engine.h"
+
+namespace promises {
+namespace {
+
+StepResult Noop(WorkflowContext*) { return StepResult::Next(); }
+
+TEST(WorkflowTest, LinearCompletion) {
+  WorkflowDef def("linear");
+  std::vector<std::string> ran;
+  def.Step("a", [&](WorkflowContext*) {
+       ran.push_back("a");
+       return StepResult::Next();
+     })
+      .Step("b", [&](WorkflowContext*) {
+        ran.push_back("b");
+        return StepResult::Next();
+      });
+  WorkflowEngine engine;
+  auto id = engine.Start(&def);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(engine.Report(*id), nullptr);  // not yet run
+  engine.RunToQuiescence();
+  const WorkflowReport* report = engine.Report(*id);
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(report->state, InstanceState::kCompleted);
+  EXPECT_EQ(ran, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(report->trace, ran);
+}
+
+TEST(WorkflowTest, VarsFlowBetweenSteps) {
+  WorkflowDef def("vars");
+  def.Step("set", [](WorkflowContext* ctx) {
+       ctx->vars()["total"] = Value(40);
+       return StepResult::Next();
+     })
+      .Step("add", [](WorkflowContext* ctx) {
+        ctx->vars()["total"] =
+            Value(ctx->vars().at("total").as_int() + 2);
+        return StepResult::Complete();
+      });
+  WorkflowEngine engine;
+  auto id = engine.Start(&def, {{"seed", Value(1)}});
+  ASSERT_TRUE(id.ok());
+  engine.RunToQuiescence();
+  const WorkflowReport* report = engine.Report(*id);
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(report->vars.at("total").as_int(), 42);
+  EXPECT_EQ(report->vars.at("seed").as_int(), 1);
+}
+
+TEST(WorkflowTest, GotoJumpsAndCompleteShortCircuits) {
+  WorkflowDef def("jump");
+  std::vector<std::string> ran;
+  def.Step("start", [&](WorkflowContext*) {
+       ran.push_back("start");
+       return StepResult::Goto("end");
+     })
+      .Step("skipped", [&](WorkflowContext*) {
+        ran.push_back("skipped");
+        return StepResult::Next();
+      })
+      .Step("end", [&](WorkflowContext*) {
+        ran.push_back("end");
+        return StepResult::Complete();
+      });
+  WorkflowEngine engine;
+  auto id = engine.Start(&def);
+  engine.RunToQuiescence();
+  EXPECT_EQ(ran, (std::vector<std::string>{"start", "end"}));
+  EXPECT_EQ(engine.Report(*id)->state, InstanceState::kCompleted);
+}
+
+TEST(WorkflowTest, GotoUnknownStepFails) {
+  WorkflowDef def("bad-jump");
+  def.Step("a", [](WorkflowContext*) { return StepResult::Goto("nowhere"); });
+  WorkflowEngine engine;
+  auto id = engine.Start(&def);
+  engine.RunToQuiescence();
+  const WorkflowReport* report = engine.Report(*id);
+  EXPECT_EQ(report->state, InstanceState::kFailed);
+  EXPECT_EQ(report->failed_step, "a");
+}
+
+TEST(WorkflowTest, RetryBudget) {
+  WorkflowDef def("retry");
+  int calls = 0;
+  def.Step("flaky",
+           [&](WorkflowContext* ctx) {
+             ++calls;
+             if (ctx->attempt() < 2) return StepResult::Retry("not yet");
+             return StepResult::Complete();
+           },
+           /*max_retries=*/3);
+  WorkflowEngine engine;
+  auto id = engine.Start(&def);
+  engine.RunToQuiescence();
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(engine.Report(*id)->state, InstanceState::kCompleted);
+}
+
+TEST(WorkflowTest, RetryExhaustionFails) {
+  WorkflowDef def("hopeless");
+  def.Step("never", [](WorkflowContext*) { return StepResult::Retry("no"); },
+           /*max_retries=*/2);
+  WorkflowEngine engine;
+  auto id = engine.Start(&def);
+  engine.RunToQuiescence();
+  const WorkflowReport* report = engine.Report(*id);
+  EXPECT_EQ(report->state, InstanceState::kFailed);
+  EXPECT_NE(report->error.find("retry budget"), std::string::npos);
+  EXPECT_EQ(report->trace.size(), 3u);  // initial + 2 retries
+}
+
+TEST(WorkflowTest, CompensationsRunInReverseOnFailure) {
+  WorkflowDef def("saga");
+  std::vector<std::string> undone;
+  def.Step("reserve-flight", [&](WorkflowContext* ctx) {
+       ctx->PushCompensation("release-flight",
+                             [&] { undone.push_back("flight"); });
+       return StepResult::Next();
+     })
+      .Step("reserve-hotel", [&](WorkflowContext* ctx) {
+        ctx->PushCompensation("release-hotel",
+                              [&] { undone.push_back("hotel"); });
+        return StepResult::Next();
+      })
+      .Step("pay", [](WorkflowContext*) {
+        return StepResult::Fail("card declined");
+      });
+  WorkflowEngine engine;
+  auto id = engine.Start(&def);
+  engine.RunToQuiescence();
+  const WorkflowReport* report = engine.Report(*id);
+  EXPECT_EQ(report->state, InstanceState::kFailed);
+  EXPECT_EQ(report->failed_step, "pay");
+  EXPECT_EQ(undone, (std::vector<std::string>{"hotel", "flight"}));
+  EXPECT_EQ(report->compensation_trace,
+            (std::vector<std::string>{"release-hotel", "release-flight"}));
+}
+
+TEST(WorkflowTest, CompensationsSkippedOnSuccess) {
+  WorkflowDef def("happy");
+  bool undone = false;
+  def.Step("work", [&](WorkflowContext* ctx) {
+    ctx->PushCompensation("undo", [&] { undone = true; });
+    return StepResult::Complete();
+  });
+  WorkflowEngine engine;
+  auto id = engine.Start(&def);
+  engine.RunToQuiescence();
+  EXPECT_EQ(engine.Report(*id)->state, InstanceState::kCompleted);
+  EXPECT_FALSE(undone);
+}
+
+TEST(WorkflowTest, InstancesInterleaveOnTheEventQueue) {
+  WorkflowDef def("interleave");
+  std::vector<std::pair<uint64_t, std::string>> log;
+  def.Step("one", [&](WorkflowContext* ctx) {
+       log.push_back({ctx->instance_id(), "one"});
+       return StepResult::Next();
+     })
+      .Step("two", [&](WorkflowContext* ctx) {
+        log.push_back({ctx->instance_id(), "two"});
+        return StepResult::Complete();
+      });
+  WorkflowEngine engine;
+  auto a = engine.Start(&def);
+  auto b = engine.Start(&def);
+  engine.RunToQuiescence();
+  // Round-robin: a.one, b.one, a.two, b.two.
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0], (std::pair<uint64_t, std::string>{*a, "one"}));
+  EXPECT_EQ(log[1], (std::pair<uint64_t, std::string>{*b, "one"}));
+  EXPECT_EQ(log[2], (std::pair<uint64_t, std::string>{*a, "two"}));
+  EXPECT_EQ(log[3], (std::pair<uint64_t, std::string>{*b, "two"}));
+}
+
+TEST(WorkflowTest, PumpOneIsSingleStep) {
+  WorkflowDef def("pump");
+  def.Step("a", Noop).Step("b", Noop);
+  WorkflowEngine engine;
+  auto id = engine.Start(&def);
+  EXPECT_EQ(engine.pending_events(), 1u);
+  EXPECT_TRUE(engine.PumpOne());
+  EXPECT_EQ(engine.Report(*id), nullptr);
+  EXPECT_TRUE(engine.PumpOne());
+  EXPECT_NE(engine.Report(*id), nullptr);
+  EXPECT_FALSE(engine.PumpOne());
+}
+
+TEST(WorkflowTest, RejectsEmptyAndDuplicateDefs) {
+  WorkflowEngine engine;
+  WorkflowDef empty("empty");
+  EXPECT_FALSE(engine.Start(&empty).ok());
+  WorkflowDef dup("dup");
+  dup.Step("x", Noop).Step("x", Noop);
+  EXPECT_FALSE(engine.Start(&dup).ok());
+}
+
+TEST(WorkflowTest, WaitForEventParksAndResumes) {
+  WorkflowDef def("evented");
+  def.Step("order", [](WorkflowContext*) {
+       return StepResult::WaitFor("payment-arrived");
+     })
+      .Step("after-payment", [](WorkflowContext* ctx) {
+        // The event payload is visible to the resumed step.
+        if (ctx->vars().at("event-payload").as_int() != 42) {
+          return StepResult::Fail("wrong payload");
+        }
+        return StepResult::Complete();
+      });
+  WorkflowEngine engine;
+  auto id = engine.Start(&def);
+  engine.RunToQuiescence();
+  EXPECT_EQ(engine.Report(*id), nullptr);  // parked, not finished
+  EXPECT_EQ(engine.waiting_instances(), 1u);
+  // Wrong event name refused.
+  EXPECT_FALSE(engine.PostEvent(*id, "shipment-arrived").ok());
+  ASSERT_TRUE(engine.PostEvent(*id, "payment-arrived", Value(42)).ok());
+  engine.RunToQuiescence();
+  const WorkflowReport* report = engine.Report(*id);
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(report->state, InstanceState::kCompleted);
+  EXPECT_EQ(report->vars.at("event").as_string(), "payment-arrived");
+}
+
+TEST(WorkflowTest, WaitTimeoutResumesWithFlag) {
+  WorkflowDef def("timed");
+  def.Step("wait", [](WorkflowContext*) {
+       return StepResult::WaitFor("reply", /*deadline_ms=*/500);
+     })
+      .Step("resume", [](WorkflowContext* ctx) {
+        bool timed_out = ctx->vars().count("timeout") &&
+                         ctx->vars().at("timeout").as_bool();
+        ctx->vars()["result"] = Value(timed_out ? "timeout" : "event");
+        return StepResult::Complete();
+      });
+  WorkflowEngine engine;
+  auto id = engine.Start(&def);
+  engine.RunToQuiescence();
+  engine.AdvanceTime(400);
+  engine.RunToQuiescence();
+  EXPECT_EQ(engine.Report(*id), nullptr);  // deadline not yet reached
+  engine.AdvanceTime(200);
+  engine.RunToQuiescence();
+  const WorkflowReport* report = engine.Report(*id);
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(report->vars.at("result").as_string(), "timeout");
+}
+
+TEST(WorkflowTest, BroadcastWakesAllWaiters) {
+  WorkflowDef def("fanin");
+  def.Step("wait", [](WorkflowContext*) {
+       return StepResult::WaitFor("go");
+     })
+      .Step("done", [](WorkflowContext*) { return StepResult::Complete(); });
+  WorkflowEngine engine;
+  auto a = engine.Start(&def);
+  auto b = engine.Start(&def);
+  engine.RunToQuiescence();
+  EXPECT_EQ(engine.waiting_instances(), 2u);
+  EXPECT_EQ(engine.Broadcast("go"), 2u);
+  engine.RunToQuiescence();
+  EXPECT_EQ(engine.Report(*a)->state, InstanceState::kCompleted);
+  EXPECT_EQ(engine.Report(*b)->state, InstanceState::kCompleted);
+  EXPECT_EQ(engine.Broadcast("go"), 0u);  // nobody left
+}
+
+TEST(WorkflowTest, WaitInFinalStepFails) {
+  WorkflowDef def("bad-wait");
+  def.Step("only", [](WorkflowContext*) {
+    return StepResult::WaitFor("never");
+  });
+  WorkflowEngine engine;
+  auto id = engine.Start(&def);
+  engine.RunToQuiescence();
+  const WorkflowReport* report = engine.Report(*id);
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(report->state, InstanceState::kFailed);
+}
+
+TEST(WorkflowTest, ManyInstances) {
+  WorkflowDef def("bulk");
+  int completions = 0;
+  def.Step("only", [&](WorkflowContext*) {
+    ++completions;
+    return StepResult::Complete();
+  });
+  WorkflowEngine engine;
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 100; ++i) ids.push_back(*engine.Start(&def));
+  EXPECT_EQ(engine.running_instances(), 100u);
+  engine.RunToQuiescence();
+  EXPECT_EQ(completions, 100);
+  EXPECT_EQ(engine.running_instances(), 0u);
+  for (uint64_t id : ids) {
+    EXPECT_EQ(engine.Report(id)->state, InstanceState::kCompleted);
+  }
+}
+
+}  // namespace
+}  // namespace promises

@@ -1,0 +1,168 @@
+// Tests for the workload simulator and the paper's headline behaviour:
+// promises eliminate late failures that plague optimistic execution,
+// while never overselling stock.
+
+#include <gtest/gtest.h>
+
+#include "sim/workload.h"
+
+namespace promises {
+namespace {
+
+OrderingWorkloadConfig SmallConfig() {
+  OrderingWorkloadConfig config;
+  config.num_items = 2;
+  config.initial_stock = 40;
+  config.order_quantity = 5;
+  config.workers = 4;
+  config.orders_per_worker = 10;  // demand 200 vs stock 80: contended
+  config.think_us = 500;
+  config.seed = 7;
+  return config;
+}
+
+TEST(WorkloadTest, PromisesNeverFailLateAndNeverOversell) {
+  OrderingWorkloadConfig config = SmallConfig();
+  OrderingWorld world(config);
+  OrderingMetrics m =
+      RunOrderingWorkload(&world, config, StrategyKind::kPromises);
+  EXPECT_EQ(m.attempts(),
+            static_cast<uint64_t>(config.workers *
+                                  config.orders_per_worker));
+  EXPECT_EQ(m.failed_late, 0u) << "promise-protected orders must not "
+                                  "fail after the check";
+  // Conservation: every completed order consumed exactly order_quantity.
+  int64_t consumed = static_cast<int64_t>(m.completed) *
+                     config.order_quantity;
+  EXPECT_EQ(world.TotalStock(),
+            config.num_items * config.initial_stock - consumed);
+  EXPECT_GE(world.TotalStock(), 0);
+  // With demand far above supply, most stock should have sold.
+  EXPECT_GT(m.completed, 0u);
+}
+
+TEST(WorkloadTest, OptimisticSuffersLateFailuresUnderContention) {
+  OrderingWorkloadConfig config = SmallConfig();
+  // Crank contention: stock barely above one order, many workers.
+  config.num_items = 1;
+  config.initial_stock = 30;
+  config.workers = 6;
+  config.orders_per_worker = 15;
+  config.think_us = 2000;
+  OrderingWorld world(config);
+  OrderingMetrics m =
+      RunOrderingWorkload(&world, config, StrategyKind::kOptimistic);
+  EXPECT_GT(m.failed_late, 0u)
+      << "unprotected check-then-act should race and fail late";
+  EXPECT_GE(world.TotalStock(), 0) << "stock must never go negative";
+}
+
+TEST(WorkloadTest, LockingNeverFailsLateButSerializes) {
+  OrderingWorkloadConfig config = SmallConfig();
+  config.workers = 3;
+  config.orders_per_worker = 5;
+  OrderingWorld world(config);
+  OrderingMetrics m =
+      RunOrderingWorkload(&world, config, StrategyKind::kLockingExclusive);
+  EXPECT_EQ(m.failed_late, 0u);
+  EXPECT_GE(world.TotalStock(), 0);
+}
+
+TEST(WorkloadTest, ResetStockRestoresTheWorld) {
+  OrderingWorkloadConfig config = SmallConfig();
+  OrderingWorld world(config);
+  (void)RunOrderingWorkload(&world, config, StrategyKind::kPromises);
+  ASSERT_TRUE(world.ResetStock().ok());
+  EXPECT_EQ(world.TotalStock(), config.num_items * config.initial_stock);
+}
+
+TEST(WorkloadTest, MultiItemOrdersAllStrategies) {
+  OrderingWorkloadConfig config = SmallConfig();
+  config.num_items = 3;
+  config.items_per_order = 2;
+  config.workers = 3;
+  config.orders_per_worker = 8;
+  for (StrategyKind kind :
+       {StrategyKind::kPromises, StrategyKind::kLockingExclusive,
+        StrategyKind::kOptimistic}) {
+    OrderingWorld world(config);
+    OrderingMetrics m = RunOrderingWorkload(&world, config, kind);
+    EXPECT_EQ(m.attempts(), 24u) << StrategyKindToString(kind);
+    EXPECT_GE(world.TotalStock(), 0) << StrategyKindToString(kind);
+    if (kind == StrategyKind::kPromises) {
+      EXPECT_EQ(m.failed_late, 0u);
+    }
+  }
+}
+
+TEST(WorkloadTest, ShuffledLockOrderMayDeadlockButNeverCorrupts) {
+  OrderingWorkloadConfig config = SmallConfig();
+  config.num_items = 2;
+  config.items_per_order = 2;
+  config.shuffle_item_order = true;  // classic deadlock recipe
+  config.workers = 4;
+  config.orders_per_worker = 10;
+  config.think_us = 500;
+  config.lock_timeout_ms = 50;
+  OrderingWorld world(config);
+  OrderingMetrics m =
+      RunOrderingWorkload(&world, config, StrategyKind::kLockingExclusive);
+  // Whether or not deadlocks fired this run, accounting must balance.
+  int64_t consumed = static_cast<int64_t>(m.completed) *
+                     config.order_quantity * config.items_per_order;
+  EXPECT_EQ(world.TotalStock(),
+            config.num_items * config.initial_stock - consumed);
+}
+
+TEST(WorkloadTest, PromisesRejectInsteadOfDeadlocking) {
+  // Same adversarial two-item workload under promises: zero aborts from
+  // deadlock because unfulfillable requests are rejected immediately
+  // (§9).
+  OrderingWorkloadConfig config = SmallConfig();
+  config.num_items = 2;
+  config.items_per_order = 2;
+  config.shuffle_item_order = true;
+  config.workers = 4;
+  config.orders_per_worker = 10;
+  OrderingWorld world(config);
+  OrderingMetrics m =
+      RunOrderingWorkload(&world, config, StrategyKind::kPromises);
+  EXPECT_EQ(m.aborted, 0u);
+  EXPECT_EQ(m.failed_late, 0u);
+  EXPECT_EQ(world.pm().stats().violations_rolled_back, 0u);
+}
+
+TEST(MetricsTest, LatencyPercentiles) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 100; ++i) rec.Record(i);
+  EXPECT_EQ(rec.count(), 100u);
+  EXPECT_NEAR(rec.MeanUs(), 50.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(rec.PercentileUs(50)), 50, 1);
+  EXPECT_NEAR(static_cast<double>(rec.PercentileUs(99)), 99, 1);
+  EXPECT_EQ(rec.PercentileUs(0), 1);
+  EXPECT_EQ(rec.PercentileUs(100), 100);
+}
+
+TEST(MetricsTest, MergeCombines) {
+  OrderingMetrics a, b;
+  a.Add(OrderResult::kCompleted, 10);
+  b.Add(OrderResult::kFailedLate, 20);
+  b.Add(OrderResult::kAborted, 30);
+  a.Merge(b);
+  EXPECT_EQ(a.attempts(), 3u);
+  EXPECT_EQ(a.failed_late, 1u);
+  EXPECT_EQ(a.latency.count(), 3u);
+  EXPECT_NEAR(a.FailedLateRate(), 1.0 / 3, 1e-9);
+}
+
+TEST(MetricsTest, RowFormatting) {
+  OrderingMetrics m;
+  m.Add(OrderResult::kCompleted, 5);
+  m.wall_time_us = 1'000'000;
+  std::string row = m.Row("promises");
+  EXPECT_NE(row.find("promises"), std::string::npos);
+  EXPECT_FALSE(OrderingMetrics::Header().empty());
+}
+
+}  // namespace
+}  // namespace promises
