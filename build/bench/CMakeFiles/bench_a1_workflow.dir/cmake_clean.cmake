@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_workflow.dir/bench_a1_workflow.cpp.o"
+  "CMakeFiles/bench_a1_workflow.dir/bench_a1_workflow.cpp.o.d"
+  "bench_a1_workflow"
+  "bench_a1_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

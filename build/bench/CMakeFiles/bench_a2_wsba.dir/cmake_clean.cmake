@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_wsba.dir/bench_a2_wsba.cpp.o"
+  "CMakeFiles/bench_a2_wsba.dir/bench_a2_wsba.cpp.o.d"
+  "bench_a2_wsba"
+  "bench_a2_wsba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_wsba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_delegation.dir/bench_e10_delegation.cpp.o"
+  "CMakeFiles/bench_e10_delegation.dir/bench_e10_delegation.cpp.o.d"
+  "bench_e10_delegation"
+  "bench_e10_delegation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_delegation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_ordering.dir/bench_e1_ordering.cpp.o"
+  "CMakeFiles/bench_e1_ordering.dir/bench_e1_ordering.cpp.o.d"
+  "bench_e1_ordering"
+  "bench_e1_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

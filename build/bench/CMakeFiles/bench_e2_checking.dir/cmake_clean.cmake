@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_checking.dir/bench_e2_checking.cpp.o"
+  "CMakeFiles/bench_e2_checking.dir/bench_e2_checking.cpp.o.d"
+  "bench_e2_checking"
+  "bench_e2_checking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_checking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_matching.dir/bench_e3_matching.cpp.o"
+  "CMakeFiles/bench_e3_matching.dir/bench_e3_matching.cpp.o.d"
+  "bench_e3_matching"
+  "bench_e3_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e4_tentative.cpp" "bench/CMakeFiles/bench_e4_tentative.dir/bench_e4_tentative.cpp.o" "gcc" "bench/CMakeFiles/bench_e4_tentative.dir/bench_e4_tentative.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/promises_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/promises_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/promises_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/promises_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsba/CMakeFiles/promises_wsba.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/promises_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/promises_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/promises_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/predicate/CMakeFiles/promises_predicate.dir/DependInfo.cmake"
+  "/root/repo/build/src/resource/CMakeFiles/promises_resource.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/promises_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/promises_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_tentative.dir/bench_e4_tentative.cpp.o"
+  "CMakeFiles/bench_e4_tentative.dir/bench_e4_tentative.cpp.o.d"
+  "bench_e4_tentative"
+  "bench_e4_tentative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_tentative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

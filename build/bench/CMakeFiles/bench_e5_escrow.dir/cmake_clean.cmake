@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_escrow.dir/bench_e5_escrow.cpp.o"
+  "CMakeFiles/bench_e5_escrow.dir/bench_e5_escrow.cpp.o.d"
+  "bench_e5_escrow"
+  "bench_e5_escrow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_escrow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

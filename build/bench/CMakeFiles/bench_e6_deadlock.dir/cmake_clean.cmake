@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_deadlock.dir/bench_e6_deadlock.cpp.o"
+  "CMakeFiles/bench_e6_deadlock.dir/bench_e6_deadlock.cpp.o.d"
+  "bench_e6_deadlock"
+  "bench_e6_deadlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

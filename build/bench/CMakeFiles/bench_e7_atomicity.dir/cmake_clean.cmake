@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_atomicity.dir/bench_e7_atomicity.cpp.o"
+  "CMakeFiles/bench_e7_atomicity.dir/bench_e7_atomicity.cpp.o.d"
+  "bench_e7_atomicity"
+  "bench_e7_atomicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_atomicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_expiry.dir/bench_e8_expiry.cpp.o"
+  "CMakeFiles/bench_e8_expiry.dir/bench_e8_expiry.cpp.o.d"
+  "bench_e8_expiry"
+  "bench_e8_expiry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_expiry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

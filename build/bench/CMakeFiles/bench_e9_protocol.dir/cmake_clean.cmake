@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_protocol.dir/bench_e9_protocol.cpp.o"
+  "CMakeFiles/bench_e9_protocol.dir/bench_e9_protocol.cpp.o.d"
+  "bench_e9_protocol"
+  "bench_e9_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airline.dir/airline.cpp.o"
+  "CMakeFiles/airline.dir/airline.cpp.o.d"
+  "airline"
+  "airline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

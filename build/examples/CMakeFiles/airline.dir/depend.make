@@ -1,0 +1,2 @@
+# Empty dependencies file for airline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_escrow.dir/bank_escrow.cpp.o"
+  "CMakeFiles/bank_escrow.dir/bank_escrow.cpp.o.d"
+  "bank_escrow"
+  "bank_escrow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_escrow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

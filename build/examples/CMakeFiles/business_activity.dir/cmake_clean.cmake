@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/business_activity.dir/business_activity.cpp.o"
+  "CMakeFiles/business_activity.dir/business_activity.cpp.o.d"
+  "business_activity"
+  "business_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/business_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotel_booking.dir/hotel_booking.cpp.o"
+  "CMakeFiles/hotel_booking.dir/hotel_booking.cpp.o.d"
+  "hotel_booking"
+  "hotel_booking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotel_booking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

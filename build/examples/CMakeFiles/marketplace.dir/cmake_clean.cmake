@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marketplace.dir/marketplace.cpp.o"
+  "CMakeFiles/marketplace.dir/marketplace.cpp.o.d"
+  "marketplace"
+  "marketplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marketplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

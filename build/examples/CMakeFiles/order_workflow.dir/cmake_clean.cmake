@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_workflow.dir/order_workflow.cpp.o"
+  "CMakeFiles/order_workflow.dir/order_workflow.cpp.o.d"
+  "order_workflow"
+  "order_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

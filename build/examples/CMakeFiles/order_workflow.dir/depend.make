@@ -1,0 +1,2 @@
+# Empty dependencies file for order_workflow.
+# This may be replaced when dependencies are built.

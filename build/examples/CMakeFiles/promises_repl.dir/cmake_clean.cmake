@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promises_repl.dir/promises_repl.cpp.o"
+  "CMakeFiles/promises_repl.dir/promises_repl.cpp.o.d"
+  "promises_repl"
+  "promises_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promises_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

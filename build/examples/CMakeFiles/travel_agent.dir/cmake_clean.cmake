@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/travel_agent.dir/travel_agent.cpp.o"
+  "CMakeFiles/travel_agent.dir/travel_agent.cpp.o.d"
+  "travel_agent"
+  "travel_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/travel_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("txn")
+subdirs("resource")
+subdirs("predicate")
+subdirs("matching")
+subdirs("protocol")
+subdirs("workflow")
+subdirs("wsba")
+subdirs("contract")
+subdirs("core")
+subdirs("service")
+subdirs("baseline")
+subdirs("sim")

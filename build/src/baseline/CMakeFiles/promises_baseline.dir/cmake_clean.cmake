@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promises_baseline.dir/ordering.cc.o"
+  "CMakeFiles/promises_baseline.dir/ordering.cc.o.d"
+  "libpromises_baseline.a"
+  "libpromises_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promises_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

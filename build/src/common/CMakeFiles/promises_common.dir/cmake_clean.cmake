@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promises_common.dir/rng.cc.o"
+  "CMakeFiles/promises_common.dir/rng.cc.o.d"
+  "CMakeFiles/promises_common.dir/status.cc.o"
+  "CMakeFiles/promises_common.dir/status.cc.o.d"
+  "CMakeFiles/promises_common.dir/string_util.cc.o"
+  "CMakeFiles/promises_common.dir/string_util.cc.o.d"
+  "libpromises_common.a"
+  "libpromises_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promises_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promises_contract.dir/compatibility.cc.o"
+  "CMakeFiles/promises_contract.dir/compatibility.cc.o.d"
+  "CMakeFiles/promises_contract.dir/contract.cc.o"
+  "CMakeFiles/promises_contract.dir/contract.cc.o.d"
+  "CMakeFiles/promises_contract.dir/monitor.cc.o"
+  "CMakeFiles/promises_contract.dir/monitor.cc.o.d"
+  "CMakeFiles/promises_contract.dir/monitored_endpoint.cc.o"
+  "CMakeFiles/promises_contract.dir/monitored_endpoint.cc.o.d"
+  "libpromises_contract.a"
+  "libpromises_contract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promises_contract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/delegation_engine.cc" "src/core/CMakeFiles/promises_core.dir/delegation_engine.cc.o" "gcc" "src/core/CMakeFiles/promises_core.dir/delegation_engine.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/promises_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/promises_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/escrow.cc" "src/core/CMakeFiles/promises_core.dir/escrow.cc.o" "gcc" "src/core/CMakeFiles/promises_core.dir/escrow.cc.o.d"
+  "/root/repo/src/core/federated_engine.cc" "src/core/CMakeFiles/promises_core.dir/federated_engine.cc.o" "gcc" "src/core/CMakeFiles/promises_core.dir/federated_engine.cc.o.d"
+  "/root/repo/src/core/oplog.cc" "src/core/CMakeFiles/promises_core.dir/oplog.cc.o" "gcc" "src/core/CMakeFiles/promises_core.dir/oplog.cc.o.d"
+  "/root/repo/src/core/pool_engine.cc" "src/core/CMakeFiles/promises_core.dir/pool_engine.cc.o" "gcc" "src/core/CMakeFiles/promises_core.dir/pool_engine.cc.o.d"
+  "/root/repo/src/core/promise_manager.cc" "src/core/CMakeFiles/promises_core.dir/promise_manager.cc.o" "gcc" "src/core/CMakeFiles/promises_core.dir/promise_manager.cc.o.d"
+  "/root/repo/src/core/promise_table.cc" "src/core/CMakeFiles/promises_core.dir/promise_table.cc.o" "gcc" "src/core/CMakeFiles/promises_core.dir/promise_table.cc.o.d"
+  "/root/repo/src/core/satisfiability_engine.cc" "src/core/CMakeFiles/promises_core.dir/satisfiability_engine.cc.o" "gcc" "src/core/CMakeFiles/promises_core.dir/satisfiability_engine.cc.o.d"
+  "/root/repo/src/core/tag_engine.cc" "src/core/CMakeFiles/promises_core.dir/tag_engine.cc.o" "gcc" "src/core/CMakeFiles/promises_core.dir/tag_engine.cc.o.d"
+  "/root/repo/src/core/tentative_engine.cc" "src/core/CMakeFiles/promises_core.dir/tentative_engine.cc.o" "gcc" "src/core/CMakeFiles/promises_core.dir/tentative_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/promises_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/promises_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/resource/CMakeFiles/promises_resource.dir/DependInfo.cmake"
+  "/root/repo/build/src/predicate/CMakeFiles/promises_predicate.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/promises_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/promises_protocol.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promises_core.dir/delegation_engine.cc.o"
+  "CMakeFiles/promises_core.dir/delegation_engine.cc.o.d"
+  "CMakeFiles/promises_core.dir/engine.cc.o"
+  "CMakeFiles/promises_core.dir/engine.cc.o.d"
+  "CMakeFiles/promises_core.dir/escrow.cc.o"
+  "CMakeFiles/promises_core.dir/escrow.cc.o.d"
+  "CMakeFiles/promises_core.dir/federated_engine.cc.o"
+  "CMakeFiles/promises_core.dir/federated_engine.cc.o.d"
+  "CMakeFiles/promises_core.dir/oplog.cc.o"
+  "CMakeFiles/promises_core.dir/oplog.cc.o.d"
+  "CMakeFiles/promises_core.dir/pool_engine.cc.o"
+  "CMakeFiles/promises_core.dir/pool_engine.cc.o.d"
+  "CMakeFiles/promises_core.dir/promise_manager.cc.o"
+  "CMakeFiles/promises_core.dir/promise_manager.cc.o.d"
+  "CMakeFiles/promises_core.dir/promise_table.cc.o"
+  "CMakeFiles/promises_core.dir/promise_table.cc.o.d"
+  "CMakeFiles/promises_core.dir/satisfiability_engine.cc.o"
+  "CMakeFiles/promises_core.dir/satisfiability_engine.cc.o.d"
+  "CMakeFiles/promises_core.dir/tag_engine.cc.o"
+  "CMakeFiles/promises_core.dir/tag_engine.cc.o.d"
+  "CMakeFiles/promises_core.dir/tentative_engine.cc.o"
+  "CMakeFiles/promises_core.dir/tentative_engine.cc.o.d"
+  "libpromises_core.a"
+  "libpromises_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promises_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

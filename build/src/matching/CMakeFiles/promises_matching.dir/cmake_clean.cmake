@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promises_matching.dir/bipartite.cc.o"
+  "CMakeFiles/promises_matching.dir/bipartite.cc.o.d"
+  "libpromises_matching.a"
+  "libpromises_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promises_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

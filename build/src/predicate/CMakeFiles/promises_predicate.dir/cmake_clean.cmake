@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promises_predicate.dir/ast.cc.o"
+  "CMakeFiles/promises_predicate.dir/ast.cc.o.d"
+  "CMakeFiles/promises_predicate.dir/evaluator.cc.o"
+  "CMakeFiles/promises_predicate.dir/evaluator.cc.o.d"
+  "CMakeFiles/promises_predicate.dir/parser.cc.o"
+  "CMakeFiles/promises_predicate.dir/parser.cc.o.d"
+  "libpromises_predicate.a"
+  "libpromises_predicate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promises_predicate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

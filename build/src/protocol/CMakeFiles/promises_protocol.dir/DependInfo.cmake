@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/message.cc" "src/protocol/CMakeFiles/promises_protocol.dir/message.cc.o" "gcc" "src/protocol/CMakeFiles/promises_protocol.dir/message.cc.o.d"
+  "/root/repo/src/protocol/tcp_transport.cc" "src/protocol/CMakeFiles/promises_protocol.dir/tcp_transport.cc.o" "gcc" "src/protocol/CMakeFiles/promises_protocol.dir/tcp_transport.cc.o.d"
+  "/root/repo/src/protocol/transport.cc" "src/protocol/CMakeFiles/promises_protocol.dir/transport.cc.o" "gcc" "src/protocol/CMakeFiles/promises_protocol.dir/transport.cc.o.d"
+  "/root/repo/src/protocol/xml.cc" "src/protocol/CMakeFiles/promises_protocol.dir/xml.cc.o" "gcc" "src/protocol/CMakeFiles/promises_protocol.dir/xml.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/promises_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/predicate/CMakeFiles/promises_predicate.dir/DependInfo.cmake"
+  "/root/repo/build/src/resource/CMakeFiles/promises_resource.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/promises_txn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promises_protocol.dir/message.cc.o"
+  "CMakeFiles/promises_protocol.dir/message.cc.o.d"
+  "CMakeFiles/promises_protocol.dir/tcp_transport.cc.o"
+  "CMakeFiles/promises_protocol.dir/tcp_transport.cc.o.d"
+  "CMakeFiles/promises_protocol.dir/transport.cc.o"
+  "CMakeFiles/promises_protocol.dir/transport.cc.o.d"
+  "CMakeFiles/promises_protocol.dir/xml.cc.o"
+  "CMakeFiles/promises_protocol.dir/xml.cc.o.d"
+  "libpromises_protocol.a"
+  "libpromises_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promises_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

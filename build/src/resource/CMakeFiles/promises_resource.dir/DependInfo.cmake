@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resource/resource_manager.cc" "src/resource/CMakeFiles/promises_resource.dir/resource_manager.cc.o" "gcc" "src/resource/CMakeFiles/promises_resource.dir/resource_manager.cc.o.d"
+  "/root/repo/src/resource/schema.cc" "src/resource/CMakeFiles/promises_resource.dir/schema.cc.o" "gcc" "src/resource/CMakeFiles/promises_resource.dir/schema.cc.o.d"
+  "/root/repo/src/resource/value.cc" "src/resource/CMakeFiles/promises_resource.dir/value.cc.o" "gcc" "src/resource/CMakeFiles/promises_resource.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/promises_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/promises_txn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

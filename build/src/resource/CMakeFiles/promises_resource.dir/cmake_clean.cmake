@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promises_resource.dir/resource_manager.cc.o"
+  "CMakeFiles/promises_resource.dir/resource_manager.cc.o.d"
+  "CMakeFiles/promises_resource.dir/schema.cc.o"
+  "CMakeFiles/promises_resource.dir/schema.cc.o.d"
+  "CMakeFiles/promises_resource.dir/value.cc.o"
+  "CMakeFiles/promises_resource.dir/value.cc.o.d"
+  "libpromises_resource.a"
+  "libpromises_resource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promises_resource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

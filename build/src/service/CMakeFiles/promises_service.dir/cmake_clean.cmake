@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promises_service.dir/client.cc.o"
+  "CMakeFiles/promises_service.dir/client.cc.o.d"
+  "CMakeFiles/promises_service.dir/services.cc.o"
+  "CMakeFiles/promises_service.dir/services.cc.o.d"
+  "libpromises_service.a"
+  "libpromises_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promises_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promises_sim.dir/metrics.cc.o"
+  "CMakeFiles/promises_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/promises_sim.dir/workload.cc.o"
+  "CMakeFiles/promises_sim.dir/workload.cc.o.d"
+  "libpromises_sim.a"
+  "libpromises_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promises_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promises_txn.dir/lock_manager.cc.o"
+  "CMakeFiles/promises_txn.dir/lock_manager.cc.o.d"
+  "CMakeFiles/promises_txn.dir/transaction.cc.o"
+  "CMakeFiles/promises_txn.dir/transaction.cc.o.d"
+  "libpromises_txn.a"
+  "libpromises_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promises_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promises_workflow.dir/engine.cc.o"
+  "CMakeFiles/promises_workflow.dir/engine.cc.o.d"
+  "libpromises_workflow.a"
+  "libpromises_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promises_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpromises_workflow.a"
+)

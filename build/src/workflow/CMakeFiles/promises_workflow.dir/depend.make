@@ -1,0 +1,2 @@
+# Empty dependencies file for promises_workflow.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promises_wsba.dir/business_activity.cc.o"
+  "CMakeFiles/promises_wsba.dir/business_activity.cc.o.d"
+  "libpromises_wsba.a"
+  "libpromises_wsba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promises_wsba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

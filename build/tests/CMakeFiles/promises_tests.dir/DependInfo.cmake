@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/client_services_test.cc" "tests/CMakeFiles/promises_tests.dir/client_services_test.cc.o" "gcc" "tests/CMakeFiles/promises_tests.dir/client_services_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/promises_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/promises_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/contract_test.cc" "tests/CMakeFiles/promises_tests.dir/contract_test.cc.o" "gcc" "tests/CMakeFiles/promises_tests.dir/contract_test.cc.o.d"
+  "/root/repo/tests/delegation_test.cc" "tests/CMakeFiles/promises_tests.dir/delegation_test.cc.o" "gcc" "tests/CMakeFiles/promises_tests.dir/delegation_test.cc.o.d"
+  "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/promises_tests.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/promises_tests.dir/engine_test.cc.o.d"
+  "/root/repo/tests/escrow_test.cc" "tests/CMakeFiles/promises_tests.dir/escrow_test.cc.o" "gcc" "tests/CMakeFiles/promises_tests.dir/escrow_test.cc.o.d"
+  "/root/repo/tests/federation_test.cc" "tests/CMakeFiles/promises_tests.dir/federation_test.cc.o" "gcc" "tests/CMakeFiles/promises_tests.dir/federation_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/promises_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/promises_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/matching_test.cc" "tests/CMakeFiles/promises_tests.dir/matching_test.cc.o" "gcc" "tests/CMakeFiles/promises_tests.dir/matching_test.cc.o.d"
+  "/root/repo/tests/pending_test.cc" "tests/CMakeFiles/promises_tests.dir/pending_test.cc.o" "gcc" "tests/CMakeFiles/promises_tests.dir/pending_test.cc.o.d"
+  "/root/repo/tests/predicate_test.cc" "tests/CMakeFiles/promises_tests.dir/predicate_test.cc.o" "gcc" "tests/CMakeFiles/promises_tests.dir/predicate_test.cc.o.d"
+  "/root/repo/tests/promise_manager_test.cc" "tests/CMakeFiles/promises_tests.dir/promise_manager_test.cc.o" "gcc" "tests/CMakeFiles/promises_tests.dir/promise_manager_test.cc.o.d"
+  "/root/repo/tests/promise_table_test.cc" "tests/CMakeFiles/promises_tests.dir/promise_table_test.cc.o" "gcc" "tests/CMakeFiles/promises_tests.dir/promise_table_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/promises_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/promises_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/protocol_test.cc" "tests/CMakeFiles/promises_tests.dir/protocol_test.cc.o" "gcc" "tests/CMakeFiles/promises_tests.dir/protocol_test.cc.o.d"
+  "/root/repo/tests/recovery_test.cc" "tests/CMakeFiles/promises_tests.dir/recovery_test.cc.o" "gcc" "tests/CMakeFiles/promises_tests.dir/recovery_test.cc.o.d"
+  "/root/repo/tests/resource_test.cc" "tests/CMakeFiles/promises_tests.dir/resource_test.cc.o" "gcc" "tests/CMakeFiles/promises_tests.dir/resource_test.cc.o.d"
+  "/root/repo/tests/roundtrip_fuzz_test.cc" "tests/CMakeFiles/promises_tests.dir/roundtrip_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/promises_tests.dir/roundtrip_fuzz_test.cc.o.d"
+  "/root/repo/tests/tcp_transport_test.cc" "tests/CMakeFiles/promises_tests.dir/tcp_transport_test.cc.o" "gcc" "tests/CMakeFiles/promises_tests.dir/tcp_transport_test.cc.o.d"
+  "/root/repo/tests/technique_conformance_test.cc" "tests/CMakeFiles/promises_tests.dir/technique_conformance_test.cc.o" "gcc" "tests/CMakeFiles/promises_tests.dir/technique_conformance_test.cc.o.d"
+  "/root/repo/tests/txn_test.cc" "tests/CMakeFiles/promises_tests.dir/txn_test.cc.o" "gcc" "tests/CMakeFiles/promises_tests.dir/txn_test.cc.o.d"
+  "/root/repo/tests/violation_test.cc" "tests/CMakeFiles/promises_tests.dir/violation_test.cc.o" "gcc" "tests/CMakeFiles/promises_tests.dir/violation_test.cc.o.d"
+  "/root/repo/tests/workflow_test.cc" "tests/CMakeFiles/promises_tests.dir/workflow_test.cc.o" "gcc" "tests/CMakeFiles/promises_tests.dir/workflow_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/promises_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/promises_tests.dir/workload_test.cc.o.d"
+  "/root/repo/tests/wsba_test.cc" "tests/CMakeFiles/promises_tests.dir/wsba_test.cc.o" "gcc" "tests/CMakeFiles/promises_tests.dir/wsba_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/promises_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/promises_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsba/CMakeFiles/promises_wsba.dir/DependInfo.cmake"
+  "/root/repo/build/src/contract/CMakeFiles/promises_contract.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/promises_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/promises_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/promises_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/promises_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/promises_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/predicate/CMakeFiles/promises_predicate.dir/DependInfo.cmake"
+  "/root/repo/build/src/resource/CMakeFiles/promises_resource.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/promises_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/promises_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
