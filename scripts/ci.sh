@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verify plus sanitizer configurations.
+#
+# Usage:
+#   scripts/ci.sh            # tier-1 (default preset) only
+#   scripts/ci.sh all        # tier-1 + asan/ubsan + tsan
+#   scripts/ci.sh asan       # asan/ubsan configuration only
+#   scripts/ci.sh tsan       # tsan configuration (concurrency tests only)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+MODE="${1:-default}"
+
+run_preset() {
+  local preset="$1"
+  shift
+  echo "=== configure/build/test: ${preset} ==="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "${JOBS}"
+  ctest --test-dir "build$([ "${preset}" = default ] || echo "-${preset}")" \
+    --output-on-failure -j "${JOBS}" "$@"
+}
+
+case "${MODE}" in
+  default)
+    run_preset default
+    ;;
+  asan)
+    run_preset asan
+    ;;
+  tsan)
+    # TSan over the full suite is slow on small runners; the concurrency
+    # and transaction tests are where data races would live.
+    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload'
+    ;;
+  all)
+    run_preset default
+    run_preset asan
+    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload'
+    ;;
+  *)
+    echo "unknown mode: ${MODE} (expected default|asan|tsan|all)" >&2
+    exit 2
+    ;;
+esac
+
+echo "=== CI ${MODE}: OK ==="

@@ -15,7 +15,6 @@
 #include <string>
 #include <string_view>
 #include <utility>
-#include <variant>
 
 namespace promises {
 
@@ -117,30 +116,26 @@ class Status {
 template <typename T>
 class Result {
  public:
-  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
-  Result(Status status) : data_(std::move(status)) {  // NOLINT
-    assert(!std::get<Status>(data_).ok());
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
   }
 
-  bool ok() const { return std::holds_alternative<T>(data_); }
+  bool ok() const { return value_.has_value(); }
 
-  const Status& status() const {
-    static const Status kOk;
-    if (ok()) return kOk;
-    return std::get<Status>(data_);
-  }
+  const Status& status() const { return status_; }
 
   const T& value() const& {
     assert(ok());
-    return std::get<T>(data_);
+    return *value_;
   }
   T& value() & {
     assert(ok());
-    return std::get<T>(data_);
+    return *value_;
   }
   T&& value() && {
     assert(ok());
-    return std::get<T>(std::move(data_));
+    return *std::move(value_);
   }
 
   const T& operator*() const& { return value(); }
@@ -155,7 +150,12 @@ class Result {
   }
 
  private:
-  std::variant<T, Status> data_;
+  // Status + optional<T> rather than variant<T, Status>: GCC 12's
+  // -Wmaybe-uninitialized fires on variant's raw storage at -O3, and the
+  // split keeps status() a trivial accessor (OK by default when a value
+  // is present).
+  Status status_;
+  std::optional<T> value_;
 };
 
 /// Propagates a non-OK Status from an expression.

@@ -74,7 +74,9 @@ class FederatedEngine : public ResourceEngine {
   std::string cls_;
   std::vector<std::string> members_;
   EngineContext ctx_;
-  // Serialized by the manager's operation lock; undo via transactions.
+  // Serialized by the virtual class's lock-manager stripe (the planned
+  // scope closes over members, so member engines are covered too);
+  // undo via transactions.
   std::map<AssignKey, std::vector<Assignment>> assignments_;
 };
 

@@ -59,8 +59,9 @@ class ResourcePoolEngine : public ResourceEngine {
 
   std::string cls_;
   EngineContext ctx_;
-  // Engine state is serialized by the promise manager's operation lock;
-  // mutations register undo closures on the operation transaction.
+  // Engine state is serialized by this class's lock-manager stripe
+  // ("pm:<name>/c:<cls>"), held exclusively by any operation touching
+  // the class; mutations register undo closures on the transaction.
   int64_t reserved_ = 0;
   std::map<LedgerKey, int64_t> remaining_;
 };

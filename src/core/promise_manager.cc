@@ -32,27 +32,165 @@ PromiseManager::~PromiseManager() {
   if (transport_ != nullptr) transport_->Unregister(config_.name);
 }
 
-Result<std::unique_ptr<Transaction>> PromiseManager::BeginOperation() {
+bool PromiseManager::IsDelegated(const std::string& cls) const {
+  std::lock_guard<std::mutex> lk(config_mu_);
+  return delegated_.count(cls) > 0;
+}
+
+bool PromiseManager::IsFederated(const std::string& cls) const {
+  std::lock_guard<std::mutex> lk(config_mu_);
+  return federated_.count(cls) > 0;
+}
+
+void PromiseManager::ExpandClasses(std::set<std::string>* classes) const {
+  std::lock_guard<std::mutex> lk(config_mu_);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<std::string> add;
+    for (const std::string& cls : *classes) {
+      auto fit = federated_.find(cls);
+      if (fit != federated_.end()) {
+        for (const std::string& member : fit->second) {
+          if (classes->count(member) == 0) add.push_back(member);
+        }
+      }
+      auto vit = member_to_virtual_.find(cls);
+      if (vit != member_to_virtual_.end()) {
+        for (const std::string& virt : vit->second) {
+          if (classes->count(virt) == 0) add.push_back(virt);
+        }
+      }
+    }
+    for (std::string& cls : add) {
+      if (classes->insert(std::move(cls)).second) changed = true;
+    }
+  }
+}
+
+void PromiseManager::AddDueClasses(std::set<std::string>* classes) const {
+  if (classes->empty()) return;
+  std::vector<std::vector<std::string>> due;
+  for (PromiseId id : table_.DueIds(clock_->Now())) {
+    if (auto cls = table_.ClassesOf(id)) due.push_back(std::move(*cls));
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const std::vector<std::string>& cls_list : due) {
+      bool overlaps = false;
+      for (const std::string& cls : cls_list) {
+        if (classes->count(cls)) {
+          overlaps = true;
+          break;
+        }
+      }
+      if (!overlaps) continue;
+      for (const std::string& cls : cls_list) {
+        if (classes->insert(cls).second) changed = true;
+      }
+    }
+  }
+}
+
+void PromiseManager::PlanClosure(std::set<std::string>* classes) const {
+  size_t before;
+  do {
+    before = classes->size();
+    ExpandClasses(classes);
+    AddDueClasses(classes);
+  } while (classes->size() != before);
+}
+
+Result<std::unique_ptr<Transaction>> PromiseManager::BeginOperation(
+    LockScope* scope, std::set<std::string> classes, bool whole_manager) {
+  // A logged manager serializes every operation so the log append order
+  // equals the serialization order (replay keeps promise ids aligned).
+  if (oplog_ != nullptr) whole_manager = true;
   std::unique_ptr<Transaction> txn = tm_->Begin();
-  PROMISES_RETURN_IF_ERROR(
-      txn->Lock("pm:" + config_.name, LockMode::kExclusive));
+  if (whole_manager) {
+    PROMISES_RETURN_IF_ERROR(txn->Lock(RootKey(), LockMode::kExclusive));
+    scope->whole_manager = true;
+    return txn;
+  }
+  PlanClosure(&classes);
+  // Deterministic order: root first, then stripes sorted by class name
+  // (std::set iteration). Keeps planned acquisitions deadlock-free.
+  PROMISES_RETURN_IF_ERROR(txn->Lock(RootKey(), LockMode::kShared));
+  for (const std::string& cls : classes) {
+    PROMISES_RETURN_IF_ERROR(
+        txn->Lock(StripeKey(cls), LockMode::kExclusive));
+  }
+  scope->classes = std::move(classes);
   return txn;
 }
 
-Result<ResourceEngine*> PromiseManager::EngineFor(const std::string& cls) {
-  auto it = engines_.find(cls);
-  if (it != engines_.end()) return it->second.get();
+Status PromiseManager::EnsureClassLocked(Transaction* txn, LockScope* scope,
+                                         const std::string& cls) {
+  if (scope->Covers(cls)) return Status::OK();
+  std::set<std::string> add{cls};
+  ExpandClasses(&add);
+  for (const std::string& c : add) {
+    if (scope->Covers(c)) continue;
+    PROMISES_RETURN_IF_ERROR(txn->Lock(StripeKey(c), LockMode::kExclusive));
+    scope->classes.insert(c);
+  }
+  return Status::OK();
+}
 
+void PromiseManager::AddPromiseClasses(std::set<std::string>* classes,
+                                       PromiseId id) const {
+  if (auto cls = table_.ClassesOf(id)) {
+    classes->insert(cls->begin(), cls->end());
+  }
+}
+
+void PromiseManager::AddActionClasses(std::set<std::string>* classes,
+                                      const ActionBody& action) const {
+  for (const auto& [name, value] : action.params) {
+    (void)name;
+    if (!value.is_string()) continue;
+    const std::string& cls = value.as_string();
+    if (rm_->HasPool(cls) || rm_->HasInstanceClass(cls) ||
+        IsFederated(cls) || IsDelegated(cls)) {
+      classes->insert(cls);
+    }
+  }
+}
+
+Result<ResourceEngine*> PromiseManager::EngineFor(const std::string& cls) {
+  {
+    std::lock_guard<std::mutex> lk(engines_mu_);
+    auto it = engines_.find(cls);
+    if (it != engines_.end()) return it->second.get();
+  }
+  // Creation is serialized per class because EngineFor(cls) is only
+  // called while holding cls's stripe; engines_mu_ protects the map
+  // shape against concurrent insertions for other classes.
   EngineContext ctx{rm_, &table_, clock_};
   std::unique_ptr<ResourceEngine> engine;
-
-  auto fit = federated_.find(cls);
-  auto dit = delegated_.find(cls);
-  if (fit != federated_.end()) {
-    engine = std::make_unique<FederatedEngine>(cls, fit->second, ctx);
-  } else if (dit != delegated_.end()) {
+  bool is_federated = false;
+  bool is_delegated = false;
+  std::vector<std::string> members;
+  std::string upstream;
+  {
+    std::lock_guard<std::mutex> lk(config_mu_);
+    auto fit = federated_.find(cls);
+    if (fit != federated_.end()) {
+      is_federated = true;
+      members = fit->second;
+    }
+    auto dit = delegated_.find(cls);
+    if (dit != delegated_.end()) {
+      is_delegated = true;
+      upstream = dit->second;
+    }
+  }
+  if (is_federated) {
+    engine = std::make_unique<FederatedEngine>(cls, members, ctx);
+  } else if (is_delegated) {
     engine = std::make_unique<DelegationEngine>(cls, ctx, transport_,
-                                                dit->second, config_.name);
+                                                upstream, config_.name);
   } else {
     bool is_pool = rm_->HasPool(cls);
     bool is_instance = rm_->HasInstanceClass(cls);
@@ -94,50 +232,105 @@ Result<ResourceEngine*> PromiseManager::EngineFor(const std::string& cls) {
             "DelegateClass first");
     }
   }
-  ResourceEngine* raw = engine.get();
-  engines_[cls] = std::move(engine);
-  return raw;
+  std::lock_guard<std::mutex> lk(engines_mu_);
+  auto [it, inserted] = engines_.try_emplace(cls, std::move(engine));
+  (void)inserted;
+  return it->second.get();
 }
 
-Status PromiseManager::ExpireDueLocked(Transaction* txn) {
+Status PromiseManager::ExpireDueLocked(Transaction* txn,
+                                       const LockScope& scope) {
   Timestamp now = clock_->Now();
   for (PromiseId id : table_.DueIds(now)) {
-    const PromiseRecord* rec = table_.Find(id);
-    if (rec == nullptr) continue;
-    // Copy: ReleaseOneLocked removes the record.
-    PROMISES_RETURN_IF_ERROR(ReleaseOneLocked(txn, id, PromiseState::kExpired));
+    auto classes = table_.ClassesOf(id);
+    if (!classes) continue;  // removed by a concurrent operation
+    // Only expire promises whose every class is inside the held
+    // stripes; uncovered ones are another operation's (or the
+    // whole-manager ExpireDue's) job. Sound because availability on a
+    // class only depends on promises covering that class.
+    if (!scope.CoversAll(*classes)) continue;
+    PROMISES_RETURN_IF_ERROR(
+        ReleaseOneLocked(txn, id, PromiseState::kExpired));
     stats_.expired.fetch_add(1, std::memory_order_relaxed);
   }
   return Status::OK();
 }
 
-Status PromiseManager::DrainPendingLocked(Transaction* txn) {
-  if (pending_.empty()) return Status::OK();
+Status PromiseManager::DrainPendingScoped(Transaction* txn,
+                                          const LockScope& scope) {
   Timestamp now = clock_->Now();
+  // Claim eligible entries by extraction so two concurrent drains can
+  // never grant the same ticket twice; failures are re-queued below.
+  std::vector<PendingRequest> claimed;
+  {
+    std::lock_guard<std::mutex> lk(pending_mu_);
+    if (pending_.empty()) return Status::OK();
+    std::vector<PendingRequest> keep;
+    keep.reserve(pending_.size());
+    for (PendingRequest& req : pending_) {
+      bool lapsed = now >= req.patience_deadline;
+      bool covered = true;
+      if (!lapsed && !scope.whole_manager) {
+        for (const Predicate& p : req.predicates) {
+          if (!scope.Covers(p.resource_class())) {
+            covered = false;
+            break;
+          }
+        }
+      }
+      if (lapsed || covered) {
+        claimed.push_back(std::move(req));
+      } else {
+        keep.push_back(std::move(req));
+      }
+    }
+    pending_ = std::move(keep);
+  }
+  if (claimed.empty()) return Status::OK();
+
+  Status failure;
   std::vector<PendingRequest> still_waiting;
-  still_waiting.reserve(pending_.size());
-  for (PendingRequest& req : pending_) {
+  for (PendingRequest& req : claimed) {
+    if (!failure.ok()) {
+      still_waiting.push_back(std::move(req));
+      continue;
+    }
     if (now >= req.patience_deadline) {
       GrantOutcome out;
       out.accepted = false;
       out.reason = "pending request lapsed after " +
                    std::to_string(config_.pending_patience_ms) + " ms";
+      std::lock_guard<std::mutex> lk(pending_mu_);
       fulfilled_[req.ticket] = {req.client, std::move(out)};
       continue;
     }
-    PROMISES_ASSIGN_OR_RETURN(
-        GrantOutcome out,
-        GrantLocked(txn, req.client, req.predicates, req.duration_ms, {}));
-    if (out.accepted) {
-      fulfilled_[req.ticket] = {req.client, std::move(out)};
+    Result<GrantOutcome> out =
+        GrantLocked(txn, req.client, req.predicates, req.duration_ms, {});
+    if (!out.ok()) {
+      failure = out.status();
+      still_waiting.push_back(std::move(req));
+      continue;
+    }
+    if (out->accepted) {
+      std::lock_guard<std::mutex> lk(pending_mu_);
+      fulfilled_[req.ticket] = {req.client, std::move(*out)};
     } else {
       // Best-effort FIFO: an ungrantable head does not block smaller
       // requests behind it.
       still_waiting.push_back(std::move(req));
     }
   }
-  pending_ = std::move(still_waiting);
-  return Status::OK();
+  if (!still_waiting.empty()) {
+    std::lock_guard<std::mutex> lk(pending_mu_);
+    for (PendingRequest& req : still_waiting) {
+      pending_.push_back(std::move(req));
+    }
+    std::sort(pending_.begin(), pending_.end(),
+              [](const PendingRequest& a, const PendingRequest& b) {
+                return a.ticket < b.ticket;
+              });
+  }
+  return failure;
 }
 
 Result<PromiseManager::QueuedOutcome> PromiseManager::RequestPromiseOrQueue(
@@ -149,9 +342,12 @@ Result<PromiseManager::QueuedOutcome> PromiseManager::RequestPromiseOrQueue(
     return Status::FailedPrecondition(
         "pending requests are not supported with an attached log");
   }
+  std::set<std::string> classes;
+  for (const Predicate& p : predicates) classes.insert(p.resource_class());
+  LockScope scope;
   PROMISES_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> txn,
-                            BeginOperation());
-  PROMISES_RETURN_IF_ERROR(ExpireDueLocked(txn.get()));
+                            BeginOperation(&scope, std::move(classes)));
+  PROMISES_RETURN_IF_ERROR(ExpireDueLocked(txn.get(), scope));
   PROMISES_ASSIGN_OR_RETURN(
       GrantOutcome out,
       GrantLocked(txn.get(), client, predicates, duration_ms, {}));
@@ -160,11 +356,12 @@ Result<PromiseManager::QueuedOutcome> PromiseManager::RequestPromiseOrQueue(
     result.outcome = std::move(out);
   } else {
     result.queued = true;
+    Timestamp deadline = clock_->Now() + config_.pending_patience_ms;
+    std::lock_guard<std::mutex> lk(pending_mu_);
     result.ticket = next_ticket_++;
     pending_.push_back(PendingRequest{result.ticket, client,
                                       std::move(predicates), duration_ms,
-                                      clock_->Now() +
-                                          config_.pending_patience_ms});
+                                      deadline});
   }
   PROMISES_RETURN_IF_ERROR(txn->Commit());
   return result;
@@ -172,15 +369,28 @@ Result<PromiseManager::QueuedOutcome> PromiseManager::RequestPromiseOrQueue(
 
 Result<PromiseManager::QueuedOutcome> PromiseManager::PollPending(
     ClientId client, PendingTicket ticket) {
-  // A poll is a progress point: lapse promises and retry the queue.
+  // A poll is a progress point: lapse promises and retry the queue. If
+  // the ticket is still queued, plan its own predicate classes so this
+  // very poll can grant it; a fulfilled ticket needs no stripes.
+  std::set<std::string> classes;
+  {
+    std::lock_guard<std::mutex> lk(pending_mu_);
+    for (const PendingRequest& req : pending_) {
+      if (req.ticket != ticket) continue;
+      for (const Predicate& p : req.predicates) {
+        classes.insert(p.resource_class());
+      }
+      break;
+    }
+  }
+  LockScope scope;
   PROMISES_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> txn,
-                            BeginOperation());
-  PROMISES_RETURN_IF_ERROR(ExpireDueLocked(txn.get()));
-  PROMISES_RETURN_IF_ERROR(DrainPendingLocked(txn.get()));
+                            BeginOperation(&scope, std::move(classes)));
+  PROMISES_RETURN_IF_ERROR(ExpireDueLocked(txn.get(), scope));
+  PROMISES_RETURN_IF_ERROR(DrainPendingScoped(txn.get(), scope));
 
-  // Resolve while still holding the operation lock: a concurrent
-  // drain must not mutate the maps under this lookup.
   Result<QueuedOutcome> result = [&]() -> Result<QueuedOutcome> {
+    std::lock_guard<std::mutex> lk(pending_mu_);
     auto it = fulfilled_.find(ticket);
     if (it != fulfilled_.end()) {
       if (it->second.first != client) {
@@ -208,30 +418,48 @@ Result<PromiseManager::QueuedOutcome> PromiseManager::PollPending(
 }
 
 Status PromiseManager::CancelPending(ClientId client, PendingTicket ticket) {
+  // Claim the ticket first (atomic under the queue mutex): a still-
+  // queued request just disappears; a fulfilled-but-unpolled grant must
+  // release its promise under that promise's stripes.
+  GrantOutcome fulfilled_out;
+  bool was_fulfilled = false;
+  {
+    std::lock_guard<std::mutex> lk(pending_mu_);
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->ticket != ticket) continue;
+      if (it->client != client) {
+        return Status::FailedPrecondition("ticket belongs to another client");
+      }
+      pending_.erase(it);
+      return Status::OK();
+    }
+    auto it = fulfilled_.find(ticket);
+    if (it != fulfilled_.end() && it->second.first == client) {
+      fulfilled_out = std::move(it->second.second);
+      fulfilled_.erase(it);
+      was_fulfilled = true;
+    }
+  }
+  if (!was_fulfilled) {
+    return Status::NotFound("unknown ticket " + std::to_string(ticket));
+  }
+  if (!fulfilled_out.accepted) return Status::OK();
+
+  std::set<std::string> classes;
+  AddPromiseClasses(&classes, fulfilled_out.promise_id);
+  LockScope scope;
   PROMISES_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> txn,
-                            BeginOperation());
-  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
-    if (it->ticket != ticket) continue;
-    if (it->client != client) {
-      return Status::FailedPrecondition("ticket belongs to another client");
-    }
-    pending_.erase(it);
-    return txn->Commit();
+                            BeginOperation(&scope, std::move(classes)));
+  Status st = ReleaseOneLocked(txn.get(), fulfilled_out.promise_id,
+                               PromiseState::kReleased);
+  if (st.ok()) {
+    stats_.released.fetch_add(1, std::memory_order_relaxed);
+  } else if (!st.IsNotFound()) {
+    // NotFound: the grant already expired between claim and lock.
+    return st;
   }
-  // A fulfilled-but-unpolled grant must release its promise.
-  auto it = fulfilled_.find(ticket);
-  if (it != fulfilled_.end() && it->second.first == client) {
-    GrantOutcome out = std::move(it->second.second);
-    fulfilled_.erase(it);
-    if (out.accepted) {
-      PROMISES_RETURN_IF_ERROR(
-          ReleaseOneLocked(txn.get(), out.promise_id,
-                           PromiseState::kReleased));
-      stats_.released.fetch_add(1, std::memory_order_relaxed);
-    }
-    return txn->Commit();
-  }
-  return Status::NotFound("unknown ticket " + std::to_string(ticket));
+  PROMISES_RETURN_IF_ERROR(DrainPendingScoped(txn.get(), scope));
+  return txn->Commit();
 }
 
 Status PromiseManager::ReleaseOneLocked(Transaction* txn, PromiseId id,
@@ -340,8 +568,8 @@ Result<GrantOutcome> PromiseManager::GrantLocked(
   // classes are validated by their upstream maker; federated classes
   // by their engine against member schemas).
   for (const Predicate& pred : predicates) {
-    if (delegated_.count(pred.resource_class()) ||
-        federated_.count(pred.resource_class())) {
+    if (IsDelegated(pred.resource_class()) ||
+        IsFederated(pred.resource_class())) {
       continue;
     }
     Status st = ValidatePredicate(pred, *rm_);
@@ -396,16 +624,57 @@ Result<GrantOutcome> PromiseManager::GrantLocked(
 
 Status PromiseManager::VerifyAllLocked(Transaction* txn) {
   Timestamp now = clock_->Now();
-  for (auto& [cls, engine] : engines_) {
-    (void)cls;
+  std::vector<ResourceEngine*> engines;
+  {
+    std::lock_guard<std::mutex> lk(engines_mu_);
+    engines.reserve(engines_.size());
+    for (auto& [cls, engine] : engines_) {
+      (void)cls;
+      engines.push_back(engine.get());
+    }
+  }
+  for (ResourceEngine* engine : engines) {
+    PROMISES_RETURN_IF_ERROR(engine->VerifyConsistent(txn, now));
+  }
+  return Status::OK();
+}
+
+Status PromiseManager::VerifyTouchedLocked(Transaction* txn,
+                                           LockScope* scope) {
+  if (scope->whole_manager) return VerifyAllLocked(txn);
+  // The held stripes, plus any class the action wrote through the
+  // resource manager behind the manager's back — §8: "the promise
+  // manager cannot rely on the application code being always
+  // well-behaved". Writes show up as exclusive "pool:<cls>" /
+  // "class:<cls>" resource keys on this transaction; their stripes are
+  // late-locked (deadlock detection backstops the out-of-order grab).
+  std::set<std::string> touched = scope->classes;
+  for (const std::string& key :
+       tm_->lock_manager().ExclusiveKeysOf(txn->id())) {
+    std::string cls;
+    if (StartsWith(key, "pool:")) {
+      cls = key.substr(5);
+    } else if (StartsWith(key, "class:")) {
+      cls = key.substr(6);
+    } else {
+      continue;
+    }
+    touched.insert(std::move(cls));
+  }
+  ExpandClasses(&touched);
+  Timestamp now = clock_->Now();
+  for (const std::string& cls : touched) {
+    PROMISES_RETURN_IF_ERROR(EnsureClassLocked(txn, scope, cls));
+    ResourceEngine* engine = EngineIfExists(cls);
+    if (engine == nullptr) continue;  // no promises ever granted on it
     PROMISES_RETURN_IF_ERROR(engine->VerifyConsistent(txn, now));
   }
   return Status::OK();
 }
 
 Result<ActionOutcome> PromiseManager::ExecuteLocked(
-    Transaction* txn, ClientId client, const ActionBody& action,
-    const EnvironmentHeader& env) {
+    Transaction* txn, LockScope* scope, ClientId client,
+    const ActionBody& action, const EnvironmentHeader& env) {
   stats_.actions.fetch_add(1, std::memory_order_relaxed);
   const size_t mark = txn->UndoDepth();
   Timestamp now = clock_->Now();
@@ -437,14 +706,19 @@ Result<ActionOutcome> PromiseManager::ExecuteLocked(
     env_ids.push_back(e.promise);
   }
 
-  auto sit = services_.find(action.service);
-  if (sit == services_.end()) {
+  ServiceFn service;
+  {
+    std::lock_guard<std::mutex> lk(config_mu_);
+    auto sit = services_.find(action.service);
+    if (sit != services_.end()) service = sit->second;
+  }
+  if (!service) {
     return fail("unknown service '" + action.service + "'");
   }
 
-  ActionContext ctx(this, txn, client, env_ids);
+  ActionContext ctx(this, txn, scope, client, env_ids);
   Result<std::map<std::string, Value>> result =
-      sit->second(&ctx, action.operation, action.params);
+      service(&ctx, action.operation, action.params);
   if (!result.ok()) {
     return fail("action failed: " + result.status().ToString());
   }
@@ -462,7 +736,7 @@ Result<ActionOutcome> PromiseManager::ExecuteLocked(
   // §8: "the promise manager cannot rely on the application code being
   // always well-behaved, so the promise manager also has to check for
   // consistency after an action has been completed."
-  Status verify = VerifyAllLocked(txn);
+  Status verify = VerifyTouchedLocked(txn, scope);
   if (verify.IsViolated()) {
     stats_.violations_rolled_back.fetch_add(1, std::memory_order_relaxed);
     return fail("rolled back: " + verify.ToString());
@@ -478,9 +752,13 @@ Result<ActionOutcome> PromiseManager::ExecuteLocked(
 Result<GrantOutcome> PromiseManager::RequestPromise(
     ClientId client, std::vector<Predicate> predicates,
     DurationMs duration_ms, std::vector<PromiseId> release_on_grant) {
+  std::set<std::string> classes;
+  for (const Predicate& p : predicates) classes.insert(p.resource_class());
+  for (PromiseId id : release_on_grant) AddPromiseClasses(&classes, id);
+  LockScope scope;
   PROMISES_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> txn,
-                            BeginOperation());
-  PROMISES_RETURN_IF_ERROR(ExpireDueLocked(txn.get()));
+                            BeginOperation(&scope, std::move(classes)));
+  PROMISES_RETURN_IF_ERROR(ExpireDueLocked(txn.get(), scope));
   std::string log_payload;
   if (oplog_ != nullptr) {
     // Rejected requests are logged too: they consume a promise id, so
@@ -501,7 +779,7 @@ Result<GrantOutcome> PromiseManager::RequestPromise(
       GrantOutcome out,
       GrantLocked(txn.get(), client, std::move(predicates), duration_ms,
                   release_on_grant));
-  // Logged before the commit releases the operation lock, so the log
+  // Logged before the commit releases the operation locks, so the log
   // order matches the serialization order (the in-memory commit itself
   // cannot fail).
   if (!log_payload.empty()) LogOperation(log_payload);
@@ -511,11 +789,21 @@ Result<GrantOutcome> PromiseManager::RequestPromise(
 
 Status PromiseManager::Release(ClientId client,
                                const std::vector<PromiseId>& ids) {
+  std::set<std::string> classes;
+  for (PromiseId id : ids) AddPromiseClasses(&classes, id);
+  LockScope scope;
   PROMISES_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> txn,
-                            BeginOperation());
-  PROMISES_RETURN_IF_ERROR(ExpireDueLocked(txn.get()));
+                            BeginOperation(&scope, std::move(classes)));
+  PROMISES_RETURN_IF_ERROR(ExpireDueLocked(txn.get(), scope));
   std::string problems;
   for (PromiseId id : ids) {
+    auto id_classes = table_.ClassesOf(id);
+    if (!id_classes || !scope.CoversAll(*id_classes)) {
+      // Gone (released/expired), or appeared after lock planning —
+      // either way not releasable by this operation.
+      problems += " " + id.ToString() + " not active;";
+      continue;
+    }
     const PromiseRecord* rec = table_.Find(id);
     if (rec == nullptr) {
       problems += " " + id.ToString() + " not active;";
@@ -529,7 +817,7 @@ Status PromiseManager::Release(ClientId client,
         ReleaseOneLocked(txn.get(), id, PromiseState::kReleased));
     stats_.released.fetch_add(1, std::memory_order_relaxed);
   }
-  PROMISES_RETURN_IF_ERROR(DrainPendingLocked(txn.get()));
+  PROMISES_RETURN_IF_ERROR(DrainPendingScoped(txn.get(), scope));
   if (oplog_ != nullptr) {
     Envelope env;
     env.message_id = MessageId(1);
@@ -548,12 +836,19 @@ Status PromiseManager::Release(ClientId client,
 Result<ActionOutcome> PromiseManager::Execute(ClientId client,
                                               const ActionBody& action,
                                               const EnvironmentHeader& env) {
+  std::set<std::string> classes;
+  for (const EnvironmentHeader::Entry& e : env.entries) {
+    AddPromiseClasses(&classes, e.promise);
+  }
+  AddActionClasses(&classes, action);
+  LockScope scope;
   PROMISES_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> txn,
-                            BeginOperation());
-  PROMISES_RETURN_IF_ERROR(ExpireDueLocked(txn.get()));
-  PROMISES_ASSIGN_OR_RETURN(ActionOutcome out,
-                            ExecuteLocked(txn.get(), client, action, env));
-  PROMISES_RETURN_IF_ERROR(DrainPendingLocked(txn.get()));
+                            BeginOperation(&scope, std::move(classes)));
+  PROMISES_RETURN_IF_ERROR(ExpireDueLocked(txn.get(), scope));
+  PROMISES_ASSIGN_OR_RETURN(
+      ActionOutcome out,
+      ExecuteLocked(txn.get(), &scope, client, action, env));
+  PROMISES_RETURN_IF_ERROR(DrainPendingScoped(txn.get(), scope));
   if (oplog_ != nullptr) {
     Envelope log_env;
     log_env.message_id = MessageId(1);
@@ -597,9 +892,12 @@ Status PromiseManager::AttachLog(OperationLog* log) {
   if (log == nullptr || !log->IsOpen()) {
     return Status::InvalidArgument("log must be open");
   }
-  if (!delegated_.empty()) {
-    return Status::FailedPrecondition(
-        "recovery logging is not supported with delegated classes");
+  {
+    std::lock_guard<std::mutex> lk(config_mu_);
+    if (!delegated_.empty()) {
+      return Status::FailedPrecondition(
+          "recovery logging is not supported with delegated classes");
+    }
   }
   oplog_ = log;
   return Status::OK();
@@ -637,10 +935,43 @@ Status PromiseManager::ReplayLog(const std::vector<LogRecord>& records,
 }
 
 Result<Envelope> PromiseManager::Handle(const Envelope& request) {
+  // Plan the union of every part of the combined envelope.
+  std::set<std::string> classes;
+  if (request.promise_request) {
+    for (const Predicate& p : request.promise_request->predicates) {
+      classes.insert(p.resource_class());
+    }
+    for (PromiseId id : request.promise_request->release_on_grant) {
+      AddPromiseClasses(&classes, id);
+    }
+  }
+  if (request.poll) {
+    std::lock_guard<std::mutex> lk(pending_mu_);
+    for (const PendingRequest& req : pending_) {
+      if (req.ticket != request.poll->ticket) continue;
+      for (const Predicate& p : req.predicates) {
+        classes.insert(p.resource_class());
+      }
+      break;
+    }
+  }
+  if (request.release) {
+    for (PromiseId id : request.release->promises) {
+      AddPromiseClasses(&classes, id);
+    }
+  }
+  if (request.environment) {
+    for (const EnvironmentHeader::Entry& e : request.environment->entries) {
+      AddPromiseClasses(&classes, e.promise);
+    }
+  }
+  if (request.action) AddActionClasses(&classes, *request.action);
+
+  LockScope scope;
   PROMISES_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> txn,
-                            BeginOperation());
+                            BeginOperation(&scope, std::move(classes)));
   ClientId client = ClientFor(request.from);
-  PROMISES_RETURN_IF_ERROR(ExpireDueLocked(txn.get()));
+  PROMISES_RETURN_IF_ERROR(ExpireDueLocked(txn.get(), scope));
 
   Envelope reply;
   reply.message_id =
@@ -667,11 +998,12 @@ Result<Envelope> PromiseManager::Handle(const Envelope& request) {
     if (!out.accepted && pr.queue_if_unavailable && oplog_ == nullptr &&
         pr.release_on_grant.empty()) {
       resp.result = PromiseResultCode::kPending;
+      Timestamp deadline = clock_->Now() + config_.pending_patience_ms;
+      std::lock_guard<std::mutex> lk(pending_mu_);
       resp.pending_ticket = next_ticket_++;
       pending_.push_back(PendingRequest{resp.pending_ticket, client,
                                         pr.predicates, pr.duration_ms,
-                                        clock_->Now() +
-                                            config_.pending_patience_ms});
+                                        deadline});
     }
     resp.granted_duration_ms = out.duration_ms;
     resp.correlation = pr.request_id;
@@ -683,27 +1015,30 @@ Result<Envelope> PromiseManager::Handle(const Envelope& request) {
   } else if (request.poll) {
     // Resolve a queued request's ticket (processed only when the
     // envelope carries no new promise-request).
-    PROMISES_RETURN_IF_ERROR(DrainPendingLocked(txn.get()));
+    PROMISES_RETURN_IF_ERROR(DrainPendingScoped(txn.get(), scope));
     PromiseResponseHeader resp;
     resp.correlation = RequestId(request.poll->ticket);
-    auto fit = fulfilled_.find(request.poll->ticket);
     bool found = false;
-    if (fit != fulfilled_.end() && fit->second.first == client) {
-      GrantOutcome out = std::move(fit->second.second);
-      fulfilled_.erase(fit);
-      resp.result = out.accepted ? PromiseResultCode::kAccepted
-                                 : PromiseResultCode::kRejected;
-      resp.promise_id = out.promise_id;
-      resp.granted_duration_ms = out.duration_ms;
-      resp.reason = out.reason;
-      found = true;
-    } else {
-      for (const PendingRequest& req : pending_) {
-        if (req.ticket == request.poll->ticket && req.client == client) {
-          resp.result = PromiseResultCode::kPending;
-          resp.pending_ticket = req.ticket;
-          found = true;
-          break;
+    {
+      std::lock_guard<std::mutex> lk(pending_mu_);
+      auto fit = fulfilled_.find(request.poll->ticket);
+      if (fit != fulfilled_.end() && fit->second.first == client) {
+        GrantOutcome out = std::move(fit->second.second);
+        fulfilled_.erase(fit);
+        resp.result = out.accepted ? PromiseResultCode::kAccepted
+                                   : PromiseResultCode::kRejected;
+        resp.promise_id = out.promise_id;
+        resp.granted_duration_ms = out.duration_ms;
+        resp.reason = out.reason;
+        found = true;
+      } else {
+        for (const PendingRequest& req : pending_) {
+          if (req.ticket == request.poll->ticket && req.client == client) {
+            resp.result = PromiseResultCode::kPending;
+            resp.pending_ticket = req.ticket;
+            found = true;
+            break;
+          }
         }
       }
     }
@@ -716,6 +1051,8 @@ Result<Envelope> PromiseManager::Handle(const Envelope& request) {
 
   if (request.release) {
     for (PromiseId id : request.release->promises) {
+      auto id_classes = table_.ClassesOf(id);
+      if (!id_classes || !scope.CoversAll(*id_classes)) continue;
       const PromiseRecord* rec = table_.Find(id);
       if (rec == nullptr || rec->owner != client) continue;
       PROMISES_RETURN_IF_ERROR(
@@ -745,7 +1082,7 @@ Result<Envelope> PromiseManager::Handle(const Envelope& request) {
       }
       PROMISES_ASSIGN_OR_RETURN(
           ActionOutcome out,
-          ExecuteLocked(txn.get(), client, *request.action, env));
+          ExecuteLocked(txn.get(), &scope, client, *request.action, env));
       ActionResultBody r;
       r.ok = out.ok;
       r.error = out.error;
@@ -754,20 +1091,29 @@ Result<Envelope> PromiseManager::Handle(const Envelope& request) {
     }
   }
 
-  PROMISES_RETURN_IF_ERROR(DrainPendingLocked(txn.get()));
+  PROMISES_RETURN_IF_ERROR(DrainPendingScoped(txn.get(), scope));
   LogOperation(request.ToXml());
   PROMISES_RETURN_IF_ERROR(txn->Commit());
   return reply;
 }
 
 void PromiseManager::RegisterService(const std::string& name, ServiceFn fn) {
+  std::lock_guard<std::mutex> lk(config_mu_);
   services_[name] = std::move(fn);
 }
 
 Status PromiseManager::FederateClass(const std::string& virtual_cls,
                                      std::vector<std::string> members) {
-  if (engines_.count(virtual_cls) || federated_.count(virtual_cls) ||
-      delegated_.count(virtual_cls)) {
+  {
+    std::lock_guard<std::mutex> lk(engines_mu_);
+    if (engines_.count(virtual_cls)) {
+      return Status::FailedPrecondition("class '" + virtual_cls +
+                                        "' already has an engine; federate "
+                                        "before use");
+    }
+  }
+  std::lock_guard<std::mutex> lk(config_mu_);
+  if (federated_.count(virtual_cls) || delegated_.count(virtual_cls)) {
     return Status::FailedPrecondition("class '" + virtual_cls +
                                       "' already has an engine; federate "
                                       "before use");
@@ -785,6 +1131,9 @@ Status PromiseManager::FederateClass(const std::string& virtual_cls,
                               "' is not an instance class");
     }
   }
+  for (const std::string& member : members) {
+    member_to_virtual_[member].push_back(virtual_cls);
+  }
   federated_[virtual_cls] = std::move(members);
   return Status::OK();
 }
@@ -795,10 +1144,14 @@ Status PromiseManager::DelegateClass(const std::string& cls,
     return Status::FailedPrecondition(
         "delegation requires a transport; construct the manager with one");
   }
-  if (engines_.count(cls)) {
-    return Status::FailedPrecondition(
-        "class '" + cls + "' already has an engine; delegate before use");
+  {
+    std::lock_guard<std::mutex> lk(engines_mu_);
+    if (engines_.count(cls)) {
+      return Status::FailedPrecondition(
+          "class '" + cls + "' already has an engine; delegate before use");
+    }
   }
+  std::lock_guard<std::mutex> lk(config_mu_);
   delegated_[cls] = upstream;
   return Status::OK();
 }
@@ -855,9 +1208,11 @@ Result<std::vector<PromiseId>> PromiseManager::ReportExternalDamage(
   if (quantity_lost <= 0) {
     return Status::InvalidArgument("quantity lost must be > 0");
   }
-  PROMISES_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> txn,
-                            BeginOperation());
-  PROMISES_RETURN_IF_ERROR(ExpireDueLocked(txn.get()));
+  LockScope scope;
+  PROMISES_ASSIGN_OR_RETURN(
+      std::unique_ptr<Transaction> txn,
+      BeginOperation(&scope, {}, /*whole_manager=*/true));
+  PROMISES_RETURN_IF_ERROR(ExpireDueLocked(txn.get(), scope));
   PROMISES_ASSIGN_OR_RETURN(int64_t on_hand,
                             rm_->GetQuantity(txn.get(), cls));
   int64_t loss = std::min(quantity_lost, on_hand);
@@ -874,9 +1229,11 @@ Result<std::vector<PromiseId>> PromiseManager::ReportExternalDamage(
 
 Result<std::vector<PromiseId>> PromiseManager::ReportInstanceLost(
     const std::string& cls, const std::string& id) {
-  PROMISES_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> txn,
-                            BeginOperation());
-  PROMISES_RETURN_IF_ERROR(ExpireDueLocked(txn.get()));
+  LockScope scope;
+  PROMISES_ASSIGN_OR_RETURN(
+      std::unique_ptr<Transaction> txn,
+      BeginOperation(&scope, {}, /*whole_manager=*/true));
+  PROMISES_RETURN_IF_ERROR(ExpireDueLocked(txn.get(), scope));
   PROMISES_RETURN_IF_ERROR(
       rm_->SetInstanceStatus(txn.get(), cls, id, InstanceStatus::kTaken));
   Result<std::vector<PromiseId>> broken = BreakUntilConsistent(
@@ -887,13 +1244,15 @@ Result<std::vector<PromiseId>> PromiseManager::ReportInstanceLost(
 }
 
 size_t PromiseManager::ExpireDue() {
-  Result<std::unique_ptr<Transaction>> txn = BeginOperation();
+  LockScope scope;
+  Result<std::unique_ptr<Transaction>> txn =
+      BeginOperation(&scope, {}, /*whole_manager=*/true);
   if (!txn.ok()) return 0;
   uint64_t before = stats_.expired.load(std::memory_order_relaxed);
-  if (!ExpireDueLocked(txn->get()).ok()) {
+  if (!ExpireDueLocked(txn->get(), scope).ok()) {
     return 0;  // txn destructor rolls back
   }
-  if (!DrainPendingLocked(txn->get()).ok()) return 0;
+  if (!DrainPendingScoped(txn->get(), scope).ok()) return 0;
   if (!(*txn)->Commit().ok()) return 0;
   return stats_.expired.load(std::memory_order_relaxed) - before;
 }
@@ -921,6 +1280,7 @@ PromiseManagerStats PromiseManager::stats() const {
 }
 
 ResourceEngine* PromiseManager::EngineIfExists(const std::string& cls) {
+  std::lock_guard<std::mutex> lk(engines_mu_);
   auto it = engines_.find(cls);
   return it == engines_.end() ? nullptr : it->second.get();
 }
@@ -939,6 +1299,7 @@ std::string PromiseManager::DumpState() const {
     }
   }
   out += "  engines:\n";
+  std::lock_guard<std::mutex> lk(engines_mu_);
   for (const auto& [cls, engine] : engines_) {
     out += "    " + cls + ": " +
            std::string(TechniqueToString(engine->technique())) + "\n";
@@ -954,6 +1315,16 @@ ResourceManager* ActionContext::rm() const { return manager_->rm_; }
 bool ActionContext::InEnvironment(PromiseId promise) const {
   return std::find(env_promises_.begin(), env_promises_.end(), promise) !=
          env_promises_.end();
+}
+
+Status ActionContext::EnsurePromiseLocked(PromiseId promise) {
+  auto classes = manager_->table_.ClassesOf(promise);
+  if (!classes) return Status::OK();  // gone; callers report not-active
+  for (const std::string& cls : *classes) {
+    PROMISES_RETURN_IF_ERROR(
+        manager_->EnsureClassLocked(txn_, scope_, cls));
+  }
+  return Status::OK();
 }
 
 namespace {
@@ -987,6 +1358,8 @@ Result<std::pair<const Predicate*, int64_t>> LocateUnit(
 
 Result<std::string> ActionContext::PeekInstance(PromiseId promise,
                                                 const std::string& cls) {
+  PROMISES_RETURN_IF_ERROR(EnsurePromiseLocked(promise));
+  PROMISES_RETURN_IF_ERROR(manager_->EnsureClassLocked(txn_, scope_, cls));
   const PromiseRecord* rec = manager_->table_.Find(promise);
   if (rec == nullptr || !rec->ActiveAt(manager_->clock_->Now())) {
     return Status::Expired("promise " + promise.ToString() + " is not active");
@@ -1006,6 +1379,8 @@ Result<std::string> ActionContext::TakeInstance(PromiseId promise,
         "promise " + promise.ToString() +
         " is not part of this action's environment");
   }
+  PROMISES_RETURN_IF_ERROR(EnsurePromiseLocked(promise));
+  PROMISES_RETURN_IF_ERROR(manager_->EnsureClassLocked(txn_, scope_, cls));
   const PromiseRecord* rec = manager_->table_.Find(promise);
   if (rec == nullptr || !rec->ActiveAt(manager_->clock_->Now())) {
     return Status::Expired("promise " + promise.ToString() +
@@ -1030,6 +1405,7 @@ Status ActionContext::TakeQuantity(const std::string& cls, int64_t n) {
         "strict mode: consuming '" + cls +
         "' requires a covering promise (use TakeQuantityUnder)");
   }
+  PROMISES_RETURN_IF_ERROR(manager_->EnsureClassLocked(txn_, scope_, cls));
   return manager_->rm_->AdjustQuantity(txn_, cls, -n);
 }
 
@@ -1041,6 +1417,8 @@ Status ActionContext::TakeQuantityUnder(PromiseId promise,
         "promise " + promise.ToString() +
         " is not part of this action's environment");
   }
+  PROMISES_RETURN_IF_ERROR(EnsurePromiseLocked(promise));
+  PROMISES_RETURN_IF_ERROR(manager_->EnsureClassLocked(txn_, scope_, cls));
   const PromiseRecord* rec = manager_->table_.Find(promise);
   if (rec == nullptr || !rec->ActiveAt(manager_->clock_->Now())) {
     return Status::Expired("promise " + promise.ToString() +
@@ -1067,6 +1445,8 @@ Result<ActionResultBody> ActionContext::ForwardUpstream(
         "promise " + promise.ToString() +
         " is not part of this action's environment");
   }
+  PROMISES_RETURN_IF_ERROR(EnsurePromiseLocked(promise));
+  PROMISES_RETURN_IF_ERROR(manager_->EnsureClassLocked(txn_, scope_, cls));
   PROMISES_ASSIGN_OR_RETURN(ResourceEngine * engine, manager_->EngineFor(cls));
   if (engine->technique() != Technique::kDelegated) {
     return Status::FailedPrecondition("class '" + cls +

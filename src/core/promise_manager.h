@@ -21,6 +21,31 @@
 //    release to its action's success, and release_on_grant performs
 //    atomic promise update (old promises return only if the new ones
 //    are granted... and are kept when the new request is rejected).
+//
+// Concurrency model (striped operation locking)
+// ---------------------------------------------
+// Operations no longer serialize on a single per-manager lock. Each
+// operation plans the set of resource classes its predicates, promise
+// environment and action parameters touch, then acquires through the
+// 2PL lock manager:
+//
+//   "pm:<name>"            kShared   (intention; kExclusive for
+//                                     whole-manager operations)
+//   "pm:<name>/c:<cls>"    kExclusive, in sorted class order
+//
+// The planned class set is closed under federation (virtual class <->
+// members, both directions) and under due-promise overlap, so expiry
+// sweeping and engine side effects stay inside the held stripes. A
+// service that touches an unplanned class acquires its stripe lazily
+// through the ActionContext helpers — out of the deterministic order,
+// so the lock manager's deadlock detection may abort the action (the
+// operation rolls back, §8 style). Whole-manager operations
+// (ReportExternalDamage / ReportInstanceLost / ExpireDue, and every
+// operation while a recovery log is attached so the log order equals
+// the serialization order) take the root key exclusively instead.
+// Post-action verification covers the held stripes plus any class the
+// action wrote through the resource manager behind the manager's back
+// (derived from the transaction's exclusive resource keys).
 
 #ifndef PROMISES_CORE_PROMISE_MANAGER_H_
 #define PROMISES_CORE_PROMISE_MANAGER_H_
@@ -29,6 +54,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -108,6 +134,26 @@ struct PromiseManagerStats {
   uint64_t promises_broken = 0;     ///< broken by external events (§2)
 };
 
+/// The lock-manager stripes one operation holds: the root intention key
+/// (kShared, or kExclusive for whole-manager operations) plus one
+/// exclusive stripe per resource class. The class set is closed under
+/// federation, so engine side effects on member classes stay covered.
+struct LockScope {
+  bool whole_manager = false;
+  std::set<std::string> classes;
+
+  bool Covers(const std::string& cls) const {
+    return whole_manager || classes.count(cls) > 0;
+  }
+  bool CoversAll(const std::vector<std::string>& cls_list) const {
+    if (whole_manager) return true;
+    for (const std::string& c : cls_list) {
+      if (classes.count(c) == 0) return false;
+    }
+    return true;
+  }
+};
+
 class PromiseManager {
  public:
   /// `transport` may be null for purely in-process use; when provided,
@@ -137,7 +183,7 @@ class PromiseManager {
   Status Release(ClientId client, const std::vector<PromiseId>& ids);
 
   /// Executes an application action under `env` (§8 flow: validate
-  /// environment, run service, process release-after, verify all
+  /// environment, run service, process release-after, verify touched
   /// promises, commit or roll back).
   Result<ActionOutcome> Execute(ClientId client, const ActionBody& action,
                                 const EnvironmentHeader& env = {});
@@ -171,7 +217,10 @@ class PromiseManager {
   /// Withdraws a queued request.
   Status CancelPending(ClientId client, PendingTicket ticket);
 
-  size_t pending_requests() const { return pending_.size(); }
+  size_t pending_requests() const {
+    std::lock_guard<std::mutex> lk(pending_mu_);
+    return pending_.size();
+  }
 
   // --- Protocol entry point (§6) ---
 
@@ -217,13 +266,14 @@ class PromiseManager {
   /// an external event. Unlike a client action, the loss is reality and
   /// is NOT rolled back; instead, promises are broken (newest first)
   /// until the remaining set is honourable again. Returns the broken
-  /// promise ids.
+  /// promise ids. Whole-manager operation: takes the root key
+  /// exclusively (the broken-promise hunt may widen to any class).
   Result<std::vector<PromiseId>> ReportExternalDamage(const std::string& cls,
                                                       int64_t quantity_lost);
 
   /// Records that a specific instance was destroyed/withdrawn. The
   /// instance is marked taken; promises that can no longer be backed
-  /// are broken and returned.
+  /// are broken and returned. Whole-manager operation.
   Result<std::vector<PromiseId>> ReportInstanceLost(const std::string& cls,
                                                     const std::string& id);
 
@@ -232,8 +282,11 @@ class PromiseManager {
   /// Attaches an operation log: every subsequent state-changing client
   /// operation (request / release / action / external event) is
   /// appended after commit, making the manager recoverable with
-  /// ReplayLog. Not supported for managers with delegated classes
-  /// (distributed recovery is out of scope; see DESIGN.md).
+  /// ReplayLog. While a log is attached every operation takes the
+  /// whole-manager lock, so the append order equals the serialization
+  /// order and replay reproduces promise ids exactly. Not supported for
+  /// managers with delegated classes (distributed recovery is out of
+  /// scope; see DESIGN.md). Attach before serving concurrent traffic.
   Status AttachLog(OperationLog* log);
 
   /// Replays a recovered log against this (freshly constructed)
@@ -247,6 +300,7 @@ class PromiseManager {
   // --- Maintenance & introspection ---
 
   /// Sweeps promises whose deadline passed; returns how many expired.
+  /// Whole-manager operation (covers every class).
   size_t ExpireDue();
 
   /// Promise still in the table (active), or nullptr. Not synchronized
@@ -267,17 +321,49 @@ class PromiseManager {
  private:
   friend class ActionContext;
 
-  /// Begins the per-request ACID transaction and takes the manager's
-  /// operation lock (serializing promise operations, §8).
-  Result<std::unique_ptr<Transaction>> BeginOperation();
+  std::string RootKey() const { return "pm:" + config_.name; }
+  std::string StripeKey(const std::string& cls) const {
+    return "pm:" + config_.name + "/c:" + cls;
+  }
+
+  /// Begins the per-request ACID transaction and acquires the
+  /// operation's lock scope: root intention key plus one exclusive
+  /// stripe per planned class (closed under federation and due-promise
+  /// overlap), in deterministic sorted order. `whole_manager` (forced
+  /// while a log is attached) takes the root key exclusively instead.
+  Result<std::unique_ptr<Transaction>> BeginOperation(
+      LockScope* scope, std::set<std::string> classes,
+      bool whole_manager = false);
+
+  /// Closes `classes` under federation: virtual class -> members (its
+  /// engine marks instances there) and member -> virtual classes (an
+  /// action damaging a member must re-verify the virtual engine).
+  void ExpandClasses(std::set<std::string>* classes) const;
+
+  /// Adds the classes of due promises whose class set overlaps
+  /// `classes` (to fixpoint), so the lazy expiry sweep can remove them
+  /// entirely inside the held stripes.
+  void AddDueClasses(std::set<std::string>* classes) const;
+
+  /// ExpandClasses + AddDueClasses to a joint fixpoint.
+  void PlanClosure(std::set<std::string>* classes) const;
+
+  /// Acquires `cls`'s stripe (and its federation closure) if the scope
+  /// does not already cover it. Late, out-of-plan acquisition: may be
+  /// refused with kDeadlock by cycle detection.
+  Status EnsureClassLocked(Transaction* txn, LockScope* scope,
+                           const std::string& cls);
 
   Result<ResourceEngine*> EngineFor(const std::string& cls);
 
-  /// Lazy expiry sweep inside an operation.
-  Status ExpireDueLocked(Transaction* txn);
+  /// Lazy expiry sweep inside an operation: expires the due promises
+  /// whose classes the scope fully covers (uncovered ones belong to
+  /// other operations or the whole-manager ExpireDue).
+  Status ExpireDueLocked(Transaction* txn, const LockScope& scope);
 
   /// Grant path. On logical rejection, rolls the transaction back to
-  /// `undo_mark` so the operation can continue (reply still sent).
+  /// the undo mark so the operation can continue (reply still sent).
+  /// Requires the scope to cover every predicate/handback class.
   Result<GrantOutcome> GrantLocked(Transaction* txn, ClientId client,
                                    std::vector<Predicate> predicates,
                                    DurationMs duration_ms,
@@ -287,11 +373,17 @@ class PromiseManager {
   Status ReleaseOneLocked(Transaction* txn, PromiseId id,
                           PromiseState final_state);
 
-  /// §8 post-step: every engine's promises must still be satisfiable.
+  /// §8 post-step over every existing engine (whole-manager paths).
   Status VerifyAllLocked(Transaction* txn);
 
+  /// §8 post-step, scoped: verifies the engines of the held stripes
+  /// plus any class the transaction wrote through the resource manager
+  /// (exclusive "pool:"/"class:" keys), late-locking the latter.
+  Status VerifyTouchedLocked(Transaction* txn, LockScope* scope);
+
   /// Action path including release-after and verification.
-  Result<ActionOutcome> ExecuteLocked(Transaction* txn, ClientId client,
+  Result<ActionOutcome> ExecuteLocked(Transaction* txn, LockScope* scope,
+                                      ClientId client,
                                       const ActionBody& action,
                                       const EnvironmentHeader& env);
 
@@ -302,17 +394,47 @@ class PromiseManager {
       std::unique_ptr<Transaction> txn, const std::string& cls,
       const std::string& reason);
 
+  /// Adds the predicate classes of promise `id` (if still present) to
+  /// `classes` — lock planning for handbacks / releases / environments.
+  void AddPromiseClasses(std::set<std::string>* classes, PromiseId id) const;
+
+  /// Lock-planning heuristic for actions: any string parameter naming a
+  /// known resource class is assumed touched (well-behaved services
+  /// address resources by class-name parameters; ill-behaved ones fall
+  /// back to lazy locking and the post-action write check).
+  void AddActionClasses(std::set<std::string>* classes,
+                        const ActionBody& action) const;
+
+  bool IsDelegated(const std::string& cls) const;
+  bool IsFederated(const std::string& cls) const;
+
   PromiseManagerConfig config_;
   Clock* clock_;
   ResourceManager* rm_;
   TransactionManager* tm_;
   Transport* transport_;
 
-  // All state below is serialized by the "pm:<name>" operation lock.
+  // Synchronization map (see file header for the lock-ordering policy):
+  //  * promise/engine/resource *state* is guarded by the lock-manager
+  //    stripes an operation holds (LockScope);
+  //  * table_ additionally guards its own map structure internally;
+  //  * engines_mu_ guards the engines_ map shape (engine objects are
+  //    guarded by their class stripe; creation is serialized because
+  //    EngineFor(cls) is only called while holding cls's stripe);
+  //  * config_mu_ guards delegated_/federated_/member_to_virtual_/
+  //    services_ registration maps;
+  //  * pending_mu_ guards the pending-request queue and fulfilled map;
+  //  * client_mu_ guards the client-name registry.
+  // All of these are leaf mutexes: nothing acquires a lock-manager key
+  // or another mutex while holding one.
   PromiseTable table_;
+  mutable std::mutex engines_mu_;
   std::map<std::string, std::unique_ptr<ResourceEngine>> engines_;
+  mutable std::mutex config_mu_;
   std::map<std::string, std::string> delegated_;  // class -> upstream
   std::map<std::string, std::vector<std::string>> federated_;
+  // instance class -> virtual classes federating over it.
+  std::map<std::string, std::vector<std::string>> member_to_virtual_;
   std::map<std::string, ServiceFn> services_;
   std::map<std::string, ClientId> client_ids_;  // guarded by client_mu_
 
@@ -325,14 +447,15 @@ class PromiseManager {
   /// envelopes from direct-API calls).
   const std::string& NameOf(ClientId client);
 
-  /// Retries queued requests FIFO inside the current operation; grants
-  /// move to fulfilled_, lapsed ones resolve as rejections.
-  Status DrainPendingLocked(Transaction* txn);
+  /// Retries queued requests inside the current operation: claims the
+  /// entries whose classes the scope covers (plus lapsed ones), grants
+  /// or re-queues them in ticket (FIFO) order.
+  Status DrainPendingScoped(Transaction* txn, const LockScope& scope);
 
   ViolationHandler violation_handler_;
   OperationLog* oplog_ = nullptr;
   // Client registry has its own mutex: ClientFor is called from client
-  // threads outside the operation lock.
+  // threads outside the operation locks.
   mutable std::mutex client_mu_;
   std::map<ClientId, std::string> client_names_;
 
@@ -343,7 +466,8 @@ class PromiseManager {
     DurationMs duration_ms;
     Timestamp patience_deadline;
   };
-  std::vector<PendingRequest> pending_;  // FIFO
+  mutable std::mutex pending_mu_;
+  std::vector<PendingRequest> pending_;  // FIFO (ticket order)
   std::map<PendingTicket, std::pair<ClientId, GrantOutcome>> fulfilled_;
   uint64_t next_ticket_ = 1;
 

@@ -1,5 +1,7 @@
 #include "core/promise_table.h"
 
+#include <mutex>
+
 namespace promises {
 
 std::string_view PromiseStateToString(PromiseState s) {
@@ -17,6 +19,7 @@ Status PromiseTable::Insert(PromiseRecord record) {
   if (!id.valid()) {
     return Status::InvalidArgument("promise id must be valid");
   }
+  std::unique_lock<std::shared_mutex> lk(mu_);
   if (records_.count(id)) {
     return Status::AlreadyExists("promise " + id.ToString() +
                                  " already in table");
@@ -30,6 +33,7 @@ Status PromiseTable::Insert(PromiseRecord record) {
 }
 
 Result<PromiseRecord> PromiseTable::Remove(PromiseId id) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
   auto it = records_.find(id);
   if (it == records_.end()) {
     return Status::NotFound("promise " + id.ToString() + " not in table");
@@ -48,17 +52,33 @@ Result<PromiseRecord> PromiseTable::Remove(PromiseId id) {
 }
 
 const PromiseRecord* PromiseTable::Find(PromiseId id) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
   auto it = records_.find(id);
   return it == records_.end() ? nullptr : &it->second;
 }
 
 PromiseRecord* PromiseTable::FindMutable(PromiseId id) {
+  std::shared_lock<std::shared_mutex> lk(mu_);
   auto it = records_.find(id);
   return it == records_.end() ? nullptr : &it->second;
 }
 
+std::optional<std::vector<std::string>> PromiseTable::ClassesOf(
+    PromiseId id) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  auto it = records_.find(id);
+  if (it == records_.end()) return std::nullopt;
+  std::vector<std::string> classes;
+  classes.reserve(it->second.predicates.size());
+  for (const Predicate& p : it->second.predicates) {
+    classes.push_back(p.resource_class());
+  }
+  return classes;
+}
+
 std::vector<const PromiseRecord*> PromiseTable::ActiveForClass(
     const std::string& resource_class, Timestamp now) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
   std::vector<const PromiseRecord*> out;
   auto cit = by_class_.find(resource_class);
   if (cit == by_class_.end()) return out;
@@ -70,6 +90,7 @@ std::vector<const PromiseRecord*> PromiseTable::ActiveForClass(
 }
 
 std::vector<const PromiseRecord*> PromiseTable::Active(Timestamp now) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
   std::vector<const PromiseRecord*> out;
   out.reserve(records_.size());
   for (const auto& [id, r] : records_) {
@@ -80,6 +101,7 @@ std::vector<const PromiseRecord*> PromiseTable::Active(Timestamp now) const {
 }
 
 std::vector<PromiseId> PromiseTable::DueIds(Timestamp now) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
   std::vector<PromiseId> out;
   for (const auto& [deadline, id] : by_deadline_) {
     if (deadline > now) break;
@@ -89,6 +111,7 @@ std::vector<PromiseId> PromiseTable::DueIds(Timestamp now) const {
 }
 
 std::set<std::string> PromiseTable::ReferencedClasses() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
   std::set<std::string> out;
   for (const auto& [cls, ids] : by_class_) {
     (void)ids;

@@ -9,14 +9,22 @@
 // and an expiry index ordered by deadline so that sweeping due promises
 // is O(expired · log n) rather than a full scan (experiment E8).
 //
-// Thread-compatibility: the promise manager serializes all access under
-// its operation lock; the table itself is not synchronized.
+// Thread safety: the map structure is guarded by an internal
+// shared_mutex so concurrent striped operations may read and insert in
+// parallel. Logical exclusion on the *records* is the caller's job:
+// pointers returned by Find/FindMutable/ActiveForClass/Active stay
+// valid only while the caller holds a lock-manager stripe covering
+// every resource class of the record (the promise manager guarantees a
+// record is only erased by an operation holding all of its class
+// stripes; unordered_map node stability covers non-erased records).
 
 #ifndef PROMISES_CORE_PROMISE_TABLE_H_
 #define PROMISES_CORE_PROMISE_TABLE_H_
 
 #include <map>
+#include <optional>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -41,6 +49,11 @@ class PromiseTable {
   const PromiseRecord* Find(PromiseId id) const;
   PromiseRecord* FindMutable(PromiseId id);
 
+  /// The resource classes of `id`'s predicates, copied out under the
+  /// table mutex — safe to call without holding any class stripe (used
+  /// to plan which stripes an operation must lock). nullopt if absent.
+  std::optional<std::vector<std::string>> ClassesOf(PromiseId id) const;
+
   /// Promises active at `now` whose predicates cover `resource_class`.
   std::vector<const PromiseRecord*> ActiveForClass(
       const std::string& resource_class, Timestamp now) const;
@@ -54,9 +67,13 @@ class PromiseTable {
   /// Every resource class referenced by any stored promise.
   std::set<std::string> ReferencedClasses() const;
 
-  size_t size() const { return records_.size(); }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    return records_.size();
+  }
 
  private:
+  mutable std::shared_mutex mu_;
   std::unordered_map<PromiseId, PromiseRecord> records_;
   // class -> promise ids covering it.
   std::unordered_map<std::string, std::set<PromiseId>> by_class_;

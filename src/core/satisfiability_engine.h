@@ -78,7 +78,8 @@ class SatisfiabilityEngine : public ResourceEngine {
   // Units already consumed under a (promise, quantity predicate) pair;
   // subtracted from the predicate's demand during checking so that a
   // partially-consumed promise no longer claims the consumed units.
-  // Serialized by the manager's operation lock; undo via transactions.
+  // Serialized by this class's lock-manager stripe; undo via
+  // transactions.
   std::map<std::pair<PromiseId, std::string>, int64_t> consumed_;
 };
 

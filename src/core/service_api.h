@@ -26,14 +26,22 @@
 namespace promises {
 
 class PromiseManager;
+struct LockScope;
 
 /// Per-action execution context handed to service callbacks.
+///
+/// The context carries the operation's striped lock scope: helpers
+/// lazily acquire the class stripe for any resource class the service
+/// touches that was not in the operation's planned scope (an
+/// out-of-order acquisition the lock manager's deadlock detection
+/// backstops).
 class ActionContext {
  public:
-  ActionContext(PromiseManager* manager, Transaction* txn, ClientId client,
-                std::vector<PromiseId> env_promises)
+  ActionContext(PromiseManager* manager, Transaction* txn, LockScope* scope,
+                ClientId client, std::vector<PromiseId> env_promises)
       : manager_(manager),
         txn_(txn),
+        scope_(scope),
         client_(client),
         env_promises_(std::move(env_promises)) {}
 
@@ -75,8 +83,13 @@ class ActionContext {
                                            bool release_after);
 
  private:
+  /// Locks every class stripe of `promise`'s predicates (plus `cls`'s)
+  /// that the scope does not already cover.
+  Status EnsurePromiseLocked(PromiseId promise);
+
   PromiseManager* manager_;
   Transaction* txn_;
+  LockScope* scope_;
   ClientId client_;
   std::vector<PromiseId> env_promises_;
   // (promise, resource class) -> instances consumed so far.

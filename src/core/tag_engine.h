@@ -57,7 +57,8 @@ class AllocatedTagEngine : public ResourceEngine {
 
   std::string cls_;
   EngineContext ctx_;
-  // Serialized by the manager's operation lock; undo via transactions.
+  // Serialized by this class's lock-manager stripe; undo via
+  // transactions.
   std::map<AssignKey, std::vector<std::string>> assignments_;
 };
 

@@ -53,7 +53,10 @@ class TcpEndpointServer {
   void AcceptLoop();
   void ServeConnection(int fd);
 
-  int listen_fd_ = -1;
+  // Atomic: Stop() clears it on the caller's thread while AcceptLoop
+  // still reads it (the shutdown/close pair is what actually unblocks
+  // the accept; the fd value itself just flags the started state).
+  std::atomic<int> listen_fd_{-1};
   uint16_t port_ = 0;
   EndpointHandler handler_;
   std::thread accept_thread_;

@@ -15,7 +15,12 @@ namespace promises {
 /// worker, then Merge.
 class LatencyRecorder {
  public:
-  void Record(int64_t us) { samples_.push_back(us); }
+  void Record(int64_t us) {
+    samples_.push_back(us);
+    // A percentile query may have left the vector flagged sorted; the
+    // appended sample invalidates that.
+    sorted_ = false;
+  }
   void Merge(const LatencyRecorder& other);
 
   size_t count() const { return samples_.size(); }

@@ -138,4 +138,26 @@ OrderingMetrics RunOrderingWorkload(OrderingWorld* world,
   return merged;
 }
 
+std::vector<ScalingPoint> RunScalingSweep(
+    const OrderingWorkloadConfig& base,
+    const std::vector<int>& worker_counts) {
+  std::vector<ScalingPoint> points;
+  for (int workers : worker_counts) {
+    OrderingWorkloadConfig config = base;
+    config.workers = workers;
+    OrderingWorld world(config);
+    OrderingMetrics m =
+        RunOrderingWorkload(&world, config, StrategyKind::kPromises);
+    ScalingPoint p;
+    p.workers = workers;
+    p.throughput_ops_s = m.Throughput();
+    p.p50_us = m.latency.PercentileUs(50);
+    p.p99_us = m.latency.PercentileUs(99);
+    p.attempts = m.attempts();
+    p.completed = m.completed;
+    points.push_back(p);
+  }
+  return points;
+}
+
 }  // namespace promises

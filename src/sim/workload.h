@@ -72,6 +72,24 @@ OrderingMetrics RunOrderingWorkload(OrderingWorld* world,
                                     const OrderingWorkloadConfig& config,
                                     StrategyKind kind);
 
+/// One row of the striped-locking scaling sweep.
+struct ScalingPoint {
+  int workers = 0;
+  double throughput_ops_s = 0.0;
+  int64_t p50_us = 0;
+  int64_t p99_us = 0;
+  uint64_t attempts = 0;
+  uint64_t completed = 0;
+};
+
+/// Measures promise-manager throughput at each worker count on a
+/// low-contention mix (fresh world per point, identical per-worker
+/// order count). With striped operation locking, workers on disjoint
+/// items overlap their think time, so throughput scales with the
+/// worker count until the machine saturates.
+std::vector<ScalingPoint> RunScalingSweep(
+    const OrderingWorkloadConfig& base, const std::vector<int>& worker_counts);
+
 }  // namespace promises
 
 #endif  // PROMISES_SIM_WORKLOAD_H_

@@ -1,11 +1,11 @@
 #include "txn/lock_manager.h"
 
 #include <chrono>
+#include <set>
 
 namespace promises {
 
-bool LockManager::CompatibleLocked(const LockState& ls, TxnId txn,
-                                   LockMode mode) const {
+bool LockManager::Compatible(const LockState& ls, TxnId txn, LockMode mode) {
   for (const auto& [holder, held_mode] : ls.holders) {
     if (holder == txn) continue;  // Own holds never conflict here.
     if (mode == LockMode::kExclusive || held_mode == LockMode::kExclusive) {
@@ -15,24 +15,30 @@ bool LockManager::CompatibleLocked(const LockState& ls, TxnId txn,
   return true;
 }
 
+std::map<TxnId, LockMode> LockManager::SnapshotHolders(
+    const std::string& key) const {
+  const Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lk(stripe.mu);
+  auto it = stripe.table.find(key);
+  if (it == stripe.table.end()) return {};
+  return it->second.holders;
+}
+
 bool LockManager::WouldDeadlockLocked(TxnId waiter, const std::string& key,
-                                      LockMode mode) {
+                                      LockMode mode) const {
   // DFS over the wait-for graph: waiter -> holders of `key` that block
   // it -> keys those holders wait on -> ... A path back to `waiter`
-  // means granting the wait would close a cycle.
+  // means granting the wait would close a cycle. Holder sets are
+  // snapshotted one stripe at a time; waiting_on_ is stable because the
+  // caller holds wait_mu_.
   std::vector<TxnId> stack;
   std::set<TxnId> seen;
-  auto push_blockers = [&](const std::string& k, TxnId w, LockMode m) {
-    auto it = table_.find(k);
-    if (it == table_.end()) return;
-    for (const auto& [holder, held_mode] : it->second.holders) {
-      if (holder == w) continue;
-      bool blocks =
-          m == LockMode::kExclusive || held_mode == LockMode::kExclusive;
-      if (blocks && seen.insert(holder).second) stack.push_back(holder);
-    }
-  };
-  push_blockers(key, waiter, mode);
+  for (const auto& [holder, held_mode] : SnapshotHolders(key)) {
+    if (holder == waiter) continue;
+    bool blocks =
+        mode == LockMode::kExclusive || held_mode == LockMode::kExclusive;
+    if (blocks && seen.insert(holder).second) stack.push_back(holder);
+  }
   while (!stack.empty()) {
     TxnId t = stack.back();
     stack.pop_back();
@@ -43,9 +49,7 @@ bool LockManager::WouldDeadlockLocked(TxnId waiter, const std::string& key,
     // conflicting way, is downstream in the wait-for graph. We treat
     // every holder of that key as a potential blocker (conservative:
     // may flag a rare false cycle, never misses a real one).
-    auto it = table_.find(wit->second);
-    if (it == table_.end()) continue;
-    for (const auto& [holder, held_mode] : it->second.holders) {
+    for (const auto& [holder, held_mode] : SnapshotHolders(wit->second)) {
       (void)held_mode;
       if (holder == t) continue;
       if (seen.insert(holder).second) stack.push_back(holder);
@@ -56,8 +60,9 @@ bool LockManager::WouldDeadlockLocked(TxnId waiter, const std::string& key,
 
 Status LockManager::Acquire(TxnId txn, const std::string& key, LockMode mode,
                             DurationMs timeout_ms) {
-  std::unique_lock<std::mutex> lk(mu_);
-  LockState& ls = table_[key];
+  Stripe& stripe = StripeFor(key);
+  std::unique_lock<std::mutex> lk(stripe.mu);
+  LockState& ls = stripe.table[key];
 
   auto self = ls.holders.find(txn);
   if (self != ls.holders.end()) {
@@ -65,22 +70,34 @@ Status LockManager::Acquire(TxnId txn, const std::string& key, LockMode mode,
       return Status::OK();  // Already strong enough.
     }
     // S -> X upgrade: wait until we are the only holder.
-    ++stats_.upgrades;
+    stats_.upgrades.fetch_add(1, std::memory_order_relaxed);
   }
 
-  auto grantable = [&] {
-    return CompatibleLocked(ls, txn, mode);
-  };
+  auto grantable = [&] { return Compatible(ls, txn, mode); };
 
   if (!grantable()) {
-    ++stats_.waits;
-    if (WouldDeadlockLocked(txn, key, mode)) {
-      ++stats_.deadlocks;
+    stats_.waits.fetch_add(1, std::memory_order_relaxed);
+    // Pin the entry so it cannot be erased while the stripe mutex is
+    // dropped for deadlock detection.
+    ++ls.waiters;
+    lk.unlock();
+    bool deadlock;
+    {
+      // Detection and registration happen in one wait_mu_ critical
+      // section: of two requests that would close a cycle, whichever
+      // runs second is guaranteed to see the first's registration.
+      std::lock_guard<std::mutex> wlk(wait_mu_);
+      deadlock = WouldDeadlockLocked(txn, key, mode);
+      if (!deadlock) waiting_on_[txn] = key;
+    }
+    lk.lock();
+    if (deadlock) {
+      stats_.deadlocks.fetch_add(1, std::memory_order_relaxed);
+      --ls.waiters;
+      if (ls.holders.empty() && ls.waiters == 0) stripe.table.erase(key);
       return Status::Deadlock("lock on '" + key + "' would deadlock " +
                               txn.ToString());
     }
-    waiting_on_[txn] = key;
-    ++ls.waiters;
     bool ok = true;
     if (timeout_ms < 0) {
       ls.cv.wait(lk, grantable);
@@ -89,72 +106,112 @@ Status LockManager::Acquire(TxnId txn, const std::string& key, LockMode mode,
                           grantable);
     }
     --ls.waiters;
-    waiting_on_.erase(txn);
     if (!ok) {
-      ++stats_.timeouts;
-      if (ls.holders.empty() && ls.waiters == 0) table_.erase(key);
+      stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+      if (ls.holders.empty() && ls.waiters == 0) stripe.table.erase(key);
+      lk.unlock();
+      std::lock_guard<std::mutex> wlk(wait_mu_);
+      waiting_on_.erase(txn);
       return Status::Timeout("lock wait on '" + key + "' timed out");
     }
+    // Claim while still holding the stripe mutex so no later waiter can
+    // steal the grant, then retire the registry entry. Until the erase
+    // lands, detection may see a stale "waiting" edge for this txn —
+    // that only makes it more conservative.
+    ls.holders[txn] = mode;
+    stats_.acquisitions.fetch_add(1, std::memory_order_relaxed);
+    lk.unlock();
+    std::lock_guard<std::mutex> wlk(wait_mu_);
+    waiting_on_.erase(txn);
+    return Status::OK();
   }
 
   ls.holders[txn] = mode;
-  ++stats_.acquisitions;
+  stats_.acquisitions.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 void LockManager::Release(TxnId txn, const std::string& key) {
-  std::lock_guard<std::mutex> lk(mu_);
-  auto it = table_.find(key);
-  if (it == table_.end()) return;
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lk(stripe.mu);
+  auto it = stripe.table.find(key);
+  if (it == stripe.table.end()) return;
   it->second.holders.erase(txn);
   if (it->second.holders.empty() && it->second.waiters == 0) {
-    table_.erase(it);
+    stripe.table.erase(it);
   } else {
     it->second.cv.notify_all();
   }
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
-  std::lock_guard<std::mutex> lk(mu_);
-  for (auto it = table_.begin(); it != table_.end();) {
-    it->second.holders.erase(txn);
-    if (it->second.holders.empty() && it->second.waiters == 0) {
-      it = table_.erase(it);
-    } else {
-      it->second.cv.notify_all();
-      ++it;
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lk(stripe.mu);
+    for (auto it = stripe.table.begin(); it != stripe.table.end();) {
+      it->second.holders.erase(txn);
+      if (it->second.holders.empty() && it->second.waiters == 0) {
+        it = stripe.table.erase(it);
+      } else {
+        it->second.cv.notify_all();
+        ++it;
+      }
     }
   }
 }
 
 size_t LockManager::HeldCount(TxnId txn) const {
-  std::lock_guard<std::mutex> lk(mu_);
   size_t n = 0;
-  for (const auto& [key, ls] : table_) {
-    (void)key;
-    if (ls.holders.count(txn)) ++n;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lk(stripe.mu);
+    for (const auto& [key, ls] : stripe.table) {
+      (void)key;
+      if (ls.holders.count(txn)) ++n;
+    }
   }
   return n;
 }
 
 bool LockManager::Holds(TxnId txn, const std::string& key,
                         LockMode mode) const {
-  std::lock_guard<std::mutex> lk(mu_);
-  auto it = table_.find(key);
-  if (it == table_.end()) return false;
+  const Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lk(stripe.mu);
+  auto it = stripe.table.find(key);
+  if (it == stripe.table.end()) return false;
   auto h = it->second.holders.find(txn);
   if (h == it->second.holders.end()) return false;
   return mode == LockMode::kShared || h->second == LockMode::kExclusive;
 }
 
+std::vector<std::string> LockManager::ExclusiveKeysOf(TxnId txn) const {
+  std::vector<std::string> keys;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lk(stripe.mu);
+    for (const auto& [key, ls] : stripe.table) {
+      auto h = ls.holders.find(txn);
+      if (h != ls.holders.end() && h->second == LockMode::kExclusive) {
+        keys.push_back(key);
+      }
+    }
+  }
+  return keys;
+}
+
 LockManagerStats LockManager::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return stats_;
+  LockManagerStats s;
+  s.acquisitions = stats_.acquisitions.load(std::memory_order_relaxed);
+  s.waits = stats_.waits.load(std::memory_order_relaxed);
+  s.deadlocks = stats_.deadlocks.load(std::memory_order_relaxed);
+  s.timeouts = stats_.timeouts.load(std::memory_order_relaxed);
+  s.upgrades = stats_.upgrades.load(std::memory_order_relaxed);
+  return s;
 }
 
 void LockManager::ResetStats() {
-  std::lock_guard<std::mutex> lk(mu_);
-  stats_ = LockManagerStats{};
+  stats_.acquisitions.store(0, std::memory_order_relaxed);
+  stats_.waits.store(0, std::memory_order_relaxed);
+  stats_.deadlocks.store(0, std::memory_order_relaxed);
+  stats_.timeouts.store(0, std::memory_order_relaxed);
+  stats_.upgrades.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace promises

@@ -9,15 +9,25 @@
 //     locks across a long-running operation. The deadlock counters it
 //     exposes are what experiment E6 measures against the paper's claim
 //     that promises reject immediately instead of blocking.
+//
+// Internally the key space is hash-partitioned into kStripeCount
+// stripes, each with its own mutex and table, so acquisitions on
+// unrelated keys never contend on a manager-wide mutex. Only the
+// wait-for graph (deadlock detection and the waiting_on_ registry)
+// remains global; it is touched only when a request actually blocks.
+//
+// Mutex order: wait_mu_ -> (one stripe mutex at a time). No code path
+// holds two stripe mutexes at once, and no path takes wait_mu_ while
+// holding a stripe mutex.
 
 #ifndef PROMISES_TXN_LOCK_MANAGER_H_
 #define PROMISES_TXN_LOCK_MANAGER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <mutex>
-#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -40,14 +50,19 @@ struct LockManagerStats {
   uint64_t upgrades = 0;     ///< S->X upgrades performed.
 };
 
-/// Table-driven lock manager with wait-for-graph deadlock detection.
+/// Table-driven, striped lock manager with wait-for-graph deadlock
+/// detection.
 ///
 /// Keys are opaque strings; the resource layer uses "pool:<class>" and
-/// "inst:<class>/<id>" keys, the promise manager locks "promise-table".
-/// Deadlock detection runs at block time: if adding the waiter's
-/// wait-for edges closes a cycle the request is refused with kDeadlock,
-/// implementing immediate-abort rather than victim selection (the
-/// simplest policy; the caller rolls back and may retry).
+/// "inst:<class>/<id>" keys, the promise manager uses a "pm:<name>"
+/// root intention key plus "pm:<name>/c:<class>" stripes. Deadlock
+/// detection runs at block time: if adding the waiter's wait-for edges
+/// closes a cycle the request is refused with kDeadlock, implementing
+/// immediate-abort rather than victim selection (the simplest policy;
+/// the caller rolls back and may retry). Detection is conservative: it
+/// may flag a rare false cycle (e.g. through a just-granted waiter
+/// whose registry entry is still being retired), never misses a real
+/// one.
 class LockManager {
  public:
   LockManager() = default;
@@ -73,10 +88,18 @@ class LockManager {
   /// True if `txn` holds `key` in a mode at least as strong as `mode`.
   bool Holds(TxnId txn, const std::string& key, LockMode mode) const;
 
+  /// All keys `txn` currently holds in kExclusive mode. Used by the
+  /// promise manager to discover which resource classes an action
+  /// wrote (verification scope), so the snapshot only needs to be
+  /// consistent per stripe.
+  std::vector<std::string> ExclusiveKeysOf(TxnId txn) const;
+
   LockManagerStats stats() const;
   void ResetStats();
 
  private:
+  static constexpr size_t kStripeCount = 16;
+
   struct LockState {
     // Holders and their modes. Multiple kShared or exactly one
     // kExclusive entry.
@@ -85,16 +108,42 @@ class LockManager {
     int waiters = 0;
   };
 
-  bool CompatibleLocked(const LockState& ls, TxnId txn, LockMode mode) const;
-  // True if txn can reach any of `targets` through wait-for edges.
-  bool WouldDeadlockLocked(TxnId waiter, const std::string& key,
-                           LockMode mode);
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, LockState> table;
+  };
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, LockState> table_;
+  Stripe& StripeFor(const std::string& key) {
+    return stripes_[std::hash<std::string>{}(key) % kStripeCount];
+  }
+  const Stripe& StripeFor(const std::string& key) const {
+    return stripes_[std::hash<std::string>{}(key) % kStripeCount];
+  }
+
+  static bool Compatible(const LockState& ls, TxnId txn, LockMode mode);
+  // Copies the holder map of `key` under its stripe mutex. Safe to call
+  // while holding wait_mu_ (wait_mu_ -> stripe order).
+  std::map<TxnId, LockMode> SnapshotHolders(const std::string& key) const;
+  // True if granting `waiter`'s blocked request on `key` would close a
+  // wait-for cycle. Caller holds wait_mu_.
+  bool WouldDeadlockLocked(TxnId waiter, const std::string& key,
+                           LockMode mode) const;
+
+  Stripe stripes_[kStripeCount];
+
+  // Wait-for graph state. Touched only on the blocking path.
+  mutable std::mutex wait_mu_;
   // txn -> key it is currently blocked on (at most one per thread/txn).
   std::unordered_map<TxnId, std::string> waiting_on_;
-  LockManagerStats stats_;
+
+  struct AtomicStats {
+    std::atomic<uint64_t> acquisitions{0};
+    std::atomic<uint64_t> waits{0};
+    std::atomic<uint64_t> deadlocks{0};
+    std::atomic<uint64_t> timeouts{0};
+    std::atomic<uint64_t> upgrades{0};
+  };
+  mutable AtomicStats stats_;
 };
 
 }  // namespace promises
