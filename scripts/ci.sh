@@ -3,9 +3,12 @@
 #
 # Usage:
 #   scripts/ci.sh            # tier-1 (default preset) only
-#   scripts/ci.sh all        # tier-1 + asan/ubsan + tsan
+#   scripts/ci.sh all        # tier-1 + asan/ubsan + tsan + chaos
 #   scripts/ci.sh asan       # asan/ubsan configuration only
 #   scripts/ci.sh tsan       # tsan configuration (concurrency tests only)
+#   scripts/ci.sh chaos      # fault-injection suite under ASan: fixed
+#                            # seed, then one randomized seed (printed,
+#                            # so failures reproduce)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,6 +25,19 @@ run_preset() {
     --output-on-failure -j "${JOBS}" "$@"
 }
 
+run_chaos() {
+  # Fault-injection suite under ASan: the fixed-seed run first, then
+  # one fresh-seed run to probe schedules the fixed seed never hits.
+  # The seed is exported and echoed so a failure is reproducible with
+  # PROMISES_CHAOS_SEED=<seed> scripts/ci.sh chaos.
+  run_preset asan -R 'Chaos|FaultInjector|TransportFault|RetryPolicy|Idempotency'
+  local seed="${PROMISES_CHAOS_SEED:-$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')}"
+  echo "=== chaos randomized run: PROMISES_CHAOS_SEED=${seed} ==="
+  PROMISES_CHAOS_SEED="${seed}" \
+    ctest --test-dir build-asan --output-on-failure -R 'Chaos' ||
+    { echo "chaos FAILED with PROMISES_CHAOS_SEED=${seed}" >&2; exit 1; }
+}
+
 case "${MODE}" in
   default)
     run_preset default
@@ -31,16 +47,21 @@ case "${MODE}" in
     ;;
   tsan)
     # TSan over the full suite is slow on small runners; the concurrency
-    # and transaction tests are where data races would live.
-    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload'
+    # and transaction tests are where data races would live — including
+    # the chaos workload's retry/dedup path.
+    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Idempotency'
+    ;;
+  chaos)
+    run_chaos
     ;;
   all)
     run_preset default
     run_preset asan
-    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload'
+    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Idempotency'
+    run_chaos
     ;;
   *)
-    echo "unknown mode: ${MODE} (expected default|asan|tsan|all)" >&2
+    echo "unknown mode: ${MODE} (expected default|asan|tsan|chaos|all)" >&2
     exit 2
     ;;
 esac

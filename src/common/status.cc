@@ -22,6 +22,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "violated";
     case StatusCode::kTimeout:
       return "timeout";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
     case StatusCode::kDeadlock:
       return "deadlock";
     case StatusCode::kUnavailable:

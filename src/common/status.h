@@ -29,6 +29,7 @@ enum class StatusCode {
   kExpired,           ///< Promise or environment has expired (§2).
   kViolated,          ///< An action violated an unreleased promise (§8).
   kTimeout,           ///< Lock wait or transport wait exceeded budget.
+  kDeadlineExceeded,  ///< Caller-supplied deadline passed before a reply.
   kDeadlock,          ///< Lock manager detected a cycle (baseline only).
   kUnavailable,       ///< Transport endpoint not reachable.
   kInternal,          ///< Invariant breakage inside the library.
@@ -73,6 +74,9 @@ class Status {
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
   static Status Deadlock(std::string msg) {
     return Status(StatusCode::kDeadlock, std::move(msg));
   }
@@ -95,6 +99,9 @@ class Status {
   bool IsExpired() const { return code_ == StatusCode::kExpired; }
   bool IsViolated() const { return code_ == StatusCode::kViolated; }
   bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
   bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
 
   /// "ok" or "<code>: <message>".

@@ -1,5 +1,8 @@
 #include "core/oplog.h"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -7,10 +10,77 @@
 
 namespace promises {
 
+namespace {
+
+// Scans the log file at `path`, appending intact records to `records`
+// (when non-null) and reporting in `*valid_bytes` the length of the
+// clean prefix — the byte offset just past the last intact record.
+// Missing file: zero records, zero valid bytes.
+void ScanLog(const std::string& path, std::vector<LogRecord>* records,
+             size_t* valid_bytes) {
+  *valid_bytes = 0;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return;
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(f);
+
+  size_t pos = 0;
+  while (pos < contents.size()) {
+    size_t eol = contents.find('\n', pos);
+    if (eol == std::string::npos) break;  // torn tail: discard
+    std::string_view line(contents.data() + pos, eol - pos);
+
+    // <length>|<checksum>|<timestamp>|<payload>
+    size_t p1 = line.find('|');
+    size_t p2 = p1 == std::string_view::npos ? p1 : line.find('|', p1 + 1);
+    size_t p3 = p2 == std::string_view::npos ? p2 : line.find('|', p2 + 1);
+    if (p3 == std::string_view::npos) break;
+    Result<int64_t> length = ParseInt64(line.substr(0, p1));
+    Result<int64_t> checksum = ParseInt64(line.substr(p1 + 1, p2 - p1 - 1));
+    Result<int64_t> timestamp = ParseInt64(line.substr(p2 + 1, p3 - p2 - 1));
+    if (!length.ok() || !checksum.ok() || !timestamp.ok()) break;
+    std::string_view payload = line.substr(p3 + 1);
+    if (static_cast<int64_t>(payload.size()) != *length) break;
+    std::string body(payload);
+    if (OperationLog::Checksum(body) !=
+        static_cast<uint32_t>(*checksum)) {
+      break;
+    }
+    if (records != nullptr) {
+      records->push_back(LogRecord{*timestamp, std::move(body)});
+    }
+    pos = eol + 1;
+    *valid_bytes = pos;
+  }
+}
+
+}  // namespace
+
 OperationLog::~OperationLog() { Close(); }
 
 Status OperationLog::Open(const std::string& path) {
   Close();
+  // Truncate any torn tail before appending: a record written after a
+  // partial line would be unreachable to recovery (the scan stops at
+  // the tear), silently losing committed operations.
+  size_t valid_bytes = 0;
+  ScanLog(path, nullptr, &valid_bytes);
+  std::FILE* probe = std::fopen(path.c_str(), "rb");
+  if (probe != nullptr) {
+    std::fseek(probe, 0, SEEK_END);
+    long size = std::ftell(probe);
+    std::fclose(probe);
+    if (size > 0 && static_cast<size_t>(size) > valid_bytes &&
+        ::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0) {
+      return Status::Unavailable("cannot truncate torn log '" + path +
+                                 "': " + std::strerror(errno));
+    }
+  }
   file_ = std::fopen(path.c_str(), "ab");
   if (file_ == nullptr) {
     return Status::Unavailable("cannot open log '" + path +
@@ -46,6 +116,16 @@ Status OperationLog::Append(Timestamp timestamp,
   std::string line = std::to_string(payload.size()) + "|" +
                      std::to_string(Checksum(payload)) + "|" +
                      std::to_string(timestamp) + "|" + payload + "\n";
+  if (torn_write_bytes_ != kNoTornWrite) {
+    size_t bytes = std::min(torn_write_bytes_, line.size());
+    torn_write_bytes_ = kNoTornWrite;
+    if (bytes > 0) std::fwrite(line.data(), 1, bytes, file_);
+    std::fflush(file_);
+    return Status::Unavailable("injected crash mid-append (" +
+                               std::to_string(bytes) + " of " +
+                               std::to_string(line.size()) +
+                               " bytes reached the log)");
+  }
   if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
     return Status::Unavailable("log append failed");
   }
@@ -61,37 +141,10 @@ Result<std::vector<LogRecord>> OperationLog::ReadAll(
   if (f == nullptr) {
     return Status::NotFound("no log at '" + path + "'");
   }
-  std::string contents;
-  char buf[4096];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    contents.append(buf, n);
-  }
   std::fclose(f);
-
   std::vector<LogRecord> records;
-  size_t pos = 0;
-  while (pos < contents.size()) {
-    size_t eol = contents.find('\n', pos);
-    if (eol == std::string::npos) break;  // torn tail: discard
-    std::string_view line(contents.data() + pos, eol - pos);
-    pos = eol + 1;
-
-    // <length>|<checksum>|<timestamp>|<payload>
-    size_t p1 = line.find('|');
-    size_t p2 = p1 == std::string_view::npos ? p1 : line.find('|', p1 + 1);
-    size_t p3 = p2 == std::string_view::npos ? p2 : line.find('|', p2 + 1);
-    if (p3 == std::string_view::npos) break;
-    Result<int64_t> length = ParseInt64(line.substr(0, p1));
-    Result<int64_t> checksum = ParseInt64(line.substr(p1 + 1, p2 - p1 - 1));
-    Result<int64_t> timestamp = ParseInt64(line.substr(p2 + 1, p3 - p2 - 1));
-    if (!length.ok() || !checksum.ok() || !timestamp.ok()) break;
-    std::string_view payload = line.substr(p3 + 1);
-    if (static_cast<int64_t>(payload.size()) != *length) break;
-    std::string body(payload);
-    if (Checksum(body) != static_cast<uint32_t>(*checksum)) break;
-    records.push_back(LogRecord{*timestamp, std::move(body)});
-  }
+  size_t valid_bytes = 0;
+  ScanLog(path, &records, &valid_bytes);
   return records;
 }
 

@@ -42,13 +42,22 @@ class OperationLog {
   OperationLog(const OperationLog&) = delete;
   OperationLog& operator=(const OperationLog&) = delete;
 
-  /// Opens (creating if needed) the log at `path` for appending.
+  /// Opens (creating if needed) the log at `path` for appending. An
+  /// existing log is scanned first and any torn tail (partial final
+  /// record from a crash mid-append) is physically truncated, so new
+  /// appends always extend a clean prefix.
   Status Open(const std::string& path);
   void Close();
   bool IsOpen() const { return file_ != nullptr; }
 
   /// Appends one record and flushes it to the OS.
   Status Append(Timestamp timestamp, const std::string& payload);
+
+  /// Crash-injection hook for recovery tests: the NEXT Append writes
+  /// only the first `bytes` bytes of its encoded record (flushed, so
+  /// the torn tail reaches the file), then fails with kUnavailable as
+  /// if the process died mid-write. One-shot.
+  void InjectTornWrite(size_t bytes) { torn_write_bytes_ = bytes; }
 
   /// Reads every intact record of the log at `path`. A corrupt or torn
   /// record ends the scan (records after it are discarded), matching
@@ -61,6 +70,9 @@ class OperationLog {
 
  private:
   std::FILE* file_ = nullptr;
+  // One-shot torn-write injection: npos = disabled.
+  size_t torn_write_bytes_ = kNoTornWrite;
+  static constexpr size_t kNoTornWrite = static_cast<size_t>(-1);
 };
 
 }  // namespace promises

@@ -762,9 +762,10 @@ Result<GrantOutcome> PromiseManager::RequestPromise(
   std::string log_payload;
   if (oplog_ != nullptr) {
     // Rejected requests are logged too: they consume a promise id, so
-    // replay must reproduce them to keep later ids aligned.
+    // replay must reproduce them to keep later ids aligned. Message id
+    // 0 exempts the synthesized record from deduplication on replay.
     Envelope env;
-    env.message_id = MessageId(1);
+    env.message_id = MessageId(0);
     env.from = NameOf(client);
     env.to = config_.name;
     PromiseRequestHeader req;
@@ -820,7 +821,7 @@ Status PromiseManager::Release(ClientId client,
   PROMISES_RETURN_IF_ERROR(DrainPendingScoped(txn.get(), scope));
   if (oplog_ != nullptr) {
     Envelope env;
-    env.message_id = MessageId(1);
+    env.message_id = MessageId(0);  // exempt from dedup on replay
     env.from = NameOf(client);
     env.to = config_.name;
     env.release = ReleaseHeader{ids};
@@ -851,7 +852,7 @@ Result<ActionOutcome> PromiseManager::Execute(ClientId client,
   PROMISES_RETURN_IF_ERROR(DrainPendingScoped(txn.get(), scope));
   if (oplog_ != nullptr) {
     Envelope log_env;
-    log_env.message_id = MessageId(1);
+    log_env.message_id = MessageId(0);  // exempt from dedup on replay
     log_env.from = NameOf(client);
     log_env.to = config_.name;
     log_env.environment = env;
@@ -935,6 +936,54 @@ Status PromiseManager::ReplayLog(const std::vector<LogRecord>& records,
 }
 
 Result<Envelope> PromiseManager::Handle(const Envelope& request) {
+  // Idempotency layer: a message id the sender already completed gets
+  // its original reply back, verbatim — no re-execution, no re-logging
+  // (so replay never sees the duplicate either). Envelopes without a
+  // valid message id (notably the log records synthesized by the
+  // direct API, which all carry id 0) always execute.
+  const bool dedup_eligible = config_.dedup_capacity > 0 &&
+                              request.message_id.valid() &&
+                              !request.from.empty();
+  if (!dedup_eligible) return HandleInner(request);
+
+  DedupKey key{request.from, request.message_id.value()};
+  {
+    std::lock_guard<std::mutex> lk(dedup_mu_);
+    auto it = dedup_completed_.find(key);
+    if (it != dedup_completed_.end()) {
+      stats_.duplicates_replayed.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+    if (!dedup_in_progress_.insert(key).second) {
+      // A duplicate delivery raced the original, which is still
+      // executing. Refuse (retryably) instead of running it twice; the
+      // retry will find the cached reply.
+      return Status::Unavailable("duplicate of in-flight request " +
+                                 request.message_id.ToString() + " from '" +
+                                 request.from + "'");
+    }
+  }
+
+  Result<Envelope> reply = HandleInner(request);
+
+  {
+    std::lock_guard<std::mutex> lk(dedup_mu_);
+    dedup_in_progress_.erase(key);
+    // Only completed requests are remembered: an errored envelope made
+    // no state change, so re-executing the retry is the right call.
+    if (reply.ok()) {
+      dedup_completed_.emplace(key, *reply);
+      dedup_fifo_.push_back(key);
+      while (dedup_fifo_.size() > config_.dedup_capacity) {
+        dedup_completed_.erase(dedup_fifo_.front());
+        dedup_fifo_.pop_front();
+      }
+    }
+  }
+  return reply;
+}
+
+Result<Envelope> PromiseManager::HandleInner(const Envelope& request) {
   // Plan the union of every part of the combined envelope.
   std::set<std::string> classes;
   if (request.promise_request) {
@@ -1276,6 +1325,8 @@ PromiseManagerStats PromiseManager::stats() const {
   s.expired_use_errors =
       stats_.expired_use_errors.load(std::memory_order_relaxed);
   s.promises_broken = stats_.promises_broken.load(std::memory_order_relaxed);
+  s.duplicates_replayed =
+      stats_.duplicates_replayed.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -51,11 +51,13 @@
 #define PROMISES_CORE_PROMISE_MANAGER_H_
 
 #include <atomic>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
@@ -93,6 +95,13 @@ struct PromiseManagerConfig {
   /// RequestPromiseOrQueue) waits for resources to free before it is
   /// finally rejected.
   DurationMs pending_patience_ms = 60'000;
+  /// Exactly-once processing: Handle keeps the reply envelopes of the
+  /// most recent `dedup_capacity` completed requests, keyed by
+  /// (sender, message id), and replays the cached reply when the same
+  /// message arrives again — so an at-least-once client (retries after
+  /// lost requests/replies, duplicate deliveries) observes each request
+  /// processed exactly once. FIFO-evicted; 0 disables deduplication.
+  size_t dedup_capacity = 4096;
 };
 
 /// Outcome of a promise request — a normal value, not an error (§9:
@@ -132,6 +141,7 @@ struct PromiseManagerStats {
   uint64_t violations_rolled_back = 0;
   uint64_t expired_use_errors = 0;  ///< §2 'promise-expired' errors
   uint64_t promises_broken = 0;     ///< broken by external events (§2)
+  uint64_t duplicates_replayed = 0; ///< replies served from the dedup table
 };
 
 /// The lock-manager stripes one operation holds: the root intention key
@@ -227,6 +237,13 @@ class PromiseManager {
   /// Handles one envelope that may combine a <promise-request>,
   /// <release>, <environment> and <action>; returns the reply envelope
   /// with the corresponding <promise-response> / <action-result>.
+  ///
+  /// Exactly-once: a request whose (from, message id) was already
+  /// processed returns the original cached reply without re-executing
+  /// (and without re-logging), so client retries and duplicate
+  /// deliveries are harmless. A duplicate of a request still in flight
+  /// on another thread fails with kUnavailable (retryable) rather than
+  /// racing it. Envelopes with message id 0 bypass deduplication.
   Result<Envelope> Handle(const Envelope& request);
 
   /// Stable ClientId for a protocol-level sender name.
@@ -387,6 +404,9 @@ class PromiseManager {
                                       const ActionBody& action,
                                       const EnvironmentHeader& env);
 
+  /// Handle minus the idempotency layer: always executes the envelope.
+  Result<Envelope> HandleInner(const Envelope& request);
+
   /// Shared tail of the ReportExternal* entry points: breaks promises
   /// on `cls` (newest first) until every engine verifies again, then
   /// commits and notifies the violation handler.
@@ -471,11 +491,23 @@ class PromiseManager {
   std::map<PendingTicket, std::pair<ClientId, GrantOutcome>> fulfilled_;
   uint64_t next_ticket_ = 1;
 
+  // Idempotency table (exactly-once processing). Keyed by the sender's
+  // protocol name + message id; holds the full reply envelope so a
+  // retry gets a byte-identical answer (same promise id, same result).
+  // Repopulated by ReplayLog, since replay drives the same Handle path
+  // — dedup therefore survives crash recovery. dedup_mu_ is a leaf
+  // mutex, never held across HandleInner.
+  using DedupKey = std::pair<std::string, uint64_t>;
+  mutable std::mutex dedup_mu_;
+  std::map<DedupKey, Envelope> dedup_completed_;
+  std::deque<DedupKey> dedup_fifo_;  // insertion order, for eviction
+  std::set<DedupKey> dedup_in_progress_;
+
   struct AtomicStats {
     std::atomic<uint64_t> requests{0}, granted{0}, rejected{0}, released{0},
         expired{0}, updates{0}, actions{0}, action_failures{0},
         violations_rolled_back{0}, expired_use_errors{0},
-        promises_broken{0};
+        promises_broken{0}, duplicates_replayed{0};
   };
   mutable AtomicStats stats_;
 };

@@ -1,0 +1,39 @@
+#include "protocol/fault_injector.h"
+
+namespace promises {
+
+FaultInjector::Decision FaultInjector::Decide() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++counters_.decisions;
+  Decision d;
+  // One uniform draw against cumulative bands keeps the fault classes
+  // mutually exclusive and the per-class rates exactly as configured.
+  double r = rng_.UniformDouble();
+  if (r < config_.crash) {
+    d.action = FaultAction::kCrash;
+    ++counters_.crashes;
+  } else if (r < config_.crash + config_.drop_request) {
+    d.action = FaultAction::kDropRequest;
+    ++counters_.requests_dropped;
+  } else if (r < config_.crash + config_.drop_request + config_.drop_reply) {
+    d.action = FaultAction::kDropReply;
+    ++counters_.replies_dropped;
+  } else if (r < config_.crash + config_.drop_request + config_.drop_reply +
+                     config_.duplicate) {
+    d.action = FaultAction::kDuplicate;
+    ++counters_.duplicates;
+  }
+  if (config_.delay_spike > 0 && rng_.Chance(config_.delay_spike)) {
+    d.delay_us = config_.delay_spike_us;
+    ++counters_.delay_spikes;
+  }
+  return d;
+}
+
+void FaultInjector::Reset(uint64_t seed) {
+  std::lock_guard<std::mutex> lk(mu_);
+  rng_ = Rng(seed);
+  counters_ = FaultCounters{};
+}
+
+}  // namespace promises

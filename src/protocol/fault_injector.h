@@ -1,0 +1,109 @@
+// Seedable fault injection for the protocol path.
+//
+// The paper's §6 protocol is meant to run over real web-service
+// middleware, where messages are delayed, duplicated and lost and
+// servers crash mid-conversation. The reproduction's transports are
+// perfectly reliable, so every fault here is injected deliberately:
+// a FaultInjector attached to a Transport (or a TcpEndpointServer)
+// draws from a seeded stream and decides, per delivery, whether the
+// request is lost before the handler runs, the reply is lost after it
+// ran, the delivery is duplicated, the endpoint "crashes", or the hop
+// suffers a latency spike. Deterministic for a given seed, so chaos
+// schedules replay exactly.
+
+#ifndef PROMISES_PROTOCOL_FAULT_INJECTOR_H_
+#define PROMISES_PROTOCOL_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/rng.h"
+
+namespace promises {
+
+/// Per-delivery fault probabilities, all in [0, 1]. Faults are drawn in
+/// priority order (crash, drop request, drop reply, duplicate) and are
+/// mutually exclusive per delivery; a delay spike is drawn
+/// independently and can combine with any of them.
+struct FaultConfig {
+  double crash = 0.0;         ///< Endpoint dies; handler never runs.
+  double drop_request = 0.0;  ///< Request lost before the handler.
+  double drop_reply = 0.0;    ///< Handler runs, reply never arrives.
+  double duplicate = 0.0;     ///< Delivered twice back to back.
+  double delay_spike = 0.0;   ///< Probability of an extra-latency hop.
+  int64_t delay_spike_us = 0; ///< Size of the spike when it fires.
+
+  bool AnyEnabled() const {
+    return crash > 0 || drop_request > 0 || drop_reply > 0 ||
+           duplicate > 0 || delay_spike > 0;
+  }
+};
+
+/// What happens to one delivery (exclusive of the delay spike).
+enum class FaultAction {
+  kDeliver,
+  kCrash,
+  kDropRequest,
+  kDropReply,
+  kDuplicate,
+};
+
+/// Counts of injected faults since construction / Reset.
+struct FaultCounters {
+  uint64_t decisions = 0;        ///< Deliveries the injector ruled on.
+  uint64_t crashes = 0;
+  uint64_t requests_dropped = 0;
+  uint64_t replies_dropped = 0;
+  uint64_t duplicates = 0;
+  uint64_t delay_spikes = 0;
+
+  uint64_t total_faults() const {
+    return crashes + requests_dropped + replies_dropped + duplicates +
+           delay_spikes;
+  }
+};
+
+/// Thread-safe seeded fault source. One instance is shared by every
+/// endpoint of a transport; the draw order therefore depends on the
+/// interleaving of concurrent sends, but each individual draw comes
+/// from the same seeded stream (aggregate fault rates are stable and
+/// single-threaded schedules replay exactly).
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 42) : rng_(seed) {}
+
+  void Configure(const FaultConfig& config) {
+    std::lock_guard<std::mutex> lk(mu_);
+    config_ = config;
+  }
+  FaultConfig config() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return config_;
+  }
+
+  /// Draws the fate of one delivery and a delay spike (0 = none),
+  /// updating the counters.
+  struct Decision {
+    FaultAction action = FaultAction::kDeliver;
+    int64_t delay_us = 0;
+  };
+  Decision Decide();
+
+  FaultCounters counters() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return counters_;
+  }
+
+  /// Restarts the stream (new seed, zeroed counters, same config).
+  void Reset(uint64_t seed);
+
+ private:
+  mutable std::mutex mu_;
+  FaultConfig config_;
+  FaultCounters counters_;
+  Rng rng_;
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_PROTOCOL_FAULT_INJECTOR_H_

@@ -1,0 +1,33 @@
+#include "protocol/retry_policy.h"
+
+#include <algorithm>
+
+namespace promises {
+
+bool IsRetryableStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kTimeout:
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+      return true;
+    default:
+      return false;
+  }
+}
+
+DurationMs BackoffForAttempt(const RetryPolicy& policy, int attempt,
+                             Rng* rng) {
+  double backoff = static_cast<double>(policy.initial_backoff_ms);
+  for (int i = 1; i < attempt; ++i) {
+    backoff *= policy.backoff_multiplier;
+    if (backoff >= static_cast<double>(policy.max_backoff_ms)) break;
+  }
+  backoff = std::min(backoff, static_cast<double>(policy.max_backoff_ms));
+  if (policy.jitter > 0 && rng != nullptr) {
+    double factor = 1.0 + policy.jitter * (2.0 * rng->UniformDouble() - 1.0);
+    backoff *= factor;
+  }
+  return std::max<DurationMs>(0, static_cast<DurationMs>(backoff));
+}
+
+}  // namespace promises

@@ -1,0 +1,91 @@
+// Client-side retry with deadline, capped exponential backoff and
+// seeded jitter.
+//
+// A lost request and a lost reply are indistinguishable to the caller:
+// both surface as kTimeout / kUnavailable / kDeadlineExceeded. Retrying
+// is therefore only safe against a receiver that deduplicates — the
+// promise manager keys its idempotency table on (sender, message id),
+// so a retry MUST resend the identical envelope, message id included.
+// PromiseClient and the chaos harness follow that rule; CallWithRetry
+// itself just re-invokes the callable it was given.
+
+#ifndef PROMISES_PROTOCOL_RETRY_POLICY_H_
+#define PROMISES_PROTOCOL_RETRY_POLICY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace promises {
+
+struct RetryPolicy {
+  /// Total attempts, including the first (1 = no retry).
+  int max_attempts = 5;
+  /// Overall budget across attempts and backoff waits; 0 = unbounded.
+  DurationMs deadline_ms = 2'000;
+  DurationMs initial_backoff_ms = 5;
+  double backoff_multiplier = 2.0;
+  DurationMs max_backoff_ms = 100;
+  /// Backoff is multiplied by a factor drawn uniformly from
+  /// [1 - jitter, 1 + jitter]; keeps concurrent retriers decorrelated
+  /// while staying reproducible for a seeded Rng.
+  double jitter = 0.25;
+};
+
+/// Transport-level failures worth retrying. Everything else (rejection,
+/// validation, internal errors) is final.
+bool IsRetryableStatus(const Status& status);
+
+/// Backoff for the retry that follows failed attempt number `attempt`
+/// (1-based), jittered via `rng`.
+DurationMs BackoffForAttempt(const RetryPolicy& policy, int attempt,
+                             Rng* rng);
+
+/// Invokes `call` until it succeeds, fails terminally, or the policy is
+/// exhausted. `call` must be safe to re-invoke verbatim (same message
+/// id — see the file comment). Each retry bumps *retries (when
+/// non-null) and invokes `on_retry` (when provided) before re-calling.
+/// On exhaustion, returns kDeadlineExceeded wrapping the last error.
+template <typename F, typename OnRetry>
+auto CallWithRetry(const RetryPolicy& policy, Rng* rng, F&& call,
+                   uint64_t* retries, OnRetry&& on_retry)
+    -> decltype(call()) {
+  auto started = std::chrono::steady_clock::now();
+  auto deadline =
+      started + std::chrono::milliseconds(policy.deadline_ms > 0
+                                              ? policy.deadline_ms
+                                              : (1LL << 40));
+  Status last;
+  for (int attempt = 1;; ++attempt) {
+    auto result = call();
+    if (result.ok()) return result;
+    last = result.status();
+    if (!IsRetryableStatus(last)) return result;
+    if (attempt >= policy.max_attempts) break;
+    DurationMs backoff = BackoffForAttempt(policy, attempt, rng);
+    auto resume = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(backoff);
+    if (resume >= deadline) break;
+    std::this_thread::sleep_until(resume);
+    if (retries != nullptr) ++*retries;
+    on_retry();
+  }
+  return Status::DeadlineExceeded("retries exhausted after " +
+                                  std::to_string(policy.max_attempts) +
+                                  " attempts; last error: " +
+                                  last.ToString());
+}
+
+template <typename F>
+auto CallWithRetry(const RetryPolicy& policy, Rng* rng, F&& call,
+                   uint64_t* retries = nullptr) -> decltype(call()) {
+  return CallWithRetry(policy, rng, std::forward<F>(call), retries, [] {});
+}
+
+}  // namespace promises
+
+#endif  // PROMISES_PROTOCOL_RETRY_POLICY_H_

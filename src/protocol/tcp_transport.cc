@@ -1,20 +1,37 @@
 #include "protocol/tcp_transport.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 namespace promises {
 
 namespace {
 
+using SteadyClock = std::chrono::steady_clock;
+
 Status Errno(const std::string& what) {
   return Status::Unavailable(what + ": " + std::strerror(errno));
+}
+
+/// Milliseconds left until `deadline`, clamped at 0. A default
+/// (epoch) deadline means "unbounded" and reports a negative value,
+/// which poll() treats as infinite.
+int RemainingMs(SteadyClock::time_point deadline) {
+  if (deadline == SteadyClock::time_point{}) return -1;
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - SteadyClock::now());
+  return left.count() <= 0 ? 0 : static_cast<int>(std::min<int64_t>(
+                                     left.count(), 1'000'000));
 }
 
 Status WriteAll(int fd, const char* data, size_t len) {
@@ -30,9 +47,25 @@ Status WriteAll(int fd, const char* data, size_t len) {
   return Status::OK();
 }
 
-Status ReadAll(int fd, char* data, size_t len) {
+Status ReadAll(int fd, char* data, size_t len,
+               SteadyClock::time_point deadline) {
   size_t got = 0;
   while (got < len) {
+    if (deadline != SteadyClock::time_point{}) {
+      int wait_ms = RemainingMs(deadline);
+      if (wait_ms == 0) {
+        return Status::DeadlineExceeded("recv deadline exceeded");
+      }
+      pollfd pfd{fd, POLLIN, 0};
+      int pr = ::poll(&pfd, 1, wait_ms);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return Errno("poll");
+      }
+      if (pr == 0) {
+        return Status::DeadlineExceeded("recv deadline exceeded");
+      }
+    }
     ssize_t n = ::recv(fd, data + got, len - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -44,6 +77,11 @@ Status ReadAll(int fd, char* data, size_t len) {
     got += static_cast<size_t>(n);
   }
   return Status::OK();
+}
+
+SteadyClock::time_point DeadlineFromTimeout(int64_t timeout_ms) {
+  if (timeout_ms <= 0) return SteadyClock::time_point{};
+  return SteadyClock::now() + std::chrono::milliseconds(timeout_ms);
 }
 
 }  // namespace
@@ -59,9 +97,10 @@ Status WriteFrame(int fd, const std::string& payload) {
   return WriteAll(fd, payload.data(), payload.size());
 }
 
-Result<std::string> ReadFrame(int fd) {
+Result<std::string> ReadFrame(int fd, int64_t timeout_ms) {
+  SteadyClock::time_point deadline = DeadlineFromTimeout(timeout_ms);
   char header[8];
-  PROMISES_RETURN_IF_ERROR(ReadAll(fd, header, sizeof(header)));
+  PROMISES_RETURN_IF_ERROR(ReadAll(fd, header, sizeof(header), deadline));
   uint64_t len = 0;
   for (char c : header) {
     len = (len << 8) | static_cast<unsigned char>(c);
@@ -73,7 +112,7 @@ Result<std::string> ReadFrame(int fd) {
   }
   std::string payload(len, '\0');
   if (len > 0) {
-    PROMISES_RETURN_IF_ERROR(ReadAll(fd, payload.data(), len));
+    PROMISES_RETURN_IF_ERROR(ReadAll(fd, payload.data(), len, deadline));
   }
   return payload;
 }
@@ -81,47 +120,44 @@ Result<std::string> ReadFrame(int fd) {
 TcpEndpointServer::~TcpEndpointServer() { Stop(); }
 
 Status TcpEndpointServer::Start(uint16_t port, EndpointHandler handler) {
-  if (listen_fd_ >= 0) {
+  if (listen_fd_.load() >= 0) {
     return Status::FailedPrecondition("server already started");
   }
   handler_ = std::move(handler);
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) return Errno("socket");
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
   int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     Status st = Errno("bind");
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    ::close(fd);
     return st;
   }
   socklen_t addr_len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-                    &addr_len) == 0) {
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) == 0) {
     port_ = ntohs(addr.sin_port);
   }
-  if (::listen(listen_fd_, 16) < 0) {
+  if (::listen(fd, 16) < 0) {
     Status st = Errno("listen");
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    ::close(fd);
     return st;
   }
   stopping_ = false;
+  listen_fd_.store(fd);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
 }
 
 void TcpEndpointServer::Stop() {
-  if (listen_fd_ < 0) return;
+  int fd = listen_fd_.exchange(-1);
+  if (fd < 0) return;
   stopping_ = true;
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  listen_fd_ = -1;
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> threads;
   {
@@ -135,7 +171,9 @@ void TcpEndpointServer::Stop() {
 
 void TcpEndpointServer::AcceptLoop() {
   while (!stopping_) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    int listen_fd = listen_fd_.load();
+    if (listen_fd < 0) return;
+    int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // listener closed
@@ -152,6 +190,35 @@ void TcpEndpointServer::ServeConnection(int fd) {
   while (!stopping_) {
     Result<std::string> request_xml = ReadFrame(fd);
     if (!request_xml.ok()) break;  // peer closed or died
+
+    // The injector rules on each inbound frame. Faults here behave
+    // like a real lossy middlebox: the client only ever observes a
+    // missing reply (its deadline) or a dead connection.
+    int deliveries = 1;
+    bool send_reply = true;
+    FaultInjector* injector = fault_injector_.load(std::memory_order_acquire);
+    if (injector != nullptr) {
+      FaultInjector::Decision d = injector->Decide();
+      if (d.delay_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(d.delay_us));
+      }
+      switch (d.action) {
+        case FaultAction::kDeliver:
+          break;
+        case FaultAction::kCrash:
+          ::close(fd);
+          return;  // connection dies mid-conversation
+        case FaultAction::kDropRequest:
+          continue;  // frame read off the wire, never processed
+        case FaultAction::kDropReply:
+          send_reply = false;
+          break;
+        case FaultAction::kDuplicate:
+          deliveries = 2;
+          break;
+      }
+    }
+
     std::string reply_xml;
     Result<Envelope> request = Envelope::FromXml(*request_xml);
     if (!request.ok()) {
@@ -165,6 +232,9 @@ void TcpEndpointServer::ServeConnection(int fd) {
       reply_xml = fail.ToXml();
     } else {
       Result<Envelope> reply = handler_(*request);
+      for (int extra = 1; extra < deliveries; ++extra) {
+        reply = handler_(*request);
+      }
       if (!reply.ok()) {
         Envelope fail;
         fail.message_id = MessageId(1);
@@ -179,6 +249,7 @@ void TcpEndpointServer::ServeConnection(int fd) {
       }
     }
     requests_.fetch_add(1, std::memory_order_relaxed);
+    if (!send_reply) continue;
     if (!WriteFrame(fd, reply_xml).ok()) break;
   }
   ::close(fd);
@@ -188,20 +259,54 @@ TcpClientChannel::~TcpClientChannel() { Disconnect(); }
 
 Status TcpClientChannel::Connect(uint16_t port) {
   Disconnect();
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) return Errno("socket");
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+
+  if (call_timeout_ms_ > 0) {
+    // Bounded connect: non-blocking connect + poll for writability.
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc < 0 && errno != EINPROGRESS) {
+      Status st = Errno("connect");
+      ::close(fd);
+      return st;
+    }
+    if (rc < 0) {
+      pollfd pfd{fd, POLLOUT, 0};
+      int pr = ::poll(&pfd, 1, static_cast<int>(call_timeout_ms_));
+      if (pr <= 0) {
+        ::close(fd);
+        if (pr == 0) {
+          return Status::DeadlineExceeded("connect deadline exceeded");
+        }
+        return Errno("poll");
+      }
+      int err = 0;
+      socklen_t err_len = sizeof(err);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len);
+      if (err != 0) {
+        ::close(fd);
+        errno = err;
+        return Errno("connect");
+      }
+    }
+    ::fcntl(fd, F_SETFL, flags);
+  } else if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) < 0) {
     Status st = Errno("connect");
-    ::close(fd_);
-    fd_ = -1;
+    ::close(fd);
     return st;
   }
+
   int one = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  last_port_ = port;
   return Status::OK();
 }
 
@@ -213,10 +318,25 @@ void TcpClientChannel::Disconnect() {
 }
 
 Result<Envelope> TcpClientChannel::Call(const Envelope& request) {
-  if (fd_ < 0) return Status::FailedPrecondition("not connected");
-  PROMISES_RETURN_IF_ERROR(WriteFrame(fd_, request.ToXml()));
-  PROMISES_ASSIGN_OR_RETURN(std::string reply_xml, ReadFrame(fd_));
-  return Envelope::FromXml(reply_xml);
+  if (fd_ < 0) {
+    if (last_port_ == 0) return Status::FailedPrecondition("not connected");
+    PROMISES_RETURN_IF_ERROR(Connect(last_port_));
+    ++reconnects_;
+  }
+  Status write_st = WriteFrame(fd_, request.ToXml());
+  if (!write_st.ok()) {
+    Disconnect();
+    return write_st;
+  }
+  Result<std::string> reply_xml = ReadFrame(fd_, call_timeout_ms_);
+  if (!reply_xml.ok()) {
+    // A timed-out or failed read poisons the stream: the reply to this
+    // request may still arrive and would corrupt the next call's
+    // framing. Drop the connection; the next Call reconnects.
+    Disconnect();
+    return reply_xml.status();
+  }
+  return Envelope::FromXml(*reply_xml);
 }
 
 }  // namespace promises

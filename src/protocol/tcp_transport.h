@@ -5,22 +5,34 @@
 // gap by carrying the same XML envelopes over loopback TCP with a
 // length-prefixed framing, so the protocol stack is exercised against
 // an actual wire (serialization, framing, partial reads, connection
-// errors).
+// errors, stalled peers).
 //
 // Model: one TcpEndpointServer hosts a handler (typically a
 // PromiseManager's Handle, bridged through the in-process transport);
 // TcpClientChannel issues synchronous request/response calls. Frames
 // are "<8-byte big-endian length><xml bytes>".
+//
+// Failure model: the client channel takes a per-call deadline
+// (poll-bounded reads surfacing kDeadlineExceeded; the half-read
+// stream is poisoned, so the channel disconnects and transparently
+// reconnects on the next Call). The server accepts a FaultInjector:
+// a dropped request is read and discarded, a dropped reply is
+// processed but never written (both stall the client into its
+// deadline), a duplicate runs the handler twice, and a crash closes
+// the connection mid-conversation.
 
 #ifndef PROMISES_PROTOCOL_TCP_TRANSPORT_H_
 #define PROMISES_PROTOCOL_TCP_TRANSPORT_H_
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/status.h"
+#include "protocol/fault_injector.h"
 #include "protocol/message.h"
 #include "protocol/transport.h"
 
@@ -41,6 +53,12 @@ class TcpEndpointServer {
 
   /// Stops accepting and joins all connection threads.
   void Stop();
+
+  /// Attaches a fault injector consulted once per inbound frame
+  /// (non-owning; nullptr detaches). Set before Start or between calls.
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_.store(injector, std::memory_order_release);
+  }
 
   /// Port actually bound (valid after Start).
   uint16_t port() const { return port_; }
@@ -64,6 +82,7 @@ class TcpEndpointServer {
   std::mutex threads_mu_;
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> requests_{0};
+  std::atomic<FaultInjector*> fault_injector_{nullptr};
 };
 
 /// Synchronous client connection to a TcpEndpointServer.
@@ -74,21 +93,37 @@ class TcpClientChannel {
   TcpClientChannel(const TcpClientChannel&) = delete;
   TcpClientChannel& operator=(const TcpClientChannel&) = delete;
 
-  /// Connects to 127.0.0.1:`port`.
+  /// Connects to 127.0.0.1:`port`. With a call timeout configured, the
+  /// connect itself is bounded by the same budget.
   Status Connect(uint16_t port);
   void Disconnect();
   bool connected() const { return fd_ >= 0; }
 
-  /// Sends `request` and waits for the reply envelope.
+  /// Bounds every Call (and Connect) to `ms` milliseconds; 0 restores
+  /// the unbounded behavior. On expiry the call returns
+  /// kDeadlineExceeded and the connection is dropped — a reply to the
+  /// abandoned request can otherwise be mistaken for the next call's.
+  void set_call_timeout_ms(int64_t ms) { call_timeout_ms_ = ms; }
+
+  /// Sends `request` and waits for the reply envelope. After a
+  /// deadline/connection failure, the next Call transparently
+  /// reconnects to the last-connected port before sending.
   Result<Envelope> Call(const Envelope& request);
+
+  uint64_t reconnects() const { return reconnects_; }
 
  private:
   int fd_ = -1;
+  uint16_t last_port_ = 0;
+  int64_t call_timeout_ms_ = 0;
+  uint64_t reconnects_ = 0;
 };
 
-/// Frame helpers (exposed for tests).
+/// Frame helpers (exposed for tests). `timeout_ms` <= 0 blocks
+/// indefinitely; otherwise reads are poll-bounded and return
+/// kDeadlineExceeded when the budget lapses.
 Status WriteFrame(int fd, const std::string& payload);
-Result<std::string> ReadFrame(int fd);
+Result<std::string> ReadFrame(int fd, int64_t timeout_ms = 0);
 
 }  // namespace promises
 

@@ -14,14 +14,31 @@ void Transport::Unregister(const std::string& name) {
   endpoints_.erase(name);
 }
 
-void Transport::InjectLatency() const {
-  int64_t us = hop_latency_us_.load(std::memory_order_relaxed);
+void Transport::set_crash_hook(CrashHook hook) {
+  std::lock_guard<std::mutex> lk(mu_);
+  crash_hook_ = std::move(hook);
+}
+
+void Transport::InjectLatency(int64_t extra_us) const {
+  int64_t us = hop_latency_us_.load(std::memory_order_relaxed) + extra_us;
   if (us <= 0) return;
   auto until = std::chrono::steady_clock::now() + std::chrono::microseconds(us);
   // Busy-wait: sleeps on a 1-core box have scheduler noise far larger
   // than the latencies being modelled.
   while (std::chrono::steady_clock::now() < until) {
   }
+}
+
+void Transport::RecordFault(const std::string& endpoint) {
+  std::lock_guard<std::mutex> sk(stats_mu_);
+  ++stats_.faults_injected;
+  ++stats_.per_endpoint[endpoint].faults_injected;
+}
+
+void Transport::NoteRetry(const std::string& endpoint) {
+  std::lock_guard<std::mutex> sk(stats_mu_);
+  ++stats_.retries;
+  ++stats_.per_endpoint[endpoint].retries;
 }
 
 Result<Envelope> Transport::Send(const Envelope& request) {
@@ -32,15 +49,58 @@ Result<Envelope> Transport::Send(const Envelope& request) {
     if (it == endpoints_.end()) {
       std::lock_guard<std::mutex> sk(stats_mu_);
       ++stats_.failures;
+      ++stats_.per_endpoint[request.to].failures;
       return Status::Unavailable("no endpoint '" + request.to + "'");
     }
     handler = it->second;
   }
 
-  InjectLatency();
+  // Rule on this delivery's fate before it touches the wire. A lost
+  // request and a lost reply both surface as kTimeout: the caller
+  // cannot tell them apart, which is exactly why retries need the
+  // receiver-side idempotency table.
+  bool drop_reply = false;
+  int deliveries = 1;
+  int64_t extra_delay_us = 0;
+  FaultInjector* injector = fault_injector_.load(std::memory_order_acquire);
+  if (injector != nullptr) {
+    FaultInjector::Decision d = injector->Decide();
+    extra_delay_us = d.delay_us;
+    if (d.delay_us > 0) RecordFault(request.to);
+    switch (d.action) {
+      case FaultAction::kDeliver:
+        break;
+      case FaultAction::kCrash: {
+        RecordFault(request.to);
+        CrashHook hook;
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          hook = crash_hook_;
+        }
+        if (hook) hook(request.to);
+        return Status::Unavailable("injected crash of endpoint '" +
+                                   request.to + "'");
+      }
+      case FaultAction::kDropRequest:
+        RecordFault(request.to);
+        InjectLatency(extra_delay_us);
+        return Status::Timeout("injected request loss to '" + request.to +
+                               "'");
+      case FaultAction::kDropReply:
+        RecordFault(request.to);
+        drop_reply = true;
+        break;
+      case FaultAction::kDuplicate:
+        RecordFault(request.to);
+        deliveries = 2;
+        break;
+    }
+  }
+
+  InjectLatency(extra_delay_us);
 
   uint64_t hop_bytes = 0;
-  Result<Envelope> reply = [&]() -> Result<Envelope> {
+  auto deliver_once = [&]() -> Result<Envelope> {
     if (!encode_on_wire_) return handler(request);
     std::string wire = request.ToXml();
     hop_bytes += wire.size();
@@ -49,15 +109,31 @@ Result<Envelope> Transport::Send(const Envelope& request) {
     std::string reply_wire = response.ToXml();
     hop_bytes += reply_wire.size();
     return Envelope::FromXml(reply_wire);
-  }();
+  };
 
-  InjectLatency();
+  // A duplicated delivery hands the identical envelope to the handler
+  // twice, back to back, and returns the second reply — with receiver
+  // dedup both replies are the same cached envelope anyway.
+  Result<Envelope> reply = deliver_once();
+  for (int extra = 1; extra < deliveries; ++extra) {
+    reply = deliver_once();
+  }
+
+  InjectLatency(0);
 
   {
     std::lock_guard<std::mutex> sk(stats_mu_);
-    ++stats_.messages;
+    stats_.messages += static_cast<uint64_t>(deliveries);
     stats_.bytes += hop_bytes;
-    if (!reply.ok()) ++stats_.failures;
+    EndpointStats& ep = stats_.per_endpoint[request.to];
+    ep.messages += static_cast<uint64_t>(deliveries);
+    if (!reply.ok()) {
+      ++stats_.failures;
+      ++ep.failures;
+    }
+  }
+  if (drop_reply && reply.ok()) {
+    return Status::Timeout("injected reply loss from '" + request.to + "'");
   }
   return reply;
 }

@@ -4,7 +4,10 @@
 // messages over web-service middleware; here endpoints live in one
 // process and exchange the same XML envelopes synchronously. Optional
 // per-hop latency injection and full serialize/parse on every hop keep
-// the protocol path realistic for the E9 experiment.
+// the protocol path realistic for the E9 experiment, and an optional
+// FaultInjector turns the perfect bus into a lossy one (dropped
+// requests/replies, duplicate deliveries, delay spikes, endpoint
+// crashes) for the chaos experiments.
 
 #ifndef PROMISES_PROTOCOL_TRANSPORT_H_
 #define PROMISES_PROTOCOL_TRANSPORT_H_
@@ -17,6 +20,7 @@
 
 #include "common/ids.h"
 #include "common/status.h"
+#include "protocol/fault_injector.h"
 #include "protocol/message.h"
 
 namespace promises {
@@ -24,10 +28,21 @@ namespace promises {
 /// Handles one inbound envelope and produces the reply envelope.
 using EndpointHandler = std::function<Result<Envelope>(const Envelope&)>;
 
+/// Per-destination traffic breakdown.
+struct EndpointStats {
+  uint64_t messages = 0;        ///< Deliveries attempted to the endpoint.
+  uint64_t failures = 0;        ///< Handler or parse failures.
+  uint64_t faults_injected = 0; ///< Drops/dups/crashes/delays on its hops.
+  uint64_t retries = 0;         ///< Client resends reported via NoteRetry.
+};
+
 struct TransportStats {
   uint64_t messages = 0;
-  uint64_t bytes = 0;       ///< Serialized request + response bytes.
-  uint64_t failures = 0;    ///< Handler or parse failures.
+  uint64_t bytes = 0;           ///< Serialized request + response bytes.
+  uint64_t failures = 0;        ///< Handler or parse failures.
+  uint64_t faults_injected = 0; ///< Total injected faults across endpoints.
+  uint64_t retries = 0;         ///< Total reported client retries.
+  std::map<std::string, EndpointStats> per_endpoint;
 };
 
 /// Synchronous request/response bus between named endpoints.
@@ -45,12 +60,34 @@ class Transport {
   /// busy-wait (0 = off). Models WAN cost in a repeatable way.
   void set_hop_latency_us(int64_t us) { hop_latency_us_ = us; }
 
+  /// Attaches a fault injector (non-owning; nullptr detaches). Every
+  /// subsequent Send consults it. Attach before serving traffic.
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_.store(injector, std::memory_order_release);
+  }
+
+  /// Invoked (outside any transport lock) when an injected crash fault
+  /// hits `endpoint`; the chaos harness uses this to kill and recover
+  /// the manager behind the endpoint. The faulted Send itself fails
+  /// with kUnavailable.
+  using CrashHook = std::function<void(const std::string& endpoint)>;
+  void set_crash_hook(CrashHook hook);
+
   /// Registers `name` as a destination. Replaces any prior handler.
   void Register(const std::string& name, EndpointHandler handler);
   void Unregister(const std::string& name);
 
   /// Delivers `request` to its `to` endpoint and returns the reply.
+  /// With a fault injector attached, the request may be dropped before
+  /// the handler (kTimeout), the reply may be dropped after it ran
+  /// (kTimeout — the state change happened), the delivery may run twice
+  /// (the duplicate's reply is returned; receivers deduplicate), or the
+  /// endpoint may "crash" (kUnavailable).
   Result<Envelope> Send(const Envelope& request);
+
+  /// Records that a client re-sent a message to `endpoint` (retries are
+  /// a client-side decision the bus cannot observe by itself).
+  void NoteRetry(const std::string& endpoint);
 
   /// Fresh message id for building envelopes.
   MessageId NextMessageId() { return message_ids_.Next(); }
@@ -59,13 +96,16 @@ class Transport {
   void ResetStats();
 
  private:
-  void InjectLatency() const;
+  void InjectLatency(int64_t extra_us) const;
+  void RecordFault(const std::string& endpoint);
 
   mutable std::mutex mu_;
   std::map<std::string, EndpointHandler> endpoints_;
+  CrashHook crash_hook_;
   IdGenerator<MessageId> message_ids_;
   bool encode_on_wire_ = true;
   std::atomic<int64_t> hop_latency_us_{0};
+  std::atomic<FaultInjector*> fault_injector_{nullptr};
   mutable std::mutex stats_mu_;
   TransportStats stats_;
 };

@@ -13,7 +13,14 @@ Envelope PromiseClient::NewEnvelope() {
 }
 
 Result<Envelope> PromiseClient::Send(Envelope envelope) {
-  return transport_->Send(envelope);
+  if (!retry_policy_) return transport_->Send(envelope);
+  // Re-send the IDENTICAL envelope: the manager's idempotency table is
+  // keyed by (from, message id), so a fresh id would turn a retry into
+  // a second request.
+  return CallWithRetry(
+      *retry_policy_, &rng_,
+      [&]() { return transport_->Send(envelope); }, &retries_,
+      [&]() { transport_->NoteRetry(manager_); });
 }
 
 Result<ClientPromise> PromiseClient::Request(

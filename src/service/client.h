@@ -6,16 +6,24 @@
 // combined forms (§2: "Promise release requests can be combined with
 // application request messages"; §4: atomic promise update via
 // release-on-grant).
+//
+// With a retry policy attached (set_retry_policy), Send re-sends the
+// identical envelope — same message id — on transport-level failures,
+// which together with the manager's idempotency table yields
+// exactly-once processing over an at-least-once exchange.
 
 #ifndef PROMISES_SERVICE_CLIENT_H_
 #define PROMISES_SERVICE_CLIENT_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/ids.h"
+#include "common/rng.h"
 #include "common/status.h"
 #include "protocol/message.h"
+#include "protocol/retry_policy.h"
 #include "protocol/transport.h"
 
 namespace promises {
@@ -128,8 +136,24 @@ class PromiseClient {
                                       DurationMs duration_ms = 0);
   Result<QueuedRequest> Poll(uint64_t ticket);
 
-  /// Raw envelope exchange for advanced uses.
+  /// Raw envelope exchange for advanced uses. Subject to the retry
+  /// policy: retryable transport failures (kTimeout / kUnavailable /
+  /// kDeadlineExceeded) re-send the identical envelope until the
+  /// policy's attempts or deadline run out.
   Result<Envelope> Send(Envelope envelope);
+
+  /// Enables retries with `policy` (backoff jitter drawn from a client
+  /// Rng seeded with `seed`, so runs are reproducible). Without a
+  /// policy the client makes exactly one attempt — prior behavior.
+  void set_retry_policy(RetryPolicy policy, uint64_t seed = 42) {
+    retry_policy_ = policy;
+    rng_ = Rng(seed);
+  }
+  void clear_retry_policy() { retry_policy_.reset(); }
+
+  /// Total re-sends performed across all calls (first attempts not
+  /// counted).
+  uint64_t retries() const { return retries_; }
 
  private:
   Envelope NewEnvelope();
@@ -138,6 +162,9 @@ class PromiseClient {
   Transport* transport_;
   std::string manager_;
   IdGenerator<RequestId> request_ids_;
+  std::optional<RetryPolicy> retry_policy_;
+  Rng rng_{42};
+  uint64_t retries_ = 0;
 };
 
 }  // namespace promises

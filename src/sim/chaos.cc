@@ -1,0 +1,280 @@
+#include "sim/chaos.h"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "predicate/ast.h"
+#include "resource/resource_manager.h"
+#include "service/client.h"
+#include "service/services.h"
+#include "txn/transaction.h"
+
+namespace promises {
+
+namespace {
+
+struct WorkerTally {
+  uint64_t attempts = 0;
+  uint64_t completed = 0;
+  uint64_t rejected = 0;
+  uint64_t failed_actions = 0;
+  uint64_t grant_unknown = 0;   // request retries exhausted
+  uint64_t act_unknown = 0;     // granted, then act/release exhausted
+  uint64_t envelopes_sent = 0;
+};
+
+}  // namespace
+
+ChaosReport RunChaosWorkload(const ChaosConfig& config) {
+  SystemClock clock;
+  ResourceManager rm;
+  TransactionManager tm(250);
+  std::vector<std::string> items;
+  for (int i = 0; i < config.num_items; ++i) {
+    items.push_back("widget-" + std::to_string(i));
+    Status st = rm.CreatePool(items.back(), config.initial_stock);
+    (void)st;
+  }
+
+  Transport transport;
+  FaultInjector injector(config.seed);
+  FaultConfig faults = config.faults;
+  faults.crash = 0;  // see ChaosConfig: crash/recovery is tested separately
+  injector.Configure(faults);
+
+  PromiseManagerConfig pm_config;
+  pm_config.name = "chaos-pm";
+  pm_config.default_duration_ms = config.promise_duration_ms;
+  PromiseManager pm(pm_config, &clock, &rm, &tm, &transport);
+  pm.RegisterService("inventory", MakeInventoryService());
+  transport.set_fault_injector(&injector);
+
+  std::vector<WorkerTally> tallies(config.workers);
+  std::vector<uint64_t> retries(config.workers, 0);
+  auto started = std::chrono::steady_clock::now();
+
+  auto worker_fn = [&](int w) {
+    WorkerTally& tally = tallies[w];
+    PromiseClient client("chaos-w" + std::to_string(w), &transport,
+                         "chaos-pm");
+    client.set_retry_policy(config.retry,
+                            config.seed * 31 + static_cast<uint64_t>(w) + 1);
+    Rng rng(config.seed * 7919 + static_cast<uint64_t>(w) + 1);
+
+    for (int i = 0; i < config.orders_per_worker; ++i) {
+      ++tally.attempts;
+      const std::string& item = items[static_cast<size_t>(
+          rng.UniformInt(0, config.num_items - 1))];
+
+      // Check: one promise covering the purchase (Figure 1).
+      ++tally.envelopes_sent;
+      Result<ClientPromise> grant = client.Request(
+          std::vector<Predicate>{Predicate::Quantity(
+              item, CompareOp::kGe, config.order_quantity)},
+          config.promise_duration_ms);
+      if (!grant.ok()) {
+        if (grant.status().code() == StatusCode::kFailedPrecondition) {
+          ++tally.rejected;  // definite: the maker said no
+        } else {
+          ++tally.grant_unknown;  // retries exhausted mid-request
+        }
+        continue;
+      }
+
+      // Think: the long-running business step, no locks held.
+      if (config.think_us > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(config.think_us));
+      }
+
+      // Act: purchase under the promise, released on success.
+      ActionBody action;
+      action.service = "inventory";
+      action.operation = "purchase";
+      action.params["item"] = Value(item);
+      action.params["quantity"] = Value(config.order_quantity);
+      action.params["promise"] =
+          Value(static_cast<int64_t>(grant->id.value()));
+      ++tally.envelopes_sent;
+      Result<ActionResultBody> act =
+          client.Act(action, {grant->id}, /*release_after=*/true);
+      if (!act.ok()) {
+        // Exhausted retries: the purchase (and its release-after) may
+        // or may not have happened. Best-effort release so an
+        // unpurchased grant does not sit in the table forever; the
+        // audit accounts for this order via act_unknown either way.
+        ++tally.act_unknown;
+        ++tally.envelopes_sent;
+        (void)client.Release({grant->id});
+        continue;
+      }
+      if (!act->ok) {
+        // §7: the promise should preclude this; still release cleanly.
+        ++tally.failed_actions;
+        ++tally.envelopes_sent;
+        (void)client.Release({grant->id});
+        continue;
+      }
+      ++tally.completed;
+    }
+    retries[w] = client.retries();
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(config.workers);
+  for (int w = 0; w < config.workers; ++w) threads.emplace_back(worker_fn, w);
+  for (std::thread& t : threads) t.join();
+  auto finished = std::chrono::steady_clock::now();
+
+  ChaosReport report;
+  uint64_t grant_unknown = 0;
+  uint64_t act_unknown = 0;
+  for (int w = 0; w < config.workers; ++w) {
+    const WorkerTally& t = tallies[w];
+    report.attempts += t.attempts;
+    report.completed += t.completed;
+    report.rejected += t.rejected;
+    report.failed_actions += t.failed_actions;
+    report.envelopes_sent += t.envelopes_sent;
+    report.client_retries += retries[w];
+    grant_unknown += t.grant_unknown;
+    act_unknown += t.act_unknown;
+  }
+  report.unknown = grant_unknown + act_unknown;
+  report.wall_time_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(finished -
+                                                            started)
+          .count();
+  report.manager = pm.stats();
+  report.transport = transport.stats();
+  report.faults = injector.counters();
+  report.initial_stock_total =
+      config.initial_stock * static_cast<int64_t>(config.num_items);
+  {
+    std::unique_ptr<Transaction> txn = tm.Begin();
+    for (const std::string& item : items) {
+      Result<int64_t> q = rm.GetQuantity(txn.get(), item);
+      if (q.ok()) report.final_stock_total += *q;
+    }
+    (void)txn->Commit();
+  }
+
+  // ---- §4 invariant audit (manager books are authoritative) ----
+  auto violation = [&](const std::string& text) {
+    report.violations.push_back(text);
+  };
+
+  // Resource conservation: stock moved only by successful purchases.
+  int64_t successful_purchases = static_cast<int64_t>(
+      report.manager.actions - report.manager.action_failures);
+  int64_t expected_final = report.initial_stock_total -
+                           successful_purchases * config.order_quantity;
+  if (report.final_stock_total != expected_final) {
+    violation("conservation: final stock " +
+              std::to_string(report.final_stock_total) + " != expected " +
+              std::to_string(expected_final) + " (" +
+              std::to_string(successful_purchases) + " purchases of " +
+              std::to_string(config.order_quantity) + " from " +
+              std::to_string(report.initial_stock_total) + ")");
+  }
+  if (report.final_stock_total < 0) {
+    violation("conservation: negative final stock " +
+              std::to_string(report.final_stock_total));
+  }
+
+  // Exactly-once grants: the manager granted one promise per accepted
+  // client request. Every order with an unknown outcome widens the
+  // bracket by at most one grant.
+  uint64_t accepted_known = report.completed + report.failed_actions +
+                            act_unknown;
+  if (report.manager.granted < accepted_known ||
+      report.manager.granted > accepted_known + grant_unknown) {
+    violation("exactly-once: manager granted " +
+              std::to_string(report.manager.granted) +
+              " promises but clients observed " +
+              std::to_string(accepted_known) + " acceptances (+" +
+              std::to_string(grant_unknown) + " unknown)");
+  }
+  if (report.manager.requests !=
+      report.manager.granted + report.manager.rejected) {
+    violation("exactly-once: requests processed (" +
+              std::to_string(report.manager.requests) +
+              ") != granted + rejected (" +
+              std::to_string(report.manager.granted) + " + " +
+              std::to_string(report.manager.rejected) + ")");
+  }
+
+  // No orphan grants: everything granted was released (atomic
+  // release-on-grant via release-after, or the explicit cleanup), so
+  // the table drains. Unknown outcomes may legitimately leave at most
+  // one promise each.
+  size_t active = pm.active_promises();
+  if (active > report.unknown) {
+    violation("orphans: " + std::to_string(active) +
+              " promises still active after the run (tolerance " +
+              std::to_string(report.unknown) + " for unknown outcomes)");
+  }
+  if (report.unknown == 0 &&
+      report.manager.released != report.manager.granted) {
+    violation("orphans: granted " + std::to_string(report.manager.granted) +
+              " != released " + std::to_string(report.manager.released) +
+              " in a fully converged run");
+  }
+  if (report.manager.expired != 0) {
+    violation("audit precondition: " +
+              std::to_string(report.manager.expired) +
+              " promises expired mid-run (durations too short)");
+  }
+  return report;
+}
+
+std::string ChaosReport::Summary() const {
+  char buf[512];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "orders: %llu attempts, %llu completed, %llu rejected, "
+                "%llu failed, %llu unknown\n",
+                static_cast<unsigned long long>(attempts),
+                static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(rejected),
+                static_cast<unsigned long long>(failed_actions),
+                static_cast<unsigned long long>(unknown));
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "wire: %llu envelopes + %llu retries (amplification %.3f), "
+      "faults: %llu dropped-req, %llu dropped-reply, %llu duplicated, "
+      "%llu delayed\n",
+      static_cast<unsigned long long>(envelopes_sent),
+      static_cast<unsigned long long>(client_retries), RetryAmplification(),
+      static_cast<unsigned long long>(faults.requests_dropped),
+      static_cast<unsigned long long>(faults.replies_dropped),
+      static_cast<unsigned long long>(faults.duplicates),
+      static_cast<unsigned long long>(faults.delay_spikes));
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "manager: %llu granted, %llu rejected, %llu released, "
+      "%llu duplicate replies replayed; stock %lld -> %lld; "
+      "goodput %.1f orders/s\n",
+      static_cast<unsigned long long>(manager.granted),
+      static_cast<unsigned long long>(manager.rejected),
+      static_cast<unsigned long long>(manager.released),
+      static_cast<unsigned long long>(manager.duplicates_replayed),
+      static_cast<long long>(initial_stock_total),
+      static_cast<long long>(final_stock_total), GoodputPerSec());
+  out += buf;
+  if (violations.empty()) {
+    out += "audit: all invariants hold\n";
+  } else {
+    for (const std::string& v : violations) {
+      out += "VIOLATION: " + v + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace promises

@@ -1,0 +1,113 @@
+// Chaos harness: the E1 ordering workload on a faulty transport.
+//
+// Runs the merchant scenario (check/think/purchase) end to end over
+// the §6 protocol path — PromiseClient envelopes through a Transport
+// with an attached FaultInjector — instead of the direct in-process
+// API. Requests and replies are randomly dropped, deliveries are
+// duplicated and hops get delay spikes, while clients retry with the
+// idempotency-preserving policy (identical envelope, same message id).
+//
+// After the run the harness audits the §4 invariants against the
+// manager's own books, which are authoritative even when clients lost
+// replies:
+//   * resource conservation — stock consumed equals successful
+//     purchases times the order quantity, no units created or leaked;
+//   * exactly-once grants — the manager granted exactly one promise
+//     per accepted client request (duplicates and retries replayed the
+//     cached reply instead of granting again);
+//   * no orphan grants — every granted promise was released (the
+//     release-after binding or the explicit cleanup), so the promise
+//     table drains to empty.
+// Violations are reported as human-readable strings; an empty list
+// means the run converged with every invariant intact.
+
+#ifndef PROMISES_SIM_CHAOS_H_
+#define PROMISES_SIM_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/promise_manager.h"
+#include "protocol/fault_injector.h"
+#include "protocol/retry_policy.h"
+#include "protocol/transport.h"
+#include "sim/metrics.h"
+
+namespace promises {
+
+struct ChaosConfig {
+  int num_items = 4;
+  int64_t initial_stock = 50;    ///< Per item pool.
+  int64_t order_quantity = 1;    ///< Units per purchase.
+  int workers = 4;
+  int orders_per_worker = 25;
+  int64_t think_us = 0;          ///< Business step between check and buy.
+  /// Fault schedule. The harness zeroes `crash` — process crash and
+  /// recovery is exercised deterministically by the recovery tests,
+  /// not by the randomized run.
+  FaultConfig faults;
+  /// Client retry policy. The default is deliberately generous (many
+  /// cheap attempts) so that runs converge: the probability that every
+  /// attempt of one request is lost must be negligible, otherwise the
+  /// audit has unknown outcomes to account for.
+  RetryPolicy retry{/*max_attempts=*/12, /*deadline_ms=*/30'000,
+                    /*initial_backoff_ms=*/1, /*backoff_multiplier=*/2.0,
+                    /*max_backoff_ms=*/8, /*jitter=*/0.25};
+  uint64_t seed = 42;
+  DurationMs promise_duration_ms = 600'000;  ///< Never expires mid-run.
+};
+
+struct ChaosReport {
+  // Client-observed outcomes (one per attempted order).
+  uint64_t attempts = 0;
+  uint64_t completed = 0;       ///< Granted and purchased.
+  uint64_t rejected = 0;        ///< Promise rejected (stock exhausted).
+  uint64_t failed_actions = 0;  ///< Granted but the purchase failed.
+  uint64_t unknown = 0;         ///< Retries exhausted; outcome unknown.
+
+  // Protocol-level accounting.
+  uint64_t envelopes_sent = 0;  ///< Logical sends (first attempts).
+  uint64_t client_retries = 0;  ///< Re-sends on top of envelopes_sent.
+
+  PromiseManagerStats manager;
+  TransportStats transport;
+  FaultCounters faults;
+
+  int64_t initial_stock_total = 0;
+  int64_t final_stock_total = 0;
+  int64_t wall_time_us = 0;
+
+  /// §4 invariant violations found by the post-run audit; empty = pass.
+  std::vector<std::string> violations;
+
+  /// Every order reached a definite outcome (no exhausted retries).
+  bool converged() const { return unknown == 0; }
+  bool ok() const { return violations.empty(); }
+
+  /// Successfully completed orders per wall-clock second.
+  double GoodputPerSec() const {
+    return wall_time_us <= 0 ? 0.0
+                             : static_cast<double>(completed) * 1e6 /
+                                   static_cast<double>(wall_time_us);
+  }
+  /// Wire messages per logical envelope: 1.0 = no retries.
+  double RetryAmplification() const {
+    return envelopes_sent == 0
+               ? 1.0
+               : static_cast<double>(envelopes_sent + client_retries) /
+                     static_cast<double>(envelopes_sent);
+  }
+
+  /// Formatted multi-line summary (counters, faults, audit verdict).
+  std::string Summary() const;
+};
+
+/// Runs the chaos workload to completion and audits it.
+/// (Per-endpoint transport breakdowns are formatted by
+/// `FormatTransportStats` in sim/metrics.h.)
+ChaosReport RunChaosWorkload(const ChaosConfig& config);
+
+}  // namespace promises
+
+#endif  // PROMISES_SIM_CHAOS_H_

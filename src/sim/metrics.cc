@@ -69,4 +69,27 @@ std::string OrderingMetrics::Row(const std::string& label) const {
   return buf;
 }
 
+std::string FormatTransportStats(const TransportStats& stats) {
+  std::string out =
+      "endpoint                 messages  failures    faults   retries\n";
+  char buf[256];
+  for (const auto& [endpoint, ep] : stats.per_endpoint) {
+    std::snprintf(buf, sizeof(buf), "%-24s %9llu %9llu %9llu %9llu\n",
+                  endpoint.c_str(),
+                  static_cast<unsigned long long>(ep.messages),
+                  static_cast<unsigned long long>(ep.failures),
+                  static_cast<unsigned long long>(ep.faults_injected),
+                  static_cast<unsigned long long>(ep.retries));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%-24s %9llu %9llu %9llu %9llu\n",
+                "(total)",
+                static_cast<unsigned long long>(stats.messages),
+                static_cast<unsigned long long>(stats.failures),
+                static_cast<unsigned long long>(stats.faults_injected),
+                static_cast<unsigned long long>(stats.retries));
+  out += buf;
+  return out;
+}
+
 }  // namespace promises

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "baseline/ordering.h"
+#include "protocol/transport.h"
 
 namespace promises {
 
@@ -62,6 +63,11 @@ struct OrderingMetrics {
   std::string Row(const std::string& label) const;
   static std::string Header();
 };
+
+/// Per-endpoint transport breakdown as a formatted table (one row per
+/// endpoint — messages, failures, injected faults, retries — plus a
+/// total row), for experiment reports on the fault path.
+std::string FormatTransportStats(const TransportStats& stats);
 
 }  // namespace promises
 

@@ -1,0 +1,326 @@
+// Tests for the fault-injection layer: deterministic injector
+// decisions, transport-level drops/duplicates/crashes, per-endpoint
+// stats, and the client retry policy.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "protocol/fault_injector.h"
+#include "protocol/retry_policy.h"
+#include "protocol/transport.h"
+#include "sim/chaos.h"
+
+namespace promises {
+namespace {
+
+// ---- FaultInjector -------------------------------------------------
+
+TEST(FaultInjectorTest, DisabledInjectorAlwaysDelivers) {
+  FaultInjector injector(1);
+  for (int i = 0; i < 100; ++i) {
+    FaultInjector::Decision d = injector.Decide();
+    EXPECT_EQ(d.action, FaultAction::kDeliver);
+    EXPECT_EQ(d.delay_us, 0);
+  }
+  EXPECT_EQ(injector.counters().total_faults(), 0u);
+  EXPECT_EQ(injector.counters().decisions, 100u);
+}
+
+TEST(FaultInjectorTest, SameSeedSameSchedule) {
+  FaultConfig config;
+  config.drop_request = 0.2;
+  config.drop_reply = 0.2;
+  config.duplicate = 0.1;
+  config.delay_spike = 0.1;
+  config.delay_spike_us = 5;
+
+  std::vector<FaultAction> first;
+  FaultInjector a(99);
+  a.Configure(config);
+  for (int i = 0; i < 200; ++i) first.push_back(a.Decide().action);
+
+  FaultInjector b(99);
+  b.Configure(config);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(b.Decide().action, first[static_cast<size_t>(i)]) << i;
+  }
+}
+
+TEST(FaultInjectorTest, RatesApproximatelyHonored) {
+  FaultConfig config;
+  config.drop_request = 0.10;
+  config.drop_reply = 0.10;
+  config.duplicate = 0.05;
+  FaultInjector injector(7);
+  injector.Configure(config);
+  constexpr int kDraws = 20'000;
+  for (int i = 0; i < kDraws; ++i) injector.Decide();
+  FaultCounters c = injector.counters();
+  EXPECT_NEAR(static_cast<double>(c.requests_dropped) / kDraws, 0.10, 0.02);
+  EXPECT_NEAR(static_cast<double>(c.replies_dropped) / kDraws, 0.10, 0.02);
+  EXPECT_NEAR(static_cast<double>(c.duplicates) / kDraws, 0.05, 0.02);
+  EXPECT_EQ(c.crashes, 0u);
+}
+
+TEST(FaultInjectorTest, ResetReseedsAndClearsCounters) {
+  FaultConfig config;
+  config.drop_request = 0.5;
+  FaultInjector injector(5);
+  injector.Configure(config);
+  std::vector<FaultAction> first;
+  for (int i = 0; i < 50; ++i) first.push_back(injector.Decide().action);
+  EXPECT_GT(injector.counters().decisions, 0u);
+
+  injector.Reset(5);
+  EXPECT_EQ(injector.counters().decisions, 0u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(injector.Decide().action, first[static_cast<size_t>(i)]) << i;
+  }
+}
+
+// ---- Transport wiring ----------------------------------------------
+
+Envelope TestRequest(Transport* transport, const std::string& to) {
+  Envelope env;
+  env.message_id = transport->NextMessageId();
+  env.from = "tester";
+  env.to = to;
+  ActionBody a;
+  a.service = "s";
+  a.operation = "ping";
+  env.action = std::move(a);
+  return env;
+}
+
+EndpointHandler CountingHandler(int* count) {
+  return [count](const Envelope& in) -> Result<Envelope> {
+    ++*count;
+    Envelope out;
+    out.message_id = MessageId(in.message_id.value() + 1'000'000);
+    out.from = in.to;
+    out.to = in.from;
+    ActionResultBody r;
+    r.ok = true;
+    out.action_result = std::move(r);
+    return out;
+  };
+}
+
+TEST(TransportFaultTest, DroppedRequestNeverReachesHandler) {
+  Transport transport;
+  int handled = 0;
+  transport.Register("victim", CountingHandler(&handled));
+  FaultConfig config;
+  config.drop_request = 1.0;
+  FaultInjector injector(3);
+  injector.Configure(config);
+  transport.set_fault_injector(&injector);
+
+  Result<Envelope> reply = transport.Send(TestRequest(&transport, "victim"));
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kTimeout);
+  EXPECT_EQ(handled, 0);
+  EXPECT_EQ(transport.stats().faults_injected, 1u);
+}
+
+TEST(TransportFaultTest, DroppedReplyRunsHandlerButTimesOut) {
+  Transport transport;
+  int handled = 0;
+  transport.Register("victim", CountingHandler(&handled));
+  FaultConfig config;
+  config.drop_reply = 1.0;
+  FaultInjector injector(3);
+  injector.Configure(config);
+  transport.set_fault_injector(&injector);
+
+  Result<Envelope> reply = transport.Send(TestRequest(&transport, "victim"));
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kTimeout);
+  // The state change happened: this is the case client retries + the
+  // manager's idempotency table exist for.
+  EXPECT_EQ(handled, 1);
+}
+
+TEST(TransportFaultTest, DuplicateDeliversTwice) {
+  Transport transport;
+  int handled = 0;
+  transport.Register("victim", CountingHandler(&handled));
+  FaultConfig config;
+  config.duplicate = 1.0;
+  FaultInjector injector(3);
+  injector.Configure(config);
+  transport.set_fault_injector(&injector);
+
+  Result<Envelope> reply = transport.Send(TestRequest(&transport, "victim"));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(handled, 2);
+  EXPECT_EQ(transport.stats().messages, 2u);
+}
+
+TEST(TransportFaultTest, CrashInvokesHookAndFailsUnavailable) {
+  Transport transport;
+  int handled = 0;
+  transport.Register("victim", CountingHandler(&handled));
+  std::string crashed;
+  transport.set_crash_hook(
+      [&](const std::string& endpoint) { crashed = endpoint; });
+  FaultConfig config;
+  config.crash = 1.0;
+  FaultInjector injector(3);
+  injector.Configure(config);
+  transport.set_fault_injector(&injector);
+
+  Result<Envelope> reply = transport.Send(TestRequest(&transport, "victim"));
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(crashed, "victim");
+  EXPECT_EQ(handled, 0);
+}
+
+TEST(TransportFaultTest, PerEndpointStatsBreakdown) {
+  Transport transport;
+  int a_count = 0, b_count = 0;
+  transport.Register("endpoint-a", CountingHandler(&a_count));
+  transport.Register("endpoint-b", CountingHandler(&b_count));
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(transport.Send(TestRequest(&transport, "endpoint-a")).ok());
+  }
+  ASSERT_TRUE(transport.Send(TestRequest(&transport, "endpoint-b")).ok());
+  EXPECT_FALSE(transport.Send(TestRequest(&transport, "nowhere")).ok());
+  transport.NoteRetry("endpoint-a");
+  transport.NoteRetry("endpoint-a");
+
+  TransportStats stats = transport.stats();
+  EXPECT_EQ(stats.per_endpoint.at("endpoint-a").messages, 3u);
+  EXPECT_EQ(stats.per_endpoint.at("endpoint-a").retries, 2u);
+  EXPECT_EQ(stats.per_endpoint.at("endpoint-b").messages, 1u);
+  EXPECT_EQ(stats.per_endpoint.at("nowhere").failures, 1u);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.messages, 4u);
+
+  std::string table = FormatTransportStats(stats);
+  EXPECT_NE(table.find("endpoint-a"), std::string::npos);
+  EXPECT_NE(table.find("(total)"), std::string::npos);
+}
+
+// ---- RetryPolicy ----------------------------------------------------
+
+TEST(RetryPolicyTest, RetryableCodes) {
+  EXPECT_TRUE(IsRetryableStatus(Status::Timeout("t")));
+  EXPECT_TRUE(IsRetryableStatus(Status::Unavailable("u")));
+  EXPECT_TRUE(IsRetryableStatus(Status::DeadlineExceeded("d")));
+  EXPECT_FALSE(IsRetryableStatus(Status::FailedPrecondition("f")));
+  EXPECT_FALSE(IsRetryableStatus(Status::InvalidArgument("i")));
+  EXPECT_FALSE(IsRetryableStatus(Status::Internal("x")));
+}
+
+TEST(RetryPolicyTest, BackoffGrowsAndCaps) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 4;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ms = 20;
+  policy.jitter = 0;  // deterministic
+  EXPECT_EQ(BackoffForAttempt(policy, 1, nullptr), 4);
+  EXPECT_EQ(BackoffForAttempt(policy, 2, nullptr), 8);
+  EXPECT_EQ(BackoffForAttempt(policy, 3, nullptr), 16);
+  EXPECT_EQ(BackoffForAttempt(policy, 4, nullptr), 20);  // capped
+  EXPECT_EQ(BackoffForAttempt(policy, 10, nullptr), 20);
+}
+
+TEST(RetryPolicyTest, JitterStaysWithinBand) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 100;
+  policy.jitter = 0.25;
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    DurationMs b = BackoffForAttempt(policy, 1, &rng);
+    EXPECT_GE(b, 75);
+    EXPECT_LE(b, 125);
+  }
+}
+
+TEST(RetryPolicyTest, SucceedsAfterTransientFailures) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff_ms = 1;
+  policy.max_backoff_ms = 2;
+  Rng rng(1);
+  int calls = 0;
+  uint64_t retries = 0;
+  Result<int> result = CallWithRetry(
+      policy, &rng,
+      [&]() -> Result<int> {
+        ++calls;
+        if (calls < 3) return Status::Timeout("flaky");
+        return 42;
+      },
+      &retries);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2u);
+}
+
+TEST(RetryPolicyTest, NonRetryableFailsImmediately) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  Rng rng(1);
+  int calls = 0;
+  Result<int> result = CallWithRetry(policy, &rng, [&]() -> Result<int> {
+    ++calls;
+    return Status::FailedPrecondition("rejected");
+  });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryPolicyTest, ExhaustionReturnsDeadlineExceeded) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 1;
+  policy.max_backoff_ms = 1;
+  Rng rng(1);
+  int calls = 0;
+  uint64_t retries = 0;
+  int on_retry_calls = 0;
+  Result<int> result = CallWithRetry(
+      policy, &rng, [&]() -> Result<int> {
+        ++calls;
+        return Status::Unavailable("down");
+      },
+      &retries, [&] { ++on_retry_calls; });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(result.status().message().find("down"), std::string::npos);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2u);
+  EXPECT_EQ(on_retry_calls, 2);
+}
+
+TEST(RetryPolicyTest, DeadlineBoundsTheAttempts) {
+  RetryPolicy policy;
+  policy.max_attempts = 1'000;
+  policy.deadline_ms = 30;
+  policy.initial_backoff_ms = 20;
+  policy.backoff_multiplier = 1.0;
+  policy.max_backoff_ms = 20;
+  policy.jitter = 0;
+  Rng rng(1);
+  int calls = 0;
+  Result<int> result = CallWithRetry(policy, &rng, [&]() -> Result<int> {
+    ++calls;
+    return Status::Timeout("never up");
+  });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  // ~30ms budget at 20ms per backoff: the second backoff would cross
+  // the deadline, so at most a couple of attempts happen.
+  EXPECT_LE(calls, 3);
+}
+
+}  // namespace
+}  // namespace promises

@@ -103,6 +103,78 @@ TEST(OperationLogTest, RejectsMultilinePayloadAndClosedLog) {
   EXPECT_TRUE(OperationLog::ReadAll("/no/such/file").status().IsNotFound());
 }
 
+// --- Injected mid-append crashes ----------------------------------------
+
+int64_t FileSize(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return -1;
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  return size;
+}
+
+TEST(OperationLogTest, InjectedTornWriteIsTruncatedOnReopen) {
+  TempLogFile file("torn_inject");
+  {
+    OperationLog log;
+    ASSERT_TRUE(log.Open(file.path()).ok());
+    ASSERT_TRUE(log.Append(1, "<first/>").ok());
+  }
+  const int64_t clean_size = FileSize(file.path());
+  ASSERT_GT(clean_size, 0);
+
+  {
+    OperationLog log;
+    ASSERT_TRUE(log.Open(file.path()).ok());
+    log.InjectTornWrite(7);  // crash after 7 bytes of the record
+    Status st = log.Append(2, "<second/>");
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kUnavailable) << st.ToString();
+  }
+  // The torn tail reached the file...
+  EXPECT_GT(FileSize(file.path()), clean_size);
+  // ...and the scan sees only the intact prefix.
+  auto records = OperationLog::ReadAll(file.path());
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].payload, "<first/>");
+
+  // Reopen physically truncates back to the clean prefix, and appends
+  // extend it without tripping over the old tail.
+  {
+    OperationLog log;
+    ASSERT_TRUE(log.Open(file.path()).ok());
+    EXPECT_EQ(FileSize(file.path()), clean_size);
+    ASSERT_TRUE(log.Append(3, "<third/>").ok());
+  }
+  records = OperationLog::ReadAll(file.path());
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[1].timestamp, 3);
+  EXPECT_EQ((*records)[1].payload, "<third/>");
+}
+
+TEST(OperationLogTest, TornWriteMidHeaderAndMidPayloadBothTruncate) {
+  for (size_t torn_bytes : {1u, 3u, 12u}) {
+    TempLogFile file("torn_at_" + std::to_string(torn_bytes));
+    {
+      OperationLog log;
+      ASSERT_TRUE(log.Open(file.path()).ok());
+      ASSERT_TRUE(log.Append(1, "<keep/>").ok());
+      log.InjectTornWrite(torn_bytes);
+      EXPECT_FALSE(log.Append(2, "<lost-in-the-crash/>").ok());
+    }
+    OperationLog reopened;
+    ASSERT_TRUE(reopened.Open(file.path()).ok()) << torn_bytes;
+    reopened.Close();
+    auto records = OperationLog::ReadAll(file.path());
+    ASSERT_TRUE(records.ok()) << torn_bytes;
+    ASSERT_EQ(records->size(), 1u) << torn_bytes;
+    EXPECT_EQ((*records)[0].payload, "<keep/>");
+  }
+}
+
 // --- Manager recovery ---------------------------------------------------
 
 struct WorldParts {
@@ -340,6 +412,48 @@ TEST_P(RecoveryFuzzTest, RandomHistoryReplaysEquivalently) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryFuzzTest,
                          ::testing::Range<uint64_t>(1, 7));
+
+TEST(RecoveryTest, CrashMidAppendRecoversTheCleanPrefix) {
+  // A torn write injected while the manager is logging: recovery must
+  // replay exactly the operations whose records survived intact.
+  TempLogFile file("mid_append");
+  PromiseId first_id;
+  {
+    WorldParts original;
+    OperationLog log;
+    ASSERT_TRUE(log.Open(file.path()).ok());
+    ASSERT_TRUE(original.pm->AttachLog(&log).ok());
+
+    auto g1 = original.pm->RequestPromise(
+        original.client, {Predicate::Quantity("stock", CompareOp::kGe, 20)});
+    ASSERT_TRUE(g1.ok() && g1->accepted);
+    first_id = g1->promise_id;
+
+    // The process "dies" while appending the second grant's record:
+    // only a fragment of it reaches the file.
+    log.InjectTornWrite(10);
+    auto g2 = original.pm->RequestPromise(
+        original.client, {Predicate::Quantity("stock", CompareOp::kGe, 5)});
+    // The in-memory operation itself committed; only durability was
+    // lost, and the manager detached the failing log.
+    ASSERT_TRUE(g2.ok() && g2->accepted);
+    EXPECT_EQ(original.pm->active_promises(), 2u);
+  }
+
+  // Reopen truncates the torn tail; replay reproduces the first grant
+  // only, under its original id.
+  OperationLog reopened;
+  ASSERT_TRUE(reopened.Open(file.path()).ok());
+  reopened.Close();
+  auto records = OperationLog::ReadAll(file.path());
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+
+  WorldParts recovered;
+  ASSERT_TRUE(recovered.pm->ReplayLog(*records, &recovered.clock).ok());
+  EXPECT_EQ(recovered.pm->active_promises(), 1u);
+  EXPECT_NE(recovered.pm->FindPromise(first_id), nullptr);
+}
 
 }  // namespace
 }  // namespace promises

@@ -3,9 +3,16 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <thread>
 
 #include "core/promise_manager.h"
+#include "protocol/fault_injector.h"
 #include "protocol/tcp_transport.h"
 #include "service/services.h"
 
@@ -201,6 +208,190 @@ TEST(TcpTransportTest, FullPromiseExchangeOverTheWire) {
   EXPECT_EQ(manager.active_promises(), 0u);
   auto txn = tm.Begin();
   EXPECT_EQ(*rm.GetQuantity(txn.get(), "widget"), 6);
+}
+
+// A listener that completes TCP handshakes (kernel backlog) but never
+// accepts, reads or replies — the pathological stalled server.
+class StalledServer {
+ public:
+  StalledServer() {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len),
+              0);
+    port_ = ntohs(addr.sin_port);
+    EXPECT_EQ(::listen(fd_, 4), 0);
+  }
+  ~StalledServer() { ::close(fd_); }
+  uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+TEST(TcpTransportTest, CallAgainstStalledServerHitsDeadline) {
+  // Regression: Call used to block in recv() forever when the server
+  // accepted the connection but never sent a reply.
+  StalledServer stalled;
+  TcpClientChannel channel;
+  channel.set_call_timeout_ms(100);
+  ASSERT_TRUE(channel.Connect(stalled.port()).ok());
+
+  Envelope req;
+  req.message_id = MessageId(1);
+  req.from = "tester";
+  req.to = "stalled";
+  auto start = std::chrono::steady_clock::now();
+  Result<Envelope> reply = channel.Call(req);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kDeadlineExceeded)
+      << reply.status().ToString();
+  EXPECT_LT(elapsed.count(), 5'000) << "deadline did not bound the call";
+}
+
+TEST(TcpTransportTest, UnboundedChannelStillDefaultsToBlocking) {
+  // Timeout 0 keeps the original semantics; against a live server the
+  // call simply completes.
+  TcpEndpointServer server;
+  ASSERT_TRUE(server.Start(0, EchoHandler()).ok());
+  TcpClientChannel channel;
+  ASSERT_TRUE(channel.Connect(server.port()).ok());
+  Envelope req;
+  req.message_id = MessageId(1);
+  req.from = "t";
+  req.to = "server";
+  EXPECT_TRUE(channel.Call(req).ok());
+}
+
+TEST(TcpTransportTest, ReconnectsAfterInjectedConnectionCrash) {
+  TcpEndpointServer server;
+  ASSERT_TRUE(server.Start(0, EchoHandler()).ok());
+  FaultInjector injector(11);
+  FaultConfig crash_once;
+  crash_once.crash = 1.0;
+  injector.Configure(crash_once);
+  server.set_fault_injector(&injector);
+
+  TcpClientChannel channel;
+  channel.set_call_timeout_ms(2'000);
+  ASSERT_TRUE(channel.Connect(server.port()).ok());
+
+  Envelope req;
+  req.message_id = MessageId(1);
+  req.from = "tester";
+  req.to = "server";
+  // The injected crash kills the connection mid-conversation.
+  EXPECT_FALSE(channel.Call(req).ok());
+  EXPECT_EQ(channel.reconnects(), 0u);
+
+  // Heal the server; the next Call transparently reconnects.
+  injector.Configure(FaultConfig{});
+  req.message_id = MessageId(2);
+  Result<Envelope> reply = channel.Call(req);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(channel.reconnects(), 1u);
+}
+
+TEST(TcpTransportTest, InjectedDuplicateDeliveryDedupedByManager) {
+  // Over a real socket: a duplicated delivery runs the manager twice,
+  // but the idempotency table turns the second run into a cache hit.
+  SystemClock clock;
+  ResourceManager rm;
+  TransactionManager tm;
+  ASSERT_TRUE(rm.CreatePool("widget", 10).ok());
+  PromiseManagerConfig config;
+  config.name = "net-pm";
+  PromiseManager manager(config, &clock, &rm, &tm);
+
+  TcpEndpointServer server;
+  ASSERT_TRUE(
+      server.Start(0, [&](const Envelope& env) { return manager.Handle(env); })
+          .ok());
+  FaultInjector injector(5);
+  FaultConfig dup;
+  dup.duplicate = 1.0;
+  injector.Configure(dup);
+  server.set_fault_injector(&injector);
+
+  TcpClientChannel channel;
+  ASSERT_TRUE(channel.Connect(server.port()).ok());
+  Envelope req;
+  req.message_id = MessageId(1);
+  req.from = "net-client";
+  req.to = "net-pm";
+  PromiseRequestHeader header;
+  header.request_id = RequestId(1);
+  header.predicates.push_back(
+      Predicate::Quantity("widget", CompareOp::kGe, 4));
+  req.promise_request = std::move(header);
+
+  auto reply = channel.Call(req);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_TRUE(reply->promise_response.has_value());
+  EXPECT_EQ(reply->promise_response->result, PromiseResultCode::kAccepted);
+  EXPECT_EQ(manager.stats().granted, 1u);
+  EXPECT_EQ(manager.stats().duplicates_replayed, 1u);
+  EXPECT_EQ(manager.active_promises(), 1u);
+}
+
+TEST(TcpTransportTest, ReplyLossRetryOverTheWireReturnsOriginalGrant) {
+  // The acceptance path over TCP: the manager grants, the reply frame
+  // is suppressed, the client times out and retries the identical
+  // envelope on a fresh connection — and gets the original promise id.
+  SystemClock clock;
+  ResourceManager rm;
+  TransactionManager tm;
+  ASSERT_TRUE(rm.CreatePool("widget", 10).ok());
+  PromiseManagerConfig config;
+  config.name = "net-pm";
+  PromiseManager manager(config, &clock, &rm, &tm);
+
+  TcpEndpointServer server;
+  ASSERT_TRUE(
+      server.Start(0, [&](const Envelope& env) { return manager.Handle(env); })
+          .ok());
+  FaultInjector injector(5);
+  FaultConfig lose_reply;
+  lose_reply.drop_reply = 1.0;
+  injector.Configure(lose_reply);
+  server.set_fault_injector(&injector);
+
+  TcpClientChannel channel;
+  channel.set_call_timeout_ms(200);
+  ASSERT_TRUE(channel.Connect(server.port()).ok());
+  Envelope req;
+  req.message_id = MessageId(9);
+  req.from = "net-client";
+  req.to = "net-pm";
+  PromiseRequestHeader header;
+  header.request_id = RequestId(1);
+  header.predicates.push_back(
+      Predicate::Quantity("widget", CompareOp::kGe, 4));
+  req.promise_request = std::move(header);
+
+  auto first = channel.Call(req);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(manager.stats().granted, 1u);  // grant happened server-side
+
+  injector.Configure(FaultConfig{});
+  auto retry = channel.Call(req);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_EQ(channel.reconnects(), 1u);  // poisoned stream was replaced
+  ASSERT_TRUE(retry->promise_response.has_value());
+  PromiseId id = retry->promise_response->promise_id;
+  EXPECT_NE(manager.FindPromise(id), nullptr);
+  EXPECT_EQ(manager.stats().granted, 1u);
+  EXPECT_EQ(manager.stats().duplicates_replayed, 1u);
 }
 
 }  // namespace
