@@ -1,0 +1,298 @@
+// Overload sweep: goodput and accepted-call latency of the TCP
+// endpoint server as offered load crosses saturation, with the
+// admission controller on vs off.
+//
+// Setup: a worker pool of 2 with a 20 ms sleeping handler gives the
+// server a capacity of ~100 requests/s that is independent of host
+// CPU count (service time is slept, not burned — this box has one
+// core). Paced client threads offer 0.5x..4x that capacity; every
+// request carries a propagated absolute deadline equal to the client's
+// call timeout.
+//
+//   * shedding on  — bounded queue (capacity 4), dequeue-time deadline
+//     re-check: excess load is refused immediately with retry-after
+//     hints, accepted requests finish inside the client deadline, and
+//     goodput stays near capacity.
+//   * shedding off — unbounded queue, no deadline checks: the backlog
+//     grows without bound, every reply eventually loses the race with
+//     the client deadline, and goodput collapses (the §2 robustness
+//     failure mode this PR exists to prevent).
+//
+// The run FAILS (exit 1) unless goodput with shedding at 4x saturation
+// is at least 2x the collapsed no-shedding goodput and clears an
+// absolute floor — the CI overload smoke job runs this binary as the
+// regression gate. Plain main (not google-benchmark): the output
+// contract is the BENCH_overload.json file.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "protocol/tcp_transport.h"
+#include "sim/metrics.h"
+
+namespace {
+
+using promises::Envelope;
+using promises::LatencyRecorder;
+using promises::OverloadStats;
+using promises::Result;
+using promises::Status;
+using promises::StatusCode;
+using promises::SystemClock;
+using promises::TcpClientChannel;
+using promises::TcpEndpointServer;
+using promises::TcpServerOptions;
+using SteadyClock = std::chrono::steady_clock;
+
+constexpr int kServiceMs = 20;        // slept per request by the handler
+constexpr size_t kWorkers = 2;        // => capacity ~100 req/s
+constexpr int kClientTimeoutMs = 100; // per-call budget and deadline
+constexpr size_t kQueueCapacity = 4;  // shedding-on bound
+constexpr int kClientThreads = 48;
+constexpr int kDurationMs = 1500;     // per sweep point
+
+struct PointResult {
+  double offered_rps = 0;
+  bool shedding = false;
+  uint64_t sent = 0;
+  uint64_t succeeded = 0;
+  uint64_t shed = 0;      // kResourceExhausted replies
+  uint64_t timed_out = 0; // client deadline fired
+  uint64_t failed = 0;    // everything else
+  double goodput_rps = 0;
+  int64_t p50_us = 0;
+  int64_t p99_us = 0;     // accepted calls only
+  OverloadStats server;
+};
+
+PointResult RunPoint(double offered_rps, bool shedding, uint64_t seed) {
+  SystemClock clock;
+  TcpEndpointServer server;
+  TcpServerOptions options;
+  options.workers = kWorkers;
+  options.clock = &clock;
+  if (shedding) {
+    options.admission.queue_capacity = kQueueCapacity;
+    options.shed_expired = true;
+  } else {
+    options.admission.queue_capacity = 0;  // unbounded legacy queue
+    options.shed_expired = false;
+  }
+  Status start_st = server.Start(
+      0,
+      [](const Envelope& in) -> Result<Envelope> {
+        std::this_thread::sleep_for(std::chrono::milliseconds(kServiceMs));
+        Envelope out;
+        out.message_id = in.message_id;
+        out.from = in.to;
+        out.to = in.from;
+        promises::ActionResultBody r;
+        r.ok = true;
+        out.action_result = std::move(r);
+        return out;
+      },
+      options);
+  if (!start_st.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 start_st.ToString().c_str());
+    std::exit(1);
+  }
+
+  PointResult point;
+  point.offered_rps = offered_rps;
+  point.shedding = shedding;
+
+  std::atomic<uint64_t> sent{0}, succeeded{0}, shed{0}, timed_out{0},
+      failed{0};
+  std::vector<LatencyRecorder> latencies(kClientThreads);
+
+  double interval_ms = 1000.0 * kClientThreads / offered_rps;
+  auto start = SteadyClock::now();
+  auto end = start + std::chrono::milliseconds(kDurationMs);
+
+  auto client_fn = [&](int c) {
+    TcpClientChannel channel;
+    channel.set_call_timeout_ms(kClientTimeoutMs);
+    if (!channel.Connect(server.port()).ok()) return;
+    // Stagger thread start phases so the offered load is smooth.
+    auto next = start + std::chrono::microseconds(static_cast<int64_t>(
+                            interval_ms * 1000.0 * c / kClientThreads));
+    uint64_t id = seed * 1'000'000 + static_cast<uint64_t>(c) * 10'000;
+    while (SteadyClock::now() < end) {
+      if (next > SteadyClock::now()) std::this_thread::sleep_until(next);
+      next += std::chrono::microseconds(
+          static_cast<int64_t>(interval_ms * 1000.0));
+      Envelope req;
+      req.message_id = promises::MessageId(++id);
+      req.from = "load-" + std::to_string(c);
+      req.to = "overload-server";
+      req.deadline = clock.Now() + kClientTimeoutMs;
+      auto t0 = SteadyClock::now();
+      Result<Envelope> reply = channel.Call(req);
+      auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                    SteadyClock::now() - t0)
+                    .count();
+      ++sent;
+      if (reply.ok()) {
+        ++succeeded;
+        latencies[static_cast<size_t>(c)].Record(us);
+      } else if (reply.status().code() == StatusCode::kResourceExhausted) {
+        ++shed;
+      } else if (reply.status().code() == StatusCode::kDeadlineExceeded) {
+        ++timed_out;
+      } else {
+        ++failed;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(kClientThreads);
+  for (int c = 0; c < kClientThreads; ++c) threads.emplace_back(client_fn, c);
+  for (std::thread& t : threads) t.join();
+  auto elapsed_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        SteadyClock::now() - start)
+                        .count();
+  point.server = server.overload_stats();
+  server.Stop();
+
+  point.sent = sent;
+  point.succeeded = succeeded;
+  point.shed = shed;
+  point.timed_out = timed_out;
+  point.failed = failed;
+  point.goodput_rps = elapsed_us <= 0
+                          ? 0.0
+                          : static_cast<double>(succeeded) * 1e6 /
+                                static_cast<double>(elapsed_us);
+  LatencyRecorder merged;
+  for (const LatencyRecorder& l : latencies) merged.Merge(l);
+  point.p50_us = merged.PercentileUs(50);
+  point.p99_us = merged.PercentileUs(99);
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_overload.json";
+  constexpr uint64_t kSeed = 42;
+  constexpr double kCapacityRps =
+      1000.0 * static_cast<double>(kWorkers) / kServiceMs;
+
+  const std::vector<double> load_factors = {0.5, 1.0, 2.0, 4.0};
+  std::vector<PointResult> points;
+  std::printf("%-8s %-9s %10s %10s %8s %8s %8s %9s %9s\n", "load", "shed",
+              "offered/s", "goodput/s", "ok", "shed", "timeout", "p50(us)",
+              "p99(us)");
+  for (bool shedding : {true, false}) {
+    for (double factor : load_factors) {
+      PointResult p = RunPoint(kCapacityRps * factor, shedding, kSeed);
+      std::printf("%-8.1f %-9s %10.1f %10.1f %8llu %8llu %8llu %9lld "
+                  "%9lld\n",
+                  factor, shedding ? "on" : "off", p.offered_rps,
+                  p.goodput_rps, static_cast<unsigned long long>(p.succeeded),
+                  static_cast<unsigned long long>(p.shed),
+                  static_cast<unsigned long long>(p.timed_out),
+                  static_cast<long long>(p.p50_us),
+                  static_cast<long long>(p.p99_us));
+      points.push_back(p);
+    }
+  }
+
+  // --- Regression gates -------------------------------------------------
+  auto find = [&](double factor, bool shedding) -> const PointResult& {
+    for (const PointResult& p : points) {
+      if (p.shedding == shedding &&
+          p.offered_rps > kCapacityRps * factor - 1 &&
+          p.offered_rps < kCapacityRps * factor + 1) {
+        return p;
+      }
+    }
+    std::fprintf(stderr, "missing sweep point\n");
+    std::exit(1);
+  };
+  const PointResult& on4 = find(4.0, true);
+  const PointResult& off4 = find(4.0, false);
+  bool ok = true;
+  double collapsed = std::max(off4.goodput_rps, 1.0);
+  if (on4.goodput_rps < 2.0 * collapsed) {
+    std::fprintf(stderr,
+                 "FAIL: goodput with shedding at 4x (%.1f/s) is not 2x the "
+                 "collapsed goodput without (%.1f/s)\n",
+                 on4.goodput_rps, off4.goodput_rps);
+    ok = false;
+  }
+  if (on4.goodput_rps < 0.4 * kCapacityRps) {
+    std::fprintf(stderr,
+                 "FAIL: goodput with shedding at 4x (%.1f/s) is below the "
+                 "absolute floor of %.1f/s\n",
+                 on4.goodput_rps, 0.4 * kCapacityRps);
+    ok = false;
+  }
+  // Accepted-call latency must stay inside the client budget: successes
+  // are bounded by the call timeout by construction, so this guards the
+  // measurement itself.
+  if (on4.p99_us > static_cast<int64_t>(kClientTimeoutMs) * 1000 * 2) {
+    std::fprintf(stderr, "FAIL: accepted p99 %lld us exceeds 2x budget\n",
+                 static_cast<long long>(on4.p99_us));
+    ok = false;
+  }
+
+  std::string rows;
+  for (const PointResult& p : points) {
+    char row[512];
+    std::snprintf(
+        row, sizeof(row),
+        "    {\"offered_rps\": %.1f, \"shedding\": %s, "
+        "\"goodput_rps\": %.1f, \"sent\": %llu, \"succeeded\": %llu, "
+        "\"shed\": %llu, \"timed_out\": %llu, \"failed\": %llu, "
+        "\"p50_us\": %lld, \"p99_us\": %lld, "
+        "\"server_shed_queue_full\": %llu, \"server_shed_quota\": %llu, "
+        "\"server_shed_deadline\": %llu, \"server_queue_peak\": %llu}",
+        p.offered_rps, p.shedding ? "true" : "false", p.goodput_rps,
+        static_cast<unsigned long long>(p.sent),
+        static_cast<unsigned long long>(p.succeeded),
+        static_cast<unsigned long long>(p.shed),
+        static_cast<unsigned long long>(p.timed_out),
+        static_cast<unsigned long long>(p.failed),
+        static_cast<long long>(p.p50_us), static_cast<long long>(p.p99_us),
+        static_cast<unsigned long long>(p.server.shed_queue_full),
+        static_cast<unsigned long long>(p.server.shed_quota),
+        static_cast<unsigned long long>(p.server.shed_deadline),
+        static_cast<unsigned long long>(p.server.queue_peak));
+    if (!rows.empty()) rows += ",\n";
+    rows += row;
+  }
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::perror("fopen");
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"benchmark\": \"overload shedding sweep (TCP worker pool)\",\n"
+      "  \"setup\": {\"workers\": %zu, \"service_ms\": %d, "
+      "\"capacity_rps\": %.1f, \"client_timeout_ms\": %d, "
+      "\"queue_capacity\": %zu, \"client_threads\": %d, "
+      "\"duration_ms\": %d, \"seed\": %llu},\n"
+      "  \"points\": [\n%s\n  ],\n"
+      "  \"goodput_shedding_4x\": %.1f,\n"
+      "  \"goodput_no_shedding_4x\": %.1f,\n"
+      "  \"gates_pass\": %s\n"
+      "}\n",
+      kWorkers, kServiceMs, kCapacityRps, kClientTimeoutMs, kQueueCapacity,
+      kClientThreads, kDurationMs, static_cast<unsigned long long>(kSeed),
+      rows.c_str(), on4.goodput_rps, off4.goodput_rps, ok ? "true" : "false");
+  std::fclose(f);
+  std::printf("-> %s\n", out_path);
+  return ok ? 0 : 1;
+}

@@ -9,6 +9,11 @@
 #   scripts/ci.sh chaos      # fault-injection suite under ASan: fixed
 #                            # seed, then one randomized seed (printed,
 #                            # so failures reproduce)
+#   scripts/ci.sh overload   # overload smoke: bench_overload sweep at
+#                            # the fixed seed; the binary exits nonzero
+#                            # unless goodput with shedding clears the
+#                            # floor (>= 2x the collapsed no-shedding
+#                            # goodput at 4x saturation)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,12 +30,19 @@ run_preset() {
     --output-on-failure -j "${JOBS}" "$@"
 }
 
+run_overload() {
+  echo "=== overload smoke: bench_overload (goodput-floor gates) ==="
+  cmake --preset default
+  cmake --build --preset default -j "${JOBS}" --target bench_overload
+  ./build/bench/bench_overload build/BENCH_overload.json
+}
+
 run_chaos() {
   # Fault-injection suite under ASan: the fixed-seed run first, then
   # one fresh-seed run to probe schedules the fixed seed never hits.
   # The seed is exported and echoed so a failure is reproducible with
   # PROMISES_CHAOS_SEED=<seed> scripts/ci.sh chaos.
-  run_preset asan -R 'Chaos|FaultInjector|TransportFault|RetryPolicy|Idempotency'
+  run_preset asan -R 'Chaos|FaultInjector|TransportFault|RetryPolicy|RetryClock|Idempotency|Overload|Breaker|Admission'
   local seed="${PROMISES_CHAOS_SEED:-$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')}"
   echo "=== chaos randomized run: PROMISES_CHAOS_SEED=${seed} ==="
   PROMISES_CHAOS_SEED="${seed}" \
@@ -49,19 +61,23 @@ case "${MODE}" in
     # TSan over the full suite is slow on small runners; the concurrency
     # and transaction tests are where data races would live — including
     # the chaos workload's retry/dedup path.
-    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Idempotency'
+    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Idempotency|Overload|Breaker|Admission'
     ;;
   chaos)
     run_chaos
     ;;
+  overload)
+    run_overload
+    ;;
   all)
     run_preset default
     run_preset asan
-    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Idempotency'
+    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Idempotency|Overload|Breaker|Admission'
     run_chaos
+    run_overload
     ;;
   *)
-    echo "unknown mode: ${MODE} (expected default|asan|tsan|chaos|all)" >&2
+    echo "unknown mode: ${MODE} (expected default|asan|tsan|chaos|overload|all)" >&2
     exit 2
     ;;
 esac

@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdint>
 #include <limits>
+#include <thread>
 
 namespace promises {
 
@@ -29,6 +30,16 @@ class Clock {
   virtual ~Clock() = default;
   /// Current time in milliseconds since the clock's epoch.
   virtual Timestamp Now() const = 0;
+
+  /// Blocks the caller until `delta` ms of *this clock's* time have
+  /// passed. Backoff waits (retry policies, breaker cooldowns) go
+  /// through here so a simulated clock can fast-forward instead of
+  /// stalling the test on real sleeps.
+  virtual void SleepFor(DurationMs delta) {
+    if (delta > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delta));
+    }
+  }
 };
 
 /// Wall-clock backed implementation (steady_clock; monotone).
@@ -49,6 +60,12 @@ class SimulatedClock : public Clock {
   Timestamp Now() const override {
     return now_.load(std::memory_order_relaxed);
   }
+
+  /// Simulated sleep: time jumps forward immediately, so retry backoff
+  /// under a SimulatedClock costs zero wall-clock time while every
+  /// Now() comparison (deadlines, cooldowns) behaves as if the wait
+  /// really happened.
+  void SleepFor(DurationMs delta) override { Advance(delta); }
 
   /// Moves time forward by `delta` ms (negative deltas are ignored).
   void Advance(DurationMs delta) {

@@ -24,6 +24,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "timeout";
     case StatusCode::kDeadlineExceeded:
       return "deadline-exceeded";
+    case StatusCode::kResourceExhausted:
+      return "resource-exhausted";
     case StatusCode::kDeadlock:
       return "deadlock";
     case StatusCode::kUnavailable:

@@ -30,6 +30,7 @@ enum class StatusCode {
   kViolated,          ///< An action violated an unreleased promise (§8).
   kTimeout,           ///< Lock wait or transport wait exceeded budget.
   kDeadlineExceeded,  ///< Caller-supplied deadline passed before a reply.
+  kResourceExhausted, ///< Server shed the request under overload; retry later.
   kDeadlock,          ///< Lock manager detected a cycle (baseline only).
   kUnavailable,       ///< Transport endpoint not reachable.
   kInternal,          ///< Invariant breakage inside the library.
@@ -77,6 +78,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
   static Status Deadlock(std::string msg) {
     return Status(StatusCode::kDeadlock, std::move(msg));
   }
@@ -101,6 +105,9 @@ class Status {
   bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
   bool IsDeadlineExceeded() const {
     return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
   }
   bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
 

@@ -936,6 +936,22 @@ Status PromiseManager::ReplayLog(const std::vector<LogRecord>& records,
 }
 
 Result<Envelope> PromiseManager::Handle(const Envelope& request) {
+  // Deadline shed, before everything else: a request whose propagated
+  // deadline already lapsed gets a tiny <overload> reply — the client
+  // has given up, so executing it (or even touching the dedup table or
+  // a lock stripe) is pure waste. Sheds are deliberately NOT cached:
+  // a later retry with the same message id and a live deadline must
+  // execute for real.
+  if (request.deadline != 0 && clock_->Now() >= request.deadline) {
+    stats_.deadline_sheds.fetch_add(1, std::memory_order_relaxed);
+    Envelope shed;
+    shed.message_id = request.message_id;
+    shed.from = config_.name;
+    shed.to = request.from;
+    shed.overload = OverloadHeader{"deadline", 0};
+    return shed;
+  }
+
   // Idempotency layer: a message id the sender already completed gets
   // its original reply back, verbatim — no re-execution, no re-logging
   // (so replay never sees the duplicate either). Envelopes without a
@@ -1327,6 +1343,7 @@ PromiseManagerStats PromiseManager::stats() const {
   s.promises_broken = stats_.promises_broken.load(std::memory_order_relaxed);
   s.duplicates_replayed =
       stats_.duplicates_replayed.load(std::memory_order_relaxed);
+  s.deadline_sheds = stats_.deadline_sheds.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -142,6 +142,7 @@ struct PromiseManagerStats {
   uint64_t expired_use_errors = 0;  ///< §2 'promise-expired' errors
   uint64_t promises_broken = 0;     ///< broken by external events (§2)
   uint64_t duplicates_replayed = 0; ///< replies served from the dedup table
+  uint64_t deadline_sheds = 0;      ///< dead-on-arrival requests refused
 };
 
 /// The lock-manager stripes one operation holds: the root intention key
@@ -507,7 +508,7 @@ class PromiseManager {
     std::atomic<uint64_t> requests{0}, granted{0}, rejected{0}, released{0},
         expired{0}, updates{0}, actions{0}, action_failures{0},
         violations_rolled_back{0}, expired_use_errors{0},
-        promises_broken{0}, duplicates_replayed{0};
+        promises_broken{0}, duplicates_replayed{0}, deadline_sheds{0};
   };
   mutable AtomicStats stats_;
 };

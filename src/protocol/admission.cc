@@ -1,0 +1,101 @@
+#include "protocol/admission.h"
+
+#include <algorithm>
+
+#include "protocol/retry_policy.h"
+
+namespace promises {
+
+std::string_view AdmissionController::Decision::reason_string() const {
+  switch (reason) {
+    case ShedReason::kNone: return "";
+    case ShedReason::kQueueFull: return "queue-full";
+    case ShedReason::kQuota: return "quota";
+    case ShedReason::kDeadline: return "deadline";
+  }
+  return "";
+}
+
+Status AdmissionController::Decision::ToStatus() const {
+  if (admitted()) return Status::OK();
+  return ResourceExhaustedWithRetryAfter(
+      "request shed: " + std::string(reason_string()), retry_after_ms);
+}
+
+OverloadHeader AdmissionController::Decision::ToHeader() const {
+  return OverloadHeader{std::string(reason_string()), retry_after_ms};
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options,
+                                         Clock* clock)
+    : options_(options), clock_(clock) {}
+
+AdmissionController::Decision AdmissionController::Admit(
+    const std::string& client, size_t queue_depth, Timestamp deadline) {
+  Timestamp now = clock_->Now();
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.queue_peak = std::max<uint64_t>(stats_.queue_peak, queue_depth);
+
+  // Dead-on-arrival: the client's deadline already passed in transit.
+  if (deadline != 0 && now >= deadline) {
+    ++stats_.shed_deadline;
+    return Decision{ShedReason::kDeadline, 0};
+  }
+
+  if (options_.queue_capacity > 0 && queue_depth >= options_.queue_capacity) {
+    ++stats_.shed_queue_full;
+    return Decision{ShedReason::kQueueFull, options_.retry_after_hint_ms};
+  }
+
+  if (options_.client_rate_per_sec > 0) {
+    auto inserted = buckets_.try_emplace(client);
+    Bucket& bucket = inserted.first->second;
+    if (inserted.second) {
+      bucket.tokens = options_.client_burst;
+      bucket.last_refill = now;
+    }
+    double dt_s =
+        static_cast<double>(std::max<Timestamp>(0, now - bucket.last_refill)) /
+        1e3;
+    bucket.tokens = std::min(options_.client_burst,
+                             bucket.tokens + dt_s * options_.client_rate_per_sec);
+    bucket.last_refill = now;
+    if (bucket.tokens < 1.0) {
+      ++stats_.shed_quota;
+      // Exact time until a whole token accrues at the sustained rate.
+      DurationMs wait = static_cast<DurationMs>(
+          (1.0 - bucket.tokens) / options_.client_rate_per_sec * 1e3);
+      return Decision{ShedReason::kQuota,
+                      std::max<DurationMs>(1, wait)};
+    }
+    bucket.tokens -= 1.0;
+    // Bound the bucket map: evict the longest-idle client.
+    if (buckets_.size() > options_.max_tracked_clients) {
+      auto oldest = buckets_.begin();
+      for (auto it = buckets_.begin(); it != buckets_.end(); ++it) {
+        if (it->second.last_refill < oldest->second.last_refill) oldest = it;
+      }
+      buckets_.erase(oldest);
+    }
+  }
+
+  ++stats_.admitted;
+  return Decision{};
+}
+
+void AdmissionController::NoteDeadlineShed() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.shed_deadline;
+}
+
+void AdmissionController::NoteQueueDepth(size_t depth) {
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.queue_peak = std::max<uint64_t>(stats_.queue_peak, depth);
+}
+
+OverloadStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace promises

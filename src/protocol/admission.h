@@ -1,0 +1,131 @@
+// Admission control for overloaded endpoints.
+//
+// The paper's robustness story (§2, E6) is that a promise manager keeps
+// answering "no" cheaply: an unfulfillable request is rejected
+// immediately rather than queued behind work that will never finish.
+// This module is the transport-level analogue. An AdmissionController
+// decides, before any real work happens, whether a request is admitted
+// or shed:
+//
+//   * queue-full — the bounded request queue is at capacity; doing the
+//     work would only grow the backlog past the point where replies
+//     beat client deadlines (the goodput-collapse setup);
+//   * quota — the sending client exceeded its token-bucket rate and is
+//     crowding out everyone else;
+//   * deadline — the envelope's propagated absolute deadline has
+//     already passed (checked again at dequeue time: a request can be
+//     admitted live and die waiting), so the client has given up and
+//     the reply would be wasted work.
+//
+// A shed costs one small reply envelope carrying a retry-after hint;
+// it never touches the promise manager, its lock stripes, or the
+// idempotency table. Shared by the TCP worker-pool server (real
+// bounded queue) and the in-process Transport (in-flight gauge as the
+// queue depth), so chaos schedules and overload compose.
+
+#ifndef PROMISES_PROTOCOL_ADMISSION_H_
+#define PROMISES_PROTOCOL_ADMISSION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "protocol/message.h"
+
+namespace promises {
+
+struct AdmissionOptions {
+  /// Requests allowed to wait (the bounded queue); 0 disables the
+  /// queue-full check (unbounded legacy behavior).
+  size_t queue_capacity = 64;
+  /// Per-client token bucket: sustained admits/sec; 0 disables quotas.
+  double client_rate_per_sec = 0;
+  /// Bucket capacity (burst allowance) when quotas are enabled.
+  double client_burst = 8;
+  /// Base retry-after hint for queue-full sheds (quota sheds compute
+  /// the exact time until a token accrues).
+  DurationMs retry_after_hint_ms = 10;
+  /// Upper bound on tracked client buckets (oldest evicted beyond it).
+  size_t max_tracked_clients = 1024;
+};
+
+/// Shed/admit counters (queue depth peaks are recorded by the caller
+/// that owns the queue, via NoteQueueDepth).
+struct OverloadStats {
+  uint64_t admitted = 0;
+  uint64_t shed_queue_full = 0;
+  uint64_t shed_quota = 0;
+  uint64_t shed_deadline = 0;  ///< Expired at admit or dequeue time.
+  uint64_t queue_peak = 0;
+
+  uint64_t total_shed() const {
+    return shed_queue_full + shed_quota + shed_deadline;
+  }
+};
+
+/// Thread-safe admission decider. One instance per protected endpoint
+/// (or per transport); all checks are O(1) against in-memory state.
+class AdmissionController {
+ public:
+  enum class ShedReason { kNone, kQueueFull, kQuota, kDeadline };
+
+  struct Decision {
+    ShedReason reason = ShedReason::kNone;
+    DurationMs retry_after_ms = 0;
+
+    bool admitted() const { return reason == ShedReason::kNone; }
+    /// "queue-full" | "quota" | "deadline" (empty when admitted).
+    std::string_view reason_string() const;
+    /// kResourceExhausted with the retry-after hint encoded, for the
+    /// Status-shaped (in-process) path; OK when admitted.
+    Status ToStatus() const;
+    /// <overload> header for the envelope-shaped (TCP) path.
+    OverloadHeader ToHeader() const;
+  };
+
+  /// `clock` is non-owning and drives quota refill and deadline checks.
+  AdmissionController(AdmissionOptions options, Clock* clock);
+
+  /// Rules on one request at enqueue time. `queue_depth` is the
+  /// caller's current depth (items waiting, not yet being served);
+  /// `deadline` is the envelope's absolute deadline (0 = none).
+  /// Checks run cheapest-first: deadline, queue bound, quota — a quota
+  /// token is only consumed when the request is actually admitted.
+  Decision Admit(const std::string& client, size_t queue_depth,
+                 Timestamp deadline);
+
+  /// True when `deadline` (0 = none) has passed — the dequeue-time
+  /// re-check. Call NoteDeadlineShed when acting on it.
+  bool DeadlineExpired(Timestamp deadline) const {
+    return deadline != 0 && clock_->Now() >= deadline;
+  }
+
+  /// Records a request shed at dequeue time because its deadline
+  /// lapsed while queued.
+  void NoteDeadlineShed();
+
+  /// Records an observed queue depth (peak tracking).
+  void NoteQueueDepth(size_t depth);
+
+  OverloadStats stats() const;
+
+ private:
+  struct Bucket {
+    double tokens = 0;
+    Timestamp last_refill = 0;
+  };
+
+  AdmissionOptions options_;
+  Clock* clock_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Bucket> buckets_;
+  OverloadStats stats_;
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_PROTOCOL_ADMISSION_H_

@@ -1,0 +1,130 @@
+#include "protocol/circuit_breaker.h"
+
+#include <algorithm>
+
+#include "protocol/retry_policy.h"
+
+namespace promises {
+
+std::string_view BreakerStateToString(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config, Clock* clock,
+                               uint64_t seed)
+    : config_(config), clock_(clock), rng_(seed) {}
+
+bool CircuitBreaker::TripEligible(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted ||
+         status.code() == StatusCode::kUnavailable;
+}
+
+void CircuitBreaker::TripLocked(Timestamp now, DurationMs min_cooldown_ms) {
+  state_ = BreakerState::kOpen;
+  ++stats_.opens;
+  consecutive_failures_ = 0;
+  probe_successes_ = 0;
+  probes_in_flight_ = 0;
+  double factor = 1.0 + config_.cooldown_jitter * rng_.UniformDouble();
+  DurationMs cooldown = std::max<DurationMs>(
+      min_cooldown_ms,
+      static_cast<DurationMs>(
+          static_cast<double>(config_.open_cooldown_ms) * factor));
+  reopen_at_ = now + std::max<DurationMs>(1, cooldown);
+}
+
+Status CircuitBreaker::Admit() {
+  Timestamp now = clock_->Now();
+  std::lock_guard<std::mutex> lk(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      ++stats_.admitted;
+      return Status::OK();
+    case BreakerState::kOpen:
+      if (now < reopen_at_) {
+        ++stats_.fast_failures;
+        return StatusWithRetryAfter(StatusCode::kUnavailable,
+                                    "circuit-breaker open", reopen_at_ - now);
+      }
+      state_ = BreakerState::kHalfOpen;
+      ++stats_.half_opens;
+      probe_successes_ = 0;
+      probes_in_flight_ = 0;
+      [[fallthrough]];
+    case BreakerState::kHalfOpen:
+      if (probes_in_flight_ >= config_.half_open_probes) {
+        // Enough probes are already out; don't stampede the server.
+        ++stats_.fast_failures;
+        return StatusWithRetryAfter(
+            StatusCode::kUnavailable,
+            "circuit-breaker half-open (probe in flight)",
+            std::max<DurationMs>(1, config_.open_cooldown_ms / 4));
+      }
+      ++probes_in_flight_;
+      ++stats_.admitted;
+      return Status::OK();
+  }
+  return Status::Internal("unreachable breaker state");
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lk(mu_);
+  consecutive_failures_ = 0;
+  if (state_ == BreakerState::kHalfOpen) {
+    probes_in_flight_ = std::max(0, probes_in_flight_ - 1);
+    if (++probe_successes_ >= config_.half_open_probes) {
+      state_ = BreakerState::kClosed;
+      ++stats_.closes;
+      probe_successes_ = 0;
+    }
+  }
+}
+
+void CircuitBreaker::RecordFailure(const Status& status) {
+  Timestamp now = clock_->Now();
+  DurationMs hint = RetryAfterHintMs(status);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!TripEligible(status)) {
+    // Not an overload signal (timeout, app error, ...): no streak
+    // advance, but if this was a half-open probe its slot must be
+    // returned — an inconclusive probe left in flight forever would
+    // wedge the breaker half-open and starve the client.
+    if (state_ == BreakerState::kHalfOpen) {
+      probes_in_flight_ = std::max(0, probes_in_flight_ - 1);
+    }
+    return;
+  }
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (++consecutive_failures_ >= config_.failure_threshold) {
+        TripLocked(now, hint);
+      }
+      break;
+    case BreakerState::kHalfOpen:
+      // The probe failed: the server is still drowning; back to open.
+      TripLocked(now, hint);
+      break;
+    case BreakerState::kOpen:
+      // A straggler attempt admitted before the trip; extend nothing.
+      break;
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return state_;
+}
+
+CircuitBreakerStats CircuitBreaker::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  CircuitBreakerStats out = stats_;
+  out.state = state_;
+  return out;
+}
+
+}  // namespace promises

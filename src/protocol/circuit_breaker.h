@@ -1,0 +1,108 @@
+// Client-side circuit breaker layered over the retry policy.
+//
+// A RetryPolicy alone amplifies load against a saturated server: every
+// shed reply triggers another attempt. The breaker turns a streak of
+// overload signals (kResourceExhausted sheds, kUnavailable transport
+// failures) into local fast-failures, so a struggling server sees the
+// client's traffic drop to a trickle of probes until it recovers —
+// Promise-theoretically, the client stops asking for commitments the
+// service has declined to make.
+//
+// State machine (classic three-state):
+//
+//   closed ──(threshold consecutive overload failures)──> open
+//   open   ──(cooldown elapsed, next Admit)────────────> half-open
+//   half-open ──(probe succeeds × half_open_probes)────> closed
+//   half-open ──(probe fails)──────────────────────────> open
+//
+// While open, Admit fails fast with kUnavailable carrying a
+// retry-after hint equal to the remaining cooldown, which the retry
+// policy's hint-flooring turns into a correctly-paced wait. Cooldowns
+// are jittered from a seeded Rng (concurrent clients decorrelate their
+// probes) and all time flows through an injected Clock, so breaker
+// schedules are deterministic under a SimulatedClock.
+
+#ifndef PROMISES_PROTOCOL_CIRCUIT_BREAKER_H_
+#define PROMISES_PROTOCOL_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace promises {
+
+struct CircuitBreakerConfig {
+  /// Consecutive overload failures that trip the breaker.
+  int failure_threshold = 5;
+  /// How long the breaker stays open before allowing a probe.
+  DurationMs open_cooldown_ms = 1'000;
+  /// Cooldown is multiplied by a factor from [1, 1 + jitter].
+  double cooldown_jitter = 0.25;
+  /// Consecutive probe successes required to close from half-open.
+  int half_open_probes = 1;
+};
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+std::string_view BreakerStateToString(BreakerState s);
+
+struct CircuitBreakerStats {
+  uint64_t admitted = 0;       ///< Attempts allowed through.
+  uint64_t fast_failures = 0;  ///< Attempts refused locally while open.
+  uint64_t opens = 0;          ///< closed/half-open -> open transitions.
+  uint64_t half_opens = 0;     ///< open -> half-open transitions.
+  uint64_t closes = 0;         ///< half-open -> closed transitions.
+  BreakerState state = BreakerState::kClosed;
+};
+
+/// Thread-safe; all methods are O(1) under one mutex.
+class CircuitBreaker {
+ public:
+  CircuitBreaker(CircuitBreakerConfig config, Clock* clock,
+                 uint64_t seed = 42);
+
+  /// Gate one attempt. OK = go ahead (and report the outcome via
+  /// RecordSuccess/RecordFailure); kUnavailable = fail fast, the
+  /// breaker is open (do NOT feed this status back into
+  /// RecordFailure). In half-open, only `half_open_probes` concurrent
+  /// probes are admitted; the rest fail fast.
+  Status Admit();
+
+  void RecordSuccess();
+
+  /// Reports a failed attempt. Only overload-shaped codes
+  /// (kResourceExhausted, kUnavailable) advance the trip streak; a
+  /// retry-after hint in the status extends the cooldown so the
+  /// breaker never probes earlier than the server asked.
+  void RecordFailure(const Status& status);
+
+  BreakerState state() const;
+  CircuitBreakerStats stats() const;
+
+ private:
+  /// True for the failure codes that indicate overload/unreachability.
+  static bool TripEligible(const Status& status);
+
+  /// Transitions to open and arms the cooldown. Caller holds mu_.
+  void TripLocked(Timestamp now, DurationMs min_cooldown_ms);
+
+  CircuitBreakerConfig config_;
+  Clock* clock_;
+
+  mutable std::mutex mu_;
+  Rng rng_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int probe_successes_ = 0;
+  int probes_in_flight_ = 0;
+  Timestamp reopen_at_ = 0;  ///< When open: earliest half-open probe.
+  CircuitBreakerStats stats_;
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_PROTOCOL_CIRCUIT_BREAKER_H_

@@ -2,6 +2,7 @@
 
 #include "common/string_util.h"
 #include "predicate/parser.h"
+#include "protocol/retry_policy.h"
 
 namespace promises {
 
@@ -60,11 +61,19 @@ Result<uint64_t> ReadIdAttr(const XmlElement& e, const std::string& attr) {
 
 }  // namespace
 
+Status Envelope::ShedStatus() const {
+  if (!overload) return Status::OK();
+  return ResourceExhaustedWithRetryAfter(
+      "request shed by '" + from + "': " + overload->reason,
+      overload->retry_after_ms);
+}
+
 std::string Envelope::ToXml(bool pretty) const {
   XmlElement root("envelope");
   root.SetAttr("message-id", std::to_string(message_id.value()));
   root.SetAttr("from", from);
   root.SetAttr("to", to);
+  if (deadline != 0) root.SetAttr("deadline", std::to_string(deadline));
 
   XmlElement* header = root.AddChild("header");
   if (promise_request) {
@@ -126,6 +135,13 @@ std::string Envelope::ToXml(bool pretty) const {
     header->AddChild("poll")->SetAttr("ticket",
                                       std::to_string(poll->ticket));
   }
+  if (overload) {
+    XmlElement* ov = header->AddChild("overload");
+    ov->SetAttr("reason", overload->reason);
+    if (overload->retry_after_ms > 0) {
+      ov->SetAttr("retry-after-ms", std::to_string(overload->retry_after_ms));
+    }
+  }
 
   XmlElement* body = root.AddChild("body");
   if (action) {
@@ -155,6 +171,10 @@ Result<Envelope> Envelope::FromXml(std::string_view xml) {
   env.message_id = MessageId(mid);
   env.from = root->Attr("from");
   env.to = root->Attr("to");
+  if (root->HasAttr("deadline")) {
+    PROMISES_ASSIGN_OR_RETURN(env.deadline,
+                              ParseInt64(root->Attr("deadline")));
+  }
 
   if (const XmlElement* header = root->Child("header")) {
     if (const XmlElement* pr = header->Child("promise-request")) {
@@ -226,6 +246,15 @@ Result<Envelope> Envelope::FromXml(std::string_view xml) {
       PollHeader h;
       PROMISES_ASSIGN_OR_RETURN(h.ticket, ReadIdAttr(*pe, "ticket"));
       env.poll = std::move(h);
+    }
+    if (const XmlElement* ov = header->Child("overload")) {
+      OverloadHeader h;
+      h.reason = ov->Attr("reason");
+      if (ov->HasAttr("retry-after-ms")) {
+        PROMISES_ASSIGN_OR_RETURN(h.retry_after_ms,
+                                  ParseInt64(ov->Attr("retry-after-ms")));
+      }
+      env.overload = std::move(h);
     }
   }
 

@@ -84,6 +84,16 @@ struct PollHeader {
   uint64_t ticket = 0;
 };
 
+/// <overload>: the receiver shed this request under overload instead of
+/// processing it (admission queue full, per-client quota exceeded, or
+/// the envelope's propagated deadline had already expired). Carries a
+/// retry-after hint so well-behaved clients pace their retries instead
+/// of amplifying the load.
+struct OverloadHeader {
+  std::string reason;            ///< "queue-full" | "quota" | "deadline".
+  DurationMs retry_after_ms = 0; ///< 0 = no hint (e.g. deadline sheds).
+};
+
 /// <action>: one application request for a service.
 struct ActionBody {
   std::string service;
@@ -105,13 +115,27 @@ struct Envelope {
   std::string from;
   std::string to;
 
+  /// Absolute deadline (ms in the shared Clock epoch; 0 = none). Set by
+  /// the client from its per-call budget, propagated unchanged across
+  /// retries and hops, and checked server-side before any work: a
+  /// request whose deadline has passed is shed without touching the
+  /// promise manager's lock stripes — the client has already given up.
+  Timestamp deadline = 0;
+
   std::optional<PromiseRequestHeader> promise_request;
   std::optional<PromiseResponseHeader> promise_response;
   std::optional<EnvironmentHeader> environment;
   std::optional<ReleaseHeader> release;
   std::optional<PollHeader> poll;
+  std::optional<OverloadHeader> overload;
   std::optional<ActionBody> action;
   std::optional<ActionResultBody> action_result;
+
+  /// Error-status view of an <overload> reply: kResourceExhausted with
+  /// the retry-after hint encoded (see RetryAfterHintMs), or OK when
+  /// the envelope carries no overload header. Lets every client path
+  /// (in-process status, TCP reply envelope) surface sheds uniformly.
+  Status ShedStatus() const;
 
   /// Serializes to a SOAP-style <envelope><header>…</header><body>…
   /// </body></envelope> document.

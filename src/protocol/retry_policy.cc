@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/string_util.h"
+
 namespace promises {
 
 bool IsRetryableStatus(const Status& status) {
@@ -9,6 +11,7 @@ bool IsRetryableStatus(const Status& status) {
     case StatusCode::kTimeout:
     case StatusCode::kUnavailable:
     case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
       return true;
     default:
       return false;
@@ -28,6 +31,45 @@ DurationMs BackoffForAttempt(const RetryPolicy& policy, int attempt,
     backoff *= factor;
   }
   return std::max<DurationMs>(0, static_cast<DurationMs>(backoff));
+}
+
+namespace {
+constexpr const char kHintPrefix[] = "[retry-after-ms=";
+}  // namespace
+
+Status StatusWithRetryAfter(StatusCode code, const std::string& reason,
+                            DurationMs retry_after_ms) {
+  std::string msg = reason;
+  if (retry_after_ms > 0) {
+    msg += " ";
+    msg += kHintPrefix;
+    msg += std::to_string(retry_after_ms);
+    msg += "]";
+  }
+  return Status(code, std::move(msg));
+}
+
+Status ResourceExhaustedWithRetryAfter(const std::string& reason,
+                                       DurationMs retry_after_ms) {
+  return StatusWithRetryAfter(StatusCode::kResourceExhausted, reason,
+                              retry_after_ms);
+}
+
+DurationMs RetryAfterHintMs(const Status& status) {
+  const std::string& msg = status.message();
+  size_t start = msg.rfind(kHintPrefix);
+  if (start == std::string::npos) return 0;
+  start += sizeof(kHintPrefix) - 1;
+  size_t end = msg.find(']', start);
+  if (end == std::string::npos) return 0;
+  Result<int64_t> parsed = ParseInt64(msg.substr(start, end - start));
+  if (!parsed.ok() || *parsed < 0) return 0;
+  return *parsed;
+}
+
+Clock* RetryClock(const RetryPolicy& policy) {
+  static SystemClock real_clock;
+  return policy.clock != nullptr ? policy.clock : &real_clock;
 }
 
 }  // namespace promises

@@ -8,13 +8,21 @@
 // so a retry MUST resend the identical envelope, message id included.
 // PromiseClient and the chaos harness follow that rule; CallWithRetry
 // itself just re-invokes the callable it was given.
+//
+// Overload composition: a server that sheds a request replies
+// kResourceExhausted with a retry-after hint (encoded in the status
+// message — see ResourceExhaustedWithRetryAfter). The retry loop backs
+// off by max(hint, computed backoff), so a saturated server's "come
+// back in N ms" is honored instead of amplified. All waiting flows
+// through the policy's Clock, so chaos/bench runs under a
+// SimulatedClock fast-forward instead of sleeping for real.
 
 #ifndef PROMISES_PROTOCOL_RETRY_POLICY_H_
 #define PROMISES_PROTOCOL_RETRY_POLICY_H_
 
-#include <chrono>
+#include <algorithm>
 #include <cstdint>
-#include <thread>
+#include <string>
 
 #include "common/clock.h"
 #include "common/rng.h"
@@ -34,16 +42,40 @@ struct RetryPolicy {
   /// [1 - jitter, 1 + jitter]; keeps concurrent retriers decorrelated
   /// while staying reproducible for a seeded Rng.
   double jitter = 0.25;
+  /// Time source for the deadline and every backoff wait (non-owning;
+  /// nullptr = real time). Inject a SimulatedClock to make retry
+  /// schedules deterministic and instantaneous.
+  Clock* clock = nullptr;
 };
 
-/// Transport-level failures worth retrying. Everything else (rejection,
-/// validation, internal errors) is final.
+/// Transport-level failures worth retrying — including
+/// kResourceExhausted: a shed made no state change and explicitly
+/// invites a (paced) retry. Everything else (rejection, validation,
+/// internal errors) is final.
 bool IsRetryableStatus(const Status& status);
 
 /// Backoff for the retry that follows failed attempt number `attempt`
 /// (1-based), jittered via `rng`.
 DurationMs BackoffForAttempt(const RetryPolicy& policy, int attempt,
                              Rng* rng);
+
+/// A non-OK Status carrying a machine-readable retry-after hint:
+/// "<reason> [retry-after-ms=N]". The bracketed suffix is the wire
+/// contract RetryAfterHintMs parses back out, letting the hint ride
+/// every Status-shaped path (in-process transport, wrapped errors).
+Status StatusWithRetryAfter(StatusCode code, const std::string& reason,
+                            DurationMs retry_after_ms);
+
+/// StatusWithRetryAfter with kResourceExhausted — the shape a server
+/// shed reply takes.
+Status ResourceExhaustedWithRetryAfter(const std::string& reason,
+                                       DurationMs retry_after_ms);
+
+/// Retry-after hint embedded in `status`'s message, or 0 when absent.
+DurationMs RetryAfterHintMs(const Status& status);
+
+/// The policy's clock, falling back to a shared real-time clock.
+Clock* RetryClock(const RetryPolicy& policy);
 
 /// Invokes `call` until it succeeds, fails terminally, or the policy is
 /// exhausted. `call` must be safe to re-invoke verbatim (same message
@@ -54,11 +86,10 @@ template <typename F, typename OnRetry>
 auto CallWithRetry(const RetryPolicy& policy, Rng* rng, F&& call,
                    uint64_t* retries, OnRetry&& on_retry)
     -> decltype(call()) {
-  auto started = std::chrono::steady_clock::now();
-  auto deadline =
-      started + std::chrono::milliseconds(policy.deadline_ms > 0
-                                              ? policy.deadline_ms
-                                              : (1LL << 40));
+  Clock* clock = RetryClock(policy);
+  Timestamp deadline = policy.deadline_ms > 0
+                           ? clock->Now() + policy.deadline_ms
+                           : kTimestampMax;
   Status last;
   for (int attempt = 1;; ++attempt) {
     auto result = call();
@@ -66,11 +97,12 @@ auto CallWithRetry(const RetryPolicy& policy, Rng* rng, F&& call,
     last = result.status();
     if (!IsRetryableStatus(last)) return result;
     if (attempt >= policy.max_attempts) break;
-    DurationMs backoff = BackoffForAttempt(policy, attempt, rng);
-    auto resume = std::chrono::steady_clock::now() +
-                  std::chrono::milliseconds(backoff);
-    if (resume >= deadline) break;
-    std::this_thread::sleep_until(resume);
+    // A server-supplied retry-after hint floors the computed backoff:
+    // retrying sooner than the server asked would re-shed for sure.
+    DurationMs backoff = std::max(BackoffForAttempt(policy, attempt, rng),
+                                  RetryAfterHintMs(last));
+    if (clock->Now() + backoff >= deadline) break;
+    clock->SleepFor(backoff);
     if (retries != nullptr) ++*retries;
     on_retry();
   }

@@ -12,6 +12,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <utility>
 
 namespace promises {
 
@@ -21,6 +22,11 @@ using SteadyClock = std::chrono::steady_clock;
 
 Status Errno(const std::string& what) {
   return Status::Unavailable(what + ": " + std::strerror(errno));
+}
+
+Clock* RealClock() {
+  static SystemClock clock;
+  return &clock;
 }
 
 /// Milliseconds left until `deadline`, clamped at 0. A default
@@ -84,6 +90,30 @@ SteadyClock::time_point DeadlineFromTimeout(int64_t timeout_ms) {
   return SteadyClock::now() + std::chrono::milliseconds(timeout_ms);
 }
 
+/// Reply envelope for a shed request: same message id back to the
+/// sender, overload header attached, nothing else — the cheapest
+/// possible "no".
+Envelope OverloadReply(const Envelope& request, OverloadHeader header) {
+  Envelope reply;
+  reply.message_id = request.message_id;
+  reply.from = request.to;
+  reply.to = request.from;
+  reply.overload = std::move(header);
+  return reply;
+}
+
+/// Failure reply used for malformed frames and handler errors.
+Envelope FailureReply(const std::string& to, const std::string& error) {
+  Envelope fail;
+  fail.message_id = MessageId(1);
+  fail.to = to;
+  ActionResultBody r;
+  r.ok = false;
+  r.error = error;
+  fail.action_result = std::move(r);
+  return fail;
+}
+
 }  // namespace
 
 Status WriteFrame(int fd, const std::string& payload) {
@@ -117,13 +147,25 @@ Result<std::string> ReadFrame(int fd, int64_t timeout_ms) {
   return payload;
 }
 
+TcpEndpointServer::Connection::~Connection() { ::close(fd); }
+
 TcpEndpointServer::~TcpEndpointServer() { Stop(); }
 
 Status TcpEndpointServer::Start(uint16_t port, EndpointHandler handler) {
+  return Start(port, std::move(handler), TcpServerOptions{});
+}
+
+Status TcpEndpointServer::Start(uint16_t port, EndpointHandler handler,
+                                TcpServerOptions options) {
   if (listen_fd_.load() >= 0) {
     return Status::FailedPrecondition("server already started");
   }
   handler_ = std::move(handler);
+  options_ = options;
+  if (options_.workers == 0) options_.workers = 1;
+  clock_ = options_.clock != nullptr ? options_.clock : RealClock();
+  admission_ =
+      std::make_unique<AdmissionController>(options_.admission, clock_);
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Errno("socket");
   int one = 1;
@@ -141,13 +183,18 @@ Status TcpEndpointServer::Start(uint16_t port, EndpointHandler handler) {
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) == 0) {
     port_ = ntohs(addr.sin_port);
   }
-  if (::listen(fd, 16) < 0) {
+  if (::listen(fd, 64) < 0) {
     Status st = Errno("listen");
     ::close(fd);
     return st;
   }
   stopping_ = false;
+  requests_ = 0;
   listen_fd_.store(fd);
+  worker_threads_.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    worker_threads_.emplace_back([this] { WorkerLoop(); });
+  }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
 }
@@ -159,14 +206,67 @@ void TcpEndpointServer::Stop() {
   ::shutdown(fd, SHUT_RDWR);
   ::close(fd);
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> threads;
+
+  // Unblock every reader parked in recv() on a live connection.
   {
-    std::lock_guard<std::mutex> lk(threads_mu_);
-    threads.swap(connection_threads_);
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (auto& [id, conn] : reader_conns_) {
+      if (conn) ::shutdown(conn->fd, SHUT_RDWR);
+    }
   }
-  for (std::thread& t : threads) {
+
+  // Wake the pool; workers observe stopping_ and exit without touching
+  // the remaining backlog (queued requests are discarded — their
+  // clients time out exactly as if the server had crashed).
+  queue_cv_.notify_all();
+  for (std::thread& t : worker_threads_) {
     if (t.joinable()) t.join();
   }
+  worker_threads_.clear();
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    queue_.clear();
+  }
+
+  std::map<uint64_t, std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    readers.swap(readers_);
+    reader_conns_.clear();
+  }
+  for (auto& [id, t] : readers) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    finished_readers_.clear();
+  }
+}
+
+OverloadStats TcpEndpointServer::overload_stats() const {
+  return admission_ != nullptr ? admission_->stats() : OverloadStats{};
+}
+
+size_t TcpEndpointServer::queue_depth() const {
+  std::lock_guard<std::mutex> lk(queue_mu_);
+  return queue_.size();
+}
+
+size_t TcpEndpointServer::live_connections() {
+  std::lock_guard<std::mutex> lk(conns_mu_);
+  ReapFinishedLocked();
+  return readers_.size();
+}
+
+void TcpEndpointServer::ReapFinishedLocked() {
+  for (uint64_t id : finished_readers_) {
+    auto it = readers_.find(id);
+    if (it == readers_.end()) continue;  // already swept by Stop()
+    if (it->second.joinable()) it->second.join();
+    readers_.erase(it);
+    reader_conns_.erase(id);
+  }
+  finished_readers_.clear();
 }
 
 void TcpEndpointServer::AcceptLoop() {
@@ -180,15 +280,21 @@ void TcpEndpointServer::AcceptLoop() {
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    std::lock_guard<std::mutex> lk(threads_mu_);
-    connection_threads_.emplace_back(
-        [this, fd] { ServeConnection(fd); });
+    auto conn = std::make_shared<Connection>(fd);
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    ReapFinishedLocked();
+    uint64_t id = next_conn_id_++;
+    reader_conns_[id] = conn;
+    readers_.emplace(id, std::thread([this, conn, id]() mutable {
+                       ServeConnection(std::move(conn), id);
+                     }));
   }
 }
 
-void TcpEndpointServer::ServeConnection(int fd) {
+void TcpEndpointServer::ServeConnection(std::shared_ptr<Connection> conn,
+                                        uint64_t id) {
   while (!stopping_) {
-    Result<std::string> request_xml = ReadFrame(fd);
+    Result<std::string> request_xml = ReadFrame(conn->fd);
     if (!request_xml.ok()) break;  // peer closed or died
 
     // The injector rules on each inbound frame. Faults here behave
@@ -202,12 +308,13 @@ void TcpEndpointServer::ServeConnection(int fd) {
       if (d.delay_us > 0) {
         std::this_thread::sleep_for(std::chrono::microseconds(d.delay_us));
       }
+      bool crashed = false;
       switch (d.action) {
         case FaultAction::kDeliver:
           break;
         case FaultAction::kCrash:
-          ::close(fd);
-          return;  // connection dies mid-conversation
+          crashed = true;  // connection dies mid-conversation
+          break;
         case FaultAction::kDropRequest:
           continue;  // frame read off the wire, never processed
         case FaultAction::kDropReply:
@@ -217,42 +324,94 @@ void TcpEndpointServer::ServeConnection(int fd) {
           deliveries = 2;
           break;
       }
+      if (crashed) {
+        ::shutdown(conn->fd, SHUT_RDWR);
+        break;
+      }
     }
 
-    std::string reply_xml;
     Result<Envelope> request = Envelope::FromXml(*request_xml);
     if (!request.ok()) {
       // Malformed request: answer with a failure result envelope.
-      Envelope fail;
-      fail.message_id = MessageId(1);
-      ActionResultBody r;
-      r.ok = false;
-      r.error = "malformed envelope: " + request.status().ToString();
-      fail.action_result = std::move(r);
-      reply_xml = fail.ToXml();
-    } else {
-      Result<Envelope> reply = handler_(*request);
-      for (int extra = 1; extra < deliveries; ++extra) {
-        reply = handler_(*request);
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      if (send_reply) {
+        SendReply(*conn, FailureReply("", "malformed envelope: " +
+                                              request.status().ToString()));
       }
-      if (!reply.ok()) {
-        Envelope fail;
-        fail.message_id = MessageId(1);
-        fail.to = request->from;
-        ActionResultBody r;
-        r.ok = false;
-        r.error = reply.status().ToString();
-        fail.action_result = std::move(r);
-        reply_xml = fail.ToXml();
-      } else {
-        reply_xml = reply->ToXml();
+      continue;
+    }
+
+    // Admission before any work is queued: the reader answers sheds on
+    // the spot, so overload costs one envelope, never a worker. The
+    // depth read and the enqueue are not atomic — concurrent readers
+    // may overshoot the bound by at most the reader count, which is
+    // fine for a shed threshold.
+    AdmissionController::Decision decision =
+        admission_->Admit(request->from, queue_depth(), request->deadline);
+    if (!decision.admitted()) {
+      if (send_reply) {
+        SendReply(*conn, OverloadReply(*request, decision.ToHeader()));
       }
+      continue;
+    }
+
+    {
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      queue_.push_back(
+          Work{conn, *std::move(request), send_reply, deliveries});
+    }
+    queue_cv_.notify_one();
+  }
+  // Announce completion; the next reap joins this thread.
+  std::lock_guard<std::mutex> lk(conns_mu_);
+  finished_readers_.push_back(id);
+}
+
+void TcpEndpointServer::WorkerLoop() {
+  while (true) {
+    Work work;
+    {
+      std::unique_lock<std::mutex> lk(queue_mu_);
+      queue_cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;  // backlog is discarded on Stop
+      work = std::move(queue_.front());
+      queue_.pop_front();
+    }
+
+    // Dequeue-time deadline re-check: the request was admitted live but
+    // may have died waiting for a worker. Running the handler now would
+    // burn capacity on a reply nobody reads.
+    if (options_.shed_expired &&
+        admission_->DeadlineExpired(work.request.deadline)) {
+      admission_->NoteDeadlineShed();
+      if (work.send_reply) {
+        SendReply(*work.conn,
+                  OverloadReply(work.request, OverloadHeader{"deadline", 0}));
+      }
+      continue;
+    }
+
+    Result<Envelope> reply = handler_(work.request);
+    for (int extra = 1; extra < work.deliveries; ++extra) {
+      reply = handler_(work.request);
     }
     requests_.fetch_add(1, std::memory_order_relaxed);
-    if (!send_reply) continue;
-    if (!WriteFrame(fd, reply_xml).ok()) break;
+    if (!work.send_reply) continue;
+    if (!reply.ok()) {
+      SendReply(*work.conn,
+                FailureReply(work.request.from, reply.status().ToString()));
+    } else {
+      SendReply(*work.conn, *reply);
+    }
   }
-  ::close(fd);
+}
+
+void TcpEndpointServer::SendReply(Connection& conn, const Envelope& reply) {
+  std::string xml = reply.ToXml();
+  std::lock_guard<std::mutex> lk(conn.write_mu);
+  // A failed write means the peer is gone; the reader on this
+  // connection sees the same condition and winds it down.
+  (void)WriteFrame(conn.fd, xml);
 }
 
 TcpClientChannel::~TcpClientChannel() { Disconnect(); }
@@ -336,7 +495,11 @@ Result<Envelope> TcpClientChannel::Call(const Envelope& request) {
     Disconnect();
     return reply_xml.status();
   }
-  return Envelope::FromXml(*reply_xml);
+  Result<Envelope> reply = Envelope::FromXml(*reply_xml);
+  if (!reply.ok()) return reply;
+  Status shed = reply->ShedStatus();
+  if (!shed.ok()) return shed;  // surfaced as a status, not an envelope
+  return reply;
 }
 
 }  // namespace promises

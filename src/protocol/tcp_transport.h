@@ -12,6 +12,18 @@
 // TcpClientChannel issues synchronous request/response calls. Frames
 // are "<8-byte big-endian length><xml bytes>".
 //
+// Threading/overload model: the accept loop hands each connection to a
+// lightweight reader thread that only parses frames and rules on
+// admission; admitted requests go onto a bounded queue drained by a
+// fixed worker pool that runs the handler. A request the
+// AdmissionController sheds (queue full, per-client quota, propagated
+// deadline already dead) is answered immediately from the reader with
+// an <overload> reply carrying a retry-after hint — it never occupies
+// a worker, so a saturated server keeps saying "no" cheaply instead of
+// collapsing into a backlog of work nobody is waiting for. Workers
+// re-check the envelope deadline at dequeue time: a request admitted
+// live can die waiting, and running it then would be pure waste.
+//
 // Failure model: the client channel takes a per-call deadline
 // (poll-bounded reads surfacing kDeadlineExceeded; the half-read
 // stream is poisoned, so the channel disconnects and transparently
@@ -26,21 +38,44 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
 #include <mutex>
+#include <condition_variable>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/status.h"
+#include "protocol/admission.h"
 #include "protocol/fault_injector.h"
 #include "protocol/message.h"
 #include "protocol/transport.h"
 
 namespace promises {
 
-/// Hosts an EndpointHandler on a loopback TCP port. Each accepted
-/// connection is served by its own thread; requests on one connection
-/// are processed in order.
+/// Server-side overload knobs. The defaults keep small tests happy
+/// (ample queue, no quota) while still bounding the backlog.
+struct TcpServerOptions {
+  /// Fixed worker pool draining the request queue.
+  size_t workers = 4;
+  /// Admission policy (queue bound, per-client quota, hints).
+  AdmissionOptions admission;
+  /// Drives deadline checks and quota refill (non-owning; nullptr =
+  /// shared real clock). Tests inject the clock their clients stamp
+  /// deadlines from.
+  Clock* clock = nullptr;
+  /// Re-check the envelope deadline when a worker dequeues the request
+  /// and shed it if it lapsed while queued. Disable to reproduce the
+  /// legacy collapse mode where the server burns workers on requests
+  /// whose clients have already given up.
+  bool shed_expired = true;
+};
+
+/// Hosts an EndpointHandler on a loopback TCP port behind a bounded
+/// request queue, a fixed worker pool and an admission controller.
 class TcpEndpointServer {
  public:
   TcpEndpointServer() = default;
@@ -48,10 +83,16 @@ class TcpEndpointServer {
   TcpEndpointServer(const TcpEndpointServer&) = delete;
   TcpEndpointServer& operator=(const TcpEndpointServer&) = delete;
 
-  /// Binds 127.0.0.1:`port` (0 picks a free port) and starts accepting.
+  /// Binds 127.0.0.1:`port` (0 picks a free port) and starts accepting
+  /// with default options.
   Status Start(uint16_t port, EndpointHandler handler);
 
-  /// Stops accepting and joins all connection threads.
+  /// As above with explicit worker-pool/admission options.
+  Status Start(uint16_t port, EndpointHandler handler,
+               TcpServerOptions options);
+
+  /// Stops accepting, unblocks and joins every reader and worker, and
+  /// discards any queued-but-unserved requests.
   void Stop();
 
   /// Attaches a fault injector consulted once per inbound frame
@@ -63,13 +104,51 @@ class TcpEndpointServer {
   /// Port actually bound (valid after Start).
   uint16_t port() const { return port_; }
 
+  /// Requests actually processed by the handler (sheds excluded).
   uint64_t requests_served() const {
     return requests_.load(std::memory_order_relaxed);
   }
 
+  /// Admission/shed counters (zeroed struct before Start).
+  OverloadStats overload_stats() const;
+
+  /// Requests admitted and waiting for a worker right now.
+  size_t queue_depth() const;
+
+  /// Connections with a live reader thread. Finished readers are
+  /// reaped (joined) on the way — a long-lived server holds O(live)
+  /// threads, not O(ever-accepted).
+  size_t live_connections();
+
  private:
+  /// One accepted socket. The fd stays open until the last reference
+  /// drops (reader + any queued work items), so workers never write to
+  /// a recycled descriptor; Stop() shuts the socket down to unblock
+  /// the reader without closing it out from under in-flight replies.
+  struct Connection {
+    explicit Connection(int fd) : fd(fd) {}
+    ~Connection();
+    const int fd;
+    std::mutex write_mu;  ///< Serializes reply frames on this socket.
+  };
+
+  /// An admitted request waiting for (or held by) a worker.
+  struct Work {
+    std::shared_ptr<Connection> conn;
+    Envelope request;
+    bool send_reply = true;  ///< false when the injector drops the reply.
+    int deliveries = 1;      ///< 2 when the injector duplicates.
+  };
+
   void AcceptLoop();
-  void ServeConnection(int fd);
+  void ServeConnection(std::shared_ptr<Connection> conn, uint64_t id);
+  void WorkerLoop();
+  /// Writes `reply` to `conn` under its write mutex (errors ignored:
+  /// the reader observes the dead socket and winds the connection down).
+  static void SendReply(Connection& conn, const Envelope& reply);
+  /// Joins reader threads that have announced completion. Requires
+  /// conns_mu_.
+  void ReapFinishedLocked();
 
   // Atomic: Stop() clears it on the caller's thread while AcceptLoop
   // still reads it (the shutdown/close pair is what actually unblocks
@@ -77,9 +156,26 @@ class TcpEndpointServer {
   std::atomic<int> listen_fd_{-1};
   uint16_t port_ = 0;
   EndpointHandler handler_;
+  TcpServerOptions options_;
+  Clock* clock_ = nullptr;  ///< Resolved (never null after Start).
+  std::unique_ptr<AdmissionController> admission_;
+
   std::thread accept_thread_;
-  std::vector<std::thread> connection_threads_;
-  std::mutex threads_mu_;
+  std::vector<std::thread> worker_threads_;
+
+  // Reader registry: id -> (thread, connection). Readers push their id
+  // onto finished_readers_ as their last locked action; the accept
+  // loop, live_connections() and Stop() reap (join) them from there.
+  std::mutex conns_mu_;
+  std::map<uint64_t, std::thread> readers_;
+  std::map<uint64_t, std::shared_ptr<Connection>> reader_conns_;
+  std::vector<uint64_t> finished_readers_;
+  uint64_t next_conn_id_ = 0;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Work> queue_;
+
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> requests_{0};
   std::atomic<FaultInjector*> fault_injector_{nullptr};
@@ -107,7 +203,10 @@ class TcpClientChannel {
 
   /// Sends `request` and waits for the reply envelope. After a
   /// deadline/connection failure, the next Call transparently
-  /// reconnects to the last-connected port before sending.
+  /// reconnects to the last-connected port before sending. A reply
+  /// carrying an <overload> header is surfaced as its ShedStatus()
+  /// (kResourceExhausted with the server's retry-after hint), so
+  /// callers and retry policies see sheds as statuses, not envelopes.
   Result<Envelope> Call(const Envelope& request);
 
   uint64_t reconnects() const { return reconnects_; }

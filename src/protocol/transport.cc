@@ -99,6 +99,31 @@ Result<Envelope> Transport::Send(const Envelope& request) {
 
   InjectLatency(extra_delay_us);
 
+  // Admission rules at the receiver's edge, after the lossy hop: a
+  // dropped request never got far enough to be shed. The in-flight
+  // delivery count stands in for queue depth on this queueless bus.
+  AdmissionController* admission =
+      admission_.load(std::memory_order_acquire);
+  if (admission != nullptr) {
+    AdmissionController::Decision decision = admission->Admit(
+        request.from,
+        static_cast<size_t>(in_flight_.load(std::memory_order_relaxed)),
+        request.deadline);
+    if (!decision.admitted()) {
+      {
+        std::lock_guard<std::mutex> sk(stats_mu_);
+        ++stats_.sheds;
+        ++stats_.per_endpoint[request.to].sheds;
+      }
+      if (drop_reply) {
+        // Even the shed reply is lost on this hop.
+        return Status::Timeout("injected reply loss from '" + request.to +
+                               "'");
+      }
+      return decision.ToStatus();
+    }
+  }
+
   uint64_t hop_bytes = 0;
   auto deliver_once = [&]() -> Result<Envelope> {
     if (!encode_on_wire_) return handler(request);
@@ -114,10 +139,12 @@ Result<Envelope> Transport::Send(const Envelope& request) {
   // A duplicated delivery hands the identical envelope to the handler
   // twice, back to back, and returns the second reply — with receiver
   // dedup both replies are the same cached envelope anyway.
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
   Result<Envelope> reply = deliver_once();
   for (int extra = 1; extra < deliveries; ++extra) {
     reply = deliver_once();
   }
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
 
   InjectLatency(0);
 

@@ -20,6 +20,7 @@
 
 #include "common/ids.h"
 #include "common/status.h"
+#include "protocol/admission.h"
 #include "protocol/fault_injector.h"
 #include "protocol/message.h"
 
@@ -34,6 +35,7 @@ struct EndpointStats {
   uint64_t failures = 0;        ///< Handler or parse failures.
   uint64_t faults_injected = 0; ///< Drops/dups/crashes/delays on its hops.
   uint64_t retries = 0;         ///< Client resends reported via NoteRetry.
+  uint64_t sheds = 0;           ///< Requests refused by admission control.
 };
 
 struct TransportStats {
@@ -42,6 +44,7 @@ struct TransportStats {
   uint64_t failures = 0;        ///< Handler or parse failures.
   uint64_t faults_injected = 0; ///< Total injected faults across endpoints.
   uint64_t retries = 0;         ///< Total reported client retries.
+  uint64_t sheds = 0;           ///< Total requests refused by admission.
   std::map<std::string, EndpointStats> per_endpoint;
 };
 
@@ -64,6 +67,15 @@ class Transport {
   /// subsequent Send consults it. Attach before serving traffic.
   void set_fault_injector(FaultInjector* injector) {
     fault_injector_.store(injector, std::memory_order_release);
+  }
+
+  /// Attaches an admission controller (non-owning; nullptr detaches).
+  /// The in-process bus has no real queue, so the count of deliveries
+  /// currently executing a handler stands in for queue depth; a shed
+  /// Send fails with the decision's kResourceExhausted status (carrying
+  /// the retry-after hint) before the handler runs.
+  void set_admission(AdmissionController* admission) {
+    admission_.store(admission, std::memory_order_release);
   }
 
   /// Invoked (outside any transport lock) when an injected crash fault
@@ -106,6 +118,8 @@ class Transport {
   bool encode_on_wire_ = true;
   std::atomic<int64_t> hop_latency_us_{0};
   std::atomic<FaultInjector*> fault_injector_{nullptr};
+  std::atomic<AdmissionController*> admission_{nullptr};
+  std::atomic<int64_t> in_flight_{0};  ///< Deliveries inside a handler.
   mutable std::mutex stats_mu_;
   TransportStats stats_;
 };

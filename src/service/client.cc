@@ -9,18 +9,49 @@ Envelope PromiseClient::NewEnvelope() {
   env.message_id = transport_->NextMessageId();
   env.from = name_;
   env.to = manager_;
+  if (deadline_clock_ != nullptr && deadline_budget_ms_ > 0) {
+    // Absolute deadline, stamped once per logical call: retries re-send
+    // the identical envelope, so the server sees how long this client
+    // will actually wait, not how long the latest attempt will.
+    env.deadline = deadline_clock_->Now() + deadline_budget_ms_;
+  }
   return env;
 }
 
 Result<Envelope> PromiseClient::Send(Envelope envelope) {
-  if (!retry_policy_) return transport_->Send(envelope);
+  // One attempt = breaker gate, then the wire. An OK reply carrying an
+  // <overload> header is a shed and surfaces as its ShedStatus — a
+  // retryable kResourceExhausted with the server's retry-after hint.
+  // Only real attempt outcomes feed the breaker; its own fast-failures
+  // do not (they would re-trip it forever).
+  uint64_t wire_sends = 0;
+  auto attempt = [&]() -> Result<Envelope> {
+    if (breaker_ != nullptr) {
+      Status gate = breaker_->Admit();
+      if (!gate.ok()) return gate;
+    }
+    if (++wire_sends > 1) {
+      ++retries_;
+      transport_->NoteRetry(manager_);
+    }
+    Result<Envelope> reply = transport_->Send(envelope);
+    if (!reply.ok()) {
+      if (breaker_ != nullptr) breaker_->RecordFailure(reply.status());
+      return reply;
+    }
+    Status shed = reply->ShedStatus();
+    if (!shed.ok()) {
+      if (breaker_ != nullptr) breaker_->RecordFailure(shed);
+      return shed;
+    }
+    if (breaker_ != nullptr) breaker_->RecordSuccess();
+    return reply;
+  };
+  if (!retry_policy_) return attempt();
   // Re-send the IDENTICAL envelope: the manager's idempotency table is
   // keyed by (from, message id), so a fresh id would turn a retry into
   // a second request.
-  return CallWithRetry(
-      *retry_policy_, &rng_,
-      [&]() { return transport_->Send(envelope); }, &retries_,
-      [&]() { transport_->NoteRetry(manager_); });
+  return CallWithRetry(*retry_policy_, &rng_, attempt);
 }
 
 Result<ClientPromise> PromiseClient::Request(

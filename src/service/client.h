@@ -15,13 +15,16 @@
 #ifndef PROMISES_SERVICE_CLIENT_H_
 #define PROMISES_SERVICE_CLIENT_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/ids.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "protocol/circuit_breaker.h"
 #include "protocol/message.h"
 #include "protocol/retry_policy.h"
 #include "protocol/transport.h"
@@ -151,8 +154,37 @@ class PromiseClient {
   }
   void clear_retry_policy() { retry_policy_.reset(); }
 
+  /// Stamps every outgoing envelope with an absolute deadline of
+  /// `clock->Now() + budget_ms`. The deadline is set once per logical
+  /// call and rides the identical envelope across retries, so the
+  /// server (admission controller, promise manager) can shed requests
+  /// this client has already given up on. budget_ms <= 0 disables.
+  void set_deadline_policy(Clock* clock, DurationMs budget_ms) {
+    deadline_clock_ = clock;
+    deadline_budget_ms_ = budget_ms;
+  }
+  void clear_deadline_policy() {
+    deadline_clock_ = nullptr;
+    deadline_budget_ms_ = 0;
+  }
+
+  /// Layers a circuit breaker over the retry policy: a streak of
+  /// overload failures (sheds, unavailability) trips it, after which
+  /// attempts fail fast locally (kUnavailable with a retry-after hint
+  /// equal to the remaining cooldown) until a half-open probe
+  /// succeeds. `clock` is non-owning and should match the retry
+  /// policy's clock.
+  void set_circuit_breaker(CircuitBreakerConfig config, Clock* clock,
+                           uint64_t seed = 42) {
+    breaker_ = std::make_unique<CircuitBreaker>(config, clock, seed);
+  }
+  void clear_circuit_breaker() { breaker_.reset(); }
+  /// Attached breaker, or nullptr (for state/stats inspection).
+  CircuitBreaker* circuit_breaker() { return breaker_.get(); }
+
   /// Total re-sends performed across all calls (first attempts not
-  /// counted).
+  /// counted; breaker fast-failures never reach the wire and are not
+  /// counted either).
   uint64_t retries() const { return retries_; }
 
  private:
@@ -165,6 +197,9 @@ class PromiseClient {
   std::optional<RetryPolicy> retry_policy_;
   Rng rng_{42};
   uint64_t retries_ = 0;
+  Clock* deadline_clock_ = nullptr;
+  DurationMs deadline_budget_ms_ = 0;
+  std::unique_ptr<CircuitBreaker> breaker_;
 };
 
 }  // namespace promises

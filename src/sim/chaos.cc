@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <thread>
 
 #include "common/clock.h"
@@ -44,6 +45,14 @@ ChaosReport RunChaosWorkload(const ChaosConfig& config) {
   FaultConfig faults = config.faults;
   faults.crash = 0;  // see ChaosConfig: crash/recovery is tested separately
   injector.Configure(faults);
+  transport.set_hop_latency_us(config.hop_latency_us);
+
+  std::unique_ptr<AdmissionController> admission;
+  if (config.admission_enabled) {
+    admission =
+        std::make_unique<AdmissionController>(config.admission, &clock);
+    transport.set_admission(admission.get());
+  }
 
   PromiseManagerConfig pm_config;
   pm_config.name = "chaos-pm";
@@ -54,6 +63,7 @@ ChaosReport RunChaosWorkload(const ChaosConfig& config) {
 
   std::vector<WorkerTally> tallies(config.workers);
   std::vector<uint64_t> retries(config.workers, 0);
+  std::vector<CircuitBreakerStats> breaker_stats(config.workers);
   auto started = std::chrono::steady_clock::now();
 
   auto worker_fn = [&](int w) {
@@ -62,6 +72,14 @@ ChaosReport RunChaosWorkload(const ChaosConfig& config) {
                          "chaos-pm");
     client.set_retry_policy(config.retry,
                             config.seed * 31 + static_cast<uint64_t>(w) + 1);
+    if (config.request_deadline_ms > 0) {
+      client.set_deadline_policy(&clock, config.request_deadline_ms);
+    }
+    if (config.breaker) {
+      client.set_circuit_breaker(
+          *config.breaker, &clock,
+          config.seed * 131 + static_cast<uint64_t>(w) + 1);
+    }
     Rng rng(config.seed * 7919 + static_cast<uint64_t>(w) + 1);
 
     for (int i = 0; i < config.orders_per_worker; ++i) {
@@ -121,6 +139,9 @@ ChaosReport RunChaosWorkload(const ChaosConfig& config) {
       ++tally.completed;
     }
     retries[w] = client.retries();
+    if (CircuitBreaker* b = client.circuit_breaker()) {
+      breaker_stats[w] = b->stats();
+    }
   };
 
   std::vector<std::thread> threads;
@@ -151,6 +172,14 @@ ChaosReport RunChaosWorkload(const ChaosConfig& config) {
   report.manager = pm.stats();
   report.transport = transport.stats();
   report.faults = injector.counters();
+  if (admission != nullptr) report.overload = admission->stats();
+  for (const CircuitBreakerStats& b : breaker_stats) {
+    report.breaker.admitted += b.admitted;
+    report.breaker.fast_failures += b.fast_failures;
+    report.breaker.opens += b.opens;
+    report.breaker.half_opens += b.half_opens;
+    report.breaker.closes += b.closes;
+  }
   report.initial_stock_total =
       config.initial_stock * static_cast<int64_t>(config.num_items);
   {
@@ -267,6 +296,12 @@ std::string ChaosReport::Summary() const {
       static_cast<long long>(initial_stock_total),
       static_cast<long long>(final_stock_total), GoodputPerSec());
   out += buf;
+  if (overload.admitted + overload.total_shed() > 0) {
+    out += FormatOverloadStats(overload) + "\n";
+  }
+  if (breaker.admitted + breaker.fast_failures > 0) {
+    out += FormatBreakerStats(breaker) + "\n";
+  }
   if (violations.empty()) {
     out += "audit: all invariants hold\n";
   } else {

@@ -25,10 +25,13 @@
 #define PROMISES_SIM_CHAOS_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/promise_manager.h"
+#include "protocol/admission.h"
+#include "protocol/circuit_breaker.h"
 #include "protocol/fault_injector.h"
 #include "protocol/retry_policy.h"
 #include "protocol/transport.h"
@@ -56,6 +59,23 @@ struct ChaosConfig {
                     /*max_backoff_ms=*/8, /*jitter=*/0.25};
   uint64_t seed = 42;
   DurationMs promise_duration_ms = 600'000;  ///< Never expires mid-run.
+
+  // ---- Overload composition (all off by default = legacy behavior) --
+
+  /// When true, attach an AdmissionController to the transport so the
+  /// faulty bus also sheds under load (queue bound = in-flight gauge,
+  /// per-client quotas, deadline DOA checks).
+  bool admission_enabled = false;
+  AdmissionOptions admission;
+  /// Per-envelope absolute-deadline budget stamped by each client
+  /// (0 = no deadlines). Deadlines propagate unchanged across retries,
+  /// so keep this generous relative to the retry policy's deadline_ms
+  /// or orders stop converging by construction.
+  DurationMs request_deadline_ms = 0;
+  /// Per-worker circuit breaker layered over the retry policy.
+  std::optional<CircuitBreakerConfig> breaker;
+  /// Busy-wait per hop (models service time so overload is reachable).
+  int64_t hop_latency_us = 0;
 };
 
 struct ChaosReport {
@@ -73,6 +93,11 @@ struct ChaosReport {
   PromiseManagerStats manager;
   TransportStats transport;
   FaultCounters faults;
+  /// Admission counters (zero struct when admission was disabled).
+  OverloadStats overload;
+  /// Breaker counters summed across workers (zero struct when no
+  /// breaker was configured; `state` is meaningless in the aggregate).
+  CircuitBreakerStats breaker;
 
   int64_t initial_stock_total = 0;
   int64_t final_stock_total = 0;

@@ -71,25 +71,58 @@ std::string OrderingMetrics::Row(const std::string& label) const {
 
 std::string FormatTransportStats(const TransportStats& stats) {
   std::string out =
-      "endpoint                 messages  failures    faults   retries\n";
+      "endpoint                 messages  failures    faults   retries"
+      "     sheds\n";
   char buf[256];
   for (const auto& [endpoint, ep] : stats.per_endpoint) {
-    std::snprintf(buf, sizeof(buf), "%-24s %9llu %9llu %9llu %9llu\n",
+    std::snprintf(buf, sizeof(buf), "%-24s %9llu %9llu %9llu %9llu %9llu\n",
                   endpoint.c_str(),
                   static_cast<unsigned long long>(ep.messages),
                   static_cast<unsigned long long>(ep.failures),
                   static_cast<unsigned long long>(ep.faults_injected),
-                  static_cast<unsigned long long>(ep.retries));
+                  static_cast<unsigned long long>(ep.retries),
+                  static_cast<unsigned long long>(ep.sheds));
     out += buf;
   }
-  std::snprintf(buf, sizeof(buf), "%-24s %9llu %9llu %9llu %9llu\n",
+  std::snprintf(buf, sizeof(buf), "%-24s %9llu %9llu %9llu %9llu %9llu\n",
                 "(total)",
                 static_cast<unsigned long long>(stats.messages),
                 static_cast<unsigned long long>(stats.failures),
                 static_cast<unsigned long long>(stats.faults_injected),
-                static_cast<unsigned long long>(stats.retries));
+                static_cast<unsigned long long>(stats.retries),
+                static_cast<unsigned long long>(stats.sheds));
   out += buf;
   return out;
+}
+
+std::string FormatOverloadStats(const OverloadStats& stats) {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "admission: %llu admitted, %llu shed (queue-full=%llu quota=%llu "
+      "deadline=%llu), queue peak %llu",
+      static_cast<unsigned long long>(stats.admitted),
+      static_cast<unsigned long long>(stats.total_shed()),
+      static_cast<unsigned long long>(stats.shed_queue_full),
+      static_cast<unsigned long long>(stats.shed_quota),
+      static_cast<unsigned long long>(stats.shed_deadline),
+      static_cast<unsigned long long>(stats.queue_peak));
+  return buf;
+}
+
+std::string FormatBreakerStats(const CircuitBreakerStats& stats) {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "breaker: %llu admitted, %llu fast-failed, %llu opens, "
+      "%llu half-opens, %llu closes, state %s",
+      static_cast<unsigned long long>(stats.admitted),
+      static_cast<unsigned long long>(stats.fast_failures),
+      static_cast<unsigned long long>(stats.opens),
+      static_cast<unsigned long long>(stats.half_opens),
+      static_cast<unsigned long long>(stats.closes),
+      std::string(BreakerStateToString(stats.state)).c_str());
+  return buf;
 }
 
 }  // namespace promises

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "baseline/ordering.h"
+#include "protocol/admission.h"
+#include "protocol/circuit_breaker.h"
 #include "protocol/transport.h"
 
 namespace promises {
@@ -65,9 +67,16 @@ struct OrderingMetrics {
 };
 
 /// Per-endpoint transport breakdown as a formatted table (one row per
-/// endpoint — messages, failures, injected faults, retries — plus a
-/// total row), for experiment reports on the fault path.
+/// endpoint — messages, failures, injected faults, retries, sheds —
+/// plus a total row), for experiment reports on the fault path.
 std::string FormatTransportStats(const TransportStats& stats);
+
+/// Admission/shed counters as a one-line report
+/// ("admitted=.. shed=.. (queue-full=.. quota=.. deadline=..) peak=..").
+std::string FormatOverloadStats(const OverloadStats& stats);
+
+/// Circuit-breaker counters and current state as a one-line report.
+std::string FormatBreakerStats(const CircuitBreakerStats& stats);
 
 }  // namespace promises
 
