@@ -13,10 +13,17 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sim/chaos.h"
 
 int main(int argc, char** argv) {
   const char* out_path = argc > 1 ? argv[1] : "BENCH_chaos.json";
+
+  // Sample the whole sweep through the global tracer rather than
+  // ChaosConfig::trace_sampling: the harness resets the collector per
+  // run, and we want one phase table aggregated across all loss rates.
+  promises::Tracer::Global().set_sampling(1.0);
+  promises::SpanCollector::Global().Reset();
 
   promises::ChaosConfig base;
   base.num_items = 8;
@@ -64,6 +71,10 @@ int main(int argc, char** argv) {
     }
   }
 
+  promises::Tracer::Global().set_sampling(0);
+  std::vector<promises::Span> spans = promises::SpanCollector::Global().Drain();
+  std::vector<promises::PhaseStat> phases = promises::AggregatePhases(spans);
+
   std::FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {
     std::perror("fopen");
@@ -76,13 +87,18 @@ int main(int argc, char** argv) {
                "\"orders_per_worker\": %d, \"duplicate_rate\": %.2f, "
                "\"seed\": %llu},\n"
                "  \"points\": [\n%s\n  ],\n"
-               "  \"all_invariants_hold\": %s\n"
+               "  \"all_invariants_hold\": %s,\n"
+               "  \"spans_collected\": %llu,\n"
+               "  \"phase_latency_us\": %s\n"
                "}\n",
                base.num_items, base.workers, base.orders_per_worker,
                base.faults.duplicate,
                static_cast<unsigned long long>(base.seed), rows.c_str(),
-               all_ok ? "true" : "false");
+               all_ok ? "true" : "false",
+               static_cast<unsigned long long>(spans.size()),
+               promises::PhaseLatencyJson(phases, "  ").c_str());
   std::fclose(f);
+  std::printf("%s", promises::FormatPhaseTable(phases).c_str());
   std::printf("-> %s\n", out_path);
   return all_ok ? 0 : 1;
 }

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "obs/trace.h"
 #include "protocol/tcp_transport.h"
 #include "sim/metrics.h"
 
@@ -133,6 +134,10 @@ PointResult RunPoint(double offered_rps, bool shedding, uint64_t seed) {
       req.from = "load-" + std::to_string(c);
       req.to = "overload-server";
       req.deadline = clock.Now() + kClientTimeoutMs;
+      // Raw-envelope client: stamp the trace context PromiseClient
+      // would, so the server-side queue-wait/handler/reply spans fire.
+      promises::TraceContext ctx = promises::Tracer::Global().StartTrace();
+      if (ctx.sampled) req.trace = ctx;
       auto t0 = SteadyClock::now();
       Result<Envelope> reply = channel.Call(req);
       auto us = std::chrono::duration_cast<std::chrono::microseconds>(
@@ -185,6 +190,11 @@ int main(int argc, char** argv) {
   constexpr uint64_t kSeed = 42;
   constexpr double kCapacityRps =
       1000.0 * static_cast<double>(kWorkers) / kServiceMs;
+
+  // Trace every request: the 20 ms slept service time dwarfs the span
+  // cost, and the queue-wait phase is the whole story of this bench.
+  promises::Tracer::Global().set_sampling(1.0);
+  promises::SpanCollector::Global().Reset();
 
   const std::vector<double> load_factors = {0.5, 1.0, 2.0, 4.0};
   std::vector<PointResult> points;
@@ -245,6 +255,10 @@ int main(int argc, char** argv) {
     ok = false;
   }
 
+  promises::Tracer::Global().set_sampling(0);
+  std::vector<promises::Span> spans = promises::SpanCollector::Global().Drain();
+  std::vector<promises::PhaseStat> phases = promises::AggregatePhases(spans);
+
   std::string rows;
   for (const PointResult& p : points) {
     char row[512];
@@ -287,12 +301,17 @@ int main(int argc, char** argv) {
       "  \"points\": [\n%s\n  ],\n"
       "  \"goodput_shedding_4x\": %.1f,\n"
       "  \"goodput_no_shedding_4x\": %.1f,\n"
-      "  \"gates_pass\": %s\n"
+      "  \"gates_pass\": %s,\n"
+      "  \"spans_collected\": %llu,\n"
+      "  \"phase_latency_us\": %s\n"
       "}\n",
       kWorkers, kServiceMs, kCapacityRps, kClientTimeoutMs, kQueueCapacity,
       kClientThreads, kDurationMs, static_cast<unsigned long long>(kSeed),
-      rows.c_str(), on4.goodput_rps, off4.goodput_rps, ok ? "true" : "false");
+      rows.c_str(), on4.goodput_rps, off4.goodput_rps, ok ? "true" : "false",
+      static_cast<unsigned long long>(spans.size()),
+      promises::PhaseLatencyJson(phases, "  ").c_str());
   std::fclose(f);
+  std::printf("%s", promises::FormatPhaseTable(phases).c_str());
   std::printf("-> %s\n", out_path);
   return ok ? 0 : 1;
 }

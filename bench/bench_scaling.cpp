@@ -11,10 +11,18 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sim/workload.h"
 
 int main(int argc, char** argv) {
   const char* out_path = argc > 1 ? argv[1] : "BENCH_scaling.json";
+
+  // Sample every request: with a 2 ms think step per order the tracing
+  // cost is noise, and full coverage gives the phase table real
+  // percentiles. Direct-API requests self-root at the manager, so the
+  // breakdown covers handle/lock-acquire/predicate-eval/action-exec.
+  promises::Tracer::Global().set_sampling(1.0);
+  promises::SpanCollector::Global().Reset();
 
   promises::OrderingWorkloadConfig base;
   base.num_items = 32;
@@ -49,6 +57,10 @@ int main(int argc, char** argv) {
   }
   double ratio = base_tp > 0.0 ? top_tp / base_tp : 0.0;
 
+  promises::Tracer::Global().set_sampling(0);
+  std::vector<promises::Span> spans = promises::SpanCollector::Global().Drain();
+  std::vector<promises::PhaseStat> phases = promises::AggregatePhases(spans);
+
   std::FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {
     std::perror("fopen");
@@ -61,12 +73,15 @@ int main(int argc, char** argv) {
                "\"orders_per_worker\": %d, \"think_us\": %lld, "
                "\"initial_stock\": %lld},\n"
                "  \"points\": [\n%s\n  ],\n"
-               "  \"speedup_8v1\": %.2f\n"
+               "  \"speedup_8v1\": %.2f,\n"
+               "  \"spans_collected\": %llu,\n"
+               "  \"phase_latency_us\": %s\n"
                "}\n",
                base.num_items, base.items_per_order, base.orders_per_worker,
                static_cast<long long>(base.think_us),
                static_cast<long long>(base.initial_stock), rows.c_str(),
-               ratio);
+               ratio, static_cast<unsigned long long>(spans.size()),
+               promises::PhaseLatencyJson(phases, "  ").c_str());
   std::fclose(f);
 
   std::printf("%-8s %12s %10s %10s\n", "workers", "ops/s", "p50(us)",
@@ -76,6 +91,7 @@ int main(int argc, char** argv) {
                 static_cast<long long>(p.p50_us),
                 static_cast<long long>(p.p99_us));
   }
+  std::printf("%s", promises::FormatPhaseTable(phases).c_str());
   std::printf("speedup 8v1: %.2fx -> %s\n", ratio, out_path);
   return 0;
 }

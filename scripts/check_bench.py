@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a fresh BENCH_*.json against the
+committed baseline.
+
+Usage:
+  scripts/check_bench.py BASELINE FRESH [--goodput-drop 0.25]
+                                        [--p99-growth 2.0]
+                                        [--p99-slack-us 5000]
+
+Fails (exit 1) when any comparable point's goodput drops by more than
+--goodput-drop (fraction of baseline) or its p99 grows by more than
+--p99-growth (multiple of baseline) AND by more than --p99-slack-us on
+top of it. The additive slack exists because a multiplicative gate
+alone is meaningless at millisecond scale: a 50-sample p99 on a shared
+runner moves by a couple of scheduler ticks run to run, which can be
+2x of a 2.5 ms baseline while meaning nothing. Regressions worth
+failing the build over clear both bars. On failure the fresh run's
+span-derived phase-latency table is printed so the regression can be
+attributed to a pipeline phase without rerunning anything.
+
+The file schema is detected from the point keys, so the same script
+gates all three benches:
+  * BENCH_scaling.json   points keyed by workers, goodput=throughput_ops_s
+  * BENCH_chaos.json     points keyed by loss_rate, goodput=goodput_orders_s
+  * BENCH_overload.json  points keyed by (offered_rps, shedding),
+                         goodput=goodput_rps; only shedding=true points
+                         are gated — the no-shedding rows measure the
+                         collapse the admission controller exists to
+                         prevent, and their goodput is deliberately
+                         unstable.
+
+Tolerances are deliberately loose (shared CI runners are noisy); the
+gate exists to catch order-of-magnitude regressions, not 5% drift. The
+flags exist so the failure path itself can be exercised: a negative
+--goodput-drop demands an improvement and must fail on identical
+inputs.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_bench: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def extract_points(doc):
+    """Returns a list of (label, goodput, p99_us_or_None)."""
+    out = []
+    for p in doc.get("points", []):
+        if "workers" in p:  # scaling sweep
+            out.append((f"workers={p['workers']}", p["throughput_ops_s"],
+                        p.get("p99_us")))
+        elif "loss_rate" in p:  # chaos sweep (no per-point p99)
+            out.append((f"loss={p['loss_rate']:.2f}",
+                        p["goodput_orders_s"], None))
+        elif "offered_rps" in p:  # overload sweep
+            if not p.get("shedding"):
+                continue
+            out.append((f"offered={p['offered_rps']:.0f}rps",
+                        p["goodput_rps"], p.get("p99_us")))
+        else:
+            print(f"check_bench: unrecognized point shape: {sorted(p)}",
+                  file=sys.stderr)
+            sys.exit(2)
+    return out
+
+
+def print_phase_table(doc, title):
+    phases = doc.get("phase_latency_us")
+    if not phases:
+        print(f"  ({title}: no phase_latency_us section)")
+        return
+    print(f"  {title} phase-latency breakdown:")
+    print(f"    {'phase':<18} {'count':>8} {'mean_us':>10} {'p50_us':>8} "
+          f"{'p99_us':>8}")
+    for name in sorted(phases):
+        s = phases[name]
+        print(f"    {name:<18} {s['count']:>8} {s['mean_us']:>10.1f} "
+              f"{s['p50_us']:>8} {s['p99_us']:>8}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--goodput-drop", type=float, default=0.25,
+                    help="max tolerated fractional goodput drop")
+    ap.add_argument("--p99-growth", type=float, default=2.0,
+                    help="max tolerated p99 growth multiple")
+    ap.add_argument("--p99-slack-us", type=float, default=5000,
+                    help="extra absolute p99 headroom on top of the "
+                         "growth multiple")
+    args = ap.parse_args()
+
+    base_doc = load(args.baseline)
+    fresh_doc = load(args.fresh)
+    base = extract_points(base_doc)
+    fresh = extract_points(fresh_doc)
+
+    base_by_label = {label: (g, p99) for label, g, p99 in base}
+    failures = []
+    compared = 0
+    for label, fresh_goodput, fresh_p99 in fresh:
+        if label not in base_by_label:
+            print(f"  {label}: no baseline point, skipping")
+            continue
+        base_goodput, base_p99 = base_by_label[label]
+        compared += 1
+        floor = base_goodput * (1.0 - args.goodput_drop)
+        verdict = "ok"
+        if fresh_goodput < floor:
+            verdict = "GOODPUT REGRESSION"
+            failures.append(
+                f"{label}: goodput {fresh_goodput:.1f} < floor {floor:.1f} "
+                f"(baseline {base_goodput:.1f}, tolerance "
+                f"{args.goodput_drop:.0%})")
+        if (base_p99 is not None and fresh_p99 is not None and base_p99 > 0
+                and fresh_p99 > base_p99 * args.p99_growth
+                and fresh_p99 > base_p99 + args.p99_slack_us):
+            verdict = "P99 REGRESSION"
+            failures.append(
+                f"{label}: p99 {fresh_p99}us > {args.p99_growth:g}x baseline "
+                f"{base_p99}us (+{args.p99_slack_us:g}us slack)")
+        p99_str = "-" if fresh_p99 is None else str(fresh_p99)
+        print(f"  {label}: goodput {fresh_goodput:.1f} "
+              f"(baseline {base_goodput:.1f}), p99 {p99_str} -> {verdict}")
+
+    if compared == 0:
+        print("check_bench: no comparable points", file=sys.stderr)
+        sys.exit(2)
+
+    if failures:
+        print(f"\ncheck_bench: FAIL ({args.fresh} vs {args.baseline}):")
+        for f in failures:
+            print(f"  {f}")
+        print_phase_table(fresh_doc, "fresh")
+        print_phase_table(base_doc, "baseline")
+        sys.exit(1)
+    print(f"check_bench: OK ({compared} points within tolerance)")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,11 +14,40 @@
 #                            # unless goodput with shedding clears the
 #                            # floor (>= 2x the collapsed no-shedding
 #                            # goodput at 4x saturation)
+#   scripts/ci.sh bench      # bench-regression gate: rerun all three
+#                            # benches and compare against the
+#                            # committed BENCH_*.json baselines with
+#                            # scripts/check_bench.py (>25% goodput
+#                            # drop or >2x p99 growth fails)
+#   scripts/ci.sh lint       # clang-format --dry-run --Werror over
+#                            # src/ tests/ bench/
+#
+# When ccache is installed it is wired in as the compiler launcher and
+# a hit/miss summary is printed at the end; without it the build runs
+# cold (the CI jobs install and cache it, dev boxes need not).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 MODE="${1:-default}"
+
+if command -v ccache >/dev/null 2>&1; then
+  export CMAKE_CXX_COMPILER_LAUNCHER=ccache
+  ccache --zero-stats >/dev/null 2>&1 || true
+  CCACHE_ON=1
+else
+  CCACHE_ON=0
+fi
+
+print_ccache_summary() {
+  if [ "${CCACHE_ON}" = 1 ]; then
+    echo "=== ccache summary ==="
+    # -s layout differs across versions; both spellings kept on purpose.
+    ccache --show-stats 2>/dev/null | grep -Ei 'hit|miss|cache size' || ccache -s
+  else
+    echo "=== ccache not installed: cold build ==="
+  fi
+}
 
 run_preset() {
   local preset="$1"
@@ -37,12 +66,37 @@ run_overload() {
   ./build/bench/bench_overload build/BENCH_overload.json
 }
 
+run_bench() {
+  echo "=== bench-regression gate: fresh runs vs committed baselines ==="
+  cmake --preset default
+  cmake --build --preset default -j "${JOBS}" \
+    --target bench_scaling --target bench_chaos --target bench_overload
+  local bench
+  for bench in scaling chaos overload; do
+    echo "--- bench_${bench} ---"
+    "./build/bench/bench_${bench}" "build/BENCH_${bench}.json"
+    python3 scripts/check_bench.py \
+      "BENCH_${bench}.json" "build/BENCH_${bench}.json"
+  done
+}
+
+run_lint() {
+  echo "=== clang-format check (src/ tests/ bench/) ==="
+  if ! command -v clang-format >/dev/null 2>&1; then
+    echo "clang-format not installed" >&2
+    exit 2
+  fi
+  clang-format --version
+  find src tests bench -name '*.h' -o -name '*.cc' -o -name '*.cpp' \
+    | xargs clang-format --dry-run --Werror
+}
+
 run_chaos() {
   # Fault-injection suite under ASan: the fixed-seed run first, then
   # one fresh-seed run to probe schedules the fixed seed never hits.
   # The seed is exported and echoed so a failure is reproducible with
   # PROMISES_CHAOS_SEED=<seed> scripts/ci.sh chaos.
-  run_preset asan -R 'Chaos|FaultInjector|TransportFault|RetryPolicy|RetryClock|Idempotency|Overload|Breaker|Admission'
+  run_preset asan -R 'Chaos|FaultInjector|TransportFault|RetryPolicy|RetryClock|Idempotency|Overload|Breaker|Admission|Trace'
   local seed="${PROMISES_CHAOS_SEED:-$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')}"
   echo "=== chaos randomized run: PROMISES_CHAOS_SEED=${seed} ==="
   PROMISES_CHAOS_SEED="${seed}" \
@@ -61,7 +115,7 @@ case "${MODE}" in
     # TSan over the full suite is slow on small runners; the concurrency
     # and transaction tests are where data races would live — including
     # the chaos workload's retry/dedup path.
-    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Idempotency|Overload|Breaker|Admission'
+    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Idempotency|Overload|Breaker|Admission|Trace|Metrics'
     ;;
   chaos)
     run_chaos
@@ -69,17 +123,25 @@ case "${MODE}" in
   overload)
     run_overload
     ;;
+  bench)
+    run_bench
+    ;;
+  lint)
+    run_lint
+    ;;
   all)
     run_preset default
     run_preset asan
-    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Idempotency|Overload|Breaker|Admission'
+    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Idempotency|Overload|Breaker|Admission|Trace|Metrics'
     run_chaos
     run_overload
+    run_bench
     ;;
   *)
-    echo "unknown mode: ${MODE} (expected default|asan|tsan|chaos|overload|all)" >&2
+    echo "unknown mode: ${MODE} (expected default|asan|tsan|chaos|overload|bench|lint|all)" >&2
     exit 2
     ;;
 esac
 
+print_ccache_summary
 echo "=== CI ${MODE}: OK ==="

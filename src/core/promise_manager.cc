@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "core/delegation_engine.h"
 #include "core/federated_engine.h"
 #include "core/pool_engine.h"
@@ -752,6 +754,9 @@ Result<ActionOutcome> PromiseManager::ExecuteLocked(
 Result<GrantOutcome> PromiseManager::RequestPromise(
     ClientId client, std::vector<Predicate> predicates,
     DurationMs duration_ms, std::vector<PromiseId> release_on_grant) {
+  // Direct-API root: callers that skip the envelope path (the scaling
+  // workload, embedders) still get a phase breakdown when sampled.
+  ScopedSpan op_span(Tracer::Global().StartTrace(), "request-promise");
   std::set<std::string> classes;
   for (const Predicate& p : predicates) classes.insert(p.resource_class());
   for (PromiseId id : release_on_grant) AddPromiseClasses(&classes, id);
@@ -790,6 +795,7 @@ Result<GrantOutcome> PromiseManager::RequestPromise(
 
 Status PromiseManager::Release(ClientId client,
                                const std::vector<PromiseId>& ids) {
+  ScopedSpan op_span(Tracer::Global().StartTrace(), "release");
   std::set<std::string> classes;
   for (PromiseId id : ids) AddPromiseClasses(&classes, id);
   LockScope scope;
@@ -837,6 +843,7 @@ Status PromiseManager::Release(ClientId client,
 Result<ActionOutcome> PromiseManager::Execute(ClientId client,
                                               const ActionBody& action,
                                               const EnvironmentHeader& env) {
+  ScopedSpan op_span(Tracer::Global().StartTrace(), "execute");
   std::set<std::string> classes;
   for (const EnvironmentHeader::Entry& e : env.entries) {
     AddPromiseClasses(&classes, e.promise);
@@ -936,6 +943,25 @@ Status PromiseManager::ReplayLog(const std::vector<LogRecord>& records,
 }
 
 Result<Envelope> PromiseManager::Handle(const Envelope& request) {
+  // Server-side span root: nest under the inbound envelope's context
+  // when the wire carried one; otherwise start a fresh trace, so
+  // embedders that call Handle without stamping a trace still get the
+  // same phase breakdown.
+  TraceContext trace_parent;
+  if (request.trace && request.trace->sampled) {
+    trace_parent = *request.trace;
+  } else {
+    trace_parent = Tracer::Global().StartTrace();
+  }
+  ScopedSpan handle_span(trace_parent, "handle");
+  static Counter* requests_total = MetricsRegistry::Global().GetCounter(
+      "promises_manager_requests_total");
+  static Counter* deadline_sheds_total = MetricsRegistry::Global().GetCounter(
+      "promises_manager_deadline_sheds_total");
+  static Counter* replays_total = MetricsRegistry::Global().GetCounter(
+      "promises_manager_duplicates_replayed_total");
+  requests_total->Increment();
+
   // Deadline shed, before everything else: a request whose propagated
   // deadline already lapsed gets a tiny <overload> reply — the client
   // has given up, so executing it (or even touching the dedup table or
@@ -943,6 +969,8 @@ Result<Envelope> PromiseManager::Handle(const Envelope& request) {
   // a later retry with the same message id and a live deadline must
   // execute for real.
   if (request.deadline != 0 && clock_->Now() >= request.deadline) {
+    handle_span.set_status("shed-deadline");
+    deadline_sheds_total->Increment();
     stats_.deadline_sheds.fetch_add(1, std::memory_order_relaxed);
     Envelope shed;
     shed.message_id = request.message_id;
@@ -964,9 +992,12 @@ Result<Envelope> PromiseManager::Handle(const Envelope& request) {
 
   DedupKey key{request.from, request.message_id.value()};
   {
+    ScopedSpan dedup_span("dedup");
     std::lock_guard<std::mutex> lk(dedup_mu_);
     auto it = dedup_completed_.find(key);
     if (it != dedup_completed_.end()) {
+      dedup_span.set_status("replayed");
+      replays_total->Increment();
       stats_.duplicates_replayed.fetch_add(1, std::memory_order_relaxed);
       return it->second;
     }
@@ -974,6 +1005,7 @@ Result<Envelope> PromiseManager::Handle(const Envelope& request) {
       // A duplicate delivery raced the original, which is still
       // executing. Refuse (retryably) instead of running it twice; the
       // retry will find the cached reply.
+      dedup_span.set_status("in-flight-duplicate");
       return Status::Unavailable("duplicate of in-flight request " +
                                  request.message_id.ToString() + " from '" +
                                  request.from + "'");
@@ -1033,8 +1065,20 @@ Result<Envelope> PromiseManager::HandleInner(const Envelope& request) {
   if (request.action) AddActionClasses(&classes, *request.action);
 
   LockScope scope;
-  PROMISES_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> txn,
-                            BeginOperation(&scope, std::move(classes)));
+  std::unique_ptr<Transaction> txn;
+  {
+    // Covers planning the stripe set and acquiring every class lock
+    // (the 2PL lock manager's own blocking waits nest underneath as
+    // lock-wait spans).
+    ScopedSpan lock_span("lock-acquire");
+    Result<std::unique_ptr<Transaction>> txn_or =
+        BeginOperation(&scope, std::move(classes));
+    if (!txn_or.ok()) {
+      lock_span.set_status(StatusCodeToString(txn_or.status().code()));
+      return txn_or.status();
+    }
+    txn = std::move(txn_or).value();
+  }
   ClientId client = ClientFor(request.from);
   PROMISES_RETURN_IF_ERROR(ExpireDueLocked(txn.get(), scope));
 
@@ -1049,10 +1093,17 @@ Result<Envelope> PromiseManager::HandleInner(const Envelope& request) {
 
   if (request.promise_request) {
     const PromiseRequestHeader& pr = *request.promise_request;
-    PROMISES_ASSIGN_OR_RETURN(
-        GrantOutcome out,
-        GrantLocked(txn.get(), client, pr.predicates, pr.duration_ms,
-                    pr.release_on_grant));
+    Result<GrantOutcome> out_or = [&] {
+      // Predicate evaluation against current resource state is the
+      // grant decision's cost center.
+      ScopedSpan grant_span("predicate-eval");
+      Result<GrantOutcome> r =
+          GrantLocked(txn.get(), client, pr.predicates, pr.duration_ms,
+                      pr.release_on_grant);
+      if (r.ok() && !r->accepted) grant_span.set_status("rejected");
+      return r;
+    }();
+    PROMISES_ASSIGN_OR_RETURN(GrantOutcome out, std::move(out_or));
     PromiseResponseHeader resp;
     resp.promise_id = out.promise_id;
     resp.result = out.accepted ? PromiseResultCode::kAccepted
@@ -1145,9 +1196,14 @@ Result<Envelope> PromiseManager::HandleInner(const Envelope& request) {
           e.promise = fresh_promise;
         }
       }
-      PROMISES_ASSIGN_OR_RETURN(
-          ActionOutcome out,
-          ExecuteLocked(txn.get(), &scope, client, *request.action, env));
+      Result<ActionOutcome> out_or = [&] {
+        ScopedSpan action_span("action-exec");
+        Result<ActionOutcome> r =
+            ExecuteLocked(txn.get(), &scope, client, *request.action, env);
+        if (r.ok() && !r->ok) action_span.set_status("action-failed");
+        return r;
+      }();
+      PROMISES_ASSIGN_OR_RETURN(ActionOutcome out, std::move(out_or));
       ActionResultBody r;
       r.ok = out.ok;
       r.error = out.error;
@@ -1157,7 +1213,12 @@ Result<Envelope> PromiseManager::HandleInner(const Envelope& request) {
   }
 
   PROMISES_RETURN_IF_ERROR(DrainPendingScoped(txn.get(), scope));
-  LogOperation(request.ToXml());
+  {
+    // Includes serializing the operation record; a no-op (fast) when
+    // no oplog is attached.
+    ScopedSpan oplog_span("oplog-append");
+    LogOperation(request.ToXml());
+  }
   PROMISES_RETURN_IF_ERROR(txn->Commit());
   return reply;
 }

@@ -1,0 +1,229 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace promises {
+namespace {
+
+std::vector<int64_t> DefaultBoundsUs() {
+  // 1-2-5 per decade from 1us to 5s; +inf is implicit.
+  return {1,      2,      5,      10,      20,      50,      100,
+          200,    500,    1000,   2000,    5000,    10000,   20000,
+          50000,  100000, 200000, 500000,  1000000, 2000000, 5000000};
+}
+
+std::atomic<size_t> next_shard_slot{0};
+
+}  // namespace
+
+size_t Counter::ShardIndex() {
+  // One slot per thread, assigned round-robin on first use; threads
+  // beyond kShards share slots, which only costs contention, never
+  // correctness.
+  thread_local size_t slot =
+      next_shard_slot.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+// ---- Histogram -------------------------------------------------------
+
+Histogram::Histogram() : Histogram(DefaultBoundsUs()) {}
+
+Histogram::Histogram(std::vector<int64_t> bucket_bounds_us)
+    : bounds_(std::move(bucket_bounds_us)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+}
+
+void Histogram::Observe(int64_t value_us) {
+  // Prometheus le semantics: first bucket whose bound >= value;
+  // anything above every bound lands in the trailing +inf slot.
+  size_t idx = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value_us) -
+      bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value_us, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::CumulativeCount(size_t bucket_index) const {
+  uint64_t total = 0;
+  for (size_t i = 0; i <= bucket_index && i < buckets_.size(); ++i) {
+    total += buckets_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::MeanUs() const {
+  uint64_t n = count();
+  return n == 0 ? 0.0
+                : static_cast<double>(sum_us()) / static_cast<double>(n);
+}
+
+int64_t Histogram::ApproxPercentileUs(double p) const {
+  uint64_t n = count();
+  if (n == 0) return 0;
+  double target = p / 100.0 * static_cast<double>(n);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (static_cast<double>(cumulative + in_bucket) >= target &&
+        in_bucket > 0) {
+      int64_t lo = i == 0 ? 0 : bounds_[i - 1];
+      // +inf bucket: report its lower bound — no upper edge to
+      // interpolate toward.
+      if (i == bounds_.size()) return lo;
+      int64_t hi = bounds_[i];
+      double frac = (target - static_cast<double>(cumulative)) /
+                    static_cast<double>(in_bucket);
+      return lo + static_cast<int64_t>(
+                      frac * static_cast<double>(hi - lo));
+    }
+    cumulative += in_bucket;
+  }
+  return bounds_.empty() ? 0 : bounds_.back();
+}
+
+void Histogram::ResetForTesting() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+// ---- LatencyRecorder -------------------------------------------------
+
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  if (&other == this || other.samples_.empty()) return;
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
+double LatencyRecorder::MeanUs() const {
+  if (samples_.empty()) return 0;
+  double sum = 0;
+  for (int64_t s : samples_) sum += static_cast<double>(s);
+  return sum / static_cast<double>(samples_.size());
+}
+
+int64_t LatencyRecorder::PercentileUs(double p) const {
+  if (samples_.empty()) return 0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  size_t idx = static_cast<size_t>(std::llround(rank));
+  idx = std::min(idx, samples_.size() - 1);
+  return samples_[idx];
+}
+
+void LatencyRecorder::PublishTo(Histogram* histogram) const {
+  for (int64_t s : samples_) histogram->Observe(s);
+}
+
+// ---- Snapshot --------------------------------------------------------
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+// ---- MetricsRegistry -------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(
+    const std::string& name, std::vector<int64_t> bucket_bounds_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bucket_bounds_us));
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->Value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.name = name;
+    data.bounds_us = histogram->bounds();
+    data.cumulative.reserve(data.bounds_us.size() + 1);
+    for (size_t i = 0; i <= data.bounds_us.size(); ++i) {
+      data.cumulative.push_back(histogram->CumulativeCount(i));
+    }
+    data.count = histogram->count();
+    data.sum_us = histogram->sum_us();
+    snap.histograms.push_back(std::move(data));
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::FormatPrometheus() const {
+  MetricsSnapshot snap = Snapshot();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    out += "# TYPE " + h.name + " histogram\n";
+    for (size_t i = 0; i < h.bounds_us.size(); ++i) {
+      out += h.name + "_bucket{le=\"" + std::to_string(h.bounds_us[i]) +
+             "\"} " + std::to_string(h.cumulative[i]) + "\n";
+    }
+    out += h.name + "_bucket{le=\"+Inf\"} " +
+           std::to_string(h.cumulative.back()) + "\n";
+    out += h.name + "_sum " + std::to_string(h.sum_us) + "\n";
+    out += h.name + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->ResetForTesting();
+  for (auto& [name, gauge] : gauges_) gauge->ResetForTesting();
+  for (auto& [name, histogram] : histograms_) histogram->ResetForTesting();
+}
+
+}  // namespace promises

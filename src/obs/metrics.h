@@ -1,0 +1,193 @@
+// Unified process-wide metrics: counters, gauges and fixed-bucket
+// histograms behind one registry with a Prometheus-text snapshot
+// surface.
+//
+// Hot-path cost is a single atomic op: counters are sharded across
+// cache-line-aligned slots (a thread_local slot index picks the
+// shard, so concurrent writers do not bounce one cache line), gauges
+// are a single atomic, and histograms do one relaxed fetch_add on the
+// bucket plus sum/count. Instruments are registered by name once
+// (call sites cache the returned pointer in a function-local static);
+// instruments live for the process lifetime, so cached pointers never
+// dangle even across ResetForTesting(), which zeroes values but frees
+// nothing.
+//
+// LatencyRecorder also lives here now (it started in sim/metrics):
+// it keeps exact samples for the benches' precise percentiles, and
+// PublishTo() folds a recorder into a registry histogram so workload
+// latencies appear in the same FormatPrometheus() output as every
+// other series.
+
+#ifndef PROMISES_OBS_METRICS_H_
+#define PROMISES_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace promises {
+
+/// Monotone counter, sharded to keep concurrent increments off one
+/// cache line.
+class Counter {
+ public:
+  static constexpr size_t kShards = 16;
+
+  void Increment(uint64_t n = 1) {
+    shards_[ShardIndex()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void ResetForTesting() {
+    for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+
+  static size_t ShardIndex();
+
+  Shard shards_[kShards];
+};
+
+/// Up/down instantaneous value (queue depths, in-flight counts).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n = 1) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void ResetForTesting() { Set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram (default bounds: 1us..5s, roughly 1-2-5 per
+/// decade, plus +inf). Observe is wait-free: one bucket fetch_add plus
+/// sum/count.
+class Histogram {
+ public:
+  Histogram();
+  explicit Histogram(std::vector<int64_t> bucket_bounds_us);
+
+  void Observe(int64_t value_us);
+
+  /// Upper bounds, exclusive of the implicit +inf bucket.
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+  /// Cumulative count at or below bounds()[i]; index bounds().size()
+  /// is the +inf bucket (== count()).
+  uint64_t CumulativeCount(size_t bucket_index) const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum_us() const { return sum_.load(std::memory_order_relaxed); }
+  double MeanUs() const;
+  /// Percentile estimate by linear interpolation inside the bucket;
+  /// p in [0,100]. Exact values need LatencyRecorder.
+  int64_t ApproxPercentileUs(double p) const;
+
+  void ResetForTesting();
+
+ private:
+  std::vector<int64_t> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  ///< bounds_.size() + 1.
+  std::atomic<uint64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// Exact-sample latency recorder. Not thread-safe: record per worker,
+/// then Merge into one recorder on the coordinating thread.
+class LatencyRecorder {
+ public:
+  void Record(int64_t us) {
+    samples_.push_back(us);
+    // A percentile query may have left the vector flagged sorted; the
+    // appended sample invalidates that.
+    sorted_ = false;
+  }
+
+  /// Appends other's samples. Merging an empty recorder is a no-op
+  /// that preserves the destination's sorted_ flag — the historical
+  /// bug was clearing it here, forcing a useless re-sort on the next
+  /// percentile query after empty-source merges interleaved with
+  /// reads. Self-merge is also a no-op.
+  void Merge(const LatencyRecorder& other);
+
+  size_t count() const { return samples_.size(); }
+  double MeanUs() const;
+  /// p in [0,100]; sorts on demand.
+  int64_t PercentileUs(double p) const;
+
+  /// Folds every sample into a registry histogram.
+  void PublishTo(Histogram* histogram) const;
+
+  /// Test hook: whether the sample vector is currently flagged sorted.
+  bool sorted_for_testing() const { return sorted_; }
+
+ private:
+  mutable std::vector<int64_t> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Point-in-time copy of every registered instrument.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::string name;
+    std::vector<int64_t> bounds_us;
+    std::vector<uint64_t> cumulative;  ///< Per bound, then +inf last.
+    uint64_t count = 0;
+    int64_t sum_us = 0;
+  };
+
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramData> histograms;
+
+  uint64_t CounterValue(const std::string& name) const;
+};
+
+/// Name -> instrument registry. Get* registers on first use and
+/// always returns the same pointer for a name; instruments are never
+/// freed. Names follow Prometheus conventions
+/// (promises_transport_messages_total, ...).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<int64_t> bucket_bounds_us);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Prometheus text exposition format (counters as _total, gauges,
+  /// histograms as _bucket/_sum/_count with le labels).
+  std::string FormatPrometheus() const;
+
+  /// Zeroes every instrument's value; pointers stay valid.
+  void ResetForTesting();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_OBS_METRICS_H_

@@ -1,0 +1,435 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <random>
+#include <sstream>
+
+namespace promises {
+namespace {
+
+// Thread-local producer state. The buffer pointer is registered with
+// the global collector on first use and stays valid forever (the
+// collector never frees buffers), so a detached thread exiting is
+// safe: its ring simply stops receiving pushes.
+thread_local SpanBuffer* tl_span_buffer = nullptr;
+thread_local const TraceContext* tl_ambient_ctx = nullptr;
+
+uint64_t MixSeed() {
+  // Per-thread seed: address entropy + a global counter + random_device
+  // where available. Ids only need uniqueness, not unpredictability.
+  static std::atomic<uint64_t> counter{0x9e3779b97f4a7c15ULL};
+  uint64_t z = counter.fetch_add(0x9e3779b97f4a7c15ULL,
+                                 std::memory_order_relaxed);
+  z ^= reinterpret_cast<uintptr_t>(&tl_span_buffer);
+  z ^= static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// SplitMix64 step — fast, full-period, fine for id generation.
+uint64_t NextRandom64() {
+  thread_local uint64_t state = MixSeed();
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string FormatHex64(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+bool ParseHex64(std::string_view s, uint64_t* out) {
+  if (s.empty() || s.size() > 16) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | static_cast<uint64_t>(digit);
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseTraceIdHex(std::string_view s, uint64_t* hi, uint64_t* lo) {
+  if (s.size() != 32) return false;
+  return ParseHex64(s.substr(0, 16), hi) && ParseHex64(s.substr(16), lo);
+}
+
+std::string TraceContext::TraceIdHex() const {
+  return FormatHex64(trace_hi) + FormatHex64(trace_lo);
+}
+
+// ---- SpanCollector ---------------------------------------------------
+
+SpanCollector& SpanCollector::Global() {
+  static SpanCollector* collector = new SpanCollector();
+  return *collector;
+}
+
+SpanBuffer* SpanCollector::BufferForThisThread() {
+  if (tl_span_buffer == nullptr) {
+    auto buffer = std::make_unique<SpanBuffer>(kDefaultPerThreadCapacity);
+    tl_span_buffer = buffer.get();
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(std::move(buffer));
+  }
+  return tl_span_buffer;
+}
+
+void SpanCollector::HarvestLocked() {
+  std::vector<Span> pending;
+  for (auto& buffer : buffers_) {
+    buffer->DrainInto(&pending);
+  }
+  for (auto& span : pending) {
+    if (store_.size() >= max_spans_) {
+      ++store_dropped_;
+    } else {
+      store_.push_back(std::move(span));
+    }
+  }
+}
+
+std::vector<Span> SpanCollector::Collected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  HarvestLocked();
+  return store_;
+}
+
+std::vector<Span> SpanCollector::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  HarvestLocked();
+  std::vector<Span> out;
+  out.swap(store_);
+  return out;
+}
+
+void SpanCollector::set_max_spans(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_spans_ = n == 0 ? 1 : n;
+}
+
+uint64_t SpanCollector::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t ring_drops = drained_ring_drops_;
+  for (const auto& buffer : buffers_) {
+    ring_drops += buffer->dropped();
+  }
+  return ring_drops + store_dropped_;
+}
+
+size_t SpanCollector::collected_size() {
+  std::lock_guard<std::mutex> lock(mu_);
+  HarvestLocked();
+  return store_.size();
+}
+
+void SpanCollector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Drain the rings so stale spans from a previous run do not leak
+  // into the next one; buffers themselves stay registered because
+  // thread_local pointers still reference them.
+  std::vector<Span> discard;
+  for (auto& buffer : buffers_) {
+    buffer->DrainInto(&discard);
+  }
+  store_.clear();
+  store_dropped_ = 0;
+  // Ring drop counters cannot be reset without racing producers, so
+  // snapshot them as a baseline instead of zeroing.
+  drained_ring_drops_ = 0;
+  uint64_t ring_drops = 0;
+  for (const auto& buffer : buffers_) {
+    ring_drops += buffer->dropped();
+  }
+  drained_ring_drops_ = -ring_drops;  // dropped() adds them back.
+}
+
+// ---- Tracer ----------------------------------------------------------
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::set_sampling(double rate) {
+  if (rate < 0) rate = 0;
+  if (rate > 1) rate = 1;
+  sampling_.store(rate, std::memory_order_relaxed);
+}
+
+double Tracer::sampling() const {
+  return sampling_.load(std::memory_order_relaxed);
+}
+
+TraceContext Tracer::StartTrace() {
+  double rate = sampling_.load(std::memory_order_relaxed);
+  if (rate <= 0) return TraceContext{};
+  if (rate < 1) {
+    // 53-bit uniform in [0,1) from the id generator.
+    double u = static_cast<double>(NextRandom64() >> 11) * 0x1.0p-53;
+    if (u >= rate) return TraceContext{};
+  }
+  TraceContext ctx;
+  ctx.trace_hi = NextRandom64();
+  ctx.trace_lo = NextRandom64() | 1;  // Never all-zero.
+  ctx.span_id = NextSpanId();
+  ctx.parent_span_id = 0;
+  ctx.sampled = true;
+  return ctx;
+}
+
+TraceContext Tracer::ChildOf(const TraceContext& parent) {
+  TraceContext ctx = parent;
+  ctx.parent_span_id = parent.span_id;
+  ctx.span_id = NextSpanId();
+  return ctx;
+}
+
+uint64_t Tracer::NextSpanId() {
+  uint64_t id = NextRandom64();
+  return id == 0 ? 1 : id;
+}
+
+// ---- Ambient context + recording ------------------------------------
+
+const TraceContext* CurrentTraceContext() { return tl_ambient_ctx; }
+
+void RecordSpan(Span span) {
+  SpanCollector::Global().BufferForThisThread()->TryPush(std::move(span));
+}
+
+int64_t TraceNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+ScopedSpan::ScopedSpan(const TraceContext& parent, std::string_view name) {
+  Begin(&parent, name);
+}
+
+ScopedSpan::ScopedSpan(std::string_view name) {
+  Begin(tl_ambient_ctx, name);
+}
+
+void ScopedSpan::Begin(const TraceContext* parent, std::string_view name) {
+  if (parent == nullptr || !parent->sampled) {
+    return;  // ctx_ stays unsampled; destructor is a no-op.
+  }
+  ctx_ = Tracer::ChildOf(*parent);
+  name_.assign(name);
+  start_us_ = TraceNowUs();
+  prev_ambient_ = tl_ambient_ctx;
+  tl_ambient_ctx = &ctx_;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!ctx_.sampled) return;
+  tl_ambient_ctx = prev_ambient_;
+  Span span;
+  span.trace_hi = ctx_.trace_hi;
+  span.trace_lo = ctx_.trace_lo;
+  span.span_id = ctx_.span_id;
+  span.parent_span_id = ctx_.parent_span_id;
+  span.name = std::move(name_);
+  span.status = status_.empty() ? "ok" : std::move(status_);
+  span.start_us = start_us_;
+  span.end_us = TraceNowUs();
+  RecordSpan(std::move(span));
+}
+
+void ScopedSpan::set_status(std::string_view status) {
+  if (!ctx_.sampled) return;
+  status_.assign(status);
+}
+
+// ---- Exporters -------------------------------------------------------
+
+std::string ExportSpansJson(const std::vector<Span>& spans) {
+  std::string out = "{\"spans\":[";
+  bool first = true;
+  for (const Span& s : spans) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"trace_id\":\"";
+    out += FormatHex64(s.trace_hi) + FormatHex64(s.trace_lo);
+    out += "\",\"span_id\":\"" + FormatHex64(s.span_id);
+    out += "\",\"parent_span_id\":\"" + FormatHex64(s.parent_span_id);
+    out += "\",\"name\":\"";
+    AppendJsonEscaped(&out, s.name);
+    out += "\",\"status\":\"";
+    AppendJsonEscaped(&out, s.status);
+    out += "\",\"start_us\":" + std::to_string(s.start_us);
+    out += ",\"duration_us\":" + std::to_string(s.duration_us());
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string ExportSpansText(const std::vector<Span>& spans) {
+  // Index children under parents; roots are spans whose parent is 0 or
+  // absent from this batch (e.g. the parent overflowed a ring).
+  std::map<uint64_t, std::vector<size_t>> children;
+  std::map<uint64_t, size_t> by_id;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    by_id[spans[i].span_id] = i;
+  }
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    uint64_t parent = spans[i].parent_span_id;
+    if (parent != 0 && by_id.count(parent)) {
+      children[parent].push_back(i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  auto by_start = [&spans](size_t a, size_t b) {
+    return spans[a].start_us < spans[b].start_us;
+  };
+  std::sort(roots.begin(), roots.end(), by_start);
+  for (auto& [id, kids] : children) {
+    std::sort(kids.begin(), kids.end(), by_start);
+  }
+
+  std::string out;
+  // Iterative DFS so a deep (or cyclic, if ids ever collide) forest
+  // cannot blow the stack.
+  std::vector<std::pair<size_t, int>> stack;
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+    stack.emplace_back(*it, 0);
+  }
+  size_t emitted = 0;
+  while (!stack.empty() && emitted <= spans.size()) {
+    auto [idx, depth] = stack.back();
+    stack.pop_back();
+    ++emitted;
+    const Span& s = spans[idx];
+    out.append(static_cast<size_t>(depth) * 2, ' ');
+    out += s.name;
+    out += " [" + std::to_string(s.duration_us()) + "us]";
+    if (s.status != "ok") out += " status=" + s.status;
+    out += " trace=" + FormatHex64(s.trace_hi) + FormatHex64(s.trace_lo);
+    out += " span=" + FormatHex64(s.span_id);
+    out += "\n";
+    auto kids = children.find(s.span_id);
+    if (kids != children.end()) {
+      for (auto it = kids->second.rbegin(); it != kids->second.rend(); ++it) {
+        stack.emplace_back(*it, depth + 1);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<PhaseStat> AggregatePhases(const std::vector<Span>& spans) {
+  std::map<std::string, std::vector<int64_t>> by_phase;
+  for (const Span& s : spans) {
+    by_phase[s.name].push_back(s.duration_us());
+  }
+  std::vector<PhaseStat> out;
+  out.reserve(by_phase.size());
+  for (auto& [name, durations] : by_phase) {
+    std::sort(durations.begin(), durations.end());
+    PhaseStat stat;
+    stat.name = name;
+    stat.count = durations.size();
+    double sum = 0;
+    for (int64_t d : durations) sum += static_cast<double>(d);
+    stat.mean_us = sum / static_cast<double>(durations.size());
+    auto pct = [&durations](double p) {
+      size_t idx = static_cast<size_t>(p * static_cast<double>(
+                                               durations.size() - 1));
+      return durations[idx];
+    };
+    stat.p50_us = pct(0.50);
+    stat.p99_us = pct(0.99);
+    out.push_back(std::move(stat));
+  }
+  return out;
+}
+
+std::string FormatPhaseTable(const std::vector<PhaseStat>& phases) {
+  std::ostringstream out;
+  out << "phase                  count      mean_us      p50_us      p99_us\n";
+  for (const PhaseStat& p : phases) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-20s %8llu %12.1f %11lld %11lld\n",
+                  p.name.c_str(), static_cast<unsigned long long>(p.count),
+                  p.mean_us, static_cast<long long>(p.p50_us),
+                  static_cast<long long>(p.p99_us));
+    out << line;
+  }
+  return out.str();
+}
+
+std::string PhaseLatencyJson(const std::vector<PhaseStat>& phases,
+                             const std::string& indent) {
+  std::string out = "{";
+  bool first = true;
+  for (const PhaseStat& p : phases) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n" + indent + "  \"";
+    AppendJsonEscaped(&out, p.name);
+    out += "\": {\"count\": " + std::to_string(p.count);
+    char mean[32];
+    std::snprintf(mean, sizeof(mean), "%.1f", p.mean_us);
+    out += std::string(", \"mean_us\": ") + mean;
+    out += ", \"p50_us\": " + std::to_string(p.p50_us);
+    out += ", \"p99_us\": " + std::to_string(p.p99_us);
+    out += "}";
+  }
+  out += phases.empty() ? "}" : "\n" + indent + "}";
+  return out;
+}
+
+}  // namespace promises

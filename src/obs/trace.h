@@ -1,0 +1,268 @@
+// Dapper-style end-to-end request tracing.
+//
+// Every client call starts a trace: a 128-bit trace id shared by every
+// piece of work done on behalf of that request, plus a tree of spans
+// (span id / parent span id) marking where the time went. The context
+// rides the protocol envelope as a <trace> header element, so it
+// crosses the in-process Transport, the TCP wire, the promise
+// manager's Handle path and the resource layer exactly like the
+// payload does; inside one thread it also propagates ambiently (a
+// thread-local span stack), so deep layers — the 2PL lock manager, the
+// oplog, the resource manager — can attach child spans without
+// signature changes.
+//
+// Cost model: sampling is decided once, at the root (StartTrace). An
+// unsampled context makes every downstream ScopedSpan a no-op — no
+// clock reads, no buffer writes, just a flag test — so tracing at
+// sampling=0 is cheap enough to leave compiled into the hot path (the
+// bench_scaling overhead gate holds it under 2%). Sampled spans go to
+// a lock-free per-thread SPSC ring; a bounded collector harvests the
+// rings, counts drops instead of growing, and feeds the JSON/text
+// exporters and the per-phase latency aggregation the benches emit.
+
+#ifndef PROMISES_OBS_TRACE_H_
+#define PROMISES_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace promises {
+
+/// Propagated per-request context: who this work belongs to (trace id)
+/// and which span it is nested under. Copied by value across hops.
+struct TraceContext {
+  uint64_t trace_hi = 0;  ///< 128-bit trace id, high half.
+  uint64_t trace_lo = 0;  ///< 128-bit trace id, low half.
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  bool sampled = false;
+
+  bool valid() const { return (trace_hi | trace_lo) != 0; }
+  /// 32 lowercase hex chars (no separator).
+  std::string TraceIdHex() const;
+};
+
+/// Fixed-point hex helpers for the wire format (<trace> attributes).
+std::string FormatHex64(uint64_t v);
+/// Parses up to 16 hex chars; false on empty/invalid input.
+bool ParseHex64(std::string_view s, uint64_t* out);
+/// Parses a 32-hex-char 128-bit trace id; false on bad input.
+bool ParseTraceIdHex(std::string_view s, uint64_t* hi, uint64_t* lo);
+
+/// One completed span. Durations are steady-clock microseconds.
+struct Span {
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  std::string name;    ///< Phase tag: "queue-wait", "lock-acquire", ...
+  std::string status;  ///< "ok" or a terminal cause ("shed-deadline", ...).
+  int64_t start_us = 0;
+  int64_t end_us = 0;
+
+  int64_t duration_us() const { return end_us - start_us; }
+};
+
+/// Single-producer/single-consumer bounded span ring. The owning
+/// thread pushes; the collector (any thread, serialized by its own
+/// mutex) drains. Overflow drops the span and bumps a counter —
+/// tracing never blocks or allocates unboundedly on the hot path.
+class SpanBuffer {
+ public:
+  explicit SpanBuffer(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        slots_(capacity == 0 ? 1 : capacity) {}
+
+  SpanBuffer(const SpanBuffer&) = delete;
+  SpanBuffer& operator=(const SpanBuffer&) = delete;
+
+  /// Producer side. Returns false (and counts a drop) when full.
+  bool TryPush(Span span) {
+    uint64_t head = head_.load(std::memory_order_relaxed);
+    uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= capacity_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slots_[head % capacity_] = std::move(span);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: moves every pending span into `out`.
+  size_t DrainInto(std::vector<Span>* out) {
+    uint64_t tail = tail_.load(std::memory_order_relaxed);
+    uint64_t head = head_.load(std::memory_order_acquire);
+    for (uint64_t i = tail; i != head; ++i) {
+      out->push_back(std::move(slots_[i % capacity_]));
+    }
+    tail_.store(head, std::memory_order_release);
+    return static_cast<size_t>(head - tail);
+  }
+
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const size_t capacity_;
+  std::vector<Span> slots_;
+  std::atomic<uint64_t> head_{0};  ///< Next write (producer-owned).
+  std::atomic<uint64_t> tail_{0};  ///< Next read (consumer-owned).
+  std::atomic<uint64_t> dropped_{0};
+};
+
+/// Process-wide bounded span sink. Each recording thread owns one
+/// SpanBuffer (registered on first use, never freed — thread_local
+/// pointers into the registry must stay valid for the process
+/// lifetime); Drain() harvests every ring into a bounded store.
+class SpanCollector {
+ public:
+  static constexpr size_t kDefaultPerThreadCapacity = 4096;
+  static constexpr size_t kDefaultMaxSpans = 1 << 16;
+
+  static SpanCollector& Global();
+
+  /// The calling thread's ring (registers it on first use).
+  SpanBuffer* BufferForThisThread();
+
+  /// Harvests all rings into the bounded store and returns a copy of
+  /// everything collected so far (oldest first).
+  std::vector<Span> Collected();
+
+  /// Harvests and returns everything, clearing the store.
+  std::vector<Span> Drain();
+
+  /// Store bound: spans beyond it are dropped (counted). Applies on
+  /// the next harvest.
+  void set_max_spans(size_t n);
+
+  /// Spans lost to ring overflow plus store overflow.
+  uint64_t dropped() const;
+
+  size_t collected_size();
+
+  /// Clears the store and the drop counters (rings stay registered).
+  void Reset();
+
+ private:
+  void HarvestLocked();
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<SpanBuffer>> buffers_;
+  std::vector<Span> store_;
+  size_t max_spans_ = kDefaultMaxSpans;
+  uint64_t store_dropped_ = 0;
+  uint64_t drained_ring_drops_ = 0;
+};
+
+/// Sampling decisions and id generation. One global instance; the
+/// sampling rate is the only mutable knob and is read with a relaxed
+/// atomic load on every root decision.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  /// Fraction of root calls that are traced, in [0, 1]. 0 disables.
+  void set_sampling(double rate);
+  double sampling() const;
+
+  /// Roots a new trace. When the sampling decision says no, the
+  /// returned context is invalid/unsampled and every span under it is
+  /// a no-op.
+  TraceContext StartTrace();
+
+  /// Child context: same trace, fresh span id, parented under `parent`.
+  static TraceContext ChildOf(const TraceContext& parent);
+
+  /// Fresh span id (thread-local generator, never 0).
+  static uint64_t NextSpanId();
+
+ private:
+  std::atomic<double> sampling_{0.0};
+};
+
+/// Current ambient trace context of this thread (innermost live
+/// ScopedSpan), or nullptr. Lower layers parent off this without
+/// plumbing the context through call signatures.
+const TraceContext* CurrentTraceContext();
+
+/// Records a fully-built span into the global collector (used for
+/// spans whose lifetime does not fit a scope, e.g. queue-wait measured
+/// across threads). No-op unless `span`'s trace was sampled — callers
+/// check the context's sampled flag.
+void RecordSpan(Span span);
+
+/// Steady-clock microseconds (span timestamps).
+int64_t TraceNowUs();
+
+/// RAII span. Starts on construction, records on destruction. The
+/// span's own context becomes this thread's ambient context for the
+/// duration, so nested ScopedSpans chain automatically.
+class ScopedSpan {
+ public:
+  /// Child of `parent` (explicit cross-thread / cross-hop parenting).
+  ScopedSpan(const TraceContext& parent, std::string_view name);
+
+  /// Child of the thread's ambient context; no-op when there is none
+  /// or it is unsampled.
+  explicit ScopedSpan(std::string_view name);
+
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Terminal status tag ("ok" when never set).
+  void set_status(std::string_view status);
+
+  /// This span's context (parent for explicit children).
+  const TraceContext& context() const { return ctx_; }
+  bool sampled() const { return ctx_.sampled; }
+
+ private:
+  void Begin(const TraceContext* parent, std::string_view name);
+
+  TraceContext ctx_;
+  const TraceContext* prev_ambient_ = nullptr;
+  std::string name_;
+  std::string status_;
+  int64_t start_us_ = 0;
+};
+
+// ---- Exporters -------------------------------------------------------
+
+/// All spans as one JSON document: {"spans":[{...}, ...]}.
+std::string ExportSpansJson(const std::vector<Span>& spans);
+
+/// Human-readable span forest: one line per span, children indented
+/// under their parent, ordered by start time.
+std::string ExportSpansText(const std::vector<Span>& spans);
+
+/// Per-phase (span name) latency aggregation.
+struct PhaseStat {
+  std::string name;
+  uint64_t count = 0;
+  double mean_us = 0;
+  int64_t p50_us = 0;
+  int64_t p99_us = 0;
+};
+
+std::vector<PhaseStat> AggregatePhases(const std::vector<Span>& spans);
+
+/// Formatted phase-latency table (one row per phase).
+std::string FormatPhaseTable(const std::vector<PhaseStat>& phases);
+
+/// Phases as a JSON object: {"queue-wait": {"count":..,"mean_us":..,
+/// "p50_us":..,"p99_us":..}, ...} — embedded into BENCH_*.json.
+std::string PhaseLatencyJson(const std::vector<PhaseStat>& phases,
+                             const std::string& indent);
+
+}  // namespace promises
+
+#endif  // PROMISES_OBS_TRACE_H_

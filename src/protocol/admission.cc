@@ -2,9 +2,32 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "protocol/retry_policy.h"
 
 namespace promises {
+namespace {
+
+struct AdmissionCounters {
+  Counter* admitted;
+  Counter* shed_queue_full;
+  Counter* shed_quota;
+  Counter* shed_deadline;
+
+  static const AdmissionCounters& Get() {
+    static AdmissionCounters counters = [] {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      return AdmissionCounters{
+          reg.GetCounter("promises_admission_admitted_total"),
+          reg.GetCounter("promises_admission_shed_queue_full_total"),
+          reg.GetCounter("promises_admission_shed_quota_total"),
+          reg.GetCounter("promises_admission_shed_deadline_total")};
+    }();
+    return counters;
+  }
+};
+
+}  // namespace
 
 std::string_view AdmissionController::Decision::reason_string() const {
   switch (reason) {
@@ -38,11 +61,13 @@ AdmissionController::Decision AdmissionController::Admit(
 
   // Dead-on-arrival: the client's deadline already passed in transit.
   if (deadline != 0 && now >= deadline) {
+    AdmissionCounters::Get().shed_deadline->Increment();
     ++stats_.shed_deadline;
     return Decision{ShedReason::kDeadline, 0};
   }
 
   if (options_.queue_capacity > 0 && queue_depth >= options_.queue_capacity) {
+    AdmissionCounters::Get().shed_queue_full->Increment();
     ++stats_.shed_queue_full;
     return Decision{ShedReason::kQueueFull, options_.retry_after_hint_ms};
   }
@@ -61,6 +86,7 @@ AdmissionController::Decision AdmissionController::Admit(
                              bucket.tokens + dt_s * options_.client_rate_per_sec);
     bucket.last_refill = now;
     if (bucket.tokens < 1.0) {
+      AdmissionCounters::Get().shed_quota->Increment();
       ++stats_.shed_quota;
       // Exact time until a whole token accrues at the sustained rate.
       DurationMs wait = static_cast<DurationMs>(
@@ -79,11 +105,13 @@ AdmissionController::Decision AdmissionController::Admit(
     }
   }
 
+  AdmissionCounters::Get().admitted->Increment();
   ++stats_.admitted;
   return Decision{};
 }
 
 void AdmissionController::NoteDeadlineShed() {
+  AdmissionCounters::Get().shed_deadline->Increment();
   std::lock_guard<std::mutex> lk(mu_);
   ++stats_.shed_deadline;
 }

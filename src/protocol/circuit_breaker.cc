@@ -2,9 +2,32 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "protocol/retry_policy.h"
 
 namespace promises {
+namespace {
+
+struct BreakerCounters {
+  Counter* admitted;
+  Counter* fast_failures;
+  Counter* opens;
+  Counter* closes;
+
+  static const BreakerCounters& Get() {
+    static BreakerCounters counters = [] {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      return BreakerCounters{
+          reg.GetCounter("promises_breaker_admitted_total"),
+          reg.GetCounter("promises_breaker_fast_fails_total"),
+          reg.GetCounter("promises_breaker_opens_total"),
+          reg.GetCounter("promises_breaker_closes_total")};
+    }();
+    return counters;
+  }
+};
+
+}  // namespace
 
 std::string_view BreakerStateToString(BreakerState s) {
   switch (s) {
@@ -26,6 +49,7 @@ bool CircuitBreaker::TripEligible(const Status& status) {
 
 void CircuitBreaker::TripLocked(Timestamp now, DurationMs min_cooldown_ms) {
   state_ = BreakerState::kOpen;
+  BreakerCounters::Get().opens->Increment();
   ++stats_.opens;
   consecutive_failures_ = 0;
   probe_successes_ = 0;
@@ -43,10 +67,12 @@ Status CircuitBreaker::Admit() {
   std::lock_guard<std::mutex> lk(mu_);
   switch (state_) {
     case BreakerState::kClosed:
+      BreakerCounters::Get().admitted->Increment();
       ++stats_.admitted;
       return Status::OK();
     case BreakerState::kOpen:
       if (now < reopen_at_) {
+        BreakerCounters::Get().fast_failures->Increment();
         ++stats_.fast_failures;
         return StatusWithRetryAfter(StatusCode::kUnavailable,
                                     "circuit-breaker open", reopen_at_ - now);
@@ -59,6 +85,7 @@ Status CircuitBreaker::Admit() {
     case BreakerState::kHalfOpen:
       if (probes_in_flight_ >= config_.half_open_probes) {
         // Enough probes are already out; don't stampede the server.
+        BreakerCounters::Get().fast_failures->Increment();
         ++stats_.fast_failures;
         return StatusWithRetryAfter(
             StatusCode::kUnavailable,
@@ -66,6 +93,7 @@ Status CircuitBreaker::Admit() {
             std::max<DurationMs>(1, config_.open_cooldown_ms / 4));
       }
       ++probes_in_flight_;
+      BreakerCounters::Get().admitted->Increment();
       ++stats_.admitted;
       return Status::OK();
   }
@@ -79,6 +107,7 @@ void CircuitBreaker::RecordSuccess() {
     probes_in_flight_ = std::max(0, probes_in_flight_ - 1);
     if (++probe_successes_ >= config_.half_open_probes) {
       state_ = BreakerState::kClosed;
+      BreakerCounters::Get().closes->Increment();
       ++stats_.closes;
       probe_successes_ = 0;
     }

@@ -76,6 +76,15 @@ std::string Envelope::ToXml(bool pretty) const {
   if (deadline != 0) root.SetAttr("deadline", std::to_string(deadline));
 
   XmlElement* header = root.AddChild("header");
+  if (trace && trace->valid()) {
+    XmlElement* tr = header->AddChild("trace");
+    tr->SetAttr("trace-id", trace->TraceIdHex());
+    tr->SetAttr("span-id", FormatHex64(trace->span_id));
+    if (trace->parent_span_id != 0) {
+      tr->SetAttr("parent-span-id", FormatHex64(trace->parent_span_id));
+    }
+    tr->SetAttr("sampled", trace->sampled ? "true" : "false");
+  }
   if (promise_request) {
     XmlElement* pr = header->AddChild("promise-request");
     pr->SetAttr("request-id",
@@ -177,6 +186,25 @@ Result<Envelope> Envelope::FromXml(std::string_view xml) {
   }
 
   if (const XmlElement* header = root->Child("header")) {
+    if (const XmlElement* tr = header->Child("trace")) {
+      TraceContext ctx;
+      if (!ParseTraceIdHex(tr->Attr("trace-id"), &ctx.trace_hi,
+                           &ctx.trace_lo)) {
+        return Status::InvalidArgument("bad <trace> trace-id '" +
+                                       tr->Attr("trace-id") + "'");
+      }
+      if (!ParseHex64(tr->Attr("span-id"), &ctx.span_id)) {
+        return Status::InvalidArgument("bad <trace> span-id '" +
+                                       tr->Attr("span-id") + "'");
+      }
+      if (tr->HasAttr("parent-span-id") &&
+          !ParseHex64(tr->Attr("parent-span-id"), &ctx.parent_span_id)) {
+        return Status::InvalidArgument("bad <trace> parent-span-id '" +
+                                       tr->Attr("parent-span-id") + "'");
+      }
+      ctx.sampled = tr->Attr("sampled") == "true";
+      env.trace = ctx;
+    }
     if (const XmlElement* pr = header->Child("promise-request")) {
       PromiseRequestHeader h;
       PROMISES_ASSIGN_OR_RETURN(uint64_t rid, ReadIdAttr(*pr, "request-id"));

@@ -19,6 +19,7 @@
 #include "common/clock.h"
 #include "common/ids.h"
 #include "common/status.h"
+#include "obs/trace.h"
 #include "predicate/ast.h"
 #include "protocol/xml.h"
 #include "resource/value.h"
@@ -121,6 +122,14 @@ struct Envelope {
   /// request whose deadline has passed is shed without touching the
   /// promise manager's lock stripes — the client has already given up.
   Timestamp deadline = 0;
+
+  /// Distributed-tracing context (<trace> header element): the trace
+  /// id is stamped once by the client and reused verbatim across
+  /// retries; the span id is the sender's attempt span, which the
+  /// receiver parents its own spans under. Absent (or unsampled) when
+  /// the request was not selected for tracing — absent contexts cost
+  /// nothing on the wire or in the receiver.
+  std::optional<TraceContext> trace;
 
   std::optional<PromiseRequestHeader> promise_request;
   std::optional<PromiseResponseHeader> promise_response;

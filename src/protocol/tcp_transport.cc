@@ -14,6 +14,8 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace promises {
 
 namespace {
@@ -346,8 +348,20 @@ void TcpEndpointServer::ServeConnection(std::shared_ptr<Connection> conn,
     // depth read and the enqueue are not atomic — concurrent readers
     // may overshoot the bound by at most the reader count, which is
     // fine for a shed threshold.
-    AdmissionController::Decision decision =
-        admission_->Admit(request->from, queue_depth(), request->deadline);
+    const bool traced = request->trace && request->trace->sampled;
+    AdmissionController::Decision decision;
+    {
+      // Terminal span on shed, so turned-away attempts still appear in
+      // the client's trace tree.
+      ScopedSpan admission_span(traced ? *request->trace : TraceContext{},
+                                "admission");
+      decision =
+          admission_->Admit(request->from, queue_depth(), request->deadline);
+      if (!decision.admitted()) {
+        admission_span.set_status("shed-" +
+                                  std::string(decision.reason_string()));
+      }
+    }
     if (!decision.admitted()) {
       if (send_reply) {
         SendReply(*conn, OverloadReply(*request, decision.ToHeader()));
@@ -357,8 +371,8 @@ void TcpEndpointServer::ServeConnection(std::shared_ptr<Connection> conn,
 
     {
       std::lock_guard<std::mutex> lk(queue_mu_);
-      queue_.push_back(
-          Work{conn, *std::move(request), send_reply, deliveries});
+      queue_.push_back(Work{conn, *std::move(request), send_reply,
+                            deliveries, traced ? TraceNowUs() : 0});
     }
     queue_cv_.notify_one();
   }
@@ -378,11 +392,33 @@ void TcpEndpointServer::WorkerLoop() {
       queue_.pop_front();
     }
 
+    // Queue-wait span, measured across threads: begun at enqueue on
+    // the reader, closed here on the worker. Recorded manually because
+    // no one scope covers both ends.
+    const bool traced =
+        work.enqueued_us != 0 && work.request.trace &&
+        work.request.trace->sampled;
+    const bool expired = options_.shed_expired &&
+                         admission_->DeadlineExpired(work.request.deadline);
+    if (traced) {
+      Span wait;
+      wait.trace_hi = work.request.trace->trace_hi;
+      wait.trace_lo = work.request.trace->trace_lo;
+      wait.span_id = Tracer::NextSpanId();
+      wait.parent_span_id = work.request.trace->span_id;
+      wait.name = "queue-wait";
+      // Terminal when the request died waiting: the shed below is the
+      // queue wait's outcome, not a separate phase.
+      wait.status = expired ? "shed-deadline" : "ok";
+      wait.start_us = work.enqueued_us;
+      wait.end_us = TraceNowUs();
+      RecordSpan(std::move(wait));
+    }
+
     // Dequeue-time deadline re-check: the request was admitted live but
     // may have died waiting for a worker. Running the handler now would
     // burn capacity on a reply nobody reads.
-    if (options_.shed_expired &&
-        admission_->DeadlineExpired(work.request.deadline)) {
+    if (expired) {
       admission_->NoteDeadlineShed();
       if (work.send_reply) {
         SendReply(*work.conn,
@@ -391,13 +427,27 @@ void TcpEndpointServer::WorkerLoop() {
       continue;
     }
 
-    Result<Envelope> reply = handler_(work.request);
-    for (int extra = 1; extra < work.deliveries; ++extra) {
-      reply = handler_(work.request);
-    }
+    Result<Envelope> reply = [&] {
+      // Worker-side handler span: covers the handler itself (for a
+      // bridged PromiseManager the manager's own phases nest under the
+      // same parent via the envelope context).
+      ScopedSpan handler_span(traced ? *work.request.trace : TraceContext{},
+                              "handler");
+      Result<Envelope> r = handler_(work.request);
+      for (int extra = 1; extra < work.deliveries; ++extra) {
+        r = handler_(work.request);
+      }
+      if (!r.ok()) handler_span.set_status("error");
+      return r;
+    }();
     requests_.fetch_add(1, std::memory_order_relaxed);
     if (!work.send_reply) continue;
+    // Reply span: serializing and writing the response frame back to
+    // the client's socket.
+    ScopedSpan reply_span(traced ? *work.request.trace : TraceContext{},
+                          "reply");
     if (!reply.ok()) {
+      reply_span.set_status("error");
       SendReply(*work.conn,
                 FailureReply(work.request.from, reply.status().ToString()));
     } else {

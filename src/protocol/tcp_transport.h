@@ -138,6 +138,9 @@ class TcpEndpointServer {
     Envelope request;
     bool send_reply = true;  ///< false when the injector drops the reply.
     int deliveries = 1;      ///< 2 when the injector duplicates.
+    /// Enqueue timestamp (TraceNowUs) for the cross-thread queue-wait
+    /// span; 0 when the request is untraced.
+    int64_t enqueued_us = 0;
   };
 
   void AcceptLoop();

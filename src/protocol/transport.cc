@@ -2,7 +2,34 @@
 
 #include <chrono>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace promises {
+namespace {
+
+struct TransportCounters {
+  Counter* messages;
+  Counter* failures;
+  Counter* faults;
+  Counter* retries;
+  Counter* sheds;
+
+  static const TransportCounters& Get() {
+    static TransportCounters counters = [] {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      return TransportCounters{
+          reg.GetCounter("promises_transport_messages_total"),
+          reg.GetCounter("promises_transport_failures_total"),
+          reg.GetCounter("promises_transport_faults_injected_total"),
+          reg.GetCounter("promises_transport_retries_total"),
+          reg.GetCounter("promises_transport_sheds_total")};
+    }();
+    return counters;
+  }
+};
+
+}  // namespace
 
 void Transport::Register(const std::string& name, EndpointHandler handler) {
   std::lock_guard<std::mutex> lk(mu_);
@@ -30,12 +57,14 @@ void Transport::InjectLatency(int64_t extra_us) const {
 }
 
 void Transport::RecordFault(const std::string& endpoint) {
+  TransportCounters::Get().faults->Increment();
   std::lock_guard<std::mutex> sk(stats_mu_);
   ++stats_.faults_injected;
   ++stats_.per_endpoint[endpoint].faults_injected;
 }
 
 void Transport::NoteRetry(const std::string& endpoint) {
+  TransportCounters::Get().retries->Increment();
   std::lock_guard<std::mutex> sk(stats_mu_);
   ++stats_.retries;
   ++stats_.per_endpoint[endpoint].retries;
@@ -47,6 +76,7 @@ Result<Envelope> Transport::Send(const Envelope& request) {
     std::lock_guard<std::mutex> lk(mu_);
     auto it = endpoints_.find(request.to);
     if (it == endpoints_.end()) {
+      TransportCounters::Get().failures->Increment();
       std::lock_guard<std::mutex> sk(stats_mu_);
       ++stats_.failures;
       ++stats_.per_endpoint[request.to].failures;
@@ -105,11 +135,18 @@ Result<Envelope> Transport::Send(const Envelope& request) {
   AdmissionController* admission =
       admission_.load(std::memory_order_acquire);
   if (admission != nullptr) {
+    // Receiver-edge admission span: terminal ("shed-<reason>") when the
+    // request is turned away, so shed attempts still show in the tree.
+    ScopedSpan admission_span(
+        request.trace ? *request.trace : TraceContext{}, "admission");
     AdmissionController::Decision decision = admission->Admit(
         request.from,
         static_cast<size_t>(in_flight_.load(std::memory_order_relaxed)),
         request.deadline);
     if (!decision.admitted()) {
+      admission_span.set_status(
+          "shed-" + std::string(decision.reason_string()));
+      TransportCounters::Get().sheds->Increment();
       {
         std::lock_guard<std::mutex> sk(stats_mu_);
         ++stats_.sheds;
@@ -148,6 +185,9 @@ Result<Envelope> Transport::Send(const Envelope& request) {
 
   InjectLatency(0);
 
+  TransportCounters::Get().messages->Increment(
+      static_cast<uint64_t>(deliveries));
+  if (!reply.ok()) TransportCounters::Get().failures->Increment();
   {
     std::lock_guard<std::mutex> sk(stats_mu_);
     stats_.messages += static_cast<uint64_t>(deliveries);

@@ -1,6 +1,18 @@
 #include "resource/resource_manager.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace promises {
+namespace {
+
+Counter* ResourceMutations() {
+  static Counter* counter = MetricsRegistry::Global().GetCounter(
+      "promises_resource_mutations_total");
+  return counter;
+}
+
+}  // namespace
 
 std::string_view InstanceStatusToString(InstanceStatus s) {
   switch (s) {
@@ -106,6 +118,10 @@ Result<int64_t> ResourceManager::GetQuantity(Transaction* txn,
 Status ResourceManager::AdjustQuantity(Transaction* txn,
                                        const std::string& cls,
                                        int64_t delta) {
+  // State mutations get a span (reads stay untraced — they dominate
+  // volume and the interesting latency is the exclusive-lock write).
+  ScopedSpan apply_span("resource-apply");
+  ResourceMutations()->Increment();
   PROMISES_RETURN_IF_ERROR(txn->Lock(PoolKey(cls), LockMode::kExclusive));
   std::lock_guard<std::mutex> lk(mu_);
   auto it = pools_.find(cls);
@@ -145,6 +161,8 @@ Status ResourceManager::SetInstanceStatus(Transaction* txn,
                                           const std::string& cls,
                                           const std::string& id,
                                           InstanceStatus status) {
+  ScopedSpan apply_span("resource-apply");
+  ResourceMutations()->Increment();
   PROMISES_RETURN_IF_ERROR(txn->Lock(ClassKey(cls), LockMode::kExclusive));
   std::lock_guard<std::mutex> lk(mu_);
   InstanceClass* c = FindClassLocked(cls);

@@ -1,5 +1,7 @@
 #include "service/client.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "predicate/parser.h"
 
 namespace promises {
@@ -15,10 +17,30 @@ Envelope PromiseClient::NewEnvelope() {
     // will actually wait, not how long the latest attempt will.
     env.deadline = deadline_clock_->Now() + deadline_budget_ms_;
   }
+  // Sampling decision for the whole logical call: the trace id rides
+  // every retry of this envelope unchanged; each attempt gets a fresh
+  // span id in Send.
+  TraceContext ctx = Tracer::Global().StartTrace();
+  if (ctx.sampled) env.trace = ctx;
   return env;
 }
 
 Result<Envelope> PromiseClient::Send(Envelope envelope) {
+  static Counter* calls =
+      MetricsRegistry::Global().GetCounter("promises_client_calls_total");
+  static Counter* call_failures = MetricsRegistry::Global().GetCounter(
+      "promises_client_call_failures_total");
+  static Counter* breaker_fast_fails = MetricsRegistry::Global().GetCounter(
+      "promises_client_breaker_fast_fails_total");
+  calls->Increment();
+
+  // Root span for the logical call: its span id was fixed by
+  // NewEnvelope, so it is recorded manually at the end (ScopedSpan
+  // would mint a new id). Attempt spans nest under it.
+  const bool traced = envelope.trace && envelope.trace->sampled;
+  const TraceContext root = traced ? *envelope.trace : TraceContext{};
+  const int64_t call_start_us = traced ? TraceNowUs() : 0;
+
   // One attempt = breaker gate, then the wire. An OK reply carrying an
   // <overload> header is a shed and surfaces as its ShedStatus — a
   // retryable kResourceExhausted with the server's retry-after hint.
@@ -26,9 +48,21 @@ Result<Envelope> PromiseClient::Send(Envelope envelope) {
   // do not (they would re-trip it forever).
   uint64_t wire_sends = 0;
   auto attempt = [&]() -> Result<Envelope> {
+    // Fresh span per attempt: same trace id (the retries belong to one
+    // call), fresh span id (each wire attempt is its own node in the
+    // tree). The message id is untouched, so the manager's idempotency
+    // table still sees one request.
+    ScopedSpan attempt_span(root, "attempt");
+    if (traced) envelope.trace = attempt_span.context();
     if (breaker_ != nullptr) {
       Status gate = breaker_->Admit();
-      if (!gate.ok()) return gate;
+      if (!gate.ok()) {
+        // Terminal span: the breaker failed this attempt locally,
+        // before the wire.
+        attempt_span.set_status("breaker-fast-fail");
+        breaker_fast_fails->Increment();
+        return gate;
+      }
     }
     if (++wire_sends > 1) {
       ++retries_;
@@ -36,22 +70,42 @@ Result<Envelope> PromiseClient::Send(Envelope envelope) {
     }
     Result<Envelope> reply = transport_->Send(envelope);
     if (!reply.ok()) {
+      attempt_span.set_status(StatusCodeToString(reply.status().code()));
       if (breaker_ != nullptr) breaker_->RecordFailure(reply.status());
       return reply;
     }
     Status shed = reply->ShedStatus();
     if (!shed.ok()) {
+      // Terminal span: the server shed this attempt under overload.
+      attempt_span.set_status("shed");
       if (breaker_ != nullptr) breaker_->RecordFailure(shed);
       return shed;
     }
     if (breaker_ != nullptr) breaker_->RecordSuccess();
     return reply;
   };
-  if (!retry_policy_) return attempt();
-  // Re-send the IDENTICAL envelope: the manager's idempotency table is
-  // keyed by (from, message id), so a fresh id would turn a retry into
-  // a second request.
-  return CallWithRetry(*retry_policy_, &rng_, attempt);
+  Result<Envelope> out = [&] {
+    if (!retry_policy_) return attempt();
+    // Re-send the IDENTICAL envelope: the manager's idempotency table
+    // is keyed by (from, message id), so a fresh id would turn a retry
+    // into a second request.
+    return CallWithRetry(*retry_policy_, &rng_, attempt);
+  }();
+  if (!out.ok()) call_failures->Increment();
+  if (traced) {
+    Span span;
+    span.trace_hi = root.trace_hi;
+    span.trace_lo = root.trace_lo;
+    span.span_id = root.span_id;
+    span.parent_span_id = root.parent_span_id;
+    span.name = "client-call";
+    span.status =
+        out.ok() ? "ok" : std::string(StatusCodeToString(out.status().code()));
+    span.start_us = call_start_us;
+    span.end_us = TraceNowUs();
+    RecordSpan(std::move(span));
+  }
+  return out;
 }
 
 Result<ClientPromise> PromiseClient::Request(

@@ -30,6 +30,15 @@ struct WorkerTally {
 }  // namespace
 
 ChaosReport RunChaosWorkload(const ChaosConfig& config) {
+  // Scoped tracing: sample this run's calls and hand the phase
+  // breakdown back in the report, leaving the global tracer the way we
+  // found it for whoever runs next in this process.
+  const double prior_sampling = Tracer::Global().sampling();
+  if (config.trace_sampling > 0) {
+    SpanCollector::Global().Reset();
+    Tracer::Global().set_sampling(config.trace_sampling);
+  }
+
   SystemClock clock;
   ResourceManager rm;
   TransactionManager tm(250);
@@ -172,6 +181,13 @@ ChaosReport RunChaosWorkload(const ChaosConfig& config) {
   report.manager = pm.stats();
   report.transport = transport.stats();
   report.faults = injector.counters();
+  if (config.trace_sampling > 0) {
+    Tracer::Global().set_sampling(prior_sampling);
+    std::vector<Span> spans = SpanCollector::Global().Drain();
+    report.spans_collected = spans.size();
+    report.spans_dropped = SpanCollector::Global().dropped();
+    report.phases = AggregatePhases(spans);
+  }
   if (admission != nullptr) report.overload = admission->stats();
   for (const CircuitBreakerStats& b : breaker_stats) {
     report.breaker.admitted += b.admitted;
@@ -301,6 +317,14 @@ std::string ChaosReport::Summary() const {
   }
   if (breaker.admitted + breaker.fast_failures > 0) {
     out += FormatBreakerStats(breaker) + "\n";
+  }
+  if (!phases.empty()) {
+    std::snprintf(buf, sizeof(buf),
+                  "spans: %llu collected, %llu dropped\n",
+                  static_cast<unsigned long long>(spans_collected),
+                  static_cast<unsigned long long>(spans_dropped));
+    out += buf;
+    out += FormatPhaseTable(phases);
   }
   if (violations.empty()) {
     out += "audit: all invariants hold\n";

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/promise_manager.h"
+#include "obs/trace.h"
 #include "protocol/admission.h"
 #include "protocol/circuit_breaker.h"
 #include "protocol/fault_injector.h"
@@ -76,6 +77,12 @@ struct ChaosConfig {
   std::optional<CircuitBreakerConfig> breaker;
   /// Busy-wait per hop (models service time so overload is reachable).
   int64_t hop_latency_us = 0;
+
+  /// Trace sampling for the run, in [0,1]. When > 0 the harness resets
+  /// the global span collector, samples that fraction of client calls,
+  /// and fills ChaosReport::phases with the span-derived phase-latency
+  /// breakdown. Restored to the previous rate on return.
+  double trace_sampling = 0;
 };
 
 struct ChaosReport {
@@ -102,6 +109,12 @@ struct ChaosReport {
   int64_t initial_stock_total = 0;
   int64_t final_stock_total = 0;
   int64_t wall_time_us = 0;
+
+  /// Span-derived phase-latency breakdown (empty when trace_sampling
+  /// was 0), plus collector accounting for the boundedness audit.
+  std::vector<PhaseStat> phases;
+  uint64_t spans_collected = 0;
+  uint64_t spans_dropped = 0;
 
   /// §4 invariant violations found by the post-run audit; empty = pass.
   std::vector<std::string> violations;

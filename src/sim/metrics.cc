@@ -6,31 +6,6 @@
 
 namespace promises {
 
-void LatencyRecorder::Merge(const LatencyRecorder& other) {
-  samples_.insert(samples_.end(), other.samples_.begin(),
-                  other.samples_.end());
-  sorted_ = false;
-}
-
-double LatencyRecorder::MeanUs() const {
-  if (samples_.empty()) return 0;
-  double sum = 0;
-  for (int64_t s : samples_) sum += static_cast<double>(s);
-  return sum / static_cast<double>(samples_.size());
-}
-
-int64_t LatencyRecorder::PercentileUs(double p) const {
-  if (samples_.empty()) return 0;
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
-  }
-  double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
-  size_t idx = static_cast<size_t>(std::llround(rank));
-  idx = std::min(idx, samples_.size() - 1);
-  return samples_[idx];
-}
-
 void OrderingMetrics::Add(OrderResult result, int64_t latency_us) {
   switch (result) {
     case OrderResult::kCompleted: ++completed; break;

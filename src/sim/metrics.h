@@ -8,33 +8,15 @@
 #include <vector>
 
 #include "baseline/ordering.h"
+#include "obs/metrics.h"
 #include "protocol/admission.h"
 #include "protocol/circuit_breaker.h"
 #include "protocol/transport.h"
 
 namespace promises {
 
-/// Collects latency samples (microseconds). Not thread-safe: record per
-/// worker, then Merge.
-class LatencyRecorder {
- public:
-  void Record(int64_t us) {
-    samples_.push_back(us);
-    // A percentile query may have left the vector flagged sorted; the
-    // appended sample invalidates that.
-    sorted_ = false;
-  }
-  void Merge(const LatencyRecorder& other);
-
-  size_t count() const { return samples_.size(); }
-  double MeanUs() const;
-  /// p in [0,100]; sorts on demand.
-  int64_t PercentileUs(double p) const;
-
- private:
-  mutable std::vector<int64_t> samples_;
-  mutable bool sorted_ = false;
-};
+// LatencyRecorder moved to obs/metrics.h so the registry and the
+// benches share one implementation; sim call sites are unchanged.
 
 /// Outcomes of a batch of check-think-act orders.
 struct OrderingMetrics {

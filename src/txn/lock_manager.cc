@@ -3,6 +3,9 @@
 #include <chrono>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace promises {
 
 bool LockManager::Compatible(const LockState& ls, TxnId txn, LockMode mode) {
@@ -76,6 +79,15 @@ Status LockManager::Acquire(TxnId txn, const std::string& key, LockMode mode,
   auto grantable = [&] { return Compatible(ls, txn, mode); };
 
   if (!grantable()) {
+    // Only the blocking path gets a span: uncontended acquisitions are
+    // the common case and must stay free of tracing cost; a wait is
+    // exactly the latency a trace reader wants to see attributed.
+    ScopedSpan wait_span("lock-wait");
+    static Counter* waits_total =
+        MetricsRegistry::Global().GetCounter("promises_lock_waits_total");
+    static Counter* deadlocks_total = MetricsRegistry::Global().GetCounter(
+        "promises_lock_deadlocks_total");
+    waits_total->Increment();
     stats_.waits.fetch_add(1, std::memory_order_relaxed);
     // Pin the entry so it cannot be erased while the stripe mutex is
     // dropped for deadlock detection.
@@ -92,6 +104,8 @@ Status LockManager::Acquire(TxnId txn, const std::string& key, LockMode mode,
     }
     lk.lock();
     if (deadlock) {
+      wait_span.set_status("deadlock");
+      deadlocks_total->Increment();
       stats_.deadlocks.fetch_add(1, std::memory_order_relaxed);
       --ls.waiters;
       if (ls.holders.empty() && ls.waiters == 0) stripe.table.erase(key);
@@ -107,6 +121,7 @@ Status LockManager::Acquire(TxnId txn, const std::string& key, LockMode mode,
     }
     --ls.waiters;
     if (!ok) {
+      wait_span.set_status("timeout");
       stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
       if (ls.holders.empty() && ls.waiters == 0) stripe.table.erase(key);
       lk.unlock();

@@ -1,0 +1,183 @@
+// Metrics registry: counters/gauges/histograms behind Snapshot() and
+// FormatPrometheus(), plus the LatencyRecorder Merge regression and
+// its PublishTo bridge into registry histograms.
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace promises {
+namespace {
+
+TEST(MetricsRegistryTest, CounterSumsAcrossThreads) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+  counter.ResetForTesting();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(MetricsRegistryTest, GaugeTracksUpAndDown) {
+  Gauge gauge;
+  gauge.Set(5);
+  gauge.Add(3);
+  gauge.Sub(10);
+  EXPECT_EQ(gauge.Value(), -2);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSamePointer) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* a = reg.GetCounter("test_registry_pointer_identity_total");
+  Counter* b = reg.GetCounter("test_registry_pointer_identity_total");
+  EXPECT_EQ(a, b);
+  // Pointers survive a reset: call sites cache them in statics.
+  a->Increment(7);
+  reg.ResetForTesting();
+  EXPECT_EQ(a->Value(), 0u);
+  EXPECT_EQ(reg.GetCounter("test_registry_pointer_identity_total"), a);
+}
+
+TEST(MetricsRegistryTest, SnapshotSeesRegisteredInstruments) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("test_snapshot_events_total")->Increment(3);
+  reg.GetGauge("test_snapshot_depth")->Set(11);
+  reg.GetHistogram("test_snapshot_latency_us")->Observe(42);
+
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterValue("test_snapshot_events_total"), 3u);
+  EXPECT_EQ(snap.CounterValue("test_snapshot_never_registered"), 0u);
+  bool saw_gauge = false;
+  for (const auto& [name, value] : snap.gauges) {
+    if (name == "test_snapshot_depth") {
+      saw_gauge = true;
+      EXPECT_EQ(value, 11);
+    }
+  }
+  EXPECT_TRUE(saw_gauge);
+  bool saw_hist = false;
+  for (const auto& h : snap.histograms) {
+    if (h.name == "test_snapshot_latency_us") {
+      saw_hist = true;
+      EXPECT_EQ(h.count, 1u);
+      EXPECT_EQ(h.sum_us, 42);
+      EXPECT_EQ(h.cumulative.back(), 1u);  // +inf bucket sees everything
+    }
+  }
+  EXPECT_TRUE(saw_hist);
+  reg.ResetForTesting();
+}
+
+TEST(MetricsRegistryTest, PrometheusTextExposition) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.ResetForTesting();
+  reg.GetCounter("test_prom_requests_total")->Increment(5);
+  reg.GetGauge("test_prom_in_flight")->Set(2);
+  Histogram* h =
+      reg.GetHistogram("test_prom_wait_us", std::vector<int64_t>{10, 100});
+  h->Observe(7);
+  h->Observe(50);
+  h->Observe(5'000);
+
+  std::string text = reg.FormatPrometheus();
+  EXPECT_NE(text.find("# TYPE test_prom_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_requests_total 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_in_flight gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_in_flight 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_wait_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_wait_us_bucket{le=\"10\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_wait_us_bucket{le=\"100\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_wait_us_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_wait_us_sum 5057"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_wait_us_count 3"), std::string::npos);
+  reg.ResetForTesting();
+}
+
+TEST(MetricsRegistryTest, HistogramBucketBoundaries) {
+  Histogram h(std::vector<int64_t>{10, 20});
+  h.Observe(10);  // on the bound: le="10" (Prometheus le semantics)
+  h.Observe(11);  // first bound above: le="20"
+  h.Observe(21);  // beyond every bound: +inf
+  EXPECT_EQ(h.CumulativeCount(0), 1u);
+  EXPECT_EQ(h.CumulativeCount(1), 2u);
+  EXPECT_EQ(h.CumulativeCount(2), 3u);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum_us(), 42);
+  EXPECT_DOUBLE_EQ(h.MeanUs(), 14.0);
+  // Percentiles are monotone and bracketed by the bounds.
+  EXPECT_LE(h.ApproxPercentileUs(10), h.ApproxPercentileUs(90));
+  h.ResetForTesting();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.CumulativeCount(2), 0u);
+}
+
+TEST(MetricsRegistryTest, DefaultHistogramCoversMicrosToSeconds) {
+  Histogram h;
+  ASSERT_FALSE(h.bounds().empty());
+  EXPECT_EQ(h.bounds().front(), 1);
+  EXPECT_EQ(h.bounds().back(), 5'000'000);
+  h.Observe(0);
+  h.Observe(10'000'000);  // beyond the last bound: +inf
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.CumulativeCount(h.bounds().size()), 2u);
+  EXPECT_EQ(h.CumulativeCount(h.bounds().size() - 1), 1u);
+}
+
+// Satellite regression: Merge of an empty (or self) source must not
+// clear the destination's sorted flag — the historical bug forced a
+// useless re-sort after every empty merge interleaved with reads.
+TEST(MetricsRegistryTest, MergePreservesSortedFlagOnEmptySource) {
+  LatencyRecorder rec;
+  rec.Record(300);
+  rec.Record(100);
+  EXPECT_EQ(rec.PercentileUs(0), 100);  // forces the sort of {100, 300}
+  ASSERT_TRUE(rec.sorted_for_testing());
+
+  LatencyRecorder empty;
+  rec.Merge(empty);
+  EXPECT_TRUE(rec.sorted_for_testing()) << "empty merge cleared sorted_";
+  rec.Merge(rec);  // self-merge: no-op, not a double-count
+  EXPECT_EQ(rec.count(), 2u);
+  EXPECT_TRUE(rec.sorted_for_testing());
+
+  LatencyRecorder other;
+  other.Record(200);
+  rec.Merge(other);
+  EXPECT_FALSE(rec.sorted_for_testing());
+  EXPECT_EQ(rec.count(), 3u);
+  EXPECT_EQ(rec.PercentileUs(50), 200);  // stale order would miss 200
+}
+
+TEST(MetricsRegistryTest, RecorderPublishesIntoHistogram) {
+  LatencyRecorder rec;
+  rec.Record(5);
+  rec.Record(15);
+  rec.Record(150);
+  Histogram h(std::vector<int64_t>{10, 100});
+  rec.PublishTo(&h);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum_us(), 170);
+  EXPECT_EQ(h.CumulativeCount(0), 1u);
+  EXPECT_EQ(h.CumulativeCount(1), 2u);
+  EXPECT_EQ(h.CumulativeCount(2), 3u);
+}
+
+}  // namespace
+}  // namespace promises
