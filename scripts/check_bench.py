@@ -19,15 +19,19 @@ span-derived phase-latency table is printed so the regression can be
 attributed to a pipeline phase without rerunning anything.
 
 The file schema is detected from the point keys, so the same script
-gates all three benches:
-  * BENCH_scaling.json   points keyed by workers, goodput=throughput_ops_s
-  * BENCH_chaos.json     points keyed by loss_rate, goodput=goodput_orders_s
-  * BENCH_overload.json  points keyed by (offered_rps, shedding),
-                         goodput=goodput_rps; only shedding=true points
-                         are gated — the no-shedding rows measure the
-                         collapse the admission controller exists to
-                         prevent, and their goodput is deliberately
-                         unstable.
+gates all four benches:
+  * BENCH_scaling.json    points keyed by workers, goodput=throughput_ops_s
+  * BENCH_chaos.json      points keyed by loss_rate, goodput=goodput_orders_s
+  * BENCH_overload.json   points keyed by (offered_rps, shedding),
+                          goodput=goodput_rps; only shedding=true points
+                          are gated — the no-shedding rows measure the
+                          collapse the admission controller exists to
+                          prevent, and their goodput is deliberately
+                          unstable.
+  * BENCH_durability.json points keyed by (mode, workers),
+                          goodput=throughput_ops_s; every mode is gated
+                          (each point is already a median of interleaved
+                          sweeps, stable enough for the loose tolerance).
 
 Tolerances are deliberately loose (shared CI runners are noisy); the
 gate exists to catch order-of-magnitude regressions, not 5% drift. The
@@ -54,7 +58,10 @@ def extract_points(doc):
     """Returns a list of (label, goodput, p99_us_or_None)."""
     out = []
     for p in doc.get("points", []):
-        if "workers" in p:  # scaling sweep
+        if "mode" in p:  # durability sweep (mode + workers; test first)
+            out.append((f"{p['mode']}@{p['workers']}w",
+                        p["throughput_ops_s"], p.get("p99_us")))
+        elif "workers" in p:  # scaling sweep
             out.append((f"workers={p['workers']}", p["throughput_ops_s"],
                         p.get("p99_us")))
         elif "loss_rate" in p:  # chaos sweep (no per-point p99)

@@ -70,9 +70,10 @@ run_bench() {
   echo "=== bench-regression gate: fresh runs vs committed baselines ==="
   cmake --preset default
   cmake --build --preset default -j "${JOBS}" \
-    --target bench_scaling --target bench_chaos --target bench_overload
+    --target bench_scaling --target bench_chaos --target bench_overload \
+    --target bench_durability
   local bench
-  for bench in scaling chaos overload; do
+  for bench in scaling chaos overload durability; do
     echo "--- bench_${bench} ---"
     "./build/bench/bench_${bench}" "build/BENCH_${bench}.json"
     python3 scripts/check_bench.py \
@@ -96,7 +97,7 @@ run_chaos() {
   # one fresh-seed run to probe schedules the fixed seed never hits.
   # The seed is exported and echoed so a failure is reproducible with
   # PROMISES_CHAOS_SEED=<seed> scripts/ci.sh chaos.
-  run_preset asan -R 'Chaos|FaultInjector|TransportFault|RetryPolicy|RetryClock|Idempotency|Overload|Breaker|Admission|Trace'
+  run_preset asan -R 'Chaos|FaultInjector|TransportFault|RetryPolicy|RetryClock|Idempotency|Overload|Breaker|Admission|Trace|GroupCommit|Recovery'
   local seed="${PROMISES_CHAOS_SEED:-$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')}"
   echo "=== chaos randomized run: PROMISES_CHAOS_SEED=${seed} ==="
   PROMISES_CHAOS_SEED="${seed}" \
@@ -115,7 +116,7 @@ case "${MODE}" in
     # TSan over the full suite is slow on small runners; the concurrency
     # and transaction tests are where data races would live — including
     # the chaos workload's retry/dedup path.
-    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Idempotency|Overload|Breaker|Admission|Trace|Metrics'
+    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Idempotency|Overload|Breaker|Admission|Trace|Metrics|GroupCommit|Recovery'
     ;;
   chaos)
     run_chaos
@@ -132,7 +133,7 @@ case "${MODE}" in
   all)
     run_preset default
     run_preset asan
-    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Idempotency|Overload|Breaker|Admission|Trace|Metrics'
+    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Idempotency|Overload|Breaker|Admission|Trace|Metrics|GroupCommit|Recovery'
     run_chaos
     run_overload
     run_bench

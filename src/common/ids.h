@@ -73,6 +73,12 @@ class IdGenerator {
   /// Resets the sequence; only for deterministic tests.
   void ResetForTesting(uint64_t next = 1) { next_.store(next); }
 
+  /// Pins the sequence so the NEXT Next() yields exactly `value`.
+  /// Used by log replay: each record carries the id its operation
+  /// consumed at runtime, and pinning before re-executing reproduces
+  /// it even when runtime allocation order differed from log order.
+  void Pin(uint64_t value) { next_.store(value, std::memory_order_relaxed); }
+
  private:
   std::atomic<uint64_t> next_;
 };

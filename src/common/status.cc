@@ -34,6 +34,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "internal";
     case StatusCode::kUnimplemented:
       return "unimplemented";
+    case StatusCode::kDataLoss:
+      return "data-loss";
   }
   return "unknown";
 }

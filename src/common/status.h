@@ -35,6 +35,9 @@ enum class StatusCode {
   kUnavailable,       ///< Transport endpoint not reachable.
   kInternal,          ///< Invariant breakage inside the library.
   kUnimplemented,     ///< Feature intentionally absent.
+  kDataLoss,          ///< Durability lost: the operation committed in
+                      ///< memory but its log record did not survive.
+                      ///< Not retryable — the effect already stands.
 };
 
 /// Human-readable name of a StatusCode ("ok", "not-found", ...).
@@ -93,6 +96,9 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -110,6 +116,7 @@ class Status {
     return code_ == StatusCode::kResourceExhausted;
   }
   bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
 
   /// "ok" or "<code>: <message>".
   std::string ToString() const;

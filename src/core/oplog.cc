@@ -4,23 +4,130 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace promises {
 
 namespace {
 
-// Scans the log file at `path`, appending intact records to `records`
-// (when non-null) and reporting in `*valid_bytes` the length of the
-// clean prefix — the byte offset just past the last intact record.
-// Missing file: zero records, zero valid bytes.
-void ScanLog(const std::string& path, std::vector<LogRecord>* records,
-             size_t* valid_bytes) {
-  *valid_bytes = 0;
+struct OplogMetrics {
+  Counter* records_total;
+  Counter* groups_total;
+  Counter* append_errors_total;
+  Gauge* queue_depth;
+  Histogram* group_size;
+  Histogram* commit_wait_us;
+};
+
+OplogMetrics& Metrics() {
+  static OplogMetrics m = [] {
+    auto& reg = MetricsRegistry::Global();
+    return OplogMetrics{
+        reg.GetCounter("promises_oplog_records_total"),
+        reg.GetCounter("promises_oplog_groups_total"),
+        reg.GetCounter("promises_oplog_append_errors_total"),
+        reg.GetGauge("promises_oplog_queue_depth"),
+        reg.GetHistogram("promises_oplog_group_size",
+                         {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}),
+        reg.GetHistogram("promises_oplog_commit_wait_us"),
+    };
+  }();
+  return m;
+}
+
+int64_t SteadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint32_t FnvFold(uint32_t sum, std::string_view bytes) {
+  for (unsigned char c : bytes) {
+    sum ^= c;
+    sum *= 16777619u;
+  }
+  return sum;
+}
+
+struct ScanResult {
+  bool exists = false;
+  size_t valid_bytes = 0;   // clean prefix: just past the last intact record
+  size_t total_bytes = 0;   // file size, for torn-tail detection
+  uint64_t last_sequence = 0;
+};
+
+// Parses one log line (either format) given the sequence of the
+// previous intact record. Returns false on any corruption.
+bool ParseLine(std::string_view line, uint64_t prev_sequence,
+               LogRecord* out) {
+  bool v2 = line.rfind("v2|", 0) == 0;
+  if (v2) line.remove_prefix(3);
+  size_t fields = v2 ? 5 : 3;  // separators before the payload
+  size_t cuts[5];
+  size_t pos = 0;
+  for (size_t i = 0; i < fields; ++i) {
+    pos = line.find('|', pos);
+    if (pos == std::string_view::npos) return false;
+    cuts[i] = pos++;
+  }
+  auto field = [&](size_t i) {
+    size_t begin = i == 0 ? 0 : cuts[i - 1] + 1;
+    return line.substr(begin, cuts[i] - begin);
+  };
+  Result<int64_t> length = ParseInt64(field(0));
+  Result<int64_t> checksum = ParseInt64(field(1));
+  if (!length.ok() || !checksum.ok()) return false;
+  std::string_view payload = line.substr(cuts[fields - 1] + 1);
+  if (static_cast<int64_t>(payload.size()) != *length) return false;
+  std::string body(payload);
+  if (v2) {
+    Result<int64_t> sequence = ParseInt64(field(2));
+    Result<int64_t> timestamp = ParseInt64(field(3));
+    Result<int64_t> promise_id = ParseInt64(field(4));
+    if (!sequence.ok() || !timestamp.ok() || !promise_id.ok()) return false;
+    if (OperationLog::RecordChecksum(body.size(),
+                                     static_cast<uint64_t>(*sequence),
+                                     *timestamp,
+                                     static_cast<uint64_t>(*promise_id),
+                                     body) !=
+        static_cast<uint32_t>(*checksum)) {
+      return false;
+    }
+    // Sequence regression means the tail was written against a state
+    // recovery cannot have reached; treat it as corruption.
+    if (static_cast<uint64_t>(*sequence) <= prev_sequence) return false;
+    out->sequence = static_cast<uint64_t>(*sequence);
+    out->timestamp = *timestamp;
+    out->promise_id = static_cast<uint64_t>(*promise_id);
+  } else {
+    Result<int64_t> timestamp = ParseInt64(field(2));
+    if (!timestamp.ok()) return false;
+    if (OperationLog::Checksum(body) != static_cast<uint32_t>(*checksum)) {
+      return false;
+    }
+    // v1 records predate explicit sequencing: number them by position.
+    out->sequence = prev_sequence + 1;
+    out->timestamp = *timestamp;
+    out->promise_id = 0;
+  }
+  out->payload = std::move(body);
+  return true;
+}
+
+// Single streaming pass over the log file at `path`: intact records
+// are appended to `records` (when non-null) and the scan result
+// reports the clean-prefix length and last sequence. Missing file:
+// exists=false, zero records.
+ScanResult ScanLog(const std::string& path,
+                   std::vector<LogRecord>* records) {
+  ScanResult result;
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return;
+  if (f == nullptr) return result;
+  result.exists = true;
   std::string contents;
   char buf[4096];
   size_t n;
@@ -28,35 +135,21 @@ void ScanLog(const std::string& path, std::vector<LogRecord>* records,
     contents.append(buf, n);
   }
   std::fclose(f);
+  result.total_bytes = contents.size();
 
   size_t pos = 0;
   while (pos < contents.size()) {
     size_t eol = contents.find('\n', pos);
     if (eol == std::string::npos) break;  // torn tail: discard
     std::string_view line(contents.data() + pos, eol - pos);
-
-    // <length>|<checksum>|<timestamp>|<payload>
-    size_t p1 = line.find('|');
-    size_t p2 = p1 == std::string_view::npos ? p1 : line.find('|', p1 + 1);
-    size_t p3 = p2 == std::string_view::npos ? p2 : line.find('|', p2 + 1);
-    if (p3 == std::string_view::npos) break;
-    Result<int64_t> length = ParseInt64(line.substr(0, p1));
-    Result<int64_t> checksum = ParseInt64(line.substr(p1 + 1, p2 - p1 - 1));
-    Result<int64_t> timestamp = ParseInt64(line.substr(p2 + 1, p3 - p2 - 1));
-    if (!length.ok() || !checksum.ok() || !timestamp.ok()) break;
-    std::string_view payload = line.substr(p3 + 1);
-    if (static_cast<int64_t>(payload.size()) != *length) break;
-    std::string body(payload);
-    if (OperationLog::Checksum(body) !=
-        static_cast<uint32_t>(*checksum)) {
-      break;
-    }
-    if (records != nullptr) {
-      records->push_back(LogRecord{*timestamp, std::move(body)});
-    }
+    LogRecord record;
+    if (!ParseLine(line, result.last_sequence, &record)) break;
+    result.last_sequence = record.sequence;
+    if (records != nullptr) records->push_back(std::move(record));
     pos = eol + 1;
-    *valid_bytes = pos;
+    result.valid_bytes = pos;
   }
+  return result;
 }
 
 }  // namespace
@@ -68,83 +161,324 @@ Status OperationLog::Open(const std::string& path) {
   // Truncate any torn tail before appending: a record written after a
   // partial line would be unreachable to recovery (the scan stops at
   // the tear), silently losing committed operations.
-  size_t valid_bytes = 0;
-  ScanLog(path, nullptr, &valid_bytes);
-  std::FILE* probe = std::fopen(path.c_str(), "rb");
-  if (probe != nullptr) {
-    std::fseek(probe, 0, SEEK_END);
-    long size = std::ftell(probe);
-    std::fclose(probe);
-    if (size > 0 && static_cast<size_t>(size) > valid_bytes &&
-        ::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0) {
-      return Status::Unavailable("cannot truncate torn log '" + path +
-                                 "': " + std::strerror(errno));
-    }
+  ScanResult scan = ScanLog(path, nullptr);
+  if (scan.exists && scan.total_bytes > scan.valid_bytes &&
+      ::truncate(path.c_str(), static_cast<off_t>(scan.valid_bytes)) != 0) {
+    return Status::Unavailable("cannot truncate torn log '" + path +
+                               "': " + std::strerror(errno));
   }
+  std::lock_guard<std::mutex> lock(mu_);
   file_ = std::fopen(path.c_str(), "ab");
   if (file_ == nullptr) {
     return Status::Unavailable("cannot open log '" + path +
                                "': " + std::strerror(errno));
   }
+  next_sequence_ = scan.last_sequence + 1;
+  durable_sequence_ = scan.last_sequence;
+  failed_ = Status::OK();
   return Status::OK();
 }
 
 void OperationLog::Close() {
+  StopGroupCommit();
+  std::lock_guard<std::mutex> lock(mu_);
   if (file_ != nullptr) {
     std::fclose(file_);
     file_ = nullptr;
   }
 }
 
-uint32_t OperationLog::Checksum(const std::string& payload) {
-  uint32_t sum = 2166136261u;  // FNV-1a
-  for (unsigned char c : payload) {
-    sum ^= c;
-    sum *= 16777619u;
-  }
-  return sum;
+bool OperationLog::IsOpen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return file_ != nullptr;
 }
 
-Status OperationLog::Append(Timestamp timestamp,
-                            const std::string& payload) {
+Status OperationLog::StartGroupCommit(const GroupCommitConfig& config,
+                                      Clock* clock) {
+  if (clock == nullptr) {
+    return Status::InvalidArgument("group commit needs a clock");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr) {
     return Status::FailedPrecondition("operation log is not open");
   }
-  if (payload.find('\n') != std::string::npos) {
-    return Status::InvalidArgument("log payload must be single-line");
+  if (writer_running_) {
+    return Status::FailedPrecondition("group-commit writer already running");
   }
-  std::string line = std::to_string(payload.size()) + "|" +
-                     std::to_string(Checksum(payload)) + "|" +
-                     std::to_string(timestamp) + "|" + payload + "\n";
-  if (torn_write_bytes_ != kNoTornWrite) {
-    size_t bytes = std::min(torn_write_bytes_, line.size());
-    torn_write_bytes_ = kNoTornWrite;
-    if (bytes > 0) std::fwrite(line.data(), 1, bytes, file_);
+  config_ = config;
+  config_.max_batch = std::max<size_t>(1, config_.max_batch);
+  config_.queue_capacity = std::max<size_t>(1, config_.queue_capacity);
+  clock_ = clock;
+  if (config_.mode == DurabilityMode::kSync) return Status::OK();
+  stopping_ = false;
+  writer_running_ = true;
+  writer_ = std::thread([this] { WriterLoop(); });
+  return Status::OK();
+}
+
+void OperationLog::StopGroupCommit() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!writer_running_) {
+      config_.mode = DurabilityMode::kSync;
+      return;
+    }
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  writer_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    writer_running_ = false;
+    stopping_ = false;
+    config_.mode = DurabilityMode::kSync;
+  }
+  durable_cv_.notify_all();
+  space_cv_.notify_all();
+}
+
+uint32_t OperationLog::Checksum(const std::string& payload) {
+  return FnvFold(2166136261u, payload);  // FNV-1a
+}
+
+uint32_t OperationLog::RecordChecksum(size_t length, uint64_t sequence,
+                                      Timestamp timestamp,
+                                      uint64_t promise_id,
+                                      const std::string& payload) {
+  uint32_t sum = FnvFold(2166136261u, std::to_string(length));
+  sum = FnvFold(sum, "|");
+  sum = FnvFold(sum, std::to_string(sequence));
+  sum = FnvFold(sum, "|");
+  sum = FnvFold(sum, std::to_string(timestamp));
+  sum = FnvFold(sum, "|");
+  sum = FnvFold(sum, std::to_string(promise_id));
+  sum = FnvFold(sum, "|");
+  return FnvFold(sum, payload);
+}
+
+std::string OperationLog::EncodeRecord(uint64_t sequence,
+                                       Timestamp timestamp,
+                                       uint64_t promise_id,
+                                       const std::string& payload) {
+  return "v2|" + std::to_string(payload.size()) + "|" +
+         std::to_string(
+             RecordChecksum(payload.size(), sequence, timestamp, promise_id,
+                            payload)) +
+         "|" + std::to_string(sequence) + "|" + std::to_string(timestamp) +
+         "|" + std::to_string(promise_id) + "|" + payload + "\n";
+}
+
+Status OperationLog::WriteBuffer(const std::string& buf,
+                                 bool use_fdatasync) {
+  size_t torn = torn_write_bytes_.exchange(kNoTornWrite,
+                                           std::memory_order_acq_rel);
+  if (torn != kNoTornWrite) {
+    size_t bytes = std::min(torn, buf.size());
+    if (bytes > 0) std::fwrite(buf.data(), 1, bytes, file_);
     std::fflush(file_);
     return Status::Unavailable("injected crash mid-append (" +
                                std::to_string(bytes) + " of " +
-                               std::to_string(line.size()) +
+                               std::to_string(buf.size()) +
                                " bytes reached the log)");
   }
-  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+  if (std::fwrite(buf.data(), 1, buf.size(), file_) != buf.size()) {
     return Status::Unavailable("log append failed");
   }
   if (std::fflush(file_) != 0) {
     return Status::Unavailable("log flush failed");
   }
+  if (use_fdatasync && ::fdatasync(fileno(file_)) != 0) {
+    return Status::Unavailable(std::string("log fdatasync failed: ") +
+                               std::strerror(errno));
+  }
   return Status::OK();
+}
+
+Result<uint64_t> OperationLog::AppendSyncLocked(Timestamp timestamp,
+                                                uint64_t promise_id,
+                                                const std::string& payload) {
+  uint64_t sequence = next_sequence_++;
+  Status st = WriteBuffer(EncodeRecord(sequence, timestamp, promise_id,
+                                       payload),
+                          config_.use_fdatasync);
+  if (!st.ok()) {
+    // Poison the log: any record written after a torn tail would be
+    // unreachable to recovery's prefix scan.
+    failed_ = st;
+    Metrics().append_errors_total->Increment();
+    return st;
+  }
+  durable_sequence_ = sequence;
+  Metrics().records_total->Increment();
+  Metrics().groups_total->Increment();
+  Metrics().group_size->Observe(1);
+  return sequence;
+}
+
+Result<uint64_t> OperationLog::EnqueueLocked(
+    std::unique_lock<std::mutex>& lock, Timestamp timestamp,
+    uint64_t promise_id, const std::string& payload) {
+  space_cv_.wait(lock, [this] {
+    return queue_.size() < config_.queue_capacity || !failed_.ok() ||
+           !writer_running_;
+  });
+  if (!failed_.ok()) return failed_;
+  if (!writer_running_) {
+    // Drop-to-sync fallback: the writer stopped while we waited.
+    return AppendSyncLocked(timestamp, promise_id, payload);
+  }
+  uint64_t sequence = next_sequence_++;
+  queue_.push_back(Pending{sequence,
+                           EncodeRecord(sequence, timestamp, promise_id,
+                                        payload),
+                           clock_->Now()});
+  Metrics().queue_depth->Set(static_cast<int64_t>(queue_.size()));
+  // Wake the writer only at the transitions it acts on: work arriving
+  // on an empty queue, or a batch filling during the formation window.
+  // Intermediate enqueues would wake it just to re-check a predicate
+  // that cannot have flipped — pure scheduling overhead on the commit
+  // path.
+  if (queue_.size() == 1 || queue_.size() >= config_.max_batch) {
+    work_cv_.notify_one();
+  }
+  return sequence;
+}
+
+Status OperationLog::Append(Timestamp timestamp,
+                            const std::string& payload) {
+  if (payload.find('\n') != std::string::npos) {
+    return Status::InvalidArgument("log payload must be single-line");
+  }
+  uint64_t sequence = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (file_ == nullptr) {
+      return Status::FailedPrecondition("operation log is not open");
+    }
+    if (!failed_.ok()) return failed_;
+    Result<uint64_t> seq =
+        writer_running_ ? EnqueueLocked(lock, timestamp, /*promise_id=*/0,
+                                        payload)
+                        : AppendSyncLocked(timestamp, /*promise_id=*/0,
+                                           payload);
+    PROMISES_RETURN_IF_ERROR(seq.status());
+    sequence = *seq;
+  }
+  return WaitDurable(sequence);
+}
+
+Result<uint64_t> OperationLog::AppendOperation(Clock* clock,
+                                               const std::string& payload,
+                                               uint64_t promise_id) {
+  if (payload.find('\n') != std::string::npos) {
+    return Status::InvalidArgument("log payload must be single-line");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("operation log is not open");
+  }
+  if (!failed_.ok()) return failed_;
+  // The timestamp is read inside the sequencing critical section so
+  // it is monotone in log order — replay advances the clock per
+  // record and must never travel backwards.
+  Timestamp now = clock != nullptr ? clock->Now() : 0;
+  return writer_running_ ? EnqueueLocked(lock, now, promise_id, payload)
+                         : AppendSyncLocked(now, promise_id, payload);
+}
+
+Status OperationLog::WaitDurable(uint64_t sequence) {
+  int64_t start_us = SteadyNowUs();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (config_.mode == DurabilityMode::kAsync) {
+    // Fire-and-forget: the caller explicitly opted out of the ack.
+    return Status::OK();
+  }
+  durable_cv_.wait(lock, [this, sequence] {
+    return durable_sequence_ >= sequence || !failed_.ok() ||
+           !writer_running_;
+  });
+  Metrics().commit_wait_us->Observe(SteadyNowUs() - start_us);
+  if (durable_sequence_ >= sequence) return Status::OK();
+  if (!failed_.ok()) return failed_;
+  return Status::Unavailable("group-commit writer stopped before record " +
+                             std::to_string(sequence) + " became durable");
+}
+
+void OperationLog::WriterLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    if (!failed_.ok()) {
+      // A previous group failed: every queued record is past the torn
+      // tail and must be reported lost, not written.
+      queue_.clear();
+      Metrics().queue_depth->Set(0);
+      durable_cv_.notify_all();
+      space_cv_.notify_all();
+      work_cv_.wait(lock, [this] { return stopping_; });
+      return;
+    }
+    // Linger: grow the group until it is full or the oldest queued
+    // record has waited max_delay_ms on the injected clock. The
+    // wait_for quantum is real time so a SimulatedClock advanced by
+    // another thread is noticed promptly.
+    while (!stopping_ && config_.max_delay_ms > 0 &&
+           queue_.size() < config_.max_batch &&
+           clock_->Now() - queue_.front().enqueued_at < config_.max_delay_ms) {
+      work_cv_.wait_for(lock, std::chrono::microseconds(200));
+    }
+    // Batch-formation grace: committers racing the flush get a short
+    // real-time window to join the group before the sync is paid. A
+    // batch filling up notifies work_cv_ and ends the window early.
+    if (config_.group_window_us > 0) {
+      int64_t deadline = SteadyNowUs() + config_.group_window_us;
+      int64_t remaining = config_.group_window_us;
+      while (!stopping_ && queue_.size() < config_.max_batch &&
+             remaining > 0) {
+        work_cv_.wait_for(lock, std::chrono::microseconds(remaining));
+        remaining = deadline - SteadyNowUs();
+      }
+    }
+    size_t n = std::min(queue_.size(), config_.max_batch);
+    std::string buf;
+    uint64_t last_sequence = 0;
+    for (size_t i = 0; i < n; ++i) {
+      buf += queue_.front().encoded;
+      last_sequence = queue_.front().sequence;
+      queue_.pop_front();
+    }
+    Metrics().queue_depth->Set(static_cast<int64_t>(queue_.size()));
+    lock.unlock();
+    Status st = WriteBuffer(buf, config_.use_fdatasync);
+    lock.lock();
+    if (st.ok()) {
+      durable_sequence_ = last_sequence;
+      Metrics().records_total->Increment(n);
+      Metrics().groups_total->Increment();
+      Metrics().group_size->Observe(static_cast<int64_t>(n));
+    } else {
+      failed_ = st;
+      Metrics().append_errors_total->Increment();
+      queue_.clear();
+      Metrics().queue_depth->Set(0);
+    }
+    durable_cv_.notify_all();
+    space_cv_.notify_all();
+    if (stopping_ && (queue_.empty() || !failed_.ok())) return;
+  }
 }
 
 Result<std::vector<LogRecord>> OperationLog::ReadAll(
     const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
+  std::vector<LogRecord> records;
+  ScanResult scan = ScanLog(path, &records);
+  if (!scan.exists) {
     return Status::NotFound("no log at '" + path + "'");
   }
-  std::fclose(f);
-  std::vector<LogRecord> records;
-  size_t valid_bytes = 0;
-  ScanLog(path, &records, &valid_bytes);
   return records;
 }
 

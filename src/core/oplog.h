@@ -4,24 +4,44 @@
 // commercial DBMS, which also made the promise table durable. The
 // reproduction's in-memory substitute regains the D through logical
 // command logging: every state-changing client operation that the
-// promise manager commits is appended to the log as (timestamp,
-// envelope XML). Recovery replays the commands in order against a
-// fresh world under a simulated clock pinned to the logged timestamps,
-// which reproduces grants, releases, actions, atomic updates AND lazy
-// expiry decisions deterministically (promise ids are assigned
-// sequentially, so replayed ids match).
+// promise manager commits is appended to the log as (sequence,
+// timestamp, promise id, envelope XML). Recovery replays the commands
+// in sequence order against a fresh world under a simulated clock
+// pinned to the logged timestamps, which reproduces grants, releases,
+// actions, atomic updates AND lazy expiry decisions deterministically
+// (each record carries the promise id its operation consumed, so
+// replayed ids match even when allocation raced at runtime).
 //
-// Record format (one line per record):
-//   <length>|<checksum>|<timestamp>|<envelope-xml>
-// Torn tails (partial final line, length or checksum mismatch) are
-// truncated on open, mimicking WAL recovery semantics.
+// Durability is decoupled from ordering via classic WAL group commit:
+// AppendOperation() is the sequencing point — it assigns the log
+// sequence number and enqueues the encoded record atomically — and
+// WaitDurable() blocks until a background writer has coalesced the
+// caller's group into a single fwrite + fflush (and optionally
+// fdatasync). Without a running group-commit writer both calls
+// degrade to the synchronous per-record path, which stays the
+// drop-to-sync fallback when the writer fails.
+//
+// Record format (one line per record), current version:
+//   v2|<length>|<checksum>|<sequence>|<timestamp>|<promise-id>|<payload>
+// The checksum covers length, sequence, timestamp, promise id AND
+// payload (a corrupted header field fails verification, unlike v1
+// whose checksum covered the payload only). Lines without the "v2|"
+// prefix are parsed as the v1 format <length>|<checksum>|<timestamp>|
+// <payload>, so logs written before group commit still replay. Torn
+// tails (partial final line, checksum mismatch, sequence regression)
+// are truncated on open, mimicking WAL recovery semantics.
 
 #ifndef PROMISES_CORE_OPLOG_H_
 #define PROMISES_CORE_OPLOG_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
+#include <deque>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/clock.h"
@@ -32,9 +52,48 @@ namespace promises {
 struct LogRecord {
   Timestamp timestamp = 0;
   std::string payload;  ///< compact envelope XML
+  /// Log sequence number (1-based, strictly increasing). v1 records
+  /// are numbered by file position during the scan.
+  uint64_t sequence = 0;
+  /// Promise id consumed by the logged operation, 0 when the
+  /// operation did not allocate one (releases, external events, v1
+  /// records). Replay pins the id generator to this value so ids
+  /// match the original run even when allocation order differed from
+  /// log order under striped concurrency.
+  uint64_t promise_id = 0;
 };
 
-/// Append-only operation log backed by a file.
+/// How Append/WaitDurable trade latency for durability.
+enum class DurabilityMode {
+  kSync,   ///< every record written + flushed inline (no batching)
+  kGroup,  ///< records queue; a writer thread flushes whole groups
+  kAsync,  ///< records queue; WaitDurable returns without waiting
+};
+
+/// Knobs for the group-commit writer. `max_delay_ms` is measured on
+/// the injected Clock (simulated time in tests, wall time in prod):
+/// a group is flushed when it reaches `max_batch` records or its
+/// oldest record has waited `max_delay_ms`, whichever comes first.
+/// With `max_delay_ms == 0` the writer flushes whatever is queued as
+/// soon as it wakes (lowest latency, still coalescing under load).
+struct GroupCommitConfig {
+  DurabilityMode mode = DurabilityMode::kGroup;
+  size_t max_batch = 128;
+  DurationMs max_delay_ms = 0;
+  size_t queue_capacity = 4096;
+  /// When true every flushed group is also fdatasync'd, extending
+  /// durability from "survives the process" to "survives the OS".
+  bool use_fdatasync = false;
+  /// Batch-formation grace: before paying for a sync the writer holds
+  /// the group open this long (steady clock, not the injected one) so
+  /// committers racing the flush can join it. 0 disables; keep it
+  /// well under the sync cost or it dominates latency.
+  int64_t group_window_us = 0;
+};
+
+/// Append-only operation log backed by a file. Appends are
+/// thread-safe; a single OperationLog may be shared by concurrent
+/// committers (striped promise-manager operations).
 class OperationLog {
  public:
   OperationLog() = default;
@@ -45,33 +104,113 @@ class OperationLog {
   /// Opens (creating if needed) the log at `path` for appending. An
   /// existing log is scanned first and any torn tail (partial final
   /// record from a crash mid-append) is physically truncated, so new
-  /// appends always extend a clean prefix.
+  /// appends always extend a clean prefix. Sequence numbering resumes
+  /// past the last intact record.
   Status Open(const std::string& path);
   void Close();
-  bool IsOpen() const { return file_ != nullptr; }
+  bool IsOpen() const;
 
-  /// Appends one record and flushes it to the OS.
+  /// Starts the group-commit writer thread. `clock` is used for the
+  /// max-delay linger and must outlive the writer. Idempotent error
+  /// if already running.
+  Status StartGroupCommit(const GroupCommitConfig& config, Clock* clock);
+  /// Drains the queue, flushes the final group and joins the writer.
+  /// After this, appends fall back to the synchronous path. No-op
+  /// when the writer is not running.
+  void StopGroupCommit();
+
+  /// Appends one record with full commit semantics: sequences,
+  /// writes and waits until it is durable. Equivalent to
+  /// AppendOperation + WaitDurable; kept for single-writer callers
+  /// and tests that control the timestamp directly.
   Status Append(Timestamp timestamp, const std::string& payload);
 
-  /// Crash-injection hook for recovery tests: the NEXT Append writes
-  /// only the first `bytes` bytes of its encoded record (flushed, so
-  /// the torn tail reaches the file), then fails with kUnavailable as
-  /// if the process died mid-write. One-shot.
-  void InjectTornWrite(size_t bytes) { torn_write_bytes_ = bytes; }
+  /// The sequencing point: atomically assigns the next log sequence
+  /// number, stamps the record with `clock->Now()` and enqueues it
+  /// (group/async mode) or writes it inline (sync mode / writer not
+  /// running). Returns the assigned sequence. The caller must invoke
+  /// WaitDurable(seq) after releasing its operation locks to get the
+  /// durable ack. `promise_id` is the id the operation consumed (0 if
+  /// none); it is persisted for replay pinning.
+  Result<uint64_t> AppendOperation(Clock* clock, const std::string& payload,
+                                   uint64_t promise_id);
 
-  /// Reads every intact record of the log at `path`. A corrupt or torn
-  /// record ends the scan (records after it are discarded), matching
-  /// crash-recovery semantics.
+  /// Blocks until record `sequence` is durable (group mode), returns
+  /// immediately in sync/async mode. Fails if the writer (or a prior
+  /// sync write) failed before reaching `sequence`.
+  Status WaitDurable(uint64_t sequence);
+
+  /// Crash-injection hook for recovery tests: the NEXT physical write
+  /// (a single record in sync mode, a whole group in group mode)
+  /// stores only its first `bytes` bytes (flushed, so the torn tail
+  /// reaches the file), then fails with kUnavailable as if the
+  /// process died mid-write. One-shot; the log is poisoned until
+  /// reopened, so no record can be written after the tear and then
+  /// lost to recovery's prefix scan.
+  void InjectTornWrite(size_t bytes) {
+    torn_write_bytes_.store(bytes, std::memory_order_release);
+  }
+
+  /// Reads every intact record of the log at `path` in one streaming
+  /// pass. A corrupt or torn record ends the scan (records after it
+  /// are discarded), matching crash-recovery semantics.
   static Result<std::vector<LogRecord>> ReadAll(const std::string& path);
 
-  /// Simple additive checksum over the payload (torn-write detector,
-  /// not cryptographic).
+  /// v1 checksum: FNV-1a over the payload only. Kept for reading old
+  /// logs and for tests that craft v1 records.
   static uint32_t Checksum(const std::string& payload);
+  /// v2 checksum: FNV-1a folded over length, sequence, timestamp,
+  /// promise id and payload, so a corrupted header field is caught.
+  static uint32_t RecordChecksum(size_t length, uint64_t sequence,
+                                 Timestamp timestamp, uint64_t promise_id,
+                                 const std::string& payload);
 
  private:
+  struct Pending {
+    uint64_t sequence = 0;
+    std::string encoded;
+    // Injected-clock arrival time; the max-delay linger is measured
+    // from the oldest queued record's arrival.
+    Timestamp enqueued_at = 0;
+  };
+
+  static std::string EncodeRecord(uint64_t sequence, Timestamp timestamp,
+                                  uint64_t promise_id,
+                                  const std::string& payload);
+  // Raw IO: writes `buf`, flushes (+fdatasync when requested) and
+  // honors a pending torn-write injection. Does not touch failed_;
+  // the caller records the outcome under mu_. The sync path calls it
+  // holding mu_; the writer thread calls it unlocked (it is the only
+  // writer while running, and file_ is stable between Open/Close).
+  Status WriteBuffer(const std::string& buf, bool use_fdatasync);
+  // Sequences + writes one record inline (sync path). mu_ held.
+  Result<uint64_t> AppendSyncLocked(Timestamp timestamp, uint64_t promise_id,
+                                    const std::string& payload);
+  // Sequences + queues one record for the writer, blocking while the
+  // queue is at capacity. mu_ held (via `lock`). Falls back to the
+  // sync path if the writer stops or fails while waiting for space.
+  Result<uint64_t> EnqueueLocked(std::unique_lock<std::mutex>& lock,
+                                 Timestamp timestamp, uint64_t promise_id,
+                                 const std::string& payload);
+  void WriterLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;     // writer <- committers: records queued
+  std::condition_variable space_cv_;    // committers <- writer: queue drained
+  std::condition_variable durable_cv_;  // committers <- writer: group flushed
   std::FILE* file_ = nullptr;
+  GroupCommitConfig config_;
+  Clock* clock_ = nullptr;
+  bool writer_running_ = false;
+  bool stopping_ = false;
+  std::thread writer_;
+  std::deque<Pending> queue_;
+  uint64_t next_sequence_ = 1;
+  uint64_t durable_sequence_ = 0;
+  // First write failure; poisons all later appends/waits until Open.
+  Status failed_ = Status::OK();
   // One-shot torn-write injection: npos = disabled.
-  size_t torn_write_bytes_ = kNoTornWrite;
+  std::atomic<size_t> torn_write_bytes_{kNoTornWrite};
   static constexpr size_t kNoTornWrite = static_cast<size_t>(-1);
 };
 

@@ -106,9 +106,10 @@ void PromiseManager::PlanClosure(std::set<std::string>* classes) const {
 
 Result<std::unique_ptr<Transaction>> PromiseManager::BeginOperation(
     LockScope* scope, std::set<std::string> classes, bool whole_manager) {
-  // A logged manager serializes every operation so the log append order
-  // equals the serialization order (replay keeps promise ids aligned).
-  if (oplog_ != nullptr) whole_manager = true;
+  // Logged managers keep the striped scope: log order is fixed at the
+  // OperationLog sequencing point, reached before the commit releases
+  // these locks, so it remains a valid serialization order without
+  // whole-manager exclusion (see the file header).
   std::unique_ptr<Transaction> txn = tm_->Begin();
   if (whole_manager) {
     PROMISES_RETURN_IF_ERROR(txn->Lock(RootKey(), LockMode::kExclusive));
@@ -338,7 +339,7 @@ Status PromiseManager::DrainPendingScoped(Transaction* txn,
 Result<PromiseManager::QueuedOutcome> PromiseManager::RequestPromiseOrQueue(
     ClientId client, std::vector<Predicate> predicates,
     DurationMs duration_ms) {
-  if (oplog_ != nullptr) {
+  if (oplog_.load(std::memory_order_acquire) != nullptr) {
     // Queued grants fire outside the logged command stream; the two
     // features do not compose in this version.
     return Status::FailedPrecondition(
@@ -536,12 +537,14 @@ Result<GrantOutcome> PromiseManager::GrantLocked(
   };
 
   const std::vector<Predicate>* preds_for_offer = nullptr;
+  PromiseId consumed_id;  // set once the generator has been consumed
   auto reject = [&](std::string reason) {
     txn->RollbackTo(mark);
     stats_.rejected.fetch_add(1, std::memory_order_relaxed);
     GrantOutcome out;
     out.accepted = false;
     out.reason = std::move(reason);
+    out.consumed_id = consumed_id;
     if (preds_for_offer != nullptr) {
       out.counter_offer = counter_offer(*preds_for_offer);
     }
@@ -591,6 +594,7 @@ Result<GrantOutcome> PromiseManager::GrantLocked(
 
   PromiseRecord record;
   record.id = promise_ids_.Next();
+  consumed_id = record.id;
   record.owner = client;
   record.predicates = std::move(predicates);
   record.granted_at = now;
@@ -620,6 +624,7 @@ Result<GrantOutcome> PromiseManager::GrantLocked(
   GrantOutcome out;
   out.accepted = true;
   out.promise_id = new_id;
+  out.consumed_id = new_id;
   out.duration_ms = granted_duration;
   return out;
 }
@@ -765,10 +770,10 @@ Result<GrantOutcome> PromiseManager::RequestPromise(
                             BeginOperation(&scope, std::move(classes)));
   PROMISES_RETURN_IF_ERROR(ExpireDueLocked(txn.get(), scope));
   std::string log_payload;
-  if (oplog_ != nullptr) {
-    // Rejected requests are logged too: they consume a promise id, so
-    // replay must reproduce them to keep later ids aligned. Message id
-    // 0 exempts the synthesized record from deduplication on replay.
+  if (oplog_.load(std::memory_order_acquire) != nullptr) {
+    // Rejected requests are logged too: they may consume a promise id,
+    // so replay must reproduce them to keep later ids aligned. Message
+    // id 0 exempts the synthesized record from deduplication on replay.
     Envelope env;
     env.message_id = MessageId(0);
     env.from = NameOf(client);
@@ -785,11 +790,15 @@ Result<GrantOutcome> PromiseManager::RequestPromise(
       GrantOutcome out,
       GrantLocked(txn.get(), client, std::move(predicates), duration_ms,
                   release_on_grant));
-  // Logged before the commit releases the operation locks, so the log
-  // order matches the serialization order (the in-memory commit itself
-  // cannot fail).
-  if (!log_payload.empty()) LogOperation(log_payload);
+  // Sequenced before the commit releases the operation locks, so the
+  // log order matches the serialization order (the in-memory commit
+  // itself cannot fail); the durable ack is awaited after.
+  LogTicket ticket;
+  if (!log_payload.empty()) {
+    ticket = LogOperation(log_payload, out.consumed_id);
+  }
   PROMISES_RETURN_IF_ERROR(txn->Commit());
+  PROMISES_RETURN_IF_ERROR(AwaitLogDurable(ticket));
   return out;
 }
 
@@ -825,15 +834,17 @@ Status PromiseManager::Release(ClientId client,
     stats_.released.fetch_add(1, std::memory_order_relaxed);
   }
   PROMISES_RETURN_IF_ERROR(DrainPendingScoped(txn.get(), scope));
-  if (oplog_ != nullptr) {
+  LogTicket ticket;
+  if (oplog_.load(std::memory_order_acquire) != nullptr) {
     Envelope env;
     env.message_id = MessageId(0);  // exempt from dedup on replay
     env.from = NameOf(client);
     env.to = config_.name;
     env.release = ReleaseHeader{ids};
-    LogOperation(env.ToXml());
+    ticket = LogOperation(env.ToXml());
   }
   PROMISES_RETURN_IF_ERROR(txn->Commit());
+  PROMISES_RETURN_IF_ERROR(AwaitLogDurable(ticket));
   if (!problems.empty()) {
     return Status::NotFound("some releases failed:" + problems);
   }
@@ -857,16 +868,18 @@ Result<ActionOutcome> PromiseManager::Execute(ClientId client,
       ActionOutcome out,
       ExecuteLocked(txn.get(), &scope, client, action, env));
   PROMISES_RETURN_IF_ERROR(DrainPendingScoped(txn.get(), scope));
-  if (oplog_ != nullptr) {
+  LogTicket ticket;
+  if (oplog_.load(std::memory_order_acquire) != nullptr) {
     Envelope log_env;
     log_env.message_id = MessageId(0);  // exempt from dedup on replay
     log_env.from = NameOf(client);
     log_env.to = config_.name;
     log_env.environment = env;
     log_env.action = action;
-    LogOperation(log_env.ToXml());
+    ticket = LogOperation(log_env.ToXml());
   }
   PROMISES_RETURN_IF_ERROR(txn->Commit());
+  PROMISES_RETURN_IF_ERROR(AwaitLogDurable(ticket));
   return out;
 }
 
@@ -887,13 +900,57 @@ const std::string& PromiseManager::NameOf(ClientId client) {
   return it == client_names_.end() ? kUnknown : it->second;
 }
 
-void PromiseManager::LogOperation(const std::string& payload) {
-  if (oplog_ == nullptr) return;
-  // A log failure must not silently pass for durability; but the
-  // operation already committed. Report loudly via the violation
-  // handler channel is overkill; abort the attachment instead.
-  Status st = oplog_->Append(clock_->Now(), payload);
-  if (!st.ok()) oplog_ = nullptr;
+PromiseManager::LogTicket PromiseManager::LogOperation(
+    const std::string& payload, PromiseId consumed) {
+  LogTicket ticket;
+  OperationLog* log = oplog_.load(std::memory_order_acquire);
+  if (log == nullptr) return ticket;
+  ticket.log = log;
+  // The sequencing point: the record's position in the log is fixed
+  // here, while this operation still holds its stripe locks.
+  ScopedSpan append_span("oplog-append");
+  Result<uint64_t> seq =
+      log->AppendOperation(clock_, payload, consumed.value());
+  if (!seq.ok()) {
+    append_span.set_status(StatusCodeToString(seq.status().code()));
+    ticket.enqueue_error = seq.status();
+    return ticket;
+  }
+  ticket.sequence = *seq;
+  return ticket;
+}
+
+Status PromiseManager::AwaitLogDurable(const LogTicket& ticket) {
+  if (ticket.log == nullptr) return Status::OK();
+  Status cause = ticket.enqueue_error;
+  if (cause.ok()) {
+    // Off the critical section: the operation's locks are released,
+    // only its reply is held back until the group is durable.
+    ScopedSpan wait_span("oplog-group-wait");
+    cause = ticket.log->WaitDurable(ticket.sequence);
+    if (!cause.ok()) {
+      wait_span.set_status(StatusCodeToString(cause.code()));
+    }
+  }
+  if (cause.ok()) return Status::OK();
+  DetachLog(ticket.log, cause);
+  return Status::DataLoss(
+      "operation committed in memory but its log record was lost (log "
+      "detached): " +
+      cause.ToString());
+}
+
+void PromiseManager::DetachLog(OperationLog* expected, const Status& cause) {
+  OperationLog* want = expected;
+  if (!oplog_.compare_exchange_strong(want, nullptr,
+                                      std::memory_order_acq_rel)) {
+    return;  // another operation already detached it
+  }
+  static Counter* detached_total = MetricsRegistry::Global().GetCounter(
+      "promises_oplog_detached_total");
+  detached_total->Increment();
+  ScopedSpan detach_span("oplog-detached");
+  detach_span.set_status(StatusCodeToString(cause.code()));
 }
 
 Status PromiseManager::AttachLog(OperationLog* log) {
@@ -907,17 +964,36 @@ Status PromiseManager::AttachLog(OperationLog* log) {
           "recovery logging is not supported with delegated classes");
     }
   }
-  oplog_ = log;
+  {
+    // A queued request granted later by a drain would fire outside the
+    // logged command stream (the same reason RequestPromiseOrQueue
+    // refuses while attached).
+    std::lock_guard<std::mutex> lk(pending_mu_);
+    if (!pending_.empty()) {
+      return Status::FailedPrecondition(
+          "cannot attach a log while requests are queued as pending");
+    }
+  }
+  oplog_.store(log, std::memory_order_release);
   return Status::OK();
 }
 
 Status PromiseManager::ReplayLog(const std::vector<LogRecord>& records,
                                  SimulatedClock* clock) {
-  if (oplog_ != nullptr) {
+  if (oplog_.load(std::memory_order_acquire) != nullptr) {
     return Status::FailedPrecondition("detach the log before replaying");
   }
+  uint64_t max_promise_id = 0;
   for (const LogRecord& record : records) {
     clock->AdvanceTo(record.timestamp);
+    // The record carries the promise id its operation consumed at
+    // runtime; pinning the generator reproduces it even though the
+    // original allocation order (under striped concurrency) may not
+    // have matched the log order.
+    if (record.promise_id != 0) {
+      promise_ids_.Pin(record.promise_id);
+      max_promise_id = std::max(max_promise_id, record.promise_id);
+    }
     if (StartsWith(record.payload, "<")) {
       PROMISES_ASSIGN_OR_RETURN(Envelope env,
                                 Envelope::FromXml(record.payload));
@@ -939,6 +1015,9 @@ Status PromiseManager::ReplayLog(const std::vector<LogRecord>& records,
       }
     }
   }
+  // Leave the generator past every replayed id: the last record need
+  // not carry the maximum (allocation could run ahead of log order).
+  if (max_promise_id != 0) promise_ids_.Pin(max_promise_id + 1);
   return Status::OK();
 }
 
@@ -1090,6 +1169,7 @@ Result<Envelope> PromiseManager::HandleInner(const Envelope& request) {
 
   bool grant_rejected = false;
   PromiseId fresh_promise;
+  PromiseId consumed_id;  // for the log record (replay id pinning)
 
   if (request.promise_request) {
     const PromiseRequestHeader& pr = *request.promise_request;
@@ -1111,7 +1191,8 @@ Result<Envelope> PromiseManager::HandleInner(const Envelope& request) {
     // §6 'pending': queue an ungrantable request when asked. Not
     // available with an attached log (queued grants bypass the command
     // stream) or combined with atomic updates.
-    if (!out.accepted && pr.queue_if_unavailable && oplog_ == nullptr &&
+    if (!out.accepted && pr.queue_if_unavailable &&
+        oplog_.load(std::memory_order_acquire) == nullptr &&
         pr.release_on_grant.empty()) {
       resp.result = PromiseResultCode::kPending;
       Timestamp deadline = clock_->Now() + config_.pending_patience_ms;
@@ -1128,6 +1209,7 @@ Result<Envelope> PromiseManager::HandleInner(const Envelope& request) {
     reply.promise_response = std::move(resp);
     grant_rejected = !out.accepted;
     fresh_promise = out.promise_id;
+    consumed_id = out.consumed_id;
   } else if (request.poll) {
     // Resolve a queued request's ticket (processed only when the
     // envelope carries no new promise-request).
@@ -1213,13 +1295,17 @@ Result<Envelope> PromiseManager::HandleInner(const Envelope& request) {
   }
 
   PROMISES_RETURN_IF_ERROR(DrainPendingScoped(txn.get(), scope));
-  {
-    // Includes serializing the operation record; a no-op (fast) when
-    // no oplog is attached.
-    ScopedSpan oplog_span("oplog-append");
-    LogOperation(request.ToXml());
+  LogTicket ticket;
+  if (oplog_.load(std::memory_order_acquire) != nullptr) {
+    ticket = LogOperation(request.ToXml(), consumed_id);
   }
   PROMISES_RETURN_IF_ERROR(txn->Commit());
+  // A durability failure cannot fail the envelope reply: error replies
+  // are not cached by the dedup layer, so a client retry would
+  // re-execute an operation that already committed. The loss is still
+  // loud — detach counter, error span — and direct-API callers get
+  // kDataLoss (see AwaitLogDurable).
+  (void)AwaitLogDurable(ticket);
   return reply;
 }
 
@@ -1284,7 +1370,7 @@ Status PromiseManager::DelegateClass(const std::string& cls,
 
 Result<std::vector<PromiseId>> PromiseManager::BreakUntilConsistent(
     std::unique_ptr<Transaction> txn, const std::string& cls,
-    const std::string& reason) {
+    const std::string& reason, const std::string& log_payload) {
   std::vector<PromiseRecord> broken;
   Timestamp now = clock_->Now();
   while (true) {
@@ -1318,6 +1404,9 @@ Result<std::vector<PromiseId>> PromiseManager::BreakUntilConsistent(
     broken.push_back(std::move(copy));
     stats_.promises_broken.fetch_add(1, std::memory_order_relaxed);
   }
+  // Sequenced before the commit releases the whole-manager lock, like
+  // every other logged operation.
+  LogTicket ticket = LogOperation(log_payload);
   PROMISES_RETURN_IF_ERROR(txn->Commit());
   // Notify outside the transaction so handlers may call back into the
   // manager.
@@ -1326,6 +1415,7 @@ Result<std::vector<PromiseId>> PromiseManager::BreakUntilConsistent(
     ids.push_back(r.id);
     if (violation_handler_) violation_handler_(r, reason);
   }
+  PROMISES_RETURN_IF_ERROR(AwaitLogDurable(ticket));
   return ids;
 }
 
@@ -1343,14 +1433,11 @@ Result<std::vector<PromiseId>> PromiseManager::ReportExternalDamage(
                             rm_->GetQuantity(txn.get(), cls));
   int64_t loss = std::min(quantity_lost, on_hand);
   PROMISES_RETURN_IF_ERROR(rm_->AdjustQuantity(txn.get(), cls, -loss));
-  Result<std::vector<PromiseId>> broken = BreakUntilConsistent(
+  return BreakUntilConsistent(
       std::move(txn), cls,
       "external damage destroyed " + std::to_string(loss) + " units of '" +
-          cls + "'");
-  if (broken.ok()) {
-    LogOperation("damage|" + cls + "|" + std::to_string(quantity_lost));
-  }
-  return broken;
+          cls + "'",
+      "damage|" + cls + "|" + std::to_string(quantity_lost));
 }
 
 Result<std::vector<PromiseId>> PromiseManager::ReportInstanceLost(
@@ -1362,11 +1449,10 @@ Result<std::vector<PromiseId>> PromiseManager::ReportInstanceLost(
   PROMISES_RETURN_IF_ERROR(ExpireDueLocked(txn.get(), scope));
   PROMISES_RETURN_IF_ERROR(
       rm_->SetInstanceStatus(txn.get(), cls, id, InstanceStatus::kTaken));
-  Result<std::vector<PromiseId>> broken = BreakUntilConsistent(
-      std::move(txn), cls,
-      "instance '" + id + "' of '" + cls + "' was lost");
-  if (broken.ok()) LogOperation("lose|" + cls + "|" + id);
-  return broken;
+  return BreakUntilConsistent(std::move(txn), cls,
+                              "instance '" + id + "' of '" + cls +
+                                  "' was lost",
+                              "lose|" + cls + "|" + id);
 }
 
 size_t PromiseManager::ExpireDue() {

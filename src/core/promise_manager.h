@@ -40,12 +40,22 @@
 // through the ActionContext helpers — out of the deterministic order,
 // so the lock manager's deadlock detection may abort the action (the
 // operation rolls back, §8 style). Whole-manager operations
-// (ReportExternalDamage / ReportInstanceLost / ExpireDue, and every
-// operation while a recovery log is attached so the log order equals
-// the serialization order) take the root key exclusively instead.
-// Post-action verification covers the held stripes plus any class the
-// action wrote through the resource manager behind the manager's back
-// (derived from the transaction's exclusive resource keys).
+// (ReportExternalDamage / ReportInstanceLost / ExpireDue) take the
+// root key exclusively instead. Post-action verification covers the
+// held stripes plus any class the action wrote through the resource
+// manager behind the manager's back (derived from the transaction's
+// exclusive resource keys).
+//
+// Logged operations keep their stripe scope: durability no longer
+// forces whole-manager serialization. Each operation enqueues its log
+// record at OperationLog's sequencing point BEFORE committing (i.e.
+// before its stripe locks release), so log-append order is a valid
+// serialization order — any two conflicting operations ordered by 2PL
+// are log-ordered the same way, and non-conflicting striped
+// operations commute. The durable ack (group commit) is awaited AFTER
+// the commit, off the critical section. Records carry the promise id
+// they consumed, so replay reproduces ids even though concurrent
+// allocation order may differ from log order.
 
 #ifndef PROMISES_CORE_PROMISE_MANAGER_H_
 #define PROMISES_CORE_PROMISE_MANAGER_H_
@@ -120,6 +130,11 @@ struct GrantOutcome {
   /// multi-predicate ones, and conservative for atomic updates
   /// (computed with the handbacks still held).
   std::string counter_offer;
+  /// Promise id the request consumed from the generator, including on
+  /// rejections that happened after allocation (resource shortfall).
+  /// Invalid (0) when the request was rejected before allocating.
+  /// Persisted in the operation log so replay can pin the generator.
+  PromiseId consumed_id;
 };
 
 /// Outcome of an application action executed through the manager.
@@ -299,12 +314,19 @@ class PromiseManager {
 
   /// Attaches an operation log: every subsequent state-changing client
   /// operation (request / release / action / external event) is
-  /// appended after commit, making the manager recoverable with
-  /// ReplayLog. While a log is attached every operation takes the
-  /// whole-manager lock, so the append order equals the serialization
-  /// order and replay reproduces promise ids exactly. Not supported for
-  /// managers with delegated classes (distributed recovery is out of
-  /// scope; see DESIGN.md). Attach before serving concurrent traffic.
+  /// appended, making the manager recoverable with ReplayLog. Logged
+  /// operations keep their striped lock scope; each record is enqueued
+  /// at the log's sequencing point before the operation's commit, so
+  /// append order is a valid serialization order, and each record
+  /// carries the promise id it consumed so replay reproduces ids
+  /// exactly (see the file header). When the log has a group-commit
+  /// writer running, the durable ack is awaited after commit; on
+  /// append/durability failure the log is detached (counted by the
+  /// promises_oplog_detached_total metric) and the failing operation
+  /// returns kDataLoss — its in-memory effect stands, but it is not in
+  /// the log. Not supported for managers with delegated classes
+  /// (distributed recovery is out of scope; see DESIGN.md) or with
+  /// requests already queued as pending.
   Status AttachLog(OperationLog* log);
 
   /// Replays a recovered log against this (freshly constructed)
@@ -409,11 +431,13 @@ class PromiseManager {
   Result<Envelope> HandleInner(const Envelope& request);
 
   /// Shared tail of the ReportExternal* entry points: breaks promises
-  /// on `cls` (newest first) until every engine verifies again, then
-  /// commits and notifies the violation handler.
+  /// on `cls` (newest first) until every engine verifies again, logs
+  /// `log_payload` at the sequencing point (when a log is attached),
+  /// then commits, notifies the violation handler and awaits the
+  /// durable ack.
   Result<std::vector<PromiseId>> BreakUntilConsistent(
       std::unique_ptr<Transaction> txn, const std::string& cls,
-      const std::string& reason);
+      const std::string& reason, const std::string& log_payload);
 
   /// Adds the predicate classes of promise `id` (if still present) to
   /// `classes` — lock planning for handbacks / releases / environments.
@@ -462,8 +486,28 @@ class PromiseManager {
   IdGenerator<PromiseId> promise_ids_;
   IdGenerator<ClientId> client_id_gen_;
 
-  /// Appends to the attached log (no-op when detached / replaying).
-  void LogOperation(const std::string& payload);
+  /// Handle to an in-flight log append: produced by LogOperation at
+  /// the sequencing point (before the operation commits), redeemed by
+  /// AwaitLogDurable after the commit releases the stripe locks.
+  struct LogTicket {
+    OperationLog* log = nullptr;  ///< null: nothing was logged
+    uint64_t sequence = 0;
+    Status enqueue_error;  ///< append refused/failed at the sequencing point
+  };
+
+  /// Enqueues `payload` at the attached log's sequencing point (no-op
+  /// ticket when detached / replaying). `consumed` is the promise id
+  /// the operation allocated, if any. Call before txn->Commit() so log
+  /// order matches serialization order.
+  LogTicket LogOperation(const std::string& payload,
+                         PromiseId consumed = PromiseId());
+  /// Waits for the ticket's record to be durable. On failure detaches
+  /// the log (once, with a metrics counter + error span) and returns
+  /// kDataLoss: the operation's in-memory effect stands but did not
+  /// reach the log. OK for empty tickets.
+  Status AwaitLogDurable(const LogTicket& ticket);
+  /// Detaches `expected` (idempotent CAS) after a durability failure.
+  void DetachLog(OperationLog* expected, const Status& cause);
   /// Name under which `client` was registered (for synthesizing log
   /// envelopes from direct-API calls).
   const std::string& NameOf(ClientId client);
@@ -474,7 +518,10 @@ class PromiseManager {
   Status DrainPendingScoped(Transaction* txn, const LockScope& scope);
 
   ViolationHandler violation_handler_;
-  OperationLog* oplog_ = nullptr;
+  // Atomic: read lock-free on every operation's fast path and cleared
+  // by whichever concurrent operation first observes a durability
+  // failure (DetachLog CAS).
+  std::atomic<OperationLog*> oplog_{nullptr};
   // Client registry has its own mutex: ClientFor is called from client
   // threads outside the operation locks.
   mutable std::mutex client_mu_;

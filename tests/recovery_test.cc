@@ -4,11 +4,19 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "common/rng.h"
 #include "core/promise_manager.h"
+#include "obs/metrics.h"
 #include "service/services.h"
+#include "txn/lock_manager.h"
 
 namespace promises {
 namespace {
@@ -431,13 +439,32 @@ TEST(RecoveryTest, CrashMidAppendRecoversTheCleanPrefix) {
 
     // The process "dies" while appending the second grant's record:
     // only a fragment of it reaches the file.
+    uint64_t detached_before = MetricsRegistry::Global()
+                                   .GetCounter("promises_oplog_detached_total")
+                                   ->Value();
     log.InjectTornWrite(10);
     auto g2 = original.pm->RequestPromise(
         original.client, {Predicate::Quantity("stock", CompareOp::kGe, 5)});
-    // The in-memory operation itself committed; only durability was
-    // lost, and the manager detached the failing log.
-    ASSERT_TRUE(g2.ok() && g2->accepted);
+    // The in-memory operation itself committed — but durability was
+    // lost, so the caller gets kDataLoss (not silence) and the manager
+    // detached the failing log, counting the detach.
+    ASSERT_FALSE(g2.ok());
+    EXPECT_TRUE(g2.status().IsDataLoss()) << g2.status().ToString();
     EXPECT_EQ(original.pm->active_promises(), 2u);
+    EXPECT_EQ(MetricsRegistry::Global()
+                  .GetCounter("promises_oplog_detached_total")
+                  ->Value(),
+              detached_before + 1);
+
+    // With the log detached, the next operation proceeds unlogged and
+    // succeeds — the detach is one loud failure, not a wedged manager.
+    auto g3 = original.pm->RequestPromise(
+        original.client, {Predicate::Quantity("stock", CompareOp::kGe, 1)});
+    ASSERT_TRUE(g3.ok() && g3->accepted);
+    EXPECT_EQ(MetricsRegistry::Global()
+                  .GetCounter("promises_oplog_detached_total")
+                  ->Value(),
+              detached_before + 1);
   }
 
   // Reopen truncates the torn tail; replay reproduces the first grant
@@ -453,6 +480,289 @@ TEST(RecoveryTest, CrashMidAppendRecoversTheCleanPrefix) {
   ASSERT_TRUE(recovered.pm->ReplayLog(*records, &recovered.clock).ok());
   EXPECT_EQ(recovered.pm->active_promises(), 1u);
   EXPECT_NE(recovered.pm->FindPromise(first_id), nullptr);
+}
+
+// --- Logged managers keep the striped lock scope ------------------------
+
+TEST(RecoveryTest, LoggedOperationsKeepStripedLockScope) {
+  TempLogFile file("lock_scope");
+  WorldParts world;
+  OperationLog log;
+  ASSERT_TRUE(log.Open(file.path()).ok());
+  ASSERT_TRUE(world.pm->AttachLog(&log).ok());
+
+  // A probe service inspects its own transaction's lock set: with the
+  // log attached the operation must still run under the striped scope
+  // (root shared + touched stripes exclusive), not the whole-manager
+  // exclusive lock the logged configuration used to force.
+  bool probed = false;
+  world.pm->RegisterService(
+      "lockprobe",
+      [&](ActionContext* ctx, const std::string&,
+          const std::map<std::string, Value>&)
+          -> Result<std::map<std::string, Value>> {
+        const LockManager& lm = world.tm.lock_manager();
+        TxnId txn = ctx->txn()->id();
+        EXPECT_FALSE(lm.Holds(txn, "pm:recoverable", LockMode::kExclusive))
+            << "logged operation took the whole-manager lock";
+        EXPECT_TRUE(lm.Holds(txn, "pm:recoverable", LockMode::kShared));
+        EXPECT_TRUE(
+            lm.Holds(txn, "pm:recoverable/c:stock", LockMode::kExclusive));
+        probed = true;
+        return std::map<std::string, Value>{};
+      });
+
+  ActionBody probe;
+  probe.service = "lockprobe";
+  probe.operation = "inspect";
+  probe.params["item"] = Value("stock");  // plans the stock stripe
+  auto out = world.pm->Execute(world.client, probe);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(out->ok) << out->error;
+  EXPECT_TRUE(probed);
+  log.Close();
+}
+
+TEST(RecoveryTest, LoggedOperationsOnDisjointStripesOverlap) {
+  TempLogFile file("overlap");
+  SimulatedClock clock(0);
+  TransactionManager tm(100);
+  ResourceManager rm;
+  (void)rm.CreatePool("left", 1'000);
+  (void)rm.CreatePool("right", 1'000);
+  PromiseManagerConfig config;
+  config.name = "parallel";
+  config.default_duration_ms = 5'000;
+  PromiseManager pm(config, &clock, &rm, &tm);
+
+  OperationLog log;
+  ASSERT_TRUE(log.Open(file.path()).ok());
+  GroupCommitConfig gc;  // group mode, no linger
+  ASSERT_TRUE(log.StartGroupCommit(gc, &clock).ok());
+  ASSERT_TRUE(pm.AttachLog(&log).ok());
+
+  // Two operations on disjoint stripes rendezvous INSIDE the service:
+  // this only completes if both hold their locks at the same time —
+  // impossible under a whole-manager exclusive lock.
+  std::mutex mu;
+  std::condition_variable cv;
+  int inside = 0;
+  bool met = false;
+  pm.RegisterService(
+      "rendezvous",
+      [&](ActionContext*, const std::string&,
+          const std::map<std::string, Value>&)
+          -> Result<std::map<std::string, Value>> {
+        std::unique_lock<std::mutex> lock(mu);
+        if (++inside == 2) {
+          met = true;
+          cv.notify_all();
+        } else {
+          cv.wait_for(lock, std::chrono::seconds(5), [&] { return met; });
+        }
+        return std::map<std::string, Value>{};
+      });
+
+  auto run = [&pm](const std::string& cls) {
+    ClientId client = pm.ClientFor("worker-" + cls);
+    ActionBody action;
+    action.service = "rendezvous";
+    action.operation = "meet";
+    action.params["item"] = Value(cls);
+    auto out = pm.Execute(client, action);
+    EXPECT_TRUE(out.ok() && out->ok);
+  };
+  std::thread a(run, "left");
+  std::thread b(run, "right");
+  a.join();
+  b.join();
+  EXPECT_TRUE(met) << "logged operations serialized against each other";
+  log.Close();
+}
+
+// --- Concurrent group commit: crash and recover -------------------------
+
+TEST(RecoveryTest, GroupCommitConcurrentCrashRecoversDurablePrefix) {
+  TempLogFile file("cc_crash");
+  constexpr int kWorkers = 4;
+  constexpr int kPhase1Ops = 20;
+  constexpr int kPhase2Ops = 20;
+
+  auto make_world = [](SimulatedClock* clock, TransactionManager* tm,
+                       ResourceManager* rm) {
+    for (int i = 0; i < kWorkers; ++i) {
+      (void)rm->CreatePool("c" + std::to_string(i), 1'000);
+    }
+    PromiseManagerConfig config;
+    config.name = "cc-crash";
+    config.default_duration_ms = 5'000;
+    return std::make_unique<PromiseManager>(config, clock, rm, tm);
+  };
+
+  // Phase 1 acks are durable before the tear is armed; they form the
+  // guaranteed survivor set. Phase 2 races the injected torn group
+  // write: each op either acks durably, fails with kDataLoss, or (post
+  // detach) succeeds unlogged — only the log decides what survives.
+  std::vector<std::vector<PromiseId>> durable_ids(kWorkers);
+  {
+    SimulatedClock clock(0);
+    TransactionManager tm(100);
+    ResourceManager rm;
+    auto pm = make_world(&clock, &tm, &rm);
+    OperationLog log;
+    ASSERT_TRUE(log.Open(file.path()).ok());
+    GroupCommitConfig gc;
+    gc.max_batch = 16;
+    ASSERT_TRUE(log.StartGroupCommit(gc, &clock).ok());
+    ASSERT_TRUE(pm->AttachLog(&log).ok());
+
+    auto worker = [&](int w, int ops, bool stop_on_error) {
+      ClientId client = pm->ClientFor("w" + std::to_string(w));
+      std::string cls = "c" + std::to_string(w);
+      for (int i = 0; i < ops; ++i) {
+        auto g = pm->RequestPromise(
+            client, {Predicate::Quantity(cls, CompareOp::kGe, 1)});
+        if (g.ok() && g->accepted && !stop_on_error) {
+          durable_ids[w].push_back(g->promise_id);
+        }
+        if (!g.ok() && stop_on_error) break;
+      }
+    };
+
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kWorkers; ++w) {
+      threads.emplace_back(worker, w, kPhase1Ops, false);
+    }
+    for (std::thread& t : threads) t.join();
+    threads.clear();
+
+    log.InjectTornWrite(30);  // the next group tears mid-record
+    for (int w = 0; w < kWorkers; ++w) {
+      threads.emplace_back(worker, w, kPhase2Ops, true);
+    }
+    for (std::thread& t : threads) t.join();
+    log.Close();  // crash: whatever reached the disk is the truth
+  }
+
+  auto records = OperationLog::ReadAll(file.path());
+  ASSERT_TRUE(records.ok());
+  // Everything acked before the tear is on disk.
+  size_t phase1_total = 0;
+  for (const auto& ids : durable_ids) phase1_total += ids.size();
+  EXPECT_EQ(phase1_total, static_cast<size_t>(kWorkers * kPhase1Ops));
+  ASSERT_GE(records->size(), phase1_total);
+
+  // Replay twice; both recoveries must agree with each other and
+  // contain every durably-acked grant under its original id.
+  SimulatedClock clock_a(0), clock_b(0);
+  TransactionManager tm_a(100), tm_b(100);
+  ResourceManager rm_a, rm_b;
+  auto pm_a = make_world(&clock_a, &tm_a, &rm_a);
+  auto pm_b = make_world(&clock_b, &tm_b, &rm_b);
+  ASSERT_TRUE(pm_a->ReplayLog(*records, &clock_a).ok());
+  ASSERT_TRUE(pm_b->ReplayLog(*records, &clock_b).ok());
+
+  for (const auto& ids : durable_ids) {
+    for (PromiseId id : ids) {
+      EXPECT_NE(pm_a->FindPromise(id), nullptr) << id.ToString();
+    }
+  }
+  EXPECT_EQ(pm_a->active_promises(), records->size());
+  EXPECT_EQ(pm_a->active_promises(), pm_b->active_promises());
+  auto txn_a = tm_a.Begin();
+  auto txn_b = tm_b.Begin();
+  for (int i = 0; i < kWorkers; ++i) {
+    std::string cls = "c" + std::to_string(i);
+    EXPECT_EQ(*rm_a.GetQuantity(txn_a.get(), cls),
+              *rm_b.GetQuantity(txn_b.get(), cls))
+        << cls;
+  }
+}
+
+TEST(RecoveryTest, DedupRepliesSurviveGroupCommitRecovery) {
+  TempLogFile file("dedup_group");
+  Envelope env;
+  env.message_id = MessageId(41);
+  env.from = "survivor";
+  env.to = "recoverable";
+  PromiseRequestHeader req;
+  req.request_id = RequestId(9);
+  req.predicates.push_back(Predicate::Quantity("stock", CompareOp::kGe, 10));
+  env.promise_request = std::move(req);
+
+  Envelope original_reply;
+  {
+    WorldParts original;
+    OperationLog log;
+    ASSERT_TRUE(log.Open(file.path()).ok());
+    GroupCommitConfig gc;
+    ASSERT_TRUE(log.StartGroupCommit(gc, &original.clock).ok());
+    ASSERT_TRUE(original.pm->AttachLog(&log).ok());
+    auto first = original.pm->Handle(env);
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(first->promise_response.has_value());
+    ASSERT_EQ(first->promise_response->result, PromiseResultCode::kAccepted);
+    original_reply = *first;
+    log.Close();
+  }
+
+  auto records = OperationLog::ReadAll(file.path());
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+
+  WorldParts recovered;
+  ASSERT_TRUE(recovered.pm->ReplayLog(*records, &recovered.clock).ok());
+  // The client retries its pre-crash envelope: recovery must replay
+  // the cached reply, not grant a second promise.
+  auto retry = recovered.pm->Handle(env);
+  ASSERT_TRUE(retry.ok());
+  ASSERT_TRUE(retry->promise_response.has_value());
+  EXPECT_EQ(retry->promise_response->promise_id,
+            original_reply.promise_response->promise_id);
+  EXPECT_EQ(retry->ToXml(), original_reply.ToXml());
+  EXPECT_EQ(recovered.pm->active_promises(), 1u);
+}
+
+TEST(RecoveryTest, ReplayPinsPromiseIdsRecordedOutOfOrder) {
+  TempLogFile file("pin");
+  // Under striped concurrency the allocation order can differ from the
+  // log order; each record carries its consumed id, so replay must
+  // reproduce ids even when they regress across records.
+  auto make_env = [](int64_t quantity) {
+    Envelope env;
+    env.message_id = MessageId(0);  // bypass dedup, like the direct API
+    env.from = "survivor";
+    env.to = "recoverable";
+    PromiseRequestHeader req;
+    req.request_id = RequestId(1);
+    req.predicates.push_back(
+        Predicate::Quantity("stock", CompareOp::kGe, quantity));
+    env.promise_request = std::move(req);
+    return env;
+  };
+  SimulatedClock clock(0);
+  OperationLog log;
+  ASSERT_TRUE(log.Open(file.path()).ok());
+  ASSERT_TRUE(log.AppendOperation(&clock, make_env(5).ToXml(), 7).ok());
+  ASSERT_TRUE(log.AppendOperation(&clock, make_env(3).ToXml(), 3).ok());
+  log.Close();
+
+  auto records = OperationLog::ReadAll(file.path());
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].promise_id, 7u);
+  EXPECT_EQ((*records)[1].promise_id, 3u);
+
+  WorldParts recovered;
+  ASSERT_TRUE(recovered.pm->ReplayLog(*records, &recovered.clock).ok());
+  EXPECT_EQ(recovered.pm->active_promises(), 2u);
+  EXPECT_NE(recovered.pm->FindPromise(PromiseId(7)), nullptr);
+  EXPECT_NE(recovered.pm->FindPromise(PromiseId(3)), nullptr);
+  // Fresh allocation resumes past the highest replayed id.
+  auto g = recovered.pm->RequestPromise(
+      recovered.client, {Predicate::Quantity("stock", CompareOp::kGe, 1)});
+  ASSERT_TRUE(g.ok() && g->accepted);
+  EXPECT_EQ(g->promise_id.value(), 8u);
 }
 
 }  // namespace
