@@ -19,7 +19,7 @@ span-derived phase-latency table is printed so the regression can be
 attributed to a pipeline phase without rerunning anything.
 
 The file schema is detected from the point keys, so the same script
-gates all four benches:
+gates all five benches:
   * BENCH_scaling.json    points keyed by workers, goodput=throughput_ops_s
   * BENCH_chaos.json      points keyed by loss_rate, goodput=goodput_orders_s
   * BENCH_overload.json   points keyed by (offered_rps, shedding),
@@ -32,6 +32,10 @@ gates all four benches:
                           goodput=throughput_ops_s; every mode is gated
                           (each point is already a median of interleaved
                           sweeps, stable enough for the loose tolerance).
+  * BENCH_recovery.json   points keyed by (mode, log_length),
+                          goodput=replay_ops_s (history recovered per
+                          second); recovery_ms rides in the p99 slot so
+                          the latency gate also bounds time-to-recover.
 
 Tolerances are deliberately loose (shared CI runners are noisy); the
 gate exists to catch order-of-magnitude regressions, not 5% drift. The
@@ -58,7 +62,13 @@ def extract_points(doc):
     """Returns a list of (label, goodput, p99_us_or_None)."""
     out = []
     for p in doc.get("points", []):
-        if "mode" in p:  # durability sweep (mode + workers; test first)
+        if "log_length" in p:  # recovery sweep (mode + log_length)
+            p99_us = None
+            if p.get("recovery_ms") is not None:
+                p99_us = int(p["recovery_ms"] * 1000)
+            out.append((f"recovery[{p['mode']}]@{p['log_length']}",
+                        p["replay_ops_s"], p99_us))
+        elif "mode" in p:  # durability sweep (mode + workers)
             out.append((f"{p['mode']}@{p['workers']}w",
                         p["throughput_ops_s"], p.get("p99_us")))
         elif "workers" in p:  # scaling sweep

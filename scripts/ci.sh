@@ -14,7 +14,7 @@
 #                            # unless goodput with shedding clears the
 #                            # floor (>= 2x the collapsed no-shedding
 #                            # goodput at 4x saturation)
-#   scripts/ci.sh bench      # bench-regression gate: rerun all three
+#   scripts/ci.sh bench      # bench-regression gate: rerun the
 #                            # benches and compare against the
 #                            # committed BENCH_*.json baselines with
 #                            # scripts/check_bench.py (>25% goodput
@@ -71,9 +71,9 @@ run_bench() {
   cmake --preset default
   cmake --build --preset default -j "${JOBS}" \
     --target bench_scaling --target bench_chaos --target bench_overload \
-    --target bench_durability
+    --target bench_durability --target bench_recovery
   local bench
-  for bench in scaling chaos overload durability; do
+  for bench in scaling chaos overload durability recovery; do
     echo "--- bench_${bench} ---"
     "./build/bench/bench_${bench}" "build/BENCH_${bench}.json"
     python3 scripts/check_bench.py \
@@ -97,7 +97,7 @@ run_chaos() {
   # one fresh-seed run to probe schedules the fixed seed never hits.
   # The seed is exported and echoed so a failure is reproducible with
   # PROMISES_CHAOS_SEED=<seed> scripts/ci.sh chaos.
-  run_preset asan -R 'Chaos|FaultInjector|TransportFault|RetryPolicy|RetryClock|Idempotency|Overload|Breaker|Admission|Trace|GroupCommit|Recovery'
+  run_preset asan -R 'Chaos|FaultInjector|TransportFault|RetryPolicy|RetryClock|Idempotency|Overload|Breaker|Admission|Trace|GroupCommit|Recovery|Checkpoint|OplogScan'
   local seed="${PROMISES_CHAOS_SEED:-$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')}"
   echo "=== chaos randomized run: PROMISES_CHAOS_SEED=${seed} ==="
   PROMISES_CHAOS_SEED="${seed}" \
@@ -116,7 +116,7 @@ case "${MODE}" in
     # TSan over the full suite is slow on small runners; the concurrency
     # and transaction tests are where data races would live — including
     # the chaos workload's retry/dedup path.
-    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Idempotency|Overload|Breaker|Admission|Trace|Metrics|GroupCommit|Recovery'
+    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Idempotency|Overload|Breaker|Admission|Trace|Metrics|GroupCommit|Recovery|Checkpoint|OplogScan'
     ;;
   chaos)
     run_chaos
@@ -133,7 +133,7 @@ case "${MODE}" in
   all)
     run_preset default
     run_preset asan
-    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Idempotency|Overload|Breaker|Admission|Trace|Metrics|GroupCommit|Recovery'
+    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Idempotency|Overload|Breaker|Admission|Trace|Metrics|GroupCommit|Recovery|Checkpoint|OplogScan'
     run_chaos
     run_overload
     run_bench

@@ -25,11 +25,19 @@ inline constexpr Timestamp kTimestampMax =
     std::numeric_limits<Timestamp>::max();
 
 /// Source of the current time.
+///
+/// Now() honours a thread-local override (ScopedTimeOverride) so that
+/// parallel log replay can pin each worker to the timestamp of the
+/// record it is re-executing without sharing a mutable clock.
 class Clock {
  public:
   virtual ~Clock() = default;
-  /// Current time in milliseconds since the clock's epoch.
-  virtual Timestamp Now() const = 0;
+
+  /// Current time in milliseconds since the clock's epoch (or the
+  /// calling thread's override, when one is active).
+  Timestamp Now() const {
+    return tls_override_active_ ? tls_override_ : NowImpl();
+  }
 
   /// Blocks the caller until `delta` ms of *this clock's* time have
   /// passed. Backoff waits (retry policies, breaker cooldowns) go
@@ -40,12 +48,46 @@ class Clock {
       std::this_thread::sleep_for(std::chrono::milliseconds(delta));
     }
   }
+
+ protected:
+  /// The underlying time source.
+  virtual Timestamp NowImpl() const = 0;
+
+ private:
+  friend class ScopedTimeOverride;
+  inline static thread_local bool tls_override_active_ = false;
+  inline static thread_local Timestamp tls_override_ = 0;
+};
+
+/// Pins Clock::Now() to a fixed timestamp for the current thread while
+/// in scope. The override applies to *every* clock the thread consults
+/// (there is one logical time per replayed record, regardless of which
+/// Clock object a code path happens to hold).
+class ScopedTimeOverride {
+ public:
+  explicit ScopedTimeOverride(Timestamp t)
+      : prev_active_(Clock::tls_override_active_),
+        prev_value_(Clock::tls_override_) {
+    Clock::tls_override_active_ = true;
+    Clock::tls_override_ = t;
+  }
+  ~ScopedTimeOverride() {
+    Clock::tls_override_active_ = prev_active_;
+    Clock::tls_override_ = prev_value_;
+  }
+
+  ScopedTimeOverride(const ScopedTimeOverride&) = delete;
+  ScopedTimeOverride& operator=(const ScopedTimeOverride&) = delete;
+
+ private:
+  bool prev_active_;
+  Timestamp prev_value_;
 };
 
 /// Wall-clock backed implementation (steady_clock; monotone).
 class SystemClock : public Clock {
- public:
-  Timestamp Now() const override {
+ protected:
+  Timestamp NowImpl() const override {
     return std::chrono::duration_cast<std::chrono::milliseconds>(
                std::chrono::steady_clock::now().time_since_epoch())
         .count();
@@ -56,10 +98,6 @@ class SystemClock : public Clock {
 class SimulatedClock : public Clock {
  public:
   explicit SimulatedClock(Timestamp start = 0) : now_(start) {}
-
-  Timestamp Now() const override {
-    return now_.load(std::memory_order_relaxed);
-  }
 
   /// Simulated sleep: time jumps forward immediately, so retry backoff
   /// under a SimulatedClock costs zero wall-clock time while every
@@ -78,6 +116,11 @@ class SimulatedClock : public Clock {
     while (t > cur &&
            !now_.compare_exchange_weak(cur, t, std::memory_order_relaxed)) {
     }
+  }
+
+ protected:
+  Timestamp NowImpl() const override {
+    return now_.load(std::memory_order_relaxed);
   }
 
  private:

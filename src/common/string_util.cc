@@ -90,4 +90,28 @@ std::string XmlEscape(std::string_view s) {
   return out;
 }
 
+void EncodeField(std::string* out, std::string_view field) {
+  out->append(std::to_string(field.size()));
+  out->push_back(':');
+  out->append(field);
+}
+
+Result<std::string> DecodeField(std::string_view* cursor) {
+  size_t colon = cursor->find(':');
+  if (colon == std::string_view::npos) {
+    return Status::InvalidArgument("field has no length prefix");
+  }
+  Result<int64_t> length = ParseInt64(cursor->substr(0, colon));
+  if (!length.ok() || *length < 0) {
+    return Status::InvalidArgument("bad field length prefix");
+  }
+  size_t body = colon + 1;
+  if (cursor->size() - body < static_cast<size_t>(*length)) {
+    return Status::InvalidArgument("field truncated");
+  }
+  std::string value(cursor->substr(body, static_cast<size_t>(*length)));
+  cursor->remove_prefix(body + static_cast<size_t>(*length));
+  return value;
+}
+
 }  // namespace promises

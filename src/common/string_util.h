@@ -35,6 +35,15 @@ Result<double> ParseDouble(std::string_view s);
 /// Escapes &, <, >, ", ' for inclusion in XML text or attributes.
 std::string XmlEscape(std::string_view s);
 
+/// Appends `field` to `out` length-prefixed as `<len>:<bytes>`, so
+/// fields may contain any byte (delimiters, newlines). The checkpoint
+/// format and engine state blobs are built from these.
+void EncodeField(std::string* out, std::string_view field);
+
+/// Consumes one length-prefixed field from the front of `*cursor`,
+/// advancing it past the field. Fails on malformed input.
+Result<std::string> DecodeField(std::string_view* cursor);
+
 }  // namespace promises
 
 #endif  // PROMISES_COMMON_STRING_UTIL_H_

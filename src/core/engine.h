@@ -130,6 +130,23 @@ class ResourceEngine {
     return Status::Unimplemented("engine has no count headroom");
   }
 
+  /// Opaque serialization of engine-internal state that is NOT
+  /// derivable from the promise table + resource manager: escrow
+  /// draw-down ledgers, instance assignments, matcher state.
+  /// Checkpoints store the blob per class; RestoreState reinstalls it
+  /// into a fresh engine after the table and resource manager have
+  /// been restored. The default covers stateless engines: empty blob
+  /// out, only an empty blob accepted back.
+  virtual std::string SerializeState() const { return std::string(); }
+  virtual Status RestoreState(const std::string& blob) {
+    if (!blob.empty()) {
+      return Status::InvalidArgument(
+          "engine for '" + resource_class() +
+          "' holds no internal state but the checkpoint carries some");
+    }
+    return Status::OK();
+  }
+
   /// Records that the holder of `id` consumed `amount` units of this
   /// class under `pred` (quantity predicates only). Escrow-style
   /// engines draw the consumption down from the reservation so that a

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "common/string_util.h"
 #include "predicate/evaluator.h"
 
 namespace promises {
@@ -172,6 +173,53 @@ Result<int64_t> FederatedEngine::CountHeadroom(Transaction* txn,
     }
   }
   return headroom;
+}
+
+std::string FederatedEngine::SerializeState() const {
+  std::string out;
+  EncodeField(&out, "fed1");
+  EncodeField(&out, std::to_string(assignments_.size()));
+  for (const auto& [key, assignments] : assignments_) {
+    EncodeField(&out, std::to_string(key.first.value()));
+    EncodeField(&out, key.second);
+    EncodeField(&out, std::to_string(assignments.size()));
+    for (const Assignment& a : assignments) {
+      EncodeField(&out, a.member);
+      EncodeField(&out, a.instance);
+    }
+  }
+  return out;
+}
+
+Status FederatedEngine::RestoreState(const std::string& blob) {
+  std::string_view cursor(blob);
+  auto next = [&cursor]() -> Result<int64_t> {
+    PROMISES_ASSIGN_OR_RETURN(std::string field, DecodeField(&cursor));
+    return ParseInt64(field);
+  };
+  PROMISES_ASSIGN_OR_RETURN(std::string tag, DecodeField(&cursor));
+  if (tag != "fed1") {
+    return Status::InvalidArgument("federated engine '" + cls_ +
+                                   "': unknown state tag '" + tag + "'");
+  }
+  PROMISES_ASSIGN_OR_RETURN(int64_t entries, next());
+  std::map<AssignKey, std::vector<Assignment>> assignments;
+  for (int64_t i = 0; i < entries; ++i) {
+    PROMISES_ASSIGN_OR_RETURN(int64_t id, next());
+    PROMISES_ASSIGN_OR_RETURN(std::string pred, DecodeField(&cursor));
+    PROMISES_ASSIGN_OR_RETURN(int64_t count, next());
+    std::vector<Assignment> list;
+    for (int64_t j = 0; j < count; ++j) {
+      Assignment a;
+      PROMISES_ASSIGN_OR_RETURN(a.member, DecodeField(&cursor));
+      PROMISES_ASSIGN_OR_RETURN(a.instance, DecodeField(&cursor));
+      list.push_back(std::move(a));
+    }
+    assignments[{PromiseId(static_cast<uint64_t>(id)), std::move(pred)}] =
+        std::move(list);
+  }
+  assignments_ = std::move(assignments);
+  return Status::OK();
 }
 
 }  // namespace promises

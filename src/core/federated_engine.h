@@ -55,6 +55,8 @@ class FederatedEngine : public ResourceEngine {
                                    ResourceManager* rm) override;
   Result<int64_t> CountHeadroom(Transaction* txn, Timestamp now,
                                 const Predicate& pred) override;
+  std::string SerializeState() const override;
+  Status RestoreState(const std::string& blob) override;
 
   const std::vector<std::string>& members() const { return members_; }
 

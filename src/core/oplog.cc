@@ -1,5 +1,6 @@
 #include "core/oplog.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -18,6 +19,15 @@ struct OplogMetrics {
   Counter* records_total;
   Counter* groups_total;
   Counter* append_errors_total;
+  Counter* truncations_total;
+  Counter* compacted_bytes_total;
+  Counter* scan_discarded_bytes_total;
+  // The registry has no label support: one counter per stop reason,
+  // reason encoded in the name (oplog_scan_stopped_total{reason}).
+  Counter* scan_stopped_eof;
+  Counter* scan_stopped_torn_tail;
+  Counter* scan_stopped_bad_record;
+  Counter* scan_stopped_sequence_regression;
   Gauge* queue_depth;
   Histogram* group_size;
   Histogram* commit_wait_us;
@@ -30,6 +40,14 @@ OplogMetrics& Metrics() {
         reg.GetCounter("promises_oplog_records_total"),
         reg.GetCounter("promises_oplog_groups_total"),
         reg.GetCounter("promises_oplog_append_errors_total"),
+        reg.GetCounter("promises_oplog_truncations_total"),
+        reg.GetCounter("promises_oplog_compacted_bytes_total"),
+        reg.GetCounter("promises_oplog_scan_discarded_bytes_total"),
+        reg.GetCounter("promises_oplog_scan_stopped_total_eof"),
+        reg.GetCounter("promises_oplog_scan_stopped_total_torn_tail"),
+        reg.GetCounter("promises_oplog_scan_stopped_total_bad_record"),
+        reg.GetCounter(
+            "promises_oplog_scan_stopped_total_sequence_regression"),
         reg.GetGauge("promises_oplog_queue_depth"),
         reg.GetHistogram("promises_oplog_group_size",
                          {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}),
@@ -37,6 +55,17 @@ OplogMetrics& Metrics() {
     };
   }();
   return m;
+}
+
+Counter* StopReasonCounter(ScanStopReason reason) {
+  switch (reason) {
+    case ScanStopReason::kEndOfFile: return Metrics().scan_stopped_eof;
+    case ScanStopReason::kTornTail: return Metrics().scan_stopped_torn_tail;
+    case ScanStopReason::kBadRecord: return Metrics().scan_stopped_bad_record;
+    case ScanStopReason::kSequenceRegression:
+      return Metrics().scan_stopped_sequence_regression;
+  }
+  return Metrics().scan_stopped_eof;
 }
 
 int64_t SteadyNowUs() {
@@ -53,17 +82,12 @@ uint32_t FnvFold(uint32_t sum, std::string_view bytes) {
   return sum;
 }
 
-struct ScanResult {
-  bool exists = false;
-  size_t valid_bytes = 0;   // clean prefix: just past the last intact record
-  size_t total_bytes = 0;   // file size, for torn-tail detection
-  uint64_t last_sequence = 0;
-};
+enum class ParseStatus { kOk, kBadRecord, kSequenceRegression };
 
 // Parses one log line (either format) given the sequence of the
-// previous intact record. Returns false on any corruption.
-bool ParseLine(std::string_view line, uint64_t prev_sequence,
-               LogRecord* out) {
+// previous intact record.
+ParseStatus ParseLine(std::string_view line, uint64_t prev_sequence,
+                      LogRecord* out) {
   bool v2 = line.rfind("v2|", 0) == 0;
   if (v2) line.remove_prefix(3);
   size_t fields = v2 ? 5 : 3;  // separators before the payload
@@ -71,7 +95,7 @@ bool ParseLine(std::string_view line, uint64_t prev_sequence,
   size_t pos = 0;
   for (size_t i = 0; i < fields; ++i) {
     pos = line.find('|', pos);
-    if (pos == std::string_view::npos) return false;
+    if (pos == std::string_view::npos) return ParseStatus::kBadRecord;
     cuts[i] = pos++;
   }
   auto field = [&](size_t i) {
@@ -80,92 +104,259 @@ bool ParseLine(std::string_view line, uint64_t prev_sequence,
   };
   Result<int64_t> length = ParseInt64(field(0));
   Result<int64_t> checksum = ParseInt64(field(1));
-  if (!length.ok() || !checksum.ok()) return false;
+  if (!length.ok() || !checksum.ok()) return ParseStatus::kBadRecord;
   std::string_view payload = line.substr(cuts[fields - 1] + 1);
-  if (static_cast<int64_t>(payload.size()) != *length) return false;
+  if (static_cast<int64_t>(payload.size()) != *length) {
+    return ParseStatus::kBadRecord;
+  }
   std::string body(payload);
   if (v2) {
     Result<int64_t> sequence = ParseInt64(field(2));
     Result<int64_t> timestamp = ParseInt64(field(3));
     Result<int64_t> promise_id = ParseInt64(field(4));
-    if (!sequence.ok() || !timestamp.ok() || !promise_id.ok()) return false;
+    if (!sequence.ok() || !timestamp.ok() || !promise_id.ok()) {
+      return ParseStatus::kBadRecord;
+    }
     if (OperationLog::RecordChecksum(body.size(),
                                      static_cast<uint64_t>(*sequence),
                                      *timestamp,
                                      static_cast<uint64_t>(*promise_id),
                                      body) !=
         static_cast<uint32_t>(*checksum)) {
-      return false;
+      return ParseStatus::kBadRecord;
     }
     // Sequence regression means the tail was written against a state
     // recovery cannot have reached; treat it as corruption.
-    if (static_cast<uint64_t>(*sequence) <= prev_sequence) return false;
+    if (static_cast<uint64_t>(*sequence) <= prev_sequence) {
+      return ParseStatus::kSequenceRegression;
+    }
     out->sequence = static_cast<uint64_t>(*sequence);
     out->timestamp = *timestamp;
     out->promise_id = static_cast<uint64_t>(*promise_id);
   } else {
     Result<int64_t> timestamp = ParseInt64(field(2));
-    if (!timestamp.ok()) return false;
+    if (!timestamp.ok()) return ParseStatus::kBadRecord;
     if (OperationLog::Checksum(body) != static_cast<uint32_t>(*checksum)) {
-      return false;
+      return ParseStatus::kBadRecord;
     }
-    // v1 records predate explicit sequencing: number them by position.
+    // v1 records predate explicit sequencing: number them by position
+    // from the scan's sequence base (0 for a whole log, the marker
+    // LSN for a compacted tail).
     out->sequence = prev_sequence + 1;
     out->timestamp = *timestamp;
     out->promise_id = 0;
   }
   out->payload = std::move(body);
+  return ParseStatus::kOk;
+}
+
+// Compaction marker checksum: FNV over the three numeric fields.
+uint32_t MarkerChecksum(uint64_t lsn, Timestamp timestamp,
+                        uint64_t watermark) {
+  return OperationLog::Checksum(std::to_string(lsn) + "|" +
+                                std::to_string(timestamp) + "|" +
+                                std::to_string(watermark));
+}
+
+std::string EncodeMarker(uint64_t lsn, Timestamp timestamp,
+                         uint64_t watermark) {
+  return "trunc|" + std::to_string(lsn) + "|" + std::to_string(timestamp) +
+         "|" + std::to_string(watermark) + "|" +
+         std::to_string(MarkerChecksum(lsn, timestamp, watermark)) + "\n";
+}
+
+// Parses `trunc|<lsn>|<timestamp>|<watermark>|<checksum>`. Only valid
+// at file offset zero; anywhere else it is an ordinary bad record.
+bool ParseMarker(std::string_view line, uint64_t* lsn, Timestamp* timestamp,
+                 uint64_t* watermark) {
+  if (line.rfind("trunc|", 0) != 0) return false;
+  auto fields = Split(line.substr(6), '|');
+  if (fields.size() != 4) return false;
+  Result<int64_t> l = ParseInt64(fields[0]);
+  Result<int64_t> ts = ParseInt64(fields[1]);
+  Result<int64_t> wm = ParseInt64(fields[2]);
+  Result<int64_t> sum = ParseInt64(fields[3]);
+  if (!l.ok() || !ts.ok() || !wm.ok() || !sum.ok()) return false;
+  if (MarkerChecksum(static_cast<uint64_t>(*l), *ts,
+                     static_cast<uint64_t>(*wm)) !=
+      static_cast<uint32_t>(*sum)) {
+    return false;
+  }
+  *lsn = static_cast<uint64_t>(*l);
+  *timestamp = *ts;
+  *watermark = static_cast<uint64_t>(*wm);
   return true;
 }
 
-// Single streaming pass over the log file at `path`: intact records
-// are appended to `records` (when non-null) and the scan result
-// reports the clean-prefix length and last sequence. Missing file:
-// exists=false, zero records.
-ScanResult ScanLog(const std::string& path,
-                   std::vector<LogRecord>* records) {
-  ScanResult result;
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return result;
-  result.exists = true;
+// fsync the file at `path` (data + metadata: a truncation changes the
+// size) and then its directory, so the change survives a crash.
+Status SyncFileAndDir(const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) {
+    return Status::Unavailable("cannot open '" + path +
+                               "' for fsync: " + std::strerror(errno));
+  }
+  if (::fsync(fd) != 0) {
+    Status st = Status::Unavailable("fsync('" + path +
+                                    "') failed: " + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  ::close(fd);
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd < 0) {
+    return Status::Unavailable("cannot open directory '" + dir +
+                               "' for fsync: " + std::strerror(errno));
+  }
+  if (::fsync(dfd) != 0) {
+    Status st = Status::Unavailable("fsync('" + dir +
+                                    "') failed: " + std::strerror(errno));
+    ::close(dfd);
+    return st;
+  }
+  ::close(dfd);
+  return Status::OK();
+}
+
+std::string ReadWholeFile(std::FILE* f) {
   std::string contents;
   char buf[4096];
   size_t n;
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
     contents.append(buf, n);
   }
+  return contents;
+}
+
+// Single streaming pass over the log file at `path`: intact records
+// are appended to `records` (when non-null) and the stats report the
+// clean-prefix length, stop reason and discarded bytes. Missing file:
+// exists=false, zero records. A compaction marker at offset zero
+// seeds the sequence base / timestamp / promise-id watermark.
+LogScanStats ScanLog(const std::string& path,
+                     std::vector<LogRecord>* records) {
+  LogScanStats stats;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return stats;
+  stats.exists = true;
+  std::string contents = ReadWholeFile(f);
   std::fclose(f);
-  result.total_bytes = contents.size();
+  stats.total_bytes = contents.size();
 
   size_t pos = 0;
+  bool at_offset_zero = true;
   while (pos < contents.size()) {
     size_t eol = contents.find('\n', pos);
-    if (eol == std::string::npos) break;  // torn tail: discard
+    if (eol == std::string::npos) {
+      stats.stop_reason = ScanStopReason::kTornTail;
+      break;
+    }
     std::string_view line(contents.data() + pos, eol - pos);
+    if (at_offset_zero && line.rfind("trunc|", 0) == 0) {
+      uint64_t lsn = 0, watermark = 0;
+      Timestamp timestamp = 0;
+      if (!ParseMarker(line, &lsn, &timestamp, &watermark)) {
+        stats.stop_reason = ScanStopReason::kBadRecord;
+        break;
+      }
+      stats.base_sequence = lsn;
+      stats.last_sequence = lsn;
+      stats.last_timestamp = timestamp;
+      stats.max_promise_id = watermark;
+      at_offset_zero = false;
+      pos = eol + 1;
+      stats.valid_bytes = pos;
+      continue;
+    }
+    at_offset_zero = false;
     LogRecord record;
-    if (!ParseLine(line, result.last_sequence, &record)) break;
-    result.last_sequence = record.sequence;
+    ParseStatus parsed = ParseLine(line, stats.last_sequence, &record);
+    if (parsed != ParseStatus::kOk) {
+      stats.stop_reason = parsed == ParseStatus::kSequenceRegression
+                              ? ScanStopReason::kSequenceRegression
+                              : ScanStopReason::kBadRecord;
+      break;
+    }
+    stats.last_sequence = record.sequence;
+    stats.last_timestamp = std::max(stats.last_timestamp, record.timestamp);
+    stats.max_promise_id = std::max(stats.max_promise_id, record.promise_id);
     if (records != nullptr) records->push_back(std::move(record));
     pos = eol + 1;
-    result.valid_bytes = pos;
+    stats.valid_bytes = pos;
   }
-  return result;
+  stats.discarded_bytes = stats.total_bytes - stats.valid_bytes;
+
+  // Is the stop a torn tail or mid-log corruption? A record that
+  // regressed the sequence is itself intact evidence; after a bad
+  // record, look for any later checksum-valid line (sequence
+  // continuity deliberately ignored: intact bytes past the stop point
+  // are the signal, whatever their numbering).
+  if (stats.stop_reason == ScanStopReason::kSequenceRegression) {
+    stats.valid_beyond_stop = true;
+  } else if (stats.stop_reason == ScanStopReason::kBadRecord) {
+    size_t scan_pos = contents.find('\n', stats.valid_bytes);
+    while (scan_pos != std::string::npos && !stats.valid_beyond_stop) {
+      ++scan_pos;
+      size_t eol = contents.find('\n', scan_pos);
+      if (eol == std::string::npos) break;
+      std::string_view line(contents.data() + scan_pos, eol - scan_pos);
+      LogRecord ignored;
+      if (ParseLine(line, 0, &ignored) == ParseStatus::kOk) {
+        stats.valid_beyond_stop = true;
+      }
+      scan_pos = eol;
+    }
+  }
+
+  StopReasonCounter(stats.stop_reason)->Increment();
+  if (stats.discarded_bytes > 0) {
+    Metrics().scan_discarded_bytes_total->Increment(
+        static_cast<int64_t>(stats.discarded_bytes));
+  }
+  return stats;
 }
 
 }  // namespace
 
+std::string_view ScanStopReasonToString(ScanStopReason reason) {
+  switch (reason) {
+    case ScanStopReason::kEndOfFile: return "eof";
+    case ScanStopReason::kTornTail: return "torn_tail";
+    case ScanStopReason::kBadRecord: return "bad_record";
+    case ScanStopReason::kSequenceRegression: return "sequence_regression";
+  }
+  return "unknown";
+}
+
 OperationLog::~OperationLog() { Close(); }
 
-Status OperationLog::Open(const std::string& path) {
+Status OperationLog::Open(const std::string& path,
+                          bool allow_mid_log_corruption) {
   Close();
   // Truncate any torn tail before appending: a record written after a
   // partial line would be unreachable to recovery (the scan stops at
   // the tear), silently losing committed operations.
-  ScanResult scan = ScanLog(path, nullptr);
-  if (scan.exists && scan.total_bytes > scan.valid_bytes &&
-      ::truncate(path.c_str(), static_cast<off_t>(scan.valid_bytes)) != 0) {
-    return Status::Unavailable("cannot truncate torn log '" + path +
-                               "': " + std::strerror(errno));
+  LogScanStats scan = ScanLog(path, nullptr);
+  if (scan.exists && scan.valid_beyond_stop && !allow_mid_log_corruption) {
+    return Status::DataLoss(
+        "log '" + path + "' scan stopped (" +
+        std::string(ScanStopReasonToString(scan.stop_reason)) + ", " +
+        std::to_string(scan.discarded_bytes) +
+        " bytes discarded) with checksum-valid records beyond the stop "
+        "point: mid-log corruption, refusing to truncate over it");
+  }
+  if (scan.exists && scan.total_bytes > scan.valid_bytes) {
+    if (::truncate(path.c_str(), static_cast<off_t>(scan.valid_bytes)) != 0) {
+      return Status::Unavailable("cannot truncate torn log '" + path +
+                                 "': " + std::strerror(errno));
+    }
+    // Make the truncation itself durable: without the fsync a crash
+    // after truncate-then-append can resurrect the discarded torn
+    // bytes under the new records and corrupt the next recovery.
+    PROMISES_RETURN_IF_ERROR(SyncFileAndDir(path));
   }
   std::lock_guard<std::mutex> lock(mu_);
   file_ = std::fopen(path.c_str(), "ab");
@@ -173,8 +364,11 @@ Status OperationLog::Open(const std::string& path) {
     return Status::Unavailable("cannot open log '" + path +
                                "': " + std::strerror(errno));
   }
+  path_ = path;
   next_sequence_ = scan.last_sequence + 1;
   durable_sequence_ = scan.last_sequence;
+  promise_id_watermark_ = scan.max_promise_id;
+  last_timestamp_ = scan.last_timestamp;
   failed_ = Status::OK();
   return Status::OK();
 }
@@ -298,6 +492,8 @@ Result<uint64_t> OperationLog::AppendSyncLocked(Timestamp timestamp,
                                                 uint64_t promise_id,
                                                 const std::string& payload) {
   uint64_t sequence = next_sequence_++;
+  last_timestamp_ = std::max(last_timestamp_, timestamp);
+  promise_id_watermark_ = std::max(promise_id_watermark_, promise_id);
   Status st = WriteBuffer(EncodeRecord(sequence, timestamp, promise_id,
                                        payload),
                           config_.use_fdatasync);
@@ -328,6 +524,8 @@ Result<uint64_t> OperationLog::EnqueueLocked(
     return AppendSyncLocked(timestamp, promise_id, payload);
   }
   uint64_t sequence = next_sequence_++;
+  last_timestamp_ = std::max(last_timestamp_, timestamp);
+  promise_id_watermark_ = std::max(promise_id_watermark_, promise_id);
   queue_.push_back(Pending{sequence,
                            EncodeRecord(sequence, timestamp, promise_id,
                                         payload),
@@ -404,6 +602,127 @@ Status OperationLog::WaitDurable(uint64_t sequence) {
                              std::to_string(sequence) + " became durable");
 }
 
+Result<LogCut> OperationLog::CutPoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("operation log is not open");
+  }
+  if (!failed_.ok()) return failed_;
+  LogCut cut;
+  cut.sequence = next_sequence_ - 1;
+  cut.last_timestamp = last_timestamp_;
+  cut.promise_id_watermark = promise_id_watermark_;
+  return cut;
+}
+
+Status OperationLog::TruncateBefore(uint64_t lsn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("operation log is not open");
+  }
+  if (!failed_.ok()) return failed_;
+  if (lsn > durable_sequence_) {
+    return Status::FailedPrecondition(
+        "cannot compact before LSN " + std::to_string(lsn) +
+        ": durable prefix ends at " + std::to_string(durable_sequence_));
+  }
+  // Quiesce the writer's unlocked IO window. Queued records are
+  // untouched — they all have sequence > durable_sequence_ >= lsn.
+  durable_cv_.wait(lock, [this] { return !io_in_flight_; });
+  if (!failed_.ok()) return failed_;
+
+  std::FILE* in = std::fopen(path_.c_str(), "rb");
+  if (in == nullptr) {
+    return Status::Unavailable("cannot reread log '" + path_ +
+                               "': " + std::strerror(errno));
+  }
+  std::string contents = ReadWholeFile(in);
+  std::fclose(in);
+
+  // Walk the records to find the tail offset and the marker fields:
+  // the marker inherits the max timestamp and promise-id watermark of
+  // everything it swallows (plus a previous marker's).
+  uint64_t base = 0, watermark = 0;
+  Timestamp base_ts = 0;
+  size_t pos = 0;
+  size_t eol = contents.find('\n');
+  if (eol != std::string::npos) {
+    std::string_view first(contents.data(), eol);
+    if (ParseMarker(first, &base, &base_ts, &watermark)) pos = eol + 1;
+  }
+  if (lsn <= base) return Status::OK();  // already compacted past lsn
+  uint64_t prev_sequence = base;
+  Timestamp marker_ts = base_ts;
+  size_t tail_offset = contents.size();
+  while (pos < contents.size()) {
+    eol = contents.find('\n', pos);
+    if (eol == std::string::npos) {
+      return Status::Internal("open log has a torn tail during compaction");
+    }
+    std::string_view line(contents.data() + pos, eol - pos);
+    LogRecord record;
+    if (ParseLine(line, prev_sequence, &record) != ParseStatus::kOk) {
+      return Status::Internal("open log has a bad record during compaction");
+    }
+    if (record.sequence > lsn) {
+      tail_offset = pos;
+      break;
+    }
+    prev_sequence = record.sequence;
+    marker_ts = std::max(marker_ts, record.timestamp);
+    watermark = std::max(watermark, record.promise_id);
+    pos = eol + 1;
+    tail_offset = pos;
+  }
+
+  const std::string tmp_path = path_ + ".compact.tmp";
+  std::FILE* out = std::fopen(tmp_path.c_str(), "wb");
+  if (out == nullptr) {
+    return Status::Unavailable("cannot create '" + tmp_path +
+                               "': " + std::strerror(errno));
+  }
+  std::string marker = EncodeMarker(lsn, marker_ts, watermark);
+  bool wrote =
+      std::fwrite(marker.data(), 1, marker.size(), out) == marker.size() &&
+      (tail_offset >= contents.size() ||
+       std::fwrite(contents.data() + tail_offset, 1,
+                   contents.size() - tail_offset,
+                   out) == contents.size() - tail_offset);
+  if (!wrote || std::fflush(out) != 0 || ::fsync(fileno(out)) != 0) {
+    std::fclose(out);
+    std::remove(tmp_path.c_str());
+    return Status::Unavailable("cannot write compacted log '" + tmp_path +
+                               "': " + std::strerror(errno));
+  }
+  std::fclose(out);
+  if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::Unavailable("cannot install compacted log: " +
+                               std::string(std::strerror(errno)));
+  }
+  Status sync_st = SyncFileAndDir(path_);
+  if (!sync_st.ok()) {
+    // The rename already landed; appending to the old inode would
+    // silently lose records. Poison until reopened.
+    failed_ = sync_st;
+    return failed_;
+  }
+
+  // Swap the append handle onto the new inode. Sequencing state is
+  // untouched: the cut names the same LSNs before and after.
+  std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    failed_ = Status::Unavailable("cannot reopen compacted log '" + path_ +
+                                  "': " + std::strerror(errno));
+    return failed_;
+  }
+  Metrics().truncations_total->Increment();
+  Metrics().compacted_bytes_total->Increment(
+      static_cast<int64_t>(tail_offset));
+  return Status::OK();
+}
+
 void OperationLog::WriterLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
@@ -452,9 +771,11 @@ void OperationLog::WriterLoop() {
       queue_.pop_front();
     }
     Metrics().queue_depth->Set(static_cast<int64_t>(queue_.size()));
+    io_in_flight_ = true;
     lock.unlock();
     Status st = WriteBuffer(buf, config_.use_fdatasync);
     lock.lock();
+    io_in_flight_ = false;
     if (st.ok()) {
       durable_sequence_ = last_sequence;
       Metrics().records_total->Increment(n);
@@ -475,9 +796,29 @@ void OperationLog::WriterLoop() {
 Result<std::vector<LogRecord>> OperationLog::ReadAll(
     const std::string& path) {
   std::vector<LogRecord> records;
-  ScanResult scan = ScanLog(path, &records);
+  LogScanStats scan = ScanLog(path, &records);
   if (!scan.exists) {
     return Status::NotFound("no log at '" + path + "'");
+  }
+  return records;
+}
+
+Result<std::vector<LogRecord>> OperationLog::ReadForRecovery(
+    const std::string& path, LogScanStats* stats,
+    bool allow_mid_log_corruption) {
+  std::vector<LogRecord> records;
+  LogScanStats scan = ScanLog(path, &records);
+  if (stats != nullptr) *stats = scan;
+  if (!scan.exists) {
+    return Status::NotFound("no log at '" + path + "'");
+  }
+  if (scan.valid_beyond_stop && !allow_mid_log_corruption) {
+    return Status::DataLoss(
+        "log '" + path + "' scan stopped (" +
+        std::string(ScanStopReasonToString(scan.stop_reason)) + ", " +
+        std::to_string(scan.discarded_bytes) +
+        " bytes discarded) with checksum-valid records beyond the stop "
+        "point: refusing to recover past mid-log corruption");
   }
   return records;
 }

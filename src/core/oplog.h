@@ -30,6 +30,15 @@
 // <payload>, so logs written before group commit still replay. Torn
 // tails (partial final line, checksum mismatch, sequence regression)
 // are truncated on open, mimicking WAL recovery semantics.
+//
+// Compaction: once a durable checkpoint covers the prefix up to LSN C,
+// TruncateBefore(C) atomically rewrites the file as
+//   trunc|<lsn>|<timestamp>|<watermark>|<checksum>
+// followed by the surviving tail records byte-for-byte. The marker is
+// honored only at file offset zero; it seeds the scanner's sequence
+// base (so v1 tail records renumber from C, not 0), the last-record
+// timestamp and the promise-id watermark, making a compacted log
+// self-describing.
 
 #ifndef PROMISES_CORE_OPLOG_H_
 #define PROMISES_CORE_OPLOG_H_
@@ -61,6 +70,52 @@ struct LogRecord {
   /// match the original run even when allocation order differed from
   /// log order under striped concurrency.
   uint64_t promise_id = 0;
+};
+
+/// Why a log scan stopped where it did. Anything but kEndOfFile means
+/// bytes were discarded; kTornTail (a partial final line) is the only
+/// reason a clean crash can produce. A full line that fails checksum
+/// or regresses the sequence is suspicious — mid-log corruption looks
+/// exactly like this — so recovery paths refuse such a scan when any
+/// checksum-valid record exists beyond the stop point, unless
+/// explicitly overridden.
+enum class ScanStopReason {
+  kEndOfFile,
+  kTornTail,
+  kBadRecord,
+  kSequenceRegression,
+};
+
+std::string_view ScanStopReasonToString(ScanStopReason reason);
+
+/// Everything a scan learned about the physical log.
+struct LogScanStats {
+  bool exists = false;
+  /// Sequence base from a compaction marker (0 when none): records
+  /// before and at this LSN live in a checkpoint, not in this file.
+  uint64_t base_sequence = 0;
+  uint64_t last_sequence = 0;
+  Timestamp last_timestamp = 0;
+  /// Max promise id carried by any record (or the marker).
+  uint64_t max_promise_id = 0;
+  size_t valid_bytes = 0;      ///< clean prefix length
+  size_t total_bytes = 0;      ///< physical file size
+  size_t discarded_bytes = 0;  ///< total_bytes - valid_bytes
+  ScanStopReason stop_reason = ScanStopReason::kEndOfFile;
+  /// True when a checksum-valid record exists beyond the stop point:
+  /// the stop is mid-log corruption, not a torn tail.
+  bool valid_beyond_stop = false;
+};
+
+/// A named consistent cut: the last assigned LSN plus the promise-id
+/// watermark and record timestamp observed at that same instant (all
+/// read atomically under the log's sequencing mutex). Because LSNs are
+/// assigned while operations still hold their stripe locks, "state of
+/// every operation <= sequence" is a well-defined world.
+struct LogCut {
+  uint64_t sequence = 0;
+  Timestamp last_timestamp = 0;
+  uint64_t promise_id_watermark = 0;
 };
 
 /// How Append/WaitDurable trade latency for durability.
@@ -103,10 +158,14 @@ class OperationLog {
 
   /// Opens (creating if needed) the log at `path` for appending. An
   /// existing log is scanned first and any torn tail (partial final
-  /// record from a crash mid-append) is physically truncated, so new
-  /// appends always extend a clean prefix. Sequence numbering resumes
-  /// past the last intact record.
-  Status Open(const std::string& path);
+  /// record from a crash mid-append) is physically truncated (and the
+  /// truncation fsync'd, so a later crash cannot resurrect the torn
+  /// bytes), so new appends always extend a clean prefix. Sequence
+  /// numbering resumes past the last intact record. When the scan
+  /// smells mid-log corruption (a checksum-valid record beyond the
+  /// stop point) Open refuses with kDataLoss rather than destroy the
+  /// evidence, unless `allow_mid_log_corruption` is set.
+  Status Open(const std::string& path, bool allow_mid_log_corruption = false);
   void Close();
   bool IsOpen() const;
 
@@ -151,10 +210,32 @@ class OperationLog {
     torn_write_bytes_.store(bytes, std::memory_order_release);
   }
 
+  /// Names the current consistent cut (see LogCut). Fails when the
+  /// log is closed or poisoned by a write failure.
+  Result<LogCut> CutPoint() const;
+
+  /// Compacts the prefix: atomically rewrites the file as a
+  /// compaction marker for `lsn` followed by the records with
+  /// sequence > lsn, preserved byte-for-byte. Requires lsn to be
+  /// durable already (the caller checkpoints, waits for durability,
+  /// then truncates). Quiesces the group-commit writer's in-flight IO
+  /// but never loses queued records: sequencing state is untouched.
+  Status TruncateBefore(uint64_t lsn);
+
   /// Reads every intact record of the log at `path` in one streaming
   /// pass. A corrupt or torn record ends the scan (records after it
-  /// are discarded), matching crash-recovery semantics.
+  /// are discarded), matching crash-recovery semantics. Lenient: use
+  /// ReadForRecovery when discarded bytes must be accounted for.
   static Result<std::vector<LogRecord>> ReadAll(const std::string& path);
+
+  /// Recovery-grade read: like ReadAll but reports scan statistics
+  /// and refuses (kDataLoss) a scan that stopped with checksum-valid
+  /// records beyond the stop point — mid-log corruption that a plain
+  /// prefix scan would silently drop — unless
+  /// `allow_mid_log_corruption` is set. `stats` may be null.
+  static Result<std::vector<LogRecord>> ReadForRecovery(
+      const std::string& path, LogScanStats* stats,
+      bool allow_mid_log_corruption = false);
 
   /// v1 checksum: FNV-1a over the payload only. Kept for reading old
   /// logs and for tests that craft v1 records.
@@ -199,14 +280,22 @@ class OperationLog {
   std::condition_variable space_cv_;    // committers <- writer: queue drained
   std::condition_variable durable_cv_;  // committers <- writer: group flushed
   std::FILE* file_ = nullptr;
+  std::string path_;
   GroupCommitConfig config_;
   Clock* clock_ = nullptr;
   bool writer_running_ = false;
   bool stopping_ = false;
+  // True while the writer thread runs WriteBuffer outside mu_;
+  // TruncateBefore waits for it to clear before swapping the file.
+  bool io_in_flight_ = false;
   std::thread writer_;
   std::deque<Pending> queue_;
   uint64_t next_sequence_ = 1;
   uint64_t durable_sequence_ = 0;
+  // Cut-point trackers, updated at the sequencing points and seeded
+  // by Open's scan (or the compaction marker).
+  uint64_t promise_id_watermark_ = 0;
+  Timestamp last_timestamp_ = 0;
   // First write failure; poisons all later appends/waits until Open.
   Status failed_ = Status::OK();
   // One-shot torn-write injection: npos = disabled.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/string_util.h"
+
 namespace promises {
 
 Status ResourcePoolEngine::Reserve(Transaction* txn,
@@ -99,6 +101,45 @@ Result<std::string> ResourcePoolEngine::ResolveInstance(
   (void)pred;
   (void)already_taken;
   return Status::Unimplemented("pool resources have no instances");
+}
+
+std::string ResourcePoolEngine::SerializeState() const {
+  std::string out;
+  EncodeField(&out, "pool1");
+  EncodeField(&out, std::to_string(reserved_));
+  EncodeField(&out, std::to_string(remaining_.size()));
+  for (const auto& [key, remaining] : remaining_) {
+    EncodeField(&out, std::to_string(key.first.value()));
+    EncodeField(&out, key.second);
+    EncodeField(&out, std::to_string(remaining));
+  }
+  return out;
+}
+
+Status ResourcePoolEngine::RestoreState(const std::string& blob) {
+  std::string_view cursor(blob);
+  auto next = [&cursor]() -> Result<int64_t> {
+    PROMISES_ASSIGN_OR_RETURN(std::string field, DecodeField(&cursor));
+    return ParseInt64(field);
+  };
+  PROMISES_ASSIGN_OR_RETURN(std::string tag, DecodeField(&cursor));
+  if (tag != "pool1") {
+    return Status::InvalidArgument("pool engine '" + cls_ +
+                                   "': unknown state tag '" + tag + "'");
+  }
+  PROMISES_ASSIGN_OR_RETURN(int64_t reserved, next());
+  PROMISES_ASSIGN_OR_RETURN(int64_t entries, next());
+  std::map<LedgerKey, int64_t> remaining;
+  for (int64_t i = 0; i < entries; ++i) {
+    PROMISES_ASSIGN_OR_RETURN(int64_t id, next());
+    PROMISES_ASSIGN_OR_RETURN(std::string pred, DecodeField(&cursor));
+    PROMISES_ASSIGN_OR_RETURN(int64_t units, next());
+    remaining[{PromiseId(static_cast<uint64_t>(id)), std::move(pred)}] =
+        units;
+  }
+  reserved_ = reserved;
+  remaining_ = std::move(remaining);
+  return Status::OK();
 }
 
 }  // namespace promises

@@ -44,6 +44,8 @@ class ResourcePoolEngine : public ResourceEngine {
   Status NoteConsumed(Transaction* txn, PromiseId id, const Predicate& pred,
                       int64_t amount) override;
   Result<int64_t> QuantityHeadroom(Transaction* txn, Timestamp now) override;
+  std::string SerializeState() const override;
+  Status RestoreState(const std::string& blob) override;
 
   /// Units currently moved to the 'allocated' side.
   int64_t reserved() const { return reserved_; }

@@ -1,6 +1,7 @@
 #include "core/promise_manager.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "common/string_util.h"
 #include "obs/metrics.h"
@@ -14,6 +15,18 @@
 #include "predicate/evaluator.h"
 
 namespace promises {
+
+namespace {
+
+// Parallel tail replay re-executes records on worker threads; each
+// record must consume the exact promise id it consumed originally even
+// though the generator would hand ids out in worker-arrival order.
+// A worker pins the record's id here before calling Handle; GrantLocked
+// consumes it instead of the generator. Thread-local, so concurrent
+// workers cannot steal each other's ids.
+thread_local uint64_t tls_forced_promise_id = 0;
+
+}  // namespace
 
 PromiseManager::PromiseManager(PromiseManagerConfig config, Clock* clock,
                                ResourceManager* rm, TransactionManager* tm,
@@ -114,6 +127,7 @@ Result<std::unique_ptr<Transaction>> PromiseManager::BeginOperation(
   if (whole_manager) {
     PROMISES_RETURN_IF_ERROR(txn->Lock(RootKey(), LockMode::kExclusive));
     scope->whole_manager = true;
+    CaptureScopeClasses(*scope);
     return txn;
   }
   PlanClosure(&classes);
@@ -125,6 +139,10 @@ Result<std::unique_ptr<Transaction>> PromiseManager::BeginOperation(
         txn->Lock(StripeKey(cls), LockMode::kExclusive));
   }
   scope->classes = std::move(classes);
+  // Copy-on-read for an in-flight fuzzy capture: any still-pending
+  // class in this scope is snapshotted now, before the operation can
+  // mutate it (see CaptureCheckpoint).
+  CaptureScopeClasses(*scope);
   return txn;
 }
 
@@ -137,6 +155,7 @@ Status PromiseManager::EnsureClassLocked(Transaction* txn, LockScope* scope,
     if (scope->Covers(c)) continue;
     PROMISES_RETURN_IF_ERROR(txn->Lock(StripeKey(c), LockMode::kExclusive));
     scope->classes.insert(c);
+    CaptureClassIfPending(c);
   }
   return Status::OK();
 }
@@ -593,7 +612,12 @@ Result<GrantOutcome> PromiseManager::GrantLocked(
   DurationMs granted_duration = std::min(requested, config_.max_duration_ms);
 
   PromiseRecord record;
-  record.id = promise_ids_.Next();
+  if (tls_forced_promise_id != 0) {
+    record.id = PromiseId(tls_forced_promise_id);
+    tls_forced_promise_id = 0;
+  } else {
+    record.id = promise_ids_.Next();
+  }
   consumed_id = record.id;
   record.owner = client;
   record.predicates = std::move(predicates);
@@ -669,6 +693,24 @@ Status PromiseManager::VerifyTouchedLocked(Transaction* txn,
     touched.insert(std::move(cls));
   }
   ExpandClasses(&touched);
+  // A write that reached the resource manager without its stripe held
+  // bypassed the copy-on-read hook: if the class is still pending in an
+  // active capture, its at-cut state is unrecoverable — poison the
+  // capture (CaptureCheckpoint retries with a fresh cut). Must happen
+  // before EnsureClassLocked below would "capture" the mutated state.
+  if (capture_active_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lk(capture_mu_);
+    if (capture_.active && !capture_.poisoned) {
+      for (const std::string& cls : touched) {
+        if (!scope->Covers(cls) && capture_.pending.count(cls) > 0) {
+          capture_.poisoned = true;
+          capture_.poison_reason =
+              "raw resource-manager write to uncaptured class '" + cls + "'";
+          break;
+        }
+      }
+    }
+  }
   Timestamp now = clock_->Now();
   for (const std::string& cls : touched) {
     PROMISES_RETURN_IF_ERROR(EnsureClassLocked(txn, scope, cls));
@@ -974,6 +1016,16 @@ Status PromiseManager::AttachLog(OperationLog* log) {
           "cannot attach a log while requests are queued as pending");
     }
   }
+  {
+    // The capture's cut LSN belongs to the log that was attached when
+    // it was chosen; swapping logs mid-capture would splice two
+    // sequence spaces.
+    std::lock_guard<std::mutex> lk(capture_mu_);
+    if (capture_.active) {
+      return Status::FailedPrecondition(
+          "cannot attach a log while a checkpoint capture is active");
+    }
+  }
   oplog_.store(log, std::memory_order_release);
   return Status::OK();
 }
@@ -1018,6 +1070,563 @@ Status PromiseManager::ReplayLog(const std::vector<LogRecord>& records,
   // Leave the generator past every replayed id: the last record need
   // not carry the maximum (allocation could run ahead of log order).
   if (max_promise_id != 0) promise_ids_.Pin(max_promise_id + 1);
+  return Status::OK();
+}
+
+Status PromiseManager::ReplayLogParallel(const std::vector<LogRecord>& records,
+                                         SimulatedClock* clock, int workers) {
+  if (workers <= 1 || records.size() < 2) return ReplayLog(records, clock);
+  if (oplog_.load(std::memory_order_acquire) != nullptr) {
+    return Status::FailedPrecondition("detach the log before replaying");
+  }
+  ScopedSpan replay_span("tail-replay");
+  static Counter* tail_records_total = MetricsRegistry::Global().GetCounter(
+      "promises_recovery_tail_records_total");
+  static Counter* tail_segments_total = MetricsRegistry::Global().GetCounter(
+      "promises_recovery_tail_segments_total");
+  tail_records_total->Increment(records.size());
+
+  // Phase 1 (parallel): parse each record and derive its dependency
+  // footprint — the resource classes it plans (closed under
+  // federation) and the promise ids it references or consumed.
+  struct Planned {
+    const LogRecord* record = nullptr;
+    bool is_envelope = false;
+    Envelope envelope;
+    bool barrier = false;
+    std::set<std::string> classes;
+    std::vector<uint64_t> promise_ids;
+  };
+  std::vector<Planned> planned(records.size());
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  Status first_error;
+  auto note_error = [&](const Status& st) {
+    std::lock_guard<std::mutex> lk(error_mu);
+    if (first_error.ok()) first_error = st;
+    failed.store(true, std::memory_order_release);
+  };
+  {
+    std::atomic<size_t> next_index{0};
+    auto parse_worker = [&] {
+      for (;;) {
+        size_t i = next_index.fetch_add(1, std::memory_order_relaxed);
+        if (i >= records.size()) break;
+        if (failed.load(std::memory_order_acquire)) break;
+        Planned& p = planned[i];
+        p.record = &records[i];
+        const std::string& payload = records[i].payload;
+        if (StartsWith(payload, "<")) {
+          Result<Envelope> env = Envelope::FromXml(payload);
+          if (!env.ok()) {
+            note_error(env.status());
+            break;
+          }
+          p.is_envelope = true;
+          p.envelope = std::move(*env);
+          // Actions run arbitrary service code (the class-planning
+          // heuristic is best-effort) and polls touch the global
+          // pending queue: both replay serially, as barriers.
+          p.barrier = p.envelope.action.has_value() ||
+                      p.envelope.poll.has_value();
+          if (p.envelope.promise_request) {
+            for (const Predicate& pred :
+                 p.envelope.promise_request->predicates) {
+              p.classes.insert(pred.resource_class());
+            }
+            for (PromiseId id :
+                 p.envelope.promise_request->release_on_grant) {
+              p.promise_ids.push_back(id.value());
+            }
+          }
+          if (p.envelope.release) {
+            for (PromiseId id : p.envelope.release->promises) {
+              p.promise_ids.push_back(id.value());
+            }
+          }
+          if (p.envelope.environment) {
+            for (const EnvironmentHeader::Entry& e :
+                 p.envelope.environment->entries) {
+              if (e.promise.valid()) p.promise_ids.push_back(e.promise.value());
+            }
+          }
+          ExpandClasses(&p.classes);
+        } else {
+          // External events hunt broken promises over every class.
+          p.barrier = true;
+        }
+        if (records[i].promise_id != 0) {
+          p.promise_ids.push_back(records[i].promise_id);
+        }
+      }
+    };
+    size_t nparse = std::min<size_t>(static_cast<size_t>(workers),
+                                     records.size());
+    std::vector<std::thread> pool;
+    for (size_t w = 1; w < nparse; ++w) pool.emplace_back(parse_worker);
+    parse_worker();
+    for (std::thread& t : pool) t.join();
+  }
+  if (failed.load(std::memory_order_acquire)) {
+    replay_span.set_status(StatusCodeToString(first_error.code()));
+    return first_error;
+  }
+
+  // Phase 2 (serial): union-find over "c:<class>" / "p:<promise id>"
+  // keys. Promises already in the table (the restored snapshot) seed
+  // the structure, so a tail release whose envelope names only a
+  // promise id lands in the component of the classes that promise
+  // reserves. Expiry stays inside components too: AddDueClasses only
+  // widens an operation to due promises OVERLAPPING its classes, and
+  // overlap means same component.
+  std::map<std::string, std::string> parent;
+  auto find = [&parent](std::string key) {
+    parent.try_emplace(key, key);
+    while (parent[key] != key) {
+      parent[key] = parent[parent[key]];  // path halving
+      key = parent[key];
+    }
+    return key;
+  };
+  auto unite = [&](const std::string& a, const std::string& b) {
+    std::string ra = find(a);
+    std::string rb = find(b);
+    if (ra != rb) parent[rb] = std::move(ra);
+  };
+  for (const std::string& cls : table_.ReferencedClasses()) {
+    for (const PromiseRecord& rec : table_.RecordsForClass(cls)) {
+      unite("c:" + cls, "p:" + std::to_string(rec.id.value()));
+    }
+  }
+  for (size_t i = 0; i < planned.size(); ++i) {
+    const Planned& p = planned[i];
+    if (p.barrier) continue;
+    std::string self = "r:" + std::to_string(i);
+    for (const std::string& cls : p.classes) unite(self, "c:" + cls);
+    for (uint64_t id : p.promise_ids) {
+      unite(self, "p:" + std::to_string(id));
+    }
+  }
+
+  uint64_t max_promise_id = 0;
+  for (const Planned& p : planned) {
+    max_promise_id = std::max(max_promise_id, p.record->promise_id);
+  }
+
+  auto replay_one = [&](const Planned& p) -> Status {
+    // Pin logical time and the consumed promise id to this record for
+    // the duration of its re-execution; worker threads replaying other
+    // components concurrently see their own record's time.
+    ScopedTimeOverride time_pin(p.record->timestamp);
+    if (p.record->promise_id != 0) {
+      tls_forced_promise_id = p.record->promise_id;
+    }
+    Status st;
+    if (p.is_envelope) {
+      st = Handle(p.envelope).status();
+    } else {
+      std::vector<std::string> parts = Split(p.record->payload, '|');
+      if (parts.size() == 3 && parts[0] == "damage") {
+        Result<int64_t> qty = ParseInt64(parts[2]);
+        st = qty.ok() ? ReportExternalDamage(parts[1], *qty).status()
+                      : qty.status();
+      } else if (parts.size() == 3 && parts[0] == "lose") {
+        st = ReportInstanceLost(parts[1], parts[2]).status();
+      } else {
+        st = Status::InvalidArgument("unknown log record: " +
+                                     p.record->payload);
+      }
+    }
+    tls_forced_promise_id = 0;
+    return st;
+  };
+
+  // Phases 3+4: split at barriers; within a segment, group records by
+  // component and replay the groups concurrently (each group in log
+  // order). Components share no class, so their stripe footprints are
+  // disjoint — grants and releases never late-lock.
+  auto run_segment = [&](size_t begin, size_t end) {
+    if (begin >= end || failed.load(std::memory_order_acquire)) return;
+    tail_segments_total->Increment();
+    std::map<std::string, std::vector<const Planned*>> groups;
+    std::vector<std::string> order;
+    for (size_t i = begin; i < end; ++i) {
+      std::string root = find("r:" + std::to_string(i));
+      auto [it, inserted] = groups.try_emplace(root);
+      if (inserted) order.push_back(root);
+      it->second.push_back(&planned[i]);
+    }
+    Timestamp seg_max = 0;
+    for (size_t i = begin; i < end; ++i) {
+      seg_max = std::max(seg_max, planned[i].record->timestamp);
+    }
+    size_t nworkers =
+        std::min<size_t>(static_cast<size_t>(workers), order.size());
+    if (nworkers <= 1) {
+      for (size_t i = begin;
+           i < end && !failed.load(std::memory_order_acquire); ++i) {
+        Status st = replay_one(planned[i]);
+        if (!st.ok()) note_error(st);
+      }
+    } else {
+      std::atomic<size_t> next_group{0};
+      const auto& groups_ref = groups;  // read-only from here on
+      auto group_worker = [&] {
+        for (;;) {
+          size_t g = next_group.fetch_add(1, std::memory_order_relaxed);
+          if (g >= order.size()) break;
+          if (failed.load(std::memory_order_acquire)) break;
+          for (const Planned* p : groups_ref.at(order[g])) {
+            if (failed.load(std::memory_order_acquire)) break;
+            Status st = replay_one(*p);
+            if (!st.ok()) {
+              note_error(st);
+              break;
+            }
+          }
+        }
+      };
+      std::vector<std::thread> pool;
+      for (size_t w = 1; w < nworkers; ++w) pool.emplace_back(group_worker);
+      group_worker();
+      for (std::thread& t : pool) t.join();
+    }
+    clock->AdvanceTo(seg_max);
+  };
+
+  size_t seg_begin = 0;
+  for (size_t i = 0; i < planned.size(); ++i) {
+    if (!planned[i].barrier) continue;
+    run_segment(seg_begin, i);
+    if (failed.load(std::memory_order_acquire)) break;
+    clock->AdvanceTo(planned[i].record->timestamp);
+    Status st = replay_one(planned[i]);
+    if (!st.ok()) note_error(st);
+    if (failed.load(std::memory_order_acquire)) break;
+    seg_begin = i + 1;
+  }
+  if (!failed.load(std::memory_order_acquire)) {
+    run_segment(seg_begin, planned.size());
+  }
+  if (failed.load(std::memory_order_acquire)) {
+    replay_span.set_status(StatusCodeToString(first_error.code()));
+    return first_error;
+  }
+  if (max_promise_id != 0) promise_ids_.Pin(max_promise_id + 1);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// Fuzzy checkpoint capture (see core/checkpoint.h and DESIGN.md §10)
+
+void PromiseManager::CaptureScopeClasses(const LockScope& scope) {
+  if (!capture_active_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lk(capture_mu_);
+  if (!capture_.active || capture_.poisoned) return;
+  if (scope.whole_manager) {
+    // Root-exclusive: no striped operation is in flight, so every
+    // pending class is untouched-since-cut and capturable right now.
+    while (!capture_.pending.empty() && !capture_.poisoned) {
+      CaptureClassLocked(*capture_.pending.begin());
+    }
+    return;
+  }
+  for (const std::string& cls : scope.classes) {
+    if (capture_.poisoned) break;
+    if (capture_.pending.count(cls) > 0) CaptureClassLocked(cls);
+  }
+}
+
+void PromiseManager::CaptureClassIfPending(const std::string& cls) {
+  if (!capture_active_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lk(capture_mu_);
+  if (!capture_.active || capture_.poisoned) return;
+  if (capture_.pending.count(cls) > 0) CaptureClassLocked(cls);
+}
+
+void PromiseManager::PoisonCapture(const std::string& reason) {
+  // Caller holds capture_mu_.
+  capture_.poisoned = true;
+  capture_.poison_reason = reason;
+}
+
+void PromiseManager::CaptureClassLocked(const std::string& cls) {
+  capture_.pending.erase(cls);
+  CheckpointData* data = capture_.data.get();
+  if (rm_->HasPool(cls)) {
+    Result<int64_t> qty = rm_->ExportPoolQuantity(cls);
+    if (!qty.ok()) {
+      PoisonCapture("pool export failed for '" + cls +
+                    "': " + qty.status().ToString());
+      return;
+    }
+    data->pools[cls] = *qty;
+  }
+  if (rm_->HasInstanceClass(cls)) {
+    Result<std::vector<InstanceView>> instances = rm_->ExportInstances(cls);
+    if (!instances.ok()) {
+      PoisonCapture("instance export failed for '" + cls +
+                    "': " + instances.status().ToString());
+      return;
+    }
+    data->instances[cls] = std::move(*instances);
+  }
+  for (PromiseRecord& rec : table_.RecordsForClass(cls)) {
+    // A promise spanning several classes is stored once (keyed by id);
+    // whichever class captures first wins, and the record cannot have
+    // changed in between because every one of its classes was pending.
+    uint64_t id = rec.id.value();
+    data->promises.emplace(id, std::move(rec));
+  }
+  ResourceEngine* engine = EngineIfExists(cls);
+  if (engine != nullptr) {
+    std::string blob = engine->SerializeState();
+    if (!blob.empty()) data->engine_state[cls] = std::move(blob);
+  }
+}
+
+std::set<std::string> PromiseManager::CheckpointClasses() const {
+  std::set<std::string> classes;
+  for (std::string& cls : rm_->PoolClasses()) classes.insert(std::move(cls));
+  for (std::string& cls : rm_->InstanceClasses()) {
+    classes.insert(std::move(cls));
+  }
+  std::set<std::string> referenced = table_.ReferencedClasses();
+  classes.insert(referenced.begin(), referenced.end());
+  {
+    std::lock_guard<std::mutex> lk(engines_mu_);
+    for (const auto& [cls, engine] : engines_) {
+      (void)engine;
+      classes.insert(cls);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(config_mu_);
+    for (const auto& [cls, members] : federated_) {
+      (void)members;
+      classes.insert(cls);
+    }
+  }
+  return classes;
+}
+
+Result<CheckpointData> PromiseManager::CaptureCheckpoint() {
+  static Counter* captures_total = MetricsRegistry::Global().GetCounter(
+      "promises_checkpoint_captures_total");
+  static Counter* poisoned_total = MetricsRegistry::Global().GetCounter(
+      "promises_checkpoint_poisoned_total");
+  if (oplog_.load(std::memory_order_acquire) == nullptr) {
+    return Status::FailedPrecondition(
+        "checkpoint capture requires an attached log (the cut is a log "
+        "sequence number)");
+  }
+
+  // Clears capture state after a failure so the next attempt (or the
+  // next CaptureCheckpoint call) starts clean.
+  auto deactivate = [this]() -> std::unique_ptr<CheckpointData> {
+    std::lock_guard<std::mutex> lk(capture_mu_);
+    std::unique_ptr<CheckpointData> data = std::move(capture_.data);
+    capture_ = CaptureState{};
+    capture_active_.store(false, std::memory_order_release);
+    return data;
+  };
+
+  constexpr int kMaxAttempts = 5;
+  std::string last_poison;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    ScopedSpan capture_span("checkpoint-capture");
+    std::set<std::string> classes = CheckpointClasses();
+
+    // Activation: a momentary root-exclusive barrier (O(1) work under
+    // the lock). Every striped operation holds the root key shared
+    // from BeginOperation until commit, so root-exclusive drains all
+    // in-flight operations — the cut chosen here has no laggards, and
+    // every operation sequenced after it observes capture_active_ in
+    // its BeginOperation hook before touching any class.
+    {
+      LockScope scope;
+      Result<std::unique_ptr<Transaction>> txn_or =
+          BeginOperation(&scope, {}, /*whole_manager=*/true);
+      if (!txn_or.ok()) return txn_or.status();
+      std::unique_ptr<Transaction> txn = std::move(txn_or).value();
+      OperationLog* log = oplog_.load(std::memory_order_acquire);
+      if (log == nullptr) {
+        return Status::FailedPrecondition("log detached during capture");
+      }
+      Result<LogCut> cut = log->CutPoint();
+      if (!cut.ok()) return cut.status();
+      {
+        std::lock_guard<std::mutex> lk(capture_mu_);
+        if (capture_.active) {
+          return Status::FailedPrecondition(
+              "a checkpoint capture is already active");
+        }
+        capture_ = CaptureState{};
+        capture_.active = true;
+        capture_.cut_lsn = cut->sequence;
+        capture_.pending = classes;
+        capture_.data = std::make_unique<CheckpointData>();
+        capture_.data->cut_lsn = cut->sequence;
+        capture_.data->captured_at = cut->last_timestamp;
+        capture_.data->promise_id_watermark = cut->promise_id_watermark;
+        capture_active_.store(true, std::memory_order_release);
+      }
+      Status commit = txn->Commit();
+      if (!commit.ok()) {
+        (void)deactivate();
+        return commit;
+      }
+    }
+
+    // Sweep: capture each still-pending class under its stripe through
+    // the normal operation path. Traffic keeps flowing; operations that
+    // get to a pending class first capture it themselves (the
+    // BeginOperation hook), so each iteration strictly shrinks the
+    // pending set no matter who wins the stripe.
+    bool poisoned = false;
+    for (;;) {
+      std::string next;
+      {
+        std::lock_guard<std::mutex> lk(capture_mu_);
+        if (capture_.poisoned) {
+          poisoned = true;
+          last_poison = capture_.poison_reason;
+          break;
+        }
+        if (capture_.pending.empty()) break;
+        next = *capture_.pending.begin();
+      }
+      LockScope scope;
+      Result<std::unique_ptr<Transaction>> txn_or =
+          BeginOperation(&scope, {next});
+      if (!txn_or.ok()) {
+        (void)deactivate();
+        return txn_or.status();
+      }
+      // The hook inside BeginOperation did the capture; nothing to do
+      // under the lock but release it.
+      Status commit = (*txn_or)->Commit();
+      if (!commit.ok()) {
+        (void)deactivate();
+        return commit;
+      }
+    }
+
+    std::unique_ptr<CheckpointData> data = deactivate();
+    if (poisoned || data == nullptr) {
+      poisoned_total->Increment();
+      capture_span.set_status("poisoned");
+      continue;
+    }
+
+    // Idempotency table, in FIFO (eviction) order so restore rebuilds
+    // the same eviction queue. The LSN filter drops replies from
+    // operations sequenced after the cut — tail replay regenerates
+    // them; lsn 0 entries predate the log and are always kept.
+    {
+      std::set<DedupKey> seen;
+      std::lock_guard<std::mutex> lk(dedup_mu_);
+      for (const DedupKey& key : dedup_fifo_) {
+        if (!seen.insert(key).second) continue;
+        auto it = dedup_completed_.find(key);
+        if (it == dedup_completed_.end()) continue;
+        if (it->second.lsn != 0 && it->second.lsn > data->cut_lsn) continue;
+        CheckpointDedupEntry entry;
+        entry.from = key.first;
+        entry.message_id = key.second;
+        entry.lsn = it->second.lsn;
+        entry.reply_xml = it->second.reply.ToXml();
+        data->dedup.push_back(std::move(entry));
+      }
+    }
+    // Client registry. Captured after the sweep, so it may include
+    // clients first seen after the cut — a harmless superset: the
+    // name<->id mappings are append-only and tail replay reuses them.
+    {
+      std::lock_guard<std::mutex> lk(client_mu_);
+      for (const auto& [id, name] : client_names_) {
+        data->clients.emplace_back(id.value(), name);
+      }
+    }
+    captures_total->Increment();
+    return std::move(*data);
+  }
+  return Status::Unavailable(
+      "checkpoint capture poisoned " + std::to_string(kMaxAttempts) +
+      " times (raw resource-manager writes keep racing the sweep): " +
+      last_poison);
+}
+
+Status PromiseManager::RestoreCheckpoint(const CheckpointData& data,
+                                         SimulatedClock* clock) {
+  if (oplog_.load(std::memory_order_acquire) != nullptr) {
+    return Status::FailedPrecondition("detach the log before restoring");
+  }
+  {
+    std::lock_guard<std::mutex> lk(capture_mu_);
+    if (capture_.active) {
+      return Status::FailedPrecondition(
+          "cannot restore while a capture is active");
+    }
+  }
+  if (table_.size() != 0) {
+    return Status::FailedPrecondition(
+        "restore requires a freshly constructed manager");
+  }
+  // Same contract as ReplayLog: resource definitions, federations and
+  // services must already be registered, and this manager is quiesced
+  // (no concurrent operations), so raw restore calls need no stripes.
+  clock->AdvanceTo(data.captured_at);
+  {
+    std::lock_guard<std::mutex> lk(client_mu_);
+    uint64_t max_client = 0;
+    for (const auto& [id, name] : data.clients) {
+      client_names_[ClientId(id)] = name;
+      client_ids_[name] = ClientId(id);
+      max_client = std::max(max_client, id);
+    }
+    if (max_client != 0) client_id_gen_.Pin(max_client + 1);
+  }
+  if (data.promise_id_watermark != 0) {
+    // Tail records always consume ids above the watermark (the cut was
+    // chosen under the activation barrier, after every in-flight
+    // allocation), so the absolute pin cannot collide with replay.
+    promise_ids_.Pin(data.promise_id_watermark + 1);
+  }
+  for (const auto& [cls, quantity] : data.pools) {
+    PROMISES_RETURN_IF_ERROR(rm_->RestorePoolQuantity(cls, quantity));
+  }
+  for (const auto& [cls, instances] : data.instances) {
+    for (const InstanceView& inst : instances) {
+      PROMISES_RETURN_IF_ERROR(
+          rm_->RestoreInstance(cls, inst.id, inst.status, inst.properties));
+    }
+  }
+  for (const auto& [id, rec] : data.promises) {
+    (void)id;
+    PROMISES_RETURN_IF_ERROR(table_.Insert(rec));
+  }
+  for (const auto& [cls, blob] : data.engine_state) {
+    PROMISES_ASSIGN_OR_RETURN(ResourceEngine * engine, EngineFor(cls));
+    PROMISES_RETURN_IF_ERROR(engine->RestoreState(blob));
+  }
+  if (config_.dedup_capacity > 0) {
+    std::lock_guard<std::mutex> lk(dedup_mu_);
+    for (const CheckpointDedupEntry& entry : data.dedup) {
+      PROMISES_ASSIGN_OR_RETURN(Envelope reply,
+                                Envelope::FromXml(entry.reply_xml));
+      DedupKey key{entry.from, entry.message_id};
+      if (dedup_completed_
+              .emplace(key, DedupEntry{std::move(reply), entry.lsn})
+              .second) {
+        dedup_fifo_.push_back(key);
+        while (dedup_fifo_.size() > config_.dedup_capacity) {
+          dedup_completed_.erase(dedup_fifo_.front());
+          dedup_fifo_.pop_front();
+        }
+      }
+    }
+  }
   return Status::OK();
 }
 
@@ -1067,7 +1676,7 @@ Result<Envelope> PromiseManager::Handle(const Envelope& request) {
   const bool dedup_eligible = config_.dedup_capacity > 0 &&
                               request.message_id.valid() &&
                               !request.from.empty();
-  if (!dedup_eligible) return HandleInner(request);
+  if (!dedup_eligible) return HandleInner(request, nullptr);
 
   DedupKey key{request.from, request.message_id.value()};
   {
@@ -1078,7 +1687,7 @@ Result<Envelope> PromiseManager::Handle(const Envelope& request) {
       dedup_span.set_status("replayed");
       replays_total->Increment();
       stats_.duplicates_replayed.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+      return it->second.reply;
     }
     if (!dedup_in_progress_.insert(key).second) {
       // A duplicate delivery raced the original, which is still
@@ -1091,15 +1700,18 @@ Result<Envelope> PromiseManager::Handle(const Envelope& request) {
     }
   }
 
-  Result<Envelope> reply = HandleInner(request);
+  Result<Envelope> reply = HandleInner(request, &key);
 
   {
     std::lock_guard<std::mutex> lk(dedup_mu_);
     dedup_in_progress_.erase(key);
     // Only completed requests are remembered: an errored envelope made
     // no state change, so re-executing the retry is the right call.
-    if (reply.ok()) {
-      dedup_completed_.emplace(key, *reply);
+    // Logged operations were already inserted (LSN-tagged) at their
+    // sequencing point inside HandleInner; this covers the unlogged
+    // path (lsn 0: always inside any checkpoint cut).
+    if (reply.ok() && dedup_completed_.count(key) == 0) {
+      dedup_completed_.emplace(key, DedupEntry{*reply, 0});
       dedup_fifo_.push_back(key);
       while (dedup_fifo_.size() > config_.dedup_capacity) {
         dedup_completed_.erase(dedup_fifo_.front());
@@ -1110,7 +1722,8 @@ Result<Envelope> PromiseManager::Handle(const Envelope& request) {
   return reply;
 }
 
-Result<Envelope> PromiseManager::HandleInner(const Envelope& request) {
+Result<Envelope> PromiseManager::HandleInner(const Envelope& request,
+                                             const DedupKey* dedup_key) {
   // Plan the union of every part of the combined envelope.
   std::set<std::string> classes;
   if (request.promise_request) {
@@ -1299,7 +1912,34 @@ Result<Envelope> PromiseManager::HandleInner(const Envelope& request) {
   if (oplog_.load(std::memory_order_acquire) != nullptr) {
     ticket = LogOperation(request.ToXml(), consumed_id);
   }
-  PROMISES_RETURN_IF_ERROR(txn->Commit());
+  bool dedup_inserted = false;
+  if (dedup_key != nullptr && ticket.log != nullptr &&
+      ticket.enqueue_error.ok()) {
+    // Sequencing-point insert: the reply joins the dedup table tagged
+    // with its record's LSN while the stripe locks are still held, so a
+    // fuzzy checkpoint's cut filter (lsn <= cut) keeps exactly the
+    // replies whose operations the snapshot covers.
+    std::lock_guard<std::mutex> lk(dedup_mu_);
+    dedup_inserted =
+        dedup_completed_.emplace(*dedup_key, DedupEntry{reply, ticket.sequence})
+            .second;
+    if (dedup_inserted) {
+      dedup_fifo_.push_back(*dedup_key);
+      while (dedup_fifo_.size() > config_.dedup_capacity) {
+        dedup_completed_.erase(dedup_fifo_.front());
+        dedup_fifo_.pop_front();
+      }
+    }
+  }
+  Status commit_status = txn->Commit();
+  if (!commit_status.ok()) {
+    if (dedup_inserted) {
+      // The reply never happened; a retry must re-execute.
+      std::lock_guard<std::mutex> lk(dedup_mu_);
+      dedup_completed_.erase(*dedup_key);
+    }
+    return commit_status;
+  }
   // A durability failure cannot fail the envelope reply: error replies
   // are not cached by the dedup layer, so a client retry would
   // re-execute an operation that already committed. The loss is still

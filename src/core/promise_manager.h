@@ -73,6 +73,7 @@
 #include "common/clock.h"
 #include "common/ids.h"
 #include "common/status.h"
+#include "core/checkpoint.h"
 #include "core/engine.h"
 #include "core/oplog.h"
 #include "core/promise.h"
@@ -337,6 +338,32 @@ class PromiseManager {
   Status ReplayLog(const std::vector<LogRecord>& records,
                    SimulatedClock* clock);
 
+  /// ReplayLog with `workers` threads. Records are partitioned into
+  /// connected components over shared resource classes / promise ids;
+  /// independent components replay concurrently (each in log order,
+  /// with the record's timestamp pinned thread-locally). Whole-manager
+  /// records (external damage, ExpireDue-style) act as barriers.
+  /// `workers` <= 1 falls back to the sequential ReplayLog.
+  Status ReplayLogParallel(const std::vector<LogRecord>& records,
+                           SimulatedClock* clock, int workers);
+
+  // --- Checkpointing (bounded recovery; see core/checkpoint.h) ---
+
+  /// Captures a fuzzy checkpoint at a cut LSN chosen under a momentary
+  /// root-exclusive barrier. Requires an attached log (the cut is the
+  /// log's sequencing point). The sweep runs per-stripe while normal
+  /// traffic continues; concurrent operations copy-on-read any
+  /// still-pending class before touching it. Retries a bounded number
+  /// of times if a raw resource-manager write poisons the capture.
+  Result<CheckpointData> CaptureCheckpoint();
+
+  /// Restores a checkpoint into this freshly constructed manager (same
+  /// contract as ReplayLog: resource definitions, federations and
+  /// services must already be registered; call before AttachLog).
+  /// Advances `clock` to the capture timestamp and pins the promise-id
+  /// generator past the watermark so tail replay reproduces ids.
+  Status RestoreCheckpoint(const CheckpointData& data, SimulatedClock* clock);
+
   // --- Maintenance & introspection ---
 
   /// Sweeps promises whose deadline passed; returns how many expired.
@@ -396,6 +423,33 @@ class PromiseManager {
 
   Result<ResourceEngine*> EngineFor(const std::string& cls);
 
+  // --- Fuzzy-capture hooks (CaptureCheckpoint) ---
+
+  /// Fast-path hook at the end of BeginOperation: while a capture is
+  /// active, copies every still-pending class the scope covers (all
+  /// pending classes for whole-manager scopes) into the checkpoint
+  /// before the operation can mutate them. Lock-free when no capture
+  /// is running.
+  void CaptureScopeClasses(const LockScope& scope);
+
+  /// Same hook for late stripe acquisition (EnsureClassLocked): caller
+  /// just acquired `cls`'s stripe and has not yet mutated it.
+  void CaptureClassIfPending(const std::string& cls);
+
+  /// Marks the active capture unusable (raw resource-manager write to
+  /// an uncaptured class, or an export failure); CaptureCheckpoint
+  /// discards it and retries with a fresh cut.
+  void PoisonCapture(const std::string& reason);
+
+  /// Copies `cls`'s at-cut state (pool quantity / instances / promise
+  /// records / engine blob) into the capture and removes it from the
+  /// pending set. Caller holds capture_mu_ AND cls's stripe.
+  void CaptureClassLocked(const std::string& cls);
+
+  /// Every class a capture must cover: pool + instance classes, plus
+  /// classes referenced by promises or engines (federated virtuals).
+  std::set<std::string> CheckpointClasses() const;
+
   /// Lazy expiry sweep inside an operation: expires the due promises
   /// whose classes the scope fully covers (uncovered ones belong to
   /// other operations or the whole-manager ExpireDue).
@@ -427,8 +481,16 @@ class PromiseManager {
                                       const ActionBody& action,
                                       const EnvironmentHeader& env);
 
+  /// Idempotency-table key: sender's protocol name + message id.
+  using DedupKey = std::pair<std::string, uint64_t>;
+
   /// Handle minus the idempotency layer: always executes the envelope.
-  Result<Envelope> HandleInner(const Envelope& request);
+  /// When `dedup_key` is non-null, the reply is inserted into the
+  /// completed-dedup table at the operation's log sequencing point
+  /// (inside the stripe locks), tagged with the record's LSN — so a
+  /// checkpoint's LSN filter sees exactly the replies at its cut.
+  Result<Envelope> HandleInner(const Envelope& request,
+                               const DedupKey* dedup_key);
 
   /// Shared tail of the ReportExternal* entry points: breaks promises
   /// on `cls` (newest first) until every engine verifies again, logs
@@ -544,12 +606,37 @@ class PromiseManager {
   // retry gets a byte-identical answer (same promise id, same result).
   // Repopulated by ReplayLog, since replay drives the same Handle path
   // — dedup therefore survives crash recovery. dedup_mu_ is a leaf
-  // mutex, never held across HandleInner.
-  using DedupKey = std::pair<std::string, uint64_t>;
+  // mutex, never held across a whole HandleInner call (HandleInner
+  // takes it briefly at its sequencing point).
+  struct DedupEntry {
+    Envelope reply;
+    /// LSN of the operation that produced the reply; 0 when it predates
+    /// the log (no-log path, restored legacy entries).
+    uint64_t lsn = 0;
+  };
   mutable std::mutex dedup_mu_;
-  std::map<DedupKey, Envelope> dedup_completed_;
+  std::map<DedupKey, DedupEntry> dedup_completed_;
   std::deque<DedupKey> dedup_fifo_;  // insertion order, for eviction
   std::set<DedupKey> dedup_in_progress_;
+
+  // Fuzzy-capture state. capture_active_ is the lock-free fast-path
+  // flag the hooks check on every operation; capture_mu_ guards the
+  // rest. Lock order: operations take capture_mu_ while holding their
+  // class stripes, and CaptureClassLocked reads engines_/table_ state
+  // while holding capture_mu_ — so capture_mu_ orders BEFORE
+  // engines_mu_ and the table's internal lock, and nothing may take
+  // capture_mu_ while holding either of those.
+  std::atomic<bool> capture_active_{false};
+  mutable std::mutex capture_mu_;
+  struct CaptureState {
+    bool active = false;
+    bool poisoned = false;
+    std::string poison_reason;
+    uint64_t cut_lsn = 0;
+    std::set<std::string> pending;  ///< classes not yet captured
+    std::unique_ptr<CheckpointData> data;
+  };
+  CaptureState capture_;
 
   struct AtomicStats {
     std::atomic<uint64_t> requests{0}, granted{0}, rejected{0}, released{0},

@@ -110,6 +110,19 @@ std::vector<PromiseId> PromiseTable::DueIds(Timestamp now) const {
   return out;
 }
 
+std::vector<PromiseRecord> PromiseTable::RecordsForClass(
+    const std::string& resource_class) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  std::vector<PromiseRecord> out;
+  auto cit = by_class_.find(resource_class);
+  if (cit == by_class_.end()) return out;
+  out.reserve(cit->second.size());
+  for (PromiseId id : cit->second) {
+    out.push_back(records_.at(id));
+  }
+  return out;
+}
+
 std::set<std::string> PromiseTable::ReferencedClasses() const {
   std::shared_lock<std::shared_mutex> lk(mu_);
   std::set<std::string> out;

@@ -67,6 +67,13 @@ class PromiseTable {
   /// Every resource class referenced by any stored promise.
   std::set<std::string> ReferencedClasses() const;
 
+  /// Copies of every record (active or not) whose predicates cover
+  /// `resource_class` — checkpoint capture reads record state by value
+  /// under the class stripe, so the copies stay consistent after the
+  /// stripe is released.
+  std::vector<PromiseRecord> RecordsForClass(
+      const std::string& resource_class) const;
+
   size_t size() const {
     std::shared_lock<std::shared_mutex> lk(mu_);
     return records_.size();

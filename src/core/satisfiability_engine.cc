@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/string_util.h"
 #include "predicate/evaluator.h"
 
 namespace promises {
@@ -281,6 +282,41 @@ Result<bool> SatisfiabilityEngine::CheckNow(
     }
   }
   return true;
+}
+
+std::string SatisfiabilityEngine::SerializeState() const {
+  std::string out;
+  EncodeField(&out, "sat1");
+  EncodeField(&out, std::to_string(consumed_.size()));
+  for (const auto& [key, units] : consumed_) {
+    EncodeField(&out, std::to_string(key.first.value()));
+    EncodeField(&out, key.second);
+    EncodeField(&out, std::to_string(units));
+  }
+  return out;
+}
+
+Status SatisfiabilityEngine::RestoreState(const std::string& blob) {
+  std::string_view cursor(blob);
+  auto next = [&cursor]() -> Result<int64_t> {
+    PROMISES_ASSIGN_OR_RETURN(std::string field, DecodeField(&cursor));
+    return ParseInt64(field);
+  };
+  PROMISES_ASSIGN_OR_RETURN(std::string tag, DecodeField(&cursor));
+  if (tag != "sat1") {
+    return Status::InvalidArgument("satisfiability engine '" + cls_ +
+                                   "': unknown state tag '" + tag + "'");
+  }
+  PROMISES_ASSIGN_OR_RETURN(int64_t entries, next());
+  std::map<std::pair<PromiseId, std::string>, int64_t> consumed;
+  for (int64_t i = 0; i < entries; ++i) {
+    PROMISES_ASSIGN_OR_RETURN(int64_t id, next());
+    PROMISES_ASSIGN_OR_RETURN(std::string pred, DecodeField(&cursor));
+    PROMISES_ASSIGN_OR_RETURN(int64_t units, next());
+    consumed[{PromiseId(static_cast<uint64_t>(id)), std::move(pred)}] = units;
+  }
+  consumed_ = std::move(consumed);
+  return Status::OK();
 }
 
 }  // namespace promises

@@ -53,6 +53,8 @@ class SatisfiabilityEngine : public ResourceEngine {
   Result<int64_t> QuantityHeadroom(Transaction* txn, Timestamp now) override;
   Result<int64_t> CountHeadroom(Transaction* txn, Timestamp now,
                                 const Predicate& pred) override;
+  std::string SerializeState() const override;
+  Status RestoreState(const std::string& blob) override;
 
  private:
   /// One demand unit in the satisfiability graph.

@@ -1,5 +1,6 @@
 #include "core/tag_engine.h"
 
+#include "common/string_util.h"
 #include "predicate/evaluator.h"
 
 namespace promises {
@@ -140,6 +141,50 @@ Result<std::string> AllocatedTagEngine::ResolveInstance(
         " assigned instances already taken under " + id.ToString());
   }
   return it->second[static_cast<size_t>(already_taken)];
+}
+
+std::string AllocatedTagEngine::SerializeState() const {
+  std::string out;
+  EncodeField(&out, "tags1");
+  EncodeField(&out, std::to_string(assignments_.size()));
+  for (const auto& [key, instances] : assignments_) {
+    EncodeField(&out, std::to_string(key.first.value()));
+    EncodeField(&out, key.second);
+    EncodeField(&out, std::to_string(instances.size()));
+    for (const std::string& instance : instances) {
+      EncodeField(&out, instance);
+    }
+  }
+  return out;
+}
+
+Status AllocatedTagEngine::RestoreState(const std::string& blob) {
+  std::string_view cursor(blob);
+  auto next = [&cursor]() -> Result<int64_t> {
+    PROMISES_ASSIGN_OR_RETURN(std::string field, DecodeField(&cursor));
+    return ParseInt64(field);
+  };
+  PROMISES_ASSIGN_OR_RETURN(std::string tag, DecodeField(&cursor));
+  if (tag != "tags1") {
+    return Status::InvalidArgument("tag engine '" + cls_ +
+                                   "': unknown state tag '" + tag + "'");
+  }
+  PROMISES_ASSIGN_OR_RETURN(int64_t entries, next());
+  std::map<AssignKey, std::vector<std::string>> assignments;
+  for (int64_t i = 0; i < entries; ++i) {
+    PROMISES_ASSIGN_OR_RETURN(int64_t id, next());
+    PROMISES_ASSIGN_OR_RETURN(std::string pred, DecodeField(&cursor));
+    PROMISES_ASSIGN_OR_RETURN(int64_t count, next());
+    std::vector<std::string> instances;
+    for (int64_t j = 0; j < count; ++j) {
+      PROMISES_ASSIGN_OR_RETURN(std::string instance, DecodeField(&cursor));
+      instances.push_back(std::move(instance));
+    }
+    assignments[{PromiseId(static_cast<uint64_t>(id)), std::move(pred)}] =
+        std::move(instances);
+  }
+  assignments_ = std::move(assignments);
+  return Status::OK();
 }
 
 }  // namespace promises

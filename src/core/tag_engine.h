@@ -42,6 +42,8 @@ class AllocatedTagEngine : public ResourceEngine {
                                       int64_t already_taken) override;
   Result<int64_t> CountHeadroom(Transaction* txn, Timestamp now,
                                 const Predicate& pred) override;
+  std::string SerializeState() const override;
+  Status RestoreState(const std::string& blob) override;
 
  private:
   // Key for the assignment ledger: one entry per (promise, predicate).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/string_util.h"
 #include "predicate/evaluator.h"
 
 namespace promises {
@@ -218,6 +219,117 @@ Result<std::string> TentativeEngine::ResolveInstance(Transaction* txn,
                                       " is currently unmatched");
   }
   return instance_ids_[r];
+}
+
+std::string TentativeEngine::SerializeState() const {
+  IncrementalMatcher::Snapshot snap = matcher_.TakeSnapshot();
+  std::string out;
+  EncodeField(&out, "tent1");
+  EncodeField(&out, std::to_string(instance_ids_.size()));
+  for (size_t i = 0; i < instance_ids_.size(); ++i) {
+    EncodeField(&out, instance_ids_[i]);
+    EncodeField(&out, snap.right_enabled[i] ? "1" : "0");
+  }
+  // Demands sorted by id so equal states serialize identically.
+  std::vector<uint64_t> demand_ids;
+  demand_ids.reserve(snap.demands.size());
+  for (const auto& [id, demand] : snap.demands) demand_ids.push_back(id);
+  std::sort(demand_ids.begin(), demand_ids.end());
+  EncodeField(&out, std::to_string(demand_ids.size()));
+  for (uint64_t id : demand_ids) {
+    const IncrementalMatcher::Demand& demand = snap.demands.at(id);
+    EncodeField(&out, std::to_string(id));
+    bool matched = demand.matched_right != IncrementalMatcher::kUnmatched;
+    EncodeField(&out, matched ? std::to_string(demand.matched_right) : "-1");
+    EncodeField(&out, std::to_string(demand.candidates.size()));
+    for (size_t candidate : demand.candidates) {
+      EncodeField(&out, std::to_string(candidate));
+    }
+  }
+  EncodeField(&out, std::to_string(ledger_.size()));
+  for (const auto& [key, demands] : ledger_) {
+    EncodeField(&out, std::to_string(key.first.value()));
+    EncodeField(&out, key.second);
+    EncodeField(&out, std::to_string(demands.size()));
+    for (uint64_t d : demands) EncodeField(&out, std::to_string(d));
+  }
+  EncodeField(&out, std::to_string(next_demand_));
+  EncodeField(&out, std::to_string(reallocations_));
+  return out;
+}
+
+Status TentativeEngine::RestoreState(const std::string& blob) {
+  std::string_view cursor(blob);
+  auto next = [&cursor]() -> Result<int64_t> {
+    PROMISES_ASSIGN_OR_RETURN(std::string field, DecodeField(&cursor));
+    return ParseInt64(field);
+  };
+  PROMISES_ASSIGN_OR_RETURN(std::string tag, DecodeField(&cursor));
+  if (tag != "tent1") {
+    return Status::InvalidArgument("tentative engine '" + cls_ +
+                                   "': unknown state tag '" + tag + "'");
+  }
+  PROMISES_ASSIGN_OR_RETURN(int64_t rights, next());
+  std::vector<std::string> instance_ids;
+  std::map<std::string, size_t> index_of;
+  IncrementalMatcher::Snapshot snap;
+  snap.right_owner.assign(static_cast<size_t>(rights), 0);
+  snap.right_enabled.assign(static_cast<size_t>(rights), true);
+  for (int64_t i = 0; i < rights; ++i) {
+    PROMISES_ASSIGN_OR_RETURN(std::string instance, DecodeField(&cursor));
+    PROMISES_ASSIGN_OR_RETURN(std::string enabled, DecodeField(&cursor));
+    index_of[instance] = static_cast<size_t>(i);
+    instance_ids.push_back(std::move(instance));
+    snap.right_enabled[static_cast<size_t>(i)] = enabled == "1";
+  }
+  PROMISES_ASSIGN_OR_RETURN(int64_t demands, next());
+  for (int64_t i = 0; i < demands; ++i) {
+    PROMISES_ASSIGN_OR_RETURN(int64_t id, next());
+    PROMISES_ASSIGN_OR_RETURN(int64_t matched, next());
+    PROMISES_ASSIGN_OR_RETURN(int64_t candidates, next());
+    IncrementalMatcher::Demand demand;
+    for (int64_t j = 0; j < candidates; ++j) {
+      PROMISES_ASSIGN_OR_RETURN(int64_t candidate, next());
+      if (candidate < 0 || candidate >= rights) {
+        return Status::InvalidArgument("tentative state: candidate index "
+                                       "out of range");
+      }
+      demand.candidates.push_back(static_cast<size_t>(candidate));
+    }
+    if (matched >= 0) {
+      if (matched >= rights) {
+        return Status::InvalidArgument("tentative state: matched index "
+                                       "out of range");
+      }
+      demand.matched_right = static_cast<size_t>(matched);
+      snap.right_owner[static_cast<size_t>(matched)] =
+          static_cast<uint64_t>(id);
+    }
+    snap.demands[static_cast<uint64_t>(id)] = std::move(demand);
+  }
+  PROMISES_ASSIGN_OR_RETURN(int64_t entries, next());
+  std::map<AssignKey, std::vector<uint64_t>> ledger;
+  for (int64_t i = 0; i < entries; ++i) {
+    PROMISES_ASSIGN_OR_RETURN(int64_t id, next());
+    PROMISES_ASSIGN_OR_RETURN(std::string pred, DecodeField(&cursor));
+    PROMISES_ASSIGN_OR_RETURN(int64_t count, next());
+    std::vector<uint64_t> ids;
+    for (int64_t j = 0; j < count; ++j) {
+      PROMISES_ASSIGN_OR_RETURN(int64_t d, next());
+      ids.push_back(static_cast<uint64_t>(d));
+    }
+    ledger[{PromiseId(static_cast<uint64_t>(id)), std::move(pred)}] =
+        std::move(ids);
+  }
+  PROMISES_ASSIGN_OR_RETURN(int64_t next_demand, next());
+  PROMISES_ASSIGN_OR_RETURN(int64_t reallocations, next());
+  instance_ids_ = std::move(instance_ids);
+  index_of_ = std::move(index_of);
+  ledger_ = std::move(ledger);
+  next_demand_ = static_cast<uint64_t>(next_demand);
+  reallocations_ = static_cast<uint64_t>(reallocations);
+  matcher_.Restore(std::move(snap));
+  return Status::OK();
 }
 
 }  // namespace promises

@@ -45,6 +45,8 @@ class TentativeEngine : public ResourceEngine {
                                       int64_t already_taken) override;
   Result<int64_t> CountHeadroom(Transaction* txn, Timestamp now,
                                 const Predicate& pred) override;
+  std::string SerializeState() const override;
+  Status RestoreState(const std::string& blob) override;
 
   /// Times an augmenting-path search displaced an earlier tentative
   /// choice (the §5 "rearranging" at work); exposed for E4.

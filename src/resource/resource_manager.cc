@@ -104,6 +104,65 @@ std::vector<std::string> ResourceManager::InstanceClasses() const {
   return out;
 }
 
+Result<int64_t> ResourceManager::ExportPoolQuantity(
+    const std::string& cls) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = pools_.find(cls);
+  if (it == pools_.end()) {
+    return Status::NotFound("pool '" + cls + "' not found");
+  }
+  return it->second;
+}
+
+Result<std::vector<InstanceView>> ResourceManager::ExportInstances(
+    const std::string& cls) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const InstanceClass* c = FindClassLocked(cls);
+  if (c == nullptr) {
+    return Status::NotFound("instance class '" + cls + "' not found");
+  }
+  std::vector<InstanceView> out;
+  out.reserve(c->instances.size());
+  for (const auto& [id, record] : c->instances) {
+    out.push_back(InstanceView{id, record.status, record.properties});
+  }
+  return out;
+}
+
+Status ResourceManager::RestorePoolQuantity(const std::string& cls,
+                                            int64_t quantity) {
+  if (quantity < 0) {
+    return Status::InvalidArgument("pool quantity must be >= 0");
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = pools_.find(cls);
+  if (it == pools_.end()) {
+    return Status::NotFound("pool '" + cls + "' not found");
+  }
+  it->second = quantity;
+  return Status::OK();
+}
+
+Status ResourceManager::RestoreInstance(const std::string& cls,
+                                        const std::string& id,
+                                        InstanceStatus status,
+                                        PropertyMap properties) {
+  std::lock_guard<std::mutex> lk(mu_);
+  InstanceClass* c = FindClassLocked(cls);
+  if (c == nullptr) {
+    return Status::NotFound("instance class '" + cls + "' not found");
+  }
+  auto it = c->instances.find(id);
+  if (it == c->instances.end()) {
+    return Status::NotFound("instance '" + id + "' not defined in '" + cls +
+                            "' (definitions must pre-exist on restore)");
+  }
+  PROMISES_RETURN_IF_ERROR(c->schema.ValidateProperties(properties));
+  it->second.status = status;
+  it->second.properties = std::move(properties);
+  return Status::OK();
+}
+
 Result<int64_t> ResourceManager::GetQuantity(Transaction* txn,
                                              const std::string& cls) {
   PROMISES_RETURN_IF_ERROR(txn->Lock(PoolKey(cls), LockMode::kShared));

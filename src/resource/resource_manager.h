@@ -118,6 +118,29 @@ class ResourceManager {
   /// Counts instances currently kAvailable. Shared class lock.
   Result<int64_t> CountAvailable(Transaction* txn, const std::string& cls);
 
+  // --- Checkpoint access (raw: no 2PL, physical mutex only) ---
+  //
+  // Capture and restore deliberately bypass the lock manager: the
+  // caller holds the promise-manager stripe covering `cls`, which is
+  // the real serialization point for every promise-mediated mutation
+  // of that class, so acquiring 2PL locks here would only add
+  // upgrade/deadlock hazards. Definitions (pools, classes, instances)
+  // must pre-exist on restore — the same contract as log replay.
+
+  /// Snapshot of a pool's quantity.
+  Result<int64_t> ExportPoolQuantity(const std::string& cls) const;
+
+  /// Snapshot of every instance of `cls` (id, status, properties).
+  Result<std::vector<InstanceView>> ExportInstances(
+      const std::string& cls) const;
+
+  /// Overwrites a pool's quantity with the checkpointed value.
+  Status RestorePoolQuantity(const std::string& cls, int64_t quantity);
+
+  /// Overwrites one pre-defined instance's status and properties.
+  Status RestoreInstance(const std::string& cls, const std::string& id,
+                         InstanceStatus status, PropertyMap properties);
+
  private:
   struct InstanceRecord {
     InstanceStatus status = InstanceStatus::kAvailable;
