@@ -19,7 +19,7 @@ span-derived phase-latency table is printed so the regression can be
 attributed to a pipeline phase without rerunning anything.
 
 The file schema is detected from the point keys, so the same script
-gates all five benches:
+gates all six benches:
   * BENCH_scaling.json    points keyed by workers, goodput=throughput_ops_s
   * BENCH_chaos.json      points keyed by loss_rate, goodput=goodput_orders_s
   * BENCH_overload.json   points keyed by (offered_rps, shedding),
@@ -36,6 +36,14 @@ gates all five benches:
                           goodput=replay_ops_s (history recovered per
                           second); recovery_ms rides in the p99 slot so
                           the latency gate also bounds time-to-recover.
+  * BENCH_wsba.json       points keyed by loss_rate but carrying
+                          outcome_consistency (detected first),
+                          goodput=activities_per_s, p99=completion_p99_us.
+                          Additionally HARD-gated: any fresh point with
+                          outcome_consistency < 1.0 or audit_ok false
+                          fails regardless of tolerances — atomic
+                          outcomes are a correctness invariant, not a
+                          performance number.
 
 Tolerances are deliberately loose (shared CI runners are noisy); the
 gate exists to catch order-of-magnitude regressions, not 5% drift. The
@@ -74,6 +82,10 @@ def extract_points(doc):
         elif "workers" in p:  # scaling sweep
             out.append((f"workers={p['workers']}", p["throughput_ops_s"],
                         p.get("p99_us")))
+        elif "outcome_consistency" in p:  # wsba sweep (before chaos:
+            # both are keyed by loss_rate)
+            out.append((f"wsba-loss={p['loss_rate']:.2f}",
+                        p["activities_per_s"], p.get("completion_p99_us")))
         elif "loss_rate" in p:  # chaos sweep (no per-point p99)
             out.append((f"loss={p['loss_rate']:.2f}",
                         p["goodput_orders_s"], None))
@@ -123,6 +135,17 @@ def main():
 
     base_by_label = {label: (g, p99) for label, g, p99 in base}
     failures = []
+    # The wsba sweep carries a correctness invariant alongside its
+    # performance numbers: outcome consistency must stay 100% in the
+    # fresh run no matter what the baseline says.
+    for p in fresh_doc.get("points", []):
+        if "outcome_consistency" not in p:
+            continue
+        if p["outcome_consistency"] < 1.0 or not p.get("audit_ok", True):
+            failures.append(
+                f"wsba-loss={p['loss_rate']:.2f}: outcome_consistency "
+                f"{p['outcome_consistency']:.4f} (required: 1.0), "
+                f"audit_ok {p.get('audit_ok')}")
     compared = 0
     for label, fresh_goodput, fresh_p99 in fresh:
         if label not in base_by_label:

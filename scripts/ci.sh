@@ -71,7 +71,7 @@ run_bench() {
   cmake --preset default
   cmake --build --preset default -j "${JOBS}" \
     --target bench_scaling --target bench_chaos --target bench_overload \
-    --target bench_durability --target bench_recovery
+    --target bench_durability --target bench_recovery --target bench_a2_wsba
   local bench
   for bench in scaling chaos overload durability recovery; do
     echo "--- bench_${bench} ---"
@@ -79,6 +79,12 @@ run_bench() {
     python3 scripts/check_bench.py \
       "BENCH_${bench}.json" "build/BENCH_${bench}.json"
   done
+  # The wsba sweep ships as bench_a2_wsba (the A2 ablation grown into a
+  # sweep); its binary self-gates on 100% outcome consistency and the
+  # checker re-gates the committed baseline comparison.
+  echo "--- bench_a2_wsba ---"
+  ./build/bench/bench_a2_wsba build/BENCH_wsba.json
+  python3 scripts/check_bench.py BENCH_wsba.json build/BENCH_wsba.json
 }
 
 run_lint() {
@@ -97,7 +103,7 @@ run_chaos() {
   # one fresh-seed run to probe schedules the fixed seed never hits.
   # The seed is exported and echoed so a failure is reproducible with
   # PROMISES_CHAOS_SEED=<seed> scripts/ci.sh chaos.
-  run_preset asan -R 'Chaos|FaultInjector|TransportFault|RetryPolicy|RetryClock|Idempotency|Overload|Breaker|Admission|Trace|GroupCommit|Recovery|Checkpoint|OplogScan'
+  run_preset asan -R 'Chaos|FaultInjector|TransportFault|RetryPolicy|RetryClock|Idempotency|Overload|Breaker|Admission|Trace|GroupCommit|Recovery|Checkpoint|OplogScan|Wsba'
   local seed="${PROMISES_CHAOS_SEED:-$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')}"
   echo "=== chaos randomized run: PROMISES_CHAOS_SEED=${seed} ==="
   PROMISES_CHAOS_SEED="${seed}" \
@@ -116,7 +122,7 @@ case "${MODE}" in
     # TSan over the full suite is slow on small runners; the concurrency
     # and transaction tests are where data races would live — including
     # the chaos workload's retry/dedup path.
-    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Idempotency|Overload|Breaker|Admission|Trace|Metrics|GroupCommit|Recovery|Checkpoint|OplogScan'
+    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Idempotency|Overload|Breaker|Admission|Trace|Metrics|GroupCommit|Recovery|Checkpoint|OplogScan|Wsba'
     ;;
   chaos)
     run_chaos
@@ -133,7 +139,7 @@ case "${MODE}" in
   all)
     run_preset default
     run_preset asan
-    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Idempotency|Overload|Breaker|Admission|Trace|Metrics|GroupCommit|Recovery|Checkpoint|OplogScan'
+    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Idempotency|Overload|Breaker|Admission|Trace|Metrics|GroupCommit|Recovery|Checkpoint|OplogScan|Wsba'
     run_chaos
     run_overload
     run_bench

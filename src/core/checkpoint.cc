@@ -23,6 +23,8 @@ struct CheckpointMetrics {
   Counter* install_failures;
   Counter* snapshot_recoveries;
   Counter* full_replays;
+  Counter* periodic_captures;
+  Counter* periodic_skips;
 
   static CheckpointMetrics& Get() {
     static CheckpointMetrics m{
@@ -34,6 +36,10 @@ struct CheckpointMetrics {
             "promises_recovery_snapshot_total"),
         MetricsRegistry::Global().GetCounter(
             "promises_recovery_full_replay_total"),
+        MetricsRegistry::Global().GetCounter(
+            "promises_checkpoint_periodic_captures_total"),
+        MetricsRegistry::Global().GetCounter(
+            "promises_checkpoint_periodic_skips_total"),
     };
     return m;
   }
@@ -418,7 +424,29 @@ Result<uint64_t> CheckpointWriter::RunOnce() {
     return st;
   }
   metrics.installs->Increment();
+  last_installed_lsn_.store(data->cut_lsn, std::memory_order_relaxed);
   return data->cut_lsn;
+}
+
+void CheckpointWriter::TickOnce() {
+  CheckpointMetrics& metrics = CheckpointMetrics::Get();
+  // Idle servers checkpoint nothing: when no LSN landed since the last
+  // install, re-capturing would rewrite an identical snapshot and
+  // re-truncate an already-compacted prefix for no recovery benefit.
+  Result<LogCut> cut = log_->CutPoint();
+  if (cut.ok() &&
+      cut->sequence <= last_installed_lsn_.load(std::memory_order_relaxed)) {
+    periodic_skips_.fetch_add(1, std::memory_order_relaxed);
+    metrics.periodic_skips->Increment();
+    return;
+  }
+  ScopedSpan span("checkpoint-capture");
+  periodic_captures_.fetch_add(1, std::memory_order_relaxed);
+  metrics.periodic_captures->Increment();
+  Result<uint64_t> installed = RunOnce();
+  if (!installed.ok()) {
+    span.set_status(StatusCodeToString(installed.status().code()));
+  }
 }
 
 Status CheckpointWriter::Start(DurationMs interval_ms) {
@@ -441,7 +469,7 @@ Status CheckpointWriter::Start(DurationMs interval_ms) {
       lock.unlock();
       // Failures are loud through metrics/spans but do not stop the
       // cadence; the next tick retries with a fresh cut.
-      (void)RunOnce();
+      TickOnce();
       lock.lock();
     }
   });

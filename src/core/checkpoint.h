@@ -27,6 +27,7 @@
 #ifndef PROMISES_CORE_CHECKPOINT_H_
 #define PROMISES_CORE_CHECKPOINT_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -115,13 +116,37 @@ class CheckpointWriter {
 
   /// Starts a background thread checkpointing every `interval_ms` of
   /// wall-clock time until Stop (idempotent; Stop implied by dtor).
+  /// Idle ticks are skipped: when the log's cut point has not advanced
+  /// past the last installed checkpoint, the tick counts as a skip
+  /// instead of re-capturing an identical snapshot.
   Status Start(DurationMs interval_ms);
   void Stop();
 
+  /// Cadence accounting (periodic ticks only; explicit RunOnce calls
+  /// always capture and are not counted here).
+  uint64_t periodic_captures() const {
+    return periodic_captures_.load(std::memory_order_relaxed);
+  }
+  uint64_t periodic_skips() const {
+    return periodic_skips_.load(std::memory_order_relaxed);
+  }
+  /// Cut LSN of the most recent successful install (0 = none yet).
+  uint64_t last_installed_lsn() const {
+    return last_installed_lsn_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// One periodic tick: skip when the log has no new LSNs since the
+  /// last install, otherwise capture under a span.
+  void TickOnce();
+
   PromiseManager* pm_;
   OperationLog* log_;
   std::string path_;
+
+  std::atomic<uint64_t> periodic_captures_{0};
+  std::atomic<uint64_t> periodic_skips_{0};
+  std::atomic<uint64_t> last_installed_lsn_{0};
 
   std::mutex mu_;
   std::condition_variable cv_;

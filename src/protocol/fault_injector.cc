@@ -30,10 +30,36 @@ FaultInjector::Decision FaultInjector::Decide() {
   return d;
 }
 
+void FaultInjector::InjectCrashAt(const std::string& point,
+                                  uint64_t passage) {
+  std::lock_guard<std::mutex> lk(mu_);
+  CrashPoint& cp = crash_points_[point];
+  cp.armed = passage > 0;
+  cp.remaining = passage;
+}
+
+bool FaultInjector::AtCrashPoint(const std::string& point) {
+  std::lock_guard<std::mutex> lk(mu_);
+  CrashPoint& cp = crash_points_[point];
+  ++cp.passes;
+  if (!cp.armed) return false;
+  if (--cp.remaining > 0) return false;
+  cp.armed = false;
+  ++counters_.crash_points_fired;
+  return true;
+}
+
+uint64_t FaultInjector::CrashPointPasses(const std::string& point) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = crash_points_.find(point);
+  return it == crash_points_.end() ? 0 : it->second.passes;
+}
+
 void FaultInjector::Reset(uint64_t seed) {
   std::lock_guard<std::mutex> lk(mu_);
   rng_ = Rng(seed);
   counters_ = FaultCounters{};
+  crash_points_.clear();
 }
 
 }  // namespace promises

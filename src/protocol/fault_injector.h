@@ -15,7 +15,9 @@
 #define PROMISES_PROTOCOL_FAULT_INJECTOR_H_
 
 #include <cstdint>
+#include <map>
 #include <mutex>
+#include <string>
 
 #include "common/rng.h"
 
@@ -56,6 +58,10 @@ struct FaultCounters {
   uint64_t replies_dropped = 0;
   uint64_t duplicates = 0;
   uint64_t delay_spikes = 0;
+  /// Deterministic crash points fired (see AtCrashPoint). Not part of
+  /// total_faults(): crash points are armed explicitly by tests, not
+  /// drawn from the random fault stream.
+  uint64_t crash_points_fired = 0;
 
   uint64_t total_faults() const {
     return crashes + requests_dropped + replies_dropped + duplicates +
@@ -94,14 +100,44 @@ class FaultInjector {
     return counters_;
   }
 
-  /// Restarts the stream (new seed, zeroed counters, same config).
+  // ---- Deterministic crash points -----------------------------------
+  //
+  // Modeled on OperationLog::InjectTornWrite: fault-tolerant components
+  // call AtCrashPoint("name") at their crash-consistency boundaries
+  // (e.g. the wsba coordinator before/after its decision append and
+  // between participant notifications). A test arms a point with
+  // InjectCrashAt; the armed passage returns true exactly once — the
+  // component then simulates dying at that boundary — and the point
+  // disarms. Unarmed points cost one map lookup and never fire.
+
+  /// Arms `point` to fire on its `passage`-th future passage (1 = the
+  /// very next AtCrashPoint call for that name). Re-arming replaces
+  /// any previous arming.
+  void InjectCrashAt(const std::string& point, uint64_t passage = 1);
+
+  /// Rules on one passage of `point`: true exactly when an armed
+  /// passage is reached (one-shot; the point disarms).
+  bool AtCrashPoint(const std::string& point);
+
+  /// Total times execution passed `point` (fired or not).
+  uint64_t CrashPointPasses(const std::string& point) const;
+
+  /// Restarts the stream (new seed, zeroed counters and crash points,
+  /// same config).
   void Reset(uint64_t seed);
 
  private:
+  struct CrashPoint {
+    bool armed = false;
+    uint64_t remaining = 0;  ///< Passages until the armed one fires.
+    uint64_t passes = 0;
+  };
+
   mutable std::mutex mu_;
   FaultConfig config_;
   FaultCounters counters_;
   Rng rng_;
+  std::map<std::string, CrashPoint> crash_points_;
 };
 
 }  // namespace promises

@@ -198,12 +198,22 @@ Status TcpEndpointServer::Start(uint16_t port, EndpointHandler handler,
     worker_threads_.emplace_back([this] { WorkerLoop(); });
   }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (options_.background_start) {
+    Status st = options_.background_start();
+    if (!st.ok()) {
+      // The service refused to come up; serving without it would
+      // silently drop the maintenance the owner asked for.
+      Stop();
+      return st;
+    }
+  }
   return Status::OK();
 }
 
 void TcpEndpointServer::Stop() {
   int fd = listen_fd_.exchange(-1);
   if (fd < 0) return;
+  if (options_.background_stop) options_.background_stop();
   stopping_ = true;
   ::shutdown(fd, SHUT_RDWR);
   ::close(fd);

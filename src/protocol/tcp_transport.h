@@ -39,6 +39,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -72,6 +73,15 @@ struct TcpServerOptions {
   /// legacy collapse mode where the server burns workers on requests
   /// whose clients have already given up.
   bool shed_expired = true;
+  /// Background-service hooks bound to the server's lifetime. The
+  /// protocol layer cannot depend on core, so owners wire periodic
+  /// maintenance — e.g. a CheckpointWriter cadence over the manager
+  /// this server fronts — through these: `background_start` runs after
+  /// the listener is up (a failure aborts Start and tears the listener
+  /// back down); `background_stop` runs first thing in Stop, before
+  /// the worker pool drains.
+  std::function<Status()> background_start;
+  std::function<void()> background_stop;
 };
 
 /// Hosts an EndpointHandler on a loopback TCP port behind a bounded

@@ -5,13 +5,18 @@
 #include <memory>
 #include <thread>
 
+#include <algorithm>
+#include <mutex>
+
 #include "common/clock.h"
 #include "common/rng.h"
+#include "core/oplog.h"
 #include "predicate/ast.h"
 #include "resource/resource_manager.h"
 #include "service/client.h"
 #include "service/services.h"
 #include "txn/transaction.h"
+#include "wsba/business_activity.h"
 
 namespace promises {
 
@@ -328,6 +333,414 @@ std::string ChaosReport::Summary() const {
   }
   if (violations.empty()) {
     out += "audit: all invariants hold\n";
+  } else {
+    for (const std::string& v : violations) {
+      out += "VIOLATION: " + v + "\n";
+    }
+  }
+  return out;
+}
+
+// ---- WS-BusinessActivity chaos ---------------------------------------
+
+namespace {
+
+// Per-participant callback tallies for the exactly-once audit.
+struct WsbaWork {
+  int closed = 0;
+  int compensated = 0;
+  int cancelled = 0;
+  BusinessActivityParticipant::Callbacks Callbacks() {
+    return {
+        [this] { ++closed; return Status::OK(); },
+        [this] { ++compensated; return Status::OK(); },
+        [this] { ++cancelled; },
+    };
+  }
+  int undone() const { return compensated + cancelled; }
+};
+
+// One activity's world: participants plus their tallies, destroyed
+// together after that activity's audit.
+struct WsbaActivityWorld {
+  std::vector<std::unique_ptr<WsbaWork>> works;
+  std::vector<std::unique_ptr<BusinessActivityParticipant>> parts;
+};
+
+WsbaActivityWorld MakeActivityWorld(Transport* transport,
+                                    const std::string& prefix, int count,
+                                    const ParticipantOptions& opts) {
+  WsbaActivityWorld world;
+  for (int k = 0; k < count; ++k) {
+    world.works.push_back(std::make_unique<WsbaWork>());
+    world.parts.push_back(std::make_unique<BusinessActivityParticipant>(
+        prefix + "-p" + std::to_string(k), transport,
+        world.works.back()->Callbacks(), opts));
+  }
+  return world;
+}
+
+// Drives a decided activity until it resolves, re-driving through
+// transient unreachability. Returns the final outcome, or kOpen when
+// the re-drive budget ran out.
+ActivityOutcome DriveToResolution(BusinessActivityCoordinator* coordinator,
+                                  ActivityId activity, bool close,
+                                  int max_redrives, uint64_t* redrives) {
+  Result<ActivityOutcome> outcome = close
+                                        ? coordinator->CloseActivity(activity)
+                                        : coordinator->CancelActivity(activity);
+  for (int i = 0; i < max_redrives; ++i) {
+    if (outcome.ok() && *outcome != ActivityOutcome::kOpen) return *outcome;
+    if (!outcome.ok() && outcome.status().code() != StatusCode::kUnavailable) {
+      return ActivityOutcome::kOpen;  // terminal refusal; caller audits
+    }
+    if (redrives != nullptr) ++*redrives;
+    outcome = coordinator->ReDrive(activity);
+  }
+  return outcome.ok() ? *outcome : ActivityOutcome::kOpen;
+}
+
+// The atomic-outcome audit for one finished activity. The durable
+// executed-outcome per participant is authoritative (it survives a
+// participant restart, unlike the in-memory callback tallies, which
+// only bound each participant *life* to at most one callback run).
+void AuditActivity(const WsbaActivityWorld& world, ActivityId activity,
+                   ActivityOutcome outcome, const std::string& label,
+                   std::vector<std::string>* violations) {
+  int exec_close = 0;
+  int exec_undo = 0;
+  for (size_t k = 0; k < world.parts.size(); ++k) {
+    const WsbaWork& w = *world.works[k];
+    if (w.closed + w.undone() > 1) {
+      violations->push_back(label + " participant " + std::to_string(k) +
+                            " ran callbacks " +
+                            std::to_string(w.closed + w.undone()) +
+                            " times (exactly-once broken)");
+    }
+    const std::string executed =
+        world.parts[k]->ExecutedOutcome(activity);
+    if (executed == "close") {
+      ++exec_close;
+    } else if (executed == "compensate" || executed == "cancel") {
+      ++exec_undo;
+    } else if (outcome != ActivityOutcome::kOpen) {
+      violations->push_back(label + " participant " + std::to_string(k) +
+                            " stranded with no executed outcome");
+    }
+  }
+  if (exec_close > 0 && exec_undo > 0) {
+    violations->push_back(label + " mixed outcomes: " +
+                          std::to_string(exec_close) + " closed AND " +
+                          std::to_string(exec_undo) + " undone");
+  }
+  if (outcome == ActivityOutcome::kClosed &&
+      exec_close != static_cast<int>(world.parts.size())) {
+    violations->push_back(label + " closed but only " +
+                          std::to_string(exec_close) + "/" +
+                          std::to_string(world.parts.size()) +
+                          " participants confirmed");
+  }
+  if (outcome == ActivityOutcome::kCompensated &&
+      exec_undo != static_cast<int>(world.parts.size())) {
+    violations->push_back(label + " compensated but only " +
+                          std::to_string(exec_undo) + "/" +
+                          std::to_string(world.parts.size()) +
+                          " participants undone");
+  }
+  if (outcome == ActivityOutcome::kMixed) {
+    violations->push_back(label + " coordinator reported mixed outcome");
+  }
+  if (outcome == ActivityOutcome::kOpen) {
+    violations->push_back(label + " unresolved after all re-drives");
+  }
+}
+
+}  // namespace
+
+WsbaChaosReport RunWsbaChaosWorkload(const WsbaChaosConfig& config) {
+  const double prior_sampling = Tracer::Global().sampling();
+  if (config.trace_sampling > 0) {
+    SpanCollector::Global().Reset();
+    Tracer::Global().set_sampling(config.trace_sampling);
+  }
+
+  WsbaChaosReport report;
+  Transport transport;
+  FaultInjector injector(config.seed);
+  FaultConfig faults = config.faults;
+  faults.crash = 0;  // coordinator crashes are the deterministic rounds
+  injector.Configure(faults);
+  transport.set_fault_injector(&injector);
+
+  const std::string tag =
+      std::to_string(config.seed) + "_" +
+      std::to_string(reinterpret_cast<uintptr_t>(&report));
+  const std::string coord_log_path =
+      "/tmp/promises_wsba_chaos_coord_" + tag + ".log";
+  const std::string part_log_path =
+      "/tmp/promises_wsba_chaos_part_" + tag + ".log";
+  std::remove(coord_log_path.c_str());
+  std::remove(part_log_path.c_str());
+
+  OperationLog coord_log;
+  (void)coord_log.Open(coord_log_path);
+  OperationLog part_log;
+  (void)part_log.Open(part_log_path);
+
+  CoordinatorOptions copts;
+  copts.log = &coord_log;
+  copts.retry = config.retry;
+  copts.retry_seed = config.seed * 17 + 1;
+  copts.crash_points = &injector;
+  auto coordinator = std::make_unique<BusinessActivityCoordinator>(
+      "coordinator", &transport, copts);
+
+  std::mutex report_mu;
+  auto started = std::chrono::steady_clock::now();
+
+  // ---- Phase A: concurrent activities under message chaos ----
+  auto worker_fn = [&](int w) {
+    Rng rng(config.seed * 7919 + static_cast<uint64_t>(w) + 1);
+    ParticipantOptions popts;
+    popts.retry = config.retry;
+    for (int i = 0; i < config.activities_per_worker; ++i) {
+      popts.retry_seed =
+          config.seed * 101 + static_cast<uint64_t>(w) * 1000 +
+          static_cast<uint64_t>(i);
+      const std::string prefix =
+          "w" + std::to_string(w) + "-a" + std::to_string(i);
+      WsbaActivityWorld world = MakeActivityWorld(
+          &transport, prefix, config.participants_per_activity, popts);
+      auto activity_started = std::chrono::steady_clock::now();
+      ActivityId activity = coordinator->CreateActivity();
+      bool all_signalled = true;
+      for (auto& part : world.parts) {
+        auto id = coordinator->Register(activity, part->endpoint());
+        if (!id.ok()) {
+          all_signalled = false;
+          continue;
+        }
+        part->Enlist("coordinator", activity, *id);
+        // Signals retransmit internally; an exhausted budget leaves
+        // the participant active, forcing the cancel path below.
+        if (!part->SignalCompleted(activity).ok()) all_signalled = false;
+      }
+      const bool want_close =
+          all_signalled && rng.Chance(config.close_fraction);
+      uint64_t redrives = 0;
+      ActivityOutcome outcome =
+          DriveToResolution(coordinator.get(), activity, want_close,
+                            config.max_redrives, &redrives);
+      // Participants that missed their order (or whose ack was lost
+      // beyond the budget) reconcile via the timeout path.
+      for (auto& part : world.parts) {
+        if (part->ExecutedOutcome(activity).empty()) {
+          (void)part->QueryOutcome(activity);
+        }
+      }
+      auto activity_finished = std::chrono::steady_clock::now();
+      std::lock_guard<std::mutex> lk(report_mu);
+      report.redrives += redrives;
+      ++report.activities;
+      switch (outcome) {
+        case ActivityOutcome::kClosed: ++report.closed; break;
+        case ActivityOutcome::kCompensated: ++report.compensated; break;
+        case ActivityOutcome::kMixed: ++report.mixed; break;
+        case ActivityOutcome::kOpen: ++report.unresolved; break;
+      }
+      if (outcome != ActivityOutcome::kOpen) {
+        report.completion_us.push_back(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                activity_finished - activity_started)
+                .count());
+      }
+      AuditActivity(world, activity, outcome, prefix, &report.violations);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(config.workers);
+  for (int w = 0; w < config.workers; ++w) threads.emplace_back(worker_fn, w);
+  for (std::thread& t : threads) t.join();
+
+  // ---- Phase B: sequential coordinator crash/recovery rounds ----
+  static constexpr const char* kCrashPoints[] = {
+      "wsba-pre-decision", "wsba-post-decision", "wsba-pre-notify",
+      "wsba-post-notify", "wsba-pre-ended"};
+  Rng crash_rng(config.seed * 31337 + 7);
+  for (int round = 0; round < config.crash_rounds; ++round) {
+    ++report.crash_rounds_run;
+    const std::string prefix = "crash-r" + std::to_string(round);
+    ParticipantOptions popts;
+    popts.log = &part_log;
+    popts.retry = config.retry;
+    popts.retry_seed = config.seed * 211 + static_cast<uint64_t>(round);
+    WsbaActivityWorld world = MakeActivityWorld(
+        &transport, prefix, config.participants_per_activity, popts);
+    ActivityId activity = coordinator->CreateActivity();
+    bool all_signalled = true;
+    for (auto& part : world.parts) {
+      auto id = coordinator->Register(activity, part->endpoint());
+      if (!id.ok()) { all_signalled = false; continue; }
+      part->Enlist("coordinator", activity, *id);
+      if (!part->SignalCompleted(activity).ok()) all_signalled = false;
+    }
+    const size_t point_index = static_cast<size_t>(crash_rng.UniformInt(
+        0, static_cast<int>(std::size(kCrashPoints)) - 1));
+    const uint64_t passage = static_cast<uint64_t>(
+        crash_rng.UniformInt(1, config.participants_per_activity));
+    injector.InjectCrashAt(kCrashPoints[point_index], passage);
+    const bool want_close =
+        all_signalled && crash_rng.Chance(config.close_fraction);
+
+    // The round loop survives the crash firing at any moment — during
+    // the first drive, during recovery's re-drive, or (for an armed
+    // passage beyond this round's fan-out) not at all.
+    ActivityOutcome outcome = ActivityOutcome::kOpen;
+    for (int guard = 0; guard < 4 && outcome == ActivityOutcome::kOpen;
+         ++guard) {
+      if (coordinator->crashed()) {
+        ++report.crashes_fired;
+        // The "crash": coordinator object destroyed, log closed with
+        // whatever the group-commit queue accepted, then the twin
+        // world reopens the log (torn-tail scan) and recovers.
+        report.order_retransmissions += coordinator->retransmissions();
+        coordinator.reset();
+        coord_log.Close();
+        (void)coord_log.Open(coord_log_path);
+        if (config.participant_restart && !world.parts.empty()) {
+          // One participant dies with the coordinator and is rebuilt
+          // from its own log before recovery reaches it.
+          size_t victim = static_cast<size_t>(crash_rng.UniformInt(
+              0, static_cast<int>(world.parts.size()) - 1));
+          std::string endpoint = world.parts[victim]->endpoint();
+          world.parts[victim].reset();
+          world.works[victim] = std::make_unique<WsbaWork>();
+          world.parts[victim] =
+              std::make_unique<BusinessActivityParticipant>(
+                  endpoint, &transport, world.works[victim]->Callbacks(),
+                  popts);
+          (void)RecoverParticipant(world.parts[victim].get(), part_log_path);
+        }
+        coordinator = std::make_unique<BusinessActivityCoordinator>(
+            "coordinator", &transport, copts);
+        auto recovery = RecoverCoordinator(coordinator.get(), coord_log_path);
+        if (recovery.ok()) {
+          report.presumed_aborts += recovery->presumed_abort;
+        } else {
+          report.violations.push_back(prefix + " recovery failed: " +
+                                      recovery.status().ToString());
+        }
+        continue;
+      }
+      auto resolved = coordinator->OutcomeOf(activity);
+      if (resolved.ok() && *resolved != ActivityOutcome::kOpen) {
+        outcome = *resolved;
+        break;
+      }
+      auto decision = coordinator->DecisionOf(activity);
+      const bool drive_close =
+          decision.ok() && *decision != ActivityDecision::kNone
+              ? *decision == ActivityDecision::kClose
+              : want_close;
+      outcome = DriveToResolution(coordinator.get(), activity, drive_close,
+                                  config.max_redrives, &report.redrives);
+    }
+    for (auto& part : world.parts) {
+      if (part->ExecutedOutcome(activity).empty()) {
+        (void)part->QueryOutcome(activity);
+      }
+    }
+    ++report.activities;
+    switch (outcome) {
+      case ActivityOutcome::kClosed: ++report.closed; break;
+      case ActivityOutcome::kCompensated: ++report.compensated; break;
+      case ActivityOutcome::kMixed: ++report.mixed; break;
+      case ActivityOutcome::kOpen: ++report.unresolved; break;
+    }
+    AuditActivity(world, activity, outcome, prefix, &report.violations);
+  }
+  auto finished = std::chrono::steady_clock::now();
+
+  if (coordinator != nullptr) {
+    report.order_retransmissions += coordinator->retransmissions();
+    coordinator.reset();
+  }
+  report.wall_time_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(finished -
+                                                            started)
+          .count();
+  report.transport = transport.stats();
+  report.faults = injector.counters();
+  if (config.trace_sampling > 0) {
+    Tracer::Global().set_sampling(prior_sampling);
+    std::vector<Span> spans = SpanCollector::Global().Drain();
+    report.spans_collected = spans.size();
+    report.spans_dropped = SpanCollector::Global().dropped();
+    report.phases = AggregatePhases(spans);
+  }
+  coord_log.Close();
+  part_log.Close();
+  std::remove(coord_log_path.c_str());
+  std::remove(part_log_path.c_str());
+  return report;
+}
+
+int64_t WsbaChaosReport::CompletionPercentileUs(double p) const {
+  if (completion_us.empty()) return 0;
+  std::vector<int64_t> sorted = completion_us;
+  std::sort(sorted.begin(), sorted.end());
+  double rank = p * static_cast<double>(sorted.size() - 1);
+  size_t idx = static_cast<size_t>(rank + 0.5);
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+std::string WsbaChaosReport::Summary() const {
+  char buf[512];
+  std::string out;
+  std::snprintf(
+      buf, sizeof(buf),
+      "activities: %llu total, %llu closed, %llu compensated, %llu mixed, "
+      "%llu unresolved (consistency %.4f)\n",
+      static_cast<unsigned long long>(activities),
+      static_cast<unsigned long long>(closed),
+      static_cast<unsigned long long>(compensated),
+      static_cast<unsigned long long>(mixed),
+      static_cast<unsigned long long>(unresolved), OutcomeConsistency());
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "wire: %llu messages, %llu retries (amplification %.3f), "
+      "%llu order retransmissions; faults: %llu dropped-req, "
+      "%llu dropped-reply, %llu duplicated\n",
+      static_cast<unsigned long long>(transport.messages),
+      static_cast<unsigned long long>(transport.retries),
+      RetryAmplification(),
+      static_cast<unsigned long long>(order_retransmissions),
+      static_cast<unsigned long long>(faults.requests_dropped),
+      static_cast<unsigned long long>(faults.replies_dropped),
+      static_cast<unsigned long long>(faults.duplicates));
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "crash matrix: %llu rounds, %llu crashes fired, %llu presumed "
+      "aborts, %llu re-drives; completion p50 %lld us, p99 %lld us\n",
+      static_cast<unsigned long long>(crash_rounds_run),
+      static_cast<unsigned long long>(crashes_fired),
+      static_cast<unsigned long long>(presumed_aborts),
+      static_cast<unsigned long long>(redrives),
+      static_cast<long long>(CompletionPercentileUs(0.5)),
+      static_cast<long long>(CompletionPercentileUs(0.99)));
+  out += buf;
+  if (!phases.empty()) {
+    std::snprintf(buf, sizeof(buf), "spans: %llu collected, %llu dropped\n",
+                  static_cast<unsigned long long>(spans_collected),
+                  static_cast<unsigned long long>(spans_dropped));
+    out += buf;
+    out += FormatPhaseTable(phases);
+  }
+  if (violations.empty()) {
+    out += "audit: atomic outcomes hold\n";
   } else {
     for (const std::string& v : violations) {
       out += "VIOLATION: " + v + "\n";

@@ -146,6 +146,99 @@ struct ChaosReport {
 /// `FormatTransportStats` in sim/metrics.h.)
 ChaosReport RunChaosWorkload(const ChaosConfig& config);
 
+// ---- WS-BusinessActivity chaos ---------------------------------------
+//
+// Travel-order-style workload over the crash-tolerant wsba layer: many
+// concurrent multi-participant activities are driven to Close or
+// Cancel through a faulty transport (drops, dups, delays), followed by
+// sequential crash/recovery rounds that kill the coordinator at an
+// armed crash point mid-fan-out (and optionally restart a participant)
+// before a twin is recovered from the decision log. The post-run audit
+// checks the atomic-outcome invariant: no activity ever ends with
+// mixed Close and Compensate/Cancel outcomes across its participants,
+// every callback ran at most once, and nothing stays unresolved.
+
+struct WsbaChaosConfig {
+  int participants_per_activity = 3;
+  int workers = 4;
+  int activities_per_worker = 8;
+  double close_fraction = 0.6;  ///< Remaining activities are cancelled.
+  /// Fault schedule for the transport. `crash` is zeroed (coordinator
+  /// crashes are the deterministic crash rounds below, not a random
+  /// transport fault).
+  FaultConfig faults;
+  /// Outcome-order / signal retransmission policy. Generous for the
+  /// same convergence reason as ChaosConfig::retry.
+  RetryPolicy retry{/*max_attempts=*/12, /*deadline_ms=*/30'000,
+                    /*initial_backoff_ms=*/1, /*backoff_multiplier=*/2.0,
+                    /*max_backoff_ms=*/8, /*jitter=*/0.25};
+  uint64_t seed = 42;
+  /// Sequential coordinator crash/recovery rounds appended after the
+  /// concurrent phase. Each round kills the coordinator at a randomly
+  /// chosen crash point and passage, recovers a twin from the log and
+  /// re-drives; 0 disables.
+  int crash_rounds = 0;
+  /// When true, each crash round also restarts one participant
+  /// (destroy + rebuild + RecoverParticipant) before recovery.
+  bool participant_restart = true;
+  /// Extra ReDrive attempts when faults leave participants unreachable
+  /// through a whole retry budget.
+  int max_redrives = 16;
+  /// Trace sampling as in ChaosConfig.
+  double trace_sampling = 0;
+};
+
+struct WsbaChaosReport {
+  uint64_t activities = 0;
+  uint64_t closed = 0;
+  uint64_t compensated = 0;
+  uint64_t mixed = 0;
+  uint64_t unresolved = 0;  ///< Still open after all re-drives.
+
+  uint64_t order_retransmissions = 0;  ///< Coordinator order re-sends.
+  uint64_t crash_rounds_run = 0;
+  uint64_t crashes_fired = 0;
+  uint64_t presumed_aborts = 0;
+  uint64_t redrives = 0;
+
+  TransportStats transport;
+  FaultCounters faults;
+  int64_t wall_time_us = 0;
+  /// Per-activity create-to-resolved latency (concurrent phase only).
+  std::vector<int64_t> completion_us;
+
+  std::vector<PhaseStat> phases;
+  uint64_t spans_collected = 0;
+  uint64_t spans_dropped = 0;
+
+  /// Atomic-outcome violations; empty = pass.
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  /// Fraction of activities that ended in one consistent outcome
+  /// (1.0 = the invariant held everywhere).
+  double OutcomeConsistency() const {
+    return activities == 0
+               ? 1.0
+               : static_cast<double>(activities - mixed - unresolved) /
+                     static_cast<double>(activities);
+  }
+  int64_t CompletionPercentileUs(double p) const;
+  /// Wire orders per logical order: 1.0 = no retransmissions.
+  double RetryAmplification() const {
+    uint64_t logical = transport.messages > transport.retries
+                           ? transport.messages - transport.retries
+                           : transport.messages;
+    return logical == 0 ? 1.0
+                        : static_cast<double>(transport.messages) /
+                              static_cast<double>(logical);
+  }
+
+  std::string Summary() const;
+};
+
+WsbaChaosReport RunWsbaChaosWorkload(const WsbaChaosConfig& config);
+
 }  // namespace promises
 
 #endif  // PROMISES_SIM_CHAOS_H_

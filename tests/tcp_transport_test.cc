@@ -9,8 +9,10 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdio>
 #include <thread>
 
+#include "core/checkpoint.h"
 #include "core/promise_manager.h"
 #include "protocol/fault_injector.h"
 #include "protocol/tcp_transport.h"
@@ -392,6 +394,99 @@ TEST(TcpTransportTest, ReplyLossRetryOverTheWireReturnsOriginalGrant) {
   EXPECT_NE(manager.FindPromise(id), nullptr);
   EXPECT_EQ(manager.stats().granted, 1u);
   EXPECT_EQ(manager.stats().duplicates_replayed, 1u);
+}
+
+TEST(TcpTransportTest, PeriodicCheckpointCadenceOverServerLifetime) {
+  // The ROADMAP item-4 follow-on: a CheckpointWriter cadence bound to
+  // the server through the background hooks. Idle ticks skip (no new
+  // LSNs), wire traffic that appends to the log makes the next tick
+  // capture, and Stop() winds the cadence down with the server.
+  const std::string log_path =
+      "/tmp/promises_tcp_ckpt_log_" +
+      std::to_string(reinterpret_cast<uintptr_t>(&log_path));
+  const std::string ckpt_path = log_path + ".ckpt";
+  std::remove(log_path.c_str());
+  std::remove(ckpt_path.c_str());
+  std::remove((ckpt_path + ".tmp").c_str());
+
+  SystemClock clock;
+  ResourceManager rm;
+  TransactionManager tm;
+  ASSERT_TRUE(rm.CreatePool("widget", 10).ok());
+  PromiseManagerConfig config;
+  config.name = "net-pm";
+  PromiseManager manager(config, &clock, &rm, &tm);
+  OperationLog log;
+  ASSERT_TRUE(log.Open(log_path).ok());
+  ASSERT_TRUE(manager.AttachLog(&log).ok());
+  CheckpointWriter writer(&manager, &log, ckpt_path);
+
+  TcpServerOptions options;
+  options.background_start = [&] { return writer.Start(2); };
+  options.background_stop = [&] { writer.Stop(); };
+  TcpEndpointServer server;
+  ASSERT_TRUE(
+      server
+          .Start(0, [&](const Envelope& env) { return manager.Handle(env); },
+                 options)
+          .ok());
+
+  auto wait_until = [](const std::function<bool()>& done) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(5);
+    while (!done() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return done();
+  };
+
+  // Before any traffic the log has no LSNs: ticks only skip.
+  ASSERT_TRUE(wait_until([&] { return writer.periodic_skips() >= 2; }));
+  EXPECT_EQ(writer.periodic_captures(), 0u);
+  EXPECT_EQ(writer.last_installed_lsn(), 0u);
+
+  // One granted promise over the wire appends to the log; the next
+  // tick captures and installs a checkpoint at that cut.
+  TcpClientChannel channel;
+  ASSERT_TRUE(channel.Connect(server.port()).ok());
+  Envelope req;
+  req.message_id = MessageId(1);
+  req.from = "net-client";
+  req.to = "net-pm";
+  PromiseRequestHeader header;
+  header.request_id = RequestId(1);
+  header.duration_ms = 30'000;
+  header.predicates.push_back(
+      Predicate::Quantity("widget", CompareOp::kGe, 4));
+  req.promise_request = std::move(header);
+  auto reply = channel.Call(req);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_TRUE(wait_until([&] { return writer.periodic_captures() >= 1; }));
+  ASSERT_TRUE(wait_until([&] { return writer.last_installed_lsn() >= 1; }));
+  std::FILE* f = std::fopen(ckpt_path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << ckpt_path;
+  if (f != nullptr) std::fclose(f);
+
+  // With the traffic drained the cadence goes back to skipping instead
+  // of re-installing identical snapshots.
+  const uint64_t captures_after_install = writer.periodic_captures();
+  const uint64_t skips_before_idle = writer.periodic_skips();
+  ASSERT_TRUE(wait_until(
+      [&] { return writer.periodic_skips() > skips_before_idle; }));
+  EXPECT_EQ(writer.periodic_captures(), captures_after_install);
+
+  // Stop() tears the cadence down through background_stop: no further
+  // ticks of either kind land once it returns.
+  server.Stop();
+  const uint64_t ticks =
+      writer.periodic_captures() + writer.periodic_skips();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(writer.periodic_captures() + writer.periodic_skips(), ticks);
+
+  log.Close();
+  std::remove(log_path.c_str());
+  std::remove(ckpt_path.c_str());
+  std::remove((ckpt_path + ".tmp").c_str());
 }
 
 }  // namespace

@@ -1,0 +1,95 @@
+// WS-BusinessActivity chaos acceptance (ISSUE 7): the multi-
+// participant travel-order workload must end every activity in ONE
+// consistent outcome — never mixed Close/Compensate across
+// participants, never a stranded activity, never a double-run
+// callback — under ≥10% message loss with duplication, and across
+// coordinator crash/recovery rounds that kill the coordinator at a
+// random crash point mid-fan-out. Fixed-seed run plus an overridable
+// seed (PROMISES_CHAOS_SEED) so CI probes fresh schedules.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "sim/chaos.h"
+
+namespace promises {
+namespace {
+
+WsbaChaosConfig AcceptanceConfig(uint64_t seed) {
+  WsbaChaosConfig config;
+  config.participants_per_activity = 3;
+  config.workers = 4;
+  config.activities_per_worker = 8;
+  config.faults.drop_request = 0.10;
+  config.faults.drop_reply = 0.10;
+  config.faults.duplicate = 0.05;
+  config.seed = seed;
+  return config;
+}
+
+void ExpectAtomicOutcomes(const WsbaChaosReport& report, uint64_t seed) {
+  for (const std::string& v : report.violations) {
+    ADD_FAILURE() << "atomic-outcome violation (seed " << seed << "): " << v;
+  }
+  EXPECT_TRUE(report.ok()) << "seed " << seed << "\n" << report.Summary();
+  EXPECT_EQ(report.mixed, 0u) << report.Summary();
+  EXPECT_EQ(report.unresolved, 0u) << report.Summary();
+  EXPECT_DOUBLE_EQ(report.OutcomeConsistency(), 1.0);
+}
+
+TEST(WsbaChaosTest, ActivitiesStayAtomicUnderLossAndDuplication) {
+  const uint64_t seed = 42;
+  WsbaChaosReport report = RunWsbaChaosWorkload(AcceptanceConfig(seed));
+  ExpectAtomicOutcomes(report, seed);
+  EXPECT_EQ(report.activities, 32u);
+  EXPECT_EQ(report.closed + report.compensated, report.activities);
+  // The chaos must actually have bitten: faults fired and orders (or
+  // signals) were retransmitted through them.
+  EXPECT_GT(report.faults.total_faults(), 0u);
+  EXPECT_GT(report.transport.retries, 0u);
+}
+
+TEST(WsbaChaosTest, CoordinatorCrashRoundsRecoverConsistently) {
+  const uint64_t seed = 1337;
+  WsbaChaosConfig config = AcceptanceConfig(seed);
+  config.workers = 2;
+  config.activities_per_worker = 4;
+  config.crash_rounds = 10;
+  config.participant_restart = true;
+  WsbaChaosReport report = RunWsbaChaosWorkload(config);
+  ExpectAtomicOutcomes(report, seed);
+  EXPECT_EQ(report.crash_rounds_run, 10u);
+  // Most armed points sit inside the fan-out, so crashes really fired
+  // and recovery really ran.
+  EXPECT_GT(report.crashes_fired, 0u);
+}
+
+TEST(WsbaChaosTest, RandomizedSeedStaysAtomic) {
+  uint64_t seed = 20260809;
+  if (const char* env = std::getenv("PROMISES_CHAOS_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  SCOPED_TRACE("PROMISES_CHAOS_SEED=" + std::to_string(seed));
+  WsbaChaosConfig config = AcceptanceConfig(seed);
+  config.crash_rounds = 5;
+  WsbaChaosReport report = RunWsbaChaosWorkload(config);
+  ExpectAtomicOutcomes(report, seed);
+}
+
+TEST(WsbaChaosTest, CleanTransportIsFaultFreeBaseline) {
+  // Control: with no faults the workload must close/cancel with zero
+  // retransmissions, proving the harness itself adds no chaos.
+  WsbaChaosConfig config;
+  config.workers = 2;
+  config.activities_per_worker = 4;
+  config.seed = 7;
+  WsbaChaosReport report = RunWsbaChaosWorkload(config);
+  ExpectAtomicOutcomes(report, 7);
+  EXPECT_EQ(report.order_retransmissions, 0u);
+  EXPECT_EQ(report.faults.total_faults(), 0u);
+}
+
+}  // namespace
+}  // namespace promises

@@ -137,8 +137,10 @@ TEST_F(WsbaTest, ProtocolMisuseRejected) {
   auto id = coordinator_.Register(activity, "p");
   p.Enlist("coordinator", activity, *id);
   ASSERT_TRUE(p.SignalCompleted().ok());
-  EXPECT_FALSE(p.SignalCompleted().ok());  // already completed
-  EXPECT_FALSE(p.SignalExit().ok());       // cannot exit after completing
+  // A duplicated/retransmitted Completed is acked idempotently, but a
+  // conflicting signal against the completed state is still rejected.
+  EXPECT_TRUE(p.SignalCompleted().ok());
+  EXPECT_FALSE(p.SignalExit().ok());  // cannot exit after completing
   // Registration against ended/unknown activities fails.
   ASSERT_TRUE(coordinator_.CloseActivity(activity).ok());
   EXPECT_FALSE(coordinator_.Register(activity, "p").ok());
@@ -147,6 +149,27 @@ TEST_F(WsbaTest, ProtocolMisuseRejected) {
   // Unenlisted participant cannot signal.
   BusinessActivityParticipant stray("stray", &transport_, work.Callbacks());
   EXPECT_FALSE(stray.SignalCompleted().ok());
+}
+
+TEST_F(WsbaTest, DuplicateRegisterReturnsExistingEnlistment) {
+  // A duplicated Register delivery (the PR 2 duplicate fault) must not
+  // enlist the same endpoint twice: the activity would then close with
+  // a phantom participant that never completes.
+  Work work;
+  BusinessActivityParticipant p("p", &transport_, work.Callbacks());
+  ActivityId activity = coordinator_.CreateActivity();
+  auto first = coordinator_.Register(activity, "p");
+  auto again = coordinator_.Register(activity, "p");
+  ASSERT_TRUE(first.ok() && again.ok());
+  EXPECT_EQ(*first, *again);
+  EXPECT_EQ(coordinator_.ParticipantCount(activity), 1u);
+
+  p.Enlist("coordinator", activity, *first);
+  ASSERT_TRUE(p.SignalCompleted().ok());
+  auto outcome = coordinator_.CloseActivity(activity);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(*outcome, ActivityOutcome::kClosed);
+  EXPECT_EQ(work.closed, 1);
 }
 
 TEST_F(WsbaTest, FailingCompensationYieldsMixedOutcome) {
