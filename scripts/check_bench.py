@@ -44,6 +44,14 @@ gates all six benches:
                           fails regardless of tolerances — atomic
                           outcomes are a correctness invariant, not a
                           performance number.
+  * BENCH_restart.json    points keyed by kill_mode (detected before
+                          the durability branch), goodput=goodput_rps;
+                          blackout_p99_ms rides in the p99 slot so a
+                          hard-kill blackout regression fails the gate.
+                          Additionally HARD-gated: audit_ok must be
+                          true and goodput_ratio (recovered vs steady
+                          state) must hold >= 0.9 in the fresh run —
+                          the restart-survivability acceptance bar.
 
 Tolerances are deliberately loose (shared CI runners are noisy); the
 gate exists to catch order-of-magnitude regressions, not 5% drift. The
@@ -70,7 +78,14 @@ def extract_points(doc):
     """Returns a list of (label, goodput, p99_us_or_None)."""
     out = []
     for p in doc.get("points", []):
-        if "log_length" in p:  # recovery sweep (mode + log_length)
+        if "kill_mode" in p:  # restart sweep (before the durability
+            # branch: both carry a mode-ish key)
+            p99_us = None
+            if p.get("blackout_p99_ms") is not None:
+                p99_us = int(p["blackout_p99_ms"] * 1000)
+            out.append((f"restart[{p['kill_mode']}]", p["goodput_rps"],
+                        p99_us))
+        elif "log_length" in p:  # recovery sweep (mode + log_length)
             p99_us = None
             if p.get("recovery_ms") is not None:
                 p99_us = int(p["recovery_ms"] * 1000)
@@ -146,6 +161,21 @@ def main():
                 f"wsba-loss={p['loss_rate']:.2f}: outcome_consistency "
                 f"{p['outcome_consistency']:.4f} (required: 1.0), "
                 f"audit_ok {p.get('audit_ok')}")
+    # The restart sweep likewise: the fresh run's own invariant audit
+    # must pass, and recovered goodput must stay within 10% of the
+    # steady-state point — the restart-survivability acceptance bar.
+    for p in fresh_doc.get("points", []):
+        if "kill_mode" not in p:
+            continue
+        if not p.get("audit_ok", True):
+            failures.append(
+                f"restart[{p['kill_mode']}]: audit_ok "
+                f"{p.get('audit_ok')} (required: true)")
+        ratio = p.get("goodput_ratio")
+        if p["kill_mode"] != "steady" and ratio is not None and ratio < 0.9:
+            failures.append(
+                f"restart[{p['kill_mode']}]: goodput_ratio {ratio:.3f} "
+                f"< 0.9 (recovered vs steady state)")
     compared = 0
     for label, fresh_goodput, fresh_p99 in fresh:
         if label not in base_by_label:

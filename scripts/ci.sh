@@ -14,6 +14,10 @@
 #                            # unless goodput with shedding clears the
 #                            # floor (>= 2x the collapsed no-shedding
 #                            # goodput at 4x saturation)
+#   scripts/ci.sh restart    # restart survivability suite under ASan:
+#                            # lifecycle/drain/reconnect units plus the
+#                            # kill/restart chaos harness, fixed seed
+#                            # then one randomized seed (printed)
 #   scripts/ci.sh bench      # bench-regression gate: rerun the
 #                            # benches and compare against the
 #                            # committed BENCH_*.json baselines with
@@ -71,9 +75,10 @@ run_bench() {
   cmake --preset default
   cmake --build --preset default -j "${JOBS}" \
     --target bench_scaling --target bench_chaos --target bench_overload \
-    --target bench_durability --target bench_recovery --target bench_a2_wsba
+    --target bench_durability --target bench_recovery --target bench_a2_wsba \
+    --target bench_restart
   local bench
-  for bench in scaling chaos overload durability recovery; do
+  for bench in scaling chaos overload durability recovery restart; do
     echo "--- bench_${bench} ---"
     "./build/bench/bench_${bench}" "build/BENCH_${bench}.json"
     python3 scripts/check_bench.py \
@@ -103,12 +108,25 @@ run_chaos() {
   # one fresh-seed run to probe schedules the fixed seed never hits.
   # The seed is exported and echoed so a failure is reproducible with
   # PROMISES_CHAOS_SEED=<seed> scripts/ci.sh chaos.
-  run_preset asan -R 'Chaos|FaultInjector|TransportFault|RetryPolicy|RetryClock|Idempotency|Overload|Breaker|Admission|Trace|GroupCommit|Recovery|Checkpoint|OplogScan|Wsba'
+  run_preset asan -R 'Chaos|FaultInjector|TransportFault|RetryPolicy|RetryClock|Idempotency|Overload|Breaker|Admission|Trace|GroupCommit|Recovery|Checkpoint|OplogScan|Wsba|Restart|Lifecycle|Drain|Reconnect'
   local seed="${PROMISES_CHAOS_SEED:-$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')}"
   echo "=== chaos randomized run: PROMISES_CHAOS_SEED=${seed} ==="
   PROMISES_CHAOS_SEED="${seed}" \
     ctest --test-dir build-asan --output-on-failure -R 'Chaos' ||
     { echo "chaos FAILED with PROMISES_CHAOS_SEED=${seed}" >&2; exit 1; }
+}
+
+run_restart() {
+  # Restart survivability under ASan: the lifecycle/drain/reconnect
+  # units plus the kill/restart chaos harness at the fixed seed, then
+  # one fresh-seed chaos run (seed echoed so failures reproduce with
+  # PROMISES_CHAOS_SEED=<seed> scripts/ci.sh restart).
+  run_preset asan -R 'Restart|Lifecycle|Drain|Reconnect'
+  local seed="${PROMISES_CHAOS_SEED:-$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')}"
+  echo "=== restart chaos randomized run: PROMISES_CHAOS_SEED=${seed} ==="
+  PROMISES_CHAOS_SEED="${seed}" \
+    ctest --test-dir build-asan --output-on-failure -R 'RestartChaos' ||
+    { echo "restart chaos FAILED with PROMISES_CHAOS_SEED=${seed}" >&2; exit 1; }
 }
 
 case "${MODE}" in
@@ -122,10 +140,13 @@ case "${MODE}" in
     # TSan over the full suite is slow on small runners; the concurrency
     # and transaction tests are where data races would live — including
     # the chaos workload's retry/dedup path.
-    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Idempotency|Overload|Breaker|Admission|Trace|Metrics|GroupCommit|Recovery|Checkpoint|OplogScan|Wsba'
+    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Idempotency|Overload|Breaker|Admission|Trace|Metrics|GroupCommit|Recovery|Checkpoint|OplogScan|Wsba|Restart|Lifecycle|Drain|Reconnect'
     ;;
   chaos)
     run_chaos
+    ;;
+  restart)
+    run_restart
     ;;
   overload)
     run_overload
@@ -139,13 +160,14 @@ case "${MODE}" in
   all)
     run_preset default
     run_preset asan
-    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Idempotency|Overload|Breaker|Admission|Trace|Metrics|GroupCommit|Recovery|Checkpoint|OplogScan|Wsba'
+    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Idempotency|Overload|Breaker|Admission|Trace|Metrics|GroupCommit|Recovery|Checkpoint|OplogScan|Wsba|Restart|Lifecycle|Drain|Reconnect'
     run_chaos
+    run_restart
     run_overload
     run_bench
     ;;
   *)
-    echo "unknown mode: ${MODE} (expected default|asan|tsan|chaos|overload|bench|lint|all)" >&2
+    echo "unknown mode: ${MODE} (expected default|asan|tsan|chaos|restart|overload|bench|lint|all)" >&2
     exit 2
     ;;
 esac

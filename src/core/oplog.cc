@@ -387,6 +387,40 @@ bool OperationLog::IsOpen() const {
   return file_ != nullptr;
 }
 
+void OperationLog::Abandon() {
+  bool join_writer = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Poison first: blocked appenders and WaitDurable callers must see
+    // a failure, not a success, for the records the crash ate — their
+    // clients re-send and the recovered world re-executes them.
+    failed_ = Status::Unavailable("log abandoned (simulated crash)");
+    queue_.clear();
+    if (writer_running_) {
+      stopping_ = true;
+      join_writer = true;
+    }
+  }
+  work_cv_.notify_all();
+  durable_cv_.notify_all();
+  space_cv_.notify_all();
+  if (join_writer && writer_.joinable()) writer_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    writer_running_ = false;
+    stopping_ = false;
+    config_.mode = DurabilityMode::kSync;
+    if (file_ != nullptr) {
+      // No unflushed stdio data can exist here: every written group
+      // ends in fflush, and the queue above was dropped unwritten.
+      std::fclose(file_);
+      file_ = nullptr;
+    }
+  }
+  durable_cv_.notify_all();
+  space_cv_.notify_all();
+}
+
 Status OperationLog::StartGroupCommit(const GroupCommitConfig& config,
                                       Clock* clock) {
   if (clock == nullptr) {

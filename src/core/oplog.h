@@ -169,6 +169,17 @@ class OperationLog {
   void Close();
   bool IsOpen() const;
 
+  /// Simulated SIGKILL: poisons the log with kUnavailable, drops every
+  /// queued-but-unwritten record (the group dies mid-formation, exactly
+  /// as a crash would lose it), wakes and fails all blocked WaitDurable
+  /// callers, joins the writer and closes the file without the final
+  /// drain Close() performs. A group whose fwrite+fflush was already
+  /// in flight completes first — the kernel flushes what it was handed
+  /// even when the process dies. The object is reusable: a later
+  /// Open() on the same path resumes from the durable prefix, which is
+  /// what crash-restart recovery replays.
+  void Abandon();
+
   /// Starts the group-commit writer thread. `clock` is used for the
   /// max-delay linger and must outlive the writer. Idempotent error
   /// if already running.

@@ -13,6 +13,8 @@ struct AdmissionCounters {
   Counter* shed_queue_full;
   Counter* shed_quota;
   Counter* shed_deadline;
+  Counter* shed_warmup;
+  Counter* ramp_sheds;  ///< Lifecycle-facing alias of shed_warmup.
 
   static const AdmissionCounters& Get() {
     static AdmissionCounters counters = [] {
@@ -21,7 +23,9 @@ struct AdmissionCounters {
           reg.GetCounter("promises_admission_admitted_total"),
           reg.GetCounter("promises_admission_shed_queue_full_total"),
           reg.GetCounter("promises_admission_shed_quota_total"),
-          reg.GetCounter("promises_admission_shed_deadline_total")};
+          reg.GetCounter("promises_admission_shed_deadline_total"),
+          reg.GetCounter("promises_admission_shed_warmup_total"),
+          reg.GetCounter("promises_lifecycle_ramp_sheds_total")};
     }();
     return counters;
   }
@@ -35,6 +39,7 @@ std::string_view AdmissionController::Decision::reason_string() const {
     case ShedReason::kQueueFull: return "queue-full";
     case ShedReason::kQuota: return "quota";
     case ShedReason::kDeadline: return "deadline";
+    case ShedReason::kWarmup: return "warmup";
   }
   return "";
 }
@@ -70,6 +75,38 @@ AdmissionController::Decision AdmissionController::Admit(
     AdmissionCounters::Get().shed_queue_full->Increment();
     ++stats_.shed_queue_full;
     return Decision{ShedReason::kQueueFull, options_.retry_after_hint_ms};
+  }
+
+  // Warm-up ramp: a global (not per-client) slow-start gate armed after
+  // restart. Checked before per-client quotas so the reconnect herd is
+  // paced as a whole; disarms itself once the window elapses.
+  if (warmup_active_) {
+    if (now - warmup_started_ >= options_.warmup_window_ms) {
+      warmup_active_ = false;
+    } else {
+      // Trapezoidal refill: the rate climbs linearly between refills,
+      // so integrate the average of the rate at the two endpoints.
+      double rate = WarmupRateAtLocked(now);
+      double prev_rate = WarmupRateAtLocked(warmup_last_refill_);
+      double dt_s = static_cast<double>(
+                        std::max<Timestamp>(0, now - warmup_last_refill_)) /
+                    1e3;
+      // Burst cap: at most ~100ms of the current ramped rate may bank
+      // up during idle gaps, so a quiet stretch cannot defeat the ramp.
+      double cap = std::max(1.0, rate * 0.1);
+      warmup_tokens_ =
+          std::min(cap, warmup_tokens_ + dt_s * (rate + prev_rate) / 2.0);
+      warmup_last_refill_ = now;
+      if (warmup_tokens_ < 1.0) {
+        AdmissionCounters::Get().shed_warmup->Increment();
+        AdmissionCounters::Get().ramp_sheds->Increment();
+        ++stats_.shed_warmup;
+        DurationMs wait =
+            static_cast<DurationMs>((1.0 - warmup_tokens_) / rate * 1e3);
+        return Decision{ShedReason::kWarmup, std::max<DurationMs>(1, wait)};
+      }
+      warmup_tokens_ -= 1.0;
+    }
   }
 
   if (options_.client_rate_per_sec > 0) {
@@ -108,6 +145,35 @@ AdmissionController::Decision AdmissionController::Admit(
   AdmissionCounters::Get().admitted->Increment();
   ++stats_.admitted;
   return Decision{};
+}
+
+double AdmissionController::WarmupRateAtLocked(Timestamp now) const {
+  double f0 = std::clamp(options_.warmup_initial_fraction, 0.0, 1.0);
+  double frac =
+      options_.warmup_window_ms <= 0
+          ? 1.0
+          : std::min(1.0, static_cast<double>(now - warmup_started_) /
+                              static_cast<double>(options_.warmup_window_ms));
+  return options_.warmup_target_rps * (f0 + (1.0 - f0) * frac);
+}
+
+void AdmissionController::BeginWarmup() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (options_.warmup_target_rps <= 0 || options_.warmup_window_ms <= 0) return;
+  warmup_active_ = true;
+  warmup_started_ = clock_->Now();
+  warmup_last_refill_ = warmup_started_;
+  // Seed with ~100ms of the initial rate so the very first reconnects
+  // are admitted rather than shed on an empty bucket.
+  warmup_tokens_ = std::max(
+      1.0, options_.warmup_target_rps *
+               std::clamp(options_.warmup_initial_fraction, 0.0, 1.0) * 0.1);
+}
+
+bool AdmissionController::warming_up() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!warmup_active_) return false;
+  return clock_->Now() - warmup_started_ < options_.warmup_window_ms;
 }
 
 void AdmissionController::NoteDeadlineShed() {

@@ -50,6 +50,26 @@ struct AdmissionOptions {
   DurationMs retry_after_hint_ms = 10;
   /// Upper bound on tracked client buckets (oldest evicted beyond it).
   size_t max_tracked_clients = 1024;
+
+  // ---- Recovery warm-up ramp (slow-start after restart) ----
+  //
+  // A freshly recovered server faces a reconnect thundering-herd: every
+  // client that rode out the blackout retries at once, against cold
+  // caches and a replaying log. BeginWarmup() arms a *global* token
+  // bucket whose refill rate climbs linearly from
+  // `warmup_initial_fraction * warmup_target_rps` to the full target
+  // over `warmup_window_ms`; requests beyond the ramped rate are shed
+  // with reason "warmup" and an exact retry-after hint. Once the
+  // window elapses the gate disarms entirely (zero steady-state cost).
+
+  /// Steady-state admission rate the ramp climbs to; 0 disables the
+  /// warm-up gate (BeginWarmup becomes a no-op).
+  double warmup_target_rps = 0;
+  /// Ramp length: admitted rate reaches the full target this many ms
+  /// after BeginWarmup.
+  DurationMs warmup_window_ms = 1'000;
+  /// Fraction of the target rate admitted at BeginWarmup time.
+  double warmup_initial_fraction = 0.1;
 };
 
 /// Shed/admit counters (queue depth peaks are recorded by the caller
@@ -59,10 +79,11 @@ struct OverloadStats {
   uint64_t shed_queue_full = 0;
   uint64_t shed_quota = 0;
   uint64_t shed_deadline = 0;  ///< Expired at admit or dequeue time.
+  uint64_t shed_warmup = 0;    ///< Beyond the post-restart ramp rate.
   uint64_t queue_peak = 0;
 
   uint64_t total_shed() const {
-    return shed_queue_full + shed_quota + shed_deadline;
+    return shed_queue_full + shed_quota + shed_deadline + shed_warmup;
   }
 };
 
@@ -70,14 +91,15 @@ struct OverloadStats {
 /// (or per transport); all checks are O(1) against in-memory state.
 class AdmissionController {
  public:
-  enum class ShedReason { kNone, kQueueFull, kQuota, kDeadline };
+  enum class ShedReason { kNone, kQueueFull, kQuota, kDeadline, kWarmup };
 
   struct Decision {
     ShedReason reason = ShedReason::kNone;
     DurationMs retry_after_ms = 0;
 
     bool admitted() const { return reason == ShedReason::kNone; }
-    /// "queue-full" | "quota" | "deadline" (empty when admitted).
+    /// "queue-full" | "quota" | "deadline" | "warmup" (empty when
+    /// admitted).
     std::string_view reason_string() const;
     /// kResourceExhausted with the retry-after hint encoded, for the
     /// Status-shaped (in-process) path; OK when admitted.
@@ -110,6 +132,15 @@ class AdmissionController {
   /// Records an observed queue depth (peak tracking).
   void NoteQueueDepth(size_t depth);
 
+  /// Arms the recovery warm-up ramp: from now until warmup_window_ms
+  /// from now, admits are additionally gated by a global token bucket
+  /// whose rate climbs linearly from warmup_initial_fraction to 1.0 of
+  /// warmup_target_rps. No-op when warmup_target_rps <= 0.
+  void BeginWarmup();
+
+  /// True while the warm-up gate is armed (window not yet elapsed).
+  bool warming_up() const;
+
   OverloadStats stats() const;
 
  private:
@@ -118,12 +149,22 @@ class AdmissionController {
     Timestamp last_refill = 0;
   };
 
+  /// Ramped admission rate at absolute time `now` (warmup armed).
+  double WarmupRateAtLocked(Timestamp now) const;
+
   AdmissionOptions options_;
   Clock* clock_;
 
   mutable std::mutex mu_;
   std::map<std::string, Bucket> buckets_;
   OverloadStats stats_;
+
+  // Warm-up ramp state (armed by BeginWarmup, disarmed when the window
+  // elapses so steady state never pays for the check beyond one bool).
+  bool warmup_active_ = false;
+  Timestamp warmup_started_ = 0;
+  Timestamp warmup_last_refill_ = 0;
+  double warmup_tokens_ = 0;
 };
 
 }  // namespace promises

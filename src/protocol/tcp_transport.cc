@@ -11,10 +11,12 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <utility>
 
 #include "obs/trace.h"
+#include "protocol/retry_policy.h"
 
 namespace promises {
 
@@ -191,7 +193,9 @@ Status TcpEndpointServer::Start(uint16_t port, EndpointHandler handler,
     return st;
   }
   stopping_ = false;
+  draining_ = false;
   requests_ = 0;
+  if (options_.begin_in_warmup) admission_->BeginWarmup();
   listen_fd_.store(fd);
   worker_threads_.reserve(options_.workers);
   for (size_t i = 0; i < options_.workers; ++i) {
@@ -210,14 +214,41 @@ Status TcpEndpointServer::Start(uint16_t port, EndpointHandler handler,
   return Status::OK();
 }
 
-void TcpEndpointServer::Stop() {
+void TcpEndpointServer::Stop() { StopInternal(options_.drain_ms); }
+
+bool TcpEndpointServer::StopGraceful(DurationMs drain_deadline_ms) {
+  return StopInternal(drain_deadline_ms);
+}
+
+bool TcpEndpointServer::StopInternal(DurationMs drain_ms) {
   int fd = listen_fd_.exchange(-1);
-  if (fd < 0) return;
+  if (fd < 0) return true;
   if (options_.background_stop) options_.background_stop();
+
+  bool drained = true;
+  if (drain_ms > 0) {
+    // Graceful drain: the listener closes first (no new connections),
+    // readers stay up so in-flight replies still reach their clients
+    // but answer any *new* frame with a "draining" shed, and the
+    // workers get up to drain_ms of wall clock to finish the admitted
+    // backlog. Wall clock on purpose: the injected clock may be
+    // simulated/frozen while the workers run in real time.
+    draining_.store(true, std::memory_order_release);
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    std::unique_lock<std::mutex> lk(queue_mu_);
+    drained = drain_cv_.wait_for(
+        lk, std::chrono::milliseconds(drain_ms),
+        [this] { return queue_.empty() && in_flight_ == 0; });
+  }
+
   stopping_ = true;
-  ::shutdown(fd, SHUT_RDWR);
-  ::close(fd);
-  if (accept_thread_.joinable()) accept_thread_.join();
+  if (drain_ms <= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+    if (accept_thread_.joinable()) accept_thread_.join();
+  }
 
   // Unblock every reader parked in recv() on a live connection.
   {
@@ -253,6 +284,8 @@ void TcpEndpointServer::Stop() {
     std::lock_guard<std::mutex> lk(conns_mu_);
     finished_readers_.clear();
   }
+  draining_.store(false, std::memory_order_release);
+  return drained;
 }
 
 OverloadStats TcpEndpointServer::overload_stats() const {
@@ -353,6 +386,20 @@ void TcpEndpointServer::ServeConnection(std::shared_ptr<Connection> conn,
       continue;
     }
 
+    // Graceful drain in progress: the in-flight backlog is finishing
+    // but no new work is accepted — shed with a hint so the client's
+    // retry lands on the restarted server.
+    if (draining_.load(std::memory_order_acquire)) {
+      if (send_reply) {
+        SendReply(*conn,
+                  OverloadReply(*request,
+                                OverloadHeader{
+                                    "draining",
+                                    options_.admission.retry_after_hint_ms}));
+      }
+      continue;
+    }
+
     // Admission before any work is queued: the reader answers sheds on
     // the spot, so overload costs one envelope, never a worker. The
     // depth read and the enqueue are not atomic — concurrent readers
@@ -400,69 +447,91 @@ void TcpEndpointServer::WorkerLoop() {
       if (stopping_) return;  // backlog is discarded on Stop
       work = std::move(queue_.front());
       queue_.pop_front();
+      ++in_flight_;
     }
-
-    // Queue-wait span, measured across threads: begun at enqueue on
-    // the reader, closed here on the worker. Recorded manually because
-    // no one scope covers both ends.
-    const bool traced =
-        work.enqueued_us != 0 && work.request.trace &&
-        work.request.trace->sampled;
-    const bool expired = options_.shed_expired &&
-                         admission_->DeadlineExpired(work.request.deadline);
-    if (traced) {
-      Span wait;
-      wait.trace_hi = work.request.trace->trace_hi;
-      wait.trace_lo = work.request.trace->trace_lo;
-      wait.span_id = Tracer::NextSpanId();
-      wait.parent_span_id = work.request.trace->span_id;
-      wait.name = "queue-wait";
-      // Terminal when the request died waiting: the shed below is the
-      // queue wait's outcome, not a separate phase.
-      wait.status = expired ? "shed-deadline" : "ok";
-      wait.start_us = work.enqueued_us;
-      wait.end_us = TraceNowUs();
-      RecordSpan(std::move(wait));
+    ProcessWork(work);
+    {
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      --in_flight_;
     }
+    // A graceful stop may be waiting for the backlog to hit zero.
+    drain_cv_.notify_all();
+  }
+}
 
-    // Dequeue-time deadline re-check: the request was admitted live but
-    // may have died waiting for a worker. Running the handler now would
-    // burn capacity on a reply nobody reads.
-    if (expired) {
-      admission_->NoteDeadlineShed();
-      if (work.send_reply) {
-        SendReply(*work.conn,
-                  OverloadReply(work.request, OverloadHeader{"deadline", 0}));
-      }
-      continue;
+void TcpEndpointServer::ProcessWork(Work& work) {
+  // Queue-wait span, measured across threads: begun at enqueue on
+  // the reader, closed here on the worker. Recorded manually because
+  // no one scope covers both ends.
+  const bool traced =
+      work.enqueued_us != 0 && work.request.trace &&
+      work.request.trace->sampled;
+  const bool expired = options_.shed_expired &&
+                       admission_->DeadlineExpired(work.request.deadline);
+  if (traced) {
+    Span wait;
+    wait.trace_hi = work.request.trace->trace_hi;
+    wait.trace_lo = work.request.trace->trace_lo;
+    wait.span_id = Tracer::NextSpanId();
+    wait.parent_span_id = work.request.trace->span_id;
+    wait.name = "queue-wait";
+    // Terminal when the request died waiting: the shed below is the
+    // queue wait's outcome, not a separate phase.
+    wait.status = expired ? "shed-deadline" : "ok";
+    wait.start_us = work.enqueued_us;
+    wait.end_us = TraceNowUs();
+    RecordSpan(std::move(wait));
+  }
+
+  // Dequeue-time deadline re-check: the request was admitted live but
+  // may have died waiting for a worker. Running the handler now would
+  // burn capacity on a reply nobody reads.
+  if (expired) {
+    admission_->NoteDeadlineShed();
+    if (work.send_reply) {
+      SendReply(*work.conn,
+                OverloadReply(work.request, OverloadHeader{"deadline", 0}));
     }
+    return;
+  }
 
-    Result<Envelope> reply = [&] {
-      // Worker-side handler span: covers the handler itself (for a
-      // bridged PromiseManager the manager's own phases nest under the
-      // same parent via the envelope context).
-      ScopedSpan handler_span(traced ? *work.request.trace : TraceContext{},
-                              "handler");
-      Result<Envelope> r = handler_(work.request);
-      for (int extra = 1; extra < work.deliveries; ++extra) {
-        r = handler_(work.request);
-      }
-      if (!r.ok()) handler_span.set_status("error");
-      return r;
-    }();
-    requests_.fetch_add(1, std::memory_order_relaxed);
-    if (!work.send_reply) continue;
-    // Reply span: serializing and writing the response frame back to
-    // the client's socket.
-    ScopedSpan reply_span(traced ? *work.request.trace : TraceContext{},
-                          "reply");
-    if (!reply.ok()) {
-      reply_span.set_status("error");
+  Result<Envelope> reply = [&] {
+    // Worker-side handler span: covers the handler itself (for a
+    // bridged PromiseManager the manager's own phases nest under the
+    // same parent via the envelope context).
+    ScopedSpan handler_span(traced ? *work.request.trace : TraceContext{},
+                            "handler");
+    Result<Envelope> r = handler_(work.request);
+    for (int extra = 1; extra < work.deliveries; ++extra) {
+      r = handler_(work.request);
+    }
+    if (!r.ok()) handler_span.set_status("error");
+    return r;
+  }();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (!work.send_reply) return;
+  // Reply span: serializing and writing the response frame back to
+  // the client's socket.
+  ScopedSpan reply_span(traced ? *work.request.trace : TraceContext{},
+                        "reply");
+  if (!reply.ok()) {
+    reply_span.set_status("error");
+    if (IsRetryableStatus(reply.status())) {
+      // A transient handler refusal (e.g. the idempotency layer's
+      // "duplicate of an in-flight request") must stay retryable on the
+      // wire. Wrapping it in a definitive action-failure reply would
+      // make the client stop retrying and count the order failed while
+      // the original attempt goes on to commit — a fabricated outcome
+      // the exactly-once audit flags as over-consumption.
+      SendReply(*work.conn,
+                OverloadReply(work.request,
+                              OverloadHeader{reply.status().ToString(), 0}));
+    } else {
       SendReply(*work.conn,
                 FailureReply(work.request.from, reply.status().ToString()));
-    } else {
-      SendReply(*work.conn, *reply);
     }
+  } else {
+    SendReply(*work.conn, *reply);
   }
 }
 
@@ -476,7 +545,43 @@ void TcpEndpointServer::SendReply(Connection& conn, const Envelope& reply) {
 
 TcpClientChannel::~TcpClientChannel() { Disconnect(); }
 
+void TcpClientChannel::set_reconnect_backoff(ReconnectBackoffOptions options,
+                                             uint64_t seed, Clock* clock) {
+  backoff_enabled_ = true;
+  backoff_options_ = options;
+  backoff_rng_ = Rng(seed);
+  backoff_clock_ = clock != nullptr ? clock : RealClock();
+  failed_dials_ = 0;
+  next_dial_at_ = 0;
+}
+
 Status TcpClientChannel::Connect(uint16_t port) {
+  ++dial_attempts_;
+  // Remember the target even when the dial fails: a later Call must be
+  // able to redial a server that was down at Connect time.
+  last_port_ = port;
+  Status st = DialInner(port);
+  if (!backoff_enabled_) return st;
+  if (st.ok()) {
+    failed_dials_ = 0;
+    next_dial_at_ = 0;
+    return st;
+  }
+  // Capped, jittered exponential quiet period before the next dial.
+  ++failed_dials_;
+  double base = static_cast<double>(backoff_options_.initial_ms) *
+                std::pow(backoff_options_.multiplier,
+                         static_cast<double>(failed_dials_ - 1));
+  base = std::min(base, static_cast<double>(backoff_options_.max_ms));
+  double spread = 1.0 + backoff_options_.jitter *
+                            (2.0 * backoff_rng_.UniformDouble() - 1.0);
+  DurationMs wait =
+      std::max<DurationMs>(1, static_cast<DurationMs>(base * spread));
+  next_dial_at_ = backoff_clock_->Now() + wait;
+  return st;
+}
+
+Status TcpClientChannel::DialInner(uint16_t port) {
   Disconnect();
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Errno("socket");
@@ -539,6 +644,18 @@ void TcpClientChannel::Disconnect() {
 Result<Envelope> TcpClientChannel::Call(const Envelope& request) {
   if (fd_ < 0) {
     if (last_port_ == 0) return Status::FailedPrecondition("not connected");
+    if (backoff_enabled_) {
+      Timestamp now = backoff_clock_->Now();
+      if (now < next_dial_at_) {
+        // Inside the post-failure quiet period: fail fast without
+        // touching the socket. The retry-after hint floors the
+        // caller's CallWithRetry backoff, so the retry loop is paced
+        // instead of amplifying the dial storm.
+        return StatusWithRetryAfter(StatusCode::kUnavailable,
+                                    "reconnect backoff",
+                                    next_dial_at_ - now);
+      }
+    }
     PROMISES_RETURN_IF_ERROR(Connect(last_port_));
     ++reconnects_;
   }

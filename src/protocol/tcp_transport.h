@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/rng.h"
 #include "common/status.h"
 #include "protocol/admission.h"
 #include "protocol/fault_injector.h"
@@ -73,6 +74,17 @@ struct TcpServerOptions {
   /// legacy collapse mode where the server burns workers on requests
   /// whose clients have already given up.
   bool shed_expired = true;
+  /// Drain budget applied by Stop(): with a positive value, Stop
+  /// behaves like StopGraceful(drain_ms) — queued and in-flight
+  /// requests finish (new frames are shed with reason "draining")
+  /// before sockets close. 0 keeps the legacy hard stop that discards
+  /// the backlog.
+  DurationMs drain_ms = 0;
+  /// Arm the admission controller's recovery warm-up ramp the moment
+  /// the server starts (see AdmissionOptions::warmup_target_rps) —
+  /// used by restart supervisors bringing a recovered node back up
+  /// into a reconnect herd.
+  bool begin_in_warmup = false;
   /// Background-service hooks bound to the server's lifetime. The
   /// protocol layer cannot depend on core, so owners wire periodic
   /// maintenance — e.g. a CheckpointWriter cadence over the manager
@@ -101,9 +113,20 @@ class TcpEndpointServer {
   Status Start(uint16_t port, EndpointHandler handler,
                TcpServerOptions options);
 
-  /// Stops accepting, unblocks and joins every reader and worker, and
-  /// discards any queued-but-unserved requests.
+  /// Stops the server. With options.drain_ms == 0 this is the hard
+  /// stop: accepting ends, every reader and worker is unblocked and
+  /// joined, and queued-but-unserved requests are discarded. With a
+  /// positive options.drain_ms it delegates to StopGraceful.
   void Stop();
+
+  /// Graceful stop: closes the listener, then gives workers up to
+  /// `drain_deadline_ms` (wall clock) to finish every queued and
+  /// in-flight request — readers keep their connections alive so
+  /// replies still reach waiting clients, answering any *new* frame
+  /// with an <overload reason="draining"> shed — before tearing the
+  /// rest down. Returns true when the backlog fully drained, false
+  /// when the deadline hit and leftovers were discarded.
+  bool StopGraceful(DurationMs drain_deadline_ms);
 
   /// Attaches a fault injector consulted once per inbound frame
   /// (non-owning; nullptr detaches). Set before Start or between calls.
@@ -156,6 +179,12 @@ class TcpEndpointServer {
   void AcceptLoop();
   void ServeConnection(std::shared_ptr<Connection> conn, uint64_t id);
   void WorkerLoop();
+  /// Runs one dequeued request through deadline re-check, handler and
+  /// reply (the per-item body of WorkerLoop).
+  void ProcessWork(Work& work);
+  /// Shared teardown behind Stop/StopGraceful; `drain_ms` > 0 inserts
+  /// the drain phase. Returns false when the drain deadline lapsed.
+  bool StopInternal(DurationMs drain_ms);
   /// Writes `reply` to `conn` under its write mutex (errors ignored:
   /// the reader observes the dead socket and winds the connection down).
   static void SendReply(Connection& conn, const Envelope& reply);
@@ -188,10 +217,30 @@ class TcpEndpointServer {
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<Work> queue_;
+  /// Requests popped from the queue and still inside ProcessWork
+  /// (guarded by queue_mu_; drain waits for queue empty + this zero).
+  size_t in_flight_ = 0;
+  std::condition_variable drain_cv_;
 
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
   std::atomic<uint64_t> requests_{0};
   std::atomic<FaultInjector*> fault_injector_{nullptr};
+};
+
+/// Client-side reconnect pacing. Without it the channel re-dials a
+/// dead endpoint as fast as its caller's retry loop spins — hundreds
+/// of SYNs per second per client during a server blackout, and a
+/// thundering herd the instant it returns. With backoff armed, each
+/// failed dial pushes the next allowed dial out by a capped, jittered
+/// exponential delay; Calls landing inside the quiet period fail fast
+/// with a retry-after hint (no socket work), which CallWithRetry
+/// honors as its backoff floor. A successful dial resets the schedule.
+struct ReconnectBackoffOptions {
+  DurationMs initial_ms = 1;    ///< Delay after the first failed dial.
+  double multiplier = 2.0;      ///< Growth per consecutive failure.
+  DurationMs max_ms = 200;      ///< Delay cap.
+  double jitter = 0.25;         ///< +/- fraction applied to each delay.
 };
 
 /// Synchronous client connection to a TcpEndpointServer.
@@ -224,11 +273,36 @@ class TcpClientChannel {
 
   uint64_t reconnects() const { return reconnects_; }
 
+  /// Arms jittered reconnect backoff (seeded for reproducibility).
+  /// `clock` drives the quiet-period schedule (non-owning; nullptr =
+  /// shared real clock) — tests inject a SimulatedClock and step it.
+  void set_reconnect_backoff(ReconnectBackoffOptions options, uint64_t seed,
+                             Clock* clock = nullptr);
+
+  /// Dials actually attempted (every Connect entry, user- or
+  /// reconnect-initiated). The backoff regression test asserts this
+  /// stays small while a retry loop hammers a stopped server.
+  uint64_t dial_attempts() const { return dial_attempts_; }
+
  private:
+  /// The raw dial (socket/connect/poll); Connect wraps it with dial
+  /// accounting and backoff scheduling.
+  Status DialInner(uint16_t port);
+
   int fd_ = -1;
   uint16_t last_port_ = 0;
   int64_t call_timeout_ms_ = 0;
   uint64_t reconnects_ = 0;
+
+  // Reconnect backoff state (single-threaded like the rest of the
+  // channel: one outstanding Call at a time).
+  bool backoff_enabled_ = false;
+  ReconnectBackoffOptions backoff_options_;
+  Rng backoff_rng_{0};
+  Clock* backoff_clock_ = nullptr;
+  uint64_t failed_dials_ = 0;
+  Timestamp next_dial_at_ = 0;
+  uint64_t dial_attempts_ = 0;
 };
 
 /// Frame helpers (exposed for tests). `timeout_ms` <= 0 blocks

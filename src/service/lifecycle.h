@@ -1,0 +1,263 @@
+// Restart survivability: a supervised server lifecycle (DESIGN.md §12).
+//
+// Every crash test before this module replayed a dead world offline —
+// build state, kill the process in imagination, replay the log into a
+// twin. Nothing ever killed a *serving* node and measured what its
+// clients experience while it recovers. ServerLifecycle closes that
+// gap: it owns the full single-node stack (operation log, checkpoint
+// writer, promise manager, WS-BA coordinator, TCP endpoint server) and
+// can tear it down two ways —
+//
+//   * KillHard(): simulated SIGKILL. Sockets are abandoned, both logs
+//     are Abandon()ed mid-group (queued-but-unflushed records die,
+//     exactly what a crash loses), the coordinator goes silent without
+//     unregistering. Clients see connection errors and time-outs.
+//   * StopGraceful(): drain. The listener closes, in-flight and queued
+//     requests finish (new frames shed with reason "draining"), a
+//     final checkpoint is cut, both logs stop cleanly.
+//
+// — and then bring the same endpoint back with Start(): fresh world,
+// RecoverAll (checkpoint + oplog tail + WS-BA decision log, in that
+// order), logs reopened, server rebound to the same port. Waiting
+// clients ride the blackout on retry + idempotency: a re-sent envelope
+// that was executed before the kill replays its cached reply from the
+// recovered dedup table, so effects land exactly once.
+//
+// The reconnect thundering-herd is tamed from both sides: the
+// admission controller's warm-up ramp (AdmissionOptions::warmup_*)
+// slow-starts the recovered node's intake, and TcpClientChannel's
+// reconnect backoff paces each client's dials during the blackout.
+//
+// Time: one WarmStartClock survives every generation. While serving it
+// runs (simulated base + real elapsed wall time); during blackout and
+// recovery it is pinned, so replayed records never drag `Now` backward
+// and deadlines stamped before the kill are still meaningful after it.
+
+#ifndef PROMISES_SERVICE_LIFECYCLE_H_
+#define PROMISES_SERVICE_LIFECYCLE_H_
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "core/checkpoint.h"
+#include "core/oplog.h"
+#include "core/promise_manager.h"
+#include "protocol/tcp_transport.h"
+#include "protocol/transport.h"
+#include "resource/resource_manager.h"
+#include "txn/transaction.h"
+#include "wsba/business_activity.h"
+
+namespace promises {
+
+/// A SimulatedClock that can also free-run against the wall clock.
+///
+/// Pinned (the initial state): pure simulated time — Now() only moves
+/// via Advance/AdvanceTo, which is what recovery replay needs (a
+/// replayed record's AdvanceTo(ts <= now) is a no-op, so restarts
+/// never jump time for the promises that survived).
+/// Running: Now() = max(simulated, base_sim + wall time elapsed since
+/// Run()), so expiry, quota refill and the warm-up ramp all progress
+/// in real time while the node serves.
+/// Pin() folds the elapsed wall time into the simulated base (forward
+/// only), so time is monotone across any Run/Pin sequence.
+///
+/// SleepFor always sleeps for real (never Advance): concurrent client
+/// retry backoffs during a pinned blackout must wait, not teleport the
+/// whole world's clock forward.
+class WarmStartClock : public SimulatedClock {
+ public:
+  /// Switches to running mode, anchored at the current pinned time.
+  void Run();
+
+  /// Folds elapsed wall time into the simulated base and freezes.
+  void Pin();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  void SleepFor(DurationMs duration) override;
+
+ protected:
+  Timestamp NowImpl() const override;
+
+ private:
+  static int64_t SteadyUs();
+
+  std::atomic<bool> running_{false};
+  std::atomic<Timestamp> base_sim_{0};
+  std::atomic<int64_t> base_wall_us_{0};
+};
+
+/// Combined recovery forensics: the manager-side report plus the WS-BA
+/// coordinator re-drive summary.
+struct RecoverAllReport {
+  RecoveryReport manager;
+  CoordinatorRecovery wsba;
+  bool wsba_recovered = false;  ///< False when no coordinator was given.
+};
+
+/// One entry point for the whole recovery sequence, in the correct
+/// order: (1) checkpoint + oplog tail into `pm` (RecoverWithCheckpoint
+/// — call it before AttachLog, with resources/services registered and
+/// the log file quiescent), then (2) the WS-BA decision log into
+/// `coordinator` (RecoverCoordinator — freshly constructed, its
+/// options.log already Open()ed on `wsba_log_path`, so presumed-abort
+/// re-drives are durably logged as they happen). `coordinator` may be
+/// null when the node runs no coordination.
+Status RecoverAll(PromiseManager* pm, SimulatedClock* clock,
+                  const std::string& checkpoint_path,
+                  const std::string& log_path,
+                  BusinessActivityCoordinator* coordinator,
+                  const std::string& wsba_log_path,
+                  const RecoveryOptions& options = {},
+                  RecoverAllReport* report = nullptr);
+
+struct ServerLifecycleOptions {
+  /// TCP port for the endpoint server; 0 picks a free port on the
+  /// first Start and every later generation rebinds the same port.
+  uint16_t port = 0;
+  /// Directory for the durable state (oplog, checkpoint, WS-BA log).
+  /// Must exist; files are created inside it.
+  std::string data_dir = "/tmp";
+  /// Filename prefix inside data_dir (so many lifecycles coexist).
+  std::string name = "lifecycle";
+
+  PromiseManagerConfig manager;
+  /// Server knobs (workers, admission incl. the warm-up ramp). The
+  /// lifecycle overrides clock and drain_ms (teardown is driven by
+  /// KillHard/StopGraceful, not TcpEndpointServer::Stop), and arms
+  /// begin_in_warmup on every generation after the first.
+  TcpServerOptions server;
+  GroupCommitConfig group_commit;
+  RecoveryOptions recovery;
+
+  /// Periodic checkpoint cadence; 0 disables (graceful stops still cut
+  /// a final checkpoint).
+  DurationMs checkpoint_interval_ms = 0;
+  /// Wall-clock budget StopGraceful gives the drain.
+  DurationMs drain_deadline_ms = 500;
+
+  /// In-process transport hosting the WS-BA conversation (non-owning;
+  /// participants typically live on it across generations). Null
+  /// disables the coordinator entirely.
+  Transport* wsba_transport = nullptr;
+  std::string wsba_endpoint = "ba-coordinator";
+  /// Coordinator knobs; log and clock are overwritten by the
+  /// lifecycle (its own WS-BA log and WarmStartClock).
+  CoordinatorOptions wsba;
+
+  /// Called on every Start with the fresh world, before recovery:
+  /// define resource pools/instances here (the ReplayLog contract).
+  std::function<void(ResourceManager&)> define_resources;
+  /// Called on every Start after define_resources: register services,
+  /// tweak the manager.
+  std::function<void(PromiseManager&)> configure_manager;
+};
+
+/// Supervisor for one promise-manager node. Start/KillHard/StopGraceful
+/// are driven from one orchestrator thread; coordinator()/state()/
+/// generation() may be read concurrently from workload threads.
+class ServerLifecycle {
+ public:
+  enum class State { kIdle, kRecovering, kServing, kDraining, kStopped,
+                     kKilled };
+
+  explicit ServerLifecycle(ServerLifecycleOptions options);
+  ~ServerLifecycle();
+
+  ServerLifecycle(const ServerLifecycle&) = delete;
+  ServerLifecycle& operator=(const ServerLifecycle&) = delete;
+
+  /// Boots (or re-boots) the node: fresh world, RecoverAll from the
+  /// durable state, logs reopened, server bound to the same endpoint.
+  /// After the first generation the admission warm-up ramp is armed.
+  Status Start();
+
+  /// Simulated SIGKILL: coordinator goes silent, both logs are
+  /// abandoned mid-group (waking any blocked WaitDurable with a
+  /// failure), sockets are torn down hard, the world is dropped.
+  void KillHard();
+
+  /// Drains in-flight requests (bounded by drain_deadline_ms), cuts a
+  /// final checkpoint, closes both logs cleanly. Returns false when
+  /// the drain deadline lapsed and leftovers were discarded.
+  bool StopGraceful();
+
+  State state() const { return state_.load(std::memory_order_acquire); }
+  /// Completed Start() calls (1 after first boot).
+  int generation() const { return generation_.load(std::memory_order_acquire); }
+  /// Bound port (stable across restarts; valid after the first Start).
+  uint16_t port() const { return bound_port_; }
+
+  WarmStartClock* clock() { return &clock_; }
+  /// Valid between Start and the next KillHard/StopGraceful.
+  PromiseManager* manager() { return pm_.get(); }
+  TcpEndpointServer* server() { return server_.get(); }
+  /// The recovered world's resources/transactions — audits read stock
+  /// through these (same validity window as manager()).
+  ResourceManager* resources() { return rm_.get(); }
+  TransactionManager* transactions() { return tm_.get(); }
+  /// Snapshot of the current coordinator (null when wsba is disabled;
+  /// a crashed generation's coordinator answers kUnavailable until the
+  /// next Start replaces it). Safe to call from workload threads.
+  std::shared_ptr<BusinessActivityCoordinator> coordinator() const;
+
+  /// Forensics from the most recent Start.
+  const RecoverAllReport& last_recovery() const { return last_recovery_; }
+  DurationMs last_recovery_ms() const { return last_recovery_ms_; }
+
+  /// Admission counters summed over every torn-down generation plus
+  /// the live one (per-generation controllers die with their server).
+  OverloadStats accumulated_overload() const;
+
+ private:
+  std::string OplogPath() const;
+  std::string CheckpointPath() const;
+  std::string WsbaLogPath() const;
+
+  /// Accumulates the live server's overload stats and destroys the
+  /// world objects (server first, manager stack after).
+  void TearDownWorld();
+
+  ServerLifecycleOptions options_;
+  WarmStartClock clock_;
+
+  std::atomic<State> state_{State::kIdle};
+  std::atomic<int> generation_{0};
+  uint16_t bound_port_ = 0;
+
+  // Durable spine: these objects survive generations (reopened, never
+  // reconstructed) so poisoned/abandoned state resets via Open().
+  OperationLog oplog_;
+  OperationLog ba_log_;
+
+  // The per-generation world.
+  std::unique_ptr<ResourceManager> rm_;
+  std::unique_ptr<TransactionManager> tm_;
+  std::unique_ptr<PromiseManager> pm_;
+  std::unique_ptr<CheckpointWriter> ckpt_writer_;
+  std::unique_ptr<TcpEndpointServer> server_;
+
+  mutable std::mutex coordinator_mu_;
+  std::shared_ptr<BusinessActivityCoordinator> coordinator_;
+  /// Previous generation's crashed coordinator, kept alive until the
+  /// next Start re-registers the endpoint (its stale transport handler
+  /// must keep pointing at a live object that answers kUnavailable).
+  std::shared_ptr<BusinessActivityCoordinator> dead_coordinator_;
+
+  RecoverAllReport last_recovery_;
+  DurationMs last_recovery_ms_ = 0;
+
+  mutable std::mutex overload_mu_;
+  OverloadStats overload_total_;
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_SERVICE_LIFECYCLE_H_

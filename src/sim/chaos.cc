@@ -14,6 +14,7 @@
 #include "predicate/ast.h"
 #include "resource/resource_manager.h"
 #include "service/client.h"
+#include "service/lifecycle.h"
 #include "service/services.h"
 #include "txn/transaction.h"
 #include "wsba/business_activity.h"
@@ -741,6 +742,657 @@ std::string WsbaChaosReport::Summary() const {
   }
   if (violations.empty()) {
     out += "audit: atomic outcomes hold\n";
+  } else {
+    for (const std::string& v : violations) {
+      out += "VIOLATION: " + v + "\n";
+    }
+  }
+  return out;
+}
+
+// ---- Restart chaos ---------------------------------------------------
+
+namespace {
+
+// Client-side tallies for the restart workload. The restart workers
+// speak raw envelopes over TCP (PromiseClient runs on the in-process
+// Transport), so the order flow is built by hand with stable message
+// ids — a retry after a kill resends the identical envelope and the
+// recovered dedup table replays the original reply.
+struct RestartWorkerTally {
+  uint64_t attempts = 0;
+  uint64_t completed = 0;
+  uint64_t rejected = 0;
+  uint64_t failed_actions = 0;
+  std::vector<std::string> failed_errors;
+  uint64_t grant_unknown = 0;
+  uint64_t act_unknown = 0;
+  uint64_t envelopes_sent = 0;
+  uint64_t client_retries = 0;
+  uint64_t dial_attempts = 0;
+};
+
+}  // namespace
+
+RestartChaosReport RunRestartChaosWorkload(const RestartChaosConfig& config) {
+  const double prior_sampling = Tracer::Global().sampling();
+  if (config.trace_sampling > 0) {
+    SpanCollector::Global().Reset();
+    Tracer::Global().set_sampling(config.trace_sampling);
+  }
+
+  RestartChaosReport report;
+  std::mutex report_mu;
+
+  const std::string tag =
+      std::to_string(config.seed) + "_" +
+      std::to_string(reinterpret_cast<uintptr_t>(&report));
+  const std::string node_name = "promises_restart_chaos_" + tag;
+  for (const char* suffix : {".oplog", ".ckpt", ".balog"}) {
+    std::remove(("/tmp/" + node_name + suffix).c_str());
+  }
+
+  std::vector<std::string> items;
+  for (int i = 0; i < config.num_items; ++i) {
+    items.push_back("widget-" + std::to_string(i));
+  }
+
+  // Participants live on this in-process transport across every server
+  // generation — they are "other nodes" and do not die with the
+  // coordinator.
+  Transport wsba_transport;
+  const std::string wsba_endpoint = "ba-coordinator";
+
+  ServerLifecycleOptions lopts;
+  lopts.data_dir = "/tmp";
+  lopts.name = node_name;
+  lopts.manager.name = "restart-pm";
+  lopts.manager.default_duration_ms = config.promise_duration_ms;
+  lopts.group_commit = config.group_commit;
+  lopts.checkpoint_interval_ms = config.checkpoint_interval_ms;
+  lopts.drain_deadline_ms = config.drain_deadline_ms;
+  lopts.server.admission.warmup_target_rps = config.warmup_target_rps;
+  lopts.server.admission.warmup_window_ms = config.warmup_window_ms;
+  if (config.wsba_activities > 0) {
+    lopts.wsba_transport = &wsba_transport;
+    lopts.wsba_endpoint = wsba_endpoint;
+  }
+  lopts.define_resources = [&items, &config](ResourceManager& rm) {
+    for (const std::string& item : items) {
+      (void)rm.CreatePool(item, config.initial_stock);
+    }
+  };
+  lopts.configure_manager = [](PromiseManager& pm) {
+    pm.RegisterService("inventory", MakeInventoryService());
+  };
+  ServerLifecycle lifecycle(std::move(lopts));
+
+  Status boot = lifecycle.Start();
+  if (!boot.ok()) {
+    report.violations.push_back("boot failed: " + boot.ToString());
+    if (config.trace_sampling > 0) {
+      Tracer::Global().set_sampling(prior_sampling);
+    }
+    return report;
+  }
+  ++report.generations;
+  const uint16_t port = lifecycle.port();
+
+  std::vector<RestartWorkerTally> tallies(
+      static_cast<size_t>(config.workers));
+  auto started = std::chrono::steady_clock::now();
+
+  // ---- Order workers: raw envelopes over TCP, retrying through
+  // blackouts with reconnect backoff armed ----
+  auto worker_fn = [&](int w) {
+    RestartWorkerTally& tally = tallies[static_cast<size_t>(w)];
+    TcpClientChannel channel;
+    channel.set_call_timeout_ms(config.call_timeout_ms);
+    channel.set_reconnect_backoff(
+        config.reconnect, config.seed * 97 + static_cast<uint64_t>(w) + 1);
+    (void)channel.Connect(port);
+    Rng rng(config.seed * 7919 + static_cast<uint64_t>(w) + 1);
+    Rng retry_rng(config.seed * 31 + static_cast<uint64_t>(w) + 1);
+    const std::string self = "restart-w" + std::to_string(w);
+    uint64_t seq = 0;
+    auto next_id = [&] {
+      return MessageId((static_cast<uint64_t>(w) + 1) * 1'000'000'000ull +
+                       ++seq);
+    };
+
+    for (int i = 0; i < config.orders_per_worker; ++i) {
+      ++tally.attempts;
+      const std::string& item = items[static_cast<size_t>(
+          rng.UniformInt(0, config.num_items - 1))];
+
+      // Check: one promise covering the purchase.
+      Envelope req;
+      req.message_id = next_id();
+      req.from = self;
+      req.to = "restart-pm";
+      PromiseRequestHeader header;
+      header.request_id = RequestId(req.message_id.value());
+      header.duration_ms = config.promise_duration_ms;
+      header.predicates.push_back(Predicate::Quantity(
+          item, CompareOp::kGe, config.order_quantity));
+      req.promise_request = std::move(header);
+      ++tally.envelopes_sent;
+      Result<Envelope> grant = CallWithRetry(
+          config.retry, &retry_rng, [&] { return channel.Call(req); },
+          &tally.client_retries);
+      if (!grant.ok() || !grant->promise_response.has_value()) {
+        ++tally.grant_unknown;
+        continue;
+      }
+      if (grant->promise_response->result != PromiseResultCode::kAccepted) {
+        ++tally.rejected;
+        continue;
+      }
+      PromiseId promise = grant->promise_response->promise_id;
+
+      if (config.think_us > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(config.think_us));
+      }
+
+      // Act: purchase under the promise, released on success.
+      Envelope act;
+      act.message_id = next_id();
+      act.from = self;
+      act.to = "restart-pm";
+      act.environment = EnvironmentHeader{{{promise, true}}};
+      ActionBody buy;
+      buy.service = "inventory";
+      buy.operation = "purchase";
+      buy.params["item"] = Value(item);
+      buy.params["quantity"] = Value(config.order_quantity);
+      buy.params["promise"] =
+          Value(static_cast<int64_t>(promise.value()));
+      act.action = std::move(buy);
+      ++tally.envelopes_sent;
+      Result<Envelope> acted = CallWithRetry(
+          config.retry, &retry_rng, [&] { return channel.Call(act); },
+          &tally.client_retries);
+      if (!acted.ok() || !acted->action_result.has_value()) {
+        // Unknown outcome: the purchase (and its release-after) may or
+        // may not have landed before a kill. Best-effort release so
+        // the grant doesn't sit in the table; the audit brackets this
+        // order by act_unknown either way.
+        ++tally.act_unknown;
+        Envelope rel;
+        rel.message_id = next_id();
+        rel.from = self;
+        rel.to = "restart-pm";
+        rel.release = ReleaseHeader{{promise}};
+        ++tally.envelopes_sent;
+        (void)channel.Call(rel);
+        continue;
+      }
+      if (!acted->action_result->ok) {
+        ++tally.failed_actions;
+        if (tally.failed_errors.size() < 8) {
+          tally.failed_errors.push_back(acted->action_result->error);
+        }
+        Envelope rel;
+        rel.message_id = next_id();
+        rel.from = self;
+        rel.to = "restart-pm";
+        rel.release = ReleaseHeader{{promise}};
+        ++tally.envelopes_sent;
+        (void)channel.Call(rel);
+        continue;
+      }
+      ++tally.completed;
+    }
+    tally.dial_attempts = channel.dial_attempts();
+  };
+
+  // ---- WS-BA driver: activities across coordinator generations ----
+  auto wsba_fn = [&] {
+    Rng rng(config.seed * 4243 + 17);
+    ParticipantOptions popts;
+    popts.retry = config.retry;
+    auto live_coordinator = [&] {
+      std::shared_ptr<BusinessActivityCoordinator> c =
+          lifecycle.coordinator();
+      if (c == nullptr || c->crashed()) return decltype(c)(nullptr);
+      return c;
+    };
+    for (int i = 0; i < config.wsba_activities; ++i) {
+      popts.retry_seed = config.seed * 211 + static_cast<uint64_t>(i);
+      const std::string prefix = "restart-a" + std::to_string(i);
+      WsbaActivityWorld world = MakeActivityWorld(
+          &wsba_transport, prefix, config.wsba_participants, popts);
+
+      // Create on a live coordinator generation.
+      std::shared_ptr<BusinessActivityCoordinator> coord;
+      ActivityId activity;
+      for (int attempt = 0; attempt < 2'000 && !activity.valid();
+           ++attempt) {
+        coord = live_coordinator();
+        if (coord == nullptr) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          continue;
+        }
+        activity = coord->CreateActivity();
+      }
+      if (!activity.valid()) {
+        std::lock_guard<std::mutex> lk(report_mu);
+        report.violations.push_back(prefix +
+                                    ": no live coordinator to create on");
+        break;
+      }
+
+      // Enlist + signal, riding kills: kUnavailable = wait for the
+      // next generation, kNotFound = the kill erased the activity
+      // before it reached the durable log (presumed abort).
+      size_t enlisted = 0;
+      bool activity_erased = false;
+      bool all_signalled = true;
+      for (auto& part : world.parts) {
+        bool done = false;
+        for (int attempt = 0; attempt < 2'000 && !done && !activity_erased;
+             ++attempt) {
+          coord = live_coordinator();
+          if (coord == nullptr) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            continue;
+          }
+          auto id = coord->Register(activity, part->endpoint());
+          if (id.ok()) {
+            part->Enlist(wsba_endpoint, activity, *id);
+            if (!part->SignalCompleted(activity).ok()) {
+              all_signalled = false;
+            }
+            ++enlisted;
+            done = true;
+          } else if (id.status().code() == StatusCode::kUnavailable) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          } else {
+            activity_erased = true;
+          }
+        }
+        if (!done) break;
+      }
+      if (enlisted == 0) {
+        // Nothing durable anywhere; the recovered coordinator (if it
+        // ever saw the creation) presumed-aborts it on its own.
+        std::lock_guard<std::mutex> lk(report_mu);
+        ++report.erased;
+        continue;
+      }
+      // Audit only what actually joined the activity.
+      world.parts.resize(enlisted);
+      world.works.resize(enlisted);
+      if (enlisted < static_cast<size_t>(config.wsba_participants)) {
+        all_signalled = false;
+      }
+
+      const bool want_close =
+          all_signalled && rng.Chance(config.wsba_close_fraction);
+      uint64_t redrives = 0;
+      ActivityOutcome outcome = ActivityOutcome::kOpen;
+      for (int guard = 0; guard < 2'000 && outcome == ActivityOutcome::kOpen;
+           ++guard) {
+        coord = live_coordinator();
+        if (coord == nullptr) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          continue;
+        }
+        auto resolved = coord->OutcomeOf(activity);
+        if (resolved.ok() && *resolved != ActivityOutcome::kOpen) {
+          outcome = *resolved;
+          break;
+        }
+        if (!resolved.ok() &&
+            resolved.status().code() == StatusCode::kNotFound) {
+          break;  // erased by the kill; participants reconcile below
+        }
+        // A recovered generation's durable decision overrides ours.
+        auto decision = coord->DecisionOf(activity);
+        const bool drive_close =
+            decision.ok() && *decision != ActivityDecision::kNone
+                ? *decision == ActivityDecision::kClose
+                : want_close;
+        outcome = DriveToResolution(coord.get(), activity, drive_close,
+                                    config.wsba_max_redrives, &redrives);
+      }
+      // Reconcile: participants without an executed outcome query the
+      // live coordinator; "unknown activity" means presumed abort.
+      for (auto& part : world.parts) {
+        if (!part->ExecutedOutcome(activity).empty()) continue;
+        for (int attempt = 0; attempt < 2'000; ++attempt) {
+          if (live_coordinator() == nullptr) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            continue;
+          }
+          auto q = part->QueryOutcome(activity);
+          if (q.ok() && *q != ActivityOutcome::kOpen) break;
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      }
+      if (outcome == ActivityOutcome::kOpen) {
+        // The coordinator's memory of the activity died undecided; the
+        // participants' durable executed outcomes are the ground truth.
+        size_t exec_close = 0;
+        size_t exec_undo = 0;
+        for (auto& part : world.parts) {
+          const std::string ex = part->ExecutedOutcome(activity);
+          if (ex == "close") {
+            ++exec_close;
+          } else if (ex == "compensate" || ex == "cancel") {
+            ++exec_undo;
+          }
+        }
+        if (exec_close == world.parts.size()) {
+          outcome = ActivityOutcome::kClosed;
+        } else if (exec_undo == world.parts.size()) {
+          outcome = ActivityOutcome::kCompensated;
+        }
+      }
+      std::lock_guard<std::mutex> lk(report_mu);
+      report.redrives += redrives;
+      ++report.activities;
+      switch (outcome) {
+        case ActivityOutcome::kClosed: ++report.closed; break;
+        case ActivityOutcome::kCompensated: ++report.compensated; break;
+        case ActivityOutcome::kMixed: ++report.mixed; break;
+        case ActivityOutcome::kOpen: ++report.unresolved; break;
+      }
+      AuditActivity(world, activity, outcome, prefix, &report.violations);
+    }
+  };
+
+  // ---- Orchestrator: kill, restart, measure the blackout ----
+  auto orchestrator_fn = [&] {
+    Rng orng(config.seed * 31337 + 13);
+    uint64_t probe_seq = 0;
+    for (int round = 0; round < config.kill_rounds; ++round) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(orng.UniformInt(
+          static_cast<int>(config.min_uptime_ms),
+          static_cast<int>(config.max_uptime_ms))));
+      const bool hard = orng.Chance(config.hard_kill_fraction);
+      auto kill_started = std::chrono::steady_clock::now();
+      if (hard) {
+        lifecycle.KillHard();
+      } else {
+        const bool drained = lifecycle.StopGraceful();
+        if (!drained) {
+          std::lock_guard<std::mutex> lk(report_mu);
+          ++report.drains_timed_out;
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lk(report_mu);
+        if (hard) {
+          ++report.kills_hard;
+        } else {
+          ++report.stops_graceful;
+        }
+      }
+      Status st = lifecycle.Start();
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lk(report_mu);
+        report.violations.push_back("restart " + std::to_string(round) +
+                                    " failed: " + st.ToString());
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lk(report_mu);
+        ++report.generations;
+        report.recovery_ms.push_back(lifecycle.last_recovery_ms());
+      }
+
+      // Probe until the node answers again — a warm-up shed counts as
+      // contact (the node is up and saying "not yet"), a connection
+      // error does not.
+      TcpClientChannel probe;
+      probe.set_call_timeout_ms(50);
+      bool contact = false;
+      for (int t = 0; t < 4'000 && !contact; ++t) {
+        if (!probe.connected() && !probe.Connect(port).ok()) {
+          std::this_thread::sleep_for(std::chrono::microseconds(500));
+          continue;
+        }
+        Envelope ping;
+        ping.message_id = MessageId(900'000'000'000ull + ++probe_seq);
+        ping.from = "restart-probe";
+        ping.to = "restart-pm";
+        PromiseRequestHeader header;
+        header.request_id = RequestId(ping.message_id.value());
+        header.duration_ms = config.promise_duration_ms;
+        header.predicates.push_back(
+            Predicate::Quantity(items[0], CompareOp::kGe, 0));
+        ping.promise_request = std::move(header);
+        Result<Envelope> reply = probe.Call(ping);
+        if (reply.ok()) {
+          contact = true;
+          if (reply->promise_response.has_value() &&
+              reply->promise_response->result ==
+                  PromiseResultCode::kAccepted) {
+            Envelope rel;
+            rel.message_id = MessageId(900'000'000'000ull + ++probe_seq);
+            rel.from = "restart-probe";
+            rel.to = "restart-pm";
+            rel.release =
+                ReleaseHeader{{reply->promise_response->promise_id}};
+            const bool released = probe.Call(rel).ok();
+            std::lock_guard<std::mutex> lk(report_mu);
+            ++report.probe_grants;
+            if (released) ++report.probe_releases;
+          }
+        } else if (reply.status().code() ==
+                   StatusCode::kResourceExhausted) {
+          contact = true;
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(500));
+        }
+      }
+      auto probed = std::chrono::steady_clock::now();
+      std::lock_guard<std::mutex> lk(report_mu);
+      if (!contact) {
+        report.violations.push_back(
+            "restart " + std::to_string(round) +
+            ": node never answered after coming back");
+      } else {
+        report.blackout_us.push_back(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                probed - kill_started)
+                .count());
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(config.workers) + 2);
+  for (int w = 0; w < config.workers; ++w) {
+    threads.emplace_back(worker_fn, w);
+  }
+  if (config.wsba_activities > 0) threads.emplace_back(wsba_fn);
+  threads.emplace_back(orchestrator_fn);
+  for (std::thread& t : threads) t.join();
+  auto finished = std::chrono::steady_clock::now();
+
+  report.wall_time_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(finished -
+                                                            started)
+          .count();
+  uint64_t grant_unknown = 0;
+  uint64_t act_unknown = 0;
+  for (const RestartWorkerTally& t : tallies) {
+    report.attempts += t.attempts;
+    report.completed += t.completed;
+    report.rejected += t.rejected;
+    report.failed_actions += t.failed_actions;
+    for (const std::string& e : t.failed_errors) {
+      if (report.failed_action_errors.size() < 8) {
+        report.failed_action_errors.push_back(e);
+      }
+    }
+    report.envelopes_sent += t.envelopes_sent;
+    report.client_retries += t.client_retries;
+    report.dial_attempts += t.dial_attempts;
+    grant_unknown += t.grant_unknown;
+    act_unknown += t.act_unknown;
+  }
+  report.unknown = grant_unknown + act_unknown;
+  report.overload = lifecycle.accumulated_overload();
+  report.warmup_sheds = report.overload.shed_warmup;
+  report.initial_stock_total =
+      config.initial_stock * static_cast<int64_t>(config.num_items);
+
+  // ---- Cross-generation audit ----
+  //
+  // Per-generation manager books die with their generation (checkpoints
+  // capture promises, not counters), so the whole-run exactly-once
+  // proof rests on the recovered *resource* state: stock only moves by
+  // successful purchases, so duplicates across any kill/replay/retry
+  // sequence would drain more stock than the clients' completed count.
+  auto violation = [&report](const std::string& text) {
+    report.violations.push_back(text);
+  };
+  if (lifecycle.state() != ServerLifecycle::State::kServing ||
+      lifecycle.manager() == nullptr) {
+    violation("final generation not serving; audit impossible");
+  } else {
+    report.final_manager = lifecycle.manager()->stats();
+    {
+      std::unique_ptr<Transaction> txn = lifecycle.transactions()->Begin();
+      for (const std::string& item : items) {
+        Result<int64_t> q =
+            lifecycle.resources()->GetQuantity(txn.get(), item);
+        if (q.ok()) report.final_stock_total += *q;
+      }
+      (void)txn->Commit();
+    }
+
+    const int64_t consumed =
+        report.initial_stock_total - report.final_stock_total;
+    const int64_t low =
+        static_cast<int64_t>(report.completed) * config.order_quantity;
+    const int64_t high =
+        static_cast<int64_t>(report.completed + act_unknown) *
+        config.order_quantity;
+    if (consumed < low || consumed > high) {
+      violation("exactly-once: stock consumed " + std::to_string(consumed) +
+                " outside [" + std::to_string(low) + ", " +
+                std::to_string(high) + "] — " +
+                std::to_string(report.completed) + " completed orders, " +
+                std::to_string(act_unknown) + " unknown acts");
+    }
+    if (report.final_stock_total < 0) {
+      violation("conservation: negative final stock " +
+                std::to_string(report.final_stock_total));
+    }
+
+    // The final generation's books must balance internally.
+    if (report.final_manager.requests !=
+        report.final_manager.granted + report.final_manager.rejected) {
+      violation("final generation books: requests (" +
+                std::to_string(report.final_manager.requests) +
+                ") != granted + rejected (" +
+                std::to_string(report.final_manager.granted) + " + " +
+                std::to_string(report.final_manager.rejected) + ")");
+    }
+
+    // No orphan grants beyond what unknown outcomes and unreleased
+    // probes legitimately leave behind.
+    const uint64_t tolerance =
+        report.unknown + (report.probe_grants - report.probe_releases);
+    const size_t active = lifecycle.manager()->active_promises();
+    if (active > tolerance) {
+      violation("orphans: " + std::to_string(active) +
+                " promises active after the run (tolerance " +
+                std::to_string(tolerance) + ")");
+    }
+  }
+  if (report.mixed > 0) {
+    violation("wsba: " + std::to_string(report.mixed) +
+              " activities ended with mixed outcomes");
+  }
+
+  if (config.trace_sampling > 0) {
+    Tracer::Global().set_sampling(prior_sampling);
+    std::vector<Span> spans = SpanCollector::Global().Drain();
+    report.spans_collected = spans.size();
+    report.spans_dropped = SpanCollector::Global().dropped();
+    report.phases = AggregatePhases(spans);
+  }
+
+  (void)lifecycle.StopGraceful();
+  for (const char* suffix : {".oplog", ".ckpt", ".balog"}) {
+    std::remove(("/tmp/" + node_name + suffix).c_str());
+  }
+  return report;
+}
+
+int64_t RestartChaosReport::BlackoutPercentileUs(double p) const {
+  if (blackout_us.empty()) return 0;
+  std::vector<int64_t> sorted = blackout_us;
+  std::sort(sorted.begin(), sorted.end());
+  double rank = p * static_cast<double>(sorted.size() - 1);
+  size_t idx = static_cast<size_t>(rank + 0.5);
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+std::string RestartChaosReport::Summary() const {
+  char buf[512];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "orders: %llu attempts, %llu completed, %llu rejected, "
+                "%llu failed, %llu unknown; goodput %.1f orders/s\n",
+                static_cast<unsigned long long>(attempts),
+                static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(rejected),
+                static_cast<unsigned long long>(failed_actions),
+                static_cast<unsigned long long>(unknown), GoodputPerSec());
+  out += buf;
+  for (const std::string& e : failed_action_errors) {
+    out += "  failed action: " + e + "\n";
+  }
+  std::snprintf(
+      buf, sizeof(buf),
+      "restarts: %d generations (%d hard kills, %d graceful, %d drain "
+      "timeouts); blackout p50 %lld us, p99 %lld us\n",
+      generations, kills_hard, stops_graceful, drains_timed_out,
+      static_cast<long long>(BlackoutPercentileUs(0.5)),
+      static_cast<long long>(BlackoutPercentileUs(0.99)));
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "wire: %llu envelopes + %llu retries (amplification %.3f), "
+      "%llu dials; warm-up sheds %llu\n",
+      static_cast<unsigned long long>(envelopes_sent),
+      static_cast<unsigned long long>(client_retries), RetryAmplification(),
+      static_cast<unsigned long long>(dial_attempts),
+      static_cast<unsigned long long>(warmup_sheds));
+  out += buf;
+  if (activities > 0 || erased > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "wsba: %llu activities (%llu closed, %llu compensated, "
+                  "%llu mixed, %llu unresolved, %llu erased), %llu "
+                  "redrives\n",
+                  static_cast<unsigned long long>(activities),
+                  static_cast<unsigned long long>(closed),
+                  static_cast<unsigned long long>(compensated),
+                  static_cast<unsigned long long>(mixed),
+                  static_cast<unsigned long long>(unresolved),
+                  static_cast<unsigned long long>(erased),
+                  static_cast<unsigned long long>(redrives));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "stock: %lld -> %lld; final books: %llu requests, %llu "
+                "granted, %llu rejected\n",
+                static_cast<long long>(initial_stock_total),
+                static_cast<long long>(final_stock_total),
+                static_cast<unsigned long long>(final_manager.requests),
+                static_cast<unsigned long long>(final_manager.granted),
+                static_cast<unsigned long long>(final_manager.rejected));
+  out += buf;
+  if (violations.empty()) {
+    out += "audit: all invariants hold across restarts\n";
   } else {
     for (const std::string& v : violations) {
       out += "VIOLATION: " + v + "\n";

@@ -29,12 +29,14 @@
 #include <string>
 #include <vector>
 
+#include "core/oplog.h"
 #include "core/promise_manager.h"
 #include "obs/trace.h"
 #include "protocol/admission.h"
 #include "protocol/circuit_breaker.h"
 #include "protocol/fault_injector.h"
 #include "protocol/retry_policy.h"
+#include "protocol/tcp_transport.h"
 #include "protocol/transport.h"
 #include "sim/metrics.h"
 
@@ -238,6 +240,140 @@ struct WsbaChaosReport {
 };
 
 WsbaChaosReport RunWsbaChaosWorkload(const WsbaChaosConfig& config);
+
+// ---- Restart chaos ---------------------------------------------------
+//
+// Live crash-restart survivability: N order workers drive the merchant
+// flow over real TCP against a ServerLifecycle-supervised node while an
+// orchestrator thread kills it K times (simulated SIGKILL or graceful
+// drain, randomized timing) and brings it back on the same port. An
+// optional WS-BA driver runs business activities through the node's
+// coordinator across the same kills. Clients ride every blackout on
+// retry + reconnect backoff + server-side idempotency; afterwards the
+// §4 invariants, exactly-once effects and atomic WS-BA outcomes are
+// audited across all generations.
+
+struct RestartChaosConfig {
+  int num_items = 4;
+  int64_t initial_stock = 500;  ///< Per item pool.
+  int64_t order_quantity = 1;
+  int workers = 4;
+  int orders_per_worker = 60;
+  int64_t think_us = 0;
+
+  /// Kill schedule: the orchestrator lets the node serve for a random
+  /// uptime in [min,max] ms, kills it — hard (abandoned logs, torn
+  /// sockets) with probability `hard_kill_fraction`, graceful drain
+  /// otherwise — restarts it on the same port, and repeats.
+  int kill_rounds = 20;
+  double hard_kill_fraction = 0.5;
+  DurationMs min_uptime_ms = 20;
+  DurationMs max_uptime_ms = 60;
+
+  /// Lifecycle knobs (passed through to ServerLifecycleOptions).
+  DurationMs drain_deadline_ms = 500;
+  DurationMs checkpoint_interval_ms = 25;
+  GroupCommitConfig group_commit;
+  /// Recovery warm-up ramp for every post-restart generation; 0
+  /// disables (reproduces the thundering-herd re-kill hazard).
+  double warmup_target_rps = 4'000;
+  DurationMs warmup_window_ms = 150;
+
+  /// Client knobs. The retry budget is deliberately huge: one order
+  /// must ride out a full blackout (kill + recovery + warm-up ramp)
+  /// on retries of the identical envelope.
+  RetryPolicy retry{/*max_attempts=*/40, /*deadline_ms=*/60'000,
+                    /*initial_backoff_ms=*/1, /*backoff_multiplier=*/2.0,
+                    /*max_backoff_ms=*/50, /*jitter=*/0.25};
+  ReconnectBackoffOptions reconnect;
+  int64_t call_timeout_ms = 250;
+
+  /// WS-BA traffic riding the same node: one driver thread runs this
+  /// many activities (sequentially) against the lifecycle's
+  /// coordinator while it crashes and recovers; 0 disables.
+  int wsba_activities = 16;
+  int wsba_participants = 3;
+  double wsba_close_fraction = 0.6;
+  int wsba_max_redrives = 16;
+
+  uint64_t seed = 42;
+  DurationMs promise_duration_ms = 600'000;
+  double trace_sampling = 0;  ///< 0 = tracing off for this run.
+};
+
+struct RestartChaosReport {
+  // Client-observed order tallies, summed across workers.
+  uint64_t attempts = 0;
+  uint64_t completed = 0;
+  uint64_t rejected = 0;
+  uint64_t failed_actions = 0;
+  /// Error text of the first few failed actions (§7 says the promise
+  /// should preclude them, so each one deserves forensics).
+  std::vector<std::string> failed_action_errors;
+  uint64_t unknown = 0;  ///< Retry budget exhausted mid-order.
+  uint64_t envelopes_sent = 0;
+  uint64_t client_retries = 0;
+  uint64_t dial_attempts = 0;  ///< Socket dials across all channels.
+
+  // The restart schedule actually executed.
+  int generations = 0;  ///< Completed Start() calls (first boot included).
+  int kills_hard = 0;
+  int stops_graceful = 0;
+  int drains_timed_out = 0;
+  /// Kill initiation → first post-restart reply (grant or shed) seen
+  /// by a probe channel; one sample per restart.
+  std::vector<int64_t> blackout_us;
+  /// RecoverAll duration per restart.
+  std::vector<DurationMs> recovery_ms;
+  uint64_t warmup_sheds = 0;   ///< Shed by the ramp, all generations.
+  uint64_t probe_grants = 0;   ///< Blackout probes granted a promise...
+  uint64_t probe_releases = 0; ///< ...and how many released it again.
+
+  // WS-BA driver tallies.
+  uint64_t activities = 0;
+  uint64_t closed = 0;
+  uint64_t compensated = 0;
+  uint64_t mixed = 0;
+  uint64_t unresolved = 0;
+  uint64_t erased = 0;  ///< Created but wiped by a kill before any
+                        ///< durable enlistment; presumed abort, no audit.
+  uint64_t redrives = 0;
+
+  PromiseManagerStats final_manager;  ///< Last generation's books.
+  OverloadStats overload;  ///< Admission stats accumulated across generations.
+  int64_t initial_stock_total = 0;
+  int64_t final_stock_total = 0;
+  int64_t wall_time_us = 0;
+
+  std::vector<PhaseStat> phases;
+  uint64_t spans_collected = 0;
+  uint64_t spans_dropped = 0;
+
+  /// Cross-generation audit failures; empty = pass.
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  bool converged() const { return unknown == 0; }
+  double GoodputPerSec() const {
+    return wall_time_us == 0 ? 0.0
+                             : static_cast<double>(completed) * 1e6 /
+                                   static_cast<double>(wall_time_us);
+  }
+  /// Wire envelopes per first-send envelope: 1.0 = no retries.
+  double RetryAmplification() const {
+    return envelopes_sent == 0
+               ? 1.0
+               : static_cast<double>(envelopes_sent + client_retries) /
+                     static_cast<double>(envelopes_sent);
+  }
+  /// p is a fraction in [0, 1] (0.99, not 99). Out-of-range ranks
+  /// clamp to the extreme samples, so a percent-style argument would
+  /// silently report the maximum.
+  int64_t BlackoutPercentileUs(double p) const;
+  std::string Summary() const;
+};
+
+RestartChaosReport RunRestartChaosWorkload(const RestartChaosConfig& config);
 
 }  // namespace promises
 

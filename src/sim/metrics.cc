@@ -75,12 +75,13 @@ std::string FormatOverloadStats(const OverloadStats& stats) {
   std::snprintf(
       buf, sizeof(buf),
       "admission: %llu admitted, %llu shed (queue-full=%llu quota=%llu "
-      "deadline=%llu), queue peak %llu",
+      "deadline=%llu warmup=%llu), queue peak %llu",
       static_cast<unsigned long long>(stats.admitted),
       static_cast<unsigned long long>(stats.total_shed()),
       static_cast<unsigned long long>(stats.shed_queue_full),
       static_cast<unsigned long long>(stats.shed_quota),
       static_cast<unsigned long long>(stats.shed_deadline),
+      static_cast<unsigned long long>(stats.shed_warmup),
       static_cast<unsigned long long>(stats.queue_peak));
   return buf;
 }

@@ -180,7 +180,20 @@ BusinessActivityCoordinator::BusinessActivityCoordinator(
 }
 
 BusinessActivityCoordinator::~BusinessActivityCoordinator() {
-  transport_->Unregister(endpoint_);
+  // A crashed coordinator died without unregistering; by the time its
+  // corpse is destroyed a recovered twin may own the endpoint, and
+  // unregistering here would silently unplug it.
+  bool crashed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    crashed = crashed_;
+  }
+  if (!crashed) transport_->Unregister(endpoint_);
+}
+
+void BusinessActivityCoordinator::SimulateCrash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_ = true;
 }
 
 Status BusinessActivityCoordinator::AppendRecord(const std::string& payload,

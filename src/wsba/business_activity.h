@@ -217,6 +217,14 @@ class BusinessActivityCoordinator {
   /// from the decision log.
   bool crashed() const;
 
+  /// Simulated SIGKILL from outside: marks the coordinator crashed
+  /// (every call fails kUnavailable) without firing a crash point. A
+  /// crashed coordinator's destructor does NOT unregister its
+  /// transport endpoint — a killed process never gets to — so a
+  /// recovered twin's own Register (which replaces any prior handler)
+  /// is not clobbered when the corpse is finally destroyed.
+  void SimulateCrash();
+
   /// Coordinator-order retransmissions performed so far.
   uint64_t retransmissions() const;
 

@@ -1,0 +1,595 @@
+// Restart survivability (ISSUE: robustness): the supervised server
+// lifecycle — hard-kill + recovery with exactly-once effects, RecoverAll
+// composing checkpoint/oplog/WS-BA recovery in one restart, the
+// admission warm-up ramp, graceful drain semantics, and client-side
+// reconnect backoff against a stopped server.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "predicate/ast.h"
+#include "protocol/admission.h"
+#include "protocol/tcp_transport.h"
+#include "service/lifecycle.h"
+#include "service/services.h"
+#include "wsba/business_activity.h"
+
+namespace promises {
+namespace {
+
+std::string UniqueName(const std::string& stem) {
+  return "lifecycle_test_" + std::to_string(::getpid()) + "_" + stem;
+}
+
+void RemoveDurableFiles(const std::string& name) {
+  for (const char* suffix : {".oplog", ".ckpt", ".balog"}) {
+    std::remove(("/tmp/" + name + suffix).c_str());
+  }
+}
+
+Envelope OrderRequest(uint64_t id, const std::string& from,
+                      const std::string& item, int64_t quantity) {
+  Envelope req;
+  req.message_id = MessageId(id);
+  req.from = from;
+  req.to = "lifecycle-pm";
+  PromiseRequestHeader header;
+  header.request_id = RequestId(id);
+  header.duration_ms = 600'000;
+  header.predicates.push_back(
+      Predicate::Quantity(item, CompareOp::kGe, quantity));
+  req.promise_request = std::move(header);
+  return req;
+}
+
+Envelope PurchaseAction(uint64_t id, const std::string& from,
+                        const std::string& item, int64_t quantity,
+                        PromiseId promise) {
+  Envelope act;
+  act.message_id = MessageId(id);
+  act.from = from;
+  act.to = "lifecycle-pm";
+  act.environment = EnvironmentHeader{{{promise, true}}};
+  ActionBody buy;
+  buy.service = "inventory";
+  buy.operation = "purchase";
+  buy.params["item"] = Value(item);
+  buy.params["quantity"] = Value(quantity);
+  buy.params["promise"] = Value(static_cast<int64_t>(promise.value()));
+  act.action = std::move(buy);
+  return act;
+}
+
+ServerLifecycleOptions BaseOptions(const std::string& name) {
+  ServerLifecycleOptions opts;
+  opts.data_dir = "/tmp";
+  opts.name = name;
+  opts.manager.name = "lifecycle-pm";
+  opts.define_resources = [](ResourceManager& rm) {
+    (void)rm.CreatePool("widget", 10);
+  };
+  opts.configure_manager = [](PromiseManager& pm) {
+    pm.RegisterService("inventory", MakeInventoryService());
+  };
+  return opts;
+}
+
+int64_t StockOf(ServerLifecycle* lifecycle, const std::string& item) {
+  std::unique_ptr<Transaction> txn = lifecycle->transactions()->Begin();
+  Result<int64_t> q = lifecycle->resources()->GetQuantity(txn.get(), item);
+  (void)txn->Commit();
+  return q.ok() ? *q : -1;
+}
+
+// ---- ServerLifecycle: hard kill, restart, exactly-once ----
+
+TEST(LifecycleTest, HardKillRestartReplaysExactlyOnce) {
+  const std::string name = UniqueName("hardkill");
+  RemoveDurableFiles(name);
+  ServerLifecycle lifecycle(BaseOptions(name));
+  { Status st = lifecycle.Start(); ASSERT_TRUE(st.ok()) << st.ToString(); }
+  EXPECT_EQ(lifecycle.state(), ServerLifecycle::State::kServing);
+  EXPECT_EQ(lifecycle.generation(), 1);
+  const uint16_t port = lifecycle.port();
+
+  TcpClientChannel channel;
+  channel.set_call_timeout_ms(2'000);
+  ASSERT_TRUE(channel.Connect(port).ok());
+
+  auto grant = channel.Call(OrderRequest(1, "lc-client", "widget", 4));
+  ASSERT_TRUE(grant.ok()) << grant.status().ToString();
+  ASSERT_TRUE(grant->promise_response.has_value());
+  ASSERT_EQ(grant->promise_response->result, PromiseResultCode::kAccepted);
+  const PromiseId promise = grant->promise_response->promise_id;
+
+  const Envelope act = PurchaseAction(2, "lc-client", "widget", 4, promise);
+  auto acted = channel.Call(act);
+  ASSERT_TRUE(acted.ok()) << acted.status().ToString();
+  ASSERT_TRUE(acted->action_result.has_value());
+  EXPECT_TRUE(acted->action_result->ok);
+  EXPECT_EQ(StockOf(&lifecycle, "widget"), 6);
+
+  // SIGKILL the node; the world is gone and the port goes dark.
+  lifecycle.KillHard();
+  EXPECT_EQ(lifecycle.state(), ServerLifecycle::State::kKilled);
+  EXPECT_EQ(lifecycle.manager(), nullptr);
+
+  // Same endpoint comes back; the recovered log tail carries the
+  // purchase and its dedup entry.
+  { Status st = lifecycle.Start(); ASSERT_TRUE(st.ok()) << st.ToString(); }
+  EXPECT_EQ(lifecycle.state(), ServerLifecycle::State::kServing);
+  EXPECT_EQ(lifecycle.generation(), 2);
+  EXPECT_EQ(lifecycle.port(), port);
+  EXPECT_GT(lifecycle.last_recovery().manager.total_records, 0u);
+  EXPECT_EQ(StockOf(&lifecycle, "widget"), 6);
+
+  // A waiting client retransmits the identical purchase envelope: the
+  // recovered dedup table replays the original reply — stock must not
+  // move a second time.
+  TcpClientChannel retry_channel;
+  retry_channel.set_call_timeout_ms(2'000);
+  ASSERT_TRUE(retry_channel.Connect(port).ok());
+  auto replay = retry_channel.Call(act);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  ASSERT_TRUE(replay->action_result.has_value());
+  EXPECT_TRUE(replay->action_result->ok);
+  EXPECT_EQ(StockOf(&lifecycle, "widget"), 6);
+  EXPECT_EQ(lifecycle.manager()->stats().duplicates_replayed, 1u);
+
+  // The recovered generation still takes new business.
+  auto grant2 = retry_channel.Call(OrderRequest(3, "lc-client", "widget", 2));
+  ASSERT_TRUE(grant2.ok());
+  ASSERT_EQ(grant2->promise_response->result, PromiseResultCode::kAccepted);
+  auto acted2 = retry_channel.Call(PurchaseAction(
+      4, "lc-client", "widget", 2, grant2->promise_response->promise_id));
+  ASSERT_TRUE(acted2.ok());
+  EXPECT_TRUE(acted2->action_result->ok);
+  EXPECT_EQ(StockOf(&lifecycle, "widget"), 4);
+
+  EXPECT_TRUE(lifecycle.StopGraceful());
+  RemoveDurableFiles(name);
+}
+
+// ---- RecoverAll: checkpoint + oplog + WS-BA log in one restart ----
+
+TEST(LifecycleTest, RecoverAllComposesCheckpointAndWsbaRecovery) {
+  const std::string name = UniqueName("recoverall");
+  RemoveDurableFiles(name);
+  Transport wsba_transport;
+  ServerLifecycleOptions opts = BaseOptions(name);
+  opts.wsba_transport = &wsba_transport;
+  ServerLifecycle lifecycle(std::move(opts));
+  { Status st = lifecycle.Start(); ASSERT_TRUE(st.ok()) << st.ToString(); }
+  const uint16_t port = lifecycle.port();
+
+  // Manager side: one completed purchase plus one still-active grant.
+  TcpClientChannel channel;
+  channel.set_call_timeout_ms(2'000);
+  ASSERT_TRUE(channel.Connect(port).ok());
+  auto grant = channel.Call(OrderRequest(1, "ra-client", "widget", 3));
+  ASSERT_TRUE(grant.ok());
+  ASSERT_EQ(grant->promise_response->result, PromiseResultCode::kAccepted);
+  auto acted = channel.Call(PurchaseAction(
+      2, "ra-client", "widget", 3, grant->promise_response->promise_id));
+  ASSERT_TRUE(acted.ok());
+  EXPECT_TRUE(acted->action_result->ok);
+  auto held = channel.Call(OrderRequest(3, "ra-client", "widget", 2));
+  ASSERT_TRUE(held.ok());
+  ASSERT_EQ(held->promise_response->result, PromiseResultCode::kAccepted);
+  const PromiseId held_promise = held->promise_response->promise_id;
+
+  // WS-BA side: one activity closed, one signalled-but-undecided when
+  // the kill lands (the classic wsba_recovery_test shapes).
+  BusinessActivityParticipant::Callbacks callbacks{
+      [] { return Status::OK(); }, [] { return Status::OK(); }, [] {}};
+  BusinessActivityParticipant p1("ra-p1", &wsba_transport, callbacks, {});
+  BusinessActivityParticipant p2("ra-p2", &wsba_transport, callbacks, {});
+  std::shared_ptr<BusinessActivityCoordinator> coordinator =
+      lifecycle.coordinator();
+  ASSERT_NE(coordinator, nullptr);
+
+  ActivityId closed = coordinator->CreateActivity();
+  for (auto* p : {&p1, &p2}) {
+    auto id = coordinator->Register(closed, p->endpoint());
+    ASSERT_TRUE(id.ok());
+    p->Enlist("ba-coordinator", closed, *id);
+    ASSERT_TRUE(p->SignalCompleted(closed).ok());
+  }
+  auto outcome = coordinator->CloseActivity(closed);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(*outcome, ActivityOutcome::kClosed);
+
+  ActivityId undecided = coordinator->CreateActivity();
+  for (auto* p : {&p1, &p2}) {
+    auto id = coordinator->Register(undecided, p->endpoint());
+    ASSERT_TRUE(id.ok());
+    p->Enlist("ba-coordinator", undecided, *id);
+    ASSERT_TRUE(p->SignalCompleted(undecided).ok());
+  }
+
+  // One hard kill takes out the manager AND the coordinator.
+  lifecycle.KillHard();
+  { Status st = lifecycle.Start(); ASSERT_TRUE(st.ok()) << st.ToString(); }
+
+  // One RecoverAll restored both worlds: the completed purchase and the
+  // held grant on the manager side, the decided activity plus the
+  // presumed-abort of the undecided one on the WS-BA side.
+  const RecoverAllReport& recovery = lifecycle.last_recovery();
+  EXPECT_GT(recovery.manager.total_records, 0u);
+  ASSERT_TRUE(recovery.wsba_recovered);
+  EXPECT_GE(recovery.wsba.activities, 2u);
+  EXPECT_GE(recovery.wsba.presumed_abort, 1u);
+
+  EXPECT_EQ(StockOf(&lifecycle, "widget"), 7);
+  EXPECT_EQ(lifecycle.manager()->active_promises(), 1u);
+
+  std::shared_ptr<BusinessActivityCoordinator> recovered =
+      lifecycle.coordinator();
+  ASSERT_NE(recovered, nullptr);
+  ASSERT_NE(recovered, coordinator);
+  auto closed_outcome = recovered->OutcomeOf(closed);
+  ASSERT_TRUE(closed_outcome.ok());
+  EXPECT_EQ(*closed_outcome, ActivityOutcome::kClosed);
+  auto undecided_outcome = recovered->OutcomeOf(undecided);
+  ASSERT_TRUE(undecided_outcome.ok());
+  EXPECT_EQ(*undecided_outcome, ActivityOutcome::kCompensated);
+
+  // The held grant is still releasable in the new generation (the old
+  // channel's socket died with the kill — reconnect like a real client).
+  TcpClientChannel channel2;
+  channel2.set_call_timeout_ms(2'000);
+  ASSERT_TRUE(channel2.Connect(port).ok());
+  Envelope rel;
+  rel.message_id = MessageId(4);
+  rel.from = "ra-client";
+  rel.to = "lifecycle-pm";
+  rel.release = ReleaseHeader{{held_promise}};
+  auto released = channel2.Call(rel);
+  ASSERT_TRUE(released.ok()) << released.status().ToString();
+  EXPECT_EQ(lifecycle.manager()->active_promises(), 0u);
+
+  // Graceful stop cuts a final checkpoint; the next boot starts from it.
+  EXPECT_TRUE(lifecycle.StopGraceful());
+  { Status st = lifecycle.Start(); ASSERT_TRUE(st.ok()) << st.ToString(); }
+  EXPECT_TRUE(lifecycle.last_recovery().manager.used_checkpoint);
+  EXPECT_EQ(StockOf(&lifecycle, "widget"), 7);
+  EXPECT_TRUE(lifecycle.StopGraceful());
+  RemoveDurableFiles(name);
+}
+
+// ---- Admission warm-up ramp ----
+
+TEST(LifecycleTest, WarmupRampShedsAboveRampedRateThenDisarms) {
+  SimulatedClock clock(1'000);
+  AdmissionOptions options;
+  options.queue_capacity = 0;  // isolate the warm-up gate
+  options.warmup_target_rps = 100;
+  options.warmup_window_ms = 1'000;
+  options.warmup_initial_fraction = 0.1;
+  AdmissionController admission(options, &clock);
+
+  EXPECT_FALSE(admission.warming_up());
+  admission.BeginWarmup();
+  EXPECT_TRUE(admission.warming_up());
+
+  // The seed allowance admits one request immediately...
+  EXPECT_TRUE(admission.Admit("herd", 0, 0).admitted());
+  // ...and the next, in the same instant, is shed with reason "warmup"
+  // and a concrete retry-after hint.
+  auto shed = admission.Admit("herd", 0, 0);
+  ASSERT_FALSE(shed.admitted());
+  EXPECT_EQ(shed.reason_string(), "warmup");
+  EXPECT_GE(shed.retry_after_ms, 1);
+  EXPECT_EQ(admission.stats().shed_warmup, 1u);
+
+  // Tokens accrue at the ramped rate: 100ms into a 1s window the rate
+  // has climbed past the initial 10/s, so one more request fits.
+  clock.Advance(100);
+  EXPECT_TRUE(admission.Admit("herd", 0, 0).admitted());
+
+  // After the window the gate disarms entirely.
+  clock.Advance(1'000);
+  EXPECT_TRUE(admission.Admit("herd", 0, 0).admitted());
+  EXPECT_FALSE(admission.warming_up());
+  EXPECT_TRUE(admission.Admit("herd", 0, 0).admitted());
+  EXPECT_TRUE(admission.Admit("herd", 0, 0).admitted());
+  EXPECT_EQ(admission.stats().shed_warmup, 1u);
+}
+
+TEST(LifecycleTest, WarmupDisabledByDefault) {
+  SimulatedClock clock(0);
+  AdmissionController admission(AdmissionOptions{}, &clock);
+  admission.BeginWarmup();  // no-op: warmup_target_rps == 0
+  EXPECT_FALSE(admission.warming_up());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(admission.Admit("c", 0, 0).admitted());
+  }
+  EXPECT_EQ(admission.stats().shed_warmup, 0u);
+}
+
+// ---- WarmStartClock ----
+
+TEST(LifecycleTest, WarmStartClockRunsWithWallTimeAndPinsMonotone) {
+  WarmStartClock clock;
+  EXPECT_FALSE(clock.running());
+  EXPECT_EQ(clock.Now(), 0);
+  clock.Advance(5);
+  EXPECT_EQ(clock.Now(), 5);
+
+  clock.Run();
+  EXPECT_TRUE(clock.running());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  const Timestamp while_running = clock.Now();
+  EXPECT_GT(while_running, 5);
+
+  clock.Pin();
+  EXPECT_FALSE(clock.running());
+  const Timestamp pinned = clock.Now();
+  EXPECT_GE(pinned, while_running);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(clock.Now(), pinned);  // frozen during the blackout
+
+  // Simulated advances still work while pinned, and a second Run
+  // resumes from the folded base — never backwards.
+  clock.Advance(7);
+  EXPECT_EQ(clock.Now(), pinned + 7);
+  clock.Run();
+  EXPECT_GE(clock.Now(), pinned + 7);
+}
+
+// ---- Graceful drain ----
+
+TEST(DrainTest, InFlightRequestSurvivesDrain) {
+  std::atomic<int> handled{0};
+  TcpEndpointServer server;
+  TcpServerOptions options;
+  options.workers = 2;
+  ASSERT_TRUE(server
+                  .Start(0,
+                         [&](const Envelope& env) {
+                           std::this_thread::sleep_for(
+                               std::chrono::milliseconds(100));
+                           ++handled;
+                           Envelope reply;
+                           reply.message_id = env.message_id;
+                           reply.action_result = ActionResultBody{};
+                           reply.action_result->ok = true;
+                           return Result<Envelope>(reply);
+                         },
+                         options)
+                  .ok());
+
+  std::atomic<bool> call_ok{false};
+  std::thread client([&] {
+    TcpClientChannel channel;
+    channel.set_call_timeout_ms(5'000);
+    if (!channel.Connect(server.port()).ok()) return;
+    Envelope req;
+    req.message_id = MessageId(1);
+    req.from = "drain-client";
+    req.to = "server";
+    ActionBody body;
+    body.service = "noop";
+    body.operation = "noop";
+    req.action = std::move(body);
+    auto reply = channel.Call(req);
+    call_ok = reply.ok() && reply->action_result.has_value() &&
+              reply->action_result->ok;
+  });
+
+  // Let the request get in flight, then drain: Stop must wait for the
+  // worker to finish and the reply to go out before closing sockets.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_TRUE(server.StopGraceful(2'000));
+  client.join();
+  EXPECT_EQ(handled.load(), 1);
+  EXPECT_TRUE(call_ok.load());
+}
+
+TEST(DrainTest, DrainDeadlineBoundsSlowHandlers) {
+  TcpEndpointServer server;
+  TcpServerOptions options;
+  options.workers = 1;
+  ASSERT_TRUE(server
+                  .Start(0,
+                         [&](const Envelope& env) {
+                           std::this_thread::sleep_for(
+                               std::chrono::milliseconds(400));
+                           Envelope reply;
+                           reply.message_id = env.message_id;
+                           return Result<Envelope>(reply);
+                         },
+                         options)
+                  .ok());
+
+  std::thread client([&, port = server.port()] {
+    TcpClientChannel channel;
+    channel.set_call_timeout_ms(2'000);
+    if (!channel.Connect(port).ok()) return;
+    Envelope req;
+    req.message_id = MessageId(1);
+    req.from = "slow-client";
+    req.to = "server";
+    ActionBody body;
+    body.service = "noop";
+    body.operation = "noop";
+    req.action = std::move(body);
+    (void)channel.Call(req);
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // The handler needs ~400ms; a 50ms drain budget must lapse and
+  // report the incomplete drain instead of hanging.
+  EXPECT_FALSE(server.StopGraceful(50));
+  client.join();
+}
+
+TEST(DrainTest, DrainingServerShedsNewFramesWithDrainingReason) {
+  TcpEndpointServer server;
+  TcpServerOptions options;
+  options.workers = 1;
+  ASSERT_TRUE(server
+                  .Start(0,
+                         [&](const Envelope& env) {
+                           std::this_thread::sleep_for(
+                               std::chrono::milliseconds(200));
+                           Envelope reply;
+                           reply.message_id = env.message_id;
+                           reply.action_result = ActionResultBody{};
+                           reply.action_result->ok = true;
+                           return Result<Envelope>(reply);
+                         },
+                         options)
+                  .ok());
+  const uint16_t port = server.port();
+
+  auto make_request = [](uint64_t id) {
+    Envelope req;
+    req.message_id = MessageId(id);
+    req.from = "shed-client";
+    req.to = "server";
+    ActionBody body;
+    body.service = "noop";
+    body.operation = "noop";
+    req.action = std::move(body);
+    return req;
+  };
+
+  // Connect the late client before the listener closes.
+  TcpClientChannel late;
+  late.set_call_timeout_ms(2'000);
+  ASSERT_TRUE(late.Connect(port).ok());
+
+  std::thread busy([&] {
+    TcpClientChannel channel;
+    channel.set_call_timeout_ms(5'000);
+    if (!channel.Connect(port).ok()) return;
+    (void)channel.Call(make_request(1));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::thread stopper([&] { EXPECT_TRUE(server.StopGraceful(2'000)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // The drain is waiting on the in-flight request; a new frame on the
+  // surviving connection is answered with an overload shed, surfaced
+  // by the channel as kResourceExhausted.
+  auto shed = late.Call(make_request(2));
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+
+  stopper.join();
+  busy.join();
+}
+
+// ---- Reconnect backoff ----
+
+TEST(ReconnectBackoffTest, StoppedServerIsNotHammeredWithDials) {
+  // Find a port with no listener behind it.
+  uint16_t dead_port = 0;
+  {
+    TcpEndpointServer server;
+    ASSERT_TRUE(
+        server.Start(0, [](const Envelope&) {
+          return Result<Envelope>(Envelope{});
+        }).ok());
+    dead_port = server.port();
+    server.Stop();
+  }
+
+  SimulatedClock clock(0);
+  TcpClientChannel channel;
+  channel.set_call_timeout_ms(50);
+  ReconnectBackoffOptions backoff;
+  backoff.initial_ms = 10;
+  backoff.multiplier = 2.0;
+  backoff.max_ms = 100;
+  backoff.jitter = 0;  // deterministic schedule for the assertions
+  channel.set_reconnect_backoff(backoff, /*seed=*/7, &clock);
+
+  EXPECT_FALSE(channel.Connect(dead_port).ok());
+  EXPECT_EQ(channel.dial_attempts(), 1u);
+
+  Envelope req;
+  req.message_id = MessageId(1);
+  req.from = "backoff-client";
+  req.to = "server";
+  ActionBody body;
+  body.service = "noop";
+  body.operation = "noop";
+  req.action = std::move(body);
+
+  // A retry loop hammering Call during the quiet period must not turn
+  // into a dial storm: every call fails fast with a retry-after hint
+  // and no socket work.
+  for (int i = 0; i < 100; ++i) {
+    auto result = channel.Call(req);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+    EXPECT_GE(RetryAfterHintMs(result.status()), 1);
+  }
+  EXPECT_EQ(channel.dial_attempts(), 1u);
+
+  // Once the quiet period lapses the channel dials again (and fails
+  // again, scheduling a longer wait).
+  clock.Advance(10);
+  (void)channel.Call(req);
+  EXPECT_EQ(channel.dial_attempts(), 2u);
+  for (int i = 0; i < 50; ++i) (void)channel.Call(req);
+  EXPECT_EQ(channel.dial_attempts(), 2u);
+
+  // Second backoff doubles: 20ms after the second failed dial.
+  clock.Advance(10);
+  (void)channel.Call(req);
+  EXPECT_EQ(channel.dial_attempts(), 2u);
+  clock.Advance(10);
+  (void)channel.Call(req);
+  EXPECT_EQ(channel.dial_attempts(), 3u);
+}
+
+TEST(ReconnectBackoffTest, BackoffResetsAfterSuccessfulDial) {
+  std::atomic<bool> replied{false};
+  TcpEndpointServer server;
+  ASSERT_TRUE(server
+                  .Start(0,
+                         [&](const Envelope& env) {
+                           replied = true;
+                           Envelope reply;
+                           reply.message_id = env.message_id;
+                           reply.action_result = ActionResultBody{};
+                           reply.action_result->ok = true;
+                           return Result<Envelope>(reply);
+                         })
+                  .ok());
+
+  SimulatedClock clock(0);
+  TcpClientChannel channel;
+  channel.set_call_timeout_ms(1'000);
+  channel.set_reconnect_backoff(ReconnectBackoffOptions{}, /*seed=*/11,
+                                &clock);
+  ASSERT_TRUE(channel.Connect(server.port()).ok());
+
+  Envelope req;
+  req.message_id = MessageId(1);
+  req.from = "reset-client";
+  req.to = "server";
+  ActionBody body;
+  body.service = "noop";
+  body.operation = "noop";
+  req.action = std::move(body);
+  auto reply = channel.Call(req);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_TRUE(replied.load());
+  EXPECT_EQ(channel.dial_attempts(), 1u);
+}
+
+}  // namespace
+}  // namespace promises

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "obs/metrics.h"
+#include "service/lifecycle.h"
 
 namespace promises {
 namespace {
@@ -163,6 +164,24 @@ TEST(MetricsRegistryTest, MergePreservesSortedFlagOnEmptySource) {
   EXPECT_FALSE(rec.sorted_for_testing());
   EXPECT_EQ(rec.count(), 3u);
   EXPECT_EQ(rec.PercentileUs(50), 200);  // stale order would miss 200
+}
+
+// Satellite: the lifecycle instruments register on construction (not
+// first use), so a scrape of a freshly-booted node already exposes the
+// restart/kill/drain counters at zero and the recovery histogram.
+TEST(MetricsRegistryTest, LifecycleInstrumentsAppearInPrometheusText) {
+  ServerLifecycle lifecycle(ServerLifecycleOptions{});  // never Start()ed
+  std::string text = MetricsRegistry::Global().FormatPrometheus();
+  for (const char* name :
+       {"promises_lifecycle_restarts_total",
+        "promises_lifecycle_kills_hard_total",
+        "promises_lifecycle_stops_graceful_total",
+        "promises_lifecycle_ramp_sheds_total",
+        "promises_lifecycle_recovery_ms"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(text.find("# TYPE promises_lifecycle_recovery_ms histogram"),
+            std::string::npos);
 }
 
 TEST(MetricsRegistryTest, RecorderPublishesIntoHistogram) {

@@ -1,0 +1,101 @@
+// Restart chaos acceptance: N client threads keep ordering through a
+// supervised node while an orchestrator kills it (hard SIGKILL or
+// graceful drain) and restarts it K times. Every §4 invariant, the
+// exactly-once guarantee, and the WS-BA all-or-compensated guarantee
+// must hold across every generation (ISSUE acceptance: >= 20 rounds,
+// zero violations, zero mixed outcomes).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "sim/chaos.h"
+
+namespace promises {
+namespace {
+
+uint64_t SeedFromEnv(uint64_t fallback) {
+  if (const char* env = std::getenv("PROMISES_CHAOS_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return fallback;
+}
+
+void ExpectCleanRestartRun(const RestartChaosReport& report,
+                           const RestartChaosConfig& config) {
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_TRUE(report.converged()) << report.Summary();
+  EXPECT_EQ(report.violations.size(), 0u) << report.Summary();
+  // Every kill round produced a fresh generation (boot + K restarts).
+  EXPECT_EQ(report.generations, config.kill_rounds + 1) << report.Summary();
+  EXPECT_EQ(report.kills_hard + report.stops_graceful,
+            static_cast<uint64_t>(config.kill_rounds))
+      << report.Summary();
+  // Clients actually lived through blackouts, not around them.
+  EXPECT_GT(report.completed, 0u) << report.Summary();
+  EXPECT_GT(report.client_retries, 0u) << report.Summary();
+  EXPECT_EQ(report.blackout_us.size(),
+            static_cast<size_t>(config.kill_rounds))
+      << report.Summary();
+  // No activity may end both-ways, and every started activity is
+  // accounted for (resolved or erased by an ill-timed hard kill).
+  EXPECT_EQ(report.mixed, 0u) << report.Summary();
+  EXPECT_EQ(report.activities + report.erased,
+            static_cast<uint64_t>(config.wsba_activities))
+      << report.Summary();
+}
+
+TEST(RestartChaosTest, SurvivesTwentyKillRestartRoundsUnderLoad) {
+  RestartChaosConfig config;
+  config.seed = 20260809;
+  config.workers = 4;
+  config.orders_per_worker = 250;
+  config.kill_rounds = 20;
+  config.hard_kill_fraction = 0.5;
+  config.initial_stock = 2'000;
+  SCOPED_TRACE("PROMISES_CHAOS_SEED=" + std::to_string(config.seed));
+
+  RestartChaosReport report = RunRestartChaosWorkload(config);
+  ExpectCleanRestartRun(report, config);
+  // A 50/50 coin over 20 rounds: both kill modes must actually fire.
+  EXPECT_GT(report.kills_hard, 0u) << report.Summary();
+  EXPECT_GT(report.stops_graceful, 0u) << report.Summary();
+}
+
+TEST(RestartChaosTest, RandomizedSeedShortRun) {
+  RestartChaosConfig config;
+  config.seed = SeedFromEnv(42);
+  config.workers = 3;
+  config.orders_per_worker = 80;
+  config.think_us = 1'500;  // span the kill rounds instead of outrunning them
+  config.kill_rounds = 6;
+  config.wsba_activities = 8;
+  config.initial_stock = 800;
+  SCOPED_TRACE("PROMISES_CHAOS_SEED=" + std::to_string(config.seed));
+
+  RestartChaosReport report = RunRestartChaosWorkload(config);
+  ExpectCleanRestartRun(report, config);
+}
+
+TEST(RestartChaosTest, AllHardKillsStillExactlyOnce) {
+  RestartChaosConfig config;
+  config.seed = SeedFromEnv(7);
+  config.workers = 3;
+  config.orders_per_worker = 80;
+  config.think_us = 1'500;
+  config.kill_rounds = 5;
+  config.hard_kill_fraction = 1.0;  // every round is a SIGKILL
+  config.wsba_activities = 8;
+  config.initial_stock = 800;
+  SCOPED_TRACE("PROMISES_CHAOS_SEED=" + std::to_string(config.seed));
+
+  RestartChaosReport report = RunRestartChaosWorkload(config);
+  ExpectCleanRestartRun(report, config);
+  EXPECT_EQ(report.kills_hard, static_cast<uint64_t>(config.kill_rounds))
+      << report.Summary();
+  EXPECT_EQ(report.stops_graceful, 0u) << report.Summary();
+}
+
+}  // namespace
+}  // namespace promises

@@ -15,6 +15,7 @@
 #include "core/checkpoint.h"
 #include "core/promise_manager.h"
 #include "protocol/fault_injector.h"
+#include "protocol/retry_policy.h"
 #include "protocol/tcp_transport.h"
 #include "service/services.h"
 
@@ -138,6 +139,34 @@ TEST(TcpTransportTest, MalformedXmlAnsweredWithFailure) {
   ASSERT_TRUE(reply->action_result.has_value());
   EXPECT_FALSE(reply->action_result->ok);
   EXPECT_NE(reply->action_result->error.find("handler exploded"),
+            std::string::npos);
+}
+
+TEST(TcpTransportTest, RetryableHandlerErrorStaysRetryableOnTheWire) {
+  // A transient handler refusal (the idempotency layer's "duplicate of
+  // an in-flight request" is the canonical one) must NOT come back as a
+  // definitive action failure: the client would stop retrying and count
+  // an order failed while the original attempt commits. It surfaces as
+  // a retryable shed status instead, so CallWithRetry keeps going until
+  // the cached real reply is available.
+  TcpEndpointServer busy;
+  ASSERT_TRUE(busy.Start(0,
+                         [](const Envelope&) -> Result<Envelope> {
+                           return Status::Unavailable(
+                               "duplicate of in-flight request");
+                         })
+                  .ok());
+  TcpClientChannel channel;
+  ASSERT_TRUE(channel.Connect(busy.port()).ok());
+  Envelope req;
+  req.message_id = MessageId(2);
+  req.from = "t";
+  req.to = "busy";
+  auto reply = channel.Call(req);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(IsRetryableStatus(reply.status()));
+  EXPECT_NE(reply.status().ToString().find("duplicate of in-flight"),
             std::string::npos);
 }
 
