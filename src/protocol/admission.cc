@@ -119,8 +119,9 @@ AdmissionController::Decision AdmissionController::Admit(
     double dt_s =
         static_cast<double>(std::max<Timestamp>(0, now - bucket.last_refill)) /
         1e3;
-    bucket.tokens = std::min(options_.client_burst,
-                             bucket.tokens + dt_s * options_.client_rate_per_sec);
+    bucket.tokens =
+        std::min(options_.client_burst,
+                 bucket.tokens + dt_s * options_.client_rate_per_sec);
     bucket.last_refill = now;
     if (bucket.tokens < 1.0) {
       AdmissionCounters::Get().shed_quota->Increment();

@@ -27,8 +27,9 @@ Result<int> Value::Compare(const Value& other) const {
   }
   if (type() != other.type()) {
     return Status::InvalidArgument(
-        std::string("cannot compare ") + std::string(ValueTypeToString(type())) +
-        " with " + std::string(ValueTypeToString(other.type())));
+        std::string("cannot compare ") +
+        std::string(ValueTypeToString(type())) + " with " +
+        std::string(ValueTypeToString(other.type())));
   }
   switch (type()) {
     case ValueType::kBool: {

@@ -353,7 +353,9 @@ Result<Envelope> BusinessActivityCoordinator::HandleSignal(
                      std::string(ParticipantStateToString(p.state)));
     }
     Status logged = log_signal();
-    if (!logged.ok()) return Ack(transport_, envelope, false, logged.ToString());
+    if (!logged.ok()) {
+      return Ack(transport_, envelope, false, logged.ToString());
+    }
     p.state = ParticipantState::kCompleted;
     return Ack(transport_, envelope, true);
   }
@@ -368,7 +370,9 @@ Result<Envelope> BusinessActivityCoordinator::HandleSignal(
                      std::string(ParticipantStateToString(p.state)));
     }
     Status logged = log_signal();
-    if (!logged.ok()) return Ack(transport_, envelope, false, logged.ToString());
+    if (!logged.ok()) {
+      return Ack(transport_, envelope, false, logged.ToString());
+    }
     p.state = ParticipantState::kExited;
     return Ack(transport_, envelope, true);
   }
@@ -384,7 +388,9 @@ Result<Envelope> BusinessActivityCoordinator::HandleSignal(
                      std::string(ParticipantStateToString(p.state)));
     }
     Status logged = log_signal();
-    if (!logged.ok()) return Ack(transport_, envelope, false, logged.ToString());
+    if (!logged.ok()) {
+      return Ack(transport_, envelope, false, logged.ToString());
+    }
     p.state = ParticipantState::kFaulted;
     ait->second.faulted = true;
     return Ack(transport_, envelope, true);
