@@ -1,0 +1,326 @@
+// Federated sharding — aggregate goodput vs shard count (§13).
+//
+// Strong-scaling sweep over the ShardRouter + LocalShardCluster: a
+// fixed pool of 8 workers drives promise orders against 1/2/4/8
+// promise-manager shards at three cross-shard fractions (0%, 5%,
+// 20%). Every granted order executes a registered "work" service whose
+// operation blocks ~800us INSIDE the shard's striped lock scope (the
+// environment promise's pool class is planned into the action's lock
+// scope, so the sleep holds the pool stripe) — the per-shard stripe is
+// the serialization bottleneck, and goodput grows with shard count
+// because independent shards' critical sections overlap even on a
+// single core. Cross-shard orders ride the WS-BA federated grant path,
+// so the same sweep measures the atomicity tax and proves the outcome
+// audit holds while being measured.
+//
+// Self-gating, mirroring the CI contract in scripts/check_bench.py:
+//   * goodput(4 shards, 0% cross) >= 1.6x goodput(1 shard, 0% cross);
+//   * every point reports atomic_consistency == 1.0 and a clean
+//     leak-probe audit (full pool grantable on every shard after all
+//     releases; no mixed or unresolved federated activity).
+//
+// Plain main (not google-benchmark): the output contract is the
+// BENCH_sharding.json file.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "core/oplog.h"
+#include "core/promise_manager.h"
+#include "obs/trace.h"
+#include "predicate/ast.h"
+#include "protocol/transport.h"
+#include "shard/cluster.h"
+#include "shard/router.h"
+
+namespace {
+
+constexpr int kWorkers = 8;
+constexpr int kOrdersPerWorker = 30;
+constexpr int64_t kPoolQuantity = 1'000'000;  // never the bottleneck
+constexpr int kServiceUs = 800;               // stripe-held service time
+
+std::string PoolName(int shard) {
+  return "pool-s" + std::to_string(shard);
+}
+
+promises::Predicate Quantity(const std::string& pool, int64_t amount) {
+  return promises::Predicate::Quantity(pool, promises::CompareOp::kGe,
+                                       amount);
+}
+
+struct PointResult {
+  int shards = 0;
+  double cross_fraction = 0;
+  uint64_t orders = 0;
+  uint64_t completed = 0;  // granted + acted + released
+  uint64_t federated_orders = 0;
+  uint64_t rejected = 0;
+  uint64_t infra_errors = 0;
+  double goodput_ops_s = 0;
+  long long p50_us = 0;
+  long long p99_us = 0;
+  double atomic_consistency = 1.0;
+  bool audit_ok = true;
+};
+
+long long Percentile(std::vector<long long>* xs, double p) {
+  if (xs->empty()) return 0;
+  std::sort(xs->begin(), xs->end());
+  size_t index = static_cast<size_t>(p * static_cast<double>(xs->size()));
+  if (index >= xs->size()) index = xs->size() - 1;
+  return (*xs)[index];
+}
+
+PointResult RunPoint(int shards, double cross_fraction, uint64_t seed) {
+  PointResult point;
+  point.shards = shards;
+  point.cross_fraction = cross_fraction;
+
+  promises::Transport transport;
+  promises::SystemClock clock;
+
+  std::vector<std::string> endpoints;
+  for (int i = 0; i < shards; ++i) {
+    endpoints.push_back("shard-" + std::to_string(i));
+  }
+  promises::ShardTopology topology =
+      promises::ShardTopology::Create(1, endpoints).value();
+  for (int i = 0; i < shards; ++i) {
+    (void)topology.AddOverride(PoolName(i), i);
+  }
+
+  promises::LocalShardClusterOptions copts;
+  copts.topology = topology;
+  copts.clock = &clock;
+  copts.transport = &transport;
+  copts.define_resources = [](promises::ResourceManager& rm, int shard) {
+    (void)rm.CreatePool(PoolName(shard), kPoolQuantity);
+  };
+  copts.configure_manager = [](promises::PromiseManager& manager, int) {
+    manager.RegisterService(
+        "work",
+        [](promises::ActionContext*, const std::string&,
+           const std::map<std::string, promises::Value>&)
+            -> promises::Result<std::map<std::string, promises::Value>> {
+          // Blocks with the environment promise's pool stripe held —
+          // the per-shard critical section the sweep scales over.
+          std::this_thread::sleep_for(std::chrono::microseconds(kServiceUs));
+          return std::map<std::string, promises::Value>{};
+        });
+  };
+  auto cluster = promises::LocalShardCluster::Start(std::move(copts)).value();
+
+  const std::string journal_path = "/tmp/promises_bench_sharding_" +
+                                   std::to_string(shards) + "_" +
+                                   std::to_string(static_cast<int>(
+                                       cross_fraction * 100)) +
+                                   ".log";
+  std::remove(journal_path.c_str());
+  promises::OperationLog journal;
+  (void)journal.Open(journal_path);
+
+  promises::ShardRouterOptions ropts;
+  ropts.name = "bench-router";
+  ropts.topology = topology;
+  ropts.channels = cluster->Channels();
+  ropts.control = &transport;
+  ropts.clock = &clock;
+  ropts.log = &journal;
+  ropts.log_path = journal_path;
+  ropts.retry_seed = seed * 29 + 7;
+  promises::ShardRouter router(ropts);
+
+  std::mutex mu;
+  std::vector<long long> latencies_us;
+  auto started = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&, w] {
+      promises::Rng rng(seed * 7919 + static_cast<uint64_t>(w) * 131 + 1);
+      for (int i = 0; i < kOrdersPerWorker; ++i) {
+        const bool cross = shards >= 2 && rng.Chance(cross_fraction);
+        const int a = static_cast<int>(
+            rng.UniformInt(0, static_cast<uint64_t>(shards - 1)));
+        std::vector<promises::Predicate> predicates = {
+            Quantity(PoolName(a), 1)};
+        if (cross) {
+          const int b = (a + 1 +
+                         static_cast<int>(rng.UniformInt(
+                             0, static_cast<uint64_t>(shards - 2)))) %
+                        shards;
+          predicates.push_back(Quantity(PoolName(b), 1));
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        promises::Result<promises::RoutedGrant> grant =
+            router.Request(predicates, 60'000);
+        bool completed = false, rejected = false, infra = false;
+        if (!grant.ok()) {
+          infra = true;
+        } else if (!grant->granted) {
+          rejected = true;
+        } else {
+          // One unit of stripe-held work per order, on the order's
+          // primary shard, then release everything.
+          const int act_shard = grant->promises.begin()->first;
+          promises::ActionBody action;
+          action.service = "work";
+          action.operation = "run";
+          promises::Result<promises::ActionResultBody> acted = router.Act(
+              act_shard, action, grant->promises.at(act_shard), false);
+          completed = acted.ok() && acted->ok && router.Release(*grant).ok();
+          if (!completed) infra = true;
+        }
+        const long long elapsed_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        std::lock_guard<std::mutex> lock(mu);
+        ++point.orders;
+        if (cross) ++point.federated_orders;
+        if (completed) ++point.completed;
+        if (rejected) ++point.rejected;
+        if (infra) ++point.infra_errors;
+        latencies_us.push_back(elapsed_us);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const long long wall_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count();
+  point.goodput_ops_s =
+      wall_us <= 0 ? 0.0
+                   : static_cast<double>(point.completed) * 1e6 /
+                         static_cast<double>(wall_us);
+  point.p50_us = Percentile(&latencies_us, 0.50);
+  point.p99_us = Percentile(&latencies_us, 0.99);
+
+  // Outcome audit: every federated activity resolved to exactly one
+  // outcome, and no reservation leaked anywhere.
+  const auto tally = router.federated()->tally();
+  const uint64_t unresolved = router.federated()->Unresolved().size();
+  const uint64_t total =
+      tally.closed + tally.compensated + tally.mixed + unresolved;
+  point.atomic_consistency =
+      total == 0 ? 1.0
+                 : static_cast<double>(tally.closed + tally.compensated) /
+                       static_cast<double>(total);
+  point.audit_ok = tally.mixed == 0 && unresolved == 0;
+  for (int i = 0; i < shards; ++i) {
+    promises::Result<promises::RoutedGrant> probe =
+        router.Request({Quantity(PoolName(i), kPoolQuantity)}, 5'000);
+    if (!probe.ok() || !probe->granted) {
+      point.audit_ok = false;
+    } else {
+      (void)router.Release(*probe);
+    }
+  }
+
+  std::remove(journal_path.c_str());
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_sharding.json";
+
+  promises::Tracer::Global().set_sampling(1.0);
+  promises::SpanCollector::Global().Reset();
+
+  const std::vector<int> shard_counts = {1, 2, 4, 8};
+  const std::vector<double> cross_fractions = {0.0, 0.05, 0.20};
+  const uint64_t seed = 42;
+
+  std::string rows;
+  bool all_consistent = true;
+  double goodput_1shard = 0, goodput_4shard = 0;
+  std::printf("%-7s %-7s %14s %10s %10s %10s %12s\n", "shards", "cross",
+              "goodput/s", "p50_us", "p99_us", "federated", "consistency");
+  for (int shards : shard_counts) {
+    for (double cross : cross_fractions) {
+      PointResult p = RunPoint(shards, cross, seed);
+      const bool row_ok = p.atomic_consistency == 1.0 && p.audit_ok &&
+                          p.infra_errors == 0;
+      all_consistent = all_consistent && row_ok;
+      if (shards == 1 && cross == 0.0) goodput_1shard = p.goodput_ops_s;
+      if (shards == 4 && cross == 0.0) goodput_4shard = p.goodput_ops_s;
+
+      char row[512];
+      std::snprintf(
+          row, sizeof(row),
+          "    {\"shards\": %d, \"cross_shard_fraction\": %.2f, "
+          "\"goodput_ops_s\": %.1f, \"p50_us\": %lld, \"p99_us\": %lld, "
+          "\"orders\": %llu, \"completed\": %llu, "
+          "\"federated_orders\": %llu, \"rejected\": %llu, "
+          "\"infra_errors\": %llu, \"atomic_consistency\": %.4f, "
+          "\"audit_ok\": %s}",
+          p.shards, p.cross_fraction, p.goodput_ops_s, p.p50_us, p.p99_us,
+          static_cast<unsigned long long>(p.orders),
+          static_cast<unsigned long long>(p.completed),
+          static_cast<unsigned long long>(p.federated_orders),
+          static_cast<unsigned long long>(p.rejected),
+          static_cast<unsigned long long>(p.infra_errors),
+          p.atomic_consistency, row_ok ? "true" : "false");
+      if (!rows.empty()) rows += ",\n";
+      rows += row;
+
+      std::printf("%-7d %-7.2f %14.1f %10lld %10lld %10llu %12s\n", p.shards,
+                  p.cross_fraction, p.goodput_ops_s, p.p50_us, p.p99_us,
+                  static_cast<unsigned long long>(p.federated_orders),
+                  row_ok ? "1.0000" : "VIOLATED");
+    }
+  }
+
+  const double speedup =
+      goodput_1shard <= 0 ? 0.0 : goodput_4shard / goodput_1shard;
+  const bool scaling_ok = speedup >= 1.6;
+  const bool all_ok = all_consistent && scaling_ok;
+  std::printf("4-shard speedup over 1 shard at 0%% cross: %.2fx "
+              "(gate >= 1.60x): %s\n",
+              speedup, scaling_ok ? "PASS" : "FAIL");
+
+  promises::Tracer::Global().set_sampling(0);
+  std::vector<promises::Span> spans =
+      promises::SpanCollector::Global().Drain();
+  std::vector<promises::PhaseStat> phases = promises::AggregatePhases(spans);
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::perror("fopen");
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"benchmark\": \"federated sharding goodput sweep\",\n"
+      "  \"workload\": {\"workers\": %d, \"orders_per_worker\": %d, "
+      "\"service_us\": %d, \"seed\": %llu},\n"
+      "  \"points\": [\n%s\n  ],\n"
+      "  \"speedup_4x1_cross0\": %.3f,\n"
+      "  \"all_outcomes_consistent\": %s,\n"
+      "  \"spans_collected\": %llu,\n"
+      "  \"phase_latency_us\": %s\n"
+      "}\n",
+      kWorkers, kOrdersPerWorker, kServiceUs,
+      static_cast<unsigned long long>(seed), rows.c_str(), speedup,
+      all_consistent ? "true" : "false",
+      static_cast<unsigned long long>(spans.size()),
+      promises::PhaseLatencyJson(phases, "  ").c_str());
+  std::fclose(f);
+  std::printf("%s", promises::FormatPhaseTable(phases).c_str());
+  std::printf("-> %s\n", out_path);
+  return all_ok ? 0 : 1;
+}

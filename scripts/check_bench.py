@@ -19,7 +19,7 @@ span-derived phase-latency table is printed so the regression can be
 attributed to a pipeline phase without rerunning anything.
 
 The file schema is detected from the point keys, so the same script
-gates all six benches:
+gates all the benches:
   * BENCH_scaling.json    points keyed by workers, goodput=throughput_ops_s
   * BENCH_chaos.json      points keyed by loss_rate, goodput=goodput_orders_s
   * BENCH_overload.json   points keyed by (offered_rps, shedding),
@@ -52,6 +52,17 @@ gates all six benches:
                           true and goodput_ratio (recovered vs steady
                           state) must hold >= 0.9 in the fresh run —
                           the restart-survivability acceptance bar.
+  * BENCH_sharding.json   points keyed by (shards, cross_shard_fraction)
+                          — detected first, the points also carry
+                          atomic_consistency which must NOT fall into
+                          the wsba branch (it reads loss_rate).
+                          goodput=goodput_ops_s, p99=p99_us.
+                          Additionally HARD-gated in the fresh run:
+                          every point must report atomic_consistency
+                          == 1.0 with audit_ok true, and goodput at
+                          4 shards / 0% cross must be >= 1.6x goodput
+                          at 1 shard / 0% cross — the federated
+                          sharding scaling + atomicity acceptance bar.
 
 Tolerances are deliberately loose (shared CI runners are noisy); the
 gate exists to catch order-of-magnitude regressions, not 5% drift. The
@@ -78,7 +89,14 @@ def extract_points(doc):
     """Returns a list of (label, goodput, p99_us_or_None)."""
     out = []
     for p in doc.get("points", []):
-        if "kill_mode" in p:  # restart sweep (before the durability
+        if "shards" in p:  # sharding sweep (before everything: its
+            # points carry consistency fields the wsba branch would
+            # misread)
+            out.append(
+                (f"shard[{p['shards']}]@cross="
+                 f"{p['cross_shard_fraction']:.2f}",
+                 p["goodput_ops_s"], p.get("p99_us")))
+        elif "kill_mode" in p:  # restart sweep (before the durability
             # branch: both carry a mode-ish key)
             p99_us = None
             if p.get("blackout_p99_ms") is not None:
@@ -176,6 +194,32 @@ def main():
             failures.append(
                 f"restart[{p['kill_mode']}]: goodput_ratio {ratio:.3f} "
                 f"< 0.9 (recovered vs steady state)")
+    # The sharding sweep: atomic-outcome consistency is a hard
+    # invariant on every fresh point, and the whole point of sharding
+    # is scaling — 4 shards must beat 1 shard by >= 1.6x at 0%
+    # cross-shard traffic.
+    shard_goodput = {}
+    for p in fresh_doc.get("points", []):
+        if "shards" not in p:
+            continue
+        label = (f"shard[{p['shards']}]@cross="
+                 f"{p['cross_shard_fraction']:.2f}")
+        if p["atomic_consistency"] < 1.0 or not p.get("audit_ok", True):
+            failures.append(
+                f"{label}: atomic_consistency "
+                f"{p['atomic_consistency']:.4f} (required: 1.0), "
+                f"audit_ok {p.get('audit_ok')}")
+        if p["cross_shard_fraction"] == 0.0:
+            shard_goodput[p["shards"]] = p["goodput_ops_s"]
+    if 1 in shard_goodput and 4 in shard_goodput:
+        speedup = (shard_goodput[4] / shard_goodput[1]
+                   if shard_goodput[1] > 0 else 0.0)
+        if speedup < 1.6:
+            failures.append(
+                f"sharding: 4-shard speedup {speedup:.2f}x < 1.6x over "
+                f"1 shard at 0% cross "
+                f"(goodput {shard_goodput[4]:.1f} vs "
+                f"{shard_goodput[1]:.1f})")
     compared = 0
     for label, fresh_goodput, fresh_p99 in fresh:
         if label not in base_by_label:

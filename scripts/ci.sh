@@ -18,6 +18,12 @@
 #                            # lifecycle/drain/reconnect units plus the
 #                            # kill/restart chaos harness, fixed seed
 #                            # then one randomized seed (printed)
+#   scripts/ci.sh sharding   # federated sharding suite under ASan:
+#                            # topology/routing/federated-grant units
+#                            # plus the shard chaos workload, fixed
+#                            # seed then one randomized seed (printed),
+#                            # then the bench_sharding scaling +
+#                            # consistency gate on the default preset
 #   scripts/ci.sh bench      # bench-regression gate: rerun the
 #                            # benches and compare against the
 #                            # committed BENCH_*.json baselines with
@@ -76,31 +82,39 @@ run_bench() {
   cmake --build --preset default -j "${JOBS}" \
     --target bench_scaling --target bench_chaos --target bench_overload \
     --target bench_durability --target bench_recovery --target bench_a2_wsba \
-    --target bench_restart
+    --target bench_restart --target bench_sharding
+  # check_bench output is tee'd to build/check_bench_<name>.log so the
+  # CI job can upload the phase-latency attribution as an artifact when
+  # the gate fails.
   local bench
-  for bench in scaling chaos overload durability recovery restart; do
+  for bench in scaling chaos overload durability recovery restart sharding; do
     echo "--- bench_${bench} ---"
     "./build/bench/bench_${bench}" "build/BENCH_${bench}.json"
     python3 scripts/check_bench.py \
-      "BENCH_${bench}.json" "build/BENCH_${bench}.json"
+      "BENCH_${bench}.json" "build/BENCH_${bench}.json" |
+      tee "build/check_bench_${bench}.log"
   done
   # The wsba sweep ships as bench_a2_wsba (the A2 ablation grown into a
   # sweep); its binary self-gates on 100% outcome consistency and the
   # checker re-gates the committed baseline comparison.
   echo "--- bench_a2_wsba ---"
   ./build/bench/bench_a2_wsba build/BENCH_wsba.json
-  python3 scripts/check_bench.py BENCH_wsba.json build/BENCH_wsba.json
+  python3 scripts/check_bench.py BENCH_wsba.json build/BENCH_wsba.json |
+    tee build/check_bench_wsba.log
 }
 
 run_lint() {
+  # CLANG_FORMAT overrides the binary (the CI job pins a versioned
+  # clang-format-NN; formatting output drifts across major versions).
+  local fmt="${CLANG_FORMAT:-clang-format}"
   echo "=== clang-format check (src/ tests/ bench/) ==="
-  if ! command -v clang-format >/dev/null 2>&1; then
-    echo "clang-format not installed" >&2
+  if ! command -v "${fmt}" >/dev/null 2>&1; then
+    echo "${fmt} not installed" >&2
     exit 2
   fi
-  clang-format --version
+  "${fmt}" --version
   find src tests bench -name '*.h' -o -name '*.cc' -o -name '*.cpp' \
-    | xargs clang-format --dry-run --Werror
+    | xargs "${fmt}" --dry-run --Werror
 }
 
 run_chaos() {
@@ -129,6 +143,28 @@ run_restart() {
     { echo "restart chaos FAILED with PROMISES_CHAOS_SEED=${seed}" >&2; exit 1; }
 }
 
+run_sharding() {
+  # Federated sharding under ASan: topology/routing/guard units, the
+  # federated grant + twin-world crash tests and the TCP cluster, then
+  # the shard chaos workload at the fixed seed and one fresh seed
+  # (echoed so failures reproduce with PROMISES_CHAOS_SEED=<seed>
+  # scripts/ci.sh sharding). Finishes with the bench_sharding scaling
+  # + atomic-consistency gate on the default preset.
+  run_preset asan -R 'Shard|FederatedGrant'
+  local seed="${PROMISES_CHAOS_SEED:-$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')}"
+  echo "=== shard chaos randomized run: PROMISES_CHAOS_SEED=${seed} ==="
+  PROMISES_CHAOS_SEED="${seed}" \
+    ctest --test-dir build-asan --output-on-failure -R 'ShardChaos' ||
+    { echo "shard chaos FAILED with PROMISES_CHAOS_SEED=${seed}" >&2; exit 1; }
+  echo "=== sharding bench gate: bench_sharding + check_bench ==="
+  cmake --preset default
+  cmake --build --preset default -j "${JOBS}" --target bench_sharding
+  ./build/bench/bench_sharding build/BENCH_sharding.json
+  python3 scripts/check_bench.py \
+    BENCH_sharding.json build/BENCH_sharding.json |
+    tee build/check_bench_sharding.log
+}
+
 case "${MODE}" in
   default)
     run_preset default
@@ -140,13 +176,16 @@ case "${MODE}" in
     # TSan over the full suite is slow on small runners; the concurrency
     # and transaction tests are where data races would live — including
     # the chaos workload's retry/dedup path.
-    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Idempotency|Overload|Breaker|Admission|Trace|Metrics|GroupCommit|Recovery|Checkpoint|OplogScan|Wsba|Restart|Lifecycle|Drain|Reconnect'
+    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Idempotency|Overload|Breaker|Admission|Trace|Metrics|GroupCommit|Recovery|Checkpoint|OplogScan|Wsba|Restart|Lifecycle|Drain|Reconnect|Shard|FederatedGrant'
     ;;
   chaos)
     run_chaos
     ;;
   restart)
     run_restart
+    ;;
+  sharding)
+    run_sharding
     ;;
   overload)
     run_overload
@@ -160,14 +199,15 @@ case "${MODE}" in
   all)
     run_preset default
     run_preset asan
-    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Idempotency|Overload|Breaker|Admission|Trace|Metrics|GroupCommit|Recovery|Checkpoint|OplogScan|Wsba|Restart|Lifecycle|Drain|Reconnect'
+    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Idempotency|Overload|Breaker|Admission|Trace|Metrics|GroupCommit|Recovery|Checkpoint|OplogScan|Wsba|Restart|Lifecycle|Drain|Reconnect|Shard|FederatedGrant'
     run_chaos
     run_restart
+    run_sharding
     run_overload
     run_bench
     ;;
   *)
-    echo "unknown mode: ${MODE} (expected default|asan|tsan|chaos|restart|overload|bench|lint|all)" >&2
+    echo "unknown mode: ${MODE} (expected default|asan|tsan|chaos|restart|sharding|overload|bench|lint|all)" >&2
     exit 2
     ;;
 esac

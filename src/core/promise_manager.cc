@@ -1650,6 +1650,32 @@ Result<Envelope> PromiseManager::Handle(const Envelope& request) {
       "promises_manager_duplicates_replayed_total");
   requests_total->Increment();
 
+  // Shard guard: an envelope routed under a different world view than
+  // this shard's identity is refused before the dedup table or any
+  // lock stripe — the sender must re-plan against the live topology.
+  if (config_.shard_index >= 0 && request.route) {
+    static Counter* route_rejects_total =
+        MetricsRegistry::Global().GetCounter(
+            "promises_manager_route_rejects_total");
+    if (request.route->topology_version != config_.topology_version) {
+      handle_span.set_status("route-stale-topology");
+      route_rejects_total->Increment();
+      return Status::FailedPrecondition(
+          "route: topology version " +
+          std::to_string(request.route->topology_version) +
+          " does not match shard's version " +
+          std::to_string(config_.topology_version));
+    }
+    if (request.route->shard != config_.shard_index) {
+      handle_span.set_status("route-wrong-shard");
+      route_rejects_total->Increment();
+      return Status::FailedPrecondition(
+          "route: envelope for shard " +
+          std::to_string(request.route->shard) + " reached shard " +
+          std::to_string(config_.shard_index));
+    }
+  }
+
   // Deadline shed, before everything else: a request whose propagated
   // deadline already lapsed gets a tiny <overload> reply — the client
   // has given up, so executing it (or even touching the dedup table or

@@ -106,6 +106,17 @@ struct PromiseManagerConfig {
   /// RequestPromiseOrQueue) waits for resources to free before it is
   /// finally rejected.
   DurationMs pending_patience_ms = 60'000;
+  /// Federated-cluster shard guard (DESIGN.md §13). When shard_index
+  /// is >= 0, Handle() validates any <route> header on the inbound
+  /// envelope: the stamped shard must equal shard_index and the
+  /// stamped topology version must equal topology_version, otherwise
+  /// the request fails kFailedPrecondition before touching the dedup
+  /// table or any lock stripe — a router holding a stale (or newer)
+  /// topology must re-plan, not land on the wrong shard's books.
+  /// Envelopes without a <route> header pass untouched (unrouted
+  /// single-manager traffic). -1 disables the guard entirely.
+  int32_t shard_index = -1;
+  uint64_t topology_version = 0;
   /// Exactly-once processing: Handle keeps the reply envelopes of the
   /// most recent `dedup_capacity` completed requests, keyed by
   /// (sender, message id), and replays the cached reply when the same

@@ -151,6 +151,12 @@ std::string Envelope::ToXml(bool pretty) const {
       ov->SetAttr("retry-after-ms", std::to_string(overload->retry_after_ms));
     }
   }
+  if (route) {
+    XmlElement* rt = header->AddChild("route");
+    rt->SetAttr("shard", std::to_string(route->shard));
+    rt->SetAttr("topology-version",
+                std::to_string(route->topology_version));
+  }
 
   XmlElement* body = root.AddChild("body");
   if (action) {
@@ -283,6 +289,16 @@ Result<Envelope> Envelope::FromXml(std::string_view xml) {
                                   ParseInt64(ov->Attr("retry-after-ms")));
       }
       env.overload = std::move(h);
+    }
+    if (const XmlElement* rt = header->Child("route")) {
+      RouteHeader h;
+      PROMISES_ASSIGN_OR_RETURN(int64_t shard,
+                                ParseInt64(rt->Attr("shard")));
+      h.shard = static_cast<int32_t>(shard);
+      PROMISES_ASSIGN_OR_RETURN(uint64_t tv,
+                                ReadIdAttr(*rt, "topology-version"));
+      h.topology_version = tv;
+      env.route = std::move(h);
     }
   }
 

@@ -95,6 +95,18 @@ struct OverloadHeader {
   DurationMs retry_after_ms = 0; ///< 0 = no hint (e.g. deadline sheds).
 };
 
+/// <route>: federated-cluster routing stamp (DESIGN.md §13). The
+/// sender records which shard index it planned this envelope onto and
+/// the version of the shard topology it planned with; a shard
+/// configured with a shard guard refuses envelopes whose stamp does
+/// not match its own identity (wrong shard, or a stale/newer topology)
+/// with kFailedPrecondition, so re-sharding can never silently land a
+/// request on the wrong shard's books. Absent on unrouted traffic.
+struct RouteHeader {
+  int32_t shard = 0;             ///< Planned destination shard index.
+  uint64_t topology_version = 0; ///< Topology the plan was made under.
+};
+
 /// <action>: one application request for a service.
 struct ActionBody {
   std::string service;
@@ -137,6 +149,7 @@ struct Envelope {
   std::optional<ReleaseHeader> release;
   std::optional<PollHeader> poll;
   std::optional<OverloadHeader> overload;
+  std::optional<RouteHeader> route;
   std::optional<ActionBody> action;
   std::optional<ActionResultBody> action_result;
 

@@ -1,0 +1,141 @@
+#include "shard/cluster.h"
+
+#include <mutex>
+#include <utility>
+
+namespace promises {
+
+// --------------------------------------------------------------------
+// LocalShardCluster
+
+Result<std::unique_ptr<LocalShardCluster>> LocalShardCluster::Start(
+    LocalShardClusterOptions options) {
+  if (options.clock == nullptr || options.transport == nullptr) {
+    return Status::InvalidArgument(
+        "LocalShardCluster needs a clock and a transport");
+  }
+  if (options.topology.num_shards() == 0) {
+    return Status::InvalidArgument("empty topology");
+  }
+  auto cluster = std::unique_ptr<LocalShardCluster>(new LocalShardCluster());
+  cluster->topology_ = options.topology;
+  cluster->transport_ = options.transport;
+  for (int i = 0; i < options.topology.num_shards(); ++i) {
+    auto world = std::make_unique<ShardWorld>();
+    world->resources = std::make_unique<ResourceManager>();
+    if (options.define_resources) {
+      options.define_resources(*world->resources, i);
+    }
+    world->transactions =
+        std::make_unique<TransactionManager>(options.lock_timeout_ms);
+    PromiseManagerConfig config = options.manager;
+    config.name = options.topology.endpoint(i);
+    config.shard_index = i;
+    config.topology_version = options.topology.version();
+    world->manager = std::make_unique<PromiseManager>(
+        config, options.clock, world->resources.get(),
+        world->transactions.get(), options.transport);
+    if (options.configure_manager) {
+      options.configure_manager(*world->manager, i);
+    }
+    cluster->shards_.push_back(std::move(world));
+  }
+  return cluster;
+}
+
+std::vector<ShardChannel> LocalShardCluster::Channels() const {
+  std::vector<ShardChannel> channels;
+  channels.reserve(shards_.size());
+  Transport* transport = transport_;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    channels.push_back([transport](const Envelope& envelope) {
+      return transport->Send(envelope);
+    });
+  }
+  return channels;
+}
+
+// --------------------------------------------------------------------
+// TcpShardCluster
+
+Result<std::unique_ptr<TcpShardCluster>> TcpShardCluster::Start(
+    TcpShardClusterOptions options) {
+  if (options.topology.num_shards() == 0) {
+    return Status::InvalidArgument("empty topology");
+  }
+  auto cluster = std::unique_ptr<TcpShardCluster>(new TcpShardCluster());
+  cluster->topology_ = options.topology;
+  cluster->options_ = options;
+  for (int i = 0; i < options.topology.num_shards(); ++i) {
+    ServerLifecycleOptions lopts;
+    lopts.port = 0;
+    lopts.data_dir = options.data_dir;
+    lopts.name = options.name + "-s" + std::to_string(i);
+    lopts.manager = options.manager;
+    lopts.manager.name = options.topology.endpoint(i);
+    lopts.manager.shard_index = i;
+    lopts.manager.topology_version = options.topology.version();
+    if (options.define_resources) {
+      auto define = options.define_resources;
+      lopts.define_resources = [define, i](ResourceManager& rm) {
+        define(rm, i);
+      };
+    }
+    if (options.configure_manager) {
+      auto configure = options.configure_manager;
+      lopts.configure_manager = [configure, i](PromiseManager& pm) {
+        configure(pm, i);
+      };
+    }
+    auto lifecycle = std::make_unique<ServerLifecycle>(lopts);
+    PROMISES_RETURN_IF_ERROR(lifecycle->Start());
+    cluster->shards_.push_back(std::move(lifecycle));
+  }
+  return cluster;
+}
+
+TcpShardCluster::~TcpShardCluster() { (void)StopAll(); }
+
+void TcpShardCluster::KillShard(int shard) { shards_[shard]->KillHard(); }
+
+Status TcpShardCluster::StartShard(int shard) {
+  return shards_[shard]->Start();
+}
+
+Status TcpShardCluster::StopAll() {
+  Status worst = Status::OK();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i] == nullptr) continue;
+    if (shards_[i]->state() == ServerLifecycle::State::kStopped) continue;
+    if (!shards_[i]->StopGraceful() && worst.ok()) {
+      worst = Status::Internal("shard " + std::to_string(i) +
+                               " did not drain cleanly");
+    }
+  }
+  return worst;
+}
+
+Result<std::vector<ShardChannel>> TcpShardCluster::Channels() {
+  if (clients_.empty()) {
+    for (int i = 0; i < num_shards(); ++i) {
+      auto client = std::make_unique<TcpClientChannel>();
+      client->set_call_timeout_ms(options_.call_timeout_ms);
+      PROMISES_RETURN_IF_ERROR(client->Connect(shards_[i]->port()));
+      clients_.push_back(std::move(client));
+    }
+  }
+  std::vector<ShardChannel> channels;
+  channels.reserve(clients_.size());
+  for (auto& client : clients_) {
+    // TcpClientChannel is a single connection: serialize callers.
+    auto mu = std::make_shared<std::mutex>();
+    TcpClientChannel* raw = client.get();
+    channels.push_back([raw, mu](const Envelope& envelope) {
+      std::lock_guard<std::mutex> lock(*mu);
+      return raw->Call(envelope);
+    });
+  }
+  return channels;
+}
+
+}  // namespace promises

@@ -1,0 +1,152 @@
+// Shard-set hosting (DESIGN.md §13).
+//
+// Two ways to stand up the N promise-manager shards a ShardRouter
+// fronts, sharing one ShardTopology:
+//
+//   * LocalShardCluster — the "local engine": every shard is a full
+//     {ResourceManager, TransactionManager, PromiseManager} world
+//     living in this process on one shared Transport, named by its
+//     topology endpoint and configured with the shard guard
+//     (shard_index + topology_version), so a misrouted or stale-plan
+//     envelope is refused exactly as a remote shard would refuse it.
+//     This is the unit-test / chaos / bench substrate: same routing,
+//     same guard, no sockets.
+//
+//   * TcpShardCluster — the same shard set as real processes-in-
+//     miniature: each shard is a ServerLifecycle (supervised recovery,
+//     group commit, checkpoints, warm-up admission) listening on its
+//     own TCP port, and channels are TcpClientChannels speaking the
+//     envelope XML over the wire. KillShard/StartShard give the
+//     restart tests a real crash surface per shard.
+//
+// Both produce the ShardChannel vector a ShardRouter consumes, so the
+// router code is identical over either engine.
+
+#ifndef PROMISES_SHARD_CLUSTER_H_
+#define PROMISES_SHARD_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "core/promise_manager.h"
+#include "resource/resource_manager.h"
+#include "service/lifecycle.h"
+#include "shard/router.h"
+#include "shard/topology.h"
+#include "txn/transaction.h"
+
+namespace promises {
+
+struct LocalShardClusterOptions {
+  ShardTopology topology;
+  /// Shared clock for every shard world. Required.
+  Clock* clock = nullptr;
+  /// Transport the shard managers register on (their topology endpoint
+  /// names). Required; typically the same transport the router uses
+  /// for control traffic, possibly with a FaultInjector.
+  Transport* transport = nullptr;
+  /// Per-shard manager template; name / shard_index / topology_version
+  /// are overwritten with the shard's identity.
+  PromiseManagerConfig manager;
+  /// Called once per shard to create its pools (shard-local universe).
+  std::function<void(ResourceManager&, int shard)> define_resources;
+  /// Called once per shard after construction: register services etc.
+  std::function<void(PromiseManager&, int shard)> configure_manager;
+  /// Lock-wait budget for each shard's TransactionManager.
+  DurationMs lock_timeout_ms = 250;
+};
+
+/// In-process shard set. Construction order per shard: resources,
+/// transactions, manager (self-registers on the transport under its
+/// endpoint name with the shard guard armed).
+class LocalShardCluster {
+ public:
+  static Result<std::unique_ptr<LocalShardCluster>> Start(
+      LocalShardClusterOptions options);
+
+  LocalShardCluster(const LocalShardCluster&) = delete;
+  LocalShardCluster& operator=(const LocalShardCluster&) = delete;
+
+  int num_shards() const { return topology_.num_shards(); }
+  const ShardTopology& topology() const { return topology_; }
+  PromiseManager* manager(int shard) { return shards_[shard]->manager.get(); }
+  ResourceManager* resources(int shard) {
+    return shards_[shard]->resources.get();
+  }
+
+  /// Channels binding each shard to Transport::Send — what a
+  /// ShardRouter consumes.
+  std::vector<ShardChannel> Channels() const;
+
+ private:
+  struct ShardWorld {
+    std::unique_ptr<ResourceManager> resources;
+    std::unique_ptr<TransactionManager> transactions;
+    std::unique_ptr<PromiseManager> manager;
+  };
+
+  LocalShardCluster() = default;
+
+  ShardTopology topology_;
+  Transport* transport_ = nullptr;
+  std::vector<std::unique_ptr<ShardWorld>> shards_;
+};
+
+struct TcpShardClusterOptions {
+  ShardTopology topology;
+  /// Directory for per-shard durable state; must exist. Each shard
+  /// uses it with a distinct "<name>-s<i>" file prefix.
+  std::string data_dir = "/tmp";
+  /// Lifecycle name prefix (also the file prefix stem).
+  std::string name = "shard";
+  /// Per-shard manager template; identity fields overwritten.
+  PromiseManagerConfig manager;
+  std::function<void(ResourceManager&, int shard)> define_resources;
+  std::function<void(PromiseManager&, int shard)> configure_manager;
+  /// Per-call budget for the client channels (0 = unbounded).
+  int64_t call_timeout_ms = 2'000;
+};
+
+/// Shard set as ServerLifecycle-supervised TCP servers. Start() boots
+/// every shard; KillShard/StartShard drive per-shard crash-restart.
+class TcpShardCluster {
+ public:
+  static Result<std::unique_ptr<TcpShardCluster>> Start(
+      TcpShardClusterOptions options);
+  ~TcpShardCluster();
+
+  TcpShardCluster(const TcpShardCluster&) = delete;
+  TcpShardCluster& operator=(const TcpShardCluster&) = delete;
+
+  int num_shards() const { return topology_.num_shards(); }
+  const ShardTopology& topology() const { return topology_; }
+  ServerLifecycle* lifecycle(int shard) { return shards_[shard].get(); }
+  uint16_t port(int shard) const { return shards_[shard]->port(); }
+
+  /// SIGKILL one shard (keeps its port for the restart).
+  void KillShard(int shard);
+  /// Boots (or re-boots) one shard through its supervised recovery.
+  Status StartShard(int shard);
+  Status StopAll();
+
+  /// Channels speaking envelope XML to each shard's port. Lazily
+  /// connects; a channel transparently reconnects after a shard
+  /// restart. Owned by the cluster.
+  Result<std::vector<ShardChannel>> Channels();
+
+ private:
+  TcpShardCluster() = default;
+
+  ShardTopology topology_;
+  TcpShardClusterOptions options_;
+  std::vector<std::unique_ptr<ServerLifecycle>> shards_;
+  std::vector<std::unique_ptr<TcpClientChannel>> clients_;
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_SHARD_CLUSTER_H_

@@ -1,0 +1,89 @@
+// Shard topology: the deterministic resource-key -> shard map behind
+// the federated promise-manager cluster (ROADMAP item 1; DESIGN.md
+// §13).
+//
+// A topology is a versioned, immutable description of the federation:
+// an ordered list of shard endpoints plus optional explicit placement
+// overrides. Routing is purely a function of (topology, resource
+// class): the default placement hashes the class name with FNV-1a and
+// takes it modulo the shard count, and an override pins a class to a
+// named shard regardless of the hash. Every router and every shard
+// holds the same struct, so any two parties that agree on the version
+// agree on every placement — there is no placement oracle to ask at
+// request time.
+//
+// The version is the wire-level consistency handle: requests carry a
+// <route> header stamping the shard index and topology version the
+// sender routed with (protocol/message.h), and a shard configured with
+// a shard guard (PromiseManagerConfig::shard_index/topology_version)
+// refuses mismatched envelopes with kFailedPrecondition instead of
+// serving a request that was routed with a different world view. A
+// re-sharded cluster bumps the version, so in-flight requests routed
+// under the old map fail fast and re-plan rather than landing on the
+// wrong shard's books.
+
+#ifndef PROMISES_SHARD_TOPOLOGY_H_
+#define PROMISES_SHARD_TOPOLOGY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace promises {
+
+class ShardTopology {
+ public:
+  ShardTopology() = default;
+
+  /// `endpoints[i]` is shard i's transport endpoint name. Endpoint
+  /// names must be unique, non-empty and free of '|' / ',' / newline
+  /// (they ride the textual serialization and log records).
+  static Result<ShardTopology> Create(uint64_t version,
+                                      std::vector<std::string> endpoints);
+
+  uint64_t version() const { return version_; }
+  int num_shards() const { return static_cast<int>(endpoints_.size()); }
+  const std::vector<std::string>& endpoints() const { return endpoints_; }
+  const std::string& endpoint(int shard) const { return endpoints_[shard]; }
+  const std::map<std::string, int>& overrides() const { return overrides_; }
+
+  /// Pins `cls` to `shard` irrespective of the hash placement. The
+  /// override participates in ToString/Parse, so both sides of the
+  /// wire keep agreeing.
+  Status AddOverride(const std::string& cls, int shard);
+
+  /// Shard index owning resource class `cls`: the override if one
+  /// exists, otherwise FNV1a(cls) % num_shards. Deterministic across
+  /// processes and runs; fails only on an empty topology.
+  Result<int> ShardOf(const std::string& cls) const;
+
+  /// Convenience: the endpoint name behind ShardOf.
+  Result<std::string> EndpointOf(const std::string& cls) const;
+
+  /// A copy with the version bumped to `new_version` (re-sharding
+  /// always changes the version; placements may then be edited via
+  /// AddOverride before the copy is distributed).
+  ShardTopology WithVersion(uint64_t new_version) const;
+
+  /// Textual form: "v<version>|<ep0>,<ep1>,...|<cls>=<shard>,..."
+  /// (third field empty when there are no overrides). Stable under
+  /// Parse(ToString()).
+  std::string ToString() const;
+  static Result<ShardTopology> Parse(const std::string& text);
+
+  /// 64-bit FNV-1a of `s` — the placement hash, exposed so tests can
+  /// assert the routing function rather than snapshot it.
+  static uint64_t Fnv1a(const std::string& s);
+
+ private:
+  uint64_t version_ = 0;
+  std::vector<std::string> endpoints_;
+  std::map<std::string, int> overrides_;
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_SHARD_TOPOLOGY_H_

@@ -1,0 +1,300 @@
+#include "sim/shard_chaos.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/rng.h"
+#include "predicate/ast.h"
+#include "shard/cluster.h"
+#include "shard/router.h"
+
+namespace promises {
+
+namespace {
+
+std::string PoolName(int shard) {
+  return "pool-s" + std::to_string(shard);
+}
+
+void AccumulateTally(const FederatedGrantCoordinator::OutcomeTally& tally,
+                     ShardChaosReport* report) {
+  report->fed_closed += tally.closed;
+  report->fed_compensated += tally.compensated;
+  report->fed_mixed += tally.mixed;
+}
+
+}  // namespace
+
+int64_t ShardChaosReport::GrantPercentileUs(double p) const {
+  if (grant_us.empty()) return 0;
+  std::vector<int64_t> sorted = grant_us;
+  std::sort(sorted.begin(), sorted.end());
+  size_t index = static_cast<size_t>(p * static_cast<double>(sorted.size()));
+  if (index >= sorted.size()) index = sorted.size() - 1;
+  return sorted[index];
+}
+
+ShardChaosReport RunShardChaosWorkload(const ShardChaosConfig& config) {
+  const double prior_sampling = Tracer::Global().sampling();
+  if (config.trace_sampling > 0) {
+    SpanCollector::Global().Reset();
+    Tracer::Global().set_sampling(config.trace_sampling);
+  }
+
+  ShardChaosReport report;
+  Transport transport;
+  FaultInjector injector(config.seed);
+  FaultConfig faults = config.faults;
+  faults.crash = 0;  // router crashes are the deterministic rounds
+  injector.Configure(faults);
+  transport.set_fault_injector(&injector);
+  SystemClock clock;
+
+  std::vector<std::string> endpoints;
+  for (int i = 0; i < config.shards; ++i) {
+    endpoints.push_back("shard-" + std::to_string(i));
+  }
+  Result<ShardTopology> topology = ShardTopology::Create(1, endpoints);
+  if (!topology.ok()) {
+    report.violations.push_back("topology: " + topology.status().ToString());
+    return report;
+  }
+  // Pin pool-s<i> to shard i — the workload provisions one pool per
+  // shard and names it after its owner.
+  for (int i = 0; i < config.shards; ++i) {
+    (void)topology->AddOverride(PoolName(i), i);
+  }
+
+  LocalShardClusterOptions copts;
+  copts.topology = *topology;
+  copts.clock = &clock;
+  copts.transport = &transport;
+  int64_t pool_quantity = config.pool_quantity;
+  copts.define_resources = [pool_quantity](ResourceManager& rm, int shard) {
+    (void)rm.CreatePool(PoolName(shard), pool_quantity);
+  };
+  Result<std::unique_ptr<LocalShardCluster>> cluster =
+      LocalShardCluster::Start(std::move(copts));
+  if (!cluster.ok()) {
+    report.violations.push_back("cluster: " + cluster.status().ToString());
+    return report;
+  }
+
+  const std::string tag =
+      std::to_string(config.seed) + "_" +
+      std::to_string(reinterpret_cast<uintptr_t>(&report));
+  const std::string journal_path =
+      "/tmp/promises_shard_chaos_" + tag + ".log";
+  std::remove(journal_path.c_str());
+  OperationLog journal;
+  (void)journal.Open(journal_path);
+
+  ShardRouterOptions ropts;
+  ropts.name = "router";
+  ropts.topology = *topology;
+  ropts.channels = (*cluster)->Channels();
+  ropts.control = &transport;
+  ropts.clock = &clock;
+  ropts.log = &journal;
+  ropts.log_path = journal_path;
+  ropts.retry = config.retry;
+  ropts.retry_seed = config.seed * 29 + 7;
+  ropts.crash_points = &injector;
+  auto router = std::make_unique<ShardRouter>(ropts);
+
+  std::mutex report_mu;
+  auto started = std::chrono::steady_clock::now();
+
+  // ---- Concurrent phase: single-shard + federated orders ----
+  std::vector<std::thread> threads;
+  for (int w = 0; w < config.workers; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(config.seed * 7919 + static_cast<uint64_t>(w) + 1);
+      for (int i = 0; i < config.orders_per_worker; ++i) {
+        bool cross =
+            config.shards >= 2 && rng.Chance(config.cross_shard_fraction);
+        int64_t qty = rng.UniformInt(1, config.order_qty_max);
+        std::vector<Predicate> predicates;
+        int a = static_cast<int>(
+            rng.UniformInt(0, static_cast<uint64_t>(config.shards - 1)));
+        predicates.push_back(
+            Predicate::Quantity(PoolName(a), CompareOp::kGe, qty));
+        if (cross) {
+          int b = (a + 1 +
+                   static_cast<int>(rng.UniformInt(
+                       0, static_cast<uint64_t>(config.shards - 2)))) %
+                  config.shards;
+          predicates.push_back(
+              Predicate::Quantity(PoolName(b), CompareOp::kGe, qty));
+        }
+        auto t0 = std::chrono::steady_clock::now();
+        Result<RoutedGrant> grant = router->Request(predicates, 60'000);
+        int64_t elapsed_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        bool released = false;
+        bool granted = false, rejected = false, infra = false;
+        if (grant.ok()) {
+          if (grant->granted) {
+            granted = true;
+            released = router->Release(*grant).ok();
+          } else {
+            rejected = true;
+          }
+        } else {
+          infra = true;
+        }
+        std::lock_guard<std::mutex> lock(report_mu);
+        ++report.orders;
+        cross ? ++report.federated_orders : ++report.single_shard_orders;
+        if (granted) ++report.granted;
+        if (rejected) ++report.rejected;
+        if (released) ++report.released;
+        if (infra) ++report.infra_errors;
+        report.grant_us.push_back(elapsed_us);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // ---- Sequential router crash/recovery rounds ----
+  Rng crash_rng(config.seed * 10007 + 13);
+  for (int round = 0; round < config.crash_rounds && config.shards >= 2;
+       ++round) {
+    ++report.crash_rounds_run;
+    const char* point = crash_rng.Chance(0.5) ? "fedgrant-pre-subgrant"
+                                              : "fedgrant-post-subgrant";
+    int passage = static_cast<int>(crash_rng.UniformInt(1, 2));
+    injector.InjectCrashAt(point, passage);
+
+    int a = static_cast<int>(
+        crash_rng.UniformInt(0, static_cast<uint64_t>(config.shards - 1)));
+    int b = (a + 1 +
+             static_cast<int>(crash_rng.UniformInt(
+                 0, static_cast<uint64_t>(config.shards - 2)))) %
+            config.shards;
+    int64_t qty = crash_rng.UniformInt(1, config.order_qty_max);
+    std::vector<Predicate> predicates = {
+        Predicate::Quantity(PoolName(a), CompareOp::kGe, qty),
+        Predicate::Quantity(PoolName(b), CompareOp::kGe, qty)};
+    Result<RoutedGrant> grant = router->Request(predicates, 60'000);
+    if (router->crashed()) {
+      ++report.crashes_fired;
+    } else if (grant.ok() && grant->granted) {
+      (void)router->Release(*grant);
+      std::lock_guard<std::mutex> lock(report_mu);
+      ++report.granted;
+      ++report.released;
+    }
+    // Corpse bookkeeping, then the twin-world recovery: destroy the
+    // corpse FIRST (its agents' destructors unregister their
+    // endpoints; the twin re-registers its own during Recover).
+    AccumulateTally(router->federated()->tally(), &report);
+    report.shard_retransmissions +=
+        router->federated()->shard_retransmissions();
+    router.reset();
+    router = std::make_unique<ShardRouter>(ropts);
+    Result<FederatedGrantCoordinator::RecoveryReport> recovered =
+        router->federated()->Recover();
+    if (!recovered.ok()) {
+      report.violations.push_back("round " + std::to_string(round) +
+                                  " recovery failed: " +
+                                  recovered.status().ToString());
+      continue;
+    }
+    report.worlds_rebuilt += recovered->worlds_rebuilt;
+    report.intents_probed += recovered->intents_probed;
+    report.orphan_releases += recovered->orphan_releases;
+    report.presumed_aborts += recovered->wsba.presumed_abort;
+    (void)router->federated()->ReDriveUnresolved(config.max_redrives);
+  }
+
+  // ---- Drain + audit ----
+  size_t unresolved =
+      router->federated()->ReDriveUnresolved(config.max_redrives);
+  AccumulateTally(router->federated()->tally(), &report);
+  report.shard_retransmissions += router->federated()->shard_retransmissions();
+  report.fed_unresolved = unresolved;
+  if (unresolved > 0) {
+    report.violations.push_back(std::to_string(unresolved) +
+                                " federated activities unresolved after " +
+                                std::to_string(config.max_redrives) +
+                                " re-drives");
+  }
+  if (report.fed_mixed > 0) {
+    report.violations.push_back(std::to_string(report.fed_mixed) +
+                                " federated activities ended mixed");
+  }
+  // Leak probe: with every grant released and every activity resolved,
+  // the full pool must be grantable on each shard. An orphaned
+  // sub-grant still reserves quantity and fails the probe.
+  for (int i = 0; i < config.shards; ++i) {
+    std::vector<Predicate> probe = {Predicate::Quantity(
+        PoolName(i), CompareOp::kGe, config.pool_quantity)};
+    Result<RoutedGrant> g = router->Request(probe, 10'000);
+    if (!g.ok()) {
+      report.violations.push_back("shard " + std::to_string(i) +
+                                  " leak probe errored: " +
+                                  g.status().ToString());
+    } else if (!g->granted) {
+      report.violations.push_back("shard " + std::to_string(i) +
+                                  " leaked reservations: " +
+                                  g->reject_reason);
+    } else {
+      (void)router->Release(*g);
+    }
+  }
+
+  report.wall_time_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - started)
+                            .count();
+  report.transport = transport.stats();
+  report.faults = injector.counters();
+  if (config.trace_sampling > 0) {
+    Tracer::Global().set_sampling(prior_sampling);
+    std::vector<Span> spans = SpanCollector::Global().Drain();
+    report.spans_collected = spans.size();
+    report.spans_dropped = SpanCollector::Global().dropped();
+    report.phases = AggregatePhases(spans);
+  }
+  router.reset();
+  std::remove(journal_path.c_str());
+  return report;
+}
+
+std::string FormatShardChaosReport(const ShardChaosReport& report) {
+  char line[512];
+  std::snprintf(
+      line, sizeof(line),
+      "orders=%llu (single=%llu fed=%llu) granted=%llu rejected=%llu "
+      "released=%llu infra=%llu | fed closed=%llu compensated=%llu "
+      "mixed=%llu unresolved=%llu consistency=%.4f | crashes=%llu/%llu "
+      "probes=%llu orphan-releases=%llu presumed-aborts=%llu | "
+      "violations=%zu",
+      static_cast<unsigned long long>(report.orders),
+      static_cast<unsigned long long>(report.single_shard_orders),
+      static_cast<unsigned long long>(report.federated_orders),
+      static_cast<unsigned long long>(report.granted),
+      static_cast<unsigned long long>(report.rejected),
+      static_cast<unsigned long long>(report.released),
+      static_cast<unsigned long long>(report.infra_errors),
+      static_cast<unsigned long long>(report.fed_closed),
+      static_cast<unsigned long long>(report.fed_compensated),
+      static_cast<unsigned long long>(report.fed_mixed),
+      static_cast<unsigned long long>(report.fed_unresolved),
+      report.AtomicConsistency(),
+      static_cast<unsigned long long>(report.crashes_fired),
+      static_cast<unsigned long long>(report.crash_rounds_run),
+      static_cast<unsigned long long>(report.intents_probed),
+      static_cast<unsigned long long>(report.orphan_releases),
+      static_cast<unsigned long long>(report.presumed_aborts),
+      report.violations.size());
+  return std::string(line);
+}
+
+}  // namespace promises

@@ -1,0 +1,122 @@
+// Federated-shard chaos workload (DESIGN.md §13).
+//
+// Drives a ShardRouter over a LocalShardCluster with a mix of
+// single-shard (fast path) and cross-shard (WS-BA federated) promise
+// orders on a lossy transport, then — like the WS-BA harness — runs
+// deterministic router crash/recovery rounds: a crash point is armed
+// at one of the fedgrant-* boundaries, a federated grant dies mid-
+// flight, the corpse router is destroyed and a twin is recovered from
+// the shared journal. The audit proves the paper's cross-shard
+// atomicity claim operationally:
+//
+//   * every federated activity resolves to exactly one outcome
+//     (closed or compensated — never mixed, never stuck open);
+//   * no reservation leaks: after all grants are released and all
+//     activities resolved, a full-pool probe grant succeeds on every
+//     shard (an orphaned sub-grant would still hold quantity and make
+//     the probe reject);
+//   * the shard guard holds: every envelope the workload routes lands
+//     on the shard it was planned for.
+
+#ifndef PROMISES_SIM_SHARD_CHAOS_H_
+#define PROMISES_SIM_SHARD_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "protocol/fault_injector.h"
+#include "protocol/retry_policy.h"
+#include "protocol/transport.h"
+
+namespace promises {
+
+struct ShardChaosConfig {
+  int shards = 4;
+  int workers = 4;
+  int orders_per_worker = 24;
+  /// Probability an order spans two shards (needs shards >= 2).
+  double cross_shard_fraction = 0.2;
+  /// Initial quantity of each shard's pool. Small enough that
+  /// concurrent reservations sometimes collide — rejects exercise the
+  /// federated cancel/compensate path.
+  int64_t pool_quantity = 48;
+  /// Per-order reservation size is uniform in [1, order_qty_max].
+  int order_qty_max = 3;
+  /// Transport fault schedule; `crash` is zeroed (router crashes are
+  /// the deterministic rounds below).
+  FaultConfig faults;
+  RetryPolicy retry{/*max_attempts=*/12, /*deadline_ms=*/30'000,
+                    /*initial_backoff_ms=*/1, /*backoff_multiplier=*/2.0,
+                    /*max_backoff_ms=*/8, /*jitter=*/0.25};
+  uint64_t seed = 42;
+  /// Sequential router crash/recovery rounds after the concurrent
+  /// phase. Each arms a fedgrant-* crash point at a random sub-grant
+  /// passage, kills the router mid-federated-grant, recovers a twin
+  /// from the journal and re-drives. 0 disables.
+  int crash_rounds = 0;
+  int max_redrives = 16;
+  double trace_sampling = 0;
+};
+
+struct ShardChaosReport {
+  uint64_t orders = 0;
+  uint64_t single_shard_orders = 0;
+  uint64_t federated_orders = 0;
+  uint64_t granted = 0;
+  uint64_t rejected = 0;
+  uint64_t released = 0;
+  uint64_t infra_errors = 0;  ///< Non-crash Request failures.
+
+  /// Federated outcomes accumulated across router incarnations.
+  uint64_t fed_closed = 0;
+  uint64_t fed_compensated = 0;
+  uint64_t fed_mixed = 0;
+  uint64_t fed_unresolved = 0;  ///< Open after all re-drives.
+
+  uint64_t crash_rounds_run = 0;
+  uint64_t crashes_fired = 0;
+  uint64_t worlds_rebuilt = 0;
+  uint64_t intents_probed = 0;
+  uint64_t orphan_releases = 0;
+  uint64_t presumed_aborts = 0;
+  uint64_t shard_retransmissions = 0;
+
+  TransportStats transport;
+  FaultCounters faults;
+  int64_t wall_time_us = 0;
+  /// Per-order request latency (concurrent phase, granted or not).
+  std::vector<int64_t> grant_us;
+
+  std::vector<PhaseStat> phases;
+  uint64_t spans_collected = 0;
+  uint64_t spans_dropped = 0;
+
+  /// Cross-shard atomicity violations; empty = pass.
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+
+  /// Fraction of federated activities that resolved to exactly one
+  /// consistent outcome. The CI gate demands 1.0.
+  double AtomicConsistency() const {
+    uint64_t total =
+        fed_closed + fed_compensated + fed_mixed + fed_unresolved;
+    return total == 0 ? 1.0
+                      : static_cast<double>(fed_closed + fed_compensated) /
+                            static_cast<double>(total);
+  }
+  int64_t GrantPercentileUs(double p) const;
+};
+
+/// Runs the workload; deterministic per config.seed (modulo thread
+/// interleaving).
+ShardChaosReport RunShardChaosWorkload(const ShardChaosConfig& config);
+
+/// One-line human summary.
+std::string FormatShardChaosReport(const ShardChaosReport& report);
+
+}  // namespace promises
+
+#endif  // PROMISES_SIM_SHARD_CHAOS_H_
