@@ -1,8 +1,14 @@
 // Scaling sweep for striped operation locking: promise-manager
 // throughput at 1/2/4/8 workers on a low-contention order mix
-// (32 items, single-line orders, ample stock, 2 ms think time). Under
-// the old whole-manager operation lock the think step serialized every
-// order; with striped locking, workers on disjoint items overlap it.
+// (32 items, single-line orders, ample stock), at two think times:
+//
+//  * think_us=2000 — the paper's long-running business step. Under the
+//    old whole-manager operation lock the think step serialized every
+//    order; with striped locking, workers on disjoint items overlap it.
+//  * think_us=0 — no think time, so every order is pure manager hot
+//    path. This is the regime where per-operation stripe locking itself
+//    becomes the bottleneck and the epoch-batched path (bench_epoch)
+//    earns its keep; the points here are the striped reference curve.
 //
 // Plain main (not google-benchmark): each row is one timed workload
 // run, and the output contract is the BENCH_scaling.json file.
@@ -30,32 +36,53 @@ int main(int argc, char** argv) {
   base.order_quantity = 5;
   base.items_per_order = 1;
   base.orders_per_worker = 50;
-  base.think_us = 2000;
   base.zipf_theta = 0.0;  // uniform item choice: low contention
 
-  std::vector<int> worker_counts = {1, 2, 4, 8};
-  std::vector<promises::ScalingPoint> points =
-      promises::RunScalingSweep(base, worker_counts);
+  const std::vector<int> worker_counts = {1, 2, 4, 8};
+  const std::vector<int64_t> think_times_us = {2000, 0};
 
-  double base_tp = 0.0, top_tp = 0.0;
   std::string rows;
-  for (const promises::ScalingPoint& p : points) {
-    if (p.workers == worker_counts.front()) base_tp = p.throughput_ops_s;
-    if (p.workers == worker_counts.back()) top_tp = p.throughput_ops_s;
-    char row[256];
-    std::snprintf(row, sizeof(row),
-                  "    {\"workers\": %d, \"throughput_ops_s\": %.1f, "
-                  "\"p50_us\": %lld, \"p99_us\": %lld, \"attempts\": %llu, "
-                  "\"completed\": %llu}",
-                  p.workers, p.throughput_ops_s,
-                  static_cast<long long>(p.p50_us),
-                  static_cast<long long>(p.p99_us),
-                  static_cast<unsigned long long>(p.attempts),
-                  static_cast<unsigned long long>(p.completed));
-    if (!rows.empty()) rows += ",\n";
-    rows += row;
+  double speedup_8v1_think = 0.0;
+  double speedup_8v1_nothink = 0.0;
+  for (int64_t think_us : think_times_us) {
+    promises::OrderingWorkloadConfig config = base;
+    config.think_us = think_us;
+    // Without think time each order is microseconds, so run enough of
+    // them that a point measures steady state, not thread start-up.
+    config.orders_per_worker = think_us == 0 ? 2'000 : 50;
+    std::vector<promises::ScalingPoint> points =
+        promises::RunScalingSweep(config, worker_counts);
+
+    double base_tp = 0.0, top_tp = 0.0;
+    std::printf("--- think_us=%lld ---\n", static_cast<long long>(think_us));
+    std::printf("%-8s %12s %10s %10s\n", "workers", "ops/s", "p50(us)",
+                "p99(us)");
+    for (const promises::ScalingPoint& p : points) {
+      if (p.workers == worker_counts.front()) base_tp = p.throughput_ops_s;
+      if (p.workers == worker_counts.back()) top_tp = p.throughput_ops_s;
+      char row[256];
+      std::snprintf(
+          row, sizeof(row),
+          "    {\"workers\": %d, \"think_us\": %lld, "
+          "\"throughput_ops_s\": %.1f, \"p50_us\": %lld, \"p99_us\": %lld, "
+          "\"attempts\": %llu, \"completed\": %llu}",
+          p.workers, static_cast<long long>(think_us), p.throughput_ops_s,
+          static_cast<long long>(p.p50_us), static_cast<long long>(p.p99_us),
+          static_cast<unsigned long long>(p.attempts),
+          static_cast<unsigned long long>(p.completed));
+      if (!rows.empty()) rows += ",\n";
+      rows += row;
+      std::printf("%-8d %12.1f %10lld %10lld\n", p.workers,
+                  p.throughput_ops_s, static_cast<long long>(p.p50_us),
+                  static_cast<long long>(p.p99_us));
+    }
+    double ratio = base_tp > 0.0 ? top_tp / base_tp : 0.0;
+    if (think_us == 0) {
+      speedup_8v1_nothink = ratio;
+    } else {
+      speedup_8v1_think = ratio;
+    }
   }
-  double ratio = base_tp > 0.0 ? top_tp / base_tp : 0.0;
 
   promises::Tracer::Global().set_sampling(0);
   std::vector<promises::Span> spans = promises::SpanCollector::Global().Drain();
@@ -70,28 +97,22 @@ int main(int argc, char** argv) {
                "{\n"
                "  \"benchmark\": \"striped-locking scaling sweep\",\n"
                "  \"workload\": {\"num_items\": %d, \"items_per_order\": %d, "
-               "\"orders_per_worker\": %d, \"think_us\": %lld, "
                "\"initial_stock\": %lld},\n"
                "  \"points\": [\n%s\n  ],\n"
                "  \"speedup_8v1\": %.2f,\n"
+               "  \"speedup_8v1_nothink\": %.2f,\n"
                "  \"spans_collected\": %llu,\n"
                "  \"phase_latency_us\": %s\n"
                "}\n",
-               base.num_items, base.items_per_order, base.orders_per_worker,
-               static_cast<long long>(base.think_us),
+               base.num_items, base.items_per_order,
                static_cast<long long>(base.initial_stock), rows.c_str(),
-               ratio, static_cast<unsigned long long>(spans.size()),
+               speedup_8v1_think, speedup_8v1_nothink,
+               static_cast<unsigned long long>(spans.size()),
                promises::PhaseLatencyJson(phases, "  ").c_str());
   std::fclose(f);
 
-  std::printf("%-8s %12s %10s %10s\n", "workers", "ops/s", "p50(us)",
-              "p99(us)");
-  for (const promises::ScalingPoint& p : points) {
-    std::printf("%-8d %12.1f %10lld %10lld\n", p.workers, p.throughput_ops_s,
-                static_cast<long long>(p.p50_us),
-                static_cast<long long>(p.p99_us));
-  }
   std::printf("%s", promises::FormatPhaseTable(phases).c_str());
-  std::printf("speedup 8v1: %.2fx -> %s\n", ratio, out_path);
+  std::printf("speedup 8v1: %.2fx (think), %.2fx (no-think) -> %s\n",
+              speedup_8v1_think, speedup_8v1_nothink, out_path);
   return 0;
 }

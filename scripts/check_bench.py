@@ -52,6 +52,23 @@ gates all the benches:
                           true and goodput_ratio (recovered vs steady
                           state) must hold >= 0.9 in the fresh run —
                           the restart-survivability acceptance bar.
+  * BENCH_epoch.json      points keyed by (path, clients) with path
+                          "striped" | "epoch" (detected before the
+                          workers branch — epoch points carry both),
+                          goodput=goodput_ops_s, p99=p99_us.
+                          Additionally HARD-gated in the fresh run:
+                          every point must report audit_ok true (the
+                          in-binary §4 invariant + exactly-once stock
+                          accounting), and the epoch path's goodput
+                          must be >= 4x the striped point run at the
+                          SAME closed-loop population — an equal-
+                          offered-concurrency comparison, so the bar
+                          measures the epoch mechanism rather than a
+                          small striped loop starved by the group-
+                          commit window. Extra striped populations
+                          (e.g. the 8-client latency reference) are
+                          regression-tracked but not part of the
+                          speedup gate.
   * BENCH_sharding.json   points keyed by (shards, cross_shard_fraction)
                           — detected first, the points also carry
                           atomic_consistency which must NOT fall into
@@ -112,9 +129,23 @@ def extract_points(doc):
         elif "mode" in p:  # durability sweep (mode + workers)
             out.append((f"{p['mode']}@{p['workers']}w",
                         p["throughput_ops_s"], p.get("p99_us")))
-        elif "workers" in p:  # scaling sweep
-            out.append((f"workers={p['workers']}", p["throughput_ops_s"],
-                        p.get("p99_us")))
+        elif "path" in p:  # epoch sweep (before the workers branch:
+            # its points carry both path and workers). Keyed by
+            # population so the two striped rows don't collide;
+            # pre-"clients" baselines fall back to the workers value
+            # (they coincided for striped rows in that schema).
+            clients = p.get("clients", p["workers"])
+            out.append((f"epoch[{p['path']}]@{clients}c",
+                        p["goodput_ops_s"], p.get("p99_us")))
+        elif "workers" in p:  # scaling sweep; the think_us key joined
+            # the schema with the no-think point set, so label it when
+            # present (think_us=0 and think_us=2000 rows share a
+            # workers value and must not collide)
+            if "think_us" in p:
+                label = f"workers={p['workers']}@think={p['think_us']}us"
+            else:
+                label = f"workers={p['workers']}"
+            out.append((label, p["throughput_ops_s"], p.get("p99_us")))
         elif "outcome_consistency" in p:  # wsba sweep (before chaos:
             # both are keyed by loss_rate)
             out.append((f"wsba-loss={p['loss_rate']:.2f}",
@@ -220,6 +251,40 @@ def main():
                 f"1 shard at 0% cross "
                 f"(goodput {shard_goodput[4]:.1f} vs "
                 f"{shard_goodput[1]:.1f})")
+    # The epoch sweep: the in-binary §4 audit is a hard invariant on
+    # every fresh point, and the epoch-batched path must beat the
+    # per-operation striped path by >= 4x at the SAME closed-loop
+    # population (computed from the fresh points themselves, not
+    # trusted from the summary field). Comparing against a smaller
+    # striped loop would largely measure offered concurrency under the
+    # group-commit window, not the epoch mechanism.
+    epoch_points = [p for p in fresh_doc.get("points", [])
+                    if "path" in p]
+    for p in epoch_points:
+        if not p.get("audit_ok", True):
+            clients = p.get("clients", p.get("workers"))
+            failures.append(
+                f"epoch[{p['path']}]@{clients}c: audit_ok "
+                f"{p.get('audit_ok')} (required: true)")
+    for p in epoch_points:
+        if p["path"] != "epoch":
+            continue
+        same_pop = [s for s in epoch_points if s["path"] == "striped"
+                    and s.get("clients") == p.get("clients")]
+        # Pre-"clients" baselines carried a single striped point; keep
+        # gating rather than silently passing.
+        striped = same_pop or [s for s in epoch_points
+                               if s["path"] == "striped"]
+        if not striped:
+            continue
+        striped_goodput = striped[0]["goodput_ops_s"]
+        speedup = (p["goodput_ops_s"] / striped_goodput
+                   if striped_goodput > 0 else 0.0)
+        if speedup < 4.0:
+            failures.append(
+                f"epoch: speedup {speedup:.2f}x < 4.0x over the striped "
+                f"path at {p.get('clients')} clients (goodput "
+                f"{p['goodput_ops_s']:.1f} vs {striped_goodput:.1f})")
     compared = 0
     for label, fresh_goodput, fresh_p99 in fresh:
         if label not in base_by_label:

@@ -18,6 +18,11 @@
 #                            # lifecycle/drain/reconnect units plus the
 #                            # kill/restart chaos harness, fixed seed
 #                            # then one randomized seed (printed)
+#   scripts/ci.sh epoch      # epoch-batched execution suite under
+#                            # ASan: executor/layout/metrics units plus
+#                            # the epoch chaos composition, then the
+#                            # bench_epoch speedup + §4 audit gate on
+#                            # the default preset
 #   scripts/ci.sh sharding   # federated sharding suite under ASan:
 #                            # topology/routing/federated-grant units
 #                            # plus the shard chaos workload, fixed
@@ -82,12 +87,13 @@ run_bench() {
   cmake --build --preset default -j "${JOBS}" \
     --target bench_scaling --target bench_chaos --target bench_overload \
     --target bench_durability --target bench_recovery --target bench_a2_wsba \
-    --target bench_restart --target bench_sharding
+    --target bench_restart --target bench_sharding --target bench_epoch
   # check_bench output is tee'd to build/check_bench_<name>.log so the
   # CI job can upload the phase-latency attribution as an artifact when
   # the gate fails.
   local bench
-  for bench in scaling chaos overload durability recovery restart sharding; do
+  for bench in scaling chaos overload durability recovery restart sharding \
+      epoch; do
     echo "--- bench_${bench} ---"
     "./build/bench/bench_${bench}" "build/BENCH_${bench}.json"
     python3 scripts/check_bench.py \
@@ -143,6 +149,24 @@ run_restart() {
     { echo "restart chaos FAILED with PROMISES_CHAOS_SEED=${seed}" >&2; exit 1; }
 }
 
+run_epoch() {
+  # Epoch-batched execution under ASan: the executor units (round
+  # trips, dedup replay across epochs, twin-world replay determinism),
+  # the cache-line layout asserts, the epoch metrics, and the §4
+  # invariant audit running against the epoch path under faults.
+  # Finishes with the bench_epoch ≥4x speedup + audit gate on the
+  # default preset (the binary self-gates on the audit; check_bench
+  # re-gates the speedup floor and the baseline comparison).
+  run_preset asan -R 'Epoch|Layout|MetricsRegistry'
+  echo "=== epoch bench gate: bench_epoch + check_bench ==="
+  cmake --preset default
+  cmake --build --preset default -j "${JOBS}" --target bench_epoch
+  ./build/bench/bench_epoch build/BENCH_epoch.json
+  python3 scripts/check_bench.py \
+    BENCH_epoch.json build/BENCH_epoch.json |
+    tee build/check_bench_epoch.log
+}
+
 run_sharding() {
   # Federated sharding under ASan: topology/routing/guard units, the
   # federated grant + twin-world crash tests and the TCP cluster, then
@@ -176,13 +200,16 @@ case "${MODE}" in
     # TSan over the full suite is slow on small runners; the concurrency
     # and transaction tests are where data races would live — including
     # the chaos workload's retry/dedup path.
-    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Idempotency|Overload|Breaker|Admission|Trace|Metrics|GroupCommit|Recovery|Checkpoint|OplogScan|Wsba|Restart|Lifecycle|Drain|Reconnect|Shard|FederatedGrant'
+    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Epoch|Layout|Idempotency|Overload|Breaker|Admission|Trace|Metrics|GroupCommit|Recovery|Checkpoint|OplogScan|Wsba|Restart|Lifecycle|Drain|Reconnect|Shard|FederatedGrant'
     ;;
   chaos)
     run_chaos
     ;;
   restart)
     run_restart
+    ;;
+  epoch)
+    run_epoch
     ;;
   sharding)
     run_sharding
@@ -199,15 +226,16 @@ case "${MODE}" in
   all)
     run_preset default
     run_preset asan
-    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Idempotency|Overload|Breaker|Admission|Trace|Metrics|GroupCommit|Recovery|Checkpoint|OplogScan|Wsba|Restart|Lifecycle|Drain|Reconnect|Shard|FederatedGrant'
+    run_preset tsan -R 'Concurren|Striped|LockManager|Transaction|Workload|Chaos|Epoch|Layout|Idempotency|Overload|Breaker|Admission|Trace|Metrics|GroupCommit|Recovery|Checkpoint|OplogScan|Wsba|Restart|Lifecycle|Drain|Reconnect|Shard|FederatedGrant'
     run_chaos
     run_restart
+    run_epoch
     run_sharding
     run_overload
     run_bench
     ;;
   *)
-    echo "unknown mode: ${MODE} (expected default|asan|tsan|chaos|restart|sharding|overload|bench|lint|all)" >&2
+    echo "unknown mode: ${MODE} (expected default|asan|tsan|chaos|restart|epoch|sharding|overload|bench|lint|all)" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,461 @@
+#include "core/epoch_executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace promises {
+
+namespace {
+
+Histogram* BatchSizeHistogram() {
+  // Power-of-two buckets: batch sizes, not latencies.
+  static Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "promises_epoch_batch_size",
+      {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+  return h;
+}
+
+}  // namespace
+
+EpochExecutor::EpochExecutor(EpochExecutorConfig config,
+                             PromiseManager* manager)
+    : config_(std::move(config)), manager_(manager) {
+  if (config_.workers < 1) config_.workers = 1;
+  if (config_.max_batch < 1) config_.max_batch = 1;
+}
+
+EpochExecutor::~EpochExecutor() { Stop(); }
+
+void EpochExecutor::PinToCore(int core) {
+#ifdef __linux__
+  // Felis idiom: a pinned worker keeps its partition's cache lines in
+  // one L1/L2 across epochs. Best-effort — a failed pin just costs
+  // locality, never correctness.
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(core) %
+              static_cast<unsigned>(
+                  std::max(1u, std::thread::hardware_concurrency())),
+          &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)core;
+#endif
+}
+
+Status EpochExecutor::Start() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("epoch executor already running");
+  }
+  {
+    // Reset epoch state from any previous run: new workers start with
+    // seen_generation == 0, so a generation left over from before the
+    // last Stop() would read as "work pending" and send them into a
+    // stale batch_ of already-destroyed requests.
+    std::lock_guard<std::mutex> lk(work_mu_);
+    work_generation_ = 0;
+    workers_remaining_ = 0;
+    epoch_pending_ = false;
+    batch_.clear();
+    worker_ranges_.clear();
+  }
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  workers_.reserve(static_cast<size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  leader_ = std::thread([this] { LeaderLoop(); });
+  if (adopted_transport_ != nullptr) {
+    // Re-adopt across a Stop()/Start() cycle: Stop restored the direct
+    // handler, so without this clients would silently bypass the epoch
+    // path after a restart.
+    RouteThroughSubmit(adopted_transport_);
+  }
+  return Status::OK();
+}
+
+void EpochExecutor::Stop() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (!running_.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard<std::mutex> lk1(inbox_mu_);
+    std::lock_guard<std::mutex> lk2(work_mu_);
+    stop_.store(true, std::memory_order_release);
+  }
+  inbox_cv_.notify_all();
+  work_cv_.notify_all();
+  if (leader_.joinable()) leader_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  // Fail whatever never made it into an epoch.
+  std::vector<EpochRequest*> orphans;
+  {
+    std::lock_guard<std::mutex> lk(inbox_mu_);
+    orphans.swap(inbox_);
+  }
+  for (EpochRequest* req : orphans) {
+    req->reply = Status::Unavailable("epoch executor stopped");
+    CompleteRequest(req);
+  }
+  if (adopted_transport_ != nullptr) {
+    // Restore the direct per-operation handler while stopped. The
+    // adoption itself is remembered so Start() can re-route.
+    PromiseManager* manager = manager_;
+    adopted_transport_->Register(manager_->name(),
+                                 [manager](const Envelope& request) {
+                                   return manager->Handle(request);
+                                 });
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void EpochExecutor::AdoptTransportEndpoint(Transport* transport) {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  adopted_transport_ = transport;
+  RouteThroughSubmit(transport);
+}
+
+void EpochExecutor::RouteThroughSubmit(Transport* transport) {
+  transport->Register(manager_->name(), [this](const Envelope& request) {
+    return Submit(request);
+  });
+}
+
+Result<Envelope> EpochExecutor::Submit(const Envelope& request) {
+  if (!running_.load(std::memory_order_acquire) ||
+      stop_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("epoch executor is not running");
+  }
+  static thread_local std::shared_ptr<EpochWaiter> tls_waiter;
+  if (tls_waiter == nullptr) tls_waiter = std::make_shared<EpochWaiter>();
+  EpochRequest req;
+  req.request = &request;
+  req.waiter = tls_waiter;
+  {
+    std::lock_guard<std::mutex> lk(tls_waiter->mu);
+    tls_waiter->ready = false;
+  }
+  {
+    std::lock_guard<std::mutex> lk(inbox_mu_);
+    if (stop_.load(std::memory_order_relaxed)) {
+      return Status::Unavailable("epoch executor is not running");
+    }
+    inbox_.push_back(&req);
+  }
+  inbox_cv_.notify_one();
+  std::unique_lock<std::mutex> lk(tls_waiter->mu);
+  tls_waiter->cv.wait(lk, [&] { return tls_waiter->ready; });
+  return std::move(req.reply);
+}
+
+void EpochExecutor::CompleteRequest(EpochRequest* req) {
+  // Take a reference first: the instant `ready` becomes observable the
+  // submitter may return, destroy the request and even exit its
+  // thread, so the notify must outlive both. Signaling with the mutex
+  // released spares the woken submitter an immediate block on it.
+  std::shared_ptr<EpochWaiter> waiter = std::move(req->waiter);
+  {
+    std::lock_guard<std::mutex> lk(waiter->mu);
+    waiter->ready = true;
+  }
+  waiter->cv.notify_one();
+}
+
+void EpochExecutor::LeaderLoop() {
+  while (true) {
+    std::vector<EpochRequest*> batch;
+    {
+      std::unique_lock<std::mutex> lk(inbox_mu_);
+      inbox_cv_.wait(lk, [&] {
+        return stop_.load(std::memory_order_relaxed) || !inbox_.empty();
+      });
+      if (stop_.load(std::memory_order_relaxed)) return;
+      // Seal window: grow the batch until it is full or the oldest
+      // request has waited seal_interval_us.
+      const auto seal_deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(config_.seal_interval_us);
+      while (inbox_.size() < config_.max_batch &&
+             !stop_.load(std::memory_order_relaxed)) {
+        if (inbox_cv_.wait_until(lk, seal_deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
+      if (stop_.load(std::memory_order_relaxed)) return;
+      if (inbox_.size() <= config_.max_batch) {
+        batch.swap(inbox_);
+      } else {
+        // Cap the epoch at max_batch and leave the rest queued: the
+        // overflow seeds the next epoch, so sealing never waits on
+        // released clients waking up to resubmit.
+        batch.assign(inbox_.begin(),
+                     inbox_.begin() + static_cast<long>(config_.max_batch));
+        inbox_.erase(inbox_.begin(),
+                     inbox_.begin() + static_cast<long>(config_.max_batch));
+      }
+      {
+        // Publish "an epoch is coming" before releasing the inbox: a
+        // Stop() that sets stop_ after this point (it takes inbox_mu_
+        // then work_mu_, the same order) wakes the workers into the
+        // pending epoch instead of letting them exit under the
+        // leader's barrier. inbox_mu_ -> work_mu_ matches Stop().
+        std::lock_guard<std::mutex> wk(work_mu_);
+        epoch_pending_ = true;
+      }
+    }
+    RunEpoch(std::move(batch));
+  }
+}
+
+void EpochExecutor::RunEpoch(std::vector<EpochRequest*> batch) {
+  static Counter* epochs_total =
+      MetricsRegistry::Global().GetCounter("promises_epoch_epochs_total");
+  static Counter* ops_total =
+      MetricsRegistry::Global().GetCounter("promises_epoch_ops_total");
+  static Counter* serial_total = MetricsRegistry::Global().GetCounter(
+      "promises_epoch_serial_ops_total");
+  static Counter* miss_total = MetricsRegistry::Global().GetCounter(
+      "promises_epoch_partition_misses_total");
+
+  const uint64_t epoch_number =
+      stats_.epochs.fetch_add(1, std::memory_order_relaxed) + 1;
+  epochs_total->Increment();
+  ops_total->Increment(batch.size());
+  stats_.ops.fetch_add(batch.size(), std::memory_order_relaxed);
+  uint64_t largest = stats_.largest_batch.load(std::memory_order_relaxed);
+  while (batch.size() > largest &&
+         !stats_.largest_batch.compare_exchange_weak(
+             largest, batch.size(), std::memory_order_relaxed)) {
+  }
+  BatchSizeHistogram()->Observe(static_cast<int64_t>(batch.size()));
+
+  TraceContext trace = Tracer::Global().StartTrace();
+  ScopedSpan epoch_span(trace, "epoch");
+
+  // 1. Seal: take the whole manager exclusively. Striped traffic
+  // drains first; fuzzy-capture hooks fire for every pending class.
+  std::unique_ptr<Transaction> epoch_txn;
+  {
+    ScopedSpan seal_span(trace, "epoch-seal");
+    Status last = Status::OK();
+    for (int attempt = 0; attempt < config_.acquire_retries; ++attempt) {
+      Result<std::unique_ptr<Transaction>> txn_or = manager_->AcquireEpoch();
+      if (txn_or.ok()) {
+        epoch_txn = std::move(txn_or).value();
+        break;
+      }
+      last = txn_or.status();
+    }
+    if (epoch_txn == nullptr) {
+      seal_span.set_status("acquire-failed");
+      ClearEpochPending();
+      for (EpochRequest* req : batch) {
+        req->reply = last;
+        CompleteRequest(req);
+      }
+      return;
+    }
+  }
+
+  // 2. Partition: plan each request's closure, assign single-partition
+  // operations to the worker their classes hash to, everything else to
+  // the serial phase; sort so each worker's slice is contiguous.
+  {
+    ScopedSpan partition_span(trace, "epoch-partition");
+    batch_.clear();
+    batch_.reserve(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      EpochRequest* req = batch[i];
+      req->classes = manager_->PlanEnvelopeClasses(*req->request);
+      EpochRoutine routine;
+      routine.request = req;
+      routine.epoch = epoch_number;
+      routine.index = static_cast<uint32_t>(i);
+      int32_t partition = -1;
+      for (const std::string& cls : req->classes) {
+        const uint64_t h = std::hash<std::string>{}(cls);
+        const int32_t p = static_cast<int32_t>(
+            h % static_cast<uint64_t>(config_.workers));
+        if (partition == -1) {
+          partition = p;
+          routine.sched_key = h;
+        } else if (partition != p) {
+          partition = -1;  // spans partitions: serial phase
+          break;
+        }
+      }
+      if (req->classes.empty()) partition = -1;
+      routine.partition = partition;
+      batch_.push_back(routine);
+    }
+    std::sort(batch_.begin(), batch_.end(),
+              [](const EpochRoutine& a, const EpochRoutine& b) {
+                // Serial routines (-1) sort last; ties break by
+                // arrival order for determinism.
+                const uint32_t pa = static_cast<uint32_t>(a.partition);
+                const uint32_t pb = static_cast<uint32_t>(b.partition);
+                if (pa != pb) return pa < pb;
+                if (a.sched_key != b.sched_key) {
+                  return a.sched_key < b.sched_key;
+                }
+                return a.index < b.index;
+              });
+    worker_ranges_.assign(static_cast<size_t>(config_.workers), {0, 0});
+    size_t pos = 0;
+    for (int p = 0; p < config_.workers; ++p) {
+      const size_t begin = pos;
+      while (pos < batch_.size() && batch_[pos].partition == p) ++pos;
+      worker_ranges_[static_cast<size_t>(p)] = {begin, pos};
+    }
+  }
+
+  // 3. Execute: one barrier per epoch. Workers run their partitions
+  // lock-free; the leader then reruns serial + missed operations.
+  {
+    ScopedSpan execute_span(trace, "epoch-execute");
+    {
+      std::lock_guard<std::mutex> lk(work_mu_);
+      workers_remaining_ = config_.workers;
+      ++work_generation_;
+    }
+    work_cv_.notify_all();
+    {
+      std::unique_lock<std::mutex> lk(work_mu_);
+      done_cv_.wait(lk, [&] { return workers_remaining_ == 0; });
+      // Barrier reached: the workers are no longer needed for this
+      // epoch, so a pending stop may now take them.
+      epoch_pending_ = false;
+    }
+    if (stop_.load(std::memory_order_acquire)) work_cv_.notify_all();
+    // Serial phase: cross-partition and empty-closure routines (sorted
+    // to the tail), then any partition miss, all under the epoch's
+    // exclusivity with no partition restriction.
+    size_t serial_begin = batch_.size();
+    while (serial_begin > 0 && batch_[serial_begin - 1].partition == -1) {
+      --serial_begin;
+    }
+    for (size_t i = serial_begin; i < batch_.size(); ++i) {
+      EpochRequest* req = batch_[i].request;
+      PromiseManager::EpochOpResult out =
+          manager_->HandleInEpoch(*req->request, nullptr);
+      req->reply = std::move(out.reply);
+      req->log_sequence = out.log_sequence;
+      serial_total->Increment();
+      stats_.serial_ops.fetch_add(1, std::memory_order_relaxed);
+    }
+    for (size_t i = 0; i < serial_begin; ++i) {
+      EpochRequest* req = batch_[i].request;
+      if (!req->miss) continue;
+      PromiseManager::EpochOpResult out =
+          manager_->HandleInEpoch(*req->request, nullptr);
+      req->reply = std::move(out.reply);
+      req->log_sequence = out.log_sequence;
+      miss_total->Increment();
+      serial_total->Increment();
+      stats_.partition_misses.fetch_add(1, std::memory_order_relaxed);
+      stats_.serial_ops.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // 4. Group-durable: one wait for the epoch's whole log suffix. A
+  // durability failure detaches the log loudly (same policy as the
+  // per-operation envelope path) but cannot un-commit the batch, so
+  // replies still go out.
+  uint64_t max_sequence = 0;
+  for (const EpochRequest* req : batch) {
+    max_sequence = std::max(max_sequence, req->log_sequence);
+  }
+  {
+    ScopedSpan durable_span(trace, "epoch-durable");
+    Status durable = manager_->WaitEpochDurable(max_sequence);
+    if (!durable.ok()) durable_span.set_status(durable.ToString());
+  }
+
+  // 5. Release: end the epoch, then complete every submitter. Each
+  // request gets its own wake-up — only the threads whose replies are
+  // ready run, not the whole closed-loop population.
+  (void)epoch_txn->Commit();
+  for (EpochRequest* req : batch) CompleteRequest(req);
+}
+
+void EpochExecutor::ClearEpochPending() {
+  {
+    std::lock_guard<std::mutex> lk(work_mu_);
+    epoch_pending_ = false;
+  }
+  if (stop_.load(std::memory_order_acquire)) work_cv_.notify_all();
+}
+
+void EpochExecutor::ExecuteRange(size_t begin, size_t end) {
+  for (size_t i = begin; i < end; ++i) {
+    EpochRoutine& routine = batch_[i];
+    EpochRequest* req = routine.request;
+    PromiseManager::EpochOpResult out =
+        manager_->HandleInEpoch(*req->request, &req->classes);
+    if (out.partition_miss) {
+      // Nothing committed or logged; the leader reruns it serially.
+      req->miss = true;
+      continue;
+    }
+    req->reply = std::move(out.reply);
+    req->log_sequence = out.log_sequence;
+  }
+}
+
+void EpochExecutor::WorkerLoop(int worker_index) {
+  if (config_.pin_workers) PinToCore(worker_index);
+  uint64_t seen_generation = 0;
+  while (true) {
+    size_t begin = 0;
+    size_t end = 0;
+    {
+      std::unique_lock<std::mutex> lk(work_mu_);
+      work_cv_.wait(lk, [&] {
+        return work_generation_ != seen_generation ||
+               (stop_.load(std::memory_order_relaxed) && !epoch_pending_);
+      });
+      // Drain a pending generation even when stopping: the leader
+      // either has published this epoch's generation already or (when
+      // epoch_pending_) is about to, and it will block on the barrier
+      // until every worker reports in. Exit is only safe once no
+      // sealed epoch is still waiting for its generation bump.
+      if (work_generation_ == seen_generation) return;  // stop, no work
+      seen_generation = work_generation_;
+      const auto& range = worker_ranges_[static_cast<size_t>(worker_index)];
+      begin = range.first;
+      end = range.second;
+    }
+    ExecuteRange(begin, end);
+    {
+      std::lock_guard<std::mutex> lk(work_mu_);
+      if (--workers_remaining_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+EpochExecutorStats EpochExecutor::stats() const {
+  EpochExecutorStats s;
+  s.epochs = stats_.epochs.load(std::memory_order_relaxed);
+  s.ops = stats_.ops.load(std::memory_order_relaxed);
+  s.serial_ops = stats_.serial_ops.load(std::memory_order_relaxed);
+  s.partition_misses =
+      stats_.partition_misses.load(std::memory_order_relaxed);
+  s.largest_batch = stats_.largest_batch.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace promises

@@ -1,0 +1,202 @@
+// Epoch-batched execution engine for the promise-manager hot path
+// (DESIGN.md §14).
+//
+// The per-operation path takes stripe locks for every grant/act/
+// release. This engine amortizes all of that across a batch: incoming
+// envelopes are collected into an epoch, the epoch takes the whole
+// manager once (root key exclusive — the only lock-manager traffic an
+// epoch generates), the batch is partitioned by resource-class hash,
+// and each worker executes its partition with pre-serialized
+// transactions
+// that never touch the lock manager — lock-free within a partition,
+// one barrier per epoch. Operations whose class closure spans
+// partitions (or escapes it at runtime — a partition miss) rerun in a
+// serial phase after the barrier, where the epoch's exclusivity alone
+// is enough. The whole epoch then shares one group-commit durable
+// wait before any reply is released, so "reply implies durable"
+// still holds end to end.
+//
+// The batch representation follows Felis's epoch-batched promise
+// routines (SNIPPETS.md snippet 2): the hot scheduling state is one
+// cache line per routine (static_assert(sizeof(EpochRoutine) == 64)),
+// sorted so each worker's slice is contiguous, and workers are pinned
+// to cores so a partition's lines stay in one L1/L2.
+
+#ifndef PROMISES_CORE_EPOCH_EXECUTOR_H_
+#define PROMISES_CORE_EPOCH_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/promise_manager.h"
+#include "protocol/message.h"
+#include "protocol/transport.h"
+
+namespace promises {
+
+struct EpochExecutorConfig {
+  /// Epoch workers (= partitions). Each executes one partition of the
+  /// batch without taking any stripe lock.
+  int workers = 8;
+  /// Seal the epoch as soon as this many requests are queued...
+  size_t max_batch = 256;
+  /// ...or when the oldest queued request has waited this long.
+  int64_t seal_interval_us = 200;
+  /// Pin worker i to core i (Linux; no-op elsewhere).
+  bool pin_workers = true;
+  /// Attempts to take the manager root exclusively before failing the
+  /// epoch's batch (each attempt waits the lock manager's timeout).
+  int acquire_retries = 50;
+};
+
+struct EpochExecutorStats {
+  uint64_t epochs = 0;
+  uint64_t ops = 0;
+  uint64_t serial_ops = 0;        ///< Cross-partition or empty closure.
+  uint64_t partition_misses = 0;  ///< Runtime escapes, retried serially.
+  uint64_t largest_batch = 0;
+};
+
+/// Cold per-request state: the envelope, its planned closure, and the
+/// completion slot the submitting thread blocks on. Referenced (not
+/// embedded) by the hot EpochRoutine array.
+/// Per-submitter completion signal, reused across that thread's
+/// Submits. A shared condition variable would wake the WHOLE
+/// closed-loop population on every epoch (waiters whose requests ride
+/// a later epoch included) — a thundering herd at each epoch boundary.
+/// One waiter per submitter wakes exactly the threads whose replies
+/// are ready. Shared ownership (executor + submitter) lets the leader
+/// signal with the mutex RELEASED — notifying under the lock would
+/// make every woken submitter immediately block on it again — without
+/// racing the submitter's thread exit.
+struct EpochWaiter {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;  ///< Guarded by `mu`.
+};
+
+struct EpochRequest {
+  const Envelope* request = nullptr;  ///< Borrowed from the submitter.
+  std::set<std::string> classes;      ///< Sealed closure (partition key).
+  Result<Envelope> reply = Status::Internal("not executed");
+  uint64_t log_sequence = 0;
+  bool miss = false;  ///< Escaped its partition; reran serially.
+  std::shared_ptr<EpochWaiter> waiter;
+};
+
+/// One cache line of scheduling state per batched operation (the Felis
+/// PromiseRoutine idiom): everything the sort and the worker scan need
+/// without touching the cold EpochRequest.
+struct alignas(64) EpochRoutine {
+  EpochRequest* request = nullptr;  // 8 cold payload
+  uint64_t sched_key = 0;           // 8 home-class hash (sort key)
+  uint64_t epoch = 0;               // 8 epoch number
+  uint32_t index = 0;               // 4 arrival order (sort tiebreak)
+  int32_t partition = -1;           // 4 worker partition; -1 = serial
+  char pad[64 - 8 - 8 - 8 - 4 - 4] = {};
+};
+static_assert(sizeof(EpochRoutine) == 64,
+              "EpochRoutine must be exactly one cache line");
+static_assert(alignof(EpochRoutine) == 64,
+              "EpochRoutine must be cache-line aligned");
+
+/// Batching facade in front of one PromiseManager. Start() spawns the
+/// leader (seal/partition/serial/durable) and the worker pool; Submit
+/// blocks the calling thread until its operation's epoch is durable.
+class EpochExecutor {
+ public:
+  EpochExecutor(EpochExecutorConfig config, PromiseManager* manager);
+  ~EpochExecutor();
+
+  EpochExecutor(const EpochExecutor&) = delete;
+  EpochExecutor& operator=(const EpochExecutor&) = delete;
+
+  Status Start();
+  void Stop();
+
+  /// Queues `request` for the next epoch and blocks until it executed
+  /// and the epoch's group-commit write is durable. Thread-safe.
+  Result<Envelope> Submit(const Envelope& request);
+
+  /// Re-registers the manager's transport endpoint to route through
+  /// Submit, so existing clients (and the chaos harness) exercise the
+  /// epoch path unchanged. Stop() restores the direct handler but the
+  /// adoption is remembered: a subsequent Start() re-registers the
+  /// epoch route without another AdoptTransportEndpoint call.
+  void AdoptTransportEndpoint(Transport* transport);
+
+  EpochExecutorStats stats() const;
+
+ private:
+  void LeaderLoop();
+  void WorkerLoop(int worker_index);
+  /// Registers Submit as `manager_`'s transport handler. Caller holds
+  /// lifecycle_mu_.
+  void RouteThroughSubmit(Transport* transport);
+  /// Executes routines [begin, end) of batch_ against the manager.
+  void ExecuteRange(size_t begin, size_t end);
+  /// Clears epoch_pending_ and, when stopping, wakes workers parked on
+  /// the exit condition.
+  void ClearEpochPending();
+  void RunEpoch(std::vector<EpochRequest*> batch);
+  static void PinToCore(int core);
+  // Marks `req` done and wakes its submitter. After this returns the
+  // request may be destroyed; the caller must not touch it again.
+  static void CompleteRequest(EpochRequest* req);
+
+  EpochExecutorConfig config_;
+  PromiseManager* manager_;
+  /// Guarded by lifecycle_mu_. Survives Stop() so Start() can re-adopt.
+  Transport* adopted_transport_ = nullptr;
+  /// Serializes Start/Stop/AdoptTransportEndpoint against each other —
+  /// concurrent lifecycle calls would otherwise race running_/stop_ and
+  /// the thread pool.
+  std::mutex lifecycle_mu_;
+
+  std::thread leader_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+
+  // Inbox: submitters push, the leader seals by taking up to
+  // max_batch. Completion is signaled per request (EpochRequest::cv).
+  std::mutex inbox_mu_;
+  std::condition_variable inbox_cv_;
+  std::vector<EpochRequest*> inbox_;
+
+  // Per-epoch work handoff (leader -> workers).
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;  ///< Workers wait for a new epoch.
+  std::condition_variable done_cv_;  ///< Leader waits for the barrier.
+  uint64_t work_generation_ = 0;
+  int workers_remaining_ = 0;
+  /// True from the moment the leader seals a batch (set under work_mu_
+  /// while inbox_mu_ is still held, the same lock order Stop() uses)
+  /// until that epoch's barrier completes. Workers refuse to exit on
+  /// stop_ while an epoch is pending: without this, a stop_ that lands
+  /// between sealing and the generation bump would let every worker
+  /// exit and leave the leader waiting forever on a barrier no one
+  /// will reach.
+  bool epoch_pending_ = false;
+  std::vector<EpochRoutine> batch_;  ///< Sorted; stable during an epoch.
+  std::vector<std::pair<size_t, size_t>> worker_ranges_;
+
+  struct AtomicStats {
+    std::atomic<uint64_t> epochs{0}, ops{0}, serial_ops{0},
+        partition_misses{0}, largest_batch{0};
+  };
+  mutable AtomicStats stats_;
+};
+
+}  // namespace promises
+
+#endif  // PROMISES_CORE_EPOCH_EXECUTOR_H_

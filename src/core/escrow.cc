@@ -12,15 +12,17 @@ int64_t GrowPart(int64_t max_delta) { return std::max<int64_t>(0, max_delta); }
 }  // namespace
 
 EscrowAccount::EscrowAccount(int64_t initial, int64_t floor, int64_t ceiling)
-    : value_(initial), floor_(floor), ceiling_(ceiling) {}
+    : floor_(floor), ceiling_(ceiling) {
+  hot_.value = initial;
+}
 
 Result<EscrowOpId> EscrowAccount::Begin(int64_t min_delta,
                                         int64_t max_delta) {
   if (min_delta > max_delta) {
     return Status::InvalidArgument("min_delta exceeds max_delta");
   }
-  int64_t low = value_ + inflight_min_ + DrainPart(min_delta);
-  int64_t high = value_ + inflight_max_ + GrowPart(max_delta);
+  int64_t low = hot_.value + hot_.inflight_min + DrainPart(min_delta);
+  int64_t high = hot_.value + hot_.inflight_max + GrowPart(max_delta);
   if (low < floor_) {
     return Status::FailedPrecondition(
         "escrow: worst-case value " + std::to_string(low) +
@@ -33,8 +35,8 @@ Result<EscrowOpId> EscrowAccount::Begin(int64_t min_delta,
   }
   EscrowOpId id = next_op_++;
   ops_[id] = Op{min_delta, max_delta};
-  inflight_min_ += DrainPart(min_delta);
-  inflight_max_ += GrowPart(max_delta);
+  hot_.inflight_min += DrainPart(min_delta);
+  hot_.inflight_max += GrowPart(max_delta);
   return id;
 }
 
@@ -50,10 +52,10 @@ Status EscrowAccount::Commit(EscrowOpId op, int64_t delta) {
         " outside declared [" + std::to_string(it->second.min_delta) + ", " +
         std::to_string(it->second.max_delta) + "]");
   }
-  inflight_min_ -= DrainPart(it->second.min_delta);
-  inflight_max_ -= GrowPart(it->second.max_delta);
+  hot_.inflight_min -= DrainPart(it->second.min_delta);
+  hot_.inflight_max -= GrowPart(it->second.max_delta);
   ops_.erase(it);
-  value_ += delta;
+  hot_.value += delta;
   return Status::OK();
 }
 
@@ -63,8 +65,8 @@ Status EscrowAccount::Abort(EscrowOpId op) {
     return Status::NotFound("escrow op " + std::to_string(op) +
                             " not in flight");
   }
-  inflight_min_ -= DrainPart(it->second.min_delta);
-  inflight_max_ -= GrowPart(it->second.max_delta);
+  hot_.inflight_min -= DrainPart(it->second.min_delta);
+  hot_.inflight_max -= GrowPart(it->second.max_delta);
   ops_.erase(it);
   return Status::OK();
 }

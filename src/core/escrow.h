@@ -55,15 +55,27 @@ class EscrowAccount {
   Status Abort(EscrowOpId op);
 
   /// Committed value (excludes in-flight effects).
-  int64_t value() const { return value_; }
+  int64_t value() const { return hot_.value; }
   /// Guaranteed lower/upper bound on the value however the in-flight
   /// operations resolve.
-  int64_t WorstCaseLow() const { return value_ + inflight_min_; }
-  int64_t WorstCaseHigh() const { return value_ + inflight_max_; }
+  int64_t WorstCaseLow() const { return hot_.value + hot_.inflight_min; }
+  int64_t WorstCaseHigh() const { return hot_.value + hot_.inflight_max; }
   size_t inflight() const { return ops_.size(); }
 
   int64_t floor() const { return floor_; }
   int64_t ceiling() const { return ceiling_; }
+
+  /// The per-admission counters every Begin/Commit/Abort touches, on
+  /// their own cache line so accounts laid out side by side (one per
+  /// resource class) never false-share under epoch workers
+  /// (DESIGN.md §14; the layout test pins the alignment).
+  struct alignas(64) HotCounters {
+    int64_t value = 0;
+    // Sum of min(0, min_delta) / max(0, max_delta) over in-flight
+    // ops: guaranteed-possible drain and guaranteed-possible growth.
+    int64_t inflight_min = 0;
+    int64_t inflight_max = 0;
+  };
 
  private:
   struct Op {
@@ -71,13 +83,9 @@ class EscrowAccount {
     int64_t max_delta;
   };
 
-  int64_t value_;
+  HotCounters hot_;
   int64_t floor_;
   int64_t ceiling_;
-  // Sum of min(0, min_delta) / max(0, max_delta) over in-flight ops:
-  // guaranteed-possible drain and guaranteed-possible growth.
-  int64_t inflight_min_ = 0;
-  int64_t inflight_max_ = 0;
   EscrowOpId next_op_ = 1;
   std::map<EscrowOpId, Op> ops_;
 };

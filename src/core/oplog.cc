@@ -636,6 +636,18 @@ Status OperationLog::WaitDurable(uint64_t sequence) {
                              std::to_string(sequence) + " became durable");
 }
 
+void OperationLog::KickFlush() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Nothing queued means everything sequenced is written or in the
+    // writer's hands already; setting the kick would only rob the NEXT
+    // group of its formation window.
+    if (!writer_running_ || queue_.empty()) return;
+    kick_ = true;
+  }
+  work_cv_.notify_all();
+}
+
 Result<LogCut> OperationLog::CutPoint() const {
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr) {
@@ -779,18 +791,19 @@ void OperationLog::WriterLoop() {
     // record has waited max_delay_ms on the injected clock. The
     // wait_for quantum is real time so a SimulatedClock advanced by
     // another thread is noticed promptly.
-    while (!stopping_ && config_.max_delay_ms > 0 &&
+    while (!stopping_ && !kick_ && config_.max_delay_ms > 0 &&
            queue_.size() < config_.max_batch &&
            clock_->Now() - queue_.front().enqueued_at < config_.max_delay_ms) {
       work_cv_.wait_for(lock, std::chrono::microseconds(200));
     }
     // Batch-formation grace: committers racing the flush get a short
     // real-time window to join the group before the sync is paid. A
-    // batch filling up notifies work_cv_ and ends the window early.
+    // batch filling up notifies work_cv_ and ends the window early,
+    // as does a KickFlush batch-boundary signal.
     if (config_.group_window_us > 0) {
       int64_t deadline = SteadyNowUs() + config_.group_window_us;
       int64_t remaining = config_.group_window_us;
-      while (!stopping_ && queue_.size() < config_.max_batch &&
+      while (!stopping_ && !kick_ && queue_.size() < config_.max_batch &&
              remaining > 0) {
         work_cv_.wait_for(lock, std::chrono::microseconds(remaining));
         remaining = deadline - SteadyNowUs();
@@ -804,6 +817,9 @@ void OperationLog::WriterLoop() {
       last_sequence = queue_.front().sequence;
       queue_.pop_front();
     }
+    // A kick covers everything queued at the boundary; once the queue
+    // drains the next group forms (and lingers) normally.
+    if (queue_.empty()) kick_ = false;
     Metrics().queue_depth->Set(static_cast<int64_t>(queue_.size()));
     io_in_flight_ = true;
     lock.unlock();

@@ -210,6 +210,15 @@ class OperationLog {
   /// sync write) failed before reaching `sequence`.
   Status WaitDurable(uint64_t sequence);
 
+  /// Batch-boundary signal: tells the group-commit writer that no
+  /// further committers are coming for the current group, so it should
+  /// flush what is queued instead of lingering out the remainder of
+  /// its formation window. The epoch executor calls this when an epoch
+  /// seals — the epoch IS the group, so holding the window open only
+  /// delays the epoch's single durable wait. No-op when the writer is
+  /// not running or nothing is queued.
+  void KickFlush();
+
   /// Crash-injection hook for recovery tests: the NEXT physical write
   /// (a single record in sync mode, a whole group in group mode)
   /// stores only its first `bytes` bytes (flushed, so the torn tail
@@ -296,6 +305,9 @@ class OperationLog {
   Clock* clock_ = nullptr;
   bool writer_running_ = false;
   bool stopping_ = false;
+  // Batch-boundary kick: skip the linger windows for the current
+  // group. Cleared once the writer drains the queue.
+  bool kick_ = false;
   // True while the writer thread runs WriteBuffer outside mu_;
   // TruncateBefore waits for it to clear before swapping the file.
   bool io_in_flight_ = false;

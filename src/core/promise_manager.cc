@@ -28,6 +28,8 @@ thread_local uint64_t tls_forced_promise_id = 0;
 
 }  // namespace
 
+thread_local PromiseManager::EpochTls* PromiseManager::tls_epoch_ = nullptr;
+
 PromiseManager::PromiseManager(PromiseManagerConfig config, Clock* clock,
                                ResourceManager* rm, TransactionManager* tm,
                                Transport* transport)
@@ -123,7 +125,13 @@ Result<std::unique_ptr<Transaction>> PromiseManager::BeginOperation(
   // OperationLog sequencing point, reached before the commit releases
   // these locks, so it remains a valid serialization order without
   // whole-manager exclusion (see the file header).
-  std::unique_ptr<Transaction> txn = tm_->Begin();
+  // Inside an epoch the executor's partitioning is the serialization
+  // guarantee: the transaction skips the lock manager entirely (its
+  // Lock() calls only record the write set) and the planned closure is
+  // checked against the partition instead — escaping it is a miss the
+  // executor retries in the epoch's serial phase.
+  std::unique_ptr<Transaction> txn =
+      tls_epoch_ != nullptr ? tm_->BeginPreSerialized() : tm_->Begin();
   if (whole_manager) {
     PROMISES_RETURN_IF_ERROR(txn->Lock(RootKey(), LockMode::kExclusive));
     scope->whole_manager = true;
@@ -131,6 +139,15 @@ Result<std::unique_ptr<Transaction>> PromiseManager::BeginOperation(
     return txn;
   }
   PlanClosure(&classes);
+  if (tls_epoch_ != nullptr && tls_epoch_->allowed != nullptr) {
+    for (const std::string& cls : classes) {
+      if (tls_epoch_->allowed->count(cls) == 0) {
+        tls_epoch_->miss = true;
+        return Status::Unavailable("epoch partition miss on class '" + cls +
+                                   "'");
+      }
+    }
+  }
   // Deterministic order: root first, then stripes sorted by class name
   // (std::set iteration). Keeps planned acquisitions deadlock-free.
   PROMISES_RETURN_IF_ERROR(txn->Lock(RootKey(), LockMode::kShared));
@@ -153,6 +170,15 @@ Status PromiseManager::EnsureClassLocked(Transaction* txn, LockScope* scope,
   ExpandClasses(&add);
   for (const std::string& c : add) {
     if (scope->Covers(c)) continue;
+    if (tls_epoch_ != nullptr && tls_epoch_->allowed != nullptr &&
+        tls_epoch_->allowed->count(c) == 0) {
+      // Runtime escape from the epoch partition (ill-behaved service
+      // touching an unplanned class): the operation must roll back
+      // fully and rerun in the serial phase, where it may touch
+      // anything.
+      tls_epoch_->miss = true;
+      return Status::Unavailable("epoch partition miss on class '" + c + "'");
+    }
     PROMISES_RETURN_IF_ERROR(txn->Lock(StripeKey(c), LockMode::kExclusive));
     scope->classes.insert(c);
     CaptureClassIfPending(c);
@@ -679,9 +705,11 @@ Status PromiseManager::VerifyTouchedLocked(Transaction* txn,
   // well-behaved". Writes show up as exclusive "pool:<cls>" /
   // "class:<cls>" resource keys on this transaction; their stripes are
   // late-locked (deadlock detection backstops the out-of-order grab).
+  // The write set comes from the transaction's own record rather than
+  // the lock manager so pre-serialized (epoch) transactions — which
+  // never register with the lock manager — verify identically.
   std::set<std::string> touched = scope->classes;
-  for (const std::string& key :
-       tm_->lock_manager().ExclusiveKeysOf(txn->id())) {
+  for (const std::string& key : txn->ExclusiveKeys()) {
     std::string cls;
     if (StartsWith(key, "pool:")) {
       cls = key.substr(5);
@@ -769,6 +797,13 @@ Result<ActionOutcome> PromiseManager::ExecuteLocked(
   Result<std::map<std::string, Value>> result =
       service(&ctx, action.operation, action.params);
   if (!result.ok()) {
+    if (tls_epoch_ != nullptr && tls_epoch_->miss) {
+      // A partition miss inside the service is not an application
+      // failure: propagate the error so the whole operation rolls
+      // back (nothing logged) and the executor reruns it serially —
+      // the striped path would simply have taken the stripe lock.
+      return result.status();
+    }
     return fail("action failed: " + result.status().ToString());
   }
 
@@ -1748,8 +1783,8 @@ Result<Envelope> PromiseManager::Handle(const Envelope& request) {
   return reply;
 }
 
-Result<Envelope> PromiseManager::HandleInner(const Envelope& request,
-                                             const DedupKey* dedup_key) {
+std::set<std::string> PromiseManager::PlanEnvelope(
+    const Envelope& request) const {
   // Plan the union of every part of the combined envelope.
   std::set<std::string> classes;
   if (request.promise_request) {
@@ -1781,6 +1816,19 @@ Result<Envelope> PromiseManager::HandleInner(const Envelope& request,
     }
   }
   if (request.action) AddActionClasses(&classes, *request.action);
+  return classes;
+}
+
+std::set<std::string> PromiseManager::PlanEnvelopeClasses(
+    const Envelope& request) const {
+  std::set<std::string> classes = PlanEnvelope(request);
+  PlanClosure(&classes);
+  return classes;
+}
+
+Result<Envelope> PromiseManager::HandleInner(const Envelope& request,
+                                             const DedupKey* dedup_key) {
+  std::set<std::string> classes = PlanEnvelope(request);
 
   LockScope scope;
   std::unique_ptr<Transaction> txn;
@@ -1971,8 +2019,51 @@ Result<Envelope> PromiseManager::HandleInner(const Envelope& request,
   // re-execute an operation that already committed. The loss is still
   // loud — detach counter, error span — and direct-API callers get
   // kDataLoss (see AwaitLogDurable).
-  (void)AwaitLogDurable(ticket);
+  //
+  // Inside an epoch the durable wait is deferred: the operation's
+  // sequence is handed to the executor, which waits once per epoch on
+  // the maximum before completing any reply (so "reply implies
+  // durable" still holds end to end). An enqueue failure is handled
+  // here either way — AwaitLogDurable does not block on those.
+  if (tls_epoch_ != nullptr && ticket.log != nullptr &&
+      ticket.enqueue_error.ok()) {
+    if (ticket.sequence > tls_epoch_->log_sequence) {
+      tls_epoch_->log_sequence = ticket.sequence;
+    }
+  } else {
+    (void)AwaitLogDurable(ticket);
+  }
   return reply;
+}
+
+Result<std::unique_ptr<Transaction>> PromiseManager::AcquireEpoch() {
+  LockScope scope;
+  return BeginOperation(&scope, {}, /*whole_manager=*/true);
+}
+
+PromiseManager::EpochOpResult PromiseManager::HandleInEpoch(
+    const Envelope& request, const std::set<std::string>* allowed) {
+  EpochTls ctx;
+  ctx.allowed = allowed;
+  tls_epoch_ = &ctx;
+  EpochOpResult out;
+  out.reply = Handle(request);
+  tls_epoch_ = nullptr;
+  out.partition_miss = ctx.miss;
+  out.log_sequence = ctx.log_sequence;
+  return out;
+}
+
+Status PromiseManager::WaitEpochDurable(uint64_t max_sequence) {
+  if (max_sequence == 0) return Status::OK();
+  LogTicket ticket;
+  ticket.log = oplog_.load(std::memory_order_acquire);
+  ticket.sequence = max_sequence;
+  if (ticket.log == nullptr) return Status::OK();  // detached meanwhile
+  // The epoch is the group: no further committers are coming, so the
+  // writer should flush now rather than linger out its window.
+  ticket.log->KickFlush();
+  return AwaitLogDurable(ticket);
 }
 
 void PromiseManager::RegisterService(const std::string& name, ServiceFn fn) {

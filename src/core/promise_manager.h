@@ -277,6 +277,52 @@ class PromiseManager {
   /// Stable ClientId for a protocol-level sender name.
   ClientId ClientFor(const std::string& name);
 
+  // --- Epoch-batched execution (DESIGN.md §14) ---
+  //
+  // The facade core/epoch_executor.h drives. An epoch owns the whole
+  // manager (root key exclusive) for its duration; every batched
+  // envelope then executes on a pre-serialized transaction that skips
+  // the lock manager entirely — the epoch's class partitioning is the
+  // serialization guarantee (lock-free within a partition). Durability
+  // is batched too: HandleInEpoch returns each operation's log
+  // sequence instead of awaiting it, and the executor waits once per
+  // epoch on the maximum before completing any reply.
+
+  /// Outcome of one batched envelope.
+  struct EpochOpResult {
+    Result<Envelope> reply = Status::Internal("not executed");
+    /// The operation's planned or runtime class closure escaped the
+    /// partition it was assigned to; nothing committed or logged. The
+    /// executor must re-run it in the epoch's serial phase.
+    bool partition_miss = false;
+    /// Log sequence of the operation's record; 0 when nothing was
+    /// logged. The epoch waits once on the max over the batch.
+    uint64_t log_sequence = 0;
+  };
+
+  /// Takes the whole manager exclusively for an epoch (a real
+  /// transaction through the lock manager, so in-flight striped
+  /// traffic drains first and the fuzzy-capture hooks fire). Commit
+  /// the returned transaction to end the epoch.
+  Result<std::unique_ptr<Transaction>> AcquireEpoch();
+
+  /// Planned class closure of `request` — what the epoch sealer
+  /// partitions on. Recomputed (and re-checked) at execution time, so
+  /// a stale plan degrades to a partition miss, never to a race.
+  std::set<std::string> PlanEnvelopeClasses(const Envelope& request) const;
+
+  /// Executes one envelope inside an epoch (the caller holds the
+  /// epoch transaction). `allowed` restricts the operation's runtime
+  /// closure to the worker's partition classes; nullptr (the serial
+  /// phase) allows everything.
+  EpochOpResult HandleInEpoch(const Envelope& request,
+                              const std::set<std::string>* allowed);
+
+  /// Waits for every log record up to `max_sequence` to be durable —
+  /// the epoch's single group-commit wait. 0 is a no-op; on failure
+  /// the log is detached exactly like the per-operation path.
+  Status WaitEpochDurable(uint64_t max_sequence);
+
   // --- Configuration ---
 
   void RegisterService(const std::string& name, ServiceFn fn);
@@ -494,6 +540,21 @@ class PromiseManager {
 
   /// Idempotency-table key: sender's protocol name + message id.
   using DedupKey = std::pair<std::string, uint64_t>;
+
+  /// Thread-local context set while HandleInEpoch runs on this
+  /// thread: switches BeginOperation to pre-serialized transactions,
+  /// arms the partition guard in BeginOperation/EnsureClassLocked,
+  /// and defers the durable wait to the epoch's group wait.
+  struct EpochTls {
+    const std::set<std::string>* allowed = nullptr;
+    bool miss = false;
+    uint64_t log_sequence = 0;
+  };
+  static thread_local EpochTls* tls_epoch_;
+
+  /// Classes an envelope's parts reference (pre-closure); the shared
+  /// planning step of HandleInner and PlanEnvelopeClasses.
+  std::set<std::string> PlanEnvelope(const Envelope& request) const;
 
   /// Handle minus the idempotency layer: always executes the envelope.
   /// When `dedup_key` is non-null, the reply is inserted into the

@@ -1,5 +1,7 @@
 #include "core/promise_table.h"
 
+#include <algorithm>
+#include <array>
 #include <mutex>
 
 namespace promises {
@@ -19,55 +21,94 @@ Status PromiseTable::Insert(PromiseRecord record) {
   if (!id.valid()) {
     return Status::InvalidArgument("promise id must be valid");
   }
-  std::unique_lock<std::shared_mutex> lk(mu_);
-  if (records_.count(id)) {
-    return Status::AlreadyExists("promise " + id.ToString() +
-                                 " already in table");
-  }
+  Timestamp deadline = record.expires_at;
+  std::vector<std::string> classes;
+  classes.reserve(record.predicates.size());
   for (const Predicate& p : record.predicates) {
-    by_class_[p.resource_class()].insert(id);
+    classes.push_back(p.resource_class());
   }
-  by_deadline_.emplace(record.expires_at, id);
-  records_.emplace(id, std::move(record));
+  {
+    // Record first, indexes after: a reader that finds an id through an
+    // index is guaranteed to find the record too.
+    RecordShard& shard = ShardOf(id);
+    std::unique_lock<std::shared_mutex> lk(shard.mu);
+    if (shard.records.count(id)) {
+      return Status::AlreadyExists("promise " + id.ToString() +
+                                   " already in table");
+    }
+    shard.records.emplace(id, std::move(record));
+  }
+  for (const std::string& cls : classes) {
+    ClassShard& cshard = ClassShardOf(cls);
+    std::unique_lock<std::shared_mutex> lk(cshard.mu);
+    cshard.by_class[cls].insert(id);
+  }
+  {
+    DeadlineShard& dshard = DeadlineShardOf(id);
+    std::unique_lock<std::shared_mutex> lk(dshard.mu);
+    dshard.by_deadline.emplace(deadline, id);
+  }
+  // Lower the due-sweep bound (never raised: see the header).
+  Timestamp bound = min_deadline_.load(std::memory_order_relaxed);
+  while (deadline < bound &&
+         !min_deadline_.compare_exchange_weak(bound, deadline,
+                                              std::memory_order_release,
+                                              std::memory_order_relaxed)) {
+  }
+  size_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 
 Result<PromiseRecord> PromiseTable::Remove(PromiseId id) {
-  std::unique_lock<std::shared_mutex> lk(mu_);
-  auto it = records_.find(id);
-  if (it == records_.end()) {
-    return Status::NotFound("promise " + id.ToString() + " not in table");
+  PromiseRecord record;
+  {
+    RecordShard& shard = ShardOf(id);
+    std::unique_lock<std::shared_mutex> lk(shard.mu);
+    auto it = shard.records.find(id);
+    if (it == shard.records.end()) {
+      return Status::NotFound("promise " + id.ToString() + " not in table");
+    }
+    record = std::move(it->second);
+    shard.records.erase(it);
   }
-  PromiseRecord record = std::move(it->second);
+  size_.fetch_sub(1, std::memory_order_release);
   for (const Predicate& p : record.predicates) {
-    auto cit = by_class_.find(p.resource_class());
-    if (cit != by_class_.end()) {
+    ClassShard& cshard = ClassShardOf(p.resource_class());
+    std::unique_lock<std::shared_mutex> lk(cshard.mu);
+    auto cit = cshard.by_class.find(p.resource_class());
+    if (cit != cshard.by_class.end()) {
       cit->second.erase(id);
-      if (cit->second.empty()) by_class_.erase(cit);
+      if (cit->second.empty()) cshard.by_class.erase(cit);
     }
   }
-  by_deadline_.erase({record.expires_at, id});
-  records_.erase(it);
+  {
+    DeadlineShard& dshard = DeadlineShardOf(id);
+    std::unique_lock<std::shared_mutex> lk(dshard.mu);
+    dshard.by_deadline.erase({record.expires_at, id});
+  }
   return record;
 }
 
 const PromiseRecord* PromiseTable::Find(PromiseId id) const {
-  std::shared_lock<std::shared_mutex> lk(mu_);
-  auto it = records_.find(id);
-  return it == records_.end() ? nullptr : &it->second;
+  const RecordShard& shard = ShardOf(id);
+  std::shared_lock<std::shared_mutex> lk(shard.mu);
+  auto it = shard.records.find(id);
+  return it == shard.records.end() ? nullptr : &it->second;
 }
 
 PromiseRecord* PromiseTable::FindMutable(PromiseId id) {
-  std::shared_lock<std::shared_mutex> lk(mu_);
-  auto it = records_.find(id);
-  return it == records_.end() ? nullptr : &it->second;
+  RecordShard& shard = ShardOf(id);
+  std::shared_lock<std::shared_mutex> lk(shard.mu);
+  auto it = shard.records.find(id);
+  return it == shard.records.end() ? nullptr : &it->second;
 }
 
 std::optional<std::vector<std::string>> PromiseTable::ClassesOf(
     PromiseId id) const {
-  std::shared_lock<std::shared_mutex> lk(mu_);
-  auto it = records_.find(id);
-  if (it == records_.end()) return std::nullopt;
+  const RecordShard& shard = ShardOf(id);
+  std::shared_lock<std::shared_mutex> lk(shard.mu);
+  auto it = shard.records.find(id);
+  if (it == shard.records.end()) return std::nullopt;
   std::vector<std::string> classes;
   classes.reserve(it->second.predicates.size());
   for (const Predicate& p : it->second.predicates) {
@@ -78,57 +119,104 @@ std::optional<std::vector<std::string>> PromiseTable::ClassesOf(
 
 std::vector<const PromiseRecord*> PromiseTable::ActiveForClass(
     const std::string& resource_class, Timestamp now) const {
-  std::shared_lock<std::shared_mutex> lk(mu_);
+  std::vector<PromiseId> ids;
+  {
+    const ClassShard& cshard = ClassShardOf(resource_class);
+    std::shared_lock<std::shared_mutex> lk(cshard.mu);
+    auto cit = cshard.by_class.find(resource_class);
+    if (cit == cshard.by_class.end()) return {};
+    ids.assign(cit->second.begin(), cit->second.end());
+  }
   std::vector<const PromiseRecord*> out;
-  auto cit = by_class_.find(resource_class);
-  if (cit == by_class_.end()) return out;
-  for (PromiseId id : cit->second) {
-    const PromiseRecord& r = records_.at(id);
-    if (r.ActiveAt(now)) out.push_back(&r);
+  for (PromiseId id : ids) {
+    // A record indexed under this class can only be erased by an
+    // operation covering the class (which the caller excludes); a
+    // missing record means the index read raced an unrelated remove's
+    // index cleanup, so skipping it is the consistent view.
+    const PromiseRecord* r = Find(id);
+    if (r != nullptr && r->ActiveAt(now)) out.push_back(r);
   }
   return out;
 }
 
 std::vector<const PromiseRecord*> PromiseTable::Active(Timestamp now) const {
-  std::shared_lock<std::shared_mutex> lk(mu_);
   std::vector<const PromiseRecord*> out;
-  out.reserve(records_.size());
-  for (const auto& [id, r] : records_) {
-    (void)id;
-    if (r.ActiveAt(now)) out.push_back(&r);
+  for (const RecordShard& shard : record_shards_) {
+    std::shared_lock<std::shared_mutex> lk(shard.mu);
+    for (const auto& [id, r] : shard.records) {
+      (void)id;
+      if (r.ActiveAt(now)) out.push_back(&r);
+    }
   }
   return out;
 }
 
 std::vector<PromiseId> PromiseTable::DueIds(Timestamp now) const {
-  std::shared_lock<std::shared_mutex> lk(mu_);
+  // Planned on every operation: the lock-free bound makes the common
+  // nothing-due case free of any shard lock.
+  if (now < min_deadline_.load(std::memory_order_acquire)) return {};
   std::vector<PromiseId> out;
-  for (const auto& [deadline, id] : by_deadline_) {
-    if (deadline > now) break;
-    out.push_back(id);
+  for (const DeadlineShard& dshard : deadline_shards_) {
+    std::shared_lock<std::shared_mutex> lk(dshard.mu);
+    for (const auto& [deadline, id] : dshard.by_deadline) {
+      if (deadline > now) break;
+      out.push_back(id);
+    }
+  }
+  // An empty sweep means the bound went stale-low (removals never
+  // raise it, so one short-deadline promise would otherwise disable
+  // the fast path forever). Repair it to the exact minimum, computed
+  // with every deadline shard held at once: no Insert can add an entry
+  // while all 16 locks are held, so the stored value can never jump
+  // over a deadline the scan missed — an insert that lands after the
+  // release re-lowers the bound itself (its CAS runs after its shard
+  // emplace, hence after our store). Raising only here keeps Insert
+  // and Remove lock-free on the bound.
+  if (out.empty()) {
+    std::array<std::shared_lock<std::shared_mutex>, kShardCount> locks;
+    for (size_t i = 0; i < kShardCount; ++i) {
+      locks[i] = std::shared_lock<std::shared_mutex>(deadline_shards_[i].mu);
+    }
+    Timestamp exact_min = kTimestampMax;
+    for (const DeadlineShard& dshard : deadline_shards_) {
+      if (!dshard.by_deadline.empty()) {
+        exact_min = std::min(exact_min, dshard.by_deadline.begin()->first);
+      }
+    }
+    min_deadline_.store(exact_min, std::memory_order_release);
   }
   return out;
 }
 
 std::vector<PromiseRecord> PromiseTable::RecordsForClass(
     const std::string& resource_class) const {
-  std::shared_lock<std::shared_mutex> lk(mu_);
+  std::vector<PromiseId> ids;
+  {
+    const ClassShard& cshard = ClassShardOf(resource_class);
+    std::shared_lock<std::shared_mutex> lk(cshard.mu);
+    auto cit = cshard.by_class.find(resource_class);
+    if (cit == cshard.by_class.end()) return {};
+    ids.assign(cit->second.begin(), cit->second.end());
+  }
   std::vector<PromiseRecord> out;
-  auto cit = by_class_.find(resource_class);
-  if (cit == by_class_.end()) return out;
-  out.reserve(cit->second.size());
-  for (PromiseId id : cit->second) {
-    out.push_back(records_.at(id));
+  out.reserve(ids.size());
+  for (PromiseId id : ids) {
+    const RecordShard& shard = ShardOf(id);
+    std::shared_lock<std::shared_mutex> lk(shard.mu);
+    auto it = shard.records.find(id);
+    if (it != shard.records.end()) out.push_back(it->second);
   }
   return out;
 }
 
 std::set<std::string> PromiseTable::ReferencedClasses() const {
-  std::shared_lock<std::shared_mutex> lk(mu_);
   std::set<std::string> out;
-  for (const auto& [cls, ids] : by_class_) {
-    (void)ids;
-    out.insert(cls);
+  for (const ClassShard& cshard : class_shards_) {
+    std::shared_lock<std::shared_mutex> lk(cshard.mu);
+    for (const auto& [cls, ids] : cshard.by_class) {
+      (void)ids;
+      out.insert(cls);
+    }
   }
   return out;
 }

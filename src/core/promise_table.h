@@ -9,24 +9,35 @@
 // and an expiry index ordered by deadline so that sweeping due promises
 // is O(expired · log n) rather than a full scan (experiment E8).
 //
-// Thread safety: the map structure is guarded by an internal
-// shared_mutex so concurrent striped operations may read and insert in
-// parallel. Logical exclusion on the *records* is the caller's job:
-// pointers returned by Find/FindMutable/ActiveForClass/Active stay
-// valid only while the caller holds a lock-manager stripe covering
-// every resource class of the record (the promise manager guarantees a
-// record is only erased by an operation holding all of its class
-// stripes; unordered_map node stability covers non-erased records).
+// Layout (DESIGN.md §14): the record map, the class index and the
+// deadline index are each 16-way sharded, every shard alignas(64) with
+// its own lock — epoch workers executing disjoint partitions touch
+// disjoint shards without false sharing or a table-wide mutex. A
+// lock-free minimum-deadline bound short-circuits DueIds (called on
+// every operation's plan) when nothing can be due.
+//
+// Thread safety: each shard's structure is guarded by its own
+// shared_mutex. Logical exclusion on the *records* is the caller's
+// job: pointers returned by Find/FindMutable/ActiveForClass/Active
+// stay valid only while the caller holds a lock-manager stripe (or
+// epoch partition) covering every resource class of the record — a
+// record is only erased by an operation covering all of its class
+// stripes; unordered_map node stability covers non-erased records.
+// Cross-shard reads (Active, size) are only momentarily consistent,
+// which the quiesced-inspection contract already allows.
 
 #ifndef PROMISES_CORE_PROMISE_TABLE_H_
 #define PROMISES_CORE_PROMISE_TABLE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <set>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
@@ -37,6 +48,8 @@ namespace promises {
 
 class PromiseTable {
  public:
+  static constexpr size_t kShardCount = 16;
+
   PromiseTable() = default;
 
   /// Inserts a granted promise. Fails on duplicate id.
@@ -50,7 +63,7 @@ class PromiseTable {
   PromiseRecord* FindMutable(PromiseId id);
 
   /// The resource classes of `id`'s predicates, copied out under the
-  /// table mutex — safe to call without holding any class stripe (used
+  /// shard mutex — safe to call without holding any class stripe (used
   /// to plan which stripes an operation must lock). nullopt if absent.
   std::optional<std::vector<std::string>> ClassesOf(PromiseId id) const;
 
@@ -74,18 +87,64 @@ class PromiseTable {
   std::vector<PromiseRecord> RecordsForClass(
       const std::string& resource_class) const;
 
-  size_t size() const {
-    std::shared_lock<std::shared_mutex> lk(mu_);
-    return records_.size();
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  /// The due-sweep fast-path bound (earliest deadline that can be due,
+  /// INT64_MAX when none). Exposed so tests can pin the repair
+  /// behavior; it is a lower bound, exact only right after a repair.
+  Timestamp min_deadline_bound() const {
+    return min_deadline_.load(std::memory_order_acquire);
   }
 
+  /// One cache line per record-map shard: the shard mutex and its map
+  /// header never share a line with a neighbouring shard's (the layout
+  /// test pins alignment).
+  struct alignas(64) RecordShard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<PromiseId, PromiseRecord> records;
+  };
+  struct alignas(64) ClassShard {
+    mutable std::shared_mutex mu;
+    // class -> promise ids covering it.
+    std::unordered_map<std::string, std::set<PromiseId>> by_class;
+  };
+  struct alignas(64) DeadlineShard {
+    mutable std::shared_mutex mu;
+    // (deadline, id) ordered for expiry sweeps; id-sharded alongside
+    // the record shards so Insert/Remove touch exactly one of each.
+    std::set<std::pair<Timestamp, PromiseId>> by_deadline;
+  };
+
  private:
-  mutable std::shared_mutex mu_;
-  std::unordered_map<PromiseId, PromiseRecord> records_;
-  // class -> promise ids covering it.
-  std::unordered_map<std::string, std::set<PromiseId>> by_class_;
-  // (deadline, id) ordered for expiry sweeps.
-  std::set<std::pair<Timestamp, PromiseId>> by_deadline_;
+  RecordShard& ShardOf(PromiseId id) {
+    return record_shards_[std::hash<PromiseId>{}(id) % kShardCount];
+  }
+  const RecordShard& ShardOf(PromiseId id) const {
+    return record_shards_[std::hash<PromiseId>{}(id) % kShardCount];
+  }
+  DeadlineShard& DeadlineShardOf(PromiseId id) {
+    return deadline_shards_[std::hash<PromiseId>{}(id) % kShardCount];
+  }
+  ClassShard& ClassShardOf(const std::string& cls) {
+    return class_shards_[std::hash<std::string>{}(cls) % kShardCount];
+  }
+  const ClassShard& ClassShardOf(const std::string& cls) const {
+    return class_shards_[std::hash<std::string>{}(cls) % kShardCount];
+  }
+
+  RecordShard record_shards_[kShardCount];
+  ClassShard class_shards_[kShardCount];
+  DeadlineShard deadline_shards_[kShardCount];
+
+  // Lock-free lower bound on the earliest stored deadline: DueIds (on
+  // every operation's plan) returns empty without touching a shard
+  // when nothing can be due yet. Inserts lower it; removals leave it
+  // stale-low, which costs a wasted sweep, never a missed one. A sweep
+  // that comes back empty repairs the bound to the exact minimum
+  // (computed under all deadline-shard locks) so the fast path is
+  // re-enabled instead of every later plan paying the full scan.
+  mutable std::atomic<Timestamp> min_deadline_{INT64_MAX};
+  std::atomic<size_t> size_{0};
 };
 
 }  // namespace promises

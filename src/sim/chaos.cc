@@ -76,6 +76,22 @@ ChaosReport RunChaosWorkload(const ChaosConfig& config) {
   pm.RegisterService("inventory", MakeInventoryService());
   transport.set_fault_injector(&injector);
 
+  std::unique_ptr<EpochExecutor> epoch;
+  if (config.use_epoch) {
+    epoch = std::make_unique<EpochExecutor>(config.epoch, &pm);
+    Status epoch_start = epoch->Start();
+    if (!epoch_start.ok()) {
+      ChaosReport failed;
+      failed.violations.push_back("epoch executor failed to start: " +
+                                  epoch_start.ToString());
+      if (config.trace_sampling > 0) {
+        Tracer::Global().set_sampling(prior_sampling);
+      }
+      return failed;
+    }
+    epoch->AdoptTransportEndpoint(&transport);
+  }
+
   std::vector<WorkerTally> tallies(config.workers);
   std::vector<uint64_t> retries(config.workers, 0);
   std::vector<CircuitBreakerStats> breaker_stats(config.workers);
@@ -166,6 +182,10 @@ ChaosReport RunChaosWorkload(const ChaosConfig& config) {
   auto finished = std::chrono::steady_clock::now();
 
   ChaosReport report;
+  if (epoch != nullptr) {
+    epoch->Stop();  // restores the direct transport handler
+    report.epoch = epoch->stats();
+  }
   uint64_t grant_unknown = 0;
   uint64_t act_unknown = 0;
   for (int w = 0; w < config.workers; ++w) {
@@ -323,6 +343,18 @@ std::string ChaosReport::Summary() const {
   }
   if (breaker.admitted + breaker.fast_failures > 0) {
     out += FormatBreakerStats(breaker) + "\n";
+  }
+  if (epoch.epochs > 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "epoch: %llu epochs, %llu ops (%llu serial, %llu misses), "
+        "largest batch %llu\n",
+        static_cast<unsigned long long>(epoch.epochs),
+        static_cast<unsigned long long>(epoch.ops),
+        static_cast<unsigned long long>(epoch.serial_ops),
+        static_cast<unsigned long long>(epoch.partition_misses),
+        static_cast<unsigned long long>(epoch.largest_batch));
+    out += buf;
   }
   if (!phases.empty()) {
     std::snprintf(buf, sizeof(buf),

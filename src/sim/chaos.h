@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "core/epoch_executor.h"
 #include "core/oplog.h"
 #include "core/promise_manager.h"
 #include "obs/trace.h"
@@ -85,6 +86,13 @@ struct ChaosConfig {
   /// and fills ChaosReport::phases with the span-derived phase-latency
   /// breakdown. Restored to the previous rate on return.
   double trace_sampling = 0;
+
+  /// When true, route every manager-bound envelope through an
+  /// EpochExecutor (DESIGN.md §14) instead of the per-operation striped
+  /// path, so the same faulty-transport run — and the §4 audit behind
+  /// it — exercises epoch-batched execution.
+  bool use_epoch = false;
+  EpochExecutorConfig epoch;
 };
 
 struct ChaosReport {
@@ -107,6 +115,8 @@ struct ChaosReport {
   /// Breaker counters summed across workers (zero struct when no
   /// breaker was configured; `state` is meaningless in the aggregate).
   CircuitBreakerStats breaker;
+  /// Epoch-executor counters (zero struct when use_epoch was false).
+  EpochExecutorStats epoch;
 
   int64_t initial_stock_total = 0;
   int64_t final_stock_total = 0;

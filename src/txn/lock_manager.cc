@@ -1,6 +1,8 @@
 #include "txn/lock_manager.h"
 
+#include <array>
 #include <chrono>
+#include <cstdio>
 #include <set>
 
 #include "obs/metrics.h"
@@ -87,6 +89,28 @@ Status LockManager::Acquire(TxnId txn, const std::string& key, LockMode mode,
         MetricsRegistry::Global().GetCounter("promises_lock_waits_total");
     static Counter* deadlocks_total = MetricsRegistry::Global().GetCounter(
         "promises_lock_deadlocks_total");
+    // Per-stripe wait-time histograms: the epoch work (DESIGN.md §14)
+    // needs to show which stripes the per-op path serializes on, so
+    // each stripe exports its own distribution rather than one blended
+    // one. Registered once, indexed by the same hash as StripeFor.
+    static const std::array<Histogram*, kStripeCount> stripe_wait_us = [] {
+      std::array<Histogram*, kStripeCount> h{};
+      for (size_t i = 0; i < kStripeCount; ++i) {
+        char name[48];
+        std::snprintf(name, sizeof(name),
+                      "promises_lock_wait_stripe_%02zu_us", i);
+        h[i] = MetricsRegistry::Global().GetHistogram(name);
+      }
+      return h;
+    }();
+    Histogram* stripe_hist =
+        stripe_wait_us[std::hash<std::string>{}(key) % kStripeCount];
+    const auto wait_start = std::chrono::steady_clock::now();
+    auto observe_wait = [&] {
+      stripe_hist->Observe(std::chrono::duration_cast<std::chrono::microseconds>(
+                               std::chrono::steady_clock::now() - wait_start)
+                               .count());
+    };
     waits_total->Increment();
     stats_.waits.fetch_add(1, std::memory_order_relaxed);
     // Pin the entry so it cannot be erased while the stripe mutex is
@@ -105,6 +129,7 @@ Status LockManager::Acquire(TxnId txn, const std::string& key, LockMode mode,
     lk.lock();
     if (deadlock) {
       wait_span.set_status("deadlock");
+      observe_wait();
       deadlocks_total->Increment();
       stats_.deadlocks.fetch_add(1, std::memory_order_relaxed);
       --ls.waiters;
@@ -120,6 +145,7 @@ Status LockManager::Acquire(TxnId txn, const std::string& key, LockMode mode,
                           grantable);
     }
     --ls.waiters;
+    observe_wait();
     if (!ok) {
       wait_span.set_status("timeout");
       stats_.timeouts.fetch_add(1, std::memory_order_relaxed);

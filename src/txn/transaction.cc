@@ -16,7 +16,19 @@ Status Transaction::Lock(const std::string& key, LockMode mode) {
   if (!active()) {
     return Status::FailedPrecondition("transaction is not active");
   }
-  return locks_->Acquire(id_, key, mode, lock_timeout_ms_);
+  if (pre_serialized_) {
+    // The epoch scheduler already serialized this transaction against
+    // every conflicting one; only the write set needs recording.
+    if (mode == LockMode::kExclusive) {
+      exclusive_keys_.push_back(key);
+    }
+    return Status::OK();
+  }
+  Status s = locks_->Acquire(id_, key, mode, lock_timeout_ms_);
+  if (s.ok() && mode == LockMode::kExclusive) {
+    exclusive_keys_.push_back(key);
+  }
+  return s;
 }
 
 void Transaction::PushUndo(std::function<void()> undo) {
@@ -36,7 +48,9 @@ Status Transaction::Commit() {
   }
   undo_log_.clear();
   state_ = TxnState::kCommitted;
-  locks_->ReleaseAll(id_);
+  if (!pre_serialized_) {
+    locks_->ReleaseAll(id_);
+  }
   return Status::OK();
 }
 
@@ -46,7 +60,9 @@ Status Transaction::Rollback() {
   }
   RollbackTo(0);
   state_ = TxnState::kAborted;
-  locks_->ReleaseAll(id_);
+  if (!pre_serialized_) {
+    locks_->ReleaseAll(id_);
+  }
   return Status::OK();
 }
 
@@ -54,6 +70,14 @@ std::unique_ptr<Transaction> TransactionManager::Begin() {
   begun_.fetch_add(1, std::memory_order_relaxed);
   return std::make_unique<Transaction>(ids_.Next(), &locks_,
                                        lock_timeout_ms_);
+}
+
+std::unique_ptr<Transaction> TransactionManager::BeginPreSerialized() {
+  begun_.fetch_add(1, std::memory_order_relaxed);
+  auto txn = std::make_unique<Transaction>(ids_.Next(), &locks_,
+                                           lock_timeout_ms_);
+  txn->pre_serialized_ = true;
+  return txn;
 }
 
 }  // namespace promises

@@ -41,7 +41,24 @@ class Transaction {
 
   /// Acquires `key` in `mode` through the owning LockManager. Locks are
   /// held until Commit/Rollback (strict two-phase locking).
+  ///
+  /// Pre-serialized transactions (see BeginPreSerialized) never touch
+  /// the LockManager: an external scheduler has already guaranteed this
+  /// transaction runs without conflicting concurrent access, so Lock
+  /// only records the key locally (for write-set verification) and
+  /// returns OK.
   Status Lock(const std::string& key, LockMode mode);
+
+  /// True when the transaction runs under an external serialization
+  /// guarantee and bypasses the LockManager entirely.
+  bool pre_serialized() const { return pre_serialized_; }
+
+  /// Keys Lock()ed in kExclusive mode. For ordinary transactions this
+  /// mirrors LockManager::ExclusiveKeysOf; for pre-serialized ones it
+  /// is the only record of the write set.
+  const std::vector<std::string>& ExclusiveKeys() const {
+    return exclusive_keys_;
+  }
 
   /// Registers a closure that reverses a mutation just performed.
   /// Closures run in reverse registration order on Rollback.
@@ -63,11 +80,15 @@ class Transaction {
   Status Rollback();
 
  private:
+  friend class TransactionManager;
+
   TxnId id_;
   LockManager* locks_;
   DurationMs lock_timeout_ms_;
   TxnState state_ = TxnState::kActive;
+  bool pre_serialized_ = false;
   std::vector<std::function<void()>> undo_log_;
+  std::vector<std::string> exclusive_keys_;
 };
 
 /// Issues transaction ids and constructs transactions bound to a shared
@@ -81,6 +102,13 @@ class TransactionManager {
   /// must Commit or Rollback it (the destructor rolls back as a
   /// safety net).
   std::unique_ptr<Transaction> Begin();
+
+  /// Starts a transaction that bypasses the LockManager. The caller
+  /// asserts an external serialization guarantee: nothing else touches
+  /// the keys this transaction will Lock() while it is active (epoch
+  /// partitions provide exactly that). Lock() records exclusive keys
+  /// locally and always succeeds; undo/commit semantics are unchanged.
+  std::unique_ptr<Transaction> BeginPreSerialized();
 
   LockManager& lock_manager() { return locks_; }
   const LockManager& lock_manager() const { return locks_; }

@@ -1,0 +1,483 @@
+// Epoch-batched execution (DESIGN.md §14): correctness of the batching
+// facade under concurrency and across crash recovery.
+//
+//  * Multi-worker stress: many client threads drive the merchant flow
+//    through an EpochExecutor-adopted transport; the §4 invariants must
+//    hold exactly as they do on the per-operation striped path. Run
+//    under TSan by scripts/ci.sh (the epoch workers execute partitions
+//    with pre-serialized transactions — no stripe locks — so the data
+//    race surface is exactly what these tests sweep).
+//  * Serial phase: operations whose closure spans partitions (or
+//    escapes it at runtime) still execute exactly once, after the
+//    barrier.
+//  * Exactly-once: duplicate (sender, message id) envelopes batched
+//    into epochs replay the cached reply instead of granting twice.
+//  * Twin world: a manager that committed its history through epochs
+//    replays from the operation log into an identical twin — same
+//    promise ids, same table, same resource state — proving the log
+//    order the epoch path emits is a valid serialization order.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/epoch_executor.h"
+#include "core/promise_manager.h"
+#include "service/client.h"
+#include "service/services.h"
+#include "sim/chaos.h"
+
+namespace promises {
+namespace {
+
+class TempLogFile {
+ public:
+  explicit TempLogFile(const std::string& tag)
+      : path_("/tmp/promises_epoch_" + tag + "_" +
+              std::to_string(reinterpret_cast<uintptr_t>(this)) + ".log") {
+    std::remove(path_.c_str());
+  }
+  ~TempLogFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+struct EpochWorld {
+  SystemClock clock;
+  TransactionManager tm{250};
+  ResourceManager rm;
+  Transport transport;
+  std::unique_ptr<PromiseManager> pm;
+  std::vector<std::string> items;
+
+  explicit EpochWorld(int num_items = 4, int64_t stock = 1'000) {
+    for (int i = 0; i < num_items; ++i) {
+      items.push_back("widget-" + std::to_string(i));
+      EXPECT_TRUE(rm.CreatePool(items.back(), stock).ok());
+    }
+    PromiseManagerConfig config;
+    config.name = "epoch-pm";
+    config.default_duration_ms = 600'000;
+    pm = std::make_unique<PromiseManager>(config, &clock, &rm, &tm,
+                                          &transport);
+    pm->RegisterService("inventory", MakeInventoryService());
+  }
+
+  int64_t TotalStock() {
+    int64_t total = 0;
+    auto txn = tm.Begin();
+    for (const std::string& item : items) {
+      total += *rm.GetQuantity(txn.get(), item);
+    }
+    return total;
+  }
+};
+
+// Replay target: same registrations as EpochWorld, but on a simulated
+// clock that ReplayLog can drive to each record's timestamp.
+struct TwinWorld {
+  SimulatedClock clock{0};
+  TransactionManager tm{250};
+  ResourceManager rm;
+  std::unique_ptr<PromiseManager> pm;
+  std::vector<std::string> items;
+
+  explicit TwinWorld(int num_items, int64_t stock) {
+    for (int i = 0; i < num_items; ++i) {
+      items.push_back("widget-" + std::to_string(i));
+      EXPECT_TRUE(rm.CreatePool(items.back(), stock).ok());
+    }
+    PromiseManagerConfig config;
+    config.name = "epoch-pm";
+    config.default_duration_ms = 600'000;
+    pm = std::make_unique<PromiseManager>(config, &clock, &rm, &tm);
+    pm->RegisterService("inventory", MakeInventoryService());
+  }
+
+  int64_t TotalStock() {
+    int64_t total = 0;
+    auto txn = tm.Begin();
+    for (const std::string& item : items) {
+      total += *rm.GetQuantity(txn.get(), item);
+    }
+    return total;
+  }
+};
+
+// One merchant order (check / act / release-after) through a client.
+// Returns true when the purchase completed.
+bool RunOrder(PromiseClient& client, const std::string& item,
+              int64_t quantity) {
+  Result<ClientPromise> grant = client.Request(
+      std::vector<Predicate>{
+          Predicate::Quantity(item, CompareOp::kGe, quantity)},
+      600'000);
+  if (!grant.ok()) return false;
+  ActionBody action;
+  action.service = "inventory";
+  action.operation = "purchase";
+  action.params["item"] = Value(item);
+  action.params["quantity"] = Value(quantity);
+  action.params["promise"] =
+      Value(static_cast<int64_t>(grant->id.value()));
+  Result<ActionResultBody> act =
+      client.Act(action, {grant->id}, /*release_after=*/true);
+  if (!act.ok() || !act->ok) {
+    (void)client.Release({grant->id});
+    return false;
+  }
+  return true;
+}
+
+TEST(EpochTest, SingleOperationRoundTrip) {
+  EpochWorld world;
+  EpochExecutorConfig config;
+  config.workers = 2;
+  config.pin_workers = false;
+  EpochExecutor executor(config, world.pm.get());
+  ASSERT_TRUE(executor.Start().ok());
+  executor.AdoptTransportEndpoint(&world.transport);
+
+  PromiseClient client("epoch-client", &world.transport, "epoch-pm");
+  EXPECT_TRUE(RunOrder(client, world.items[0], 3));
+  executor.Stop();
+
+  EpochExecutorStats stats = executor.stats();
+  EXPECT_GE(stats.epochs, 1u);
+  EXPECT_EQ(stats.ops, 2u);  // request + act (release folded into act)
+  EXPECT_EQ(world.pm->active_promises(), 0u);
+  EXPECT_EQ(world.TotalStock(), 4 * 1'000 - 3);
+}
+
+// After Stop() the direct per-operation handler is restored, so the
+// same transport keeps serving striped traffic.
+TEST(EpochTest, StopRestoresDirectHandler) {
+  EpochWorld world;
+  EpochExecutorConfig config;
+  config.workers = 2;
+  config.pin_workers = false;
+  {
+    EpochExecutor executor(config, world.pm.get());
+    ASSERT_TRUE(executor.Start().ok());
+    executor.AdoptTransportEndpoint(&world.transport);
+    PromiseClient client("epoch-client", &world.transport, "epoch-pm");
+    EXPECT_TRUE(RunOrder(client, world.items[0], 1));
+    executor.Stop();
+  }
+  PromiseClient after_stop("striped-client", &world.transport, "epoch-pm");
+  EXPECT_TRUE(RunOrder(after_stop, world.items[1], 1));
+  EXPECT_EQ(world.TotalStock(), 4 * 1'000 - 2);
+}
+
+// Regression: Stop() racing an in-flight epoch. A stop that lands
+// after the leader seals a batch but before it publishes the work
+// generation must not let the workers exit under the barrier — that
+// deadlocked Stop() (leader waiting for workers that already
+// returned) and hung every submitter of the sealed batch. Cycles of
+// hot Stop() against live submitters sweep the window; the test
+// passing is the absence of a hang, and conservation must still hold
+// for whatever committed.
+TEST(EpochTest, StopDuringInFlightEpochsDoesNotDeadlock) {
+  constexpr int kCycles = 25;
+  constexpr int kSubmitters = 4;
+  EpochWorld world(/*num_items=*/4, /*stock=*/100'000);
+  EpochExecutorConfig config;
+  config.workers = 4;
+  config.pin_workers = false;
+  config.seal_interval_us = 50;
+  EpochExecutor executor(config, world.pm.get());
+  std::atomic<int64_t> completed{0};
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    ASSERT_TRUE(executor.Start().ok());
+    executor.AdoptTransportEndpoint(&world.transport);
+    std::atomic<bool> stopping{false};
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kSubmitters; ++c) {
+      threads.emplace_back([&, c] {
+        PromiseClient client(
+            "race-c" + std::to_string(cycle) + "-" + std::to_string(c),
+            &world.transport, "epoch-pm");
+        // Keep epochs forming until the stop lands, then drain out on
+        // the Unavailable fast path.
+        while (!stopping.load(std::memory_order_acquire)) {
+          if (RunOrder(client, world.items[static_cast<size_t>(c) % 4],
+                       1)) {
+            completed.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    // Vary the stop point across cycles so it lands in every phase of
+    // the epoch pipeline, sealing included.
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(200 + (cycle * 137) % 2'000));
+    executor.Stop();
+    stopping.store(true, std::memory_order_release);
+    for (std::thread& t : threads) t.join();
+  }
+  EXPECT_EQ(world.TotalStock(), 4 * 100'000 - completed.load());
+  // An order interrupted by the stop can legitimately strand its grant
+  // (the release raced the shutdown window), so the table need not be
+  // empty — but the books must still balance exactly.
+  PromiseManagerStats pm_stats = world.pm->stats();
+  EXPECT_EQ(pm_stats.granted - pm_stats.released,
+            world.pm->active_promises());
+}
+
+// Regression: a Stop()/Start() cycle must re-register the adopted
+// transport endpoint. Without the re-adoption the restarted executor
+// ran, but clients silently fell back to the striped path.
+TEST(EpochTest, StartAfterStopReadoptsTransport) {
+  EpochWorld world;
+  EpochExecutorConfig config;
+  config.workers = 2;
+  config.pin_workers = false;
+  EpochExecutor executor(config, world.pm.get());
+  ASSERT_TRUE(executor.Start().ok());
+  executor.AdoptTransportEndpoint(&world.transport);
+  PromiseClient client("restart-client", &world.transport, "epoch-pm");
+  EXPECT_TRUE(RunOrder(client, world.items[0], 1));
+  executor.Stop();
+  EXPECT_EQ(executor.stats().ops, 2u);  // request + act rode epochs
+
+  ASSERT_TRUE(executor.Start().ok());
+  EXPECT_TRUE(RunOrder(client, world.items[1], 1));
+  executor.Stop();
+  // The second order's two operations also went through the epoch
+  // path: stats accumulate across the restart.
+  EXPECT_EQ(executor.stats().ops, 4u);
+  EXPECT_EQ(world.TotalStock(), 4 * 1'000 - 2);
+}
+
+// The TSan target: concurrent submitters across all items, epoch
+// workers executing partitions lock-free. Every order must land
+// exactly once in the books.
+TEST(EpochTest, ConcurrentSubmittersConserveStock) {
+  constexpr int kClients = 8;
+  constexpr int kOrdersPerClient = 25;
+  constexpr int64_t kQuantity = 1;
+  EpochWorld world(/*num_items=*/8, /*stock=*/1'000);
+  EpochExecutorConfig config;
+  config.workers = 4;
+  config.pin_workers = false;
+  config.seal_interval_us = 100;
+  EpochExecutor executor(config, world.pm.get());
+  ASSERT_TRUE(executor.Start().ok());
+  executor.AdoptTransportEndpoint(&world.transport);
+
+  std::atomic<int64_t> completed{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      PromiseClient client("epoch-w" + std::to_string(c), &world.transport,
+                           "epoch-pm");
+      for (int i = 0; i < kOrdersPerClient; ++i) {
+        const std::string& item =
+            world.items[static_cast<size_t>((c + i) % 8)];
+        if (RunOrder(client, item, kQuantity)) {
+          completed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  executor.Stop();
+
+  // §4 audit: conservation, exactly-once, no orphans.
+  EXPECT_EQ(completed.load(), kClients * kOrdersPerClient);
+  EXPECT_EQ(world.TotalStock(), 8 * 1'000 - completed.load() * kQuantity);
+  EXPECT_EQ(world.pm->active_promises(), 0u);
+  PromiseManagerStats pm_stats = world.pm->stats();
+  EXPECT_EQ(pm_stats.granted, static_cast<uint64_t>(completed.load()));
+  EXPECT_EQ(pm_stats.granted, pm_stats.released);
+
+  EpochExecutorStats stats = executor.stats();
+  EXPECT_GE(stats.epochs, 1u);
+  EXPECT_EQ(stats.ops,
+            static_cast<uint64_t>(kClients * kOrdersPerClient * 2));
+  // Batching actually happened (not one epoch per op).
+  EXPECT_GT(stats.largest_batch, 1u);
+}
+
+// A request whose predicates span every class cannot sit in one
+// partition; it must fall to the serial phase and still succeed.
+TEST(EpochTest, CrossPartitionRequestExecutesSerially) {
+  EpochWorld world(/*num_items=*/8, /*stock=*/100);
+  EpochExecutorConfig config;
+  config.workers = 4;
+  config.pin_workers = false;
+  EpochExecutor executor(config, world.pm.get());
+  ASSERT_TRUE(executor.Start().ok());
+  executor.AdoptTransportEndpoint(&world.transport);
+
+  PromiseClient client("epoch-span", &world.transport, "epoch-pm");
+  std::vector<Predicate> all_items;
+  for (const std::string& item : world.items) {
+    all_items.push_back(Predicate::Quantity(item, CompareOp::kGe, 1));
+  }
+  Result<ClientPromise> grant = client.Request(all_items, 600'000);
+  ASSERT_TRUE(grant.ok()) << grant.status().ToString();
+  ASSERT_TRUE(client.Release({grant->id}).ok());
+  executor.Stop();
+
+  // With 8 distinct classes over 4 partitions the closure cannot be
+  // single-partition, so the grant (and the release covering the same
+  // classes) ran in the serial phase.
+  EpochExecutorStats stats = executor.stats();
+  EXPECT_GE(stats.serial_ops, 2u);
+  EXPECT_EQ(world.pm->active_promises(), 0u);
+}
+
+// Duplicate deliveries of one envelope — including both copies inside
+// the same epoch — must replay the cached reply, not grant twice.
+TEST(EpochTest, DuplicateEnvelopesReplayAcrossEpochs) {
+  EpochWorld world(/*num_items=*/1, /*stock=*/50);
+  EpochExecutorConfig config;
+  config.workers = 2;
+  config.pin_workers = false;
+  config.seal_interval_us = 2'000;  // wide window: dups share an epoch
+  EpochExecutor executor(config, world.pm.get());
+  ASSERT_TRUE(executor.Start().ok());
+
+  Envelope env;
+  env.message_id = MessageId(77);
+  env.from = "epoch-dup-client";
+  env.to = "epoch-pm";
+  PromiseRequestHeader header;
+  header.request_id = RequestId(1);
+  header.predicates.push_back(
+      Predicate::Quantity(world.items[0], CompareOp::kGe, 10));
+  env.promise_request = std::move(header);
+
+  // Two concurrent copies (likely the same epoch, same partition).
+  Result<Envelope> first = Status::Internal("unset");
+  Result<Envelope> second = Status::Internal("unset");
+  std::thread t1([&] { first = executor.Submit(env); });
+  std::thread t2([&] { second = executor.Submit(env); });
+  t1.join();
+  t2.join();
+  // And one late copy in a later epoch.
+  Result<Envelope> third = executor.Submit(env);
+  executor.Stop();
+
+  ASSERT_TRUE(first.ok() && second.ok() && third.ok());
+  ASSERT_TRUE(first->promise_response.has_value());
+  ASSERT_TRUE(second->promise_response.has_value());
+  ASSERT_TRUE(third->promise_response.has_value());
+  PromiseId id = first->promise_response->promise_id;
+  EXPECT_EQ(second->promise_response->promise_id, id);
+  EXPECT_EQ(third->promise_response->promise_id, id);
+
+  PromiseManagerStats stats = world.pm->stats();
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.granted, 1u);
+  EXPECT_EQ(stats.duplicates_replayed, 2u);
+  EXPECT_EQ(world.pm->active_promises(), 1u);
+}
+
+// Twin world: commit a concurrent epoch-batched history into the
+// operation log, crash (close the log), and replay into a fresh
+// manager. The twin must be observationally identical — the log order
+// the epoch path produced is a valid serialization order, and the ids
+// it assigned replay byte-for-byte.
+TEST(EpochTest, TwinWorldReplaysEpochHistoryIdentically) {
+  constexpr int kClients = 6;
+  constexpr int kOrdersPerClient = 10;
+  TempLogFile file("twin");
+  EpochWorld original(/*num_items=*/4, /*stock=*/500);
+  OperationLog log;
+  ASSERT_TRUE(log.Open(file.path()).ok());
+  ASSERT_TRUE(original.pm->AttachLog(&log).ok());
+
+  EpochExecutorConfig config;
+  config.workers = 4;
+  config.pin_workers = false;
+  config.seal_interval_us = 100;
+  EpochExecutor executor(config, original.pm.get());
+  ASSERT_TRUE(executor.Start().ok());
+  executor.AdoptTransportEndpoint(&original.transport);
+
+  // Concurrent purchases, plus one promise per client deliberately
+  // left unreleased so the twin has live table state to reproduce.
+  std::vector<PromiseId> held(kClients);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      PromiseClient client("twin-w" + std::to_string(c),
+                           &original.transport, "epoch-pm");
+      for (int i = 0; i < kOrdersPerClient; ++i) {
+        ASSERT_TRUE(RunOrder(
+            client, original.items[static_cast<size_t>((c + i) % 4)], 1));
+      }
+      Result<ClientPromise> keep = client.Request(
+          std::vector<Predicate>{Predicate::Quantity(
+              original.items[static_cast<size_t>(c % 4)], CompareOp::kGe,
+              2)},
+          600'000);
+      ASSERT_TRUE(keep.ok());
+      held[static_cast<size_t>(c)] = keep->id;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  executor.Stop();
+  log.Close();  // crash
+
+  auto records = OperationLog::ReadAll(file.path());
+  ASSERT_TRUE(records.ok());
+  TwinWorld recovered(/*num_items=*/4, /*stock=*/500);
+  ASSERT_TRUE(
+      recovered.pm->ReplayLog(*records, &recovered.clock).ok());
+
+  EXPECT_EQ(recovered.pm->active_promises(),
+            original.pm->active_promises());
+  EXPECT_EQ(recovered.TotalStock(), original.TotalStock());
+  EXPECT_EQ(recovered.TotalStock(),
+            4 * 500 - int64_t{kClients} * kOrdersPerClient);
+  for (PromiseId id : held) {
+    EXPECT_NE(recovered.pm->FindPromise(id), nullptr)
+        << "held promise " << id.ToString() << " lost in replay";
+  }
+  // Determinism both ways: a second twin replays to the same state.
+  TwinWorld twin2(/*num_items=*/4, /*stock=*/500);
+  ASSERT_TRUE(twin2.pm->ReplayLog(*records, &twin2.clock).ok());
+  EXPECT_EQ(twin2.pm->active_promises(),
+            recovered.pm->active_promises());
+  EXPECT_EQ(twin2.TotalStock(), recovered.TotalStock());
+}
+
+// The §4 chaos audit against the epoch path: faulty transport (drops,
+// dups, delays), retrying clients, epoch-batched execution underneath.
+TEST(EpochChaosTest, AuditHoldsUnderFaultsOnEpochPath) {
+  ChaosConfig config;
+  config.workers = 4;
+  config.orders_per_worker = 15;
+  config.faults.drop_request = 0.05;
+  config.faults.drop_reply = 0.05;
+  config.faults.duplicate = 0.10;
+  config.faults.delay_spike = 0.10;
+  config.faults.delay_spike_us = 300;
+  config.seed = 20'260'809;
+  config.use_epoch = true;
+  config.epoch.workers = 4;
+  config.epoch.pin_workers = false;
+  config.epoch.seal_interval_us = 100;
+
+  ChaosReport report = RunChaosWorkload(config);
+  EXPECT_TRUE(report.converged()) << report.Summary();
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GE(report.epoch.epochs, 1u);
+  // Every envelope the manager saw went through an epoch.
+  EXPECT_GE(report.epoch.ops, report.manager.requests);
+}
+
+}  // namespace
+}  // namespace promises

@@ -1,0 +1,77 @@
+// Cache-line layout pins for the epoch-batched hot path (DESIGN.md
+// §14). These are deliberate compile-time contracts, not incidental
+// facts: the epoch scheduler sorts EpochRoutine by value assuming one
+// routine per line, and the sharded/hot structures sit in arrays where
+// a lost alignas silently reintroduces false sharing. static_asserts
+// catch regressions at build time; the runtime EXPECTs make the
+// contract show up in the test inventory.
+
+#include <cstddef>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "core/epoch_executor.h"
+#include "core/escrow.h"
+#include "core/promise_table.h"
+
+namespace promises {
+namespace {
+
+constexpr size_t kCacheLine = 64;
+
+// The hot scheduling record is exactly one cache line, so a worker's
+// contiguous slice of the sorted batch never shares a line with a
+// neighbouring partition.
+static_assert(sizeof(EpochRoutine) == kCacheLine,
+              "EpochRoutine must fill exactly one cache line");
+static_assert(alignof(EpochRoutine) == kCacheLine,
+              "EpochRoutine must be cache-line aligned");
+
+// Escrow hot counters live on their own line so side-by-side accounts
+// (one per resource class) never false-share under epoch workers.
+static_assert(alignof(EscrowAccount::HotCounters) == kCacheLine,
+              "escrow hot counters must be cache-line aligned");
+static_assert(sizeof(EscrowAccount::HotCounters) == kCacheLine,
+              "escrow hot counters must not spill past their line");
+
+// Every promise-table shard (records, class index, deadline index)
+// starts on its own line; adjacent shards in the arrays stay disjoint.
+static_assert(alignof(PromiseTable::RecordShard) == kCacheLine,
+              "record shards must be cache-line aligned");
+static_assert(alignof(PromiseTable::ClassShard) == kCacheLine,
+              "class-index shards must be cache-line aligned");
+static_assert(alignof(PromiseTable::DeadlineShard) == kCacheLine,
+              "deadline-index shards must be cache-line aligned");
+static_assert(sizeof(PromiseTable::RecordShard) % kCacheLine == 0,
+              "record shards must tile the array without sharing lines");
+static_assert(sizeof(PromiseTable::ClassShard) % kCacheLine == 0,
+              "class shards must tile the array without sharing lines");
+static_assert(sizeof(PromiseTable::DeadlineShard) % kCacheLine == 0,
+              "deadline shards must tile the array without sharing lines");
+
+TEST(LayoutTest, EpochRoutineIsOneCacheLine) {
+  EXPECT_EQ(sizeof(EpochRoutine), kCacheLine);
+  EXPECT_EQ(alignof(EpochRoutine), kCacheLine);
+  // An array of routines (the sorted batch) is line-strided.
+  EpochRoutine routines[4];
+  auto base = reinterpret_cast<uintptr_t>(&routines[0]);
+  EXPECT_EQ(base % kCacheLine, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(&routines[1]) - base, kCacheLine);
+}
+
+TEST(LayoutTest, EscrowHotCountersAreIsolated) {
+  EXPECT_EQ(alignof(EscrowAccount::HotCounters), kCacheLine);
+  EscrowAccount account(10, 0, 100);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(&account) % kCacheLine, 0u)
+      << "hot counters lead the account, so accounts are line-aligned";
+}
+
+TEST(LayoutTest, PromiseTableShardsAreLineAligned) {
+  EXPECT_EQ(alignof(PromiseTable::RecordShard), kCacheLine);
+  EXPECT_EQ(alignof(PromiseTable::ClassShard), kCacheLine);
+  EXPECT_EQ(alignof(PromiseTable::DeadlineShard), kCacheLine);
+}
+
+}  // namespace
+}  // namespace promises

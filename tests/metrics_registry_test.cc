@@ -2,14 +2,21 @@
 // FormatPrometheus(), plus the LatencyRecorder Merge regression and
 // its PublishTo bridge into registry histograms.
 
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/epoch_executor.h"
+#include "core/promise_manager.h"
 #include "obs/metrics.h"
+#include "protocol/transport.h"
+#include "resource/resource_manager.h"
 #include "service/lifecycle.h"
+#include "txn/lock_manager.h"
+#include "txn/transaction.h"
 
 namespace promises {
 namespace {
@@ -182,6 +189,94 @@ TEST(MetricsRegistryTest, LifecycleInstrumentsAppearInPrometheusText) {
   }
   EXPECT_NE(text.find("# TYPE promises_lifecycle_recovery_ms histogram"),
             std::string::npos);
+}
+
+// Satellite (PR 10): a contended acquisition observes the wait into
+// the per-stripe lock-wait histogram, and the full 16-stripe family
+// shows up in the Prometheus exposition once any stripe has blocked.
+TEST(MetricsRegistryTest, StripeLockWaitHistogramsAppearInPrometheusText) {
+  LockManager locks;
+  TxnId holder(1), waiter(2);
+  ASSERT_TRUE(locks.Acquire(holder, "metrics-stripe-key",
+                            LockMode::kExclusive)
+                  .ok());
+  std::thread blocked([&] {
+    // Blocks until the holder releases; the wait is observed into the
+    // stripe histogram on the way out.
+    Status st = locks.Acquire(waiter, "metrics-stripe-key",
+                              LockMode::kExclusive, /*timeout_ms=*/5'000);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  locks.ReleaseAll(holder);
+  blocked.join();
+  locks.ReleaseAll(waiter);
+
+  std::string text = MetricsRegistry::Global().FormatPrometheus();
+  // Registration is eager for the whole family on the first blocking
+  // acquire, so every stripe is scrapeable (most at count 0)...
+  for (const char* name :
+       {"promises_lock_wait_stripe_00_us", "promises_lock_wait_stripe_07_us",
+        "promises_lock_wait_stripe_15_us"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(
+      text.find("# TYPE promises_lock_wait_stripe_00_us histogram"),
+      std::string::npos);
+  // ...and exactly one stripe recorded this wait.
+  uint64_t observed = 0;
+  for (const auto& h : MetricsRegistry::Global().Snapshot().histograms) {
+    if (h.name.rfind("promises_lock_wait_stripe_", 0) == 0) {
+      observed += h.count;
+    }
+  }
+  EXPECT_GE(observed, 1u);
+}
+
+// Satellite (PR 10): every executed epoch observes its batch size, so
+// the histogram is present (and counting) in the exposition after one
+// round trip through the epoch path.
+TEST(MetricsRegistryTest, EpochBatchSizeHistogramAppearsInPrometheusText) {
+  SystemClock clock;
+  ResourceManager rm;
+  TransactionManager tm(250);
+  ASSERT_TRUE(rm.CreatePool("metrics-epoch-widget", 5).ok());
+  Transport transport;
+  PromiseManagerConfig pm_config;
+  pm_config.name = "metrics-epoch-pm";
+  PromiseManager pm(pm_config, &clock, &rm, &tm, &transport);
+
+  EpochExecutorConfig config;
+  config.workers = 2;
+  config.pin_workers = false;
+  EpochExecutor executor(config, &pm);
+  ASSERT_TRUE(executor.Start().ok());
+
+  Envelope request;
+  request.message_id = MessageId(1);
+  request.from = "metrics-epoch-client";
+  request.to = "metrics-epoch-pm";
+  PromiseRequestHeader header;
+  header.request_id = RequestId(1);
+  header.predicates.push_back(
+      Predicate::Quantity("metrics-epoch-widget", CompareOp::kGe, 1));
+  request.promise_request = std::move(header);
+  Result<Envelope> reply = executor.Submit(request);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  executor.Stop();
+
+  std::string text = MetricsRegistry::Global().FormatPrometheus();
+  EXPECT_NE(text.find("# TYPE promises_epoch_batch_size histogram"),
+            std::string::npos);
+  bool saw = false;
+  for (const auto& h : MetricsRegistry::Global().Snapshot().histograms) {
+    if (h.name == "promises_epoch_batch_size") {
+      saw = true;
+      EXPECT_GE(h.count, 1u);
+    }
+  }
+  EXPECT_TRUE(saw);
+  EXPECT_NE(text.find("promises_epoch_epochs_total"), std::string::npos);
 }
 
 TEST(MetricsRegistryTest, RecorderPublishesIntoHistogram) {

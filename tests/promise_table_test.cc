@@ -86,6 +86,29 @@ TEST(PromiseTableTest, DueIdsOrderedByDeadline) {
   EXPECT_EQ(t.DueIds(1000).size(), 3u);
 }
 
+// The due-sweep bound is lowered by inserts and repaired by an empty
+// sweep: after the earliest-deadline promise is removed, a wasted
+// sweep must raise the bound to the remaining minimum (or clear it)
+// so DueIds' lock-free fast path comes back instead of every later
+// plan locking all 16 deadline shards.
+TEST(PromiseTableTest, EmptySweepRepairsMinDeadlineBound) {
+  PromiseTable t;
+  ASSERT_TRUE(t.Insert(MakeRecord(1, {}, 100)).ok());
+  ASSERT_TRUE(t.Insert(MakeRecord(2, {}, 5'000)).ok());
+  EXPECT_EQ(t.min_deadline_bound(), 100);
+  ASSERT_TRUE(t.Remove(PromiseId(1)).ok());
+  // Removal leaves the bound stale-low...
+  EXPECT_EQ(t.min_deadline_bound(), 100);
+  EXPECT_TRUE(t.DueIds(200).empty());
+  // ...and the empty sweep repairs it to the exact remaining minimum.
+  EXPECT_EQ(t.min_deadline_bound(), 5'000);
+  EXPECT_FALSE(t.DueIds(5'000).empty());
+  ASSERT_TRUE(t.Remove(PromiseId(2)).ok());
+  EXPECT_TRUE(t.DueIds(10'000).empty());
+  // Empty table: the bound clears all the way back to "nothing due".
+  EXPECT_EQ(t.min_deadline_bound(), kTimestampMax);
+}
+
 TEST(PromiseTableTest, NonActiveStatesExcludedFromActive) {
   PromiseTable t;
   PromiseRecord r = MakeRecord(1, {Predicate::Named("room", "1")});
